@@ -1,0 +1,64 @@
+//! Design-choice ablations called out in DESIGN.md: the frequency
+//! coordination heuristic (§5.3, the paper picked the arithmetic mean) and
+//! the fine-grained task-coarsening threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joss_bench::shared_context;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::ModelSched;
+use joss_core::Coordination;
+use joss_workloads::{alya, stencil, Scale};
+use std::hint::black_box;
+
+fn bench_coordination(c: &mut Criterion) {
+    let ctx = shared_context();
+    let graph = stencil::stencil(512, 16, Scale::Divided(400));
+    let mut g = c.benchmark_group("coordination");
+    g.sample_size(10);
+    for (name, coord) in [
+        ("average", Coordination::Average),
+        ("min", Coordination::Min),
+        ("max", Coordination::Max),
+        ("weighted", Coordination::Weighted),
+        ("none", Coordination::None),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sched = ModelSched::joss(ctx.models.clone());
+                let cfg = EngineConfig { coordination: coord, ..EngineConfig::default() };
+                let report = SimEngine::run(&ctx.machine, &graph, &mut sched, cfg);
+                assert_eq!(report.tasks, graph.n_tasks());
+                black_box(report.total_j())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_coarsening(c: &mut Criterion) {
+    let ctx = shared_context();
+    // Alya has the suite's finest-grained tasks — the coarsening target.
+    let graph = alya::alya(Scale::Divided(400));
+    let mut g = c.benchmark_group("coarsening");
+    g.sample_size(10);
+    for (name, threshold) in [
+        ("off", 0.0),
+        ("200us", 200e-6),
+        ("2ms", 2e-3),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sched = ModelSched::joss(ctx.models.clone())
+                    .with_coarsen_threshold(threshold);
+                let report =
+                    SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+                assert_eq!(report.tasks, graph.n_tasks());
+                black_box((report.total_j(), report.dvfs_transitions))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, bench_coordination, bench_coarsening);
+criterion_main!(ablations);

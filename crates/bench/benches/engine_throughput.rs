@@ -1,0 +1,38 @@
+//! Discrete-event engine throughput: how many tasks per second of host time
+//! the runtime simulates under the GRWS baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use joss_bench::shared_context;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::GrwsSched;
+use joss_dag::{generators, KernelSpec};
+use joss_platform::TaskShape;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let ctx = shared_context();
+    let mut g = c.benchmark_group("engine_throughput");
+    for n in [1_000usize, 10_000] {
+        let graph = generators::chain_bundle(
+            "bag",
+            KernelSpec::new("k", TaskShape::new(0.005, 0.002)),
+            n,
+            16,
+        );
+        g.throughput(Throughput::Elements(n as u64));
+        g.sample_size(10);
+        g.bench_function(format!("grws_{n}_tasks"), |b| {
+            b.iter(|| {
+                let mut sched = GrwsSched::new();
+                let report =
+                    SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+                assert_eq!(report.tasks, n);
+                black_box(report)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(engine, bench_engine);
+criterion_main!(engine);

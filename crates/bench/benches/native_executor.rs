@@ -1,0 +1,33 @@
+//! Real-thread work-stealing executor scaling on the host machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use joss_core::native::NativeExecutor;
+use joss_dag::{generators, KernelSpec};
+use joss_platform::TaskShape;
+use std::hint::black_box;
+
+fn bench_native(c: &mut Criterion) {
+    let graph = generators::independent(
+        "bag",
+        KernelSpec::new("k", TaskShape::new(0.001, 0.0)),
+        2_000,
+    );
+    let mut g = c.benchmark_group("native_executor");
+    g.throughput(Throughput::Elements(graph.n_tasks() as u64));
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("{workers}_workers"), |b| {
+            b.iter(|| {
+                let stats = NativeExecutor::new(workers).execute(&graph, |t| {
+                    black_box((0..2_000u64).fold(t.0 as u64, |a, b| a.wrapping_add(b * b)));
+                });
+                assert_eq!(stats.total_tasks(), graph.n_tasks());
+                black_box(stats)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(native, bench_native);
+criterion_main!(native);

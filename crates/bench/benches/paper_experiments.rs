@@ -1,0 +1,115 @@
+//! One Criterion group per paper table/figure: each bench regenerates the
+//! artifact at reduced scale and sanity-asserts its headline shape, so a
+//! `cargo bench` run doubles as a reproduction smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joss_bench::shared_context;
+use joss_experiments::{fig1, fig10, fig2, fig5, fig8, fig9, table1};
+use joss_workloads::Scale;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_inventory", |b| {
+        b.iter(|| {
+            let t = table1::run();
+            assert_eq!(t.rows.len(), 10);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let ctx = shared_context();
+    c.bench_function("fig1_motivation", |b| {
+        b.iter(|| {
+            let f = fig1::run(ctx, Scale::Divided(400), 42);
+            // Including memory energy must never *increase* total energy.
+            for bench in &f.benches {
+                let e1 = bench.scenarios[0].energy.total_j();
+                let e2 = bench.scenarios[1].energy.total_j();
+                assert!(e2 <= e1 + 1e-9);
+            }
+            black_box(f)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ctx = shared_context();
+    c.bench_function("fig2_tradeoffs", |b| {
+        b.iter(|| {
+            let f = fig2::run(ctx, Scale::Divided(400), 42);
+            for bench in &f.benches {
+                assert!(bench.points.len() >= 3, "curve must have points");
+            }
+            black_box(f)
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = shared_context();
+    c.bench_function("fig5_power_profile", |b| {
+        b.iter(|| {
+            let f = fig5::run(ctx);
+            assert_eq!(f.points.len(), 45, "3 MB levels x 15 freq combos");
+            black_box(f)
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = shared_context();
+    let mut g = c.benchmark_group("fig8_energy");
+    g.sample_size(10);
+    g.bench_function("suite_x_schedulers", |b| {
+        b.iter(|| {
+            let f = fig8::run(ctx, Scale::Divided(400), 42, 0.005);
+            let geo = f.geo_means();
+            // Headline shape: JOSS (col 4) beats the GRWS baseline (col 0).
+            assert!(geo[4] < geo[0], "JOSS must beat GRWS: {geo:?}");
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ctx = shared_context();
+    let mut g = c.benchmark_group("fig9_constraints");
+    g.sample_size(10);
+    g.bench_function("speedup_targets", |b| {
+        b.iter(|| {
+            let f = fig9::run(ctx, Scale::Divided(400), 42);
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ctx = shared_context();
+    let mut g = c.benchmark_group("fig10_accuracy");
+    g.sample_size(10);
+    g.bench_function("model_accuracy", |b| {
+        b.iter(|| {
+            let f = fig10::run(ctx, Scale::Divided(400));
+            let [(_, p), _, _] = f.stats();
+            assert!(p.mean > 0.9, "performance model accuracy {p:?}");
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1,
+    bench_fig1,
+    bench_fig2,
+    bench_fig5,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10
+);
+criterion_main!(paper);

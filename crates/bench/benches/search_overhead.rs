@@ -1,0 +1,58 @@
+//! §7.4 ablation: steepest-descent vs exhaustive configuration search, on
+//! the TX2-like space and the larger hypothetical platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joss_bench::shared_context;
+use joss_models::{
+    exhaustive_search, steepest_descent_search, EnergyEstimator, Objective,
+};
+use joss_platform::{ExecContext, TaskShape};
+use std::hint::black_box;
+
+fn bench_searches(c: &mut Criterion) {
+    let ctx = shared_context();
+    let shape = TaskShape::new(0.02, 0.02);
+    let ectx = ExecContext::alone();
+    let samples: Vec<Option<(f64, f64)>> = ctx
+        .models
+        .indexer()
+        .iter()
+        .map(|(tc, nc)| {
+            let w = ctx.space.nc_count(tc, nc);
+            Some((
+                ctx.machine.clean_time_s(&shape, tc, w, ctx.models.fc_ref_ghz(), ctx.models.fm_ref_ghz(), &ectx),
+                ctx.machine.clean_time_s(&shape, tc, w, ctx.models.fc_alt_ghz(), ctx.models.fm_ref_ghz(), &ectx),
+            ))
+        })
+        .collect();
+    let tables = ctx.models.build_kernel_tables(&samples);
+    let est = EnergyEstimator {
+        space: &ctx.space,
+        tables: &tables,
+        idle: &ctx.models.idle,
+        objective: Objective::TotalEnergy,
+        concurrency: 2.0,
+        max_width: usize::MAX,
+    };
+
+    let mut g = c.benchmark_group("search");
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(exhaustive_search(&est, true)))
+    });
+    g.bench_function("steepest_descent", |b| {
+        b.iter(|| black_box(steepest_descent_search(&est, true)))
+    });
+    g.finish();
+
+    // The §7.4 claims, asserted once.
+    let ex = exhaustive_search(&est, true);
+    let sd = steepest_descent_search(&est, true);
+    assert!(
+        (sd.stats.evaluations as f64) < 0.6 * ex.stats.evaluations as f64,
+        "steepest descent must cut evaluations substantially"
+    );
+    assert!(sd.energy_j <= ex.energy_j * 1.10, "steepest descent quality");
+}
+
+criterion_group!(overhead, bench_searches);
+criterion_main!(overhead);

@@ -1,0 +1,133 @@
+//! Frequency coordination for shared resources (paper §5.3).
+//!
+//! Cluster and memory frequencies are shared: concurrent tasks with
+//! different frequency preferences would thrash the DVFS controllers
+//! (serialization) and hurt each other. When concurrency is detected, JOSS
+//! blends the incoming request with the resource's current setting. The
+//! paper evaluated several blending heuristics and found the arithmetic mean
+//! best; the alternatives are kept for the ablation benchmark.
+
+use joss_platform::FreqIndex;
+use serde::{Deserialize, Serialize};
+
+/// How to blend a task's requested frequency with the current setting when
+/// other tasks share the resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Coordination {
+    /// Arithmetic mean of requested and current frequency (the paper's
+    /// choice).
+    Average,
+    /// Keep the lower of the two.
+    Min,
+    /// Keep the higher of the two.
+    Max,
+    /// Weighted mean biased toward the current setting (weight = existing
+    /// task count / (existing + 1)).
+    Weighted,
+    /// Ignore concurrency: always apply the request (no coordination).
+    None,
+}
+
+impl Coordination {
+    /// Blend `requested` with `current` given `others` concurrent tasks on
+    /// the shared resource; returns the frequency index to program.
+    ///
+    /// `table` is the frequency ladder in GHz; blending happens in GHz and
+    /// the result snaps to the nearest ladder entry.
+    pub fn blend(
+        self,
+        requested: FreqIndex,
+        current: FreqIndex,
+        others: usize,
+        table: &[f64],
+    ) -> FreqIndex {
+        if others == 0 || self == Coordination::None || requested == current {
+            return requested;
+        }
+        let fr = table[requested.0];
+        let fc = table[current.0];
+        let target_ghz = match self {
+            Coordination::Average => 0.5 * (fr + fc),
+            Coordination::Min => fr.min(fc),
+            Coordination::Max => fr.max(fc),
+            Coordination::Weighted => {
+                let w = others as f64 / (others as f64 + 1.0);
+                w * fc + (1.0 - w) * fr
+            }
+            Coordination::None => unreachable!("handled above"),
+        };
+        nearest_index(target_ghz, table)
+    }
+}
+
+/// Index of the ladder entry closest to `ghz` (ties resolve to the lower
+/// frequency, favouring energy).
+pub fn nearest_index(ghz: f64, table: &[f64]) -> FreqIndex {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &f) in table.iter().enumerate() {
+        let d = (f - ghz).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    FreqIndex(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: [f64; 5] = [0.345, 0.652, 1.113, 1.574, 2.035];
+
+    #[test]
+    fn no_concurrency_applies_request() {
+        for h in [Coordination::Average, Coordination::Min, Coordination::Max] {
+            assert_eq!(h.blend(FreqIndex(0), FreqIndex(4), 0, &TABLE), FreqIndex(0));
+        }
+    }
+
+    #[test]
+    fn average_lands_between() {
+        // avg(0.345, 2.035) = 1.19 -> nearest is 1.113 (index 2).
+        let r = Coordination::Average.blend(FreqIndex(0), FreqIndex(4), 2, &TABLE);
+        assert_eq!(r, FreqIndex(2));
+    }
+
+    #[test]
+    fn min_and_max() {
+        assert_eq!(Coordination::Min.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE), FreqIndex(1));
+        assert_eq!(Coordination::Max.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE), FreqIndex(3));
+    }
+
+    #[test]
+    fn weighted_leans_to_current_with_many_tasks() {
+        // 9 others: target = 0.9*2.035 + 0.1*0.345 = 1.866 -> nearest 2.035.
+        let r = Coordination::Weighted.blend(FreqIndex(0), FreqIndex(4), 9, &TABLE);
+        assert_eq!(r, FreqIndex(4));
+        // 1 other: target = mid -> index 2.
+        let r1 = Coordination::Weighted.blend(FreqIndex(0), FreqIndex(4), 1, &TABLE);
+        assert_eq!(r1, FreqIndex(2));
+    }
+
+    #[test]
+    fn none_always_applies() {
+        assert_eq!(Coordination::None.blend(FreqIndex(0), FreqIndex(4), 5, &TABLE), FreqIndex(0));
+    }
+
+    #[test]
+    fn same_request_is_identity() {
+        assert_eq!(
+            Coordination::Average.blend(FreqIndex(3), FreqIndex(3), 7, &TABLE),
+            FreqIndex(3)
+        );
+    }
+
+    #[test]
+    fn nearest_index_snaps() {
+        assert_eq!(nearest_index(0.0, &TABLE), FreqIndex(0));
+        assert_eq!(nearest_index(1.2, &TABLE), FreqIndex(2));
+        assert_eq!(nearest_index(5.0, &TABLE), FreqIndex(4));
+    }
+}

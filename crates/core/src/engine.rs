@@ -1,0 +1,854 @@
+//! The discrete-event execution engine: XiTAO-like task runtime over the
+//! simulated platform.
+//!
+//! The engine owns per-core work queues, work stealing, moldable execution
+//! (paper §5.3), the DVFS controllers, and exact power/energy accounting. A
+//! [`Scheduler`](crate::sched::Scheduler) makes the policy decisions; the
+//! engine provides the mechanisms:
+//!
+//! * ready tasks are placed in the work queue of a (randomly chosen) core of
+//!   the scheduler-selected type, and may be stolen by other cores of a
+//!   compatible type for load balancing;
+//! * a moldable task (width > 1) recruits idle cores of the same type at
+//!   start time and partitions its work across them; the last partition to
+//!   finish completes the task and wakes dependents;
+//! * frequency requests pass through the coordination heuristic when other
+//!   tasks share the domain, then go to the (serializing) DVFS controllers;
+//! * a DVFS transition landing mid-task rescales the remaining execution
+//!   time of every affected task and updates its power draw;
+//! * rail powers are piecewise-constant between events and integrated
+//!   exactly; the INA3221-style sensor samples them every 5 ms in parallel.
+
+use crate::coordination::Coordination;
+use crate::metrics::RunReport;
+use crate::trace::{DvfsSpan, ExecTrace, TaskSpan};
+use crate::placement::{ExecutedSample, FreqCommand, Placement};
+use crate::sched::{SchedCtx, Scheduler};
+use joss_dag::{TaskGraph, TaskId};
+use joss_platform::{
+    ConfigSpace, CoreType, Duration, DvfsController, DvfsDomain, EnergyAccount, ExecContext,
+    FreqIndex, MachineModel, PowerSensor, PowerTrace, SimTime, TaskShape,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// RNG seed for core selection and steal-victim order.
+    pub seed: u64,
+    /// Frequency coordination heuristic (paper uses the arithmetic mean).
+    pub coordination: Coordination,
+    /// How long a moldable task waits for same-type cores to free up before
+    /// starting with a degraded width, microseconds.
+    pub mold_patience_us: u64,
+    /// Record a full execution trace (task spans + DVFS transitions) into
+    /// the run report. Off by default: traces grow with task count.
+    pub record_trace: bool,
+    /// Deadlock/livelock guard: abort if virtual time exceeds this.
+    pub max_virtual_time_s: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0xC0FFEE,
+            coordination: Coordination::Average,
+            mold_patience_us: 500,
+            record_trace: false,
+            max_virtual_time_s: 1.0e6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A core may have work to pick up.
+    Wake { core: usize },
+    /// A running task's partitions finish (all at once; the engine models
+    /// the "last finisher" as this single completion point). `token` is
+    /// unique per task occupancy *and* per rescale, so stale events can
+    /// never complete a different (or rescaled) occupant of a reused slot.
+    Done { slot: usize, token: u64 },
+    /// A DVFS transition took effect; running tasks must be rescaled.
+    Dvfs,
+    /// A waiting moldable task ran out of patience gathering cores.
+    MoldTimeout { mold: usize },
+    /// Scheduler timer tick (e.g. Aequitas' 1 s time slices).
+    Timer,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: Ev,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Queued {
+    task: TaskId,
+    placement: Placement,
+    /// Times this item was held back waiting for a pinned-frequency
+    /// transition (bounded to avoid ping-pong between conflicting pins).
+    pin_waits: u8,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    task: TaskId,
+    shape: TaskShape,
+    tc: CoreType,
+    width: usize,
+    cores: Vec<usize>,
+    started: SimTime,
+    finish_at: SimTime,
+    /// Unique completion-event key; regenerated on install and every rescale.
+    token: u64,
+    /// Number of mid-run DVFS rescales (perturbation marker).
+    rescales: u32,
+    fc_start: FreqIndex,
+    fm_start: FreqIndex,
+    fc_cur: FreqIndex,
+    fm_cur: FreqIndex,
+    cpu_dyn_w: f64,
+    mem_dyn_w: f64,
+    /// DRAM bandwidth this task consumes while running, GB/s.
+    mem_demand_gbs: f64,
+    ctx: ExecContext,
+    sampling: bool,
+    stolen: bool,
+}
+
+#[derive(Debug)]
+struct Core {
+    tc: CoreType,
+    queue: VecDeque<Queued>,
+    running: Option<usize>,
+    /// Reserved by a waiting moldable task (see [`WaitingMold`]).
+    reserved: bool,
+}
+
+/// A moldable task gathering cores: the leader reserves itself and waits up
+/// to the configured patience for same-type cores to join (XiTAO-style core
+/// reservation); on timeout it starts with whatever width it has.
+#[derive(Debug)]
+struct WaitingMold {
+    q: Queued,
+    tc: CoreType,
+    need: usize,
+    members: Vec<usize>,
+    stolen: bool,
+}
+
+/// The simulation engine. Create one per run via [`SimEngine::run`].
+pub struct SimEngine;
+
+impl SimEngine {
+    /// Execute `graph` on `machine` under `scheduler`; returns the full
+    /// measurement report.
+    pub fn run(
+        machine: &MachineModel,
+        graph: &TaskGraph,
+        scheduler: &mut dyn Scheduler,
+        cfg: EngineConfig,
+    ) -> RunReport {
+        let mut sim = Sim::new(machine, graph, cfg);
+        sim.main_loop(scheduler);
+        sim.into_report(scheduler, graph)
+    }
+}
+
+struct Sim<'a> {
+    machine: &'a MachineModel,
+    space: ConfigSpace,
+    graph: &'a TaskGraph,
+    cfg: EngineConfig,
+
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+
+    cores: Vec<Core>,
+    runnings: Vec<Option<Running>>,
+    free_slots: Vec<usize>,
+    molds: Vec<Option<WaitingMold>>,
+    next_token: u64,
+    trace_rec: Option<ExecTrace>,
+
+    ctrl: [DvfsController; 2],
+    ctrl_mem: DvfsController,
+
+    indegree: Vec<u32>,
+    completed: usize,
+
+    trace: PowerTrace,
+    sensor: PowerSensor,
+    rng: StdRng,
+
+    // Report counters.
+    steals: u64,
+    tasks_per_type: [usize; 2],
+    sampling_time_s: f64,
+    total_task_time_s: f64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(machine: &'a MachineModel, graph: &'a TaskGraph, cfg: EngineConfig) -> Self {
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let mut cores = Vec::new();
+        for _ in 0..machine.spec.cluster(CoreType::Big).n_cores {
+            cores.push(Core {
+                tc: CoreType::Big,
+                queue: VecDeque::new(),
+                running: None,
+                reserved: false,
+            });
+        }
+        for _ in 0..machine.spec.cluster(CoreType::Little).n_cores {
+            cores.push(Core {
+                tc: CoreType::Little,
+                queue: VecDeque::new(),
+                running: None,
+                reserved: false,
+            });
+        }
+        // Paper §6.1: frequencies start at maximum before each benchmark.
+        let cpu_lat = Duration::from_micros(machine.spec.cpu_dvfs_latency_us);
+        let mem_lat = Duration::from_micros(machine.spec.mem_dvfs_latency_us);
+        let ctrl = [
+            DvfsController::new(DvfsDomain::ClusterBig, space.fc_max(), cpu_lat),
+            DvfsController::new(DvfsDomain::ClusterLittle, space.fc_max(), cpu_lat),
+        ];
+        let ctrl_mem = DvfsController::new(DvfsDomain::Memory, space.fm_max(), mem_lat);
+        let sensor = PowerSensor::new(Duration::from_millis(machine.spec.sensor_period_ms));
+        let seed = cfg.seed;
+        let record_trace = cfg.record_trace;
+        Sim {
+            machine,
+            space,
+            graph,
+            cfg,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            cores,
+            runnings: Vec::new(),
+            free_slots: Vec::new(),
+            molds: Vec::new(),
+            next_token: 0,
+            trace_rec: record_trace.then(ExecTrace::default),
+            ctrl,
+            ctrl_mem,
+            indegree: graph.indegrees().to_vec(),
+            completed: 0,
+            trace: PowerTrace::new(false),
+            sensor,
+            rng: StdRng::seed_from_u64(seed),
+            steals: 0,
+            tasks_per_type: [0, 0],
+            sampling_time_s: 0.0,
+            total_task_time_s: 0.0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+    }
+
+    fn running_tasks(&self) -> usize {
+        self.runnings.iter().filter(|r| r.is_some()).count()
+    }
+
+    fn sched_ctx(&self) -> SchedCtx<'_> {
+        SchedCtx {
+            space: &self.space,
+            graph: self.graph,
+            now_s: self.now.as_secs_f64(),
+            running_tasks: self.running_tasks(),
+            settled_fc: [self.ctrl[0].settled_freq(), self.ctrl[1].settled_freq()],
+            settled_fm: self.ctrl_mem.settled_freq(),
+            queue_lens: self.cores.iter().map(|c| c.queue.len()).collect(),
+            core_busy: self.cores.iter().map(|c| c.running.is_some()).collect(),
+            core_tc: self.cores.iter().map(|c| c.tc).collect(),
+        }
+    }
+
+    fn main_loop(&mut self, sched: &mut dyn Scheduler) {
+        // Seed the system: place roots, wake all cores.
+        let roots: Vec<TaskId> = self.graph.roots().collect();
+        for t in roots {
+            self.make_ready(sched, t);
+        }
+        for c in 0..self.cores.len() {
+            self.push(SimTime::ZERO, Ev::Wake { core: c });
+        }
+        if let Some(interval) = sched.timer_interval() {
+            self.push(SimTime::ZERO + interval, Ev::Timer);
+        }
+
+        let n = self.graph.n_tasks();
+        let deadline = SimTime::from_secs_f64(self.cfg.max_virtual_time_s);
+        while self.completed < n {
+            let Reverse(ev) = self.heap.pop().unwrap_or_else(|| {
+                panic!(
+                    "scheduler deadlock: {} of {} tasks completed, no events pending",
+                    self.completed, n
+                )
+            });
+            assert!(ev.at <= deadline, "virtual-time guard exceeded: possible livelock");
+            // Integrate power up to the event, with pre-event rail values.
+            let held = self.trace.current();
+            self.sensor.advance_to(ev.at, |_| held);
+            self.trace.advance(ev.at);
+            self.now = ev.at;
+
+            match ev.kind {
+                Ev::Wake { core } => self.try_dispatch(sched, core),
+                Ev::Done { slot, token } => self.handle_done(sched, slot, token),
+                Ev::Dvfs => self.rescale_all(),
+                Ev::MoldTimeout { mold } => {
+                    // Patience exhausted: start with the gathered width.
+                    if let Some(m) = self.molds[mold].take() {
+                        self.launch(sched, m.q, m.members, m.stolen);
+                    }
+                }
+                Ev::Timer => {
+                    let mut ctx = self.sched_ctx();
+                    let cmds = sched.on_timer(&mut ctx);
+                    for cmd in cmds {
+                        self.apply_freq_command(cmd);
+                    }
+                    if self.completed < n {
+                        if let Some(interval) = sched.timer_interval() {
+                            self.push(self.now + interval, Ev::Timer);
+                        }
+                    }
+                }
+            }
+            // Rail powers may have changed; commit the new level.
+            let watts = self.rail_powers();
+            self.trace.set(self.now, watts);
+        }
+    }
+
+    /// A task's dependencies are all satisfied: ask the scheduler for a
+    /// placement and enqueue it.
+    fn make_ready(&mut self, sched: &mut dyn Scheduler, task: TaskId) {
+        let placement = {
+            let mut ctx = self.sched_ctx();
+            sched.place(&mut ctx, task)
+        };
+        let core = self.pick_home_core(placement.tc);
+        self.cores[core].queue.push_back(Queued { task, placement, pin_waits: 0 });
+        self.push(self.now, Ev::Wake { core });
+    }
+
+    /// Random core of the requested type (or of any type), as the paper's
+    /// random-queue placement.
+    fn pick_home_core(&mut self, tc: Option<CoreType>) -> usize {
+        match tc {
+            None => self.rng.gen_range(0..self.cores.len()),
+            Some(t) => {
+                let candidates: Vec<usize> = self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.tc == t)
+                    .map(|(i, _)| i)
+                    .collect();
+                candidates[self.rng.gen_range(0..candidates.len())]
+            }
+        }
+    }
+
+    /// Try to give an idle core work: join a waiting moldable task first,
+    /// then own queue, then steal.
+    fn try_dispatch(&mut self, sched: &mut dyn Scheduler, core: usize) {
+        if self.cores[core].running.is_some() || self.cores[core].reserved {
+            return;
+        }
+        // Waiting moldable tasks of my type have priority (core reservation).
+        let my_tc = self.cores[core].tc;
+        let joinable = self
+            .molds
+            .iter()
+            .position(|m| m.as_ref().is_some_and(|m| m.tc == my_tc && m.members.len() < m.need));
+        if let Some(mi) = joinable {
+            self.cores[core].reserved = true;
+            let full = {
+                let m = self.molds[mi].as_mut().expect("present");
+                m.members.push(core);
+                m.members.len() >= m.need
+            };
+            if full {
+                let m = self.molds[mi].take().expect("present");
+                self.launch(sched, m.q, m.members, m.stolen);
+            }
+            return;
+        }
+        if let Some(q) = self.cores[core].queue.pop_front() {
+            if self.revise_and_route(sched, core, q, false) {
+                return;
+            }
+            // Task was re-routed to another cluster; try for more work now.
+            self.push(self.now, Ev::Wake { core });
+            return;
+        }
+        // Steal: visit victims in random order; take the oldest compatible
+        // item. Typed placements may only be stolen by cores of the same
+        // type (paper §5.3); untyped (GRWS) items move anywhere.
+        let mut victims: Vec<usize> =
+            (0..self.cores.len()).filter(|&v| v != core).collect();
+        // Fisher-Yates with the engine RNG for deterministic victim order.
+        for i in (1..victims.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            victims.swap(i, j);
+        }
+        for v in victims {
+            let pos = self.cores[v]
+                .queue
+                .iter()
+                .position(|q| q.placement.tc.map_or(true, |t| t == my_tc));
+            if let Some(pos) = pos {
+                let q = self.cores[v].queue.remove(pos).expect("position valid");
+                self.steals += 1;
+                if !self.revise_and_route(sched, core, q, true) {
+                    self.push(self.now, Ev::Wake { core });
+                }
+                return;
+            }
+        }
+        // Nothing to do: the core sleeps until a Wake event.
+    }
+
+    /// Give the scheduler a dispatch-time chance to revise the placement.
+    /// Returns `true` if the task started on `core`; `false` if it was
+    /// re-routed to a core of the revised type.
+    fn revise_and_route(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        core: usize,
+        mut q: Queued,
+        stolen: bool,
+    ) -> bool {
+        let revised = {
+            let mut ctx = self.sched_ctx();
+            sched.revise(&mut ctx, q.task, q.placement)
+        };
+        q.placement = revised;
+        let my_tc = self.cores[core].tc;
+        if let Some(want_tc) = revised.tc {
+            if want_tc != my_tc {
+                let target = self.pick_home_core(Some(want_tc));
+                self.cores[target].queue.push_back(q);
+                self.push(self.now, Ev::Wake { core: target });
+                return false;
+            }
+        }
+        self.start_task(sched, core, q, stolen);
+        true
+    }
+
+    /// Begin executing a task on `leader`, recruiting idle same-type cores
+    /// up to the requested moldable width.
+    fn start_task(&mut self, sched: &mut dyn Scheduler, leader: usize, q: Queued, stolen: bool) {
+        let task = q.task;
+        let kernel_id = self.graph.kernel_of(task);
+        let spec = self.graph.kernel(kernel_id);
+        let tc = self.cores[leader].tc;
+        let cluster_size = self.machine.spec.cluster(tc).n_cores;
+        let width_req = q.placement.width.min(spec.max_width).min(cluster_size).max(1);
+
+        // Pinned (sampling) placements must measure at exactly the requested
+        // frequencies: issue the requests and, if a transition is needed,
+        // hold the task until it takes effect (the paper's sampler pins the
+        // cluster frequency before timing).
+        if let (Some((want_fc, want_fm)), false) = (q.placement.freq, q.placement.coordinate) {
+            let r1 = self.ctrl[tc.index()].request(want_fc, self.now);
+            let r2 = self.ctrl_mem.request(want_fm, self.now);
+            if r1.transitioned {
+                self.push(r1.effective_at, Ev::Dvfs);
+                self.note_dvfs(tc.index(), r1.effective_at, want_fc);
+            }
+            if r2.transitioned {
+                self.push(r2.effective_at, Ev::Dvfs);
+                self.note_dvfs(2, r2.effective_at, want_fm);
+            }
+            let settle = r1.effective_at.max(r2.effective_at);
+            let pending = self.ctrl[tc.index()].freq_at(self.now) != want_fc
+                || self.ctrl_mem.freq_at(self.now) != want_fm;
+            if pending && settle > self.now && q.pin_waits < 3 {
+                let mut q = q;
+                q.pin_waits += 1;
+                self.cores[leader].queue.push_front(q);
+                self.push(settle, Ev::Wake { core: leader });
+                return;
+            }
+        }
+
+        // Gather cores for moldable execution: take currently free same-type
+        // cores immediately; if short, reserve and wait (bounded patience)
+        // for cores to finish their current tasks and join.
+        let mut members = vec![leader];
+        if width_req > 1 {
+            for i in 0..self.cores.len() {
+                if members.len() >= width_req {
+                    break;
+                }
+                let c = &self.cores[i];
+                if i != leader && c.tc == tc && c.running.is_none() && !c.reserved {
+                    members.push(i);
+                }
+            }
+            if members.len() < width_req {
+                for &m in &members {
+                    self.cores[m].reserved = true;
+                }
+                let mold = WaitingMold { q, tc, need: width_req, members, stolen };
+                let mi = if let Some(free) = self.molds.iter().position(|m| m.is_none()) {
+                    self.molds[free] = Some(mold);
+                    free
+                } else {
+                    self.molds.push(Some(mold));
+                    self.molds.len() - 1
+                };
+                // Patience: at least the configured floor, and long enough
+                // for every same-cluster task currently running to finish
+                // and join (cores join waiting molds before taking new
+                // work, so this bounds the wait without deadlock).
+                let mut deadline = self.now + Duration::from_micros(self.cfg.mold_patience_us);
+                for r in self.runnings.iter().flatten() {
+                    if r.tc == tc {
+                        deadline = deadline.max(r.finish_at + Duration::from_micros(10));
+                    }
+                }
+                self.push(deadline, Ev::MoldTimeout { mold: mi });
+                return;
+            }
+        }
+        self.launch(sched, q, members, stolen);
+    }
+
+    /// Execute a task on the gathered member cores: issue coordinated
+    /// frequency requests, compute the execution sample, and commit it.
+    fn launch(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        q: Queued,
+        members: Vec<usize>,
+        stolen: bool,
+    ) {
+        let task = q.task;
+        let kernel_id = self.graph.kernel_of(task);
+        let spec = self.graph.kernel(kernel_id);
+        let leader = members[0];
+        let tc = self.cores[leader].tc;
+        let width = members.len();
+
+        // Coordinated frequency requests: blend with the current setting when
+        // other tasks share the domain (paper §5.3).
+        if let (Some((want_fc, want_fm)), true) = (q.placement.freq, q.placement.coordinate) {
+            let others_cluster = self
+                .runnings
+                .iter()
+                .flatten()
+                .filter(|r| r.tc == tc)
+                .count();
+            let others_mem = self.running_tasks();
+            let fc_t = self.cfg.coordination.blend(
+                want_fc,
+                self.ctrl[tc.index()].settled_freq(),
+                others_cluster,
+                &self.space.cpu_freqs_ghz,
+            );
+            let fm_t = self.cfg.coordination.blend(
+                want_fm,
+                self.ctrl_mem.settled_freq(),
+                others_mem,
+                &self.space.mem_freqs_ghz,
+            );
+            let r1 = self.ctrl[tc.index()].request(fc_t, self.now);
+            if r1.transitioned {
+                self.push(r1.effective_at, Ev::Dvfs);
+                self.note_dvfs(tc.index(), r1.effective_at, fc_t);
+            }
+            let r2 = self.ctrl_mem.request(fm_t, self.now);
+            if r2.transitioned {
+                self.push(r2.effective_at, Ev::Dvfs);
+                self.note_dvfs(2, r2.effective_at, fm_t);
+            }
+        }
+
+        // Execute at the frequencies in effect *now*; a transition landing
+        // later rescales the remainder.
+        let fc_now = self.ctrl[tc.index()].freq_at(self.now);
+        let fm_now = self.ctrl_mem.freq_at(self.now);
+        let shape = spec.scaled_shape(self.graph.scale_of(task));
+        // DRAM contention context: aggregate bandwidth demand of the other
+        // running tasks (each task's demand was computed when it started).
+        let other_demand_gbs = self
+            .runnings
+            .iter()
+            .flatten()
+            .map(|r| r.mem_demand_gbs)
+            .sum::<f64>();
+        let ctx = ExecContext { other_demand_gbs };
+        let exec = self.machine.execute(
+            &shape,
+            tc,
+            width,
+            self.space.fc_ghz(fc_now),
+            self.space.fm_ghz(fm_now),
+            &ctx,
+            &[task.0 as u64, tc.index() as u64, width as u64, fc_now.0 as u64, fm_now.0 as u64],
+        );
+
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.runnings.push(None);
+            self.runnings.len() - 1
+        });
+        let duration_s = exec.duration.as_secs_f64().max(1e-12);
+        self.next_token += 1;
+        let running = Running {
+            task,
+            shape,
+            tc,
+            width,
+            cores: members.clone(),
+            started: self.now,
+            finish_at: self.now + exec.duration,
+            token: self.next_token,
+            rescales: 0,
+            fc_start: fc_now,
+            fm_start: fm_now,
+            fc_cur: fc_now,
+            fm_cur: fm_now,
+            cpu_dyn_w: exec.cpu_dyn_w,
+            mem_dyn_w: exec.mem_dyn_w,
+            mem_demand_gbs: shape.bytes_gb / duration_s,
+            ctx,
+            sampling: !q.placement.coordinate,
+            stolen,
+        };
+        let finish_at = running.finish_at;
+        let token = running.token;
+        self.runnings[slot] = Some(running);
+        for &m in &members {
+            self.cores[m].running = Some(slot);
+            self.cores[m].reserved = false;
+        }
+        self.tasks_per_type[tc.index()] += 1;
+        self.push(finish_at, Ev::Done { slot, token });
+
+        let mut ctx2 = self.sched_ctx();
+        sched.task_started(&mut ctx2, task, leader, stolen);
+    }
+
+    /// A task's partitions all finished: free cores, notify the scheduler,
+    /// wake dependents.
+    fn handle_done(&mut self, sched: &mut dyn Scheduler, slot: usize, token: u64) {
+        let valid = matches!(&self.runnings[slot], Some(r) if r.token == token);
+        if !valid {
+            return; // stale event (rescaled, or a later occupant of the slot)
+        }
+        let r = self.runnings[slot].take().expect("checked above");
+        self.free_slots.push(slot);
+        for &c in &r.cores {
+            self.cores[c].running = None;
+            self.push(self.now, Ev::Wake { core: c });
+        }
+        let duration_s = self.now.since(r.started).as_secs_f64();
+        self.total_task_time_s += duration_s;
+        if r.sampling {
+            self.sampling_time_s += duration_s;
+        }
+        self.completed += 1;
+
+        let sample = ExecutedSample {
+            task: r.task,
+            kernel: self.graph.kernel_of(r.task),
+            tc: r.tc,
+            width: r.width,
+            fc_start: r.fc_start,
+            fm_start: r.fm_start,
+            fc_end: self.ctrl[r.tc.index()].freq_at(self.now),
+            fm_end: self.ctrl_mem.freq_at(self.now),
+            duration_s,
+            started_s: r.started.as_secs_f64(),
+            stolen: r.stolen,
+            perturbed: r.rescales > 0,
+            scale: self.graph.scale_of(r.task),
+        };
+        if let Some(tr) = &mut self.trace_rec {
+            tr.tasks.push(TaskSpan {
+                task: r.task,
+                kernel: self.graph.kernel(self.graph.kernel_of(r.task)).name.clone(),
+                core: r.cores[0],
+                cores: r.cores.clone(),
+                tc: r.tc,
+                start_s: r.started.as_secs_f64(),
+                end_s: self.now.as_secs_f64(),
+                fc: r.fc_start,
+                fm: r.fm_start,
+                sampling: r.sampling,
+            });
+        }
+        {
+            let mut ctx = self.sched_ctx();
+            sched.task_completed(&mut ctx, &sample);
+        }
+
+        // Wake dependents whose last dependency this was.
+        let succs: Vec<TaskId> = self.graph.successors(r.task).to_vec();
+        for s in succs {
+            let d = &mut self.indegree[s.index()];
+            debug_assert!(*d > 0, "dependency counting underflow");
+            *d -= 1;
+            if *d == 0 {
+                self.make_ready(sched, s);
+            }
+        }
+    }
+
+    fn apply_freq_command(&mut self, cmd: FreqCommand) {
+        let (req, domain, freq) = match cmd {
+            FreqCommand::Cluster(tc, f) => {
+                (self.ctrl[tc.index()].request(f, self.now), tc.index(), f)
+            }
+            FreqCommand::Memory(f) => (self.ctrl_mem.request(f, self.now), 2, f),
+        };
+        if req.transitioned {
+            self.push(req.effective_at, Ev::Dvfs);
+            self.note_dvfs(domain, req.effective_at, freq);
+        }
+    }
+
+    /// Record a DVFS transition in the trace (if recording).
+    fn note_dvfs(&mut self, domain: usize, at: SimTime, freq: FreqIndex) {
+        if let Some(tr) = &mut self.trace_rec {
+            tr.dvfs.push(DvfsSpan { domain, at_s: at.as_secs_f64(), freq });
+        }
+    }
+
+    /// A DVFS transition took effect: rescale every running task whose
+    /// effective frequencies changed and refresh its power draw.
+    fn rescale_all(&mut self) {
+        let n_slots = self.runnings.len();
+        let mut self_token = self.next_token;
+        for slot in 0..n_slots {
+            let Some(r) = &self.runnings[slot] else { continue };
+            let fc_new = self.ctrl[r.tc.index()].freq_at(self.now);
+            let fm_new = self.ctrl_mem.freq_at(self.now);
+            if fc_new == r.fc_cur && fm_new == r.fm_cur {
+                continue;
+            }
+            let r = self.runnings[slot].as_mut().expect("present");
+            let t_old = self.machine.clean_time_s(
+                &r.shape,
+                r.tc,
+                r.width,
+                self.space.cpu_freqs_ghz[r.fc_cur.0],
+                self.space.mem_freqs_ghz[r.fm_cur.0],
+                &r.ctx,
+            );
+            let t_new = self.machine.clean_time_s(
+                &r.shape,
+                r.tc,
+                r.width,
+                self.space.cpu_freqs_ghz[fc_new.0],
+                self.space.mem_freqs_ghz[fm_new.0],
+                &r.ctx,
+            );
+            let remaining = r.finish_at.since(self.now.min(r.finish_at)).as_secs_f64();
+            let remaining_new = if t_old > 0.0 { remaining * t_new / t_old } else { remaining };
+            r.finish_at = self.now + joss_platform::Duration::from_secs_f64(remaining_new);
+            r.rescales += 1;
+            // Refresh power draw at the new operating point (deterministic:
+            // keyed by task and configuration).
+            let exec = self.machine.execute(
+                &r.shape,
+                r.tc,
+                r.width,
+                self.space.cpu_freqs_ghz[fc_new.0],
+                self.space.mem_freqs_ghz[fm_new.0],
+                &r.ctx,
+                &[
+                    r.task.0 as u64,
+                    r.tc.index() as u64,
+                    r.width as u64,
+                    fc_new.0 as u64,
+                    fm_new.0 as u64,
+                ],
+            );
+            r.cpu_dyn_w = exec.cpu_dyn_w;
+            r.mem_dyn_w = exec.mem_dyn_w;
+            r.mem_demand_gbs = r.shape.bytes_gb / r.finish_at.since(r.started).as_secs_f64().max(1e-12);
+            r.fc_cur = fc_new;
+            r.fm_cur = fm_new;
+            r.token = {
+                self_token += 1;
+                self_token
+            };
+            let (finish_at, token) = (r.finish_at, r.token);
+            self.push(finish_at, Ev::Done { slot, token });
+        }
+        self.next_token = self_token;
+    }
+
+    /// Instantaneous rail powers: per-cluster idle + running dynamic CPU
+    /// power; memory background + running dynamic memory power.
+    fn rail_powers(&self) -> [f64; 3] {
+        let fc_big = self.space.cpu_freqs_ghz[self.ctrl[0].freq_at(self.now).0];
+        let fc_little = self.space.cpu_freqs_ghz[self.ctrl[1].freq_at(self.now).0];
+        let fm = self.space.mem_freqs_ghz[self.ctrl_mem.freq_at(self.now).0];
+        let mut big = self.machine.cluster_idle_w(CoreType::Big, fc_big);
+        let mut little = self.machine.cluster_idle_w(CoreType::Little, fc_little);
+        let mut mem = self.machine.mem_idle_w(fm);
+        for r in self.runnings.iter().flatten() {
+            match r.tc {
+                CoreType::Big => big += r.cpu_dyn_w,
+                CoreType::Little => little += r.cpu_dyn_w,
+            }
+            mem += r.mem_dyn_w;
+        }
+        [big, little, mem]
+    }
+
+    fn into_report(self, sched: &mut dyn Scheduler, graph: &TaskGraph) -> RunReport {
+        let energy = EnergyAccount::from_measurements(&self.trace, &self.sensor, self.now);
+        RunReport {
+            scheduler: sched.name().to_string(),
+            benchmark: graph.name().to_string(),
+            energy,
+            tasks: self.completed,
+            tasks_per_type: self.tasks_per_type,
+            steals: self.steals,
+            dvfs_transitions: self.ctrl[0].n_transitions
+                + self.ctrl[1].n_transitions
+                + self.ctrl_mem.n_transitions,
+            dvfs_serialized: self.ctrl[0].n_serialized
+                + self.ctrl[1].n_serialized
+                + self.ctrl_mem.n_serialized,
+            sampling_time_s: self.sampling_time_s,
+            total_task_time_s: self.total_task_time_s,
+            search_evaluations: sched.search_evaluations(),
+            selected_configs: sched.selected_configs(),
+            trace: self.trace_rec,
+        }
+    }
+}

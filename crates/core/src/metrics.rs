@@ -1,0 +1,122 @@
+//! Run reports: the measurement record of one application execution.
+
+use crate::trace::ExecTrace;
+use joss_platform::{EnergyAccount, KnobConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything measured about one run of a task graph under one scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Benchmark (graph) name.
+    pub benchmark: String,
+    /// Energy/makespan account (exact and sensor-sampled).
+    pub energy: EnergyAccount,
+    /// Number of completed tasks.
+    pub tasks: usize,
+    /// Tasks executed per core type: `[big, little]`.
+    pub tasks_per_type: [usize; 2],
+    /// Number of successful steals.
+    pub steals: u64,
+    /// DVFS transitions performed across all domains.
+    pub dvfs_transitions: u64,
+    /// DVFS requests that serialized behind an in-flight transition.
+    pub dvfs_serialized: u64,
+    /// Total task-execution seconds spent in sampling runs.
+    pub sampling_time_s: f64,
+    /// Sum of all task execution durations (for sampling-fraction math).
+    pub total_task_time_s: f64,
+    /// Configuration-search evaluations performed by the scheduler.
+    pub search_evaluations: u64,
+    /// Per-kernel configuration finally selected by the scheduler (empty for
+    /// model-free schedulers). Keyed by kernel name.
+    pub selected_configs: BTreeMap<String, KnobConfig>,
+    /// Full execution trace, when recording was enabled in [`crate::engine::EngineConfig`].
+    pub trace: Option<ExecTrace>,
+}
+
+impl RunReport {
+    /// Total energy (CPU + memory), joules.
+    pub fn total_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Fraction of task execution time spent sampling (paper §5.1 reports
+    /// 0.8% on average).
+    pub fn sampling_fraction(&self) -> f64 {
+        if self.total_task_time_s <= 0.0 {
+            0.0
+        } else {
+            self.sampling_time_s / self.total_task_time_s
+        }
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} {:<14} E={:>9.3} J (cpu {:>8.3} + mem {:>8.3})  t={:>8.4} s  steals={} dvfs={} sampling={:.2}%",
+            self.scheduler,
+            self.benchmark,
+            self.total_j(),
+            self.energy.cpu_j,
+            self.energy.mem_j,
+            self.energy.makespan_s,
+            self.steals,
+            self.dvfs_transitions,
+            100.0 * self.sampling_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            scheduler: "test".into(),
+            benchmark: "bench".into(),
+            energy: EnergyAccount {
+                cpu_j: 10.0,
+                mem_j: 5.0,
+                cpu_sampled_j: 10.1,
+                mem_sampled_j: 4.9,
+                makespan_s: 2.0,
+            },
+            tasks: 100,
+            tasks_per_type: [40, 60],
+            steals: 7,
+            dvfs_transitions: 3,
+            dvfs_serialized: 1,
+            sampling_time_s: 0.01,
+            total_task_time_s: 2.0,
+            search_evaluations: 42,
+            selected_configs: BTreeMap::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = report();
+        assert!((r.total_j() - 15.0).abs() < 1e-12);
+        assert!((r.sampling_fraction() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_task_time_fraction_is_zero() {
+        let mut r = report();
+        r.total_task_time_s = 0.0;
+        assert_eq!(r.sampling_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = report().summary();
+        assert!(s.contains("test"));
+        assert!(s.contains("bench"));
+        assert!(s.contains("15.000"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Scheduler decision types: placements, frequency requests, and the
+//! measured samples fed back to schedulers.
+
+use joss_dag::{KernelId, TaskId};
+use joss_platform::{CoreType, FreqIndex};
+use serde::{Deserialize, Serialize};
+
+/// Where and how a ready task should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Core type to run on; `None` lets the task run (and be stolen) anywhere
+    /// — the GRWS behaviour.
+    pub tc: Option<CoreType>,
+    /// Desired moldable width (number of cores). The engine recruits up to
+    /// this many idle cores of the chosen type at start time; execution
+    /// degrades gracefully to fewer cores when none are idle.
+    pub width: usize,
+    /// Frequencies to request when the task starts: `(fC, fM)`.
+    /// `None` leaves the current settings untouched.
+    pub freq: Option<(FreqIndex, FreqIndex)>,
+    /// Whether the frequency request participates in the coordination
+    /// heuristic (§5.3). Sampling runs pin frequencies exactly and set this
+    /// to `false`.
+    pub coordinate: bool,
+}
+
+impl Placement {
+    /// GRWS-style placement: any single core, frequencies untouched.
+    pub fn anywhere() -> Self {
+        Placement { tc: None, width: 1, freq: None, coordinate: true }
+    }
+
+    /// Typed placement without frequency throttling.
+    pub fn on(tc: CoreType, width: usize) -> Self {
+        Placement { tc: Some(tc), width, freq: None, coordinate: true }
+    }
+
+    /// Typed placement with a coordinated frequency request.
+    pub fn throttled(tc: CoreType, width: usize, fc: FreqIndex, fm: FreqIndex) -> Self {
+        Placement { tc: Some(tc), width, freq: Some((fc, fm)), coordinate: true }
+    }
+
+    /// Sampling placement: pinned frequencies, no coordination.
+    pub fn pinned(tc: CoreType, width: usize, fc: FreqIndex, fm: FreqIndex) -> Self {
+        Placement { tc: Some(tc), width, freq: Some((fc, fm)), coordinate: false }
+    }
+}
+
+/// A frequency command issued outside task placement (e.g. Aequitas'
+/// time-sliced cluster throttling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreqCommand {
+    /// Set a CPU cluster frequency.
+    Cluster(CoreType, FreqIndex),
+    /// Set the memory frequency.
+    Memory(FreqIndex),
+}
+
+/// What the runtime measured about one completed task — everything a
+/// scheduler may learn from (no oracle access).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedSample {
+    /// The completed task.
+    pub task: TaskId,
+    /// Its kernel.
+    pub kernel: KernelId,
+    /// Core type it ran on.
+    pub tc: CoreType,
+    /// Achieved moldable width.
+    pub width: usize,
+    /// Cluster frequency when the task started.
+    pub fc_start: FreqIndex,
+    /// Memory frequency when the task started.
+    pub fm_start: FreqIndex,
+    /// Cluster frequency when the task finished (differs from `fc_start` if
+    /// a DVFS transition landed mid-run — such samples are "dirty" for MB
+    /// estimation).
+    pub fc_end: FreqIndex,
+    /// Memory frequency when the task finished.
+    pub fm_end: FreqIndex,
+    /// Measured execution time, seconds.
+    pub duration_s: f64,
+    /// Start timestamp, seconds.
+    pub started_s: f64,
+    /// Whether the executing core stole the task from another queue.
+    pub stolen: bool,
+    /// Whether any DVFS transition landed mid-run (even if the start and end
+    /// frequencies happen to match, the measurement is contaminated).
+    pub perturbed: bool,
+    /// Size scale of the task relative to the kernel's unit shape; samplers
+    /// normalize measured durations by this so that differently sized
+    /// invocations of one kernel stay comparable.
+    pub scale: f64,
+}
+
+impl ExecutedSample {
+    /// True when no DVFS transition disturbed the measurement.
+    pub fn is_clean(&self) -> bool {
+        !self.perturbed && self.fc_start == self.fc_end && self.fm_start == self.fm_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let p = Placement::anywhere();
+        assert_eq!(p.tc, None);
+        assert_eq!(p.width, 1);
+        assert!(p.coordinate);
+
+        let s = Placement::pinned(CoreType::Big, 2, FreqIndex(1), FreqIndex(0));
+        assert!(!s.coordinate);
+        assert_eq!(s.freq, Some((FreqIndex(1), FreqIndex(0))));
+
+        let t = Placement::throttled(CoreType::Little, 4, FreqIndex(2), FreqIndex(1));
+        assert!(t.coordinate);
+        assert_eq!(t.tc, Some(CoreType::Little));
+    }
+
+    #[test]
+    fn clean_sample_detection() {
+        let mut s = ExecutedSample {
+            task: TaskId(0),
+            kernel: KernelId(0),
+            tc: CoreType::Big,
+            width: 1,
+            fc_start: FreqIndex(4),
+            fm_start: FreqIndex(2),
+            fc_end: FreqIndex(4),
+            fm_end: FreqIndex(2),
+            duration_s: 0.01,
+            started_s: 0.0,
+            stolen: false,
+            perturbed: false,
+            scale: 1.0,
+        };
+        assert!(s.is_clean());
+        s.fc_end = FreqIndex(3);
+        assert!(!s.is_clean());
+        s.fc_end = s.fc_start;
+        s.perturbed = true;
+        assert!(!s.is_clean(), "mid-run transitions contaminate even matching endpoints");
+    }
+}

@@ -1,0 +1,344 @@
+//! Online per-kernel sampling (paper §5.1).
+//!
+//! Model-based schedulers need, for each kernel, execution times sampled at
+//! specific `<TC, NC>` placements and (for DVFS-aware schedulers) at two core
+//! frequencies. [`KernelSampler`] is the bookkeeping state machine: it hands
+//! out sampling placements cell by cell, matches completed tasks back to
+//! cells, rejects "dirty" samples disturbed by concurrent DVFS transitions
+//! or degraded moldable width (with bounded retries), and reports completion.
+
+use crate::placement::{ExecutedSample, Placement};
+use joss_platform::{ConfigSpace, CoreType, FreqIndex, NcIndex};
+use serde::{Deserialize, Serialize};
+
+/// Accept a frequency-contaminated sample after this many rejected attempts
+/// (the measurement is still of the right placement, just noisier).
+const MAX_RETRIES: u8 = 3;
+/// Give up on a cell entirely after this many attempts when the *placement*
+/// itself cannot be realized (e.g. the moldable width is never available);
+/// the cell is marked failed and its configurations are excluded.
+const MAX_ATTEMPTS: u8 = 8;
+
+/// One sampling requirement: run the kernel once at this placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleCell {
+    /// Core type to sample on.
+    pub tc: CoreType,
+    /// NC index (dense per-type core-count choice).
+    pub nc: NcIndex,
+    /// Cores the cell needs (denormalized from `nc` for width checks).
+    pub width: usize,
+    /// Core frequency to pin, or `None` to leave frequencies alone
+    /// (ERASE samples at whatever is current — the maximum).
+    pub fc: Option<FreqIndex>,
+    /// Memory frequency to pin while sampling (used only when `fc` is set).
+    pub fm: FreqIndex,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CellState {
+    time_s: Option<f64>,
+    inflight: bool,
+    retries: u8,
+    failed: bool,
+}
+
+/// Sampling progress for one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSampler {
+    plan: Vec<SampleCell>,
+    state: Vec<CellState>,
+}
+
+impl KernelSampler {
+    /// New sampler over an explicit plan.
+    pub fn new(plan: Vec<SampleCell>) -> Self {
+        let state = vec![CellState::default(); plan.len()];
+        KernelSampler { plan, state }
+    }
+
+    /// The two-frequency plan of JOSS/STEER: for every admissible `<TC,NC>`
+    /// sample once at `fc_ref` and once at `fc_alt` (memory pinned at
+    /// `fm_ref`). All `fc_ref` cells come first, matching the paper's
+    /// cluster-by-cluster sampling order.
+    pub fn two_freq_plan(
+        space: &ConfigSpace,
+        max_width: usize,
+        fc_ref: FreqIndex,
+        fc_alt: FreqIndex,
+        fm_ref: FreqIndex,
+    ) -> Self {
+        let mut plan = Vec::new();
+        for phase_fc in [fc_ref, fc_alt] {
+            for (tc, nc) in space.iter_tc_nc() {
+                let width = space.nc_count(tc, nc);
+                if width > max_width {
+                    continue;
+                }
+                plan.push(SampleCell { tc, nc, width, fc: Some(phase_fc), fm: fm_ref });
+            }
+        }
+        Self::new(plan)
+    }
+
+    /// The ERASE plan: one sample per admissible `<TC,NC>` at the current
+    /// (maximum) frequencies, no DVFS pinning.
+    pub fn max_freq_plan(space: &ConfigSpace, max_width: usize) -> Self {
+        let mut plan = Vec::new();
+        for (tc, nc) in space.iter_tc_nc() {
+            let width = space.nc_count(tc, nc);
+            if width > max_width {
+                continue;
+            }
+            plan.push(SampleCell { tc, nc, width, fc: None, fm: FreqIndex(0) });
+        }
+        Self::new(plan)
+    }
+
+    /// Claim the next cell needing a sample; returns its index. The caller
+    /// must eventually call [`KernelSampler::record`] (or
+    /// [`KernelSampler::abandon`]) with this index.
+    ///
+    /// Cells are handed out in strict *phase order*: a cell pinning a
+    /// different core frequency than an earlier incomplete cell is not
+    /// released until every earlier phase settled. This reproduces the
+    /// paper's sampling discipline (all kernels at `fC` first, then `fC'`)
+    /// and prevents retries of one phase from perturbing measurements of the
+    /// next with conflicting DVFS pins.
+    pub fn next_cell(&mut self) -> Option<usize> {
+        for i in 0..self.plan.len() {
+            let st = self.state[i];
+            if st.time_s.is_some() || st.failed {
+                continue;
+            }
+            // Gate on earlier phases: any unfinished earlier cell with a
+            // different frequency pin blocks this one.
+            let blocked = (0..i).any(|j| {
+                self.plan[j].fc != self.plan[i].fc
+                    && self.state[j].time_s.is_none()
+                    && !self.state[j].failed
+            });
+            if blocked {
+                return None;
+            }
+            if !st.inflight {
+                self.state[i].inflight = true;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// The placement realizing a cell.
+    pub fn placement_for(&self, cell: usize) -> Placement {
+        let c = self.plan[cell];
+        match c.fc {
+            Some(fc) => Placement::pinned(c.tc, c.width, fc, c.fm),
+            None => Placement::on(c.tc, c.width),
+        }
+    }
+
+    /// Feed back a completed sampling task. Returns `true` if the sample was
+    /// accepted into the cell.
+    ///
+    /// Rejection policy:
+    /// * a frequency-contaminated measurement of the *right* placement is
+    ///   retried up to [`MAX_RETRIES`] times, then accepted (it is merely
+    ///   noisy);
+    /// * a measurement with the *wrong* width is never accepted — it would
+    ///   poison the tables; after [`MAX_ATTEMPTS`] the cell is marked failed
+    ///   and its `<TC,NC>` is excluded from configuration selection (if the
+    ///   width is never available at sampling time, it will not be available
+    ///   in steady state either).
+    pub fn record(&mut self, cell: usize, sample: &ExecutedSample) -> bool {
+        let c = self.plan[cell];
+        let st = &mut self.state[cell];
+        debug_assert!(st.inflight, "record() without a claimed cell");
+        st.inflight = false;
+        let width_ok = sample.width == c.width && sample.tc == c.tc;
+        let freq_ok = match c.fc {
+            Some(fc) => sample.is_clean() && sample.fc_start == fc,
+            None => true,
+        };
+        if width_ok && (freq_ok || st.retries >= MAX_RETRIES) {
+            // Normalize to the kernel's unit scale so different-sized
+            // invocations produce comparable per-kernel measurements.
+            st.time_s = Some(sample.duration_s / sample.scale.max(1e-9));
+            return true;
+        }
+        st.retries += 1;
+        if st.retries >= MAX_ATTEMPTS {
+            st.failed = true;
+        }
+        false
+    }
+
+    /// Release a claimed cell without recording (e.g. task was re-routed).
+    pub fn abandon(&mut self, cell: usize) {
+        self.state[cell].inflight = false;
+    }
+
+    /// True once every cell holds a measurement or was abandoned as failed.
+    pub fn is_complete(&self) -> bool {
+        self.state.iter().all(|s| s.time_s.is_some() || s.failed)
+    }
+
+    /// The plan cells.
+    pub fn plan(&self) -> &[SampleCell] {
+        &self.plan
+    }
+
+    /// Measured time of a cell, if recorded.
+    pub fn time_of(&self, cell: usize) -> Option<f64> {
+        self.state[cell].time_s
+    }
+
+    /// Collect `(t_ref, t_alt)` pairs per dense `<TC,NC>` index for
+    /// [`joss_models::ModelSet::build_kernel_tables`]. Only meaningful for
+    /// two-frequency plans; `fc_ref` identifies the reference cells.
+    pub fn two_freq_samples(
+        &self,
+        indexer: &joss_models::TcNcIndexer,
+        fc_ref: FreqIndex,
+    ) -> Vec<Option<(f64, f64)>> {
+        let mut out: Vec<Option<(f64, f64)>> = vec![None; indexer.len()];
+        let mut refs: Vec<Option<f64>> = vec![None; indexer.len()];
+        let mut alts: Vec<Option<f64>> = vec![None; indexer.len()];
+        for (i, c) in self.plan.iter().enumerate() {
+            let Some(t) = self.state[i].time_s else { continue };
+            let slot = indexer.index(c.tc, c.nc);
+            match c.fc {
+                Some(fc) if fc == fc_ref => refs[slot] = Some(t),
+                Some(_) => alts[slot] = Some(t),
+                None => {}
+            }
+        }
+        for i in 0..indexer.len() {
+            if let (Some(r), Some(a)) = (refs[i], alts[i]) {
+                out[i] = Some((r, a));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_dag::{KernelId, TaskId};
+    use joss_platform::PlatformSpec;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::from_spec(&PlatformSpec::tx2_like())
+    }
+
+    fn sample_for(cell: &SampleCell, duration: f64) -> ExecutedSample {
+        let fc = cell.fc.unwrap_or(FreqIndex(4));
+        ExecutedSample {
+            task: TaskId(0),
+            kernel: KernelId(0),
+            tc: cell.tc,
+            width: cell.width,
+            fc_start: fc,
+            fm_start: cell.fm,
+            fc_end: fc,
+            fm_end: cell.fm,
+            duration_s: duration,
+            started_s: 0.0,
+            stolen: false,
+            perturbed: false,
+            scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn two_freq_plan_covers_all_pairs_twice() {
+        let s = space();
+        let sampler =
+            KernelSampler::two_freq_plan(&s, usize::MAX, s.fc_max(), FreqIndex(2), s.fm_max());
+        assert_eq!(sampler.plan().len(), 10); // 5 pairs x 2 freqs
+        // First half is the reference frequency.
+        assert!(sampler.plan()[..5].iter().all(|c| c.fc == Some(s.fc_max())));
+        assert!(sampler.plan()[5..].iter().all(|c| c.fc == Some(FreqIndex(2))));
+    }
+
+    #[test]
+    fn width_cap_prunes_plan() {
+        let s = space();
+        let sampler = KernelSampler::two_freq_plan(&s, 1, s.fc_max(), FreqIndex(2), s.fm_max());
+        // Only width-1 cells: one per core type, twice.
+        assert_eq!(sampler.plan().len(), 4);
+        assert!(sampler.plan().iter().all(|c| c.width == 1));
+    }
+
+    #[test]
+    fn full_sampling_cycle_completes() {
+        let s = space();
+        let mut sampler =
+            KernelSampler::two_freq_plan(&s, usize::MAX, s.fc_max(), FreqIndex(2), s.fm_max());
+        while let Some(cell) = sampler.next_cell() {
+            let c = sampler.plan()[cell];
+            assert!(sampler.record(cell, &sample_for(&c, 0.01)));
+        }
+        assert!(sampler.is_complete());
+        let idx = joss_models::TcNcIndexer::new(&s);
+        let pairs = sampler.two_freq_samples(&idx, s.fc_max());
+        assert!(pairs.iter().all(|p| p.is_some()));
+    }
+
+    #[test]
+    fn dirty_samples_are_retried_then_accepted() {
+        let s = space();
+        let mut sampler =
+            KernelSampler::two_freq_plan(&s, usize::MAX, s.fc_max(), FreqIndex(2), s.fm_max());
+        let cell = sampler.next_cell().unwrap();
+        let c = sampler.plan()[cell];
+        let mut dirty = sample_for(&c, 0.01);
+        dirty.fc_end = FreqIndex(0); // a DVFS transition landed mid-run
+        for attempt in 0..MAX_RETRIES {
+            assert!(!sampler.record(cell, &dirty), "attempt {attempt} must be rejected");
+            assert_eq!(sampler.next_cell(), Some(cell), "cell reopens for retry");
+        }
+        // Retries exhausted: accepted despite being dirty.
+        assert!(sampler.record(cell, &dirty));
+        assert_eq!(sampler.time_of(cell), Some(0.01));
+    }
+
+    #[test]
+    fn degraded_width_is_rejected() {
+        let s = space();
+        let mut sampler =
+            KernelSampler::two_freq_plan(&s, usize::MAX, s.fc_max(), FreqIndex(2), s.fm_max());
+        // Find a width-2 cell.
+        let cell = loop {
+            let i = sampler.next_cell().unwrap();
+            if sampler.plan()[i].width == 2 {
+                break i;
+            }
+            // Fill width-1 cells so they stop being handed out.
+            let c = sampler.plan()[i];
+            sampler.record(i, &sample_for(&c, 0.01));
+        };
+        let c = sampler.plan()[cell];
+        let mut degraded = sample_for(&c, 0.02);
+        degraded.width = 1;
+        assert!(!sampler.record(cell, &degraded));
+    }
+
+    #[test]
+    fn abandon_reopens_cell() {
+        let s = space();
+        let mut sampler = KernelSampler::max_freq_plan(&s, usize::MAX);
+        let cell = sampler.next_cell().unwrap();
+        sampler.abandon(cell);
+        assert_eq!(sampler.next_cell(), Some(cell));
+    }
+
+    #[test]
+    fn erase_plan_has_one_cell_per_pair() {
+        let s = space();
+        let sampler = KernelSampler::max_freq_plan(&s, usize::MAX);
+        assert_eq!(sampler.plan().len(), 5);
+        assert!(sampler.plan().iter().all(|c| c.fc.is_none()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Aequitas (paper §6.2 comparator): heuristic coordinated energy
+//! management extending HERMES.
+//!
+//! Aequitas is model-free. It assigns a *desired* core frequency per core
+//! from work-stealing relations — a core that steals is a *thief* and slows
+//! down; a core with a deep work queue speeds up. On cluster-based DVFS
+//! platforms, each active core programs the whole cluster's frequency for a
+//! short interval (1 s) in round-robin time slices. It uses neither the
+//! memory DVFS knob nor moldable execution.
+
+use crate::placement::{FreqCommand, Placement};
+use crate::sched::{SchedCtx, Scheduler};
+use joss_dag::TaskId;
+use joss_platform::{CoreType, Duration, FreqIndex};
+
+/// Queue depth above which a core wants to speed up.
+const QUEUE_PRESSURE: usize = 4;
+
+/// The Aequitas scheduler.
+pub struct AequitasSched {
+    /// Desired frequency index per core (engine core numbering).
+    desired: Vec<FreqIndex>,
+    /// Round-robin token per cluster.
+    token: [usize; 2],
+    /// Time-slice length.
+    slice: Duration,
+    /// Highest frequency index (set on first callback).
+    fc_max: FreqIndex,
+}
+
+impl AequitasSched {
+    /// New Aequitas scheduler with the paper's 1 s time slice.
+    pub fn new() -> Self {
+        AequitasSched {
+            desired: Vec::new(),
+            token: [0, 0],
+            slice: Duration::from_secs_f64(1.0),
+            fc_max: FreqIndex(0),
+        }
+    }
+
+    /// Override the time slice (for fast tests and short benchmarks).
+    pub fn with_slice(mut self, slice: Duration) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    fn ensure_cores(&mut self, ctx: &SchedCtx<'_>) {
+        if self.desired.len() < ctx.queue_lens.len() {
+            self.fc_max = ctx.space.fc_max();
+            self.desired = vec![self.fc_max; ctx.queue_lens.len()];
+        }
+    }
+}
+
+impl Default for AequitasSched {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for AequitasSched {
+    fn name(&self) -> &str {
+        "Aequitas"
+    }
+
+    fn place(&mut self, ctx: &mut SchedCtx<'_>, _task: TaskId) -> Placement {
+        self.ensure_cores(ctx);
+        Placement::anywhere()
+    }
+
+    fn task_started(&mut self, ctx: &mut SchedCtx<'_>, _task: TaskId, core: usize, stolen: bool) {
+        self.ensure_cores(ctx);
+        if stolen {
+            // Thief cores slow down (HERMES' workpath heuristic), bounded at
+            // the mid ladder so victims are not starved indefinitely.
+            self.desired[core] = FreqIndex(self.desired[core].0.saturating_sub(1).max(3));
+        } else if ctx.queue_lens[core] >= QUEUE_PRESSURE {
+            // Deep queue: speed up (workload heuristic).
+            self.desired[core] = FreqIndex((self.desired[core].0 + 1).min(self.fc_max.0));
+        }
+    }
+
+    fn timer_interval(&self) -> Option<Duration> {
+        Some(self.slice)
+    }
+
+    fn on_timer(&mut self, ctx: &mut SchedCtx<'_>) -> Vec<FreqCommand> {
+        self.ensure_cores(ctx);
+        let mut cmds = Vec::new();
+        for tc in CoreType::ALL {
+            // Active cores of this cluster: running or with queued work.
+            let active: Vec<usize> = (0..ctx.core_tc.len())
+                .filter(|&c| {
+                    ctx.core_tc[c] == tc && (ctx.core_busy[c] || ctx.queue_lens[c] > 0)
+                })
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let slot = self.token[tc.index()] % active.len();
+            self.token[tc.index()] = self.token[tc.index()].wrapping_add(1);
+            let core = active[slot];
+            cmds.push(FreqCommand::Cluster(tc, self.desired[core]));
+        }
+        cmds
+    }
+}

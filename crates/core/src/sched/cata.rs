@@ -1,0 +1,146 @@
+//! A criticality-aware comparator (extension, not in the paper's Fig. 8).
+//!
+//! CATA [Castillo et al., IPDPS'16 — §8 of the JOSS paper] accelerates
+//! tasks on the application's critical path and relegates non-critical
+//! tasks to slow, efficient resources. This implementation computes static
+//! bottom-level criticality (longest path to a sink) when it first sees a
+//! graph, then:
+//!
+//! * tasks in the top criticality band run on big cores at maximum
+//!   frequency;
+//! * everything else runs on little cores at a low frequency.
+//!
+//! It demonstrates how a different policy family plugs into the same
+//! runtime, and serves as an ablation: criticality alone (no models, no
+//! memory knob) recovers some of GRWS's waste but cannot match JOSS.
+
+use crate::placement::Placement;
+use crate::sched::{SchedCtx, Scheduler};
+use joss_dag::{TaskGraph, TaskId};
+use joss_platform::{CoreType, FreqIndex};
+
+/// The criticality-aware scheduler.
+pub struct CataSched {
+    /// Bottom-level (longest path to a sink, in tasks) per task.
+    bottom_level: Vec<u32>,
+    /// Tasks with bottom level >= this run on the fast path.
+    threshold: u32,
+    /// Slow-path core frequency.
+    slow_fc: FreqIndex,
+}
+
+impl CataSched {
+    /// Build for a graph, marking the top `critical_frac` of the bottom-level
+    /// range as critical (0.5 = upper half of the criticality range).
+    pub fn new(graph: &TaskGraph, critical_frac: f64) -> Self {
+        let bottom_level = Self::compute_bottom_levels(graph);
+        let max_bl = bottom_level.iter().copied().max().unwrap_or(1);
+        let threshold = ((max_bl as f64) * (1.0 - critical_frac.clamp(0.0, 1.0))).ceil() as u32;
+        CataSched { bottom_level, threshold: threshold.max(1), slow_fc: FreqIndex(2) }
+    }
+
+    /// Longest path (in tasks) from each task to any sink: one reverse pass
+    /// over the topologically ordered storage.
+    fn compute_bottom_levels(graph: &TaskGraph) -> Vec<u32> {
+        let n = graph.n_tasks();
+        let mut bl = vec![1u32; n];
+        for t in (0..n).rev() {
+            for &s in graph.successors(TaskId(t as u32)) {
+                bl[t] = bl[t].max(bl[s.index()] + 1);
+            }
+        }
+        bl
+    }
+
+    /// Whether a task sits on the fast (critical) path.
+    pub fn is_critical(&self, task: TaskId) -> bool {
+        self.bottom_level[task.index()] >= self.threshold
+    }
+}
+
+impl Scheduler for CataSched {
+    fn name(&self) -> &str {
+        "CATA"
+    }
+
+    fn place(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Placement {
+        let fm = ctx.settled_fm;
+        if self.is_critical(task) {
+            Placement::throttled(CoreType::Big, 1, ctx.space.fc_max(), fm)
+        } else {
+            Placement::throttled(CoreType::Little, 1, self.slow_fc, fm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, SimEngine};
+    use joss_dag::{generators, KernelSpec, TaskGraphBuilder};
+    use joss_platform::{MachineModel, TaskShape};
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new("k", TaskShape::new(0.01, 0.002))
+    }
+
+    #[test]
+    fn bottom_levels_of_a_chain_decrease() {
+        let g = generators::chain("c", kernel(), 5);
+        let s = CataSched::new(&g, 0.5);
+        assert_eq!(s.bottom_level, vec![5, 4, 3, 2, 1]);
+        assert!(s.is_critical(TaskId(0)));
+        assert!(!s.is_critical(TaskId(4)));
+    }
+
+    #[test]
+    fn side_chains_are_not_critical() {
+        // A long spine with one short side branch: the spine is critical.
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let mut spine = b.add_task(k, &[]).unwrap();
+        let side = b.add_task(k, &[spine]).unwrap(); // short branch
+        for _ in 0..6 {
+            spine = b.add_task(k, &[spine]).unwrap();
+        }
+        let g = b.build("spine").unwrap();
+        let s = CataSched::new(&g, 0.5);
+        assert!(s.is_critical(TaskId(0)));
+        assert!(!s.is_critical(side), "the short branch must not be critical");
+    }
+
+    #[test]
+    fn runs_to_completion_and_splits_clusters() {
+        let machine = MachineModel::tx2(3);
+        // Spine + many leaves: critical work on big, leaves on little.
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let mut spine = b.add_task(k, &[]).unwrap();
+        for _ in 0..20 {
+            for _ in 0..3 {
+                b.add_task(k, &[spine]).unwrap(); // leaves
+            }
+            spine = b.add_task(k, &[spine]).unwrap();
+        }
+        let g = b.build("cata").unwrap();
+        let mut sched = CataSched::new(&g, 0.5);
+        let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());
+        assert_eq!(report.tasks, g.n_tasks());
+        assert!(report.tasks_per_type[0] > 0, "critical spine on big cores");
+        assert!(report.tasks_per_type[1] > 0, "leaves on little cores");
+    }
+
+    #[test]
+    fn beats_nothing_but_completes_cheaper_than_worst_case() {
+        // Smoke energy comparison against GRWS on a criticality-rich DAG.
+        let machine = MachineModel::tx2(3);
+        let g = generators::fork_join("fj", &[kernel()], kernel(), 10, 12);
+        let mut cata = CataSched::new(&g, 0.3);
+        let r1 = SimEngine::run(&machine, &g, &mut cata, EngineConfig::default());
+        let mut grws = crate::sched::GrwsSched::new();
+        let r2 = SimEngine::run(&machine, &g, &mut grws, EngineConfig::default());
+        assert_eq!(r1.tasks, r2.tasks);
+        // CATA throttles the wide fan-outs: it must not cost more energy.
+        assert!(r1.total_j() < r2.total_j() * 1.1, "{} vs {}", r1.total_j(), r2.total_j());
+    }
+}

@@ -1,0 +1,92 @@
+//! A scheduler that pins every task to one configuration.
+//!
+//! Not a policy from the paper — it is the measurement instrument behind
+//! the motivation experiments (Figs. 1 and 2), which sweep the entire
+//! `<TC, NC, fC, fM>` space by running the whole application at each
+//! configuration and measuring energy and time.
+
+use crate::placement::Placement;
+use crate::sched::{SchedCtx, Scheduler};
+use joss_dag::TaskId;
+use joss_platform::KnobConfig;
+
+/// Runs every task at a fixed `<TC, NC, fC, fM>`.
+#[derive(Debug, Clone)]
+pub struct FixedSched {
+    config: KnobConfig,
+    name: String,
+}
+
+impl FixedSched {
+    /// Pin all tasks to `config`.
+    pub fn new(config: KnobConfig) -> Self {
+        FixedSched { config, name: format!("Fixed{config:?}") }
+    }
+
+    /// The pinned configuration.
+    pub fn config(&self) -> KnobConfig {
+        self.config
+    }
+}
+
+impl Scheduler for FixedSched {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn place(&mut self, ctx: &mut SchedCtx<'_>, _task: TaskId) -> Placement {
+        let width = ctx.space.nc_count(self.config.tc, self.config.nc);
+        Placement::pinned(self.config.tc, width, self.config.fc, self.config.fm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, SimEngine};
+    use joss_dag::{generators, KernelSpec};
+    use joss_platform::{
+        ConfigSpace, CoreType, FreqIndex, MachineModel, NcIndex, TaskShape,
+    };
+
+    #[test]
+    fn all_tasks_run_on_the_pinned_cluster() {
+        let machine = MachineModel::tx2(5);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let g = generators::independent(
+            "bag",
+            KernelSpec::new("k", TaskShape::new(0.01, 0.001)),
+            40,
+        );
+        let cfg = KnobConfig::new(CoreType::Little, NcIndex(1), FreqIndex(2), FreqIndex(0));
+        let mut sched = FixedSched::new(cfg);
+        let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());
+        assert_eq!(report.tasks, 40);
+        assert_eq!(report.tasks_per_type[CoreType::Big.index()], 0);
+        assert_eq!(report.tasks_per_type[CoreType::Little.index()], 40);
+        let _ = space;
+    }
+
+    #[test]
+    fn lower_frequency_stretches_time() {
+        let machine = MachineModel::tx2(5);
+        let g = generators::independent(
+            "bag",
+            KernelSpec::new("k", TaskShape::new(0.02, 0.0005)),
+            60,
+        );
+        let run = |fc: usize| {
+            let cfg = KnobConfig::new(CoreType::Big, NcIndex(0), FreqIndex(fc), FreqIndex(2));
+            let mut sched = FixedSched::new(cfg);
+            SimEngine::run(&machine, &g, &mut sched, EngineConfig::default())
+        };
+        let fast = run(4);
+        let slow = run(0);
+        assert!(
+            slow.energy.makespan_s > 2.0 * fast.energy.makespan_s,
+            "0.345 GHz should be much slower than 2.035 GHz: {} vs {}",
+            slow.energy.makespan_s,
+            fast.energy.makespan_s
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! GRWS: greedy random work stealing (paper §6.2, baseline).
+//!
+//! The widely used default of task runtimes (Cilk, TBB, OpenMP): keep idle
+//! cores busy by stealing; one core per task; no DVFS — every domain stays
+//! at its maximum frequency.
+
+use crate::placement::Placement;
+use crate::sched::{SchedCtx, Scheduler};
+use joss_dag::TaskId;
+
+/// The GRWS baseline scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct GrwsSched;
+
+impl GrwsSched {
+    /// New GRWS scheduler.
+    pub fn new() -> Self {
+        GrwsSched
+    }
+}
+
+impl Scheduler for GrwsSched {
+    fn name(&self) -> &str {
+        "GRWS"
+    }
+
+    fn place(&mut self, _ctx: &mut SchedCtx<'_>, _task: TaskId) -> Placement {
+        Placement::anywhere()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_dag::{KernelSpec, TaskGraphBuilder};
+    use joss_platform::TaskShape;
+
+    #[test]
+    fn always_places_anywhere() {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(KernelSpec::new("k", TaskShape::new(0.01, 0.001)));
+        let t = b.add_task(k, &[]).unwrap();
+        let g = b.build("g").unwrap();
+        let space = joss_platform::ConfigSpace::from_spec(&joss_platform::PlatformSpec::tx2_like());
+        let mut ctx = SchedCtx {
+            space: &space,
+            graph: &g,
+            now_s: 0.0,
+            running_tasks: 0,
+            settled_fc: [space.fc_max(), space.fc_max()],
+            settled_fm: space.fm_max(),
+            queue_lens: vec![0; 6],
+            core_busy: vec![false; 6],
+            core_tc: vec![
+                joss_platform::CoreType::Big,
+                joss_platform::CoreType::Big,
+                joss_platform::CoreType::Little,
+                joss_platform::CoreType::Little,
+                joss_platform::CoreType::Little,
+                joss_platform::CoreType::Little,
+            ],
+        };
+        let mut s = GrwsSched::new();
+        let p = s.place(&mut ctx, t);
+        assert_eq!(p, Placement::anywhere());
+        assert_eq!(s.name(), "GRWS");
+    }
+}

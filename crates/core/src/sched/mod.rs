@@ -1,0 +1,95 @@
+//! Scheduler policies: the trait the engine drives, plus the five policies
+//! evaluated in the paper (GRWS, ERASE, Aequitas, STEER, JOSS).
+
+use crate::placement::{ExecutedSample, FreqCommand, Placement};
+use joss_dag::{TaskGraph, TaskId};
+use joss_platform::{ConfigSpace, Duration, FreqIndex, KnobConfig};
+use std::collections::BTreeMap;
+
+mod aequitas;
+mod cata;
+mod erase;
+mod fixed;
+mod grws;
+mod model_based;
+
+pub use aequitas::AequitasSched;
+pub use cata::CataSched;
+pub use erase::EraseSched;
+pub use fixed::FixedSched;
+pub use grws::GrwsSched;
+pub use model_based::{ModelSched, SearchKind, Target};
+
+/// Read-only runtime view handed to scheduler callbacks.
+#[derive(Debug)]
+pub struct SchedCtx<'a> {
+    /// Platform configuration space.
+    pub space: &'a ConfigSpace,
+    /// The application graph.
+    pub graph: &'a TaskGraph,
+    /// Current virtual time, seconds.
+    pub now_s: f64,
+    /// Number of tasks currently executing (instantaneous task concurrency,
+    /// used for idle-power attribution, §4.3.3).
+    pub running_tasks: usize,
+    /// Settled (target) frequency of each cluster `[big, little]`.
+    pub settled_fc: [FreqIndex; 2],
+    /// Settled (target) memory frequency.
+    pub settled_fm: FreqIndex,
+    /// Work-queue length per core.
+    pub queue_lens: Vec<usize>,
+    /// Whether each core is currently executing a partition.
+    pub core_busy: Vec<bool>,
+    /// Core type of each core (engine numbering: big cores first).
+    pub core_tc: Vec<joss_platform::CoreType>,
+}
+
+/// A scheduling policy. The engine provides mechanisms (queues, stealing,
+/// moldable execution, DVFS controllers); the policy decides placements and
+/// frequencies.
+pub trait Scheduler {
+    /// Display name (matches the paper's figure legends).
+    fn name(&self) -> &str;
+
+    /// Decide where/how a newly ready task should run.
+    fn place(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Placement;
+
+    /// Revise a placement at dispatch time, just before a core starts the
+    /// task. Wide DAGs make all tasks ready (and placed) long before the
+    /// scheduler has learned anything; this hook lets learning schedulers
+    /// upgrade queued tasks to sampling runs or to the finally selected
+    /// configuration, as the paper's runtime does when dequeuing. If the
+    /// revised placement names a different core type, the engine re-routes
+    /// the task.
+    fn revise(&mut self, _ctx: &mut SchedCtx<'_>, _task: TaskId, current: Placement) -> Placement {
+        current
+    }
+
+    /// A task began executing on `core` (after a steal if `stolen`).
+    fn task_started(&mut self, _ctx: &mut SchedCtx<'_>, _task: TaskId, _core: usize, _stolen: bool) {
+    }
+
+    /// A task finished; `sample` is everything the runtime measured.
+    fn task_completed(&mut self, _ctx: &mut SchedCtx<'_>, _sample: &ExecutedSample) {}
+
+    /// If `Some`, the engine fires [`Scheduler::on_timer`] at this period.
+    fn timer_interval(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Periodic hook (e.g. Aequitas' 1 s frequency time slices); returned
+    /// commands are applied to the DVFS controllers.
+    fn on_timer(&mut self, _ctx: &mut SchedCtx<'_>) -> Vec<FreqCommand> {
+        Vec::new()
+    }
+
+    /// Total configuration-search evaluations performed (report metric).
+    fn search_evaluations(&self) -> u64 {
+        0
+    }
+
+    /// Final per-kernel configuration choices (report metric).
+    fn selected_configs(&self) -> BTreeMap<String, KnobConfig> {
+        BTreeMap::new()
+    }
+}

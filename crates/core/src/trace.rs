@@ -1,0 +1,242 @@
+//! Execution traces: record what the runtime did and export it for human
+//! inspection.
+//!
+//! The recorder captures task execution intervals (per core, with kernel,
+//! width and frequency context) and DVFS transitions, and can emit the
+//! [Chrome trace-event format] consumed by `chrome://tracing`, Perfetto and
+//! Speedscope — the view the paper's Fig. 6 timeline sketches.
+//!
+//! [Chrome trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use joss_dag::TaskId;
+use joss_platform::{CoreType, FreqIndex};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One recorded task execution interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Kernel name.
+    pub kernel: String,
+    /// Leader core id (engine numbering).
+    pub core: usize,
+    /// All participating cores (moldable width).
+    pub cores: Vec<usize>,
+    /// Core type.
+    pub tc: CoreType,
+    /// Start time, seconds.
+    pub start_s: f64,
+    /// End time, seconds.
+    pub end_s: f64,
+    /// Cluster frequency at start.
+    pub fc: FreqIndex,
+    /// Memory frequency at start.
+    pub fm: FreqIndex,
+    /// Whether this was a sampling run.
+    pub sampling: bool,
+}
+
+/// One recorded DVFS transition taking effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsSpan {
+    /// Domain label index: 0 = big cluster, 1 = little cluster, 2 = memory.
+    pub domain: usize,
+    /// When the new frequency took effect, seconds.
+    pub at_s: f64,
+    /// The new frequency index.
+    pub freq: FreqIndex,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// Task execution intervals, in completion order.
+    pub tasks: Vec<TaskSpan>,
+    /// DVFS transitions, in effect order.
+    pub dvfs: Vec<DvfsSpan>,
+}
+
+impl ExecTrace {
+    /// Total busy time (sum of span durations x width), core-seconds.
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.tasks.iter().map(|t| (t.end_s - t.start_s) * t.cores.len() as f64).sum()
+    }
+
+    /// Makespan covered by the trace, seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.tasks.iter().map(|t| t.end_s).fold(0.0, f64::max)
+    }
+
+    /// Average core utilization over `n_cores` cores.
+    pub fn utilization(&self, n_cores: usize) -> f64 {
+        let span = self.makespan_s();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.busy_core_seconds() / (span * n_cores as f64)
+    }
+
+    /// Export in the Chrome trace-event JSON format. Each core is a "thread";
+    /// task spans are complete events ("X"); DVFS transitions are instant
+    /// events ("i") on a dedicated row.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for t in &self.tasks {
+            for &core in &t.cores {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"task\":{},\"width\":{},\"fc\":{},\"fm\":{},\
+                     \"sampling\":{}}}}}",
+                    esc(&t.kernel),
+                    if t.sampling { "sampling" } else { "task" },
+                    t.start_s * 1e6,
+                    (t.end_s - t.start_s) * 1e6,
+                    core,
+                    t.task.0,
+                    t.cores.len(),
+                    t.fc.0,
+                    t.fm.0,
+                    t.sampling
+                )
+                .expect("write to string");
+            }
+        }
+        for d in &self.dvfs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = match d.domain {
+                0 => "fC big",
+                1 => "fC little",
+                _ => "fM",
+            };
+            write!(
+                out,
+                "{{\"name\":\"{} -> {}\",\"cat\":\"dvfs\",\"ph\":\"i\",\"ts\":{:.3},\
+                 \"pid\":0,\"tid\":100,\"s\":\"g\"}}",
+                name,
+                d.freq.0,
+                d.at_s * 1e6
+            )
+            .expect("write to string");
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// A compact ASCII per-core timeline (for terminal inspection): one row
+    /// per core, `width` columns spanning the makespan.
+    pub fn ascii_timeline(&self, n_cores: usize, width: usize) -> String {
+        let span = self.makespan_s().max(1e-12);
+        let mut rows = vec![vec![' '; width]; n_cores];
+        for t in &self.tasks {
+            let c0 = ((t.start_s / span) * width as f64) as usize;
+            let c1 = (((t.end_s / span) * width as f64) as usize).min(width.saturating_sub(1));
+            let glyph = if t.sampling {
+                's'
+            } else {
+                t.kernel.chars().next().unwrap_or('#')
+            };
+            for &core in &t.cores {
+                if core < n_cores {
+                    for c in c0..=c1 {
+                        rows[core][c] = glyph;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            writeln!(out, "core {i}: {}", row.iter().collect::<String>()).expect("write");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ExecTrace {
+        ExecTrace {
+            tasks: vec![
+                TaskSpan {
+                    task: TaskId(0),
+                    kernel: "mm".into(),
+                    core: 0,
+                    cores: vec![0, 1],
+                    tc: CoreType::Big,
+                    start_s: 0.0,
+                    end_s: 0.5,
+                    fc: FreqIndex(4),
+                    fm: FreqIndex(2),
+                    sampling: false,
+                },
+                TaskSpan {
+                    task: TaskId(1),
+                    kernel: "mm".into(),
+                    core: 2,
+                    cores: vec![2],
+                    tc: CoreType::Little,
+                    start_s: 0.25,
+                    end_s: 1.0,
+                    fc: FreqIndex(4),
+                    fm: FreqIndex(2),
+                    sampling: true,
+                },
+            ],
+            dvfs: vec![DvfsSpan { domain: 2, at_s: 0.3, freq: FreqIndex(0) }],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = trace();
+        assert!((t.makespan_s() - 1.0).abs() < 1e-12);
+        assert!((t.busy_core_seconds() - (0.5 * 2.0 + 0.75)).abs() < 1e-12);
+        let u = t.utilization(6);
+        assert!(u > 0.29 && u < 0.30, "utilization {u}");
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let json = trace().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        // Two cores for the moldable task + one for the single + one dvfs.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"cat\":\"sampling\""));
+        // Balanced braces (cheap well-formedness check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn ascii_timeline_shows_busy_cores() {
+        let a = trace().ascii_timeline(3, 20);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('m'), "core 0 ran mm: {}", lines[0]);
+        assert!(lines[2].contains('s'), "core 2 ran a sampling task: {}", lines[2]);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = ExecTrace::default();
+        assert_eq!(t.makespan_s(), 0.0);
+        assert_eq!(t.utilization(6), 0.0);
+        assert!(t.to_chrome_json().contains("traceEvents"));
+    }
+}

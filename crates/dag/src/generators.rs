@@ -1,0 +1,185 @@
+//! Generic DAG shape generators.
+//!
+//! These are building blocks for tests and for the benchmark generators in
+//! `joss-workloads`: independent task bags, chains, configurable-`dop`
+//! chain bundles (the paper's MM/MC/ST use this), fork-join stages, and
+//! seeded random layered DAGs for property tests.
+
+use crate::graph::{TaskGraph, TaskGraphBuilder, TaskId};
+use crate::kernel::{KernelId, KernelSpec};
+
+/// A bag of `n` independent tasks of one kernel (dop = n).
+pub fn independent(name: &str, kernel: KernelSpec, n: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::new();
+    let k = b.add_kernel(kernel);
+    for _ in 0..n {
+        b.add_task(k, &[]).expect("valid");
+    }
+    b.build(name).expect("non-empty")
+}
+
+/// A single dependency chain of `n` tasks (dop = 1).
+pub fn chain(name: &str, kernel: KernelSpec, n: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::new();
+    let k = b.add_kernel(kernel);
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..n {
+        let deps: Vec<TaskId> = prev.into_iter().collect();
+        prev = Some(b.add_task(k, &deps).expect("valid"));
+    }
+    b.build(name).expect("non-empty")
+}
+
+/// `dop` parallel chains with `n_total` tasks distributed round-robin:
+/// the construction the paper uses for its synthetic benchmarks, where
+/// `dop = total tasks / longest path`.
+pub fn chain_bundle(name: &str, kernel: KernelSpec, n_total: usize, dop: usize) -> TaskGraph {
+    assert!(n_total > 0 && dop > 0);
+    let dop = dop.min(n_total);
+    let mut b = TaskGraphBuilder::new();
+    let k = b.add_kernel(kernel);
+    let mut tails: Vec<Option<TaskId>> = vec![None; dop];
+    for i in 0..n_total {
+        let lane = i % dop;
+        let deps: Vec<TaskId> = tails[lane].into_iter().collect();
+        tails[lane] = Some(b.add_task(k, &deps).expect("valid"));
+    }
+    b.build(name).expect("non-empty")
+}
+
+/// Fork-join: `stages` sequential stages, each a fan-out of `width` tasks of
+/// `stage_kernels[stage % len]`, joined by a barrier task of `join_kernel`.
+pub fn fork_join(
+    name: &str,
+    stage_kernels: &[KernelSpec],
+    join_kernel: KernelSpec,
+    stages: usize,
+    width: usize,
+) -> TaskGraph {
+    assert!(stages > 0 && width > 0 && !stage_kernels.is_empty());
+    let mut b = TaskGraphBuilder::new();
+    let kids: Vec<KernelId> = stage_kernels.iter().cloned().map(|k| b.add_kernel(k)).collect();
+    let join = b.add_kernel(join_kernel);
+    let mut barrier: Option<TaskId> = None;
+    for s in 0..stages {
+        let deps: Vec<TaskId> = barrier.into_iter().collect();
+        let stage_tasks: Vec<TaskId> = (0..width)
+            .map(|_| b.add_task(kids[s % kids.len()], &deps).expect("valid"))
+            .collect();
+        barrier = Some(b.add_task(join, &stage_tasks).expect("valid"));
+    }
+    b.build(name).expect("non-empty")
+}
+
+/// Seeded random layered DAG: `layers` layers of up to `max_width` tasks;
+/// each task depends on 1..=3 random tasks of the previous layer. Used by
+/// property tests to exercise schedulers on irregular graphs.
+pub fn random_layered(
+    name: &str,
+    kernel: KernelSpec,
+    layers: usize,
+    max_width: usize,
+    seed: u64,
+) -> TaskGraph {
+    assert!(layers > 0 && max_width > 0);
+    let mut b = TaskGraphBuilder::new();
+    let k = b.add_kernel(kernel);
+    // Small deterministic LCG; avoids pulling rand into the non-dev deps.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    for _ in 0..layers {
+        let width = 1 + (next() as usize) % max_width;
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let deps: Vec<TaskId> = if prev_layer.is_empty() {
+                Vec::new()
+            } else {
+                let n_deps = 1 + (next() as usize) % 3.min(prev_layer.len());
+                (0..n_deps).map(|_| prev_layer[(next() as usize) % prev_layer.len()]).collect()
+            };
+            layer.push(b.add_task(k, &deps).expect("valid"));
+        }
+        prev_layer = layer;
+    }
+    b.build(name).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_platform::TaskShape;
+
+    fn k() -> KernelSpec {
+        KernelSpec::new("k", TaskShape::new(0.01, 0.001))
+    }
+
+    #[test]
+    fn independent_has_dop_n() {
+        let g = independent("i", k(), 8);
+        assert_eq!(g.n_tasks(), 8);
+        assert!((g.dop() - 8.0).abs() < 1e-12);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chain_has_dop_one() {
+        let g = chain("c", k(), 12);
+        assert!((g.dop() - 1.0).abs() < 1e-12);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chain_bundle_hits_requested_dop() {
+        for dop in [1usize, 4, 16] {
+            let g = chain_bundle("cb", k(), 160, dop);
+            assert_eq!(g.n_tasks(), 160);
+            assert!(
+                (g.dop() - dop as f64).abs() < 1e-9,
+                "requested dop {dop}, got {}",
+                g.dop()
+            );
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_bundle_clamps_dop() {
+        let g = chain_bundle("cb", k(), 3, 100);
+        assert_eq!(g.n_tasks(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let g = fork_join("fj", &[k()], k(), 3, 4);
+        // 3 stages * (4 + 1 join)
+        assert_eq!(g.n_tasks(), 15);
+        assert_eq!(g.longest_path(), 6);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_layered_is_valid_dag() {
+        for seed in 0..20 {
+            let g = random_layered("r", k(), 10, 6, seed);
+            g.check_invariants().unwrap();
+            assert!(g.n_tasks() >= 10);
+        }
+    }
+
+    #[test]
+    fn random_layered_is_deterministic() {
+        let a = random_layered("r", k(), 8, 5, 42);
+        let b = random_layered("r", k(), 8, 5, 42);
+        assert_eq!(a.n_tasks(), b.n_tasks());
+        assert_eq!(a.n_edges(), b.n_edges());
+    }
+}

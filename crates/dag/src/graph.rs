@@ -1,0 +1,390 @@
+//! The task graph: tasks, dependencies, readiness and structural analyses.
+//!
+//! Graphs are built through [`TaskGraphBuilder`] (which enforces acyclicity
+//! by construction: a task may only depend on already-added tasks) and then
+//! frozen into an immutable [`TaskGraph`] with CSR successor storage, sized
+//! for the paper's largest workloads (hundreds of thousands of tasks).
+
+use crate::kernel::{KernelId, KernelSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Dense index for array storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A dependency references a task not yet added.
+    UnknownDependency { task: usize, dep: TaskId },
+    /// A task references an unknown kernel.
+    UnknownKernel(KernelId),
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownDependency { task, dep } => {
+                write!(f, "task #{task} depends on unknown task {dep}")
+            }
+            GraphError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
+            GraphError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental graph builder. Dependencies may only point to tasks already
+/// added, which guarantees acyclicity and gives a free topological order.
+#[derive(Debug, Default)]
+pub struct TaskGraphBuilder {
+    kernels: Vec<KernelSpec>,
+    task_kernel: Vec<KernelId>,
+    task_scale: Vec<f64>,
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a kernel; returns its id.
+    pub fn add_kernel(&mut self, spec: KernelSpec) -> KernelId {
+        let id = KernelId(self.kernels.len() as u32);
+        self.kernels.push(spec);
+        id
+    }
+
+    /// Add a task of `kernel` with dependencies `deps`; returns its id.
+    pub fn add_task(&mut self, kernel: KernelId, deps: &[TaskId]) -> Result<TaskId, GraphError> {
+        self.add_task_scaled(kernel, 1.0, deps)
+    }
+
+    /// Add a task with a per-task size scale factor.
+    pub fn add_task_scaled(
+        &mut self,
+        kernel: KernelId,
+        scale: f64,
+        deps: &[TaskId],
+    ) -> Result<TaskId, GraphError> {
+        if kernel.index() >= self.kernels.len() {
+            return Err(GraphError::UnknownKernel(kernel));
+        }
+        let id = TaskId(self.task_kernel.len() as u32);
+        for &d in deps {
+            if d.index() >= self.task_kernel.len() {
+                return Err(GraphError::UnknownDependency { task: id.index(), dep: d });
+            }
+        }
+        self.task_kernel.push(kernel);
+        self.task_scale.push(scale);
+        // Deduplicate to keep indegree counts exact.
+        let mut ds: Vec<TaskId> = deps.to_vec();
+        ds.sort_unstable();
+        ds.dedup();
+        self.preds.push(ds);
+        Ok(id)
+    }
+
+    /// Number of tasks added so far.
+    pub fn n_tasks(&self) -> usize {
+        self.task_kernel.len()
+    }
+
+    /// Freeze into an immutable graph.
+    pub fn build(self, name: impl Into<String>) -> Result<TaskGraph, GraphError> {
+        if self.task_kernel.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.task_kernel.len();
+        // Build CSR successors from predecessor lists.
+        let mut succ_count = vec![0u32; n];
+        for preds in &self.preds {
+            for &p in preds {
+                succ_count[p.index()] += 1;
+            }
+        }
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        succ_off.push(0u32);
+        for &c in &succ_count {
+            acc += c;
+            succ_off.push(acc);
+        }
+        let mut cursor = succ_off.clone();
+        let mut succ = vec![TaskId(0); acc as usize];
+        for (t, preds) in self.preds.iter().enumerate() {
+            for &p in preds {
+                let slot = cursor[p.index()];
+                succ[slot as usize] = TaskId(t as u32);
+                cursor[p.index()] += 1;
+            }
+        }
+        let indegree: Vec<u32> = self.preds.iter().map(|p| p.len() as u32).collect();
+        Ok(TaskGraph {
+            name: name.into(),
+            kernels: self.kernels,
+            task_kernel: self.task_kernel,
+            task_scale: self.task_scale,
+            indegree,
+            succ_off,
+            succ,
+        })
+    }
+}
+
+/// Immutable task DAG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    kernels: Vec<KernelSpec>,
+    task_kernel: Vec<KernelId>,
+    task_scale: Vec<f64>,
+    indegree: Vec<u32>,
+    succ_off: Vec<u32>,
+    succ: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Graph name (benchmark label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.task_kernel.len()
+    }
+
+    /// Number of kernels (task types).
+    pub fn n_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Kernel description.
+    pub fn kernel(&self, k: KernelId) -> &KernelSpec {
+        &self.kernels[k.index()]
+    }
+
+    /// All kernels.
+    pub fn kernels(&self) -> &[KernelSpec] {
+        &self.kernels
+    }
+
+    /// Kernel of a task.
+    pub fn kernel_of(&self, t: TaskId) -> KernelId {
+        self.task_kernel[t.index()]
+    }
+
+    /// Size scale of a task.
+    pub fn scale_of(&self, t: TaskId) -> f64 {
+        self.task_scale[t.index()]
+    }
+
+    /// Successors (dependents) of a task.
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        let lo = self.succ_off[t.index()] as usize;
+        let hi = self.succ_off[t.index() + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// Initial indegrees (dependency counts) of all tasks.
+    pub fn indegrees(&self) -> &[u32] {
+        &self.indegree
+    }
+
+    /// Tasks with no dependencies (initially ready), in id order.
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| TaskId(i as u32))
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of tasks per kernel.
+    pub fn tasks_per_kernel(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.kernels.len()];
+        for k in &self.task_kernel {
+            counts[k.index()] += 1;
+        }
+        counts
+    }
+
+    /// Length (in tasks) of the longest dependency chain.
+    ///
+    /// Tasks are stored in topological order by construction, so a single
+    /// forward pass suffices.
+    pub fn longest_path(&self) -> usize {
+        let n = self.n_tasks();
+        let mut depth = vec![1u32; n];
+        let mut best = 1u32;
+        for t in 0..n {
+            let d = depth[t];
+            best = best.max(d);
+            for &s in self.successors(TaskId(t as u32)) {
+                depth[s.index()] = depth[s.index()].max(d + 1);
+            }
+        }
+        best as usize
+    }
+
+    /// DAG parallelism (the paper's `dop`): total tasks divided by the
+    /// longest path length.
+    pub fn dop(&self) -> f64 {
+        self.n_tasks() as f64 / self.longest_path() as f64
+    }
+
+    /// Verify structural invariants (used by property tests): indegrees match
+    /// edges, ids are in range, topological order holds.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.n_tasks();
+        let mut indeg = vec![0u32; n];
+        for t in 0..n {
+            for &s in self.successors(TaskId(t as u32)) {
+                if s.index() >= n {
+                    return Err(format!("edge to out-of-range task {s}"));
+                }
+                if s.index() <= t {
+                    return Err(format!("edge {t} -> {s} violates topological storage order"));
+                }
+                indeg[s.index()] += 1;
+            }
+        }
+        if indeg != self.indegree {
+            return Err("stored indegrees disagree with edges".into());
+        }
+        if self.roots().next().is_none() {
+            return Err("graph has no roots".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_platform::TaskShape;
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new("k", TaskShape::new(0.01, 0.001))
+    }
+
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let a = b.add_task(k, &[]).unwrap();
+        let l = b.add_task(k, &[a]).unwrap();
+        let r = b.add_task(k, &[a]).unwrap();
+        let _j = b.add_task(k, &[l, r]).unwrap();
+        b.build("diamond").unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.n_tasks(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![TaskId(0)]);
+        assert_eq!(g.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.indegrees()[3], 2);
+        assert_eq!(g.longest_path(), 3);
+        assert!((g.dop() - 4.0 / 3.0).abs() < 1e-12);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_dep_rejected() {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let err = b.add_task(k, &[TaskId(5)]).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownDependency { .. }));
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let mut b = TaskGraphBuilder::new();
+        let err = b.add_task(KernelId(3), &[]).unwrap_err();
+        assert_eq!(err, GraphError::UnknownKernel(KernelId(3)));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = TaskGraphBuilder::new();
+        assert_eq!(b.build("e").unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn duplicate_deps_are_deduped() {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let a = b.add_task(k, &[]).unwrap();
+        let t = b.add_task(k, &[a, a, a]).unwrap();
+        let g = b.build("dup").unwrap();
+        assert_eq!(g.indegrees()[t.index()], 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chain_longest_path() {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..10 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(b.add_task(k, &deps).unwrap());
+        }
+        let g = b.build("chain").unwrap();
+        assert_eq!(g.longest_path(), 10);
+        assert!((g.dop() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_dop() {
+        let mut b = TaskGraphBuilder::new();
+        let k = b.add_kernel(kernel());
+        for _ in 0..16 {
+            b.add_task(k, &[]).unwrap();
+        }
+        let g = b.build("par").unwrap();
+        assert_eq!(g.longest_path(), 1);
+        assert!((g.dop() - 16.0).abs() < 1e-12);
+        assert_eq!(g.roots().count(), 16);
+    }
+
+    #[test]
+    fn tasks_per_kernel_counts() {
+        let mut b = TaskGraphBuilder::new();
+        let k1 = b.add_kernel(kernel());
+        let k2 = b.add_kernel(KernelSpec::new("k2", TaskShape::new(0.1, 0.1)));
+        b.add_task(k1, &[]).unwrap();
+        b.add_task(k2, &[]).unwrap();
+        b.add_task(k2, &[]).unwrap();
+        let g = b.build("multi").unwrap();
+        assert_eq!(g.tasks_per_kernel(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Kernels: task types with shared computational characteristics.
+//!
+//! A kernel is the unit of JOSS's online learning: MB values, model
+//! predictions and selected configurations are all stored *per kernel*
+//! (per task type), amortizing sampling cost across the kernel's many
+//! invocations (paper §5.1–§5.2).
+
+use joss_platform::TaskShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a kernel (task type) within one task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KernelId(pub u32);
+
+impl KernelId {
+    /// Dense index for table storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Description of one kernel (task type).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Human-readable name (e.g. "jacobi", "bmod").
+    pub name: String,
+    /// Computational shape of one invocation at scale 1.0.
+    pub shape: TaskShape,
+    /// Maximum moldable width: how many cores one task may use.
+    /// `1` makes the kernel rigid (non-moldable).
+    pub max_width: usize,
+}
+
+impl KernelSpec {
+    /// New moldable kernel with the platform-wide default width cap.
+    pub fn new(name: impl Into<String>, shape: TaskShape) -> Self {
+        KernelSpec { name: name.into(), shape, max_width: usize::MAX }
+    }
+
+    /// Restrict the kernel to a single core (no moldable execution).
+    pub fn rigid(mut self) -> Self {
+        self.max_width = 1;
+        self
+    }
+
+    /// Cap the moldable width.
+    pub fn with_max_width(mut self, w: usize) -> Self {
+        assert!(w >= 1, "max_width must be at least 1");
+        self.max_width = w;
+        self
+    }
+
+    /// Set the shape's moldable-scalability exponent (see
+    /// [`TaskShape::with_scalability`]).
+    pub fn with_scalability(mut self, alpha: f64) -> Self {
+        self.shape = self.shape.with_scalability(alpha);
+        self
+    }
+
+    /// Shape of a task of this kernel at a given scale factor.
+    ///
+    /// Scale multiplies both work and traffic; it models size variation
+    /// between invocations (e.g. shrinking recursion leaves) while keeping
+    /// the kernel's ops/byte ratio — tasks of one kernel stay "identical"
+    /// in character, as the paper assumes.
+    pub fn scaled_shape(&self, scale: f64) -> TaskShape {
+        debug_assert!(scale > 0.0 && scale.is_finite());
+        TaskShape {
+            work_gops: self.shape.work_gops * scale,
+            bytes_gb: self.shape.bytes_gb * scale,
+            scal_alpha: self.shape.scal_alpha,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_shape_preserves_intensity() {
+        let k = KernelSpec::new("mm", TaskShape::new(1.0, 0.5));
+        let s = k.scaled_shape(2.0);
+        assert!((s.work_gops - 2.0).abs() < 1e-12);
+        assert!((s.bytes_gb - 1.0).abs() < 1e-12);
+        assert!((s.ops_per_byte() - k.shape.ops_per_byte()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_kernels_have_width_one() {
+        let k = KernelSpec::new("copy", TaskShape::new(0.1, 0.1)).rigid();
+        assert_eq!(k.max_width, 1);
+        let k2 = KernelSpec::new("copy", TaskShape::new(0.1, 0.1)).with_max_width(2);
+        assert_eq!(k2.max_width, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_width must be at least 1")]
+    fn zero_width_rejected() {
+        let _ = KernelSpec::new("bad", TaskShape::new(0.1, 0.1)).with_max_width(0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # joss-dag — task-DAG substrate
+//!
+//! Task-based applications are expressed as directed acyclic graphs whose
+//! vertices are *tasks* and edges are dependencies (paper §1). Tasks are
+//! instances of *kernels* (task types): a typical kernel is invoked many
+//! times, and all invocations run the same routine — the property JOSS's
+//! online per-kernel sampling relies on (§5.1).
+//!
+//! This crate provides:
+//!
+//! * [`kernel`] — kernel (task-type) descriptions carrying the computational
+//!   shape the platform executes;
+//! * [`graph`] — a compact DAG container with dependency tracking, readiness,
+//!   and structural analyses (longest path, degree of parallelism);
+//! * [`generators`] — generic DAG shapes (chains, fork-join, layered random)
+//!   used by tests; the paper's ten benchmarks live in `joss-workloads`.
+
+pub mod generators;
+pub mod graph;
+pub mod kernel;
+
+pub use graph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+pub use kernel::{KernelId, KernelSpec};

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 10: model prediction accuracy distributions.
+
+use joss_experiments::{fig10, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let ctx = ExperimentContext::new(42);
+    let result = fig10::run(&ctx, Scale::Divided(200));
+    print!("{}", result.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 1: four configuration-selection scenarios for MM and MC.
+
+use joss_experiments::{fig1, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let ctx = ExperimentContext::new(42);
+    let result = fig1::run(&ctx, Scale::Divided(100), 42);
+    print!("{}", result.render(&ctx));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 2: energy vs execution-time trade-off curves.
+
+use joss_experiments::{fig2, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let ctx = ExperimentContext::new(42);
+    let result = fig2::run(&ctx, Scale::Divided(100), 42);
+    print!("{}", result.render(&ctx));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5: CPU/memory rail power of synthetic benchmarks on two
+//! little cores across all frequency combinations.
+
+use joss_experiments::{fig5, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::new(42);
+    let result = fig5::run(&ctx);
+    print!("{}", result.render());
+}

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 8: total energy across schedulers, normalized to GRWS.
+//!
+//! Usage: `fig8_energy [--full | --scale N] [--seed S] [--verbose]`
+
+use joss_experiments::{fig8, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Divided(100);
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--scale" => {
+                i += 1;
+                scale = Scale::Divided(args[i].parse().expect("scale divisor"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("seed");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    // Scaled-down runs have short makespans; shrink Aequitas' slice
+    // proportionally so its time-slicing still engages.
+    let slice = match scale {
+        Scale::Full => 1.0,
+        Scale::Divided(d) => (1.0 / d as f64).max(0.005),
+    };
+    let ctx = ExperimentContext::new(seed);
+    let result = fig8::run(&ctx, scale, seed, slice);
+    print!("{}", result.render());
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 9: JOSS under performance constraints.
+//!
+//! Usage: `fig9_constraints [--full | --scale N] [--seed S]`
+
+use joss_experiments::{fig9, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Divided(100);
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--scale" => {
+                i += 1;
+                scale = Scale::Divided(args[i].parse().expect("scale divisor"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("seed");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let ctx = ExperimentContext::new(seed);
+    let result = fig9::run(&ctx, scale, seed);
+    print!("{}", result.render());
+}

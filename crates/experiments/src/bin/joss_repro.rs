@@ -1,0 +1,70 @@
+//! Umbrella reproduction binary: runs every experiment of the paper and
+//! writes the outputs under `results/`.
+//!
+//! Usage: `joss_repro [--full | --scale N] [--seed S] [--out DIR]`
+
+use joss_experiments::{
+    fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, ExperimentContext,
+};
+use joss_workloads::Scale;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Divided(50);
+    let mut seed = 42u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--scale" => {
+                i += 1;
+                scale = Scale::Divided(args[i].parse().expect("scale divisor"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("seed");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(&args[i]);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    fs::create_dir_all(&out_dir).expect("create results dir");
+    let slice = match scale {
+        Scale::Full => 1.0,
+        Scale::Divided(d) => (1.0 / d as f64).max(0.005),
+    };
+
+    eprintln!("[joss_repro] characterizing platform + training models...");
+    let ctx = ExperimentContext::new(seed);
+
+    let save = |name: &str, body: String| {
+        let path = out_dir.join(name);
+        fs::write(&path, &body).expect("write result");
+        println!("==== {name} ====\n{body}");
+    };
+
+    eprintln!("[joss_repro] Table 1...");
+    save("table1.txt", table1::run().render());
+    eprintln!("[joss_repro] Fig. 1...");
+    save("fig1.txt", fig1::run(&ctx, Scale::Divided(100), seed).render(&ctx));
+    eprintln!("[joss_repro] Fig. 2...");
+    save("fig2.txt", fig2::run(&ctx, Scale::Divided(100), seed).render(&ctx));
+    eprintln!("[joss_repro] Fig. 5...");
+    save("fig5.txt", fig5::run(&ctx).render());
+    eprintln!("[joss_repro] Fig. 8 (21 benchmarks x 6 schedulers)...");
+    save("fig8.txt", fig8::run(&ctx, scale, seed, slice).render());
+    eprintln!("[joss_repro] Fig. 9 (constraints)...");
+    save("fig9.txt", fig9::run(&ctx, scale, seed).render());
+    eprintln!("[joss_repro] Fig. 10 (model accuracy)...");
+    save("fig10.txt", fig10::run(&ctx, Scale::Divided(200)).render());
+    eprintln!("[joss_repro] §7.4 (overheads)...");
+    save("sec74_overhead.txt", overhead::run(&ctx, Scale::Divided(200)).render());
+    eprintln!("[joss_repro] done; outputs in {}", out_dir.display());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §7.4 overhead analysis: steepest-descent vs exhaustive
+//! search cost/quality and lookup-table storage.
+
+use joss_experiments::{overhead, ExperimentContext};
+use joss_workloads::Scale;
+
+fn main() {
+    let ctx = ExperimentContext::new(42);
+    let result = overhead::run(&ctx, Scale::Divided(200));
+    print!("{}", result.render());
+}

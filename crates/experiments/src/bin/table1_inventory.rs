@@ -1,0 +1,7 @@
+//! Regenerates Table 1: the benchmark inventory with generated task counts.
+
+use joss_experiments::table1;
+
+fn main() {
+    print!("{}", table1::run().render());
+}

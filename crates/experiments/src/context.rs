@@ -1,0 +1,33 @@
+//! Shared experiment context: the platform and its one-time
+//! characterization, reused across all experiments.
+
+use joss_models::{ModelSet, TrainingConfig};
+use joss_platform::{ConfigSpace, MachineModel};
+use std::sync::Arc;
+
+/// Platform + trained models, built once per experiment session.
+pub struct ExperimentContext {
+    /// The simulated TX2.
+    pub machine: MachineModel,
+    /// Its configuration space.
+    pub space: ConfigSpace,
+    /// The trained MPR model set (install-time characterization).
+    pub models: Arc<ModelSet>,
+}
+
+impl ExperimentContext {
+    /// Build with the paper's 10 profiling repetitions.
+    pub fn new(seed: u64) -> Self {
+        Self::with_reps(seed, 10)
+    }
+
+    /// Build with reduced profiling repetitions (fast tests).
+    pub fn with_reps(seed: u64, reps: u32) -> Self {
+        let machine = MachineModel::tx2(seed);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let mut cfg = TrainingConfig::tx2_default(&space);
+        cfg.reps = reps;
+        let models = Arc::new(ModelSet::train(&machine, cfg));
+        ExperimentContext { machine, space, models }
+    }
+}

@@ -1,0 +1,158 @@
+//! Fig. 1 — motivation: total energy under four configuration-selection
+//! scenarios for MM (compute-bound) and MC (memory-bound) at dop = 1.
+//!
+//! 1. least **CPU** energy over `<TC,NC,fC>` with `fM` fixed at max
+//!    (the state of the art, STEER-style);
+//! 2. least **total** energy over `<TC,NC,fC>`, `fM` still fixed;
+//! 3. scenario 1's `<TC,NC,fC>` kept, then `fM` tuned alone (orthogonal
+//!    scaling);
+//! 4. least total energy over the full joint `<TC,NC,fC,fM>` space (JOSS).
+//!
+//! Each candidate is evaluated by *running the whole benchmark* pinned at
+//! that configuration and measuring rail energies, exactly like the paper's
+//! exhaustive platform runs.
+
+use crate::context::ExperimentContext;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::FixedSched;
+use joss_dag::TaskGraph;
+use joss_platform::{EnergyAccount, KnobConfig};
+use joss_workloads::{matcopy, matmul, Scale};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Result of one scenario on one benchmark.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario number (1..=4).
+    pub scenario: usize,
+    /// Selected configuration.
+    pub config: KnobConfig,
+    /// Measured energy at that configuration.
+    pub energy: EnergyAccount,
+}
+
+/// Fig. 1 results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig1Bench {
+    /// Benchmark label (MM / MC).
+    pub label: String,
+    /// The four scenarios.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// The full Fig. 1 result.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Per-benchmark results.
+    pub benches: Vec<Fig1Bench>,
+}
+
+/// Sweep the whole configuration space for a benchmark, measuring energy at
+/// every pinned configuration.
+pub fn sweep(
+    ctx: &ExperimentContext,
+    graph: &TaskGraph,
+    seed: u64,
+) -> HashMap<KnobConfig, EnergyAccount> {
+    let mut out = HashMap::new();
+    for cfg in ctx.space.iter_all() {
+        let mut sched = FixedSched::new(cfg);
+        let engine = EngineConfig { seed, ..EngineConfig::default() };
+        let report = SimEngine::run(&ctx.machine, graph, &mut sched, engine);
+        out.insert(cfg, report.energy);
+    }
+    out
+}
+
+fn argmin_by<F: Fn(&EnergyAccount) -> f64>(
+    sweep: &HashMap<KnobConfig, EnergyAccount>,
+    filter: impl Fn(&KnobConfig) -> bool,
+    key: F,
+) -> (KnobConfig, EnergyAccount) {
+    let (cfg, acc) = sweep
+        .iter()
+        .filter(|(c, _)| filter(c))
+        .min_by(|a, b| key(a.1).partial_cmp(&key(b.1)).expect("finite energies"))
+        .expect("non-empty sweep");
+    (*cfg, *acc)
+}
+
+fn scenarios(
+    ctx: &ExperimentContext,
+    sweep: &HashMap<KnobConfig, EnergyAccount>,
+) -> Vec<ScenarioResult> {
+    let fm_max = ctx.space.fm_max();
+    // Scenario 1: least CPU energy, fM pinned at max.
+    let (c1, e1) = argmin_by(sweep, |c| c.fm == fm_max, |e| e.cpu_j);
+    // Scenario 2: least total energy, fM pinned at max.
+    let (c2, e2) = argmin_by(sweep, |c| c.fm == fm_max, |e| e.total_j());
+    // Scenario 3: scenario 1's <TC,NC,fC>, fM tuned orthogonally.
+    let (c3, e3) = argmin_by(
+        sweep,
+        |c| c.tc == c1.tc && c.nc == c1.nc && c.fc == c1.fc,
+        |e| e.total_j(),
+    );
+    // Scenario 4: joint search over all four knobs.
+    let (c4, e4) = argmin_by(sweep, |_| true, |e| e.total_j());
+    vec![
+        ScenarioResult { scenario: 1, config: c1, energy: e1 },
+        ScenarioResult { scenario: 2, config: c2, energy: e2 },
+        ScenarioResult { scenario: 3, config: c3, energy: e3 },
+        ScenarioResult { scenario: 4, config: c4, energy: e4 },
+    ]
+}
+
+/// Run the Fig. 1 experiment.
+pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig1 {
+    let mut benches = Vec::new();
+    for graph in [matmul::matmul(256, 1, scale), matcopy::matcopy(4096, 1, scale)] {
+        let sw = sweep(ctx, &graph, seed);
+        benches.push(Fig1Bench {
+            label: graph.name().to_string(),
+            scenarios: scenarios(ctx, &sw),
+        });
+    }
+    Fig1 { benches }
+}
+
+impl Fig1 {
+    /// Text rendering of the figure.
+    pub fn render(&self, ctx: &ExperimentContext) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 1 — total energy under four config-selection scenarios").unwrap();
+        for b in &self.benches {
+            writeln!(out, "\n## {}", b.label).unwrap();
+            writeln!(
+                out,
+                "{:<10} {:<28} {:>10} {:>10} {:>10}",
+                "scenario", "config", "cpu [J]", "mem [J]", "total [J]"
+            )
+            .unwrap();
+            for s in &b.scenarios {
+                writeln!(
+                    out,
+                    "{:<10} {:<28} {:>10.3} {:>10.3} {:>10.3}",
+                    s.scenario,
+                    ctx.space.label(s.config),
+                    s.energy.cpu_j,
+                    s.energy.mem_j,
+                    s.energy.total_j()
+                )
+                .unwrap();
+            }
+            let e1 = b.scenarios[0].energy.total_j();
+            let e2 = b.scenarios[1].energy.total_j();
+            let e3 = b.scenarios[2].energy.total_j();
+            let e4 = b.scenarios[3].energy.total_j();
+            writeln!(
+                out,
+                "scenario 2 vs 1: {:+.1}%   scenario 4 vs 3: {:+.1}%",
+                100.0 * (e2 - e1) / e1,
+                100.0 * (e4 - e3) / e3
+            )
+            .unwrap();
+        }
+        out
+    }
+}

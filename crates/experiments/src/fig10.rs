@@ -1,0 +1,149 @@
+//! Fig. 10 — prediction accuracy of the three models (performance, CPU
+//! power, memory power) across the evaluated benchmarks.
+//!
+//! For every kernel of every suite benchmark: sample it the way the runtime
+//! does (two core frequencies, noisy measurements), build the prediction
+//! tables, then compare predictions against measured "real" values at every
+//! configuration of the four-knob space. Accuracy = `1 - |real - pred| /
+//! real`, averaged per benchmark; the figure reports the distribution.
+
+use crate::context::ExperimentContext;
+use joss_models::{accuracy, AccuracyStats};
+use joss_platform::ExecContext;
+use joss_workloads::{fig8_suite, Scale};
+use std::fmt::Write as _;
+
+/// The full Fig. 10 result.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Per-benchmark mean accuracy of the performance model.
+    pub perf: Vec<f64>,
+    /// Per-benchmark mean accuracy of the CPU power model.
+    pub cpu: Vec<f64>,
+    /// Per-benchmark mean accuracy of the memory power model.
+    pub mem: Vec<f64>,
+}
+
+/// Run the Fig. 10 experiment.
+pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
+    let suite = fig8_suite(scale);
+    let ectx = ExecContext::alone();
+    let mut perf = Vec::new();
+    let mut cpu = Vec::new();
+    let mut mem = Vec::new();
+    for (bi, bench) in suite.iter().enumerate() {
+        let mut acc_p = Vec::new();
+        let mut acc_c = Vec::new();
+        let mut acc_m = Vec::new();
+        for (ki, kernel) in bench.graph.kernels().iter().enumerate() {
+            // Runtime-style sampling: noisy measurements at the two sampling
+            // frequencies for every admissible <TC,NC>.
+            let samples: Vec<Option<(f64, f64)>> = ctx
+                .models
+                .indexer()
+                .iter()
+                .map(|(tc, nc)| {
+                    let width = ctx.space.nc_count(tc, nc);
+                    if width > kernel.max_width {
+                        return None;
+                    }
+                    let key = |phase: u64| {
+                        [0xF16u64, bi as u64, ki as u64, tc.index() as u64, width as u64, phase]
+                    };
+                    let t_ref = ctx
+                        .machine
+                        .execute(
+                            &kernel.shape,
+                            tc,
+                            width,
+                            ctx.models.fc_ref_ghz(),
+                            ctx.models.fm_ref_ghz(),
+                            &ectx,
+                            &key(0),
+                        )
+                        .duration
+                        .as_secs_f64();
+                    let t_alt = ctx
+                        .machine
+                        .execute(
+                            &kernel.shape,
+                            tc,
+                            width,
+                            ctx.models.fc_alt_ghz(),
+                            ctx.models.fm_ref_ghz(),
+                            &ectx,
+                            &key(1),
+                        )
+                        .duration
+                        .as_secs_f64();
+                    Some((t_ref, t_alt))
+                })
+                .collect();
+            let tables = ctx.models.build_kernel_tables(&samples);
+            // Compare to measured reality at every configuration.
+            for cfg in ctx.space.iter_all() {
+                let width = ctx.space.nc_count(cfg.tc, cfg.nc);
+                if width > kernel.max_width {
+                    continue;
+                }
+                let real = ctx.machine.execute(
+                    &kernel.shape,
+                    cfg.tc,
+                    width,
+                    ctx.space.fc_ghz(cfg.fc),
+                    ctx.space.fm_ghz(cfg.fm),
+                    &ectx,
+                    &[0xA2EA1u64, bi as u64, ki as u64, cfg.fc.0 as u64, cfg.fm.0 as u64, cfg.tc.index() as u64, width as u64],
+                );
+                acc_p.push(accuracy(real.duration.as_secs_f64(), tables.time_s(cfg)));
+                // Power accuracy is evaluated at the rail level (dynamic +
+                // characterized idle), which is what the INA3221 actually
+                // measures and what the scheduler's energy estimates use.
+                let fc_ix = cfg.fc;
+                let fm_ix = cfg.fm;
+                let cpu_idle = ctx.models.idle.cluster_idle_w(cfg.tc, fc_ix);
+                let mem_idle = ctx.models.idle.mem_idle_w(fm_ix);
+                acc_c.push(accuracy(real.cpu_dyn_w + cpu_idle, tables.cpu_w(cfg) + cpu_idle));
+                acc_m.push(accuracy(real.mem_dyn_w + mem_idle, tables.mem_w(cfg) + mem_idle));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        perf.push(mean(&acc_p));
+        cpu.push(mean(&acc_c));
+        mem.push(mean(&acc_m));
+    }
+    Fig10 { perf, cpu, mem }
+}
+
+impl Fig10 {
+    /// Distribution statistics per model.
+    pub fn stats(&self) -> [(&'static str, AccuracyStats); 3] {
+        [
+            ("performance", AccuracyStats::from_samples(&self.perf).expect("non-empty")),
+            ("CPU power", AccuracyStats::from_samples(&self.cpu).expect("non-empty")),
+            ("memory power", AccuracyStats::from_samples(&self.mem).expect("non-empty")),
+        ]
+    }
+
+    /// Text rendering of the figure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 10 — model prediction accuracy across benchmarks").unwrap();
+        writeln!(
+            out,
+            "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "model", "mean", "median", "p25", "p75", "min", "max"
+        )
+        .unwrap();
+        for (name, s) in self.stats() {
+            writeln!(
+                out,
+                "{:<14} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                name, s.mean, s.median, s.p25, s.p75, s.min, s.max
+            )
+            .unwrap();
+        }
+        writeln!(out, "\n(paper: performance 97% mean, CPU power 90%, memory power 80%)").unwrap();
+        out
+    }
+}

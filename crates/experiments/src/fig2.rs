@@ -1,0 +1,101 @@
+//! Fig. 2 — energy/performance trade-off exploration: walking from the
+//! minimum-energy configuration toward the fastest one and recording the
+//! measured energy and execution time at each step.
+
+use crate::context::ExperimentContext;
+use crate::fig1::sweep;
+use joss_platform::{EnergyAccount, FreqIndex, KnobConfig, NcIndex};
+use joss_workloads::{matcopy, matmul, Scale};
+use std::fmt::Write as _;
+
+/// One point of a trade-off curve.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Configuration.
+    pub config: KnobConfig,
+    /// Measured energy/makespan at that configuration.
+    pub energy: EnergyAccount,
+}
+
+/// Trade-off curve for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig2Bench {
+    /// Benchmark label.
+    pub label: String,
+    /// Points from least-energy to fastest.
+    pub points: Vec<TradeoffPoint>,
+}
+
+/// The full Fig. 2 result.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Per-benchmark curves.
+    pub benches: Vec<Fig2Bench>,
+}
+
+/// Run the Fig. 2 experiment.
+pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig2 {
+    let mut benches = Vec::new();
+    for graph in [matmul::matmul(256, 1, scale), matcopy::matcopy(4096, 1, scale)] {
+        let sw = sweep(ctx, &graph, seed);
+        // Start from the joint minimum-energy configuration.
+        let (start, _) = sw
+            .iter()
+            .min_by(|a, b| a.1.total_j().partial_cmp(&b.1.total_j()).expect("finite"))
+            .expect("non-empty sweep");
+        // Walk toward the fastest configuration: raise fC step by step, then
+        // fM, then NC — the paper's Fig. 2 series.
+        let mut series = vec![*start];
+        let mut cur = *start;
+        while cur.fc < ctx.space.fc_max() {
+            cur = KnobConfig { fc: FreqIndex(cur.fc.0 + 1), ..cur };
+            series.push(cur);
+        }
+        while cur.fm < ctx.space.fm_max() {
+            cur = KnobConfig { fm: FreqIndex(cur.fm.0 + 1), ..cur };
+            series.push(cur);
+        }
+        while cur.nc.0 + 1 < ctx.space.n_nc(cur.tc) {
+            cur = KnobConfig { nc: NcIndex(cur.nc.0 + 1), ..cur };
+            series.push(cur);
+        }
+        let points = series
+            .into_iter()
+            .map(|config| TradeoffPoint { config, energy: sw[&config] })
+            .collect();
+        benches.push(Fig2Bench { label: graph.name().to_string(), points });
+    }
+    Fig2 { benches }
+}
+
+impl Fig2 {
+    /// Text rendering of the figure.
+    pub fn render(&self, ctx: &ExperimentContext) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 2 — energy vs execution-time trade-off curves").unwrap();
+        for b in &self.benches {
+            writeln!(out, "\n## {}", b.label).unwrap();
+            writeln!(
+                out,
+                "{:<28} {:>12} {:>12} {:>9} {:>9}",
+                "config", "energy [J]", "time [s]", "E/E0", "T0/T"
+            )
+            .unwrap();
+            let e0 = b.points[0].energy.total_j();
+            let t0 = b.points[0].energy.makespan_s;
+            for p in &b.points {
+                writeln!(
+                    out,
+                    "{:<28} {:>12.3} {:>12.4} {:>9.2} {:>9.2}",
+                    ctx.space.label(p.config),
+                    p.energy.total_j(),
+                    p.energy.makespan_s,
+                    p.energy.total_j() / e0,
+                    t0 / p.energy.makespan_s
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 5 — CPU and memory rail power while running synthetic benchmarks of
+//! three memory-boundness levels (2%, 36%, 72%) on two little (A57) cores,
+//! across all 15 `<fC, fM>` combinations.
+
+use crate::context::ExperimentContext;
+use joss_models::Profiler;
+use joss_platform::CoreType;
+use std::fmt::Write as _;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Memory-boundness label (fraction, e.g. 0.02).
+    pub mb: f64,
+    /// Core frequency, GHz.
+    pub fc_ghz: f64,
+    /// Memory frequency, GHz.
+    pub fm_ghz: f64,
+    /// CPU rail power (dynamic + cluster idle), watts.
+    pub cpu_w: f64,
+    /// Memory rail power (dynamic + background), watts.
+    pub mem_w: f64,
+}
+
+/// The full Fig. 5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// All measured points.
+    pub points: Vec<Fig5Point>,
+}
+
+/// The paper's three MB levels.
+pub const MB_LEVELS: [f64; 3] = [0.02, 0.36, 0.72];
+
+/// Run the Fig. 5 experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig5 {
+    let profiler = Profiler::new(&ctx.machine);
+    let benches = profiler.benches();
+    let mut points = Vec::new();
+    for &mb in &MB_LEVELS {
+        // Synthetic index whose compute fraction matches 1 - MB.
+        let idx = (((1.0 - mb) / 0.025).round() as usize).min(benches.len() - 1);
+        let bench = &benches[idx];
+        // fC descending within each fM group, matching the paper's x-axis.
+        for fm in (0..ctx.space.mem_freqs_ghz.len()).rev() {
+            for fc in (0..ctx.space.cpu_freqs_ghz.len()).rev() {
+                let fc_ghz = ctx.space.cpu_freqs_ghz[fc];
+                let fm_ghz = ctx.space.mem_freqs_ghz[fm];
+                let (_, cpu_dyn, mem_dyn) =
+                    profiler.measure(idx, bench, CoreType::Little, 2, fc_ghz, fm_ghz);
+                points.push(Fig5Point {
+                    mb,
+                    fc_ghz,
+                    fm_ghz,
+                    cpu_w: cpu_dyn + ctx.machine.cluster_idle_w(CoreType::Little, fc_ghz),
+                    mem_w: mem_dyn + ctx.machine.mem_idle_w(fm_ghz),
+                });
+            }
+        }
+    }
+    Fig5 { points }
+}
+
+impl Fig5 {
+    /// Text rendering: two tables (CPU rail, memory rail) like Fig. 5a/5b.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 5 — rail power of synthetics on A57 x 2 cores").unwrap();
+        for (name, pick) in [
+            ("(a) CPU power [W]", 0usize),
+            ("(b) Memory power [W]", 1usize),
+        ] {
+            writeln!(out, "\n## {name}").unwrap();
+            write!(out, "{:<16}", "<fC, fM>").unwrap();
+            for &mb in &MB_LEVELS {
+                write!(out, " {:>10}", format!("MB={:.0}%", mb * 100.0)).unwrap();
+            }
+            writeln!(out).unwrap();
+            let per_level = self.points.len() / MB_LEVELS.len();
+            for i in 0..per_level {
+                let p0 = &self.points[i];
+                write!(out, "{:<16}", format!("<{:.2}, {:.2}>", p0.fc_ghz, p0.fm_ghz)).unwrap();
+                for l in 0..MB_LEVELS.len() {
+                    let p = &self.points[l * per_level + i];
+                    let v = if pick == 0 { p.cpu_w } else { p.mem_w };
+                    write!(out, " {v:>10.3}").unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 8 — total energy consumption of GRWS, ERASE, Aequitas, STEER, JOSS
+//! and JOSS_NoMemDVFS across the 21 benchmark instances, normalized to
+//! GRWS (lower is better).
+
+use crate::context::ExperimentContext;
+use crate::runner::{run_one, SchedulerKind};
+use joss_core::metrics::RunReport;
+use joss_workloads::{fig8_suite, Scale};
+use std::fmt::Write as _;
+
+/// One benchmark's results across schedulers.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark label.
+    pub label: String,
+    /// Reports in [`SchedulerKind::fig8_set`] order.
+    pub reports: Vec<RunReport>,
+}
+
+/// Full Fig. 8 result.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Scheduler names, in column order.
+    pub schedulers: Vec<String>,
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8 {
+    /// Normalized (to GRWS) total energy per row and scheduler.
+    pub fn normalized(&self) -> Vec<(String, Vec<f64>)> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let base = r.reports[0].total_j();
+                (r.label.clone(), r.reports.iter().map(|x| x.total_j() / base).collect())
+            })
+            .collect()
+    }
+
+    /// Geometric mean of normalized energies per scheduler.
+    pub fn geo_means(&self) -> Vec<f64> {
+        let norm = self.normalized();
+        let n_sched = self.schedulers.len();
+        (0..n_sched)
+            .map(|s| {
+                let log_sum: f64 = norm.iter().map(|(_, v)| v[s].ln()).sum();
+                (log_sum / norm.len() as f64).exp()
+            })
+            .collect()
+    }
+
+    /// Text rendering (the paper's figure as a table).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 8 — total energy normalized to GRWS (lower is better)").unwrap();
+        write!(out, "{:<16}", "benchmark").unwrap();
+        for s in &self.schedulers {
+            write!(out, " {s:>15}").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (label, vals) in self.normalized() {
+            write!(out, "{label:<16}").unwrap();
+            for v in vals {
+                write!(out, " {v:>15.3}").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        write!(out, "{:<16}", "Geo.Mean").unwrap();
+        for g in self.geo_means() {
+            write!(out, " {g:>15.3}").unwrap();
+        }
+        writeln!(out).unwrap();
+        writeln!(out).unwrap();
+        writeln!(out, "## CPU / memory energy split (joules, absolute)").unwrap();
+        for row in &self.rows {
+            for rep in &row.reports {
+                writeln!(out, "  {}", rep.summary()).unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// Run the Fig. 8 experiment.
+pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64, aequitas_slice_s: f64) -> Fig8 {
+    let kinds = SchedulerKind::fig8_set(aequitas_slice_s);
+    let suite = fig8_suite(scale);
+    let mut rows = Vec::with_capacity(suite.len());
+    let mut schedulers = Vec::new();
+    for bench in &suite {
+        let mut reports = Vec::with_capacity(kinds.len());
+        for &kind in &kinds {
+            let rep = run_one(ctx, kind, &bench.graph, seed);
+            if schedulers.len() < kinds.len() {
+                schedulers.push(rep.scheduler.clone());
+            }
+            reports.push(rep);
+        }
+        rows.push(Fig8Row { label: bench.label.clone(), reports });
+    }
+    Fig8 { schedulers, rows }
+}

@@ -1,0 +1,126 @@
+//! Fig. 9 — reducing total energy under user-specified performance
+//! constraints: JOSS+1.2X, +1.4X, +1.8X and MAXP, with energy and execution
+//! time normalized to unconstrained JOSS.
+
+use crate::context::ExperimentContext;
+use crate::runner::{run_one, SchedulerKind};
+use joss_core::metrics::RunReport;
+use joss_workloads::{fig9_suite, Scale};
+use std::fmt::Write as _;
+
+/// One benchmark's reports across constraint settings.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Benchmark label.
+    pub label: String,
+    /// Reports in the order: JOSS, +1.2X, +1.4X, +1.8X, +MAXP.
+    pub reports: Vec<RunReport>,
+}
+
+/// The full Fig. 9 result.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// Scheduler names in column order.
+    pub schedulers: Vec<String>,
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig9Row>,
+}
+
+/// The constraint settings of the figure.
+pub fn kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Joss,
+        SchedulerKind::JossSpeedup(1.2),
+        SchedulerKind::JossSpeedup(1.4),
+        SchedulerKind::JossSpeedup(1.8),
+        SchedulerKind::JossMaxPerf,
+    ]
+}
+
+/// Run the Fig. 9 experiment.
+pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig9 {
+    let suite = fig9_suite(scale);
+    let kinds = kinds();
+    let mut rows = Vec::new();
+    let mut schedulers = Vec::new();
+    for bench in &suite {
+        let mut reports = Vec::new();
+        for &kind in &kinds {
+            let rep = run_one(ctx, kind, &bench.graph, seed);
+            if schedulers.len() < kinds.len() {
+                schedulers.push(rep.scheduler.clone());
+            }
+            reports.push(rep);
+        }
+        rows.push(Fig9Row { label: bench.label.clone(), reports });
+    }
+    Fig9 { schedulers, rows }
+}
+
+impl Fig9 {
+    /// Mean energy increase (vs JOSS) per constraint column.
+    pub fn mean_energy_increase(&self) -> Vec<f64> {
+        let n = self.schedulers.len();
+        (0..n)
+            .map(|s| {
+                let mut acc = 0.0;
+                for r in &self.rows {
+                    acc += r.reports[s].total_j() / r.reports[0].total_j();
+                }
+                acc / self.rows.len() as f64 - 1.0
+            })
+            .collect()
+    }
+
+    /// Mean achieved speedup (vs JOSS makespan) per column.
+    pub fn mean_speedup(&self) -> Vec<f64> {
+        let n = self.schedulers.len();
+        (0..n)
+            .map(|s| {
+                let mut acc = 0.0;
+                for r in &self.rows {
+                    acc += r.reports[0].energy.makespan_s / r.reports[s].energy.makespan_s;
+                }
+                acc / self.rows.len() as f64
+            })
+            .collect()
+    }
+
+    /// Text rendering of the figure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# Fig. 9 — energy & time under performance constraints (norm. to JOSS)")
+            .unwrap();
+        write!(out, "{:<16}", "benchmark").unwrap();
+        for s in &self.schedulers {
+            let tag = s.replace("JOSS", "");
+            let tag = if tag.is_empty() { "base".to_string() } else { tag };
+            write!(out, " {:>11} {:>11}", format!("{tag} E"), format!("{tag} T")).unwrap();
+        }
+        writeln!(out).unwrap();
+        for row in &self.rows {
+            write!(out, "{:<16}", row.label).unwrap();
+            let e0 = row.reports[0].total_j();
+            let t0 = row.reports[0].energy.makespan_s;
+            for rep in &row.reports {
+                write!(
+                    out,
+                    " {:>12.3} {:>11.3}",
+                    rep.total_j() / e0,
+                    rep.energy.makespan_s / t0
+                )
+                .unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        writeln!(out, "\nmean energy increase per target:").unwrap();
+        for (s, d) in self.schedulers.iter().zip(self.mean_energy_increase()) {
+            writeln!(out, "  {s:<14} {:+.1}%", d * 100.0).unwrap();
+        }
+        writeln!(out, "mean achieved speedup per target:").unwrap();
+        for (s, v) in self.schedulers.iter().zip(self.mean_speedup()) {
+            writeln!(out, "  {s:<14} {v:.2}x").unwrap();
+        }
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! # joss-experiments — regenerating every table and figure of the paper
+//!
+//! One module per experiment, each with a `run(...)` entry returning a
+//! structured result and a `render()` producing the text table/series the
+//! paper reports. Binaries under `src/bin/` wrap these for the command
+//! line; `joss_repro` runs the full set.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig1`] | Fig. 1 — motivation: four config-selection scenarios |
+//! | [`fig2`] | Fig. 2 — energy/performance trade-off curves |
+//! | [`fig5`] | Fig. 5 — CPU/memory power of synthetics on A57 x 2 |
+//! | [`table1`] | Table 1 — benchmark inventory |
+//! | [`fig8`] | Fig. 8 — total energy across schedulers |
+//! | [`fig9`] | Fig. 9 — energy under performance constraints |
+//! | [`fig10`] | Fig. 10 — model accuracy distributions |
+//! | [`overhead`] | §7.4 — search and storage overhead analysis |
+
+pub mod context;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod runner;
+pub mod table1;
+
+pub use context::ExperimentContext;
+pub use runner::{run_one, SchedulerKind};

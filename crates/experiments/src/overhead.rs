@@ -1,0 +1,249 @@
+//! §7.4 — overhead analysis: steepest-descent vs exhaustive search cost and
+//! quality, and the per-kernel lookup-table storage footprint, on the TX2
+//! and on a larger hypothetical platform.
+
+use crate::context::ExperimentContext;
+use joss_models::{
+    exhaustive_search, steepest_descent_search, EnergyEstimator, ModelSet, Objective,
+    TrainingConfig,
+};
+use joss_platform::{ExecContext, MachineModel, NoiseModel, PlatformSpec};
+use joss_workloads::{fig8_suite, Scale};
+use std::fmt::Write as _;
+
+/// Comparison of the two searches on one kernel.
+#[derive(Debug, Clone)]
+pub struct SearchComparison {
+    /// Kernel name (with benchmark prefix).
+    pub kernel: String,
+    /// Exhaustive evaluations.
+    pub ex_evals: u64,
+    /// Steepest-descent evaluations.
+    pub sd_evals: u64,
+    /// Exhaustive minimum energy (J).
+    pub ex_energy: f64,
+    /// Steepest-descent minimum energy (J).
+    pub sd_energy: f64,
+    /// Worst-case energy in the space (J), for reduction-ratio math.
+    pub worst_energy: f64,
+}
+
+impl SearchComparison {
+    /// Fraction of the exhaustive search's energy reduction that steepest
+    /// descent achieves (the paper reports 97%).
+    pub fn reduction_ratio(&self) -> f64 {
+        let ex_red = self.worst_energy - self.ex_energy;
+        let sd_red = self.worst_energy - self.sd_energy;
+        if ex_red <= 0.0 {
+            1.0
+        } else {
+            (sd_red / ex_red).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// The full §7.4 result.
+#[derive(Debug, Clone)]
+pub struct Overhead {
+    /// Per-kernel comparisons on the TX2-like platform.
+    pub tx2: Vec<SearchComparison>,
+    /// Comparisons on the larger platform (synthetic kernels).
+    pub large: Vec<SearchComparison>,
+    /// Storage entries per kernel on the TX2 (3 tables).
+    pub tx2_storage_entries: usize,
+    /// Storage entries per kernel on the large platform.
+    pub large_storage_entries: usize,
+}
+
+fn compare_kernel(
+    models: &ModelSet,
+    samples: &[Option<(f64, f64)>],
+    max_width: usize,
+    kernel: String,
+) -> SearchComparison {
+    let tables = models.build_kernel_tables(samples);
+    let est = EnergyEstimator {
+        space: &models.space,
+        tables: &tables,
+        idle: &models.idle,
+        objective: Objective::TotalEnergy,
+        concurrency: 2.0,
+        max_width,
+    };
+    let ex = exhaustive_search(&est, true);
+    let sd = steepest_descent_search(&est, true);
+    let worst = models
+        .space
+        .iter_all()
+        .filter(|c| models.space.nc_count(c.tc, c.nc) <= max_width)
+        .map(|c| est.energy_j(c))
+        .fold(f64::NEG_INFINITY, f64::max);
+    SearchComparison {
+        kernel,
+        ex_evals: ex.stats.evaluations,
+        sd_evals: sd.stats.evaluations,
+        ex_energy: ex.energy_j,
+        sd_energy: sd.energy_j,
+        worst_energy: worst,
+    }
+}
+
+/// Sample a kernel shape cleanly on a machine for table building.
+fn clean_samples(
+    machine: &MachineModel,
+    models: &ModelSet,
+    shape: &joss_platform::TaskShape,
+    max_width: usize,
+) -> Vec<Option<(f64, f64)>> {
+    let ectx = ExecContext::alone();
+    models
+        .indexer()
+        .iter()
+        .map(|(tc, nc)| {
+            let width = models.space.nc_count(tc, nc);
+            if width > max_width {
+                return None;
+            }
+            Some((
+                machine.clean_time_s(shape, tc, width, models.fc_ref_ghz(), models.fm_ref_ghz(), &ectx),
+                machine.clean_time_s(shape, tc, width, models.fc_alt_ghz(), models.fm_ref_ghz(), &ectx),
+            ))
+        })
+        .collect()
+}
+
+/// Run the §7.4 analysis.
+pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
+    // TX2: every kernel of the evaluation suite.
+    let mut tx2 = Vec::new();
+    for bench in fig8_suite(scale) {
+        for kernel in bench.graph.kernels() {
+            let samples =
+                clean_samples(&ctx.machine, &ctx.models, &kernel.shape, kernel.max_width);
+            if samples.iter().all(|s| s.is_none()) {
+                continue;
+            }
+            tx2.push(compare_kernel(
+                &ctx.models,
+                &samples,
+                kernel.max_width,
+                format!("{}/{}", bench.label, kernel.name),
+            ));
+        }
+    }
+    let tx2_storage_entries =
+        ctx.models.build_kernel_tables(&clean_samples(
+            &ctx.machine,
+            &ctx.models,
+            &joss_platform::TaskShape::new(0.01, 0.001),
+            usize::MAX,
+        ))
+        .storage_entries();
+
+    // Larger platform: characterize it and compare on representative shapes.
+    let large_machine = MachineModel {
+        spec: PlatformSpec::large(),
+        noise: NoiseModel::calibrated(7),
+        params: Default::default(),
+    };
+    let large_space = joss_platform::ConfigSpace::from_spec(&large_machine.spec);
+    let mut tcfg = TrainingConfig::tx2_default(&large_space);
+    tcfg.reps = 2;
+    let large_models = ModelSet::train(&large_machine, tcfg);
+    let mut large = Vec::new();
+    for (name, w, b) in [
+        ("compute", 0.05, 0.001),
+        ("mixed", 0.02, 0.02),
+        ("streaming", 0.002, 0.2),
+    ] {
+        let shape = joss_platform::TaskShape::new(w, b);
+        let samples = clean_samples(&large_machine, &large_models, &shape, usize::MAX);
+        large.push(compare_kernel(&large_models, &samples, usize::MAX, name.to_string()));
+    }
+    let large_storage_entries = large_models
+        .build_kernel_tables(&clean_samples(
+            &large_machine,
+            &large_models,
+            &joss_platform::TaskShape::new(0.01, 0.001),
+            usize::MAX,
+        ))
+        .storage_entries();
+
+    Overhead { tx2, large, tx2_storage_entries, large_storage_entries }
+}
+
+impl Overhead {
+    /// Mean evaluation-count reduction of steepest descent on the TX2.
+    pub fn mean_eval_reduction(&self) -> f64 {
+        let mut acc = 0.0;
+        for c in &self.tx2 {
+            acc += 1.0 - c.sd_evals as f64 / c.ex_evals as f64;
+        }
+        acc / self.tx2.len() as f64
+    }
+
+    /// Mean energy-reduction ratio achieved by steepest descent on the TX2.
+    pub fn mean_reduction_ratio(&self) -> f64 {
+        self.tx2.iter().map(|c| c.reduction_ratio()).sum::<f64>() / self.tx2.len() as f64
+    }
+
+    /// Text rendering of the analysis.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# §7.4 — search and storage overhead analysis").unwrap();
+        writeln!(
+            out,
+            "\n## TX2-like platform ({} kernels from the evaluation suite)",
+            self.tx2.len()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<26} {:>9} {:>9} {:>10} {:>10} {:>9}",
+            "kernel", "ex evals", "sd evals", "ex E [J]", "sd E [J]", "red.ratio"
+        )
+        .unwrap();
+        for c in &self.tx2 {
+            writeln!(
+                out,
+                "{:<26} {:>9} {:>9} {:>10.5} {:>10.5} {:>9.3}",
+                c.kernel, c.ex_evals, c.sd_evals, c.ex_energy, c.sd_energy,
+                c.reduction_ratio()
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "\nmean evaluation reduction: {:.1}% (paper: ~70%)",
+            100.0 * self.mean_eval_reduction()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "mean energy-reduction ratio vs exhaustive: {:.1}% (paper: ~97%)",
+            100.0 * self.mean_reduction_ratio()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "lookup-table storage: {} entries/kernel (3 tables x tcnc x fC x fM)",
+            self.tx2_storage_entries
+        )
+        .unwrap();
+        writeln!(out, "\n## Larger platform (8+16 cores, 8 fC x 5 fM)").unwrap();
+        for c in &self.large {
+            writeln!(
+                out,
+                "{:<26} {:>9} {:>9}   eval reduction {:>5.1}%  red.ratio {:.3}",
+                c.kernel,
+                c.ex_evals,
+                c.sd_evals,
+                100.0 * (1.0 - c.sd_evals as f64 / c.ex_evals as f64),
+                c.reduction_ratio()
+            )
+            .unwrap();
+        }
+        writeln!(out, "storage: {} entries/kernel", self.large_storage_entries).unwrap();
+        out
+    }
+}

@@ -1,0 +1,71 @@
+//! Scheduler factory and single-run helper.
+
+use crate::context::ExperimentContext;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::metrics::RunReport;
+use joss_core::sched::{AequitasSched, EraseSched, GrwsSched, ModelSched, Scheduler};
+use joss_dag::TaskGraph;
+use joss_platform::Duration;
+
+/// Which scheduler to run (the paper's six, plus the Fig. 9 variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Greedy random work stealing (baseline).
+    Grws,
+    /// ERASE comparator.
+    Erase,
+    /// Aequitas comparator. The field is the DVFS time-slice in seconds
+    /// (1.0 in the paper; smaller for scaled-down runs).
+    Aequitas(f64),
+    /// STEER comparator.
+    Steer,
+    /// JOSS (minimum total energy, all four knobs).
+    Joss,
+    /// JOSS with the memory-DVFS knob removed.
+    JossNoMemDvfs,
+    /// JOSS under a per-task speedup constraint.
+    JossSpeedup(f64),
+    /// JOSS maximizing per-task performance.
+    JossMaxPerf,
+}
+
+impl SchedulerKind {
+    /// The six Fig. 8 schedulers in the paper's legend order.
+    pub fn fig8_set(aequitas_slice_s: f64) -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Grws,
+            SchedulerKind::Erase,
+            SchedulerKind::Aequitas(aequitas_slice_s),
+            SchedulerKind::Steer,
+            SchedulerKind::Joss,
+            SchedulerKind::JossNoMemDvfs,
+        ]
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(self, ctx: &ExperimentContext) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Grws => Box::new(GrwsSched::new()),
+            SchedulerKind::Erase => Box::new(EraseSched::new(ctx.models.clone())),
+            SchedulerKind::Aequitas(slice) => {
+                Box::new(AequitasSched::new().with_slice(Duration::from_secs_f64(slice)))
+            }
+            SchedulerKind::Steer => Box::new(ModelSched::steer(ctx.models.clone())),
+            SchedulerKind::Joss => Box::new(ModelSched::joss(ctx.models.clone())),
+            SchedulerKind::JossNoMemDvfs => {
+                Box::new(ModelSched::joss_no_mem_dvfs(ctx.models.clone()))
+            }
+            SchedulerKind::JossSpeedup(s) => {
+                Box::new(ModelSched::joss_with_speedup(ctx.models.clone(), s))
+            }
+            SchedulerKind::JossMaxPerf => Box::new(ModelSched::joss_maxp(ctx.models.clone())),
+        }
+    }
+}
+
+/// Run one benchmark under one scheduler.
+pub fn run_one(ctx: &ExperimentContext, kind: SchedulerKind, graph: &TaskGraph, seed: u64) -> RunReport {
+    let mut sched = kind.build(ctx);
+    let engine = EngineConfig { seed, ..EngineConfig::default() };
+    SimEngine::run(&ctx.machine, graph, sched.as_mut(), engine)
+}

@@ -1,0 +1,117 @@
+//! Smoke tests for every experiment module at tiny scale: each artifact
+//! regenerates, renders, and satisfies its headline invariant.
+
+use joss_experiments::{fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, ExperimentContext};
+use joss_workloads::Scale;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::with_reps(42, 1))
+}
+
+#[test]
+fn fig1_scenarios_never_regress_with_more_information() {
+    let f = fig1::run(ctx(), Scale::Divided(400), 42);
+    assert_eq!(f.benches.len(), 2);
+    for b in &f.benches {
+        let [s1, s2, s3, s4] = &b.scenarios[..] else { panic!("four scenarios") };
+        // More knobs / better objectives can only help.
+        assert!(s2.energy.total_j() <= s1.energy.total_j() + 1e-9, "{}", b.label);
+        assert!(s4.energy.total_j() <= s3.energy.total_j() + 1e-9, "{}", b.label);
+        assert!(s4.energy.total_j() <= s2.energy.total_j() + 1e-9, "{}", b.label);
+    }
+    assert!(f.render(ctx()).contains("scenario"));
+}
+
+#[test]
+fn fig2_frontier_is_monotone_in_time() {
+    let f = fig2::run(ctx(), Scale::Divided(400), 42);
+    for b in &f.benches {
+        let times: Vec<f64> = b.points.iter().map(|p| p.energy.makespan_s).collect();
+        assert!(
+            times.windows(2).all(|w| w[1] <= w[0] * 1.02),
+            "{}: walking toward max config must not slow down: {times:?}",
+            b.label
+        );
+    }
+}
+
+#[test]
+fn fig5_power_trends_match_paper() {
+    let f = fig5::run(ctx());
+    assert_eq!(f.points.len(), 45);
+    // Within one MB level, CPU power grows with fC.
+    let level: Vec<_> = f.points.iter().filter(|p| p.mb == 0.02).collect();
+    let max_fc = level.iter().max_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap()).unwrap();
+    let min_fc = level.iter().min_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap()).unwrap();
+    assert!(max_fc.cpu_w > min_fc.cpu_w);
+    // Memory power grows with MB at fixed frequencies.
+    let hi_mb = f
+        .points
+        .iter()
+        .find(|p| p.mb == 0.72 && p.fc_ghz > 2.0 && p.fm_ghz > 1.8)
+        .unwrap();
+    let lo_mb = f
+        .points
+        .iter()
+        .find(|p| p.mb == 0.02 && p.fc_ghz > 2.0 && p.fm_ghz > 1.8)
+        .unwrap();
+    assert!(hi_mb.mem_w > lo_mb.mem_w);
+}
+
+#[test]
+fn fig8_headline_shape_holds_at_small_scale() {
+    let f = fig8::run(ctx(), Scale::Divided(400), 42, 0.005);
+    assert_eq!(f.rows.len(), 21);
+    assert_eq!(f.schedulers.len(), 6);
+    let geo = f.geo_means();
+    let (grws, joss, nomem) = (geo[0], geo[4], geo[5]);
+    assert!((grws - 1.0).abs() < 1e-9, "GRWS is its own baseline");
+    assert!(joss < grws, "JOSS must beat GRWS: {geo:?}");
+    assert!(joss <= nomem + 1e-9, "the fM knob must not hurt: {geo:?}");
+    assert!(f.render().contains("Geo.Mean"));
+}
+
+#[test]
+fn fig9_energy_rises_with_the_target() {
+    let f = fig9::run(ctx(), Scale::Divided(400), 42);
+    let inc = f.mean_energy_increase();
+    assert!(inc[0].abs() < 1e-9, "JOSS is its own baseline");
+    assert!(inc[4] > 0.0, "MAXP must cost energy");
+    assert!(f.render().contains("mean energy increase"));
+}
+
+#[test]
+fn fig10_perf_model_is_most_accurate() {
+    let f = fig10::run(ctx(), Scale::Divided(400));
+    let [(_, p), (_, c), (_, m)] = f.stats();
+    assert!(p.mean > 0.9, "performance model: {p:?}");
+    assert!(p.mean > c.mean && p.mean > m.mean, "perf model leads, as in the paper");
+}
+
+#[test]
+fn overhead_matches_section_7_4() {
+    let o = overhead::run(ctx(), Scale::Divided(400));
+    assert!(!o.tx2.is_empty());
+    assert!(
+        o.mean_eval_reduction() > 0.4,
+        "steepest descent must cut evaluations substantially: {}",
+        o.mean_eval_reduction()
+    );
+    assert!(o.mean_reduction_ratio() > 0.9);
+    assert_eq!(o.tx2_storage_entries, 3 * 5 * 5 * 3);
+    assert!(o.large_storage_entries > o.tx2_storage_entries);
+}
+
+#[test]
+fn table1_matches_paper_counts() {
+    let t = table1::run();
+    let by_abbr = |a: &str| t.rows.iter().find(|r| r.abbr == a).unwrap();
+    assert_eq!(by_abbr("DP").tasks, vec![20_200]);
+    assert_eq!(by_abbr("FB").tasks, vec![57_313]);
+    assert_eq!(by_abbr("VG").tasks, vec![5_090]);
+    assert_eq!(by_abbr("BI").tasks, vec![6_217]);
+    assert_eq!(by_abbr("AL").tasks, vec![47_840]);
+    assert!(t.render().contains("Heat diffusion"));
+}

@@ -1,0 +1,105 @@
+//! Model accuracy evaluation (paper §7.3, Fig. 10).
+//!
+//! Accuracy of one prediction is `1 - |real - predicted| / real`, and the
+//! paper reports the distribution of per-benchmark average accuracies for
+//! each of the three models.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of a single prediction (clamped below at 0).
+pub fn accuracy(real: f64, predicted: f64) -> f64 {
+    debug_assert!(real > 0.0, "accuracy needs a positive reference");
+    (1.0 - (real - predicted).abs() / real).max(0.0)
+}
+
+/// Summary statistics of an accuracy sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl AccuracyStats {
+    /// Compute from raw samples. Returns `None` on an empty set.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite accuracies"));
+        let n = v.len();
+        let q = |p: f64| -> f64 {
+            let idx = p * (n - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Some(AccuracyStats {
+            mean: v.iter().sum::<f64>() / n as f64,
+            median: q(0.5),
+            p25: q(0.25),
+            p75: q(0.75),
+            min: v[0],
+            max: v[n - 1],
+            n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        assert_eq!(accuracy(2.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn ten_percent_error_is_point_nine() {
+        assert!((accuracy(10.0, 11.0) - 0.9).abs() < 1e-12);
+        assert!((accuracy(10.0, 9.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gross_error_clamps_at_zero() {
+        assert_eq!(accuracy(1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn stats_on_known_set() {
+        let s = AccuracyStats::from_samples(&[0.8, 0.9, 1.0, 0.7, 0.6]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+        assert!((s.median - 0.8).abs() < 1e-12);
+        assert_eq!(s.min, 0.6);
+        assert_eq!(s.max, 1.0);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        assert!(AccuracyStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = AccuracyStats::from_samples(&[0.93]).unwrap();
+        assert_eq!(s.mean, 0.93);
+        assert_eq!(s.median, 0.93);
+        assert_eq!(s.p25, 0.93);
+    }
+}

@@ -1,0 +1,120 @@
+//! Polynomial feature expansion for the MPR models.
+//!
+//! All three JOSS models share one regression form (paper Eqs. 2, 4, 5):
+//! an intercept, linear terms, pure quadratic terms, and pairwise
+//! interaction terms over the model's input variables:
+//!
+//! ```text
+//! y = eps + sum_i beta_i x_i + sum_i beta_ii x_i^2 + sum_{i<k} beta_ik x_i x_k
+//! ```
+//!
+//! The paper evaluated higher-degree expansions and found they overfit
+//! (§4.3.3, "Modeling..."); we keep exactly this degree-2 basis.
+
+use serde::{Deserialize, Serialize};
+
+/// A degree-2 polynomial basis over `n_vars` variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolyBasis {
+    /// Number of input variables.
+    pub n_vars: usize,
+}
+
+impl PolyBasis {
+    /// Basis over `n_vars` variables.
+    pub fn new(n_vars: usize) -> Self {
+        assert!(n_vars >= 1);
+        PolyBasis { n_vars }
+    }
+
+    /// Number of expanded features: `1 + n + n + C(n,2)`.
+    pub fn n_features(&self) -> usize {
+        let n = self.n_vars;
+        1 + 2 * n + n * (n - 1) / 2
+    }
+
+    /// Expand `vars` into the feature row, appending to `out`.
+    pub fn expand_into(&self, vars: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(vars.len(), self.n_vars);
+        out.push(1.0);
+        out.extend_from_slice(vars);
+        for &v in vars {
+            out.push(v * v);
+        }
+        for i in 0..self.n_vars {
+            for k in (i + 1)..self.n_vars {
+                out.push(vars[i] * vars[k]);
+            }
+        }
+    }
+
+    /// Expand `vars` into a fresh feature row.
+    pub fn expand(&self, vars: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_features());
+        self.expand_into(vars, &mut out);
+        out
+    }
+
+    /// Evaluate the polynomial with coefficient vector `beta` at `vars`
+    /// without allocating.
+    pub fn eval(&self, beta: &[f64], vars: &[f64]) -> f64 {
+        debug_assert_eq!(beta.len(), self.n_features());
+        debug_assert_eq!(vars.len(), self.n_vars);
+        let n = self.n_vars;
+        let mut acc = beta[0];
+        for i in 0..n {
+            acc += beta[1 + i] * vars[i];
+        }
+        for i in 0..n {
+            acc += beta[1 + n + i] * vars[i] * vars[i];
+        }
+        let mut idx = 1 + 2 * n;
+        for i in 0..n {
+            for k in (i + 1)..n {
+                acc += beta[idx] * vars[i] * vars[k];
+                idx += 1;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_counts() {
+        assert_eq!(PolyBasis::new(1).n_features(), 3); // 1, x, x^2
+        assert_eq!(PolyBasis::new(2).n_features(), 6); // +interaction
+        assert_eq!(PolyBasis::new(3).n_features(), 10);
+    }
+
+    #[test]
+    fn expansion_order_two_vars() {
+        let b = PolyBasis::new(2);
+        let f = b.expand(&[2.0, 3.0]);
+        assert_eq!(f, vec![1.0, 2.0, 3.0, 4.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn expansion_order_three_vars() {
+        let b = PolyBasis::new(3);
+        let f = b.expand(&[1.0, 2.0, 3.0]);
+        assert_eq!(
+            f,
+            vec![1.0, 1.0, 2.0, 3.0, 1.0, 4.0, 9.0, 2.0, 3.0, 6.0],
+            "intercept, linear, squares, interactions (12, 13, 23)"
+        );
+    }
+
+    #[test]
+    fn eval_matches_expand_dot() {
+        let b = PolyBasis::new(3);
+        let vars = [0.3, 1.7, 0.9];
+        let beta: Vec<f64> = (0..b.n_features()).map(|i| (i as f64) * 0.1 - 0.4).collect();
+        let feats = b.expand(&vars);
+        let dot: f64 = feats.iter().zip(&beta).map(|(f, c)| f * c).sum();
+        assert!((b.eval(&beta, &vars) - dot).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # joss-models — prediction models and configuration search
+//!
+//! Implements the model stack of the JOSS paper (§4):
+//!
+//! * [`linalg`] — dense least-squares solver (no external BLAS);
+//! * [`features`] — multivariate polynomial feature expansion (linear +
+//!   quadratic + pairwise interaction terms, the paper's MPR form);
+//! * [`mb`] — PMC-free memory-boundness estimation from execution times
+//!   sampled at two core frequencies (Eq. 3);
+//! * [`perf`] — execution-time model under joint CPU/memory DVFS
+//!   (Eqs. 1 and 2);
+//! * [`power`] — CPU power model (Eq. 4) and memory power model (Eq. 5);
+//! * [`synthetic`] — the 41 synthetic compute/memory-mix benchmarks (§4.1);
+//! * [`profiler`] — platform characterization: run the synthetics at every
+//!   configuration and collect time/power statistics;
+//! * [`training`] — fit the per-`<TC,NC>` model coefficients (Fig. 4 flow);
+//! * [`lookup`] — per-kernel prediction lookup tables (§5.1, §7.4);
+//! * [`search`] — exhaustive and steepest-descent configuration selection
+//!   (§5.2, Fig. 7);
+//! * [`accuracy`] — model accuracy evaluation (Fig. 10).
+
+pub mod accuracy;
+pub mod features;
+pub mod linalg;
+pub mod lookup;
+pub mod mb;
+pub mod perf;
+pub mod power;
+pub mod profiler;
+pub mod search;
+pub mod synthetic;
+pub mod training;
+
+pub use accuracy::{accuracy, AccuracyStats};
+pub use features::PolyBasis;
+pub use lookup::{IdleTables, KernelTables, TcNcIndexer};
+pub use mb::estimate_mb;
+pub use perf::PerfModel;
+pub use power::{CpuPowerModel, MemPowerModel};
+pub use profiler::{ProfileRecord, Profiler};
+pub use search::{
+    constrained_search, exhaustive_search, fastest_config, steepest_descent_search,
+    EnergyEstimator, Objective, SearchOutcome, SearchStats,
+};
+pub use synthetic::{synthetic_shapes, SyntheticBench};
+pub use training::{ModelSet, TcNcModels, TrainingConfig};

@@ -1,0 +1,197 @@
+//! Minimal dense linear algebra for model fitting.
+//!
+//! The MPR models have at most ~10 coefficients, fitted over a few hundred
+//! profiling samples, so ordinary least squares via the normal equations
+//! with partial-pivot Gaussian elimination (plus a tiny ridge term for
+//! numerical safety) is entirely sufficient — no external BLAS needed.
+
+/// Solve the linear system `A x = b` in place via Gaussian elimination with
+/// partial pivoting. `a` is row-major `n x n`. Returns `None` if singular.
+pub fn solve_inplace(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot: largest magnitude in this column at or below the diagonal.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-14 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            a[row * n + col] = 0.0;
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: find `beta` minimizing `||X beta - y||^2`.
+///
+/// `x` is row-major with `rows` rows of `cols` features each. A small ridge
+/// term (relative to the Gram matrix trace) keeps near-collinear designs
+/// solvable; the paper notes it deliberately avoids higher-degree terms for
+/// the same conditioning reason.
+pub fn least_squares(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    if rows < cols {
+        return None;
+    }
+    // Gram matrix G = X^T X and moment vector m = X^T y.
+    let mut g = vec![0.0; cols * cols];
+    let mut m = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            m[i] += row[i] * y[r];
+            for j in i..cols {
+                g[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..cols {
+        for j in 0..i {
+            g[i * cols + j] = g[j * cols + i];
+        }
+    }
+    // Ridge: scaled to the average diagonal magnitude.
+    let trace: f64 = (0..cols).map(|i| g[i * cols + i]).sum();
+    let ridge = 1e-10 * (trace / cols as f64).max(1e-30);
+    for i in 0..cols {
+        g[i * cols + i] += ridge;
+    }
+    solve_inplace(&mut g, &mut m, cols)
+}
+
+/// Coefficient of determination R^2 of predictions vs observations.
+pub fn r_squared(pred: &[f64], obs: &[f64]) -> f64 {
+    assert_eq!(pred.len(), obs.len());
+    let n = obs.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = obs.iter().sum::<f64>() / n;
+    let ss_tot: f64 = obs.iter().map(|o| (o - mean) * (o - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(obs).map(|(p, o)| (p - o) * (p - o)).sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-30 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve_inplace(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_inplace(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        let x = solve_inplace(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_inplace(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2 + 3t sampled exactly.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let t = i as f64;
+            x.extend_from_slice(&[1.0, t]);
+            y.push(2.0 + 3.0 * t);
+        }
+        let beta = least_squares(&x, &y, 10, 2).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-8);
+        assert!((beta[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_recovers_quadratic_with_noise() {
+        // y = 1 - 2t + 0.5t^2 + small deterministic "noise".
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let rows = 50;
+        for i in 0..rows {
+            let t = i as f64 / 10.0;
+            x.extend_from_slice(&[1.0, t, t * t]);
+            let noise = 1e-3 * ((i * 2654435761_usize) as f64 / usize::MAX as f64 - 0.5);
+            y.push(1.0 - 2.0 * t + 0.5 * t * t + noise);
+        }
+        let beta = least_squares(&x, &y, rows, 3).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-2);
+        assert!((beta[1] + 2.0).abs() < 1e-2);
+        assert!((beta[2] - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        assert!(least_squares(&[1.0, 2.0], &[1.0], 1, 2).is_none());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let obs = [1.0, 2.0, 3.0];
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&mean_pred, &obs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-kernel prediction lookup tables and idle-power characterization.
+//!
+//! JOSS keeps three lookup tables per kernel — execution time, CPU power and
+//! memory power — indexed by `<TC, NC, fC, fM>` (§5.1). They are populated
+//! once, right after the kernel's online sampling completes, and then reused
+//! by every configuration-selection query. §7.4 derives the storage cost:
+//! `3 * M * log(N/M) * N_fC * N_fM` entries per kernel.
+
+use joss_platform::{ConfigSpace, CoreType, FreqIndex, KnobConfig, NcIndex};
+use serde::{Deserialize, Serialize};
+
+/// Maps `<TC, NC>` pairs to a dense index (Big's NC options first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcNcIndexer {
+    n_nc_big: usize,
+    n_nc_little: usize,
+}
+
+impl TcNcIndexer {
+    /// Build from a configuration space.
+    pub fn new(space: &ConfigSpace) -> Self {
+        TcNcIndexer {
+            n_nc_big: space.n_nc(CoreType::Big),
+            n_nc_little: space.n_nc(CoreType::Little),
+        }
+    }
+
+    /// Number of `<TC, NC>` pairs.
+    pub fn len(&self) -> usize {
+        self.n_nc_big + self.n_nc_little
+    }
+
+    /// True if there are no pairs (degenerate space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dense index of a `<TC, NC>` pair.
+    pub fn index(&self, tc: CoreType, nc: NcIndex) -> usize {
+        match tc {
+            CoreType::Big => {
+                debug_assert!(nc.0 < self.n_nc_big);
+                nc.0
+            }
+            CoreType::Little => {
+                debug_assert!(nc.0 < self.n_nc_little);
+                self.n_nc_big + nc.0
+            }
+        }
+    }
+
+    /// Inverse mapping: dense index to `<TC, NC>`.
+    pub fn pair(&self, idx: usize) -> (CoreType, NcIndex) {
+        if idx < self.n_nc_big {
+            (CoreType::Big, NcIndex(idx))
+        } else {
+            debug_assert!(idx < self.len());
+            (CoreType::Little, NcIndex(idx - self.n_nc_big))
+        }
+    }
+
+    /// Iterate all pairs in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreType, NcIndex)> + '_ {
+        (0..self.len()).map(|i| self.pair(i))
+    }
+}
+
+/// Idle power characterization measured during benchmarking (§4.3.3):
+/// per-cluster idle power at each CPU frequency and memory background power
+/// at each memory frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleTables {
+    /// `[core_type][fc]` idle power of the whole cluster, watts.
+    pub cpu_idle_w: [Vec<f64>; 2],
+    /// `[fm]` memory background power, watts.
+    pub mem_idle_w: Vec<f64>,
+}
+
+impl IdleTables {
+    /// Measure from a machine (idle power is stable; measured once).
+    pub fn measure(machine: &joss_platform::MachineModel, space: &ConfigSpace) -> Self {
+        let cpu_idle_w = [
+            space
+                .cpu_freqs_ghz
+                .iter()
+                .map(|&f| machine.cluster_idle_w(CoreType::Big, f))
+                .collect(),
+            space
+                .cpu_freqs_ghz
+                .iter()
+                .map(|&f| machine.cluster_idle_w(CoreType::Little, f))
+                .collect(),
+        ];
+        let mem_idle_w = space.mem_freqs_ghz.iter().map(|&f| machine.mem_idle_w(f)).collect();
+        IdleTables { cpu_idle_w, mem_idle_w }
+    }
+
+    /// Idle power of cluster `tc` at CPU frequency index `fc`, watts.
+    pub fn cluster_idle_w(&self, tc: CoreType, fc: FreqIndex) -> f64 {
+        self.cpu_idle_w[tc.index()][fc.0]
+    }
+
+    /// Memory background power at memory frequency index `fm`, watts.
+    pub fn mem_idle_w(&self, fm: FreqIndex) -> f64 {
+        self.mem_idle_w[fm.0]
+    }
+}
+
+/// The three per-kernel lookup tables of §5.1.
+///
+/// Values are *predictions* produced by the trained models from the kernel's
+/// online samples, except at the sampled reference points where measured
+/// values are stored directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTables {
+    indexer: TcNcIndexer,
+    n_fc: usize,
+    n_fm: usize,
+    /// Estimated memory-boundness per `<TC,NC>`.
+    pub mb: Vec<f64>,
+    /// Sampled reference execution time per `<TC,NC>`, seconds.
+    pub t_ref_s: Vec<f64>,
+    /// Predicted execution time, `[tcnc][fc][fm]`, seconds.
+    time_s: Vec<f64>,
+    /// Predicted CPU dynamic power, `[tcnc][fc][fm]`, watts.
+    cpu_w: Vec<f64>,
+    /// Predicted memory dynamic power, `[tcnc][fc][fm]`, watts.
+    mem_w: Vec<f64>,
+}
+
+impl KernelTables {
+    /// Allocate empty tables (all zeros) for a space.
+    pub fn empty(space: &ConfigSpace) -> Self {
+        let indexer = TcNcIndexer::new(space);
+        let n_fc = space.cpu_freqs_ghz.len();
+        let n_fm = space.mem_freqs_ghz.len();
+        let cells = indexer.len() * n_fc * n_fm;
+        KernelTables {
+            mb: vec![0.0; indexer.len()],
+            t_ref_s: vec![0.0; indexer.len()],
+            time_s: vec![0.0; cells],
+            cpu_w: vec![0.0; cells],
+            mem_w: vec![0.0; cells],
+            indexer,
+            n_fc,
+            n_fm,
+        }
+    }
+
+    /// The `<TC,NC>` indexer.
+    pub fn indexer(&self) -> &TcNcIndexer {
+        &self.indexer
+    }
+
+    fn cell(&self, tcnc: usize, fc: FreqIndex, fm: FreqIndex) -> usize {
+        debug_assert!(fc.0 < self.n_fc && fm.0 < self.n_fm);
+        (tcnc * self.n_fc + fc.0) * self.n_fm + fm.0
+    }
+
+    /// Write one prediction cell.
+    pub fn set(&mut self, cfg: KnobConfig, time_s: f64, cpu_w: f64, mem_w: f64) {
+        let i = self.cell(self.indexer.index(cfg.tc, cfg.nc), cfg.fc, cfg.fm);
+        self.time_s[i] = time_s;
+        self.cpu_w[i] = cpu_w;
+        self.mem_w[i] = mem_w;
+    }
+
+    /// Record the outcome of online sampling for a `<TC,NC>`.
+    pub fn set_sample(&mut self, tc: CoreType, nc: NcIndex, mb: f64, t_ref_s: f64) {
+        let i = self.indexer.index(tc, nc);
+        self.mb[i] = mb;
+        self.t_ref_s[i] = t_ref_s;
+    }
+
+    /// Predicted execution time at a configuration, seconds.
+    pub fn time_s(&self, cfg: KnobConfig) -> f64 {
+        self.time_s[self.cell(self.indexer.index(cfg.tc, cfg.nc), cfg.fc, cfg.fm)]
+    }
+
+    /// Predicted CPU dynamic power, watts.
+    pub fn cpu_w(&self, cfg: KnobConfig) -> f64 {
+        self.cpu_w[self.cell(self.indexer.index(cfg.tc, cfg.nc), cfg.fc, cfg.fm)]
+    }
+
+    /// Predicted memory dynamic power, watts.
+    pub fn mem_w(&self, cfg: KnobConfig) -> f64 {
+        self.mem_w[self.cell(self.indexer.index(cfg.tc, cfg.nc), cfg.fc, cfg.fm)]
+    }
+
+    /// Estimated MB for a `<TC,NC>`.
+    pub fn mb_of(&self, tc: CoreType, nc: NcIndex) -> f64 {
+        self.mb[self.indexer.index(tc, nc)]
+    }
+
+    /// Total stored entries across the three tables — the §7.4 storage
+    /// overhead figure (`3 * M * log(N/M) * N_fC * N_fM` on a homogeneous
+    /// platform; here the exact per-cluster NC counts are used).
+    pub fn storage_entries(&self) -> usize {
+        3 * self.indexer.len() * self.n_fc * self.n_fm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_platform::{MachineModel, PlatformSpec};
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::from_spec(&PlatformSpec::tx2_like())
+    }
+
+    #[test]
+    fn indexer_roundtrip() {
+        let s = space();
+        let ix = TcNcIndexer::new(&s);
+        assert_eq!(ix.len(), 5);
+        for i in 0..ix.len() {
+            let (tc, nc) = ix.pair(i);
+            assert_eq!(ix.index(tc, nc), i);
+        }
+        assert_eq!(ix.index(CoreType::Big, NcIndex(0)), 0);
+        assert_eq!(ix.index(CoreType::Little, NcIndex(0)), 2);
+    }
+
+    #[test]
+    fn tables_store_and_retrieve() {
+        let s = space();
+        let mut t = KernelTables::empty(&s);
+        let cfg = KnobConfig::new(CoreType::Little, NcIndex(2), FreqIndex(3), FreqIndex(1));
+        t.set(cfg, 0.5, 1.25, 0.75);
+        assert_eq!(t.time_s(cfg), 0.5);
+        assert_eq!(t.cpu_w(cfg), 1.25);
+        assert_eq!(t.mem_w(cfg), 0.75);
+        // A different cell is untouched.
+        let other = KnobConfig::new(CoreType::Big, NcIndex(0), FreqIndex(0), FreqIndex(0));
+        assert_eq!(t.time_s(other), 0.0);
+    }
+
+    #[test]
+    fn sample_records() {
+        let s = space();
+        let mut t = KernelTables::empty(&s);
+        t.set_sample(CoreType::Big, NcIndex(1), 0.42, 0.001);
+        assert_eq!(t.mb_of(CoreType::Big, NcIndex(1)), 0.42);
+        assert_eq!(t.t_ref_s[t.indexer().index(CoreType::Big, NcIndex(1))], 0.001);
+    }
+
+    #[test]
+    fn storage_matches_paper_formula() {
+        let s = space();
+        let t = KernelTables::empty(&s);
+        // TX2: M=2 clusters; NC options 2 (big) + 3 (little) = 5; 5 fC; 3 fM.
+        assert_eq!(t.storage_entries(), 3 * 5 * 5 * 3);
+    }
+
+    #[test]
+    fn idle_tables_measure_sane_values() {
+        let m = MachineModel::tx2_noiseless();
+        let s = space();
+        let idle = IdleTables::measure(&m, &s);
+        // Idle power increases with frequency on every domain.
+        for tc in CoreType::ALL {
+            let lo = idle.cluster_idle_w(tc, FreqIndex(0));
+            let hi = idle.cluster_idle_w(tc, FreqIndex(4));
+            assert!(hi > lo && lo > 0.0);
+        }
+        assert!(idle.mem_idle_w(FreqIndex(2)) > idle.mem_idle_w(FreqIndex(0)));
+    }
+}

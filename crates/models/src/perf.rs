@@ -1,0 +1,178 @@
+//! The performance (execution-time) model — paper §4.2, Eqs. 1–2.
+//!
+//! For one `<TC, NC>` pair, the model predicts a task's execution time at any
+//! `<fC', fM'>` from (a) the task's memory-boundness `MB` and (b) one sampled
+//! execution time `T` at the reference frequencies `<fC, fM>`:
+//!
+//! ```text
+//! T'_comp  = T * (1 - MB) * fC / fC'                                   (Eq. 1)
+//! T'_stall = T * poly2(MB, fC/fC', fM/fM')                             (Eq. 2)
+//! T'       = T'_comp + T'_stall
+//! ```
+//!
+//! The stall polynomial has linear, quadratic and interaction terms over the
+//! three variables and is fitted per `<TC,NC>` from synthetic-benchmark
+//! profiles.
+
+use crate::features::PolyBasis;
+use crate::linalg::least_squares;
+use serde::{Deserialize, Serialize};
+
+/// One training observation for the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Estimated memory-boundness of the benchmark at this `<TC,NC>`.
+    pub mb: f64,
+    /// Measured time at the reference `<fC, fM>`, seconds.
+    pub t_ref_s: f64,
+    /// Target core frequency, GHz.
+    pub fc_tgt_ghz: f64,
+    /// Target memory frequency, GHz.
+    pub fm_tgt_ghz: f64,
+    /// Measured time at the target `<fC', fM'>`, seconds.
+    pub t_tgt_s: f64,
+}
+
+/// Fitted execution-time model for one `<TC, NC>`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfModel {
+    basis: PolyBasis,
+    beta: Vec<f64>,
+    /// Reference core frequency the sampled time was measured at, GHz.
+    pub fc_ref_ghz: f64,
+    /// Reference memory frequency the sampled time was measured at, GHz.
+    pub fm_ref_ghz: f64,
+}
+
+impl PerfModel {
+    /// Fit the stall polynomial by least squares over profiling samples.
+    ///
+    /// Returns `None` when the design is degenerate (too few samples).
+    pub fn fit(samples: &[PerfSample], fc_ref_ghz: f64, fm_ref_ghz: f64) -> Option<Self> {
+        let basis = PolyBasis::new(3);
+        if samples.len() < basis.n_features() {
+            return None;
+        }
+        let mut x = Vec::with_capacity(samples.len() * basis.n_features());
+        let mut y = Vec::with_capacity(samples.len());
+        for s in samples {
+            debug_assert!(s.t_ref_s > 0.0 && s.t_tgt_s > 0.0);
+            let rc = fc_ref_ghz / s.fc_tgt_ghz;
+            let rm = fm_ref_ghz / s.fm_tgt_ghz;
+            basis.expand_into(&[s.mb, rc, rm], &mut x);
+            // Response: normalized stall time at the target, after removing
+            // the analytically-scaled compute portion (Eq. 1).
+            let stall_norm = s.t_tgt_s / s.t_ref_s - (1.0 - s.mb) * rc;
+            y.push(stall_norm);
+        }
+        let beta = least_squares(&x, &y, samples.len(), basis.n_features())?;
+        Some(PerfModel { basis, beta, fc_ref_ghz, fm_ref_ghz })
+    }
+
+    /// Predict execution time (seconds) at `<fC', fM'>` given the task's MB
+    /// and its sampled time `t_ref_s` at the reference frequencies.
+    pub fn predict_s(&self, mb: f64, t_ref_s: f64, fc_tgt_ghz: f64, fm_tgt_ghz: f64) -> f64 {
+        let rc = self.fc_ref_ghz / fc_tgt_ghz;
+        let rm = self.fm_ref_ghz / fm_tgt_ghz;
+        let comp = (1.0 - mb) * rc;
+        let stall = self.basis.eval(&self.beta, &[mb, rc, rm]);
+        // Time can never be negative; floor the stall contribution at zero.
+        let total = comp + stall.max(0.0);
+        (t_ref_s * total).max(1e-12)
+    }
+
+    /// The fitted coefficients (for inspection/reporting).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generate synthetic training data from an idealized additive machine:
+    /// `T(fc, fm) = comp * (fc_ref/fc) + stall * (fm_ref/fm)`.
+    fn ideal_samples() -> Vec<PerfSample> {
+        let fc_ref = 2.0;
+        let fm_ref = 1.8;
+        let mut out = Vec::new();
+        for mb10 in 0..=10 {
+            let mb = mb10 as f64 / 10.0;
+            let t_ref = 1.0;
+            let comp = (1.0 - mb) * t_ref;
+            let stall = mb * t_ref;
+            for fc in [0.5, 1.0, 1.5, 2.0] {
+                for fm in [0.9, 1.35, 1.8] {
+                    let t = comp * (fc_ref / fc) + stall * (fm_ref / fm);
+                    out.push(PerfSample {
+                        mb,
+                        t_ref_s: t_ref,
+                        fc_tgt_ghz: fc,
+                        fm_tgt_ghz: fm,
+                        t_tgt_s: t,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_ideal_machine_exactly() {
+        let samples = ideal_samples();
+        let m = PerfModel::fit(&samples, 2.0, 1.8).unwrap();
+        for s in &samples {
+            let pred = m.predict_s(s.mb, s.t_ref_s, s.fc_tgt_ghz, s.fm_tgt_ghz);
+            let rel = (pred - s.t_tgt_s).abs() / s.t_tgt_s;
+            assert!(rel < 1e-6, "rel err {rel} at {s:?}");
+        }
+    }
+
+    #[test]
+    fn reference_point_is_identity() {
+        let m = PerfModel::fit(&ideal_samples(), 2.0, 1.8).unwrap();
+        for mb in [0.0, 0.3, 0.9] {
+            let pred = m.predict_s(mb, 2.5, 2.0, 1.8);
+            assert!((pred - 2.5).abs() / 2.5 < 1e-6, "mb={mb}: {pred}");
+        }
+    }
+
+    #[test]
+    fn compute_bound_scales_with_fc_only() {
+        let m = PerfModel::fit(&ideal_samples(), 2.0, 1.8).unwrap();
+        let t_full = m.predict_s(0.0, 1.0, 2.0, 1.8);
+        let t_half = m.predict_s(0.0, 1.0, 1.0, 1.8);
+        assert!((t_half / t_full - 2.0).abs() < 0.01);
+        let t_mem_lo = m.predict_s(0.0, 1.0, 2.0, 0.9);
+        assert!((t_mem_lo / t_full - 1.0).abs() < 0.01, "fm must not matter at MB=0");
+    }
+
+    #[test]
+    fn memory_bound_scales_with_fm_only() {
+        let m = PerfModel::fit(&ideal_samples(), 2.0, 1.8).unwrap();
+        let t_full = m.predict_s(1.0, 1.0, 2.0, 1.8);
+        let t_mem_lo = m.predict_s(1.0, 1.0, 2.0, 0.9);
+        assert!((t_mem_lo / t_full - 2.0).abs() < 0.02);
+        let t_fc_lo = m.predict_s(1.0, 1.0, 1.0, 1.8);
+        assert!((t_fc_lo / t_full - 1.0).abs() < 0.02, "fc must not matter at MB=1");
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let s = ideal_samples();
+        assert!(PerfModel::fit(&s[..5], 2.0, 1.8).is_none());
+    }
+
+    #[test]
+    fn predictions_always_positive() {
+        let m = PerfModel::fit(&ideal_samples(), 2.0, 1.8).unwrap();
+        for mb in [0.0, 0.5, 1.0] {
+            for fc in [0.1, 1.0, 4.0] {
+                for fm in [0.1, 1.0, 4.0] {
+                    assert!(m.predict_s(mb, 1e-6, fc, fm) > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! CPU and memory power models — paper §4.3, Eqs. 4–5.
+//!
+//! Both models predict *dynamic* power (idle power is characterized
+//! separately and attributed across concurrent tasks, §4.3.3):
+//!
+//! * CPU power depends on `MB` and `fC` (memory frequency has negligible
+//!   effect on the CPU rail — paper Fig. 5a):
+//!   `P_C = poly2(MB, fC)` (Eq. 4);
+//! * memory power depends on all three of `MB`, `fC`, `fM` (Fig. 5b):
+//!   `P_M = poly2(MB, fC, fM)` (Eq. 5).
+//!
+//! Voltage is not an explicit input: it is strongly correlated with
+//! frequency on the platform, and leaving it out reduces collinearity
+//! (paper §4.3.1).
+
+use crate::features::PolyBasis;
+use crate::linalg::least_squares;
+use serde::{Deserialize, Serialize};
+
+/// One training observation for a power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Estimated memory-boundness of the benchmark at this `<TC,NC>`.
+    pub mb: f64,
+    /// Core frequency, GHz.
+    pub fc_ghz: f64,
+    /// Memory frequency, GHz.
+    pub fm_ghz: f64,
+    /// Measured dynamic power, watts.
+    pub watts: f64,
+}
+
+/// Fitted CPU dynamic power model for one `<TC, NC>` (Eq. 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    basis: PolyBasis,
+    beta: Vec<f64>,
+}
+
+impl CpuPowerModel {
+    /// Fit over profiling samples; memory frequency in the samples is
+    /// ignored (the CPU rail is insensitive to it).
+    pub fn fit(samples: &[PowerSample]) -> Option<Self> {
+        let basis = PolyBasis::new(2);
+        if samples.len() < basis.n_features() {
+            return None;
+        }
+        let mut x = Vec::with_capacity(samples.len() * basis.n_features());
+        let mut y = Vec::with_capacity(samples.len());
+        for s in samples {
+            basis.expand_into(&[s.mb, s.fc_ghz], &mut x);
+            y.push(s.watts);
+        }
+        let beta = least_squares(&x, &y, samples.len(), basis.n_features())?;
+        Some(CpuPowerModel { basis, beta })
+    }
+
+    /// Predicted CPU dynamic power, watts (floored at zero).
+    pub fn predict_w(&self, mb: f64, fc_ghz: f64) -> f64 {
+        self.basis.eval(&self.beta, &[mb, fc_ghz]).max(0.0)
+    }
+
+    /// Fitted coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.beta
+    }
+}
+
+/// Fitted memory dynamic power model for one `<TC, NC>` (Eq. 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemPowerModel {
+    basis: PolyBasis,
+    beta: Vec<f64>,
+}
+
+impl MemPowerModel {
+    /// Fit over profiling samples.
+    pub fn fit(samples: &[PowerSample]) -> Option<Self> {
+        let basis = PolyBasis::new(3);
+        if samples.len() < basis.n_features() {
+            return None;
+        }
+        let mut x = Vec::with_capacity(samples.len() * basis.n_features());
+        let mut y = Vec::with_capacity(samples.len());
+        for s in samples {
+            basis.expand_into(&[s.mb, s.fc_ghz, s.fm_ghz], &mut x);
+            y.push(s.watts);
+        }
+        let beta = least_squares(&x, &y, samples.len(), basis.n_features())?;
+        Some(MemPowerModel { basis, beta })
+    }
+
+    /// Predicted memory dynamic power, watts (floored at zero).
+    pub fn predict_w(&self, mb: f64, fc_ghz: f64, fm_ghz: f64) -> f64 {
+        self.basis.eval(&self.beta, &[mb, fc_ghz, fm_ghz]).max(0.0)
+    }
+
+    /// Fitted coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_truth(mb: f64, fc: f64) -> f64 {
+        // Exactly representable in the degree-2 basis over (mb, fc):
+        // intercept, linear, quadratic and mb*fc interaction terms.
+        0.2 + 0.15 * fc + 0.25 * fc * fc - 0.3 * mb - 0.1 * mb * fc + 0.05 * mb * mb
+    }
+
+    fn cpu_samples() -> Vec<PowerSample> {
+        let mut v = Vec::new();
+        for mb10 in 0..=10 {
+            let mb = mb10 as f64 / 10.0;
+            for fc in [0.35, 0.65, 1.11, 1.57, 2.04] {
+                for fm in [0.8, 1.33, 1.87] {
+                    v.push(PowerSample { mb, fc_ghz: fc, fm_ghz: fm, watts: cpu_truth(mb, fc) });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn cpu_model_fits_quadratic_truth() {
+        let m = CpuPowerModel::fit(&cpu_samples()).unwrap();
+        for mb in [0.0, 0.4, 0.8] {
+            for fc in [0.5, 1.0, 2.0] {
+                let pred = m.predict_w(mb, fc);
+                let real = cpu_truth(mb, fc);
+                assert!((pred - real).abs() / real < 0.02, "mb={mb} fc={fc}: {pred} vs {real}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_power_grows_with_frequency() {
+        let m = CpuPowerModel::fit(&cpu_samples()).unwrap();
+        assert!(m.predict_w(0.2, 2.0) > m.predict_w(0.2, 0.5));
+    }
+
+    fn mem_truth(mb: f64, fc: f64, fm: f64) -> f64 {
+        // In-basis part plus a small mb*fc*fm triple product the basis lacks,
+        // emulating realistic structural mismatch.
+        0.1 + 0.5 * mb + 0.2 * mb * fc + 0.15 * mb * fm + 0.05 * fc * fm
+            + 0.02 * mb * fc * fm
+    }
+
+    fn mem_samples() -> Vec<PowerSample> {
+        let mut v = Vec::new();
+        for mb10 in 0..=10 {
+            let mb = mb10 as f64 / 10.0;
+            for fc in [0.35, 0.65, 1.11, 1.57, 2.04] {
+                for fm in [0.8, 1.33, 1.87] {
+                    v.push(PowerSample { mb, fc_ghz: fc, fm_ghz: fm, watts: mem_truth(mb, fc, fm) });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn mem_model_close_on_smooth_truth() {
+        let m = MemPowerModel::fit(&mem_samples()).unwrap();
+        let mut worst: f64 = 0.0;
+        for s in mem_samples() {
+            let pred = m.predict_w(s.mb, s.fc_ghz, s.fm_ghz);
+            worst = worst.max((pred - s.watts).abs() / s.watts);
+        }
+        assert!(worst < 0.10, "worst rel err {worst}");
+    }
+
+    #[test]
+    fn mem_power_grows_with_mb_and_fm() {
+        let m = MemPowerModel::fit(&mem_samples()).unwrap();
+        assert!(m.predict_w(0.8, 1.5, 1.87) > m.predict_w(0.1, 1.5, 1.87));
+        assert!(m.predict_w(0.8, 1.5, 1.87) > m.predict_w(0.8, 1.5, 0.8));
+    }
+
+    #[test]
+    fn predictions_never_negative() {
+        let m = CpuPowerModel::fit(&cpu_samples()).unwrap();
+        assert!(m.predict_w(5.0, -3.0) >= 0.0);
+        let mm = MemPowerModel::fit(&mem_samples()).unwrap();
+        assert!(mm.predict_w(5.0, -3.0, -2.0) >= 0.0);
+    }
+
+    #[test]
+    fn insufficient_samples_rejected() {
+        let s = cpu_samples();
+        assert!(CpuPowerModel::fit(&s[..3]).is_none());
+        assert!(MemPowerModel::fit(&s[..5]).is_none());
+    }
+}

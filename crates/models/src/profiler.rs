@@ -1,0 +1,186 @@
+//! Platform characterization: execute the synthetic benchmarks at every
+//! configuration and collect averaged time/power measurements (§4.1).
+//!
+//! This is the paper's install-time/boot-time profiling step (Fig. 4): it
+//! runs once per platform and its cost does not affect application runs.
+
+use crate::synthetic::{synthetic_shapes, SyntheticBench};
+use joss_platform::{ConfigSpace, CoreType, ExecContext, FreqIndex, MachineModel, NcIndex};
+use serde::{Deserialize, Serialize};
+
+/// Salt mixed into noise keys so profiling measurements are decorrelated
+/// from application-run measurements.
+const PROFILE_SALT: u64 = 0x50524F46; // "PROF"
+
+/// Averaged measurement of one synthetic benchmark at one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// Index of the synthetic benchmark (0..41).
+    pub bench: usize,
+    /// Core type.
+    pub tc: CoreType,
+    /// NC index.
+    pub nc: NcIndex,
+    /// CPU frequency index.
+    pub fc: FreqIndex,
+    /// Memory frequency index.
+    pub fm: FreqIndex,
+    /// Mean measured execution time, seconds.
+    pub time_s: f64,
+    /// Mean measured CPU dynamic power, watts.
+    pub cpu_w: f64,
+    /// Mean measured memory dynamic power, watts.
+    pub mem_w: f64,
+}
+
+/// Runs the characterization campaign on a machine.
+#[derive(Debug, Clone)]
+pub struct Profiler<'m> {
+    machine: &'m MachineModel,
+    /// Measurement repetitions averaged per configuration (the paper uses 10).
+    pub reps: u32,
+}
+
+impl<'m> Profiler<'m> {
+    /// New profiler with the paper's 10 repetitions.
+    pub fn new(machine: &'m MachineModel) -> Self {
+        Profiler { machine, reps: 10 }
+    }
+
+    /// Reduce repetitions (for fast tests).
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// The synthetic suite for this machine.
+    pub fn benches(&self) -> Vec<SyntheticBench> {
+        synthetic_shapes(self.machine)
+    }
+
+    /// Measure one benchmark at one configuration (averaged over reps).
+    pub fn measure(
+        &self,
+        bench_idx: usize,
+        bench: &SyntheticBench,
+        tc: CoreType,
+        nc_count: usize,
+        fc_ghz: f64,
+        fm_ghz: f64,
+    ) -> (f64, f64, f64) {
+        let ctx = ExecContext::default();
+        let mut t = 0.0;
+        let mut pc = 0.0;
+        let mut pm = 0.0;
+        for rep in 0..self.reps {
+            let keys = [
+                PROFILE_SALT,
+                bench_idx as u64,
+                tc.index() as u64,
+                nc_count as u64,
+                (fc_ghz * 1e6) as u64,
+                (fm_ghz * 1e6) as u64,
+                rep as u64,
+            ];
+            let s = self.machine.execute(&bench.shape, tc, nc_count, fc_ghz, fm_ghz, &ctx, &keys);
+            t += s.duration.as_secs_f64();
+            pc += s.cpu_dyn_w;
+            pm += s.mem_dyn_w;
+        }
+        let n = self.reps as f64;
+        (t / n, pc / n, pm / n)
+    }
+
+    /// Full campaign: every synthetic benchmark at every configuration.
+    pub fn profile_all(&self, space: &ConfigSpace) -> Vec<ProfileRecord> {
+        let benches = self.benches();
+        let mut out =
+            Vec::with_capacity(benches.len() * space.len());
+        for (bi, bench) in benches.iter().enumerate() {
+            for cfg in space.iter_all() {
+                let nc_count = space.nc_count(cfg.tc, cfg.nc);
+                let fc_ghz = space.fc_ghz(cfg.fc);
+                let fm_ghz = space.fm_ghz(cfg.fm);
+                let (time_s, cpu_w, mem_w) =
+                    self.measure(bi, bench, cfg.tc, nc_count, fc_ghz, fm_ghz);
+                out.push(ProfileRecord {
+                    bench: bi,
+                    tc: cfg.tc,
+                    nc: cfg.nc,
+                    fc: cfg.fc,
+                    fm: cfg.fm,
+                    time_s,
+                    cpu_w,
+                    mem_w,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_all_configs() {
+        let m = MachineModel::tx2(1);
+        let space = ConfigSpace::from_spec(&m.spec);
+        let recs = Profiler::new(&m).with_reps(1).profile_all(&space);
+        assert_eq!(recs.len(), 41 * space.len());
+        assert!(recs.iter().all(|r| r.time_s > 0.0 && r.cpu_w >= 0.0 && r.mem_w >= 0.0));
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let m = MachineModel::tx2(7);
+        let benches = synthetic_shapes(&m);
+        let clean = MachineModel::tx2_noiseless();
+        let truth = clean.clean_time_s(
+            &benches[20].shape,
+            CoreType::Big,
+            1,
+            m.spec.fc_max_ghz(),
+            m.spec.fm_max_ghz(),
+            &ExecContext::default(),
+        );
+        let one = Profiler::new(&m).with_reps(1).measure(
+            20,
+            &benches[20],
+            CoreType::Big,
+            1,
+            m.spec.fc_max_ghz(),
+            m.spec.fm_max_ghz(),
+        );
+        let many = Profiler::new(&m).with_reps(50).measure(
+            20,
+            &benches[20],
+            CoreType::Big,
+            1,
+            m.spec.fc_max_ghz(),
+            m.spec.fm_max_ghz(),
+        );
+        let err_many = (many.0 - truth).abs() / truth;
+        assert!(err_many < 0.01, "50-rep mean should be close to truth: {err_many}");
+        // Single-shot error can be anything up to ~6%, but the repeated
+        // measurement must be at least as close on average; just sanity-check
+        // both are in range.
+        assert!((one.0 - truth).abs() / truth < 0.10);
+    }
+
+    #[test]
+    fn measurements_are_reproducible() {
+        let m = MachineModel::tx2(3);
+        let space = ConfigSpace::from_spec(&m.spec);
+        let p = Profiler::new(&m).with_reps(2);
+        let a = p.profile_all(&space);
+        let b = p.profile_all(&space);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time_s, y.time_s);
+            assert_eq!(x.cpu_w, y.cpu_w);
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Configuration selection: exhaustive search and the steepest-descent
+//! pruning search (paper §5.2, Fig. 7).
+//!
+//! Both searches minimize an energy objective computed from a kernel's
+//! lookup tables plus idle-power attribution:
+//!
+//! ```text
+//! E(cfg) = (P_dyn(cfg) + P_idle(cfg) / concurrency) * T(cfg)
+//! ```
+//!
+//! where `P_dyn` is CPU-only (STEER/ERASE-style objectives) or CPU+memory
+//! (JOSS), and idle power is shared among concurrently running tasks
+//! (§4.3.3). The steepest-descent variant prunes the `<TC,NC>` dimension via
+//! a four-corner comparison, then walks the `<fC,fM>` grid downhill from the
+//! best corner until a local minimum, cutting evaluations by ~70% (§7.4).
+
+use crate::lookup::{IdleTables, KernelTables};
+use joss_platform::{ConfigSpace, FreqIndex, KnobConfig};
+use serde::{Deserialize, Serialize};
+
+/// What the scheduler is minimizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// CPU energy only (ERASE, STEER, and the paper's motivation scenario 1).
+    CpuEnergy,
+    /// Total = CPU + memory energy (JOSS).
+    TotalEnergy,
+}
+
+/// Evaluates the energy objective for one kernel at any configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyEstimator<'a> {
+    /// Configuration space.
+    pub space: &'a ConfigSpace,
+    /// The kernel's prediction tables.
+    pub tables: &'a KernelTables,
+    /// Idle power characterization.
+    pub idle: &'a IdleTables,
+    /// Minimized quantity.
+    pub objective: Objective,
+    /// Instantaneous task concurrency estimate (>= 1): how many tasks share
+    /// the idle power.
+    pub concurrency: f64,
+    /// Maximum moldable width of the kernel: `<TC,NC>` pairs with more cores
+    /// than this are excluded from every search.
+    pub max_width: usize,
+}
+
+impl<'a> EnergyEstimator<'a> {
+    /// `<TC,NC>` pairs admissible under the kernel's moldable width cap.
+    fn tc_nc_candidates(&self) -> Vec<(joss_platform::CoreType, joss_platform::NcIndex)> {
+        self.space
+            .iter_tc_nc()
+            .filter(|&(tc, nc)| self.space.nc_count(tc, nc) <= self.max_width)
+            .collect()
+    }
+}
+
+impl<'a> EnergyEstimator<'a> {
+    /// Predicted execution time at `cfg`, seconds.
+    pub fn time_s(&self, cfg: KnobConfig) -> f64 {
+        self.tables.time_s(cfg)
+    }
+
+    /// Effective task concurrency at a configuration: the observed
+    /// instantaneous concurrency, capped by how many `width`-core tasks the
+    /// chosen cluster can actually host at once. Without the cap, the high
+    /// concurrency observed during the all-core sampling phase would make
+    /// idle power look almost free for configurations that serialize the
+    /// application onto one or two cores.
+    pub fn effective_concurrency(&self, cfg: KnobConfig) -> f64 {
+        let cluster_cores = *self.space.nc_options[cfg.tc.index()]
+            .last()
+            .expect("non-empty nc options") as f64;
+        let width = self.space.nc_count(cfg.tc, cfg.nc) as f64;
+        (cluster_cores / width).min(self.concurrency).max(1.0)
+    }
+
+    /// Predicted energy at `cfg`, joules, under the configured objective.
+    pub fn energy_j(&self, cfg: KnobConfig) -> f64 {
+        let t = self.tables.time_s(cfg);
+        let conc = self.effective_concurrency(cfg);
+        let cpu_idle = self.idle.cluster_idle_w(cfg.tc, cfg.fc);
+        match self.objective {
+            Objective::CpuEnergy => (self.tables.cpu_w(cfg) + cpu_idle / conc) * t,
+            Objective::TotalEnergy => {
+                let mem_idle = self.idle.mem_idle_w(cfg.fm);
+                (self.tables.cpu_w(cfg)
+                    + self.tables.mem_w(cfg)
+                    + (cpu_idle + mem_idle) / conc)
+                    * t
+            }
+        }
+    }
+}
+
+/// Search cost counters (for the §7.4 overhead comparison).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of distinct configuration evaluations performed.
+    pub evaluations: u64,
+}
+
+/// The result of a configuration search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Selected configuration.
+    pub config: KnobConfig,
+    /// Its predicted objective energy, joules.
+    pub energy_j: f64,
+    /// Cost counters.
+    pub stats: SearchStats,
+}
+
+/// How the `fM` knob may be used by a search.
+fn fm_candidates(space: &ConfigSpace, allow_mem_dvfs: bool) -> Vec<FreqIndex> {
+    if allow_mem_dvfs {
+        (0..space.mem_freqs_ghz.len()).map(FreqIndex).collect()
+    } else {
+        vec![space.fm_max()]
+    }
+}
+
+/// Exhaustive search: evaluate every configuration and take the minimum.
+///
+/// With `allow_mem_dvfs = false`, `fM` is pinned at maximum (the
+/// JOSS_NoMemDVFS / STEER setting).
+pub fn exhaustive_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
+    let mut stats = SearchStats::default();
+    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let mut best: Option<(KnobConfig, f64)> = None;
+    for (tc, nc) in est.tc_nc_candidates() {
+        for fc in 0..est.space.cpu_freqs_ghz.len() {
+            for &fm in &fms {
+                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
+                let e = est.energy_j(cfg);
+                stats.evaluations += 1;
+                if best.map_or(true, |(_, be)| e < be) {
+                    best = Some((cfg, e));
+                }
+            }
+        }
+    }
+    let (config, energy_j) = best.expect("non-empty configuration space");
+    SearchOutcome { config, energy_j, stats }
+}
+
+/// Steepest-descent search (Fig. 7).
+///
+/// 1. Evaluate the four `<fC,fM>` corner configurations for every `<TC,NC>`.
+/// 2. For each corner position, find which `<TC,NC>` achieves the lowest
+///    energy; pick the `<TC,NC>` with the most corner wins (ties broken by
+///    total corner energy).
+/// 3. From that table's best corner, repeatedly move to the lowest-energy
+///    immediate `<fC,fM>` neighbour until no neighbour improves.
+pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
+    let space = est.space;
+    let mut stats = SearchStats::default();
+    let corners: Vec<(FreqIndex, FreqIndex)> = if allow_mem_dvfs {
+        space.freq_corners().to_vec()
+    } else {
+        vec![(FreqIndex(0), space.fm_max()), (space.fc_max(), space.fm_max())]
+    };
+
+    // Step 1: corner energies per <TC,NC> (width-admissible pairs only).
+    let tcnc: Vec<_> = est.tc_nc_candidates();
+    let mut corner_e = vec![vec![0.0f64; corners.len()]; tcnc.len()];
+    for (ti, &(tc, nc)) in tcnc.iter().enumerate() {
+        for (ci, &(fc, fm)) in corners.iter().enumerate() {
+            corner_e[ti][ci] = est.energy_j(KnobConfig::new(tc, nc, fc, fm));
+            stats.evaluations += 1;
+        }
+    }
+
+    // Step 2: corner wins.
+    let mut wins = vec![0usize; tcnc.len()];
+    for ci in 0..corners.len() {
+        let mut best_ti = 0;
+        for ti in 1..tcnc.len() {
+            if corner_e[ti][ci] < corner_e[best_ti][ci] {
+                best_ti = ti;
+            }
+        }
+        wins[best_ti] += 1;
+    }
+    let chosen_ti = (0..tcnc.len())
+        .max_by(|&a, &b| {
+            wins[a].cmp(&wins[b]).then_with(|| {
+                // Tie-break: lower total corner energy wins.
+                let sa: f64 = corner_e[a].iter().sum();
+                let sb: f64 = corner_e[b].iter().sum();
+                sb.partial_cmp(&sa).expect("finite energies")
+            })
+        })
+        .expect("non-empty tcnc set");
+    let (tc, nc) = tcnc[chosen_ti];
+
+    // Step 3: hill-descent from the best corner of the chosen table.
+    let best_corner = (0..corners.len())
+        .min_by(|&a, &b| corner_e[chosen_ti][a].partial_cmp(&corner_e[chosen_ti][b]).unwrap())
+        .expect("corners non-empty");
+    let (fc0, fm0) = corners[best_corner];
+    let mut cur = KnobConfig::new(tc, nc, fc0, fm0);
+    let mut cur_e = corner_e[chosen_ti][best_corner];
+    loop {
+        let mut improved = false;
+        let neighbours = space.freq_neighbours(cur);
+        let mut best_n = cur;
+        let mut best_ne = cur_e;
+        for n in neighbours {
+            if !allow_mem_dvfs && n.fm != space.fm_max() {
+                continue;
+            }
+            let e = est.energy_j(n);
+            stats.evaluations += 1;
+            if e < best_ne {
+                best_ne = e;
+                best_n = n;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+        cur = best_n;
+        cur_e = best_ne;
+    }
+
+    SearchOutcome { config: cur, energy_j: cur_e, stats }
+}
+
+/// Constrained search (§5.2.2): starting from `base` (the unconstrained
+/// minimum-energy configuration), index into *its* `<TC,NC>` performance
+/// table and find the lowest-energy `<fC,fM>` whose predicted time meets
+/// `speedup` relative to `base`. Keeping `<TC,NC>` fixed preserves the
+/// task-level throughput of the energy-optimal mapping, so per-task speedups
+/// translate into application speedups. Falls back to the fastest `<fC,fM>`
+/// of that table when the constraint is unreachable (the paper observes this
+/// for memory-intensity-bound benchmarks).
+pub fn constrained_search(
+    est: &EnergyEstimator<'_>,
+    allow_mem_dvfs: bool,
+    base: KnobConfig,
+    speedup: f64,
+) -> SearchOutcome {
+    assert!(speedup > 0.0);
+    let t_base = est.time_s(base);
+    let t_target = t_base / speedup;
+    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let mut stats = SearchStats::default();
+    let mut best: Option<(KnobConfig, f64)> = None;
+    let mut fastest: Option<(KnobConfig, f64, f64)> = None; // (cfg, time, energy)
+    for fc in 0..est.space.cpu_freqs_ghz.len() {
+        for &fm in &fms {
+            let cfg = KnobConfig::new(base.tc, base.nc, FreqIndex(fc), fm);
+            let t = est.time_s(cfg);
+            let e = est.energy_j(cfg);
+            stats.evaluations += 1;
+            if t <= t_target && best.map_or(true, |(_, be)| e < be) {
+                best = Some((cfg, e));
+            }
+            if fastest.map_or(true, |(_, bt, _)| t < bt) {
+                fastest = Some((cfg, t, e));
+            }
+        }
+    }
+    let (config, energy_j) = best.unwrap_or_else(|| {
+        let (cfg, _, e) = fastest.expect("non-empty table");
+        (cfg, e)
+    });
+    SearchOutcome { config, energy_j, stats }
+}
+
+/// The configuration with the minimum predicted time (the MAXP target).
+pub fn fastest_config(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
+    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let mut stats = SearchStats::default();
+    let mut best: Option<(KnobConfig, f64)> = None;
+    for (tc, nc) in est.tc_nc_candidates() {
+        for fc in 0..est.space.cpu_freqs_ghz.len() {
+            for &fm in &fms {
+                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
+                let t = est.time_s(cfg);
+                stats.evaluations += 1;
+                if best.map_or(true, |(_, bt)| t < bt) {
+                    best = Some((cfg, t));
+                }
+            }
+        }
+    }
+    let (config, _) = best.expect("non-empty space");
+    SearchOutcome { config, energy_j: est.energy_j(config), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::{IdleTables, KernelTables};
+    use joss_platform::{ConfigSpace, MachineModel};
+
+    /// Build tables with a synthetic, smooth energy landscape so the searches
+    /// can be validated against a known optimum.
+    fn fixture(peakiness: f64) -> (ConfigSpace, KernelTables, IdleTables) {
+        let machine = MachineModel::tx2_noiseless();
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let idle = IdleTables::measure(&machine, &space);
+        let mut tables = KernelTables::empty(&space);
+        for cfg in space.iter_all() {
+            let fc = space.fc_ghz(cfg.fc);
+            let fm = space.fm_ghz(cfg.fm);
+            let nc = space.nc_count(cfg.tc, cfg.nc) as f64;
+            // Convex bowl centered near (1.1 GHz, 1.3 GHz) on Little x2.
+            let t = 0.01 * (1.0 + peakiness * ((fc - 1.1).powi(2) + (fm - 1.3).powi(2)));
+            let cpu = 0.2 + 0.1 * fc * nc;
+            let mem = 0.1 + 0.05 * fm;
+            let bias = match (cfg.tc, cfg.nc.0) {
+                (joss_platform::CoreType::Little, 1) => 1.0,
+                _ => 1.3,
+            };
+            tables.set(cfg, t * bias, cpu, mem);
+        }
+        (space, tables, idle)
+    }
+
+    fn estimator<'a>(
+        space: &'a ConfigSpace,
+        tables: &'a KernelTables,
+        idle: &'a IdleTables,
+    ) -> EnergyEstimator<'a> {
+        EnergyEstimator {
+            space,
+            tables,
+            idle,
+            objective: Objective::TotalEnergy,
+            concurrency: 1.0,
+            max_width: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_global_minimum() {
+        let (space, tables, idle) = fixture(3.0);
+        let est = estimator(&space, &tables, &idle);
+        let out = exhaustive_search(&est, true);
+        assert_eq!(out.stats.evaluations as usize, space.len());
+        // Verify it is truly the global minimum.
+        for cfg in space.iter_all() {
+            assert!(est.energy_j(cfg) >= out.energy_j - 1e-12);
+        }
+    }
+
+    #[test]
+    fn steepest_descent_matches_exhaustive_on_convex_landscape() {
+        let (space, tables, idle) = fixture(3.0);
+        let est = estimator(&space, &tables, &idle);
+        let ex = exhaustive_search(&est, true);
+        let sd = steepest_descent_search(&est, true);
+        assert!(
+            sd.energy_j <= ex.energy_j * 1.05,
+            "steepest descent {} vs exhaustive {}",
+            sd.energy_j,
+            ex.energy_j
+        );
+    }
+
+    #[test]
+    fn steepest_descent_uses_far_fewer_evaluations() {
+        let (space, tables, idle) = fixture(3.0);
+        let est = estimator(&space, &tables, &idle);
+        let ex = exhaustive_search(&est, true);
+        let sd = steepest_descent_search(&est, true);
+        // §7.4: ~70% fewer comparisons on the TX2.
+        assert!(
+            (sd.stats.evaluations as f64) < 0.55 * ex.stats.evaluations as f64,
+            "sd {} vs ex {}",
+            sd.stats.evaluations,
+            ex.stats.evaluations
+        );
+    }
+
+    #[test]
+    fn no_mem_dvfs_pins_fm_max() {
+        let (space, tables, idle) = fixture(3.0);
+        let est = estimator(&space, &tables, &idle);
+        let ex = exhaustive_search(&est, false);
+        assert_eq!(ex.config.fm, space.fm_max());
+        let sd = steepest_descent_search(&est, false);
+        assert_eq!(sd.config.fm, space.fm_max());
+    }
+
+    #[test]
+    fn cpu_objective_ignores_memory_power() {
+        let (space, mut tables, idle) = fixture(3.0);
+        // Blow up memory power everywhere; the CPU objective must not care.
+        for cfg in space.iter_all() {
+            let t = tables.time_s(cfg);
+            let c = tables.cpu_w(cfg);
+            tables.set(cfg, t, c, 1000.0);
+        }
+        let mut est = estimator(&space, &tables, &idle);
+        est.objective = Objective::CpuEnergy;
+        let with_mem = {
+            let mut e2 = est;
+            e2.objective = Objective::TotalEnergy;
+            exhaustive_search(&e2, true)
+        };
+        let cpu_only = exhaustive_search(&est, true);
+        // Total objective is dominated by the constant memory power, so it
+        // just picks the fastest config; CPU objective keeps the bowl optimum.
+        assert!(est.energy_j(cpu_only.config) <= est.energy_j(with_mem.config));
+    }
+
+    /// A fixture where time falls steeply with fC (so speedup targets are
+    /// reachable) while energy grows with fC (so the minimum-energy config is
+    /// slow) — the paper's Fig. 2 trade-off shape.
+    fn tradeoff_fixture() -> (ConfigSpace, KernelTables, IdleTables) {
+        let machine = MachineModel::tx2_noiseless();
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let idle = IdleTables::measure(&machine, &space);
+        let mut tables = KernelTables::empty(&space);
+        for cfg in space.iter_all() {
+            let fc = space.fc_ghz(cfg.fc);
+            let fm = space.fm_ghz(cfg.fm);
+            let t = 0.05 / (fc * (0.7 + 0.3 * fm));
+            // Dynamic CPU power must dominate idle power at high fC, or the
+            // energy optimum degenerates to "run as fast as possible".
+            let cpu = 0.1 + 1.2 * fc * fc;
+            let mem = 0.05 + 0.1 * fm;
+            tables.set(cfg, t, cpu, mem);
+        }
+        (space, tables, idle)
+    }
+
+    #[test]
+    fn constrained_search_meets_target_or_picks_fastest() {
+        let (space, tables, idle) = tradeoff_fixture();
+        let est = estimator(&space, &tables, &idle);
+        let base = exhaustive_search(&est, true).config;
+        let t_base = est.time_s(base);
+        let fastest = fastest_config(&est, true);
+        assert!(
+            t_base / est.time_s(fastest.config) > 1.5,
+            "fixture must offer real speedup headroom"
+        );
+
+        let c12 = constrained_search(&est, true, base, 1.2);
+        assert!(est.time_s(c12.config) <= t_base / 1.2 + 1e-12);
+        // Achievable constraint should cost no less energy than unconstrained.
+        assert!(c12.energy_j >= exhaustive_search(&est, true).energy_j - 1e-12);
+
+        // Impossible speedup: falls back to the fastest <fC,fM> of the
+        // base configuration's <TC,NC> table.
+        let cmax = constrained_search(&est, true, base, 1e9);
+        assert_eq!(cmax.config.tc, base.tc);
+        assert_eq!(cmax.config.nc, base.nc);
+        assert_eq!(cmax.config.fc, space.fc_max());
+        let _ = fastest;
+    }
+
+    #[test]
+    fn tighter_constraints_cost_monotonically_more_energy() {
+        let (space, tables, idle) = tradeoff_fixture();
+        let est = estimator(&space, &tables, &idle);
+        let base = exhaustive_search(&est, true).config;
+        let mut prev = 0.0;
+        for speedup in [1.0, 1.2, 1.4, 1.8] {
+            let out = constrained_search(&est, true, base, speedup);
+            assert!(
+                out.energy_j >= prev - 1e-12,
+                "speedup {speedup}: energy {} below previous {prev}",
+                out.energy_j
+            );
+            prev = out.energy_j;
+        }
+    }
+
+    #[test]
+    fn concurrency_scales_idle_attribution() {
+        let (space, tables, idle) = fixture(3.0);
+        let mut est = estimator(&space, &tables, &idle);
+        let cfg = space.iter_all().next().unwrap();
+        est.concurrency = 1.0;
+        let e1 = est.energy_j(cfg);
+        est.concurrency = 4.0;
+        let e4 = est.energy_j(cfg);
+        assert!(e4 < e1, "idle share must shrink with concurrency");
+    }
+}

@@ -1,0 +1,121 @@
+//! The synthetic benchmark suite used for platform characterization (§4.1).
+//!
+//! Each synthetic benchmark mixes a computation loop and a memory-access
+//! loop. Keeping total execution time constant at a nominal generation
+//! configuration, the compute share starts at 50%/50% and moves in 2.5%
+//! steps to produce **41 benchmarks** spanning 0%..100% compute — i.e. the
+//! whole memory-boundness range the models must cover.
+
+use joss_platform::{CoreType, ExecContext, MachineModel, TaskShape};
+use serde::{Deserialize, Serialize};
+
+/// Number of synthetic benchmarks (0..=100% compute in 2.5% steps).
+pub const N_SYNTHETIC: usize = 41;
+
+/// Nominal total execution time of each synthetic benchmark at the
+/// generation configuration, seconds.
+pub const NOMINAL_TIME_S: f64 = 0.020;
+
+/// One synthetic benchmark: a target compute fraction and the task shape
+/// realizing it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticBench {
+    /// Fraction of execution time spent computing at the generation
+    /// configuration (0.0 = pure memory, 1.0 = pure compute).
+    pub compute_frac: f64,
+    /// The shape the platform executes.
+    pub shape: TaskShape,
+}
+
+/// Generate the 41 synthetic benchmarks for a machine.
+///
+/// Shapes are constructed so that at the generation configuration (one
+/// little core, all frequencies at maximum) the compute/memory time split
+/// matches `compute_frac` and the total time is [`NOMINAL_TIME_S`].
+pub fn synthetic_shapes(machine: &MachineModel) -> Vec<SyntheticBench> {
+    let tc = CoreType::Little;
+    let nc = 1;
+    let fc = machine.spec.fc_max_ghz();
+    let fm = machine.spec.fm_max_ghz();
+    let ctx = ExecContext::default();
+
+    // Calibrate conversion rates at the generation configuration:
+    // seconds of compute per Gop, seconds of stall per GB.
+    let probe = TaskShape::new(1.0, 1.0);
+    let s_per_gop = machine.compute_time_s(&probe, tc, nc, fc);
+    let s_per_gb = machine.stall_time_s(&probe, tc, nc, fc, fm, &ctx);
+
+    (0..N_SYNTHETIC)
+        .map(|i| {
+            let compute_frac = i as f64 * 0.025;
+            let t_comp = NOMINAL_TIME_S * compute_frac;
+            let t_mem = NOMINAL_TIME_S - t_comp;
+            SyntheticBench {
+                compute_frac,
+                shape: TaskShape {
+                    work_gops: t_comp / s_per_gop,
+                    bytes_gb: t_mem / s_per_gb,
+                    scal_alpha: 0.95,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_41_benchmarks() {
+        let m = MachineModel::tx2_noiseless();
+        let benches = synthetic_shapes(&m);
+        assert_eq!(benches.len(), N_SYNTHETIC);
+        assert!((benches[0].compute_frac - 0.0).abs() < 1e-12);
+        assert!((benches[20].compute_frac - 0.5).abs() < 1e-12);
+        assert!((benches[40].compute_frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shapes_hit_nominal_time_at_generation_config() {
+        let m = MachineModel::tx2_noiseless();
+        let ctx = ExecContext::default();
+        let fc = m.spec.fc_max_ghz();
+        let fm = m.spec.fm_max_ghz();
+        for b in synthetic_shapes(&m) {
+            let t = m.clean_time_s(&b.shape, CoreType::Little, 1, fc, fm, &ctx);
+            let rel = (t - NOMINAL_TIME_S).abs() / NOMINAL_TIME_S;
+            assert!(rel < 0.01, "frac {}: time {t}", b.compute_frac);
+        }
+    }
+
+    #[test]
+    fn compute_fraction_matches_ground_truth_mb() {
+        let m = MachineModel::tx2_noiseless();
+        let ctx = ExecContext::default();
+        let fc = m.spec.fc_max_ghz();
+        let fm = m.spec.fm_max_ghz();
+        for b in synthetic_shapes(&m) {
+            let sample = m.execute(&b.shape, CoreType::Little, 1, fc, fm, &ctx, &[0]);
+            let expected_mb = 1.0 - b.compute_frac;
+            assert!(
+                (sample.true_mb - expected_mb).abs() < 0.02,
+                "frac {}: mb {} vs expected {}",
+                b.compute_frac,
+                sample.true_mb,
+                expected_mb
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_pure() {
+        let m = MachineModel::tx2_noiseless();
+        let benches = synthetic_shapes(&m);
+        assert!(benches[0].shape.work_gops.abs() < 1e-12, "0% compute has no work");
+        assert!(benches[40].shape.bytes_gb.abs() < 1e-12, "100% compute has no traffic");
+        for b in &benches {
+            assert!(b.shape.is_valid(), "shape must be valid at frac {}", b.compute_frac);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Model training: the paper's Fig. 4 flow.
+//!
+//! For every `<TC, NC>` pair, fit three models from the synthetic-benchmark
+//! profiles:
+//!
+//! 1. a [`PerfModel`] (Eqs. 1–2) predicting time under joint DVFS,
+//! 2. a [`CpuPowerModel`] (Eq. 4),
+//! 3. a [`MemPowerModel`] (Eq. 5).
+//!
+//! The benchmark MB values used as regression inputs are obtained the same
+//! way the runtime will obtain them — Eq. 3 over times sampled at two core
+//! frequencies — keeping training and inference consistent. Profiling and
+//! training run once per platform (install/boot time).
+
+use crate::lookup::{IdleTables, KernelTables, TcNcIndexer};
+use crate::mb::estimate_mb;
+use crate::perf::{PerfModel, PerfSample};
+use crate::power::{CpuPowerModel, MemPowerModel, PowerSample};
+use crate::profiler::{ProfileRecord, Profiler};
+use joss_platform::{ConfigSpace, CoreType, FreqIndex, MachineModel, NcIndex};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Reference core frequency index (first sampling frequency, `fC`).
+    pub fc_ref: FreqIndex,
+    /// Alternate core frequency index (second sampling frequency, `fC'`).
+    pub fc_alt: FreqIndex,
+    /// Reference memory frequency index used while sampling.
+    pub fm_ref: FreqIndex,
+    /// Profiling repetitions per configuration.
+    pub reps: u32,
+}
+
+impl TrainingConfig {
+    /// Defaults for the TX2 ladder: sample at the highest frequency
+    /// (2.04 GHz) and at 1.11 GHz, memory at maximum; 10 repetitions.
+    pub fn tx2_default(space: &ConfigSpace) -> Self {
+        TrainingConfig {
+            fc_ref: space.fc_max(),
+            fc_alt: FreqIndex(2),
+            fm_ref: space.fm_max(),
+            reps: 10,
+        }
+    }
+}
+
+/// The three fitted models for one `<TC, NC>` pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcNcModels {
+    /// Execution-time model.
+    pub perf: PerfModel,
+    /// CPU dynamic power model.
+    pub cpu: CpuPowerModel,
+    /// Memory dynamic power model.
+    pub mem: MemPowerModel,
+}
+
+/// The full trained model set for a platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSet {
+    /// Configuration space the models were trained over.
+    pub space: ConfigSpace,
+    /// Training configuration used.
+    pub cfg: TrainingConfig,
+    /// Per-`<TC,NC>` models, dense-indexed by [`TcNcIndexer`].
+    per: Vec<TcNcModels>,
+    indexer: TcNcIndexer,
+    /// Idle power characterization.
+    pub idle: IdleTables,
+}
+
+impl ModelSet {
+    /// Profile the machine and fit all models (the one-time platform
+    /// characterization).
+    pub fn train(machine: &MachineModel, cfg: TrainingConfig) -> Self {
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let records = Profiler::new(machine).with_reps(cfg.reps).profile_all(&space);
+        Self::train_from_records(machine, &space, cfg, &records)
+    }
+
+    /// Fit from pre-collected profile records (lets tests reuse a campaign).
+    pub fn train_from_records(
+        machine: &MachineModel,
+        space: &ConfigSpace,
+        cfg: TrainingConfig,
+        records: &[ProfileRecord],
+    ) -> Self {
+        let indexer = TcNcIndexer::new(space);
+        let fc_ref_ghz = space.fc_ghz(cfg.fc_ref);
+        let fc_alt_ghz = space.fc_ghz(cfg.fc_alt);
+        let fm_ref_ghz = space.fm_ghz(cfg.fm_ref);
+        let n_benches = records.iter().map(|r| r.bench + 1).max().unwrap_or(0);
+
+        // Group records: [tcnc][bench] -> Vec over (fc, fm).
+        let mut per = Vec::with_capacity(indexer.len());
+        for (tc, nc) in indexer.iter() {
+            // Per-bench MB from the two sampling points.
+            let mut mb = vec![f64::NAN; n_benches];
+            let t_at = |bench: usize, fc: FreqIndex, fm: FreqIndex| -> f64 {
+                records
+                    .iter()
+                    .find(|r| r.tc == tc && r.nc == nc && r.bench == bench && r.fc == fc && r.fm == fm)
+                    .map(|r| r.time_s)
+                    .expect("profiling campaign must cover all configurations")
+            };
+            for (bench, slot) in mb.iter_mut().enumerate() {
+                let t_ref = t_at(bench, cfg.fc_ref, cfg.fm_ref);
+                let t_alt = t_at(bench, cfg.fc_alt, cfg.fm_ref);
+                *slot = estimate_mb(t_ref, fc_ref_ghz, t_alt, fc_alt_ghz);
+            }
+
+            // Assemble regression samples.
+            let mut perf_samples = Vec::new();
+            let mut cpu_samples = Vec::new();
+            let mut mem_samples = Vec::new();
+            for r in records.iter().filter(|r| r.tc == tc && r.nc == nc) {
+                let t_ref = t_at(r.bench, cfg.fc_ref, cfg.fm_ref);
+                perf_samples.push(PerfSample {
+                    mb: mb[r.bench],
+                    t_ref_s: t_ref,
+                    fc_tgt_ghz: space.fc_ghz(r.fc),
+                    fm_tgt_ghz: space.fm_ghz(r.fm),
+                    t_tgt_s: r.time_s,
+                });
+                cpu_samples.push(PowerSample {
+                    mb: mb[r.bench],
+                    fc_ghz: space.fc_ghz(r.fc),
+                    fm_ghz: space.fm_ghz(r.fm),
+                    watts: r.cpu_w,
+                });
+                mem_samples.push(PowerSample {
+                    mb: mb[r.bench],
+                    fc_ghz: space.fc_ghz(r.fc),
+                    fm_ghz: space.fm_ghz(r.fm),
+                    watts: r.mem_w,
+                });
+            }
+            per.push(TcNcModels {
+                perf: PerfModel::fit(&perf_samples, fc_ref_ghz, fm_ref_ghz)
+                    .expect("enough perf samples"),
+                cpu: CpuPowerModel::fit(&cpu_samples).expect("enough cpu samples"),
+                mem: MemPowerModel::fit(&mem_samples).expect("enough mem samples"),
+            });
+        }
+
+        ModelSet {
+            space: space.clone(),
+            cfg,
+            per,
+            indexer,
+            idle: IdleTables::measure(machine, space),
+        }
+    }
+
+    /// Models for one `<TC, NC>` pair.
+    pub fn models(&self, tc: CoreType, nc: NcIndex) -> &TcNcModels {
+        &self.per[self.indexer.index(tc, nc)]
+    }
+
+    /// The `<TC,NC>` indexer.
+    pub fn indexer(&self) -> &TcNcIndexer {
+        &self.indexer
+    }
+
+    /// Reference core frequency in GHz (first sampling frequency).
+    pub fn fc_ref_ghz(&self) -> f64 {
+        self.space.fc_ghz(self.cfg.fc_ref)
+    }
+
+    /// Alternate core frequency in GHz (second sampling frequency).
+    pub fn fc_alt_ghz(&self) -> f64 {
+        self.space.fc_ghz(self.cfg.fc_alt)
+    }
+
+    /// Reference memory frequency in GHz used during sampling.
+    pub fn fm_ref_ghz(&self) -> f64 {
+        self.space.fm_ghz(self.cfg.fm_ref)
+    }
+
+    /// Populate a kernel's lookup tables from its online samples.
+    ///
+    /// `samples[i] = Some((t_ref_s, t_alt_s))` for the dense `<TC,NC>` index
+    /// `i`: execution times of the kernel sampled at `fc_ref` and `fc_alt`
+    /// (both at `fm_ref`). `None` marks `<TC,NC>` pairs the kernel cannot use
+    /// (moldable width cap); their cells are filled with infinite time so no
+    /// search can select them. This is the §5.1 "model prediction" step that
+    /// fills the three per-kernel tables.
+    pub fn build_kernel_tables(&self, samples: &[Option<(f64, f64)>]) -> KernelTables {
+        assert_eq!(samples.len(), self.indexer.len());
+        let mut tables = KernelTables::empty(&self.space);
+        for (i, (tc, nc)) in self.indexer.iter().enumerate() {
+            let Some((t_ref, t_alt)) = samples[i] else {
+                for fc in 0..self.space.cpu_freqs_ghz.len() {
+                    for fm in 0..self.space.mem_freqs_ghz.len() {
+                        let cfg =
+                            joss_platform::KnobConfig::new(tc, nc, FreqIndex(fc), FreqIndex(fm));
+                        tables.set(cfg, f64::INFINITY, 0.0, 0.0);
+                    }
+                }
+                continue;
+            };
+            let mb = estimate_mb(t_ref, self.fc_ref_ghz(), t_alt, self.fc_alt_ghz());
+            tables.set_sample(tc, nc, mb, t_ref);
+            let m = &self.per[i];
+            for fc in 0..self.space.cpu_freqs_ghz.len() {
+                for fm in 0..self.space.mem_freqs_ghz.len() {
+                    let cfg = joss_platform::KnobConfig::new(tc, nc, FreqIndex(fc), FreqIndex(fm));
+                    let fc_ghz = self.space.fc_ghz(cfg.fc);
+                    let fm_ghz = self.space.fm_ghz(cfg.fm);
+                    let time = m.perf.predict_s(mb, t_ref, fc_ghz, fm_ghz);
+                    let cpu = m.cpu.predict_w(mb, fc_ghz);
+                    let mem = m.mem.predict_w(mb, fc_ghz, fm_ghz);
+                    tables.set(cfg, time, cpu, mem);
+                }
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_platform::{ExecContext, TaskShape};
+
+    fn quick_modelset(seed: u64) -> (MachineModel, ModelSet) {
+        let machine = MachineModel::tx2(seed);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let mut cfg = TrainingConfig::tx2_default(&space);
+        cfg.reps = 2; // keep the test fast
+        let set = ModelSet::train(&machine, cfg);
+        (machine, set)
+    }
+
+    #[test]
+    fn trains_models_for_all_tcnc() {
+        let (_, set) = quick_modelset(11);
+        assert_eq!(set.indexer().len(), 5);
+        for (tc, nc) in set.indexer().iter() {
+            let m = set.models(tc, nc);
+            assert!(m.perf.coefficients().iter().all(|c| c.is_finite()));
+            assert!(m.cpu.coefficients().iter().all(|c| c.is_finite()));
+            assert!(m.mem.coefficients().iter().all(|c| c.is_finite()));
+        }
+    }
+
+    #[test]
+    fn perf_predictions_track_ground_truth() {
+        let (machine, set) = quick_modelset(12);
+        let clean = MachineModel::tx2_noiseless();
+        let ctx = ExecContext::default();
+        // A mixed kernel, not one of the training synthetics.
+        let shape = TaskShape::new(0.02, 0.04);
+        let tc = CoreType::Little;
+        let nc_ix = NcIndex(1);
+        let nc = set.space.nc_count(tc, nc_ix);
+        let fc_ref = set.fc_ref_ghz();
+        let fc_alt = set.fc_alt_ghz();
+        let fm_ref = set.fm_ref_ghz();
+        let t_ref = clean.clean_time_s(&shape, tc, nc, fc_ref, fm_ref, &ctx);
+        let t_alt = clean.clean_time_s(&shape, tc, nc, fc_alt, fm_ref, &ctx);
+        let mb = estimate_mb(t_ref, fc_ref, t_alt, fc_alt);
+        let m = set.models(tc, nc_ix);
+        let mut worst: f64 = 0.0;
+        for &fc in &set.space.cpu_freqs_ghz {
+            for &fm in &set.space.mem_freqs_ghz {
+                let pred = m.perf.predict_s(mb, t_ref, fc, fm);
+                let real = clean.clean_time_s(&shape, tc, nc, fc, fm, &ctx);
+                worst = worst.max((pred - real).abs() / real);
+            }
+        }
+        assert!(worst < 0.15, "worst perf rel err {worst} (paper: ~3% mean on real hw)");
+        let _ = machine;
+    }
+
+    #[test]
+    fn kernel_tables_cover_all_cells_positively() {
+        let (machine, set) = quick_modelset(13);
+        let clean = MachineModel::tx2_noiseless();
+        let ctx = ExecContext::default();
+        let shape = TaskShape::new(0.05, 0.01);
+        let samples: Vec<Option<(f64, f64)>> = set
+            .indexer()
+            .iter()
+            .map(|(tc, nc)| {
+                let n = set.space.nc_count(tc, nc);
+                Some((
+                    clean.clean_time_s(&shape, tc, n, set.fc_ref_ghz(), set.fm_ref_ghz(), &ctx),
+                    clean.clean_time_s(&shape, tc, n, set.fc_alt_ghz(), set.fm_ref_ghz(), &ctx),
+                ))
+            })
+            .collect();
+        let tables = set.build_kernel_tables(&samples);
+        for cfg in set.space.iter_all() {
+            assert!(tables.time_s(cfg) > 0.0, "time must be positive at {cfg:?}");
+            assert!(tables.cpu_w(cfg) >= 0.0);
+            assert!(tables.mem_w(cfg) >= 0.0);
+        }
+        for (tc, nc) in set.indexer().iter() {
+            let mb = tables.mb_of(tc, nc);
+            assert!((0.0..=1.0).contains(&mb));
+        }
+        let _ = machine;
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn build_tables_requires_full_samples() {
+        let (_, set) = quick_modelset(14);
+        let _ = set.build_kernel_tables(&[Some((1.0, 1.1))]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Knob configurations and the configuration space.
+//!
+//! The four knobs of the paper are `<TC, NC, fC, fM>`: core type, number of
+//! cores, CPU cluster frequency, and memory frequency. [`KnobConfig`] is one
+//! point in that space; [`ConfigSpace`] enumerates all valid points for a
+//! platform and provides the neighbourhood structure used by the
+//! steepest-descent search (paper Fig. 7).
+
+use crate::topology::PlatformSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The core type (cluster) a task is mapped to.
+///
+/// `Big` corresponds to the TX2's dual-core Denver cluster and `Little` to the
+/// quad-core A57 cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoreType {
+    /// High-performance cluster (Denver-like).
+    Big,
+    /// Lower-performance, higher-count cluster (A57-like).
+    Little,
+}
+
+impl CoreType {
+    /// Both core types, in a fixed order.
+    pub const ALL: [CoreType; 2] = [CoreType::Big, CoreType::Little];
+
+    /// Dense index (Big = 0, Little = 1) for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            CoreType::Big => 0,
+            CoreType::Little => 1,
+        }
+    }
+
+    /// The paper's name for this cluster on the TX2.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            CoreType::Big => "Denver",
+            CoreType::Little => "A57",
+        }
+    }
+}
+
+impl fmt::Display for CoreType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Index into a frequency table (CPU cluster table or memory table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct FreqIndex(pub usize);
+
+/// Index into the per-core-type table of valid core counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct NcIndex(pub usize);
+
+/// One point in the four-knob configuration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KnobConfig {
+    /// Core type (cluster).
+    pub tc: CoreType,
+    /// Index into [`ConfigSpace::nc_options`] for `tc`.
+    pub nc: NcIndex,
+    /// Index into the cluster's CPU frequency table.
+    pub fc: FreqIndex,
+    /// Index into the memory frequency table.
+    pub fm: FreqIndex,
+}
+
+impl KnobConfig {
+    /// Construct from raw indices.
+    pub fn new(tc: CoreType, nc: NcIndex, fc: FreqIndex, fm: FreqIndex) -> Self {
+        KnobConfig { tc, nc, fc, fm }
+    }
+}
+
+/// Enumeration of every valid `<TC, NC, fC, fM>` point for a platform,
+/// plus lookups from indices to physical values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// CPU frequencies in GHz, ascending; shared by both clusters on the TX2.
+    pub cpu_freqs_ghz: Vec<f64>,
+    /// Memory frequencies in GHz, ascending.
+    pub mem_freqs_ghz: Vec<f64>,
+    /// Valid core counts per core type (powers of two up to cluster size).
+    pub nc_options: [Vec<usize>; 2],
+}
+
+impl ConfigSpace {
+    /// Derive the configuration space from a platform description.
+    pub fn from_spec(spec: &PlatformSpec) -> Self {
+        let nc_options = [
+            nc_options_for(spec.cluster(CoreType::Big).n_cores),
+            nc_options_for(spec.cluster(CoreType::Little).n_cores),
+        ];
+        ConfigSpace {
+            cpu_freqs_ghz: spec.cpu_freqs_ghz.clone(),
+            mem_freqs_ghz: spec.mem_freqs_ghz.clone(),
+            nc_options,
+        }
+    }
+
+    /// Physical CPU frequency for an index.
+    pub fn fc_ghz(&self, fc: FreqIndex) -> f64 {
+        self.cpu_freqs_ghz[fc.0]
+    }
+
+    /// Physical memory frequency for an index.
+    pub fn fm_ghz(&self, fm: FreqIndex) -> f64 {
+        self.mem_freqs_ghz[fm.0]
+    }
+
+    /// Core count for a `(TC, NC-index)` pair.
+    pub fn nc_count(&self, tc: CoreType, nc: NcIndex) -> usize {
+        self.nc_options[tc.index()][nc.0]
+    }
+
+    /// Number of NC choices for a core type.
+    pub fn n_nc(&self, tc: CoreType) -> usize {
+        self.nc_options[tc.index()].len()
+    }
+
+    /// Highest CPU frequency index.
+    pub fn fc_max(&self) -> FreqIndex {
+        FreqIndex(self.cpu_freqs_ghz.len() - 1)
+    }
+
+    /// Highest memory frequency index.
+    pub fn fm_max(&self) -> FreqIndex {
+        FreqIndex(self.mem_freqs_ghz.len() - 1)
+    }
+
+    /// Iterate over every valid configuration, in a deterministic order.
+    pub fn iter_all(&self) -> impl Iterator<Item = KnobConfig> + '_ {
+        CoreType::ALL.into_iter().flat_map(move |tc| {
+            (0..self.n_nc(tc)).flat_map(move |nc| {
+                (0..self.cpu_freqs_ghz.len()).flat_map(move |fc| {
+                    (0..self.mem_freqs_ghz.len()).map(move |fm| {
+                        KnobConfig::new(tc, NcIndex(nc), FreqIndex(fc), FreqIndex(fm))
+                    })
+                })
+            })
+        })
+    }
+
+    /// Iterate over all `<TC, NC>` pairs.
+    pub fn iter_tc_nc(&self) -> impl Iterator<Item = (CoreType, NcIndex)> + '_ {
+        CoreType::ALL
+            .into_iter()
+            .flat_map(move |tc| (0..self.n_nc(tc)).map(move |nc| (tc, NcIndex(nc))))
+    }
+
+    /// Total number of configurations.
+    pub fn len(&self) -> usize {
+        let per_freq = self.cpu_freqs_ghz.len() * self.mem_freqs_ghz.len();
+        (self.n_nc(CoreType::Big) + self.n_nc(CoreType::Little)) * per_freq
+    }
+
+    /// True when the space is empty (degenerate platform).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The four `<fC, fM>` corners (combinations of lowest/highest CPU and
+    /// memory frequency) used by the steepest-descent pruning step.
+    pub fn freq_corners(&self) -> [(FreqIndex, FreqIndex); 4] {
+        let fc_lo = FreqIndex(0);
+        let fc_hi = self.fc_max();
+        let fm_lo = FreqIndex(0);
+        let fm_hi = self.fm_max();
+        [(fc_lo, fm_lo), (fc_lo, fm_hi), (fc_hi, fm_lo), (fc_hi, fm_hi)]
+    }
+
+    /// Immediate `<fC, fM>` grid neighbours of a configuration (4-connected),
+    /// used by the steepest-descent inner loop.
+    pub fn freq_neighbours(&self, cfg: KnobConfig) -> Vec<KnobConfig> {
+        let mut out = Vec::with_capacity(4);
+        if cfg.fc.0 > 0 {
+            out.push(KnobConfig { fc: FreqIndex(cfg.fc.0 - 1), ..cfg });
+        }
+        if cfg.fc.0 + 1 < self.cpu_freqs_ghz.len() {
+            out.push(KnobConfig { fc: FreqIndex(cfg.fc.0 + 1), ..cfg });
+        }
+        if cfg.fm.0 > 0 {
+            out.push(KnobConfig { fm: FreqIndex(cfg.fm.0 - 1), ..cfg });
+        }
+        if cfg.fm.0 + 1 < self.mem_freqs_ghz.len() {
+            out.push(KnobConfig { fm: FreqIndex(cfg.fm.0 + 1), ..cfg });
+        }
+        out
+    }
+
+    /// Human-readable `<TC, NC, fC, fM>` label matching the paper's figures,
+    /// e.g. `<Denver, 2, 1.11, 1.87>`.
+    pub fn label(&self, cfg: KnobConfig) -> String {
+        format!(
+            "<{}, {}, {:.2}, {:.2}>",
+            cfg.tc.paper_name(),
+            self.nc_count(cfg.tc, cfg.nc),
+            self.fc_ghz(cfg.fc),
+            self.fm_ghz(cfg.fm)
+        )
+    }
+}
+
+/// Valid moldable core counts: powers of two up to the cluster size
+/// (the paper's moldable execution uses 1, 2, ... cores of one type).
+fn nc_options_for(n_cores: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = 1;
+    while n <= n_cores {
+        v.push(n);
+        n *= 2;
+    }
+    if *v.last().unwrap() != n_cores && !v.contains(&n_cores) {
+        v.push(n_cores);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PlatformSpec;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::from_spec(&PlatformSpec::tx2_like())
+    }
+
+    #[test]
+    fn tx2_space_dimensions() {
+        let s = space();
+        assert_eq!(s.cpu_freqs_ghz.len(), 5);
+        assert_eq!(s.mem_freqs_ghz.len(), 3);
+        assert_eq!(s.nc_options[CoreType::Big.index()], vec![1, 2]);
+        assert_eq!(s.nc_options[CoreType::Little.index()], vec![1, 2, 4]);
+        // (2 + 3) tc/nc pairs x 5 fc x 3 fm
+        assert_eq!(s.len(), 75);
+        assert_eq!(s.iter_all().count(), s.len());
+    }
+
+    #[test]
+    fn nc_options_cover_odd_sizes() {
+        assert_eq!(nc_options_for(1), vec![1]);
+        assert_eq!(nc_options_for(3), vec![1, 2, 3]);
+        assert_eq!(nc_options_for(6), vec![1, 2, 4, 6]);
+        assert_eq!(nc_options_for(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn corners_are_extremes() {
+        let s = space();
+        let corners = s.freq_corners();
+        assert_eq!(corners[0], (FreqIndex(0), FreqIndex(0)));
+        assert_eq!(corners[3], (s.fc_max(), s.fm_max()));
+    }
+
+    #[test]
+    fn neighbours_stay_in_grid() {
+        let s = space();
+        for cfg in s.iter_all() {
+            for n in s.freq_neighbours(cfg) {
+                assert!(n.fc.0 < s.cpu_freqs_ghz.len());
+                assert!(n.fm.0 < s.mem_freqs_ghz.len());
+                assert_eq!(n.tc, cfg.tc);
+                assert_eq!(n.nc, cfg.nc);
+                // Exactly one coordinate moved by one step.
+                let d = (n.fc.0 as i64 - cfg.fc.0 as i64).abs()
+                    + (n.fm.0 as i64 - cfg.fm.0 as i64).abs();
+                assert_eq!(d, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn label_matches_paper_format() {
+        let s = space();
+        let cfg = KnobConfig::new(CoreType::Big, NcIndex(1), FreqIndex(2), FreqIndex(2));
+        assert_eq!(s.label(cfg), "<Denver, 2, 1.11, 1.87>");
+    }
+
+    #[test]
+    fn iter_tc_nc_counts() {
+        let s = space();
+        assert_eq!(s.iter_tc_nc().count(), 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Energy accounting report: the per-run measurement record the paper's
+//! evaluation figures are built from (CPU energy, memory energy, makespan).
+
+use crate::power::{PowerSensor, PowerTrace, Rail};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Final energy/time account of one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// CPU energy (both clusters), joules — exact integration.
+    pub cpu_j: f64,
+    /// Memory energy, joules — exact integration.
+    pub mem_j: f64,
+    /// CPU energy as the sampled sensor saw it, joules.
+    pub cpu_sampled_j: f64,
+    /// Memory energy as the sampled sensor saw it, joules.
+    pub mem_sampled_j: f64,
+    /// Application makespan (virtual seconds).
+    pub makespan_s: f64,
+}
+
+impl EnergyAccount {
+    /// Assemble the account from the exact trace and the sampling sensor.
+    pub fn from_measurements(trace: &PowerTrace, sensor: &PowerSensor, end: SimTime) -> Self {
+        EnergyAccount {
+            cpu_j: trace.cpu_energy_j(),
+            mem_j: trace.energy_j(Rail::Mem),
+            cpu_sampled_j: sensor.cpu_energy_j(),
+            mem_sampled_j: sensor.mem_energy_j(),
+            makespan_s: end.as_secs_f64(),
+        }
+    }
+
+    /// Total (CPU + memory) energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.mem_j
+    }
+
+    /// Total sampled energy, joules.
+    pub fn total_sampled_j(&self) -> f64 {
+        self.cpu_sampled_j + self.mem_sampled_j
+    }
+
+    /// Relative error of the sampled estimate vs the exact integration.
+    pub fn sampling_rel_error(&self) -> f64 {
+        if self.total_j() <= 0.0 {
+            return 0.0;
+        }
+        (self.total_sampled_j() - self.total_j()).abs() / self.total_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn account_assembles_and_totals() {
+        let mut tr = PowerTrace::new(false);
+        tr.set(SimTime::ZERO, [1.0, 1.0, 2.0]);
+        let end = SimTime::from_secs_f64(5.0);
+        tr.advance(end);
+        let mut sensor = PowerSensor::new(Duration::from_millis(5));
+        sensor.advance_to(end, |_| [1.0, 1.0, 2.0]);
+        let acc = EnergyAccount::from_measurements(&tr, &sensor, end);
+        assert!((acc.cpu_j - 10.0).abs() < 1e-9);
+        assert!((acc.mem_j - 10.0).abs() < 1e-9);
+        assert!((acc.total_j() - 20.0).abs() < 1e-9);
+        assert!(acc.sampling_rel_error() < 1e-6, "constant power samples exactly");
+        assert!((acc.makespan_s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_energy_has_zero_error() {
+        let tr = PowerTrace::new(false);
+        let sensor = PowerSensor::ina3221();
+        let acc = EnergyAccount::from_measurements(&tr, &sensor, SimTime::ZERO);
+        assert_eq!(acc.sampling_rel_error(), 0.0);
+    }
+}

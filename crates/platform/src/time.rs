@@ -1,0 +1,166 @@
+//! Virtual time for the discrete-event platform.
+//!
+//! All platform and runtime events are ordered by a monotonically increasing
+//! virtual clock. Time is stored as integer nanoseconds so that event ordering
+//! is exact and runs are bit-for-bit reproducible; helper conversions to `f64`
+//! seconds exist for model math and reporting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build from seconds, saturating at the representable range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "negative SimTime {secs}");
+        SimTime((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Convert to floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed span since `earlier`. Panics (in debug) if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        debug_assert!(self >= earlier, "time went backwards: {self:?} < {earlier:?}");
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Build from seconds (non-negative).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "negative Duration {secs}");
+        Duration((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Build from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Build from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Convert to floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this span is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale by a non-negative factor (used for partial-interval energy).
+    pub fn mul_f64(self, k: f64) -> Duration {
+        debug_assert!(k >= 0.0);
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = SimTime::from_secs_f64(1.25);
+        assert_eq!(t.0, 1_250_000_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t0 = SimTime::from_secs_f64(1.0);
+        let d = Duration::from_millis(500);
+        let t1 = t0 + d;
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t1 - t0, d);
+        assert_eq!((d + d).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn duration_helpers() {
+        assert_eq!(Duration::from_micros(5).0, 5_000);
+        assert_eq!(Duration::from_millis(5).0, 5_000_000);
+        assert!(Duration::ZERO.is_zero());
+        assert_eq!(Duration(10).saturating_sub(Duration(20)), Duration::ZERO);
+        assert_eq!(Duration(1000).mul_f64(0.5), Duration(500));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime(1);
+        let b = SimTime(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

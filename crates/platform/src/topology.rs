@@ -1,0 +1,258 @@
+//! Platform topology: clusters, cores, frequency tables, voltage maps.
+//!
+//! A [`PlatformSpec`] is the static description of a simulated machine: how
+//! many clusters, how many cores each, which DVFS operating points exist, and
+//! the electrical parameters that drive the ground-truth power model.
+
+use crate::config::CoreType;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one CPU cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Which core type this cluster hosts.
+    pub core_type: CoreType,
+    /// Number of identical cores in the cluster.
+    pub n_cores: usize,
+    /// Sustained instructions-per-cycle of one core on compute-bound code.
+    pub ipc: f64,
+    /// Dynamic capacitance coefficient: `P_dyn = c_dyn * V^2 * f_GHz * activity`
+    /// watts per active core.
+    pub c_dyn: f64,
+    /// Frequency-independent power drawn by an *active* core (uncore,
+    /// fabric, instruction supply), watts. This is what makes very low
+    /// frequencies energy-inefficient on real silicon: compute time grows as
+    /// `1/f` while this term does not shrink.
+    pub active_base_w: f64,
+    /// Idle (leakage + clock-tree) power per powered-on core at `V_max`,
+    /// scaled by `V^2` at lower voltages.
+    pub idle_w_per_core: f64,
+    /// Voltage at the lowest operating frequency (volts).
+    pub v_min: f64,
+    /// Voltage at the highest operating frequency (volts).
+    pub v_max: f64,
+    /// Convexity of the V-f curve: voltage follows
+    /// `v_min + (v_max - v_min) * t^v_exp` over the normalized frequency
+    /// range. Real curves are convex (`> 1`): flat at low frequencies,
+    /// steep near the top — which is why the last GHz is so expensive.
+    pub v_exp: f64,
+    /// Peak per-core demand memory bandwidth in GB/s at maximum CPU frequency
+    /// (how fast one core can issue/consume DRAM traffic).
+    pub core_bw_gbs: f64,
+}
+
+impl ClusterSpec {
+    /// Voltage at frequency `f_ghz` by linear interpolation over the
+    /// cluster's frequency range (the TX2's V-f curve is close to linear).
+    pub fn voltage(&self, f_ghz: f64, f_min_ghz: f64, f_max_ghz: f64) -> f64 {
+        if f_max_ghz <= f_min_ghz {
+            return self.v_max;
+        }
+        let t = ((f_ghz - f_min_ghz) / (f_max_ghz - f_min_ghz)).clamp(0.0, 1.0);
+        self.v_min + t.powf(self.v_exp) * (self.v_max - self.v_min)
+    }
+}
+
+/// Static description of the whole platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// The two clusters, indexed by [`CoreType::index`].
+    pub clusters: [ClusterSpec; 2],
+    /// CPU DVFS operating points in GHz (shared table for both clusters, as
+    /// on the TX2), ascending.
+    pub cpu_freqs_ghz: Vec<f64>,
+    /// Memory DVFS operating points in GHz, ascending.
+    pub mem_freqs_ghz: Vec<f64>,
+    /// Peak DRAM bandwidth in GB/s at the maximum memory frequency.
+    pub mem_bw_gbs: f64,
+    /// Memory background power (refresh, PHY, controller) at the lowest
+    /// memory frequency, watts.
+    pub mem_bg_w_min: f64,
+    /// Additional memory background power at the highest memory frequency
+    /// (scales with `(fM/fM_max)^2` between the two), watts.
+    pub mem_bg_w_span: f64,
+    /// DRAM access energy in joules per gigabyte transferred.
+    pub mem_energy_j_per_gb: f64,
+    /// Latency of a cluster CPU frequency transition.
+    pub cpu_dvfs_latency_us: u64,
+    /// Latency of a memory frequency transition.
+    pub mem_dvfs_latency_us: u64,
+    /// Power sensor sampling period (INA3221 on the TX2: 5 ms).
+    pub sensor_period_ms: u64,
+}
+
+impl PlatformSpec {
+    /// A Jetson-TX2-like platform: 2 big (Denver-like) cores + 4 little
+    /// (A57-like) cores, the paper's CPU frequency ladder
+    /// {0.35, 0.65, 1.11, 1.57, 2.04} GHz and memory ladder
+    /// {0.80, 1.33, 1.87} GHz.
+    ///
+    /// Electrical constants are calibrated so that rail powers land in the
+    /// ranges of the paper's Fig. 5 (CPU rail ≲ 2 W for 2 little cores,
+    /// memory rail ≲ 2 W) and so a single big core is ~3x faster than a
+    /// little core on compute-bound kernels (§7.1 reports 3.4x for BMOD).
+    pub fn tx2_like() -> Self {
+        PlatformSpec {
+            clusters: [
+                ClusterSpec {
+                    core_type: CoreType::Big,
+                    n_cores: 2,
+                    ipc: 2.60,
+                    c_dyn: 0.78,
+                    active_base_w: 0.19,
+                    idle_w_per_core: 0.10,
+                    v_min: 0.52,
+                    v_max: 1.18,
+                    v_exp: 1.6,
+                    core_bw_gbs: 12.0,
+                },
+                ClusterSpec {
+                    core_type: CoreType::Little,
+                    n_cores: 4,
+                    ipc: 0.75,
+                    c_dyn: 0.42,
+                    active_base_w: 0.10,
+                    idle_w_per_core: 0.045,
+                    v_min: 0.50,
+                    v_max: 1.06,
+                    v_exp: 1.6,
+                    core_bw_gbs: 6.0,
+                },
+            ],
+            cpu_freqs_ghz: vec![0.345, 0.652, 1.113, 1.574, 2.035],
+            mem_freqs_ghz: vec![0.800, 1.331, 1.866],
+            mem_bw_gbs: 28.0,
+            mem_bg_w_min: 0.18,
+            mem_bg_w_span: 0.75,
+            mem_energy_j_per_gb: 0.105,
+            cpu_dvfs_latency_us: 120,
+            mem_dvfs_latency_us: 80,
+            sensor_period_ms: 5,
+        }
+    }
+
+    /// A larger hypothetical platform (8 big + 16 little cores, 8 CPU and 5
+    /// memory frequencies) used by the §7.4 scalability analysis of search
+    /// overheads.
+    pub fn large() -> Self {
+        let mut spec = Self::tx2_like();
+        spec.clusters[0].n_cores = 8;
+        spec.clusters[1].n_cores = 16;
+        spec.cpu_freqs_ghz = vec![0.3, 0.55, 0.8, 1.05, 1.3, 1.55, 1.8, 2.05];
+        spec.mem_freqs_ghz = vec![0.6, 0.9, 1.2, 1.5, 1.8];
+        spec.mem_bw_gbs = 60.0;
+        spec
+    }
+
+    /// Cluster description for a core type.
+    pub fn cluster(&self, tc: CoreType) -> &ClusterSpec {
+        &self.clusters[tc.index()]
+    }
+
+    /// Total core count across clusters.
+    pub fn total_cores(&self) -> usize {
+        self.clusters.iter().map(|c| c.n_cores).sum()
+    }
+
+    /// Lowest CPU frequency in GHz.
+    pub fn fc_min_ghz(&self) -> f64 {
+        self.cpu_freqs_ghz[0]
+    }
+
+    /// Highest CPU frequency in GHz.
+    pub fn fc_max_ghz(&self) -> f64 {
+        *self.cpu_freqs_ghz.last().expect("non-empty cpu freq table")
+    }
+
+    /// Highest memory frequency in GHz.
+    pub fn fm_max_ghz(&self) -> f64 {
+        *self.mem_freqs_ghz.last().expect("non-empty mem freq table")
+    }
+
+    /// Voltage of cluster `tc` at CPU frequency `f_ghz`.
+    pub fn voltage(&self, tc: CoreType, f_ghz: f64) -> f64 {
+        self.cluster(tc)
+            .voltage(f_ghz, self.fc_min_ghz(), self.fc_max_ghz())
+    }
+
+    /// Validate internal consistency; used by constructors in tests and by
+    /// downstream crates that build custom platforms.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpu_freqs_ghz.is_empty() || self.mem_freqs_ghz.is_empty() {
+            return Err("empty frequency table".into());
+        }
+        if !self.cpu_freqs_ghz.windows(2).all(|w| w[0] < w[1]) {
+            return Err("cpu_freqs_ghz must be strictly ascending".into());
+        }
+        if !self.mem_freqs_ghz.windows(2).all(|w| w[0] < w[1]) {
+            return Err("mem_freqs_ghz must be strictly ascending".into());
+        }
+        for c in &self.clusters {
+            if c.n_cores == 0 {
+                return Err(format!("cluster {:?} has zero cores", c.core_type));
+            }
+            if c.ipc <= 0.0 || c.c_dyn <= 0.0 || c.core_bw_gbs <= 0.0 {
+                return Err(format!("cluster {:?} has non-positive parameters", c.core_type));
+            }
+            if c.v_min > c.v_max {
+                return Err(format!("cluster {:?} has v_min > v_max", c.core_type));
+            }
+        }
+        if self.mem_bw_gbs <= 0.0 || self.mem_energy_j_per_gb < 0.0 {
+            return Err("non-positive memory parameters".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx2_is_valid() {
+        let s = PlatformSpec::tx2_like();
+        s.validate().unwrap();
+        assert_eq!(s.total_cores(), 6);
+        assert_eq!(s.cluster(CoreType::Big).n_cores, 2);
+        assert_eq!(s.cluster(CoreType::Little).n_cores, 4);
+    }
+
+    #[test]
+    fn large_is_valid() {
+        let s = PlatformSpec::large();
+        s.validate().unwrap();
+        assert_eq!(s.total_cores(), 24);
+        assert_eq!(s.cpu_freqs_ghz.len(), 8);
+        assert_eq!(s.mem_freqs_ghz.len(), 5);
+    }
+
+    #[test]
+    fn voltage_interpolates_monotonically() {
+        let s = PlatformSpec::tx2_like();
+        let mut prev = 0.0;
+        for &f in &s.cpu_freqs_ghz {
+            let v = s.voltage(CoreType::Big, f);
+            assert!(v >= prev, "voltage must be non-decreasing in f");
+            prev = v;
+        }
+        let big = s.cluster(CoreType::Big);
+        assert!((s.voltage(CoreType::Big, s.fc_min_ghz()) - big.v_min).abs() < 1e-9);
+        assert!((s.voltage(CoreType::Big, s.fc_max_ghz()) - big.v_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut s = PlatformSpec::tx2_like();
+        s.cpu_freqs_ghz = vec![1.0, 1.0];
+        assert!(s.validate().is_err());
+
+        let mut s = PlatformSpec::tx2_like();
+        s.clusters[0].n_cores = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = PlatformSpec::tx2_like();
+        s.mem_freqs_ghz.clear();
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! BI — Biomarker infection screening (Table 1).
+//!
+//! A medical use case (LEGaTO project): evaluate biomarker combinations to
+//! differentiate periprosthetic hip infection from aseptic loosening. Each
+//! combination's statistical evaluation is one independent task: a wide bag
+//! of 6 217 identical mixed compute/memory tasks.
+
+use crate::Scale;
+use joss_dag::{generators, KernelSpec, TaskGraph};
+use joss_platform::TaskShape;
+
+/// Full-scale combination count.
+const COMBOS: usize = 6_217;
+
+/// Build the biomarker DAG.
+pub fn biomarker(scale: Scale) -> TaskGraph {
+    let n = scale.apply(COMBOS, 128);
+    // Scoring one combination: moderate compute over a patient-sample table.
+    let kernel = KernelSpec::new("combo", TaskShape::new(0.006, 0.0009)).with_scalability(0.7);
+    generators::independent("BI", kernel, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        assert_eq!(biomarker(Scale::Full).n_tasks(), COMBOS);
+    }
+
+    #[test]
+    fn all_tasks_independent() {
+        let g = biomarker(Scale::Divided(100));
+        g.check_invariants().unwrap();
+        assert_eq!(g.longest_path(), 1);
+        assert_eq!(g.roots().count(), g.n_tasks());
+    }
+}

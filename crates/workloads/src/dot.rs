@@ -1,0 +1,69 @@
+//! DP — Dot product of two partitioned vectors (Table 1).
+//!
+//! Vectors of 6 400 000 doubles are split into 32 000-element blocks; each
+//! block's partial product is one task, followed by a tiny per-iteration
+//! reduction. 100 iterations; the next iteration's blocks depend on the
+//! previous reduction. Streaming and strongly memory-bound.
+
+use crate::Scale;
+use joss_dag::{KernelSpec, TaskGraph, TaskGraphBuilder, TaskId};
+use joss_platform::TaskShape;
+
+/// Blocks per iteration (6 400 000 / 32 000 = 200, plus one reduce ~= the
+/// paper's 20 200 tasks over 100 iterations).
+const BLOCKS: usize = 201;
+/// Elements per block.
+const BLOCK_ELEMS: usize = 32_000;
+/// Full-scale iterations.
+const ITERS: usize = 100;
+
+/// Build the dot-product DAG.
+pub fn dot(scale: Scale) -> TaskGraph {
+    let work = 2.0 * BLOCK_ELEMS as f64 / 1e9;
+    let bytes = 2.0 * (BLOCK_ELEMS * 8) as f64 / 1e9;
+    let iters = scale.apply(ITERS, 3);
+
+    let mut b = TaskGraphBuilder::new();
+    let block = b.add_kernel(
+        KernelSpec::new("dot_block", TaskShape::new(work, bytes)).with_scalability(0.4),
+    );
+    let reduce = b.add_kernel(
+        KernelSpec::new("dot_reduce", TaskShape::new(BLOCKS as f64 / 1e9, 1e-6)).rigid(),
+    );
+
+    let mut prev_reduce: Option<TaskId> = None;
+    for _ in 0..iters {
+        let deps: Vec<TaskId> = prev_reduce.into_iter().collect();
+        let blocks: Vec<TaskId> =
+            (0..BLOCKS).map(|_| b.add_task(block, &deps).expect("valid")).collect();
+        prev_reduce = Some(b.add_task(reduce, &blocks).expect("valid"));
+    }
+    b.build("DP").expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        let g = dot(Scale::Full);
+        // 100 x (201 + 1) = 20 200.
+        assert_eq!(g.n_tasks(), 20_200);
+    }
+
+    #[test]
+    fn block_kernel_is_memory_bound() {
+        let g = dot(Scale::Divided(50));
+        g.check_invariants().unwrap();
+        let blk = &g.kernels()[0];
+        assert!(blk.shape.ops_per_byte() < 1.0, "dot product streams memory");
+    }
+
+    #[test]
+    fn iterations_serialize_on_reduce() {
+        let g = dot(Scale::Divided(50));
+        let iters = g.n_tasks() / (BLOCKS + 1);
+        assert_eq!(g.longest_path(), 2 * iters, "block -> reduce per iteration");
+    }
+}

@@ -1,0 +1,92 @@
+//! FB — Fibonacci by recursive task spawning (BOTS-style, Table 1).
+//!
+//! Term 55 with grain size 34: recursion below the grain runs sequentially
+//! inside a leaf task; interior tasks only join their two children. This
+//! yields the paper's 57 314 tasks and a deep, irregular join tree with
+//! dop far above the core count.
+
+use crate::Scale;
+use joss_dag::{KernelId, KernelSpec, TaskGraph, TaskGraphBuilder, TaskId};
+use joss_platform::TaskShape;
+
+/// Full-scale term.
+const TERM: usize = 55;
+/// Sequential grain: subtrees below this size are one leaf task.
+const GRAIN: usize = 34;
+
+/// Number of tasks the recursion generates for a term.
+pub fn task_count(term: usize) -> usize {
+    if term <= GRAIN {
+        1
+    } else {
+        1 + task_count(term - 1) + task_count(term - 2)
+    }
+}
+
+/// Pick the largest term whose task count fits the scale budget.
+fn term_for(scale: Scale) -> usize {
+    let budget = scale.apply(task_count(TERM), 400);
+    let mut term = TERM;
+    while term > GRAIN + 1 && task_count(term) > budget {
+        term -= 1;
+    }
+    term
+}
+
+fn build_rec(b: &mut TaskGraphBuilder, kernel: KernelId, term: usize) -> TaskId {
+    if term <= GRAIN {
+        // Leaf: sequential fib(term) — full-weight task.
+        b.add_task_scaled(kernel, 1.0, &[]).expect("valid")
+    } else {
+        let left = build_rec(b, kernel, term - 1);
+        let right = build_rec(b, kernel, term - 2);
+        // Interior: a join that just adds two numbers.
+        b.add_task_scaled(kernel, 0.01, &[left, right]).expect("valid")
+    }
+}
+
+/// Build the Fibonacci DAG.
+pub fn fib(scale: Scale) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    // A leaf computes fib(GRAIN-1) recursively: ~11M calls of a few ops.
+    let kernel = b.add_kernel(
+        KernelSpec::new("fib", TaskShape::new(0.012, 2e-5)).rigid(),
+    );
+    build_rec(&mut b, kernel, term_for(scale));
+    b.build("FB").expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        // 2*fib(23) - 1 = 57 313; the paper reports 57 314.
+        assert_eq!(task_count(TERM), 57_313);
+    }
+
+    #[test]
+    fn dag_is_a_join_tree() {
+        let g = fib(Scale::Divided(100));
+        g.check_invariants().unwrap();
+        // Every interior task has exactly two dependencies.
+        let interior = g.indegrees().iter().filter(|&&d| d == 2).count();
+        let leaves = g.indegrees().iter().filter(|&&d| d == 0).count();
+        assert_eq!(interior + leaves, g.n_tasks());
+        assert_eq!(leaves, interior + 1, "binary join tree property");
+    }
+
+    #[test]
+    fn kernel_is_compute_bound_and_rigid() {
+        let g = fib(Scale::Divided(100));
+        let k = &g.kernels()[0];
+        assert!(k.shape.ops_per_byte() > 100.0);
+        assert_eq!(k.max_width, 1);
+    }
+
+    #[test]
+    fn scaling_shrinks_term() {
+        assert!(fib(Scale::Divided(100)).n_tasks() < fib(Scale::Divided(10)).n_tasks());
+    }
+}

@@ -1,0 +1,131 @@
+//! HD — Heat diffusion on a 2D grid (iterative Jacobi stencil, Table 1).
+//!
+//! Two kernels per iteration: `jacobi` (5-point update into a scratch grid)
+//! and `copy` (scratch back to the main grid). The grid is row-partitioned
+//! into 16 task blocks; a jacobi task depends on its own and neighbouring
+//! copy tasks of the previous iteration (halo exchange).
+
+use crate::Scale;
+use joss_dag::{KernelSpec, TaskGraph, TaskGraphBuilder, TaskId};
+use joss_platform::TaskShape;
+
+/// Row-blocks per iteration (tasks per kernel per sweep).
+const BLOCKS: usize = 16;
+
+/// Problem sizes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatSize {
+    /// 2048 x 2048 grid, 320 032 tasks.
+    Small,
+    /// 8192 x 8192 grid, 32 032 tasks.
+    Big,
+    /// 16384 x 16384 grid, 16 032 tasks.
+    Huge,
+}
+
+impl HeatSize {
+    /// Grid dimension.
+    pub fn n(self) -> usize {
+        match self {
+            HeatSize::Small => 2048,
+            HeatSize::Big => 8192,
+            HeatSize::Huge => 16384,
+        }
+    }
+
+    /// Table-1 task count.
+    pub fn full_tasks(self) -> usize {
+        match self {
+            HeatSize::Small => 320_032,
+            HeatSize::Big => 32_032,
+            HeatSize::Huge => 16_032,
+        }
+    }
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeatSize::Small => "HT_Small",
+            HeatSize::Big => "HT_Big",
+            HeatSize::Huge => "HT_Huge",
+        }
+    }
+}
+
+/// Build the heat-diffusion DAG.
+pub fn heat(size: HeatSize, scale: Scale) -> TaskGraph {
+    let n = size.n();
+    let rows = n / BLOCKS;
+    // Jacobi: 6 flops/point over an n x rows block; streams the block plus
+    // halo in, scratch out.
+    let jacobi_work = 6.0 * (n * rows) as f64 / 1e9;
+    let jacobi_bytes = 2.0 * (n * rows * 8) as f64 / 1e9;
+    // Copy: pure data movement.
+    let copy_work = (n * rows) as f64 / 1e9;
+    let copy_bytes = 2.0 * (n * rows * 8) as f64 / 1e9;
+
+    let iters = scale.apply(size.full_tasks() / (2 * BLOCKS), 12);
+    let mut b = TaskGraphBuilder::new();
+    let jacobi =
+        b.add_kernel(KernelSpec::new("jacobi", TaskShape::new(jacobi_work, jacobi_bytes))
+            .with_scalability(0.85));
+    let copy = b.add_kernel(
+        KernelSpec::new("copy", TaskShape::new(copy_work, copy_bytes)).with_scalability(0.5),
+    );
+
+    let mut prev_copy: Vec<Option<TaskId>> = vec![None; BLOCKS];
+    for _ in 0..iters {
+        let mut jac = Vec::with_capacity(BLOCKS);
+        for blk in 0..BLOCKS {
+            // Halo dependencies: own block plus neighbours from the previous
+            // iteration's copies.
+            let mut deps = Vec::new();
+            for d in [-1isize, 0, 1] {
+                let idx = blk as isize + d;
+                if idx >= 0 && (idx as usize) < BLOCKS {
+                    if let Some(t) = prev_copy[idx as usize] {
+                        deps.push(t);
+                    }
+                }
+            }
+            jac.push(b.add_task(jacobi, &deps).expect("valid"));
+        }
+        for blk in 0..BLOCKS {
+            let t = b.add_task(copy, &[jac[blk]]).expect("valid");
+            prev_copy[blk] = Some(t);
+        }
+    }
+    b.build(size.label()).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        // Iterations are rounded to whole sweeps; counts match Table 1 to
+        // within one sweep (32 tasks).
+        let g = heat(HeatSize::Big, Scale::Full);
+        let diff = (g.n_tasks() as i64 - 32_032).abs();
+        assert!(diff <= 32, "HT_Big task count {} vs 32032", g.n_tasks());
+        assert_eq!(g.n_kernels(), 2);
+    }
+
+    #[test]
+    fn structure_is_valid_and_iterative() {
+        let g = heat(HeatSize::Small, Scale::Divided(1000));
+        g.check_invariants().unwrap();
+        // dop is bounded by the 16-block width (x2 kernels in flight).
+        assert!(g.dop() <= 32.0 + 1e-9);
+        assert!(g.dop() > 4.0, "halo structure should expose parallelism");
+    }
+
+    #[test]
+    fn jacobi_is_more_compute_intense_than_copy() {
+        let g = heat(HeatSize::Small, Scale::Divided(1000));
+        let j = &g.kernels()[0];
+        let c = &g.kernels()[1];
+        assert!(j.shape.ops_per_byte() > c.shape.ops_per_byte());
+    }
+}

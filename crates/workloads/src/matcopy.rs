@@ -1,0 +1,46 @@
+//! MC — Matrix copy (Table 1, synthetic).
+//!
+//! Each task reads and writes a large matrix, streaming main memory
+//! continuously: the paper's canonical memory-bound workload, again as a
+//! chain bundle with configurable `dop`.
+
+use crate::Scale;
+use joss_dag::{generators, KernelSpec, TaskGraph};
+use joss_platform::TaskShape;
+
+/// Full-scale task counts per matrix size.
+fn full_tasks(n: usize) -> usize {
+    match n {
+        4096 => 20_000,
+        8192 => 10_000,
+        _ => 10_000,
+    }
+}
+
+/// Build the matrix-copy DAG for matrix dimension `n` and parallelism `dop`.
+pub fn matcopy(n: usize, dop: usize, scale: Scale) -> TaskGraph {
+    let bytes = 2.0 * (n * n * 8) as f64 / 1e9; // read + write
+    let work = (n * n) as f64 / 1e9; // index arithmetic
+    let kernel = KernelSpec::new("mc_copy", TaskShape::new(work, bytes)).with_scalability(0.5);
+    let tasks = scale.apply(full_tasks(n), 240).div_ceil(dop) * dop;
+    let name = format!("MC_{n}_dop{dop}");
+    generators::chain_bundle(&name, kernel, tasks, dop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        assert_eq!(matcopy(4096, 4, Scale::Full).n_tasks(), 20_000);
+        assert_eq!(matcopy(8192, 16, Scale::Full).n_tasks(), 10_000);
+    }
+
+    #[test]
+    fn kernel_is_memory_bound() {
+        let g = matcopy(4096, 4, Scale::Divided(50));
+        g.check_invariants().unwrap();
+        assert!(g.kernels()[0].shape.ops_per_byte() < 0.1);
+    }
+}

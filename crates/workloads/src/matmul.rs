@@ -1,0 +1,56 @@
+//! MM — Tiled matrix multiplication (Table 1, synthetic).
+//!
+//! Each task computes C = A x B on one N x N tile; the DAG is a bundle of
+//! independent chains with configurable parallelism (`dop`). The paper's
+//! canonical compute-bound workload.
+
+use crate::Scale;
+use joss_dag::{generators, KernelSpec, TaskGraph};
+use joss_platform::TaskShape;
+
+/// Full-scale task counts per tile size.
+fn full_tasks(n: usize) -> usize {
+    match n {
+        256 => 10_000,
+        512 => 2_000,
+        _ => 4_000,
+    }
+}
+
+/// Build the matrix-multiplication DAG for tile size `n` and parallelism
+/// `dop`.
+pub fn matmul(n: usize, dop: usize, scale: Scale) -> TaskGraph {
+    assert!(n >= 16, "tile size too small");
+    let work = 2.0 * (n * n * n) as f64 / 1e9;
+    let bytes = 3.0 * (n * n * 8) as f64 / 1e9;
+    let kernel = KernelSpec::new("mm_tile", TaskShape::new(work, bytes)).with_scalability(0.9);
+    let tasks = scale.apply(full_tasks(n), 240).div_ceil(dop) * dop;
+    let name = format!("MM_{n}_dop{dop}");
+    generators::chain_bundle(&name, kernel, tasks, dop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        assert_eq!(matmul(256, 4, Scale::Full).n_tasks(), 10_000);
+        assert_eq!(matmul(512, 16, Scale::Full).n_tasks(), 2_000);
+    }
+
+    #[test]
+    fn dop_is_respected() {
+        for dop in [1, 4, 16] {
+            let g = matmul(256, dop, Scale::Divided(50));
+            g.check_invariants().unwrap();
+            assert!((g.dop() - dop as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kernel_is_compute_bound() {
+        let g = matmul(256, 4, Scale::Divided(50));
+        assert!(g.kernels()[0].shape.ops_per_byte() > 20.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Real numerical kernels for native (OS-thread) execution.
+//!
+//! The simulated platform executes task *shapes*; these are the matching
+//! real implementations, used with the `joss-core` native executor to
+//! validate the runtime's DAG machinery under genuine computation and
+//! memory traffic. Each kernel mirrors one Table-1 benchmark's inner loop.
+
+/// Tiled matrix multiply: `c += a * b` for `n x n` row-major tiles (the MM
+/// kernel). Classic ikj loop order for cache-friendly streaming of `b`.
+pub fn mm_tile(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let brow = &b[k * n..(k + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// Streaming copy (the MC kernel): returns a checksum so the traffic cannot
+/// be optimized away.
+pub fn mc_copy(src: &[f64], dst: &mut [f64]) -> f64 {
+    assert_eq!(src.len(), dst.len());
+    let mut acc = 0.0;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s;
+        acc += s;
+    }
+    acc
+}
+
+/// One 5-point Jacobi sweep over an `rows x cols` interior block with halo
+/// rows (the HD jacobi kernel / ST update): reads `src`, writes `dst`.
+pub fn jacobi_sweep(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    for i in 1..rows.saturating_sub(1) {
+        for j in 1..cols.saturating_sub(1) {
+            dst[i * cols + j] = 0.25
+                * (src[(i - 1) * cols + j]
+                    + src[(i + 1) * cols + j]
+                    + src[i * cols + j - 1]
+                    + src[i * cols + j + 1]);
+        }
+    }
+}
+
+/// Blocked dot product (the DP kernel).
+pub fn dot_block(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sequential Fibonacci below the grain size (the FB leaf kernel).
+pub fn fib_leaf(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_leaf(n - 1) + fib_leaf(n - 2)
+    }
+}
+
+/// CSR sparse matrix-vector product (the AL spmv kernel).
+///
+/// `row_ptr` has `rows + 1` entries; `col_idx`/`values` hold the nonzeros.
+pub fn spmv_csr(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(row_ptr.len(), y.len() + 1);
+    assert_eq!(col_idx.len(), values.len());
+    for (i, out) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            acc += values[k] * x[col_idx[k]];
+        }
+        *out = acc;
+    }
+}
+
+/// In-place LU factorization of a dense `n x n` block without pivoting (the
+/// SLU lu0 kernel). Assumes a diagonally dominant block, as SparseLU
+/// generators produce.
+pub fn lu0(a: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        let pivot = a[k * n + k];
+        debug_assert!(pivot.abs() > 1e-12, "lu0 needs non-singular blocks");
+        for i in (k + 1)..n {
+            let factor = a[i * n + k] / pivot;
+            a[i * n + k] = factor;
+            for j in (k + 1)..n {
+                a[i * n + j] -= factor * a[k * n + j];
+            }
+        }
+    }
+}
+
+/// Trailing-submatrix update `c -= a * b` (the SLU bmod kernel).
+pub fn bmod(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let brow = &b[k * n..(k + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] -= aik * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_tile_matches_naive() {
+        let n = 8;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i * 3) % 5) as f64).collect();
+        let mut c = vec![0.0; n * n];
+        mm_tile(&a, &b, &mut c, n);
+        for i in 0..n {
+            for j in 0..n {
+                let expect: f64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                assert!((c[i * n + j] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_checksums() {
+        let src: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 100];
+        let sum = mc_copy(&src, &mut dst);
+        assert_eq!(dst, src);
+        assert!((sum - 4950.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_averages_neighbours() {
+        let (rows, cols) = (4, 4);
+        let src: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 16];
+        jacobi_sweep(&src, &mut dst, rows, cols);
+        // Interior point (1,1): avg of (0,1)=1, (2,1)=9, (1,0)=4, (1,2)=6.
+        assert!((dst[5] - 5.0).abs() < 1e-12);
+        // Borders untouched.
+        assert_eq!(dst[0], 0.0);
+    }
+
+    #[test]
+    fn dot_block_is_exact() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, 5.0, 6.0];
+        assert!((dot_block(&x, &y) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fib_leaf_values() {
+        assert_eq!(fib_leaf(0), 0);
+        assert_eq!(fib_leaf(10), 55);
+        assert_eq!(fib_leaf(20), 6765);
+    }
+
+    #[test]
+    fn spmv_identity() {
+        // 3x3 identity in CSR.
+        let row_ptr = vec![0, 1, 2, 3];
+        let col_idx = vec![0, 1, 2];
+        let values = vec![1.0, 1.0, 1.0];
+        let x = vec![7.0, -2.0, 0.5];
+        let mut y = vec![0.0; 3];
+        spmv_csr(&row_ptr, &col_idx, &values, &x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn lu0_reconstructs_matrix() {
+        let n = 4;
+        // Diagonally dominant block.
+        let orig: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                if r == c { 10.0 + r as f64 } else { ((r * 3 + c) % 4) as f64 * 0.5 }
+            })
+            .collect();
+        let mut a = orig.clone();
+        lu0(&mut a, n);
+        // Rebuild A = L*U and compare.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { a[i * n + k] };
+                    let u = a[k * n + j];
+                    if k < i && k > j {
+                        continue;
+                    }
+                    acc += if k == i && k <= j {
+                        u
+                    } else if k < i && k <= j {
+                        l * u
+                    } else {
+                        0.0
+                    };
+                }
+                assert!(
+                    (acc - orig[i * n + j]).abs() < 1e-9,
+                    "A[{i}][{j}]: {acc} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bmod_subtracts_product() {
+        let n = 4;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i + 1) % 4) as f64).collect();
+        let mut c = vec![100.0; n * n];
+        bmod(&a, &b, &mut c, n);
+        for i in 0..n {
+            for j in 0..n {
+                let prod: f64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                assert!((c[i * n + j] - (100.0 - prod)).abs() < 1e-9);
+            }
+        }
+    }
+}

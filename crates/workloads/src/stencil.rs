@@ -1,0 +1,44 @@
+//! ST — Multi-dimensional stencil updates (Table 1, synthetic).
+//!
+//! Each task repeatedly updates grid points from their neighbours: a mixed
+//! compute/memory profile between MM and MC, as a chain bundle with
+//! configurable `dop`.
+
+use crate::Scale;
+use joss_dag::{generators, KernelSpec, TaskGraph};
+use joss_platform::TaskShape;
+
+/// Full-scale task count (both paper sizes use 50 000 tasks).
+const FULL_TASKS: usize = 50_000;
+/// Update sweeps per task.
+const SWEEPS: usize = 4;
+
+/// Build the stencil DAG for grid dimension `n` and parallelism `dop`.
+pub fn stencil(n: usize, dop: usize, scale: Scale) -> TaskGraph {
+    let points = (n * n) as f64;
+    let work = SWEEPS as f64 * 5.0 * points / 1e9; // 5-point updates
+    let bytes = SWEEPS as f64 * 2.0 * points * 8.0 / 1e9;
+    let kernel = KernelSpec::new("st_update", TaskShape::new(work, bytes)).with_scalability(0.8);
+    let tasks = scale.apply(FULL_TASKS, 240).div_ceil(dop) * dop;
+    let name = format!("ST_{n}_dop{dop}");
+    generators::chain_bundle(&name, kernel, tasks, dop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        assert_eq!(stencil(512, 4, Scale::Full).n_tasks(), FULL_TASKS);
+        assert_eq!(stencil(2048, 16, Scale::Full).n_tasks(), FULL_TASKS);
+    }
+
+    #[test]
+    fn intensity_sits_between_mm_and_mc() {
+        let st = stencil(512, 4, Scale::Divided(100));
+        st.check_invariants().unwrap();
+        let opb = st.kernels()[0].shape.ops_per_byte();
+        assert!(opb > 0.1 && opb < 20.0, "stencil ops/byte {opb}");
+    }
+}

@@ -1,0 +1,166 @@
+//! The evaluation suites: the 21 benchmark instances of Fig. 8/9 and the
+//! Table-1 inventory.
+
+use crate::heat::HeatSize;
+use crate::{alya, biomarker, dot, fib, heat, matcopy, matmul, sparselu, stencil, vgg, Scale};
+use joss_dag::TaskGraph;
+
+/// One benchmark instance of the evaluation.
+#[derive(Debug, Clone)]
+pub struct BenchInstance {
+    /// Paper label (x-axis of Figs. 8 and 9).
+    pub label: String,
+    /// The task graph.
+    pub graph: TaskGraph,
+}
+
+impl BenchInstance {
+    fn new(graph: TaskGraph) -> Self {
+        BenchInstance { label: graph.name().to_string(), graph }
+    }
+}
+
+/// The 21 benchmark instances of Fig. 8, in the paper's x-axis order.
+pub fn fig8_suite(scale: Scale) -> Vec<BenchInstance> {
+    let mut v = Vec::new();
+    v.push(BenchInstance::new(heat::heat(HeatSize::Small, scale)));
+    v.push(BenchInstance::new(heat::heat(HeatSize::Big, scale)));
+    v.push(BenchInstance::new(heat::heat(HeatSize::Huge, scale)));
+    v.push(BenchInstance::new(dot::dot(scale)));
+    v.push(BenchInstance::new(fib::fib(scale)));
+    v.push(BenchInstance::new(vgg::vgg(scale)));
+    v.push(BenchInstance::new(biomarker::biomarker(scale)));
+    v.push(BenchInstance::new(alya::alya(scale)));
+    v.push(BenchInstance::new(sparselu::sparselu(scale)));
+    for (n, dop) in [(256, 4), (256, 16), (512, 4), (512, 16)] {
+        v.push(BenchInstance::new(matmul::matmul(n, dop, scale)));
+    }
+    for (n, dop) in [(4096, 4), (4096, 16), (8192, 4), (8192, 16)] {
+        v.push(BenchInstance::new(matcopy::matcopy(n, dop, scale)));
+    }
+    for (n, dop) in [(512, 4), (512, 16), (2048, 4), (2048, 16)] {
+        v.push(BenchInstance::new(stencil::stencil(n, dop, scale)));
+    }
+    v
+}
+
+/// The Fig. 9 suite (same instances as Fig. 8).
+pub fn fig9_suite(scale: Scale) -> Vec<BenchInstance> {
+    fig8_suite(scale)
+}
+
+/// One row of the Table-1 inventory.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Abbreviation.
+    pub abbr: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Input size string.
+    pub input: &'static str,
+    /// Full-scale task counts (as generated).
+    pub tasks: Vec<usize>,
+}
+
+/// The Table-1 inventory with generated full-scale task counts.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            abbr: "HD",
+            description: "Heat diffusion, iterative Jacobi (copy + jacobi kernels)",
+            input: "2048 (small), 8192 (big), 16384 (huge)",
+            tasks: vec![
+                heat::heat(HeatSize::Small, Scale::Full).n_tasks(),
+                heat::heat(HeatSize::Big, Scale::Full).n_tasks(),
+                heat::heat(HeatSize::Huge, Scale::Full).n_tasks(),
+            ],
+        },
+        Table1Row {
+            abbr: "DP",
+            description: "Dot product over blocked vectors, 100 iterations",
+            input: "VectorSize 6400000, BlockSize 32000",
+            tasks: vec![dot::dot(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "FB",
+            description: "Fibonacci by recursion",
+            input: "Term 55, GrainSize 34",
+            tasks: vec![fib::fib(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "VG",
+            description: "Darknet VGG-16 CNN as fork-join DAG, 10 iterations",
+            input: "768x576 RGB image, blocksize 64",
+            tasks: vec![vgg::vgg(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "BI",
+            description: "Biomarker combinations for hip-infection prediction",
+            input: "Sample Size 2",
+            tasks: vec![biomarker::biomarker(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "AL",
+            description: "Alya computational mechanics (mesh partitioning)",
+            input: "200K CSR non-zeros",
+            tasks: vec![alya::alya(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "SLU",
+            description: "Sparse LU factorization (LU0, FWD, BDIV, BMOD)",
+            input: "64 blocks, BlockSize 512",
+            tasks: vec![sparselu::sparselu(Scale::Full).n_tasks()],
+        },
+        Table1Row {
+            abbr: "MM",
+            description: "Tiled matrix multiplication (dop configurable)",
+            input: "256x256, 512x512",
+            tasks: vec![
+                matmul::matmul(256, 4, Scale::Full).n_tasks(),
+                matmul::matmul(512, 4, Scale::Full).n_tasks(),
+            ],
+        },
+        Table1Row {
+            abbr: "MC",
+            description: "Matrix copy, streaming main memory (dop configurable)",
+            input: "4096x4096, 8192x8192",
+            tasks: vec![
+                matcopy::matcopy(4096, 4, Scale::Full).n_tasks(),
+                matcopy::matcopy(8192, 4, Scale::Full).n_tasks(),
+            ],
+        },
+        Table1Row {
+            abbr: "ST",
+            description: "Stencil updates on a multi-dimensional grid (dop configurable)",
+            input: "512x512, 2048x2048",
+            tasks: vec![
+                stencil::stencil(512, 4, Scale::Full).n_tasks(),
+                stencil::stencil(2048, 4, Scale::Full).n_tasks(),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_21_instances_in_paper_order() {
+        let suite = fig8_suite(Scale::Divided(200));
+        assert_eq!(suite.len(), 21);
+        assert_eq!(suite[0].label, "HT_Small");
+        assert_eq!(suite[8].label, "SLU");
+        assert_eq!(suite[20].label, "ST_2048_dop16");
+        for b in &suite {
+            b.graph.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn table1_covers_all_ten_benchmarks() {
+        let rows = table1();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| !r.tasks.is_empty()));
+    }
+}

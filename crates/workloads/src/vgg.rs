@@ -1,0 +1,76 @@
+//! VG — Darknet VGG-16 inference as a fork-join DAG (Table 1).
+//!
+//! A 16-layer network (13 convolutional + 3 fully-connected) on a 768 x 576
+//! RGB image with block size 64, executed for 10 iterations. Each layer
+//! fans out into tile tasks and joins before the next layer — the paper's
+//! fork-join structure with 5 090 tasks.
+
+use crate::Scale;
+use joss_dag::{KernelSpec, TaskGraph, TaskGraphBuilder, TaskId};
+use joss_platform::TaskShape;
+
+/// Tile-task widths of the 13 convolutional layers (768/64 x 576/64 tiles,
+/// halving with pooling).
+const CONV_WIDTHS: [usize; 13] = [108, 108, 54, 54, 27, 27, 27, 14, 14, 14, 7, 7, 7];
+/// Widths of the 3 fully-connected layers.
+const FC_WIDTHS: [usize; 3] = [10, 10, 5];
+/// Full-scale iterations.
+const ITERS: usize = 10;
+
+/// Build the VGG-16 inference DAG.
+pub fn vgg(scale: Scale) -> TaskGraph {
+    let iters = scale.apply(ITERS, 1);
+    let mut b = TaskGraphBuilder::new();
+    // Conv tile: 3x3 kernel over a 64x64 tile with ~64 channels:
+    // ~2*64*64*9*64 = 4.7 Mflop; activations stream through.
+    let conv = b.add_kernel(
+        KernelSpec::new("conv", TaskShape::new(0.047, 0.0021)).with_scalability(0.9),
+    );
+    // FC slice: matrix-vector product, weight-streaming (memory heavy).
+    let fc =
+        b.add_kernel(KernelSpec::new("fc", TaskShape::new(0.008, 0.016)).with_scalability(0.6));
+    // Layer join/barrier.
+    let join = b.add_kernel(KernelSpec::new("vgg_join", TaskShape::new(1e-5, 1e-6)).rigid());
+
+    let mut barrier: Option<TaskId> = None;
+    for _ in 0..iters {
+        for (li, &w) in CONV_WIDTHS.iter().chain(FC_WIDTHS.iter()).enumerate() {
+            let kernel = if li < CONV_WIDTHS.len() { conv } else { fc };
+            let deps: Vec<TaskId> = barrier.into_iter().collect();
+            let tiles: Vec<TaskId> =
+                (0..w).map(|_| b.add_task(kernel, &deps).expect("valid")).collect();
+            barrier = Some(b.add_task(join, &tiles).expect("valid"));
+        }
+    }
+    b.build("VG").expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1() {
+        let g = vgg(Scale::Full);
+        // (493 tiles + 16 joins) x 10 iterations = 5 090.
+        assert_eq!(g.n_tasks(), 5_090);
+        assert_eq!(g.n_kernels(), 3);
+    }
+
+    #[test]
+    fn layers_serialize() {
+        let g = vgg(Scale::Divided(10));
+        g.check_invariants().unwrap();
+        // One iteration: 16 layers x 2 (tiles + join) on the critical path.
+        assert_eq!(g.longest_path(), 32);
+    }
+
+    #[test]
+    fn conv_is_compute_fc_is_memory() {
+        let g = vgg(Scale::Divided(10));
+        let conv = &g.kernels()[0];
+        let fc = &g.kernels()[1];
+        assert!(conv.shape.ops_per_byte() > 10.0);
+        assert!(fc.shape.ops_per_byte() < 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: characterize a platform, run an application under JOSS, and
+//! read the energy account.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use joss::models::{ModelSet, TrainingConfig};
+use joss::platform::{ConfigSpace, MachineModel, TaskShape};
+use joss::runtime::engine::{EngineConfig, SimEngine};
+use joss::runtime::sched::{GrwsSched, ModelSched};
+use joss::dag::{generators, KernelSpec};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A simulated Jetson-TX2-like platform: 2 big + 4 little cores,
+    //    5 CPU frequencies, 3 memory frequencies, per-rail power.
+    let machine = MachineModel::tx2(42);
+    let space = ConfigSpace::from_spec(&machine.spec);
+    println!(
+        "platform: {} cores, {} CPU freqs, {} mem freqs ({} knob configs)",
+        machine.spec.total_cores(),
+        space.cpu_freqs_ghz.len(),
+        space.mem_freqs_ghz.len(),
+        space.len()
+    );
+
+    // 2. One-time characterization: profile 41 synthetic benchmarks at every
+    //    configuration and fit the MPR performance/power models (paper §4).
+    println!("training models (41 synthetics x {} configs x 10 reps)...", space.len());
+    let models = Arc::new(ModelSet::train(&machine, TrainingConfig::tx2_default(&space)));
+
+    // 3. An application: 512 matrix-multiply tiles with moderate parallelism.
+    let kernel = KernelSpec::new("mm_tile", TaskShape::new(0.0335, 0.0016));
+    let graph = generators::chain_bundle("quickstart_mm", kernel, 512, 8);
+
+    // 4. Run it under the GRWS baseline and under JOSS.
+    let mut grws = GrwsSched::new();
+    let base = SimEngine::run(&machine, &graph, &mut grws, EngineConfig::default());
+    let mut joss = ModelSched::joss(models);
+    let opt = SimEngine::run(&machine, &graph, &mut joss, EngineConfig::default());
+
+    println!("\n{}", base.summary());
+    println!("{}", opt.summary());
+    for (k, cfg) in &opt.selected_configs {
+        println!("JOSS selected for kernel '{k}': {}", space.label(*cfg));
+    }
+    println!(
+        "\nJOSS saves {:.1}% total energy vs GRWS (at {:.2}x the makespan)",
+        100.0 * (1.0 - opt.total_j() / base.total_j()),
+        opt.energy.makespan_s / base.energy.makespan_s
+    );
+}

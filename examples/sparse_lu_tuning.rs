@@ -1,0 +1,53 @@
+//! Domain scenario: the paper's §7.1 SparseLU walk-through.
+//!
+//! BMOD accounts for 91% of SparseLU's tasks. The paper explains how each
+//! scheduler treats it differently: GRWS spreads it across clusters at max
+//! frequency; ERASE consolidates on big cores; STEER throttles the CPU and
+//! (blind to the memory rail) pays for it; JOSS lowers the memory frequency
+//! too, because BMOD barely uses DRAM. This example reproduces the story.
+//!
+//! ```text
+//! cargo run --release --example sparse_lu_tuning
+//! ```
+
+use joss::experiments::{run_one, ExperimentContext, SchedulerKind};
+use joss::workloads::{sparselu, Scale};
+
+fn main() {
+    println!("characterizing platform...");
+    let ctx = ExperimentContext::new(7);
+    let graph = sparselu::sparselu(Scale::Divided(20));
+    let counts = graph.tasks_per_kernel();
+    let bmod_share = counts[3] as f64 / graph.n_tasks() as f64;
+    println!(
+        "SparseLU: {} tasks over {} kernels; bmod share {:.0}% (paper: 91%)\n",
+        graph.n_tasks(),
+        graph.n_kernels(),
+        100.0 * bmod_share
+    );
+
+    let kinds = [
+        SchedulerKind::Grws,
+        SchedulerKind::Erase,
+        SchedulerKind::Steer,
+        SchedulerKind::JossNoMemDvfs,
+        SchedulerKind::Joss,
+    ];
+    let mut base = None;
+    for kind in kinds {
+        let r = run_one(&ctx, kind, &graph, 7);
+        let baseline = *base.get_or_insert(r.total_j());
+        println!(
+            "{:<16} E = {:>8.3} J ({:>5.1}% of GRWS)   t = {:>7.3} s   big/little = {}/{}",
+            r.scheduler,
+            r.total_j(),
+            100.0 * r.total_j() / baseline,
+            r.energy.makespan_s,
+            r.tasks_per_type[0],
+            r.tasks_per_type[1],
+        );
+        if let Some(cfg) = r.selected_configs.get("bmod") {
+            println!("                 bmod -> {}", ctx.space.label(*cfg));
+        }
+    }
+}

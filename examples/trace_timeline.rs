@@ -1,0 +1,42 @@
+//! Visualizing a schedule: record an execution trace under GRWS and JOSS,
+//! print ASCII timelines, and export Chrome trace JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use joss::experiments::ExperimentContext;
+use joss::runtime::engine::{EngineConfig, SimEngine};
+use joss::runtime::sched::{GrwsSched, ModelSched};
+use joss::workloads::{matmul, Scale};
+
+fn main() {
+    println!("characterizing platform...");
+    let ctx = ExperimentContext::new(7);
+    let graph = matmul::matmul(512, 4, Scale::Divided(200));
+
+    let cfg = EngineConfig { record_trace: true, ..EngineConfig::default() };
+    let mut grws = GrwsSched::new();
+    let base = SimEngine::run(&ctx.machine, &graph, &mut grws, cfg.clone());
+    let mut joss = ModelSched::joss(ctx.models.clone());
+    let opt = SimEngine::run(&ctx.machine, &graph, &mut joss, cfg);
+
+    for report in [&base, &opt] {
+        let trace = report.trace.as_ref().expect("recorded");
+        println!(
+            "\n== {} — {:.3} s, {:.1}% core utilization (cores 0-1 big, 2-5 little; 's' = sampling)",
+            report.scheduler,
+            trace.makespan_s(),
+            100.0 * trace.utilization(ctx.machine.spec.total_cores())
+        );
+        print!("{}", trace.ascii_timeline(ctx.machine.spec.total_cores(), 100));
+        let path = format!("trace_{}.json", report.scheduler.to_lowercase());
+        std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+        println!("chrome trace written to {path}");
+    }
+    println!(
+        "\nGRWS floods all six cores at max frequency; JOSS consolidates on the\n\
+         configuration its models chose — visible as the narrower, longer timeline."
+    );
+}

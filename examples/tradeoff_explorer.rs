@@ -1,0 +1,43 @@
+//! Exploring the energy/performance frontier of one workload (paper Fig. 2
+//! and Fig. 9 in one place): sweep speedup targets and print the frontier.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_explorer
+//! ```
+
+use joss::experiments::{run_one, ExperimentContext, SchedulerKind};
+use joss::workloads::{stencil, Scale};
+
+fn main() {
+    println!("characterizing platform...");
+    let ctx = ExperimentContext::new(7);
+    let graph = stencil::stencil(2048, 8, Scale::Divided(100));
+
+    let joss = run_one(&ctx, SchedulerKind::Joss, &graph, 7);
+    println!("\n{:<12} {:>10} {:>10} {:>8} {:>8}", "target", "energy [J]", "time [s]", "E/E0", "T0/T");
+    println!(
+        "{:<12} {:>10.3} {:>10.3} {:>8.2} {:>8.2}",
+        "min-energy", joss.total_j(), joss.energy.makespan_s, 1.0, 1.0
+    );
+    for speedup in [1.1, 1.2, 1.4, 1.6, 1.8] {
+        let r = run_one(&ctx, SchedulerKind::JossSpeedup(speedup), &graph, 7);
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>8.2} {:>8.2}",
+            format!("{speedup}x"),
+            r.total_j(),
+            r.energy.makespan_s,
+            r.total_j() / joss.total_j(),
+            joss.energy.makespan_s / r.energy.makespan_s
+        );
+    }
+    let maxp = run_one(&ctx, SchedulerKind::JossMaxPerf, &graph, 7);
+    println!(
+        "{:<12} {:>10.3} {:>10.3} {:>8.2} {:>8.2}",
+        "MAXP",
+        maxp.total_j(),
+        maxp.energy.makespan_s,
+        maxp.total_j() / joss.total_j(),
+        joss.energy.makespan_s / maxp.energy.makespan_s
+    );
+    println!("\nperformance is ultimately bounded by platform capability (paper §7.2).");
+}

@@ -1,0 +1,19 @@
+//! # joss — facade crate
+//!
+//! Re-exports the whole JOSS reproduction workspace behind one dependency:
+//!
+//! * [`platform`] — simulated asymmetric multicore (SimTX2) substrate;
+//! * [`dag`] — task-DAG representation and builders;
+//! * [`models`] — MPR performance/power models, MB estimation, search;
+//! * [`runtime`] — the JOSS runtime and comparator schedulers;
+//! * [`workloads`] — the ten Table-1 benchmark generators;
+//! * [`experiments`] — harnesses regenerating every paper figure/table.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use joss_core as runtime;
+pub use joss_dag as dag;
+pub use joss_experiments as experiments;
+pub use joss_models as models;
+pub use joss_platform as platform;
+pub use joss_workloads as workloads;

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: full runs of the platform + models +
+//! runtime stack under every scheduler.
+
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::{AequitasSched, EraseSched, FixedSched, GrwsSched, ModelSched};
+use joss_experiments::ExperimentContext;
+use joss_platform::{CoreType, Duration, FreqIndex, KnobConfig, NcIndex};
+use joss_workloads::{matcopy, matmul, sparselu, Scale};
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::with_reps(42, 2)
+}
+
+#[test]
+fn every_scheduler_completes_every_task() {
+    let ctx = ctx();
+    let graph = sparselu::sparselu(Scale::Divided(200));
+    let n = graph.n_tasks();
+    let mut scheds: Vec<Box<dyn joss_core::Scheduler>> = vec![
+        Box::new(GrwsSched::new()),
+        Box::new(EraseSched::new(ctx.models.clone())),
+        Box::new(AequitasSched::new().with_slice(Duration::from_millis(20))),
+        Box::new(ModelSched::steer(ctx.models.clone())),
+        Box::new(ModelSched::joss(ctx.models.clone())),
+        Box::new(ModelSched::joss_no_mem_dvfs(ctx.models.clone())),
+        Box::new(ModelSched::joss_with_speedup(ctx.models.clone(), 1.4)),
+        Box::new(ModelSched::joss_maxp(ctx.models.clone())),
+    ];
+    for sched in &mut scheds {
+        let report = SimEngine::run(&ctx.machine, &graph, sched.as_mut(), EngineConfig::default());
+        assert_eq!(report.tasks, n, "{} left tasks behind", report.scheduler);
+        assert!(report.total_j() > 0.0);
+        assert!(report.energy.makespan_s > 0.0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let ctx = ctx();
+    let graph = matmul::matmul(256, 4, Scale::Divided(200));
+    let run = |seed: u64| {
+        let mut sched = ModelSched::joss(ctx.models.clone());
+        let cfg = EngineConfig { seed, ..EngineConfig::default() };
+        SimEngine::run(&ctx.machine, &graph, &mut sched, cfg)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.total_j(), b.total_j(), "same seed must reproduce bit-identical energy");
+    assert_eq!(a.energy.makespan_s, b.energy.makespan_s);
+    assert_eq!(a.steals, b.steals);
+    let c = run(8);
+    assert_ne!(
+        (a.total_j(), a.steals),
+        (c.total_j(), c.steals),
+        "different seeds should differ somewhere"
+    );
+}
+
+#[test]
+fn joss_beats_grws_on_compute_and_memory_workloads() {
+    let ctx = ctx();
+    for graph in [
+        matmul::matmul(256, 4, Scale::Divided(100)),
+        matcopy::matcopy(4096, 4, Scale::Divided(100)),
+    ] {
+        let mut grws = GrwsSched::new();
+        let base = SimEngine::run(&ctx.machine, &graph, &mut grws, EngineConfig::default());
+        let mut joss = ModelSched::joss(ctx.models.clone());
+        let opt = SimEngine::run(&ctx.machine, &graph, &mut joss, EngineConfig::default());
+        assert!(
+            opt.total_j() < base.total_j(),
+            "{}: JOSS {} J vs GRWS {} J",
+            graph.name(),
+            opt.total_j(),
+            base.total_j()
+        );
+    }
+}
+
+#[test]
+fn joss_selects_low_memory_frequency_for_compute_bound_kernels() {
+    // The §7.1 BMOD story: compute-intensive kernels should get fM below max.
+    let ctx = ctx();
+    let graph = matmul::matmul(512, 4, Scale::Divided(100));
+    let mut joss = ModelSched::joss(ctx.models.clone());
+    let report = SimEngine::run(&ctx.machine, &graph, &mut joss, EngineConfig::default());
+    let cfg = report.selected_configs.get("mm_tile").expect("mm_tile configured");
+    assert!(
+        cfg.fm < ctx.space.fm_max(),
+        "compute-bound kernel should not need max memory frequency, got {}",
+        ctx.space.label(*cfg)
+    );
+}
+
+#[test]
+fn no_mem_dvfs_variant_pins_memory_at_max() {
+    let ctx = ctx();
+    let graph = matmul::matmul(256, 4, Scale::Divided(100));
+    let mut sched = ModelSched::joss_no_mem_dvfs(ctx.models.clone());
+    let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+    for (k, cfg) in &report.selected_configs {
+        assert_eq!(cfg.fm, ctx.space.fm_max(), "kernel {k} moved fM without the knob");
+    }
+}
+
+#[test]
+fn sampling_overhead_is_small_at_scale() {
+    let ctx = ctx();
+    let graph = matcopy::matcopy(4096, 4, Scale::Divided(20));
+    let mut joss = ModelSched::joss(ctx.models.clone());
+    let report = SimEngine::run(&ctx.machine, &graph, &mut joss, EngineConfig::default());
+    // Paper §5.1: ~0.8% of execution time on average; allow slack at our
+    // reduced task counts.
+    assert!(
+        report.sampling_fraction() < 0.05,
+        "sampling fraction {}",
+        report.sampling_fraction()
+    );
+}
+
+#[test]
+fn fixed_sched_sweep_brackets_scheduler_energies() {
+    // Any scheduler's energy must lie between the best and worst fixed
+    // configuration (it cannot beat the best static oracle on a single-kernel
+    // bag-of-tasks except via moldable width mixing, and never beat physics).
+    let ctx = ctx();
+    let graph = matmul::matmul(256, 16, Scale::Divided(400));
+    let mut best = f64::INFINITY;
+    let mut worst: f64 = 0.0;
+    for cfg in ctx.space.iter_all() {
+        let mut sched = FixedSched::new(cfg);
+        let r = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+        best = best.min(r.total_j());
+        worst = worst.max(r.total_j());
+    }
+    let mut joss = ModelSched::joss(ctx.models.clone());
+    let r = SimEngine::run(&ctx.machine, &graph, &mut joss, EngineConfig::default());
+    assert!(
+        r.total_j() < worst,
+        "JOSS {} must beat the worst static config {}",
+        r.total_j(),
+        worst
+    );
+    assert!(
+        r.total_j() > 0.8 * best,
+        "JOSS {} suspiciously below the static oracle {}",
+        r.total_j(),
+        best
+    );
+}
+
+#[test]
+fn pinned_configs_execute_on_requested_cluster() {
+    let ctx = ctx();
+    let graph = matmul::matmul(256, 4, Scale::Divided(400));
+    let cfg = KnobConfig::new(CoreType::Little, NcIndex(0), FreqIndex(1), FreqIndex(0));
+    let mut sched = FixedSched::new(cfg);
+    let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+    assert_eq!(report.tasks_per_type[CoreType::Big.index()], 0);
+    assert_eq!(report.tasks_per_type[CoreType::Little.index()], graph.n_tasks());
+}
+
+#[test]
+fn sensor_energy_tracks_exact_integration() {
+    let ctx = ctx();
+    let graph = matcopy::matcopy(4096, 4, Scale::Divided(100));
+    let mut sched = GrwsSched::new();
+    let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+    assert!(
+        report.energy.sampling_rel_error() < 0.02,
+        "5 ms sampling should track exact energy within 2%, got {}",
+        report.energy.sampling_rel_error()
+    );
+}
