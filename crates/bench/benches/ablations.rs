@@ -25,7 +25,10 @@ fn bench_coordination(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut sched = ModelSched::joss(ctx.models.clone());
-                let cfg = EngineConfig { coordination: coord, ..EngineConfig::default() };
+                let cfg = EngineConfig {
+                    coordination: coord,
+                    ..EngineConfig::default()
+                };
                 let report = SimEngine::run(&ctx.machine, &graph, &mut sched, cfg);
                 assert_eq!(report.tasks, graph.n_tasks());
                 black_box(report.total_j())
@@ -41,15 +44,11 @@ fn bench_coarsening(c: &mut Criterion) {
     let graph = alya::alya(Scale::Divided(400));
     let mut g = c.benchmark_group("coarsening");
     g.sample_size(10);
-    for (name, threshold) in [
-        ("off", 0.0),
-        ("200us", 200e-6),
-        ("2ms", 2e-3),
-    ] {
+    for (name, threshold) in [("off", 0.0), ("200us", 200e-6), ("2ms", 2e-3)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut sched = ModelSched::joss(ctx.models.clone())
-                    .with_coarsen_threshold(threshold);
+                let mut sched =
+                    ModelSched::joss(ctx.models.clone()).with_coarsen_threshold(threshold);
                 let report =
                     SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
                 assert_eq!(report.tasks, graph.n_tasks());

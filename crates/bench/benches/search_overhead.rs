@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use joss_bench::shared_context;
-use joss_models::{
-    exhaustive_search, steepest_descent_search, EnergyEstimator, Objective,
-};
+use joss_models::{exhaustive_search, steepest_descent_search, EnergyEstimator, Objective};
 use joss_platform::{ExecContext, TaskShape};
 use std::hint::black_box;
 
@@ -20,8 +18,22 @@ fn bench_searches(c: &mut Criterion) {
         .map(|(tc, nc)| {
             let w = ctx.space.nc_count(tc, nc);
             Some((
-                ctx.machine.clean_time_s(&shape, tc, w, ctx.models.fc_ref_ghz(), ctx.models.fm_ref_ghz(), &ectx),
-                ctx.machine.clean_time_s(&shape, tc, w, ctx.models.fc_alt_ghz(), ctx.models.fm_ref_ghz(), &ectx),
+                ctx.machine.clean_time_s(
+                    &shape,
+                    tc,
+                    w,
+                    ctx.models.fc_ref_ghz(),
+                    ctx.models.fm_ref_ghz(),
+                    &ectx,
+                ),
+                ctx.machine.clean_time_s(
+                    &shape,
+                    tc,
+                    w,
+                    ctx.models.fc_alt_ghz(),
+                    ctx.models.fm_ref_ghz(),
+                    &ectx,
+                ),
             ))
         })
         .collect();
@@ -51,7 +63,10 @@ fn bench_searches(c: &mut Criterion) {
         (sd.stats.evaluations as f64) < 0.6 * ex.stats.evaluations as f64,
         "steepest descent must cut evaluations substantially"
     );
-    assert!(sd.energy_j <= ex.energy_j * 1.10, "steepest descent quality");
+    assert!(
+        sd.energy_j <= ex.energy_j * 1.10,
+        "steepest descent quality"
+    );
 }
 
 criterion_group!(overhead, bench_searches);

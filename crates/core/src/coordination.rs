@@ -97,8 +97,14 @@ mod tests {
 
     #[test]
     fn min_and_max() {
-        assert_eq!(Coordination::Min.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE), FreqIndex(1));
-        assert_eq!(Coordination::Max.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE), FreqIndex(3));
+        assert_eq!(
+            Coordination::Min.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE),
+            FreqIndex(1)
+        );
+        assert_eq!(
+            Coordination::Max.blend(FreqIndex(1), FreqIndex(3), 1, &TABLE),
+            FreqIndex(3)
+        );
     }
 
     #[test]
@@ -113,7 +119,10 @@ mod tests {
 
     #[test]
     fn none_always_applies() {
-        assert_eq!(Coordination::None.blend(FreqIndex(0), FreqIndex(4), 5, &TABLE), FreqIndex(0));
+        assert_eq!(
+            Coordination::None.blend(FreqIndex(0), FreqIndex(4), 5, &TABLE),
+            FreqIndex(0)
+        );
     }
 
     #[test]

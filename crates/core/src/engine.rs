@@ -21,9 +21,9 @@
 
 use crate::coordination::Coordination;
 use crate::metrics::RunReport;
-use crate::trace::{DvfsSpan, ExecTrace, TaskSpan};
 use crate::placement::{ExecutedSample, FreqCommand, Placement};
 use crate::sched::{SchedCtx, Scheduler};
+use crate::trace::{DvfsSpan, ExecTrace, TaskSpan};
 use joss_dag::{TaskGraph, TaskId};
 use joss_platform::{
     ConfigSpace, CoreType, Duration, DvfsController, DvfsDomain, EnergyAccount, ExecContext,
@@ -267,7 +267,11 @@ impl<'a> Sim<'a> {
 
     fn push(&mut self, at: SimTime, kind: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.heap.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn running_tasks(&self) -> usize {
@@ -310,7 +314,10 @@ impl<'a> Sim<'a> {
                     self.completed, n
                 )
             });
-            assert!(ev.at <= deadline, "virtual-time guard exceeded: possible livelock");
+            assert!(
+                ev.at <= deadline,
+                "virtual-time guard exceeded: possible livelock"
+            );
             // Integrate power up to the event, with pre-event rail values.
             let held = self.trace.current();
             self.sensor.advance_to(ev.at, |_| held);
@@ -354,7 +361,11 @@ impl<'a> Sim<'a> {
             sched.place(&mut ctx, task)
         };
         let core = self.pick_home_core(placement.tc);
-        self.cores[core].queue.push_back(Queued { task, placement, pin_waits: 0 });
+        self.cores[core].queue.push_back(Queued {
+            task,
+            placement,
+            pin_waits: 0,
+        });
         self.push(self.now, Ev::Wake { core });
     }
 
@@ -384,10 +395,10 @@ impl<'a> Sim<'a> {
         }
         // Waiting moldable tasks of my type have priority (core reservation).
         let my_tc = self.cores[core].tc;
-        let joinable = self
-            .molds
-            .iter()
-            .position(|m| m.as_ref().is_some_and(|m| m.tc == my_tc && m.members.len() < m.need));
+        let joinable = self.molds.iter().position(|m| {
+            m.as_ref()
+                .is_some_and(|m| m.tc == my_tc && m.members.len() < m.need)
+        });
         if let Some(mi) = joinable {
             self.cores[core].reserved = true;
             let full = {
@@ -412,8 +423,7 @@ impl<'a> Sim<'a> {
         // Steal: visit victims in random order; take the oldest compatible
         // item. Typed placements may only be stolen by cores of the same
         // type (paper §5.3); untyped (GRWS) items move anywhere.
-        let mut victims: Vec<usize> =
-            (0..self.cores.len()).filter(|&v| v != core).collect();
+        let mut victims: Vec<usize> = (0..self.cores.len()).filter(|&v| v != core).collect();
         // Fisher-Yates with the engine RNG for deterministic victim order.
         for i in (1..victims.len()).rev() {
             let j = self.rng.gen_range(0..=i);
@@ -423,7 +433,7 @@ impl<'a> Sim<'a> {
             let pos = self.cores[v]
                 .queue
                 .iter()
-                .position(|q| q.placement.tc.map_or(true, |t| t == my_tc));
+                .position(|q| q.placement.tc.is_none_or(|t| t == my_tc));
             if let Some(pos) = pos {
                 let q = self.cores[v].queue.remove(pos).expect("position valid");
                 self.steals += 1;
@@ -472,7 +482,12 @@ impl<'a> Sim<'a> {
         let spec = self.graph.kernel(kernel_id);
         let tc = self.cores[leader].tc;
         let cluster_size = self.machine.spec.cluster(tc).n_cores;
-        let width_req = q.placement.width.min(spec.max_width).min(cluster_size).max(1);
+        let width_req = q
+            .placement
+            .width
+            .min(spec.max_width)
+            .min(cluster_size)
+            .max(1);
 
         // Pinned (sampling) placements must measure at exactly the requested
         // frequencies: issue the requests and, if a transition is needed,
@@ -519,7 +534,13 @@ impl<'a> Sim<'a> {
                 for &m in &members {
                     self.cores[m].reserved = true;
                 }
-                let mold = WaitingMold { q, tc, need: width_req, members, stolen };
+                let mold = WaitingMold {
+                    q,
+                    tc,
+                    need: width_req,
+                    members,
+                    stolen,
+                };
                 let mi = if let Some(free) = self.molds.iter().position(|m| m.is_none()) {
                     self.molds[free] = Some(mold);
                     free
@@ -546,13 +567,7 @@ impl<'a> Sim<'a> {
 
     /// Execute a task on the gathered member cores: issue coordinated
     /// frequency requests, compute the execution sample, and commit it.
-    fn launch(
-        &mut self,
-        sched: &mut dyn Scheduler,
-        q: Queued,
-        members: Vec<usize>,
-        stolen: bool,
-    ) {
+    fn launch(&mut self, sched: &mut dyn Scheduler, q: Queued, members: Vec<usize>, stolen: bool) {
         let task = q.task;
         let kernel_id = self.graph.kernel_of(task);
         let spec = self.graph.kernel(kernel_id);
@@ -615,7 +630,13 @@ impl<'a> Sim<'a> {
             self.space.fc_ghz(fc_now),
             self.space.fm_ghz(fm_now),
             &ctx,
-            &[task.0 as u64, tc.index() as u64, width as u64, fc_now.0 as u64, fm_now.0 as u64],
+            &[
+                task.0 as u64,
+                tc.index() as u64,
+                width as u64,
+                fc_now.0 as u64,
+                fm_now.0 as u64,
+            ],
         );
 
         let slot = self.free_slots.pop().unwrap_or_else(|| {
@@ -741,7 +762,11 @@ impl<'a> Sim<'a> {
     /// Record a DVFS transition in the trace (if recording).
     fn note_dvfs(&mut self, domain: usize, at: SimTime, freq: FreqIndex) {
         if let Some(tr) = &mut self.trace_rec {
-            tr.dvfs.push(DvfsSpan { domain, at_s: at.as_secs_f64(), freq });
+            tr.dvfs.push(DvfsSpan {
+                domain,
+                at_s: at.as_secs_f64(),
+                freq,
+            });
         }
     }
 
@@ -751,7 +776,9 @@ impl<'a> Sim<'a> {
         let n_slots = self.runnings.len();
         let mut self_token = self.next_token;
         for slot in 0..n_slots {
-            let Some(r) = &self.runnings[slot] else { continue };
+            let Some(r) = &self.runnings[slot] else {
+                continue;
+            };
             let fc_new = self.ctrl[r.tc.index()].freq_at(self.now);
             let fm_new = self.ctrl_mem.freq_at(self.now);
             if fc_new == r.fc_cur && fm_new == r.fm_cur {
@@ -775,7 +802,11 @@ impl<'a> Sim<'a> {
                 &r.ctx,
             );
             let remaining = r.finish_at.since(self.now.min(r.finish_at)).as_secs_f64();
-            let remaining_new = if t_old > 0.0 { remaining * t_new / t_old } else { remaining };
+            let remaining_new = if t_old > 0.0 {
+                remaining * t_new / t_old
+            } else {
+                remaining
+            };
             r.finish_at = self.now + joss_platform::Duration::from_secs_f64(remaining_new);
             r.rescales += 1;
             // Refresh power draw at the new operating point (deterministic:
@@ -797,7 +828,8 @@ impl<'a> Sim<'a> {
             );
             r.cpu_dyn_w = exec.cpu_dyn_w;
             r.mem_dyn_w = exec.mem_dyn_w;
-            r.mem_demand_gbs = r.shape.bytes_gb / r.finish_at.since(r.started).as_secs_f64().max(1e-12);
+            r.mem_demand_gbs =
+                r.shape.bytes_gb / r.finish_at.since(r.started).as_secs_f64().max(1e-12);
             r.fc_cur = fc_new;
             r.fm_cur = fm_new;
             r.token = {

@@ -61,9 +61,9 @@ pub mod trace;
 pub use coordination::Coordination;
 pub use engine::{EngineConfig, SimEngine};
 pub use metrics::RunReport;
-pub use trace::ExecTrace;
 pub use placement::{ExecutedSample, FreqCommand, Placement};
 pub use sched::{
     AequitasSched, CataSched, EraseSched, FixedSched, GrwsSched, ModelSched, SchedCtx, Scheduler,
     SearchKind, Target,
 };
+pub use trace::ExecTrace;

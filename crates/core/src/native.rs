@@ -54,8 +54,11 @@ impl NativeExecutor {
         F: Fn(TaskId) + Sync,
     {
         let n = graph.n_tasks();
-        let indegree: Vec<AtomicU32> =
-            graph.indegrees().iter().map(|&d| AtomicU32::new(d)).collect();
+        let indegree: Vec<AtomicU32> = graph
+            .indegrees()
+            .iter()
+            .map(|&d| AtomicU32::new(d))
+            .collect();
         let completed = AtomicUsize::new(0);
         let injector = Injector::new();
         for t in graph.roots() {
@@ -143,7 +146,11 @@ impl NativeExecutor {
             }
         });
 
-        NativeStats { per_worker, steals, wall_s: start.elapsed().as_secs_f64() }
+        NativeStats {
+            per_worker,
+            steals,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
     }
 }
 
@@ -180,7 +187,10 @@ mod tests {
         });
         let order = order.into_inner();
         assert_eq!(order.len(), 50);
-        assert!(order.windows(2).all(|w| w[0] < w[1]), "chain executed out of order");
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "chain executed out of order"
+        );
     }
 
     #[test]
@@ -194,7 +204,11 @@ mod tests {
         assert_eq!(stats.total_tasks(), 1000);
         // With 1000 independent tasks, at least two workers should get work.
         let active = stats.per_worker.iter().filter(|&&c| c > 0).count();
-        assert!(active >= 2, "stealing failed to spread load: {:?}", stats.per_worker);
+        assert!(
+            active >= 2,
+            "stealing failed to spread load: {:?}",
+            stats.per_worker
+        );
     }
 
     #[test]

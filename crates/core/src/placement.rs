@@ -27,22 +27,42 @@ pub struct Placement {
 impl Placement {
     /// GRWS-style placement: any single core, frequencies untouched.
     pub fn anywhere() -> Self {
-        Placement { tc: None, width: 1, freq: None, coordinate: true }
+        Placement {
+            tc: None,
+            width: 1,
+            freq: None,
+            coordinate: true,
+        }
     }
 
     /// Typed placement without frequency throttling.
     pub fn on(tc: CoreType, width: usize) -> Self {
-        Placement { tc: Some(tc), width, freq: None, coordinate: true }
+        Placement {
+            tc: Some(tc),
+            width,
+            freq: None,
+            coordinate: true,
+        }
     }
 
     /// Typed placement with a coordinated frequency request.
     pub fn throttled(tc: CoreType, width: usize, fc: FreqIndex, fm: FreqIndex) -> Self {
-        Placement { tc: Some(tc), width, freq: Some((fc, fm)), coordinate: true }
+        Placement {
+            tc: Some(tc),
+            width,
+            freq: Some((fc, fm)),
+            coordinate: true,
+        }
     }
 
     /// Sampling placement: pinned frequencies, no coordination.
     pub fn pinned(tc: CoreType, width: usize, fc: FreqIndex, fm: FreqIndex) -> Self {
-        Placement { tc: Some(tc), width, freq: Some((fc, fm)), coordinate: false }
+        Placement {
+            tc: Some(tc),
+            width,
+            freq: Some((fc, fm)),
+            coordinate: false,
+        }
     }
 }
 
@@ -142,6 +162,9 @@ mod tests {
         assert!(!s.is_clean());
         s.fc_end = s.fc_start;
         s.perturbed = true;
-        assert!(!s.is_clean(), "mid-run transitions contaminate even matching endpoints");
+        assert!(
+            !s.is_clean(),
+            "mid-run transitions contaminate even matching endpoints"
+        );
     }
 }

@@ -75,7 +75,13 @@ impl KernelSampler {
                 if width > max_width {
                     continue;
                 }
-                plan.push(SampleCell { tc, nc, width, fc: Some(phase_fc), fm: fm_ref });
+                plan.push(SampleCell {
+                    tc,
+                    nc,
+                    width,
+                    fc: Some(phase_fc),
+                    fm: fm_ref,
+                });
             }
         }
         Self::new(plan)
@@ -90,7 +96,13 @@ impl KernelSampler {
             if width > max_width {
                 continue;
             }
-            plan.push(SampleCell { tc, nc, width, fc: None, fm: FreqIndex(0) });
+            plan.push(SampleCell {
+                tc,
+                nc,
+                width,
+                fc: None,
+                fm: FreqIndex(0),
+            });
         }
         Self::new(plan)
     }
@@ -205,7 +217,9 @@ impl KernelSampler {
         let mut refs: Vec<Option<f64>> = vec![None; indexer.len()];
         let mut alts: Vec<Option<f64>> = vec![None; indexer.len()];
         for (i, c) in self.plan.iter().enumerate() {
-            let Some(t) = self.state[i].time_s else { continue };
+            let Some(t) = self.state[i].time_s else {
+                continue;
+            };
             let slot = indexer.index(c.tc, c.nc);
             match c.fc {
                 Some(fc) if fc == fc_ref => refs[slot] = Some(t),
@@ -257,9 +271,11 @@ mod tests {
         let sampler =
             KernelSampler::two_freq_plan(&s, usize::MAX, s.fc_max(), FreqIndex(2), s.fm_max());
         assert_eq!(sampler.plan().len(), 10); // 5 pairs x 2 freqs
-        // First half is the reference frequency.
+                                              // First half is the reference frequency.
         assert!(sampler.plan()[..5].iter().all(|c| c.fc == Some(s.fc_max())));
-        assert!(sampler.plan()[5..].iter().all(|c| c.fc == Some(FreqIndex(2))));
+        assert!(sampler.plan()[5..]
+            .iter()
+            .all(|c| c.fc == Some(FreqIndex(2))));
     }
 
     #[test]
@@ -296,7 +312,10 @@ mod tests {
         let mut dirty = sample_for(&c, 0.01);
         dirty.fc_end = FreqIndex(0); // a DVFS transition landed mid-run
         for attempt in 0..MAX_RETRIES {
-            assert!(!sampler.record(cell, &dirty), "attempt {attempt} must be rejected");
+            assert!(
+                !sampler.record(cell, &dirty),
+                "attempt {attempt} must be rejected"
+            );
             assert_eq!(sampler.next_cell(), Some(cell), "cell reopens for retry");
         }
         // Retries exhausted: accepted despite being dirty.

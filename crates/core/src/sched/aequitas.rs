@@ -91,9 +91,7 @@ impl Scheduler for AequitasSched {
         for tc in CoreType::ALL {
             // Active cores of this cluster: running or with queued work.
             let active: Vec<usize> = (0..ctx.core_tc.len())
-                .filter(|&c| {
-                    ctx.core_tc[c] == tc && (ctx.core_busy[c] || ctx.queue_lens[c] > 0)
-                })
+                .filter(|&c| ctx.core_tc[c] == tc && (ctx.core_busy[c] || ctx.queue_lens[c] > 0))
                 .collect();
             if active.is_empty() {
                 continue;

@@ -36,7 +36,11 @@ impl CataSched {
         let bottom_level = Self::compute_bottom_levels(graph);
         let max_bl = bottom_level.iter().copied().max().unwrap_or(1);
         let threshold = ((max_bl as f64) * (1.0 - critical_frac.clamp(0.0, 1.0))).ceil() as u32;
-        CataSched { bottom_level, threshold: threshold.max(1), slow_fc: FreqIndex(2) }
+        CataSched {
+            bottom_level,
+            threshold: threshold.max(1),
+            slow_fc: FreqIndex(2),
+        }
     }
 
     /// Longest path (in tasks) from each task to any sink: one reverse pass
@@ -106,7 +110,10 @@ mod tests {
         let g = b.build("spine").unwrap();
         let s = CataSched::new(&g, 0.5);
         assert!(s.is_critical(TaskId(0)));
-        assert!(!s.is_critical(side), "the short branch must not be critical");
+        assert!(
+            !s.is_critical(side),
+            "the short branch must not be critical"
+        );
     }
 
     #[test]
@@ -141,6 +148,11 @@ mod tests {
         let r2 = SimEngine::run(&machine, &g, &mut grws, EngineConfig::default());
         assert_eq!(r1.tasks, r2.tasks);
         // CATA throttles the wide fan-outs: it must not cost more energy.
-        assert!(r1.total_j() < r2.total_j() * 1.1, "{} vs {}", r1.total_j(), r2.total_j());
+        assert!(
+            r1.total_j() < r2.total_j() * 1.1,
+            "{} vs {}",
+            r1.total_j(),
+            r2.total_j()
+        );
     }
 }

@@ -50,7 +50,10 @@ impl EraseSched {
                 // Category-average power: mean over the MB range.
                 let m = &models.models(tc, nc).cpu;
                 let grid = [0.05, 0.25, 0.5, 0.75, 0.95];
-                grid.iter().map(|&mb| m.predict_w(mb, fc_max_ghz)).sum::<f64>() / grid.len() as f64
+                grid.iter()
+                    .map(|&mb| m.predict_w(mb, fc_max_ghz))
+                    .sum::<f64>()
+                    / grid.len() as f64
             })
             .collect();
         EraseSched {
@@ -84,24 +87,29 @@ impl EraseSched {
         let observed = ctx.running_tasks.max(1) as f64;
         let mut best: Option<(KnobConfig, f64)> = None;
         for (cell, c) in sampler.plan().iter().enumerate() {
-            let Some(t) = sampler.time_of(cell) else { continue };
+            let Some(t) = sampler.time_of(cell) else {
+                continue;
+            };
             let dense = self.models.indexer().index(c.tc, c.nc);
             let idle = self.models.idle.cluster_idle_w(c.tc, fc_max);
             // Idle is shared by at most cluster_size/width concurrent tasks.
-            let cluster_cores =
-                *space.nc_options[c.tc.index()].last().expect("non-empty") as f64;
+            let cluster_cores = *space.nc_options[c.tc.index()].last().expect("non-empty") as f64;
             let conc = (cluster_cores / c.width as f64).min(observed).max(1.0);
             let e = (self.offline_cpu_w[dense] + idle / conc) * t;
             self.search_evals += 1;
-            if best.map_or(true, |(_, be)| e < be) {
+            if best.is_none_or(|(_, be)| e < be) {
                 best = Some((KnobConfig::new(c.tc, c.nc, fc_max, fm_max), e));
             }
         }
         let (config, _) = best.unwrap_or_else(|| {
             // Every cell failed to sample: fall back to big cores at max.
-            (KnobConfig::new(joss_platform::CoreType::Big, NcIndex(0), fc_max, fm_max), 0.0)
+            (
+                KnobConfig::new(joss_platform::CoreType::Big, NcIndex(0), fc_max, fm_max),
+                0.0,
+            )
         });
-        self.selected.insert(ctx.graph.kernel(kernel).name.clone(), config);
+        self.selected
+            .insert(ctx.graph.kernel(kernel).name.clone(), config);
         self.kernels[kernel.index()] = Some(KernelState::Ready { config });
     }
 
@@ -167,8 +175,7 @@ impl Scheduler for EraseSched {
             return;
         };
         let complete = {
-            let Some(KernelState::Sampling(sampler)) = self.kernels[kernel.index()].as_mut()
-            else {
+            let Some(KernelState::Sampling(sampler)) = self.kernels[kernel.index()].as_mut() else {
                 return;
             };
             sampler.record(cell, sample);

@@ -20,7 +20,10 @@ pub struct FixedSched {
 impl FixedSched {
     /// Pin all tasks to `config`.
     pub fn new(config: KnobConfig) -> Self {
-        FixedSched { config, name: format!("Fixed{config:?}") }
+        FixedSched {
+            config,
+            name: format!("Fixed{config:?}"),
+        }
     }
 
     /// The pinned configuration.
@@ -45,19 +48,14 @@ mod tests {
     use super::*;
     use crate::engine::{EngineConfig, SimEngine};
     use joss_dag::{generators, KernelSpec};
-    use joss_platform::{
-        ConfigSpace, CoreType, FreqIndex, MachineModel, NcIndex, TaskShape,
-    };
+    use joss_platform::{ConfigSpace, CoreType, FreqIndex, MachineModel, NcIndex, TaskShape};
 
     #[test]
     fn all_tasks_run_on_the_pinned_cluster() {
         let machine = MachineModel::tx2(5);
         let space = ConfigSpace::from_spec(&machine.spec);
-        let g = generators::independent(
-            "bag",
-            KernelSpec::new("k", TaskShape::new(0.01, 0.001)),
-            40,
-        );
+        let g =
+            generators::independent("bag", KernelSpec::new("k", TaskShape::new(0.01, 0.001)), 40);
         let cfg = KnobConfig::new(CoreType::Little, NcIndex(1), FreqIndex(2), FreqIndex(0));
         let mut sched = FixedSched::new(cfg);
         let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());

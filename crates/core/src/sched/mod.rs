@@ -66,7 +66,13 @@ pub trait Scheduler {
     }
 
     /// A task began executing on `core` (after a steal if `stolen`).
-    fn task_started(&mut self, _ctx: &mut SchedCtx<'_>, _task: TaskId, _core: usize, _stolen: bool) {
+    fn task_started(
+        &mut self,
+        _ctx: &mut SchedCtx<'_>,
+        _task: TaskId,
+        _core: usize,
+        _stolen: bool,
+    ) {
     }
 
     /// A task finished; `sample` is everything the runtime measured.

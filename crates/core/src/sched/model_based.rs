@@ -105,13 +105,25 @@ impl ModelSched {
 
     /// JOSS: joint `<TC,NC,fC,fM>` selection minimizing total energy.
     pub fn joss(models: Arc<ModelSet>) -> Self {
-        Self::new("JOSS", models, Objective::TotalEnergy, true, Target::MinEnergy)
+        Self::new(
+            "JOSS",
+            models,
+            Objective::TotalEnergy,
+            true,
+            Target::MinEnergy,
+        )
     }
 
     /// JOSS without the memory DVFS knob (`fM` pinned at maximum) but still
     /// optimizing total energy.
     pub fn joss_no_mem_dvfs(models: Arc<ModelSet>) -> Self {
-        Self::new("JOSS_NoMemDVFS", models, Objective::TotalEnergy, false, Target::MinEnergy)
+        Self::new(
+            "JOSS_NoMemDVFS",
+            models,
+            Objective::TotalEnergy,
+            false,
+            Target::MinEnergy,
+        )
     }
 
     /// JOSS under a performance constraint: per-task speedup relative to the
@@ -129,13 +141,25 @@ impl ModelSched {
 
     /// JOSS maximizing per-task performance (MAXP).
     pub fn joss_maxp(models: Arc<ModelSet>) -> Self {
-        Self::new("JOSS+MAXP", models, Objective::TotalEnergy, true, Target::MaxPerf)
+        Self::new(
+            "JOSS+MAXP",
+            models,
+            Objective::TotalEnergy,
+            true,
+            Target::MaxPerf,
+        )
     }
 
     /// STEER: `<TC,NC,fC>` selection minimizing CPU energy (no memory DVFS,
     /// memory energy invisible to the objective).
     pub fn steer(models: Arc<ModelSet>) -> Self {
-        Self::new("STEER", models, Objective::CpuEnergy, false, Target::MinEnergy)
+        Self::new(
+            "STEER",
+            models,
+            Objective::CpuEnergy,
+            false,
+            Target::MinEnergy,
+        )
     }
 
     /// Override the search algorithm (default: steepest descent).
@@ -188,9 +212,13 @@ impl ModelSched {
                 space.fc_max(),
                 space.fm_max(),
             );
-            self.selected.insert(ctx.graph.kernel(kernel).name.clone(), fallback);
-            self.kernels[kernel.index()] =
-                Some(KernelState::Ready { config: fallback, batch: 1, since_request: 0 });
+            self.selected
+                .insert(ctx.graph.kernel(kernel).name.clone(), fallback);
+            self.kernels[kernel.index()] = Some(KernelState::Ready {
+                config: fallback,
+                batch: 1,
+                since_request: 0,
+            });
             return;
         }
         let tables = self.models.build_kernel_tables(&samples);
@@ -255,8 +283,11 @@ impl ModelSched {
         };
         self.selected
             .insert(ctx.graph.kernel(kernel).name.clone(), outcome.config);
-        self.kernels[kernel.index()] =
-            Some(KernelState::Ready { config: outcome.config, batch, since_request: 0 });
+        self.kernels[kernel.index()] = Some(KernelState::Ready {
+            config: outcome.config,
+            batch,
+            since_request: 0,
+        });
     }
 }
 
@@ -280,7 +311,12 @@ impl Scheduler for ModelSched {
                     Placement::anywhere()
                 }
             }
-            KernelState::Ready { config, batch, since_request, .. } => {
+            KernelState::Ready {
+                config,
+                batch,
+                since_request,
+                ..
+            } => {
                 let width = self.models.space.nc_count(config.tc, config.nc);
                 let request = *since_request % *batch == 0;
                 *since_request += 1;
@@ -309,7 +345,11 @@ impl Scheduler for ModelSched {
                     current
                 }
             }
-            KernelState::Ready { config, batch, since_request } => {
+            KernelState::Ready {
+                config,
+                batch,
+                since_request,
+            } => {
                 let width = self.models.space.nc_count(config.tc, config.nc);
                 if current.tc == Some(config.tc) && current.width == width {
                     return current; // already configured by place()
@@ -330,8 +370,7 @@ impl Scheduler for ModelSched {
             return;
         };
         let complete = {
-            let Some(KernelState::Sampling(sampler)) = self.kernels[kernel.index()].as_mut()
-            else {
+            let Some(KernelState::Sampling(sampler)) = self.kernels[kernel.index()].as_mut() else {
                 return;
             };
             let accepted = sampler.record(cell, sample);

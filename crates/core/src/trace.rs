@@ -61,7 +61,10 @@ pub struct ExecTrace {
 impl ExecTrace {
     /// Total busy time (sum of span durations x width), core-seconds.
     pub fn busy_core_seconds(&self) -> f64 {
-        self.tasks.iter().map(|t| (t.end_s - t.start_s) * t.cores.len() as f64).sum()
+        self.tasks
+            .iter()
+            .map(|t| (t.end_s - t.start_s) * t.cores.len() as f64)
+            .sum()
     }
 
     /// Makespan covered by the trace, seconds.
@@ -151,8 +154,8 @@ impl ExecTrace {
             };
             for &core in &t.cores {
                 if core < n_cores {
-                    for c in c0..=c1 {
-                        rows[core][c] = glyph;
+                    for cell in &mut rows[core][c0..=c1] {
+                        *cell = glyph;
                     }
                 }
             }
@@ -197,7 +200,11 @@ mod tests {
                     sampling: true,
                 },
             ],
-            dvfs: vec![DvfsSpan { domain: 2, at_s: 0.3, freq: FreqIndex(0) }],
+            dvfs: vec![DvfsSpan {
+                domain: 2,
+                at_s: 0.3,
+                freq: FreqIndex(0),
+            }],
         }
     }
 
@@ -229,7 +236,11 @@ mod tests {
         let lines: Vec<&str> = a.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains('m'), "core 0 ran mm: {}", lines[0]);
-        assert!(lines[2].contains('s'), "core 2 ran a sampling task: {}", lines[2]);
+        assert!(
+            lines[2].contains('s'),
+            "core 2 ran a sampling task: {}",
+            lines[2]
+        );
     }
 
     #[test]

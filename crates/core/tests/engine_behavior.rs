@@ -40,8 +40,14 @@ fn run_probe(
 ) -> (joss_core::RunReport, Vec<ExecutedSample>) {
     let machine = machine();
     let samples = Rc::new(RefCell::new(Vec::new()));
-    let mut sched = Probe { placement, samples: samples.clone() };
-    let cfg = EngineConfig { coordination, ..EngineConfig::default() };
+    let mut sched = Probe {
+        placement,
+        samples: samples.clone(),
+    };
+    let cfg = EngineConfig {
+        coordination,
+        ..EngineConfig::default()
+    };
     let report = SimEngine::run(&machine, graph, &mut sched, cfg);
     let out = samples.borrow().clone();
     (report, out)
@@ -56,7 +62,11 @@ fn moldable_tasks_achieve_requested_width() {
         KernelSpec::new("k", TaskShape::new(0.02, 0.002)),
         20,
     );
-    let (_, samples) = run_probe(&g, Placement::on(CoreType::Little, 4), Coordination::Average);
+    let (_, samples) = run_probe(
+        &g,
+        Placement::on(CoreType::Little, 4),
+        Coordination::Average,
+    );
     assert_eq!(samples.len(), 20);
     assert!(
         samples.iter().all(|s| s.width == 4),
@@ -68,9 +78,16 @@ fn moldable_tasks_achieve_requested_width() {
 
 #[test]
 fn moldable_width_caps_at_cluster_size() {
-    let g = generators::chain("chain", KernelSpec::new("k", TaskShape::new(0.01, 0.001)), 5);
+    let g = generators::chain(
+        "chain",
+        KernelSpec::new("k", TaskShape::new(0.01, 0.001)),
+        5,
+    );
     let (_, samples) = run_probe(&g, Placement::on(CoreType::Big, 64), Coordination::Average);
-    assert!(samples.iter().all(|s| s.width == 2), "big cluster has two cores");
+    assert!(
+        samples.iter().all(|s| s.width == 2),
+        "big cluster has two cores"
+    );
 }
 
 #[test]
@@ -81,15 +98,26 @@ fn kernel_max_width_is_respected() {
         b.add_task(k, &[]).unwrap();
     }
     let g = b.build("rigid_bag").unwrap();
-    let (_, samples) = run_probe(&g, Placement::on(CoreType::Little, 4), Coordination::Average);
-    assert!(samples.iter().all(|s| s.width == 1), "rigid kernels never mold");
+    let (_, samples) = run_probe(
+        &g,
+        Placement::on(CoreType::Little, 4),
+        Coordination::Average,
+    );
+    assert!(
+        samples.iter().all(|s| s.width == 1),
+        "rigid kernels never mold"
+    );
 }
 
 #[test]
 fn pinned_frequency_tasks_start_at_target() {
     // Pin far from the initial (max) frequency: the engine must delay the
     // start until the transition lands, so fc_start == target and clean.
-    let g = generators::chain("chain", KernelSpec::new("k", TaskShape::new(0.01, 0.001)), 10);
+    let g = generators::chain(
+        "chain",
+        KernelSpec::new("k", TaskShape::new(0.01, 0.001)),
+        10,
+    );
     let (_, samples) = run_probe(
         &g,
         Placement::pinned(CoreType::Big, 1, FreqIndex(0), FreqIndex(0)),
@@ -104,13 +132,20 @@ fn pinned_frequency_tasks_start_at_target() {
 
 #[test]
 fn throttled_requests_reach_the_controller() {
-    let g = generators::chain("chain", KernelSpec::new("k", TaskShape::new(0.02, 0.002)), 6);
+    let g = generators::chain(
+        "chain",
+        KernelSpec::new("k", TaskShape::new(0.02, 0.002)),
+        6,
+    );
     let (report, samples) = run_probe(
         &g,
         Placement::throttled(CoreType::Big, 1, FreqIndex(2), FreqIndex(1)),
         Coordination::Average,
     );
-    assert!(report.dvfs_transitions >= 2, "fc and fm transitions must happen");
+    assert!(
+        report.dvfs_transitions >= 2,
+        "fc and fm transitions must happen"
+    );
     // After the first task triggers the transition, later tasks observe it.
     let last = samples.last().unwrap();
     assert_eq!(last.fc_start, FreqIndex(2));
@@ -148,14 +183,20 @@ fn coordination_none_vs_average_changes_transition_count() {
         &machine,
         &g,
         &mut s1,
-        EngineConfig { coordination: Coordination::None, ..EngineConfig::default() },
+        EngineConfig {
+            coordination: Coordination::None,
+            ..EngineConfig::default()
+        },
     );
     let mut s2 = TwoFreq;
     let avg = SimEngine::run(
         &machine,
         &g,
         &mut s2,
-        EngineConfig { coordination: Coordination::Average, ..EngineConfig::default() },
+        EngineConfig {
+            coordination: Coordination::Average,
+            ..EngineConfig::default()
+        },
     );
     // The §5.3 interference: with no coordination the cluster ping-pongs
     // between the extreme frequencies, so co-running tasks repeatedly land
@@ -167,7 +208,10 @@ fn coordination_none_vs_average_changes_transition_count() {
     );
     assert_eq!(none.tasks, g.n_tasks());
     assert_eq!(avg.tasks, g.n_tasks());
-    assert!(none.dvfs_transitions > 0, "conflicting pins must transition");
+    assert!(
+        none.dvfs_transitions > 0,
+        "conflicting pins must transition"
+    );
     assert!(
         avg.energy.makespan_s < none.energy.makespan_s,
         "averaging must mitigate the slow-extreme dwell time: {:.4} vs {:.4}",
@@ -179,8 +223,7 @@ fn coordination_none_vs_average_changes_transition_count() {
 #[test]
 fn typed_tasks_never_run_on_the_other_cluster() {
     let g = generators::independent("bag", KernelSpec::new("k", TaskShape::new(0.01, 0.001)), 64);
-    let (report, samples) =
-        run_probe(&g, Placement::on(CoreType::Big, 1), Coordination::Average);
+    let (report, samples) = run_probe(&g, Placement::on(CoreType::Big, 1), Coordination::Average);
     assert!(samples.iter().all(|s| s.tc == CoreType::Big));
     assert_eq!(report.tasks_per_type[CoreType::Little.index()], 0);
     // With only 2 big cores and 64 independent tasks, stealing must occur
@@ -202,8 +245,10 @@ fn energy_includes_idle_power_of_unused_cluster() {
     let machine = machine();
     let g = generators::chain("chain", KernelSpec::new("k", TaskShape::new(0.1, 0.001)), 4);
     let samples = Rc::new(RefCell::new(Vec::new()));
-    let mut sched =
-        Probe { placement: Placement::on(CoreType::Big, 1), samples: samples.clone() };
+    let mut sched = Probe {
+        placement: Placement::on(CoreType::Big, 1),
+        samples: samples.clone(),
+    };
     let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());
     let fc_max = machine.spec.fc_max_ghz();
     let fm_max = machine.spec.fm_max_ghz();
@@ -270,7 +315,11 @@ fn mid_run_transitions_mark_samples_perturbed() {
 
 #[test]
 fn lower_frequency_reduces_power_but_stretches_time() {
-    let g = generators::chain("chain", KernelSpec::new("k", TaskShape::new(0.05, 0.001)), 8);
+    let g = generators::chain(
+        "chain",
+        KernelSpec::new("k", TaskShape::new(0.05, 0.001)),
+        8,
+    );
     let (fast, _) = run_probe(
         &g,
         Placement::pinned(CoreType::Big, 1, FreqIndex(4), FreqIndex(2)),
@@ -284,7 +333,10 @@ fn lower_frequency_reduces_power_but_stretches_time() {
     assert!(slow.energy.makespan_s > 3.0 * fast.energy.makespan_s);
     let p_fast = fast.total_j() / fast.energy.makespan_s;
     let p_slow = slow.total_j() / slow.energy.makespan_s;
-    assert!(p_slow < p_fast, "average power must drop at the low frequency");
+    assert!(
+        p_slow < p_fast,
+        "average power must drop at the low frequency"
+    );
 }
 
 #[test]
@@ -301,7 +353,10 @@ fn trace_recording_captures_every_task_and_transition() {
         placement: Placement::throttled(CoreType::Big, 1, FreqIndex(2), FreqIndex(1)),
         samples,
     };
-    let cfg = EngineConfig { record_trace: true, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        record_trace: true,
+        ..EngineConfig::default()
+    };
     let report = SimEngine::run(&machine, &g, &mut sched, cfg);
     let trace = report.trace.as_ref().expect("trace recorded");
     assert_eq!(trace.tasks.len(), 30, "one span per task");

@@ -60,7 +60,11 @@ pub fn fork_join(
 ) -> TaskGraph {
     assert!(stages > 0 && width > 0 && !stage_kernels.is_empty());
     let mut b = TaskGraphBuilder::new();
-    let kids: Vec<KernelId> = stage_kernels.iter().cloned().map(|k| b.add_kernel(k)).collect();
+    let kids: Vec<KernelId> = stage_kernels
+        .iter()
+        .cloned()
+        .map(|k| b.add_kernel(k))
+        .collect();
     let join = b.add_kernel(join_kernel);
     let mut barrier: Option<TaskId> = None;
     for s in 0..stages {
@@ -87,7 +91,9 @@ pub fn random_layered(
     let mut b = TaskGraphBuilder::new();
     let k = b.add_kernel(kernel);
     // Small deterministic LCG; avoids pulling rand into the non-dev deps.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -103,7 +109,9 @@ pub fn random_layered(
                 Vec::new()
             } else {
                 let n_deps = 1 + (next() as usize) % 3.min(prev_layer.len());
-                (0..n_deps).map(|_| prev_layer[(next() as usize) % prev_layer.len()]).collect()
+                (0..n_deps)
+                    .map(|_| prev_layer[(next() as usize) % prev_layer.len()])
+                    .collect()
             };
             layer.push(b.add_task(k, &deps).expect("valid"));
         }

@@ -92,7 +92,10 @@ impl TaskGraphBuilder {
         let id = TaskId(self.task_kernel.len() as u32);
         for &d in deps {
             if d.index() >= self.task_kernel.len() {
-                return Err(GraphError::UnknownDependency { task: id.index(), dep: d });
+                return Err(GraphError::UnknownDependency {
+                    task: id.index(),
+                    dep: d,
+                });
             }
         }
         self.task_kernel.push(kernel);
@@ -270,7 +273,9 @@ impl TaskGraph {
                     return Err(format!("edge to out-of-range task {s}"));
                 }
                 if s.index() <= t {
-                    return Err(format!("edge {t} -> {s} violates topological storage order"));
+                    return Err(format!(
+                        "edge {t} -> {s} violates topological storage order"
+                    ));
                 }
                 indeg[s.index()] += 1;
             }

@@ -41,7 +41,11 @@ pub struct KernelSpec {
 impl KernelSpec {
     /// New moldable kernel with the platform-wide default width cap.
     pub fn new(name: impl Into<String>, shape: TaskShape) -> Self {
-        KernelSpec { name: name.into(), shape, max_width: usize::MAX }
+        KernelSpec {
+            name: name.into(),
+            shape,
+            max_width: usize::MAX,
+        }
     }
 
     /// Restrict the kernel to a single core (no moldable execution).

@@ -3,9 +3,7 @@
 //!
 //! Usage: `joss_repro [--full | --scale N] [--seed S] [--out DIR]`
 
-use joss_experiments::{
-    fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, ExperimentContext,
-};
+use joss_experiments::{fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, ExperimentContext};
 use joss_workloads::Scale;
 use std::fs;
 use std::path::PathBuf;
@@ -53,9 +51,15 @@ fn main() {
     eprintln!("[joss_repro] Table 1...");
     save("table1.txt", table1::run().render());
     eprintln!("[joss_repro] Fig. 1...");
-    save("fig1.txt", fig1::run(&ctx, Scale::Divided(100), seed).render(&ctx));
+    save(
+        "fig1.txt",
+        fig1::run(&ctx, Scale::Divided(100), seed).render(&ctx),
+    );
     eprintln!("[joss_repro] Fig. 2...");
-    save("fig2.txt", fig2::run(&ctx, Scale::Divided(100), seed).render(&ctx));
+    save(
+        "fig2.txt",
+        fig2::run(&ctx, Scale::Divided(100), seed).render(&ctx),
+    );
     eprintln!("[joss_repro] Fig. 5...");
     save("fig5.txt", fig5::run(&ctx).render());
     eprintln!("[joss_repro] Fig. 8 (21 benchmarks x 6 schedulers)...");
@@ -65,6 +69,9 @@ fn main() {
     eprintln!("[joss_repro] Fig. 10 (model accuracy)...");
     save("fig10.txt", fig10::run(&ctx, Scale::Divided(200)).render());
     eprintln!("[joss_repro] §7.4 (overheads)...");
-    save("sec74_overhead.txt", overhead::run(&ctx, Scale::Divided(200)).render());
+    save(
+        "sec74_overhead.txt",
+        overhead::run(&ctx, Scale::Divided(200)).render(),
+    );
     eprintln!("[joss_repro] done; outputs in {}", out_dir.display());
 }

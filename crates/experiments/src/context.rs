@@ -28,6 +28,10 @@ impl ExperimentContext {
         let mut cfg = TrainingConfig::tx2_default(&space);
         cfg.reps = reps;
         let models = Arc::new(ModelSet::train(&machine, cfg));
-        ExperimentContext { machine, space, models }
+        ExperimentContext {
+            machine,
+            space,
+            models,
+        }
     }
 }

@@ -58,7 +58,10 @@ pub fn sweep(
     let mut out = HashMap::new();
     for cfg in ctx.space.iter_all() {
         let mut sched = FixedSched::new(cfg);
-        let engine = EngineConfig { seed, ..EngineConfig::default() };
+        let engine = EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        };
         let report = SimEngine::run(&ctx.machine, graph, &mut sched, engine);
         out.insert(cfg, report.energy);
     }
@@ -96,17 +99,36 @@ fn scenarios(
     // Scenario 4: joint search over all four knobs.
     let (c4, e4) = argmin_by(sweep, |_| true, |e| e.total_j());
     vec![
-        ScenarioResult { scenario: 1, config: c1, energy: e1 },
-        ScenarioResult { scenario: 2, config: c2, energy: e2 },
-        ScenarioResult { scenario: 3, config: c3, energy: e3 },
-        ScenarioResult { scenario: 4, config: c4, energy: e4 },
+        ScenarioResult {
+            scenario: 1,
+            config: c1,
+            energy: e1,
+        },
+        ScenarioResult {
+            scenario: 2,
+            config: c2,
+            energy: e2,
+        },
+        ScenarioResult {
+            scenario: 3,
+            config: c3,
+            energy: e3,
+        },
+        ScenarioResult {
+            scenario: 4,
+            config: c4,
+            energy: e4,
+        },
     ]
 }
 
 /// Run the Fig. 1 experiment.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig1 {
     let mut benches = Vec::new();
-    for graph in [matmul::matmul(256, 1, scale), matcopy::matcopy(4096, 1, scale)] {
+    for graph in [
+        matmul::matmul(256, 1, scale),
+        matcopy::matcopy(4096, 1, scale),
+    ] {
         let sw = sweep(ctx, &graph, seed);
         benches.push(Fig1Bench {
             label: graph.name().to_string(),
@@ -120,7 +142,11 @@ impl Fig1 {
     /// Text rendering of the figure.
     pub fn render(&self, ctx: &ExperimentContext) -> String {
         let mut out = String::new();
-        writeln!(out, "# Fig. 1 — total energy under four config-selection scenarios").unwrap();
+        writeln!(
+            out,
+            "# Fig. 1 — total energy under four config-selection scenarios"
+        )
+        .unwrap();
         for b in &self.benches {
             writeln!(out, "\n## {}", b.label).unwrap();
             writeln!(

@@ -48,7 +48,14 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
                         return None;
                     }
                     let key = |phase: u64| {
-                        [0xF16u64, bi as u64, ki as u64, tc.index() as u64, width as u64, phase]
+                        [
+                            0xF16u64,
+                            bi as u64,
+                            ki as u64,
+                            tc.index() as u64,
+                            width as u64,
+                            phase,
+                        ]
                     };
                     let t_ref = ctx
                         .machine
@@ -93,7 +100,15 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
                     ctx.space.fc_ghz(cfg.fc),
                     ctx.space.fm_ghz(cfg.fm),
                     &ectx,
-                    &[0xA2EA1u64, bi as u64, ki as u64, cfg.fc.0 as u64, cfg.fm.0 as u64, cfg.tc.index() as u64, width as u64],
+                    &[
+                        0xA2EA1u64,
+                        bi as u64,
+                        ki as u64,
+                        cfg.fc.0 as u64,
+                        cfg.fm.0 as u64,
+                        cfg.tc.index() as u64,
+                        width as u64,
+                    ],
                 );
                 acc_p.push(accuracy(real.duration.as_secs_f64(), tables.time_s(cfg)));
                 // Power accuracy is evaluated at the rail level (dynamic +
@@ -103,8 +118,14 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
                 let fm_ix = cfg.fm;
                 let cpu_idle = ctx.models.idle.cluster_idle_w(cfg.tc, fc_ix);
                 let mem_idle = ctx.models.idle.mem_idle_w(fm_ix);
-                acc_c.push(accuracy(real.cpu_dyn_w + cpu_idle, tables.cpu_w(cfg) + cpu_idle));
-                acc_m.push(accuracy(real.mem_dyn_w + mem_idle, tables.mem_w(cfg) + mem_idle));
+                acc_c.push(accuracy(
+                    real.cpu_dyn_w + cpu_idle,
+                    tables.cpu_w(cfg) + cpu_idle,
+                ));
+                acc_m.push(accuracy(
+                    real.mem_dyn_w + mem_idle,
+                    tables.mem_w(cfg) + mem_idle,
+                ));
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -119,16 +140,29 @@ impl Fig10 {
     /// Distribution statistics per model.
     pub fn stats(&self) -> [(&'static str, AccuracyStats); 3] {
         [
-            ("performance", AccuracyStats::from_samples(&self.perf).expect("non-empty")),
-            ("CPU power", AccuracyStats::from_samples(&self.cpu).expect("non-empty")),
-            ("memory power", AccuracyStats::from_samples(&self.mem).expect("non-empty")),
+            (
+                "performance",
+                AccuracyStats::from_samples(&self.perf).expect("non-empty"),
+            ),
+            (
+                "CPU power",
+                AccuracyStats::from_samples(&self.cpu).expect("non-empty"),
+            ),
+            (
+                "memory power",
+                AccuracyStats::from_samples(&self.mem).expect("non-empty"),
+            ),
         ]
     }
 
     /// Text rendering of the figure.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "# Fig. 10 — model prediction accuracy across benchmarks").unwrap();
+        writeln!(
+            out,
+            "# Fig. 10 — model prediction accuracy across benchmarks"
+        )
+        .unwrap();
         writeln!(
             out,
             "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
@@ -143,7 +177,11 @@ impl Fig10 {
             )
             .unwrap();
         }
-        writeln!(out, "\n(paper: performance 97% mean, CPU power 90%, memory power 80%)").unwrap();
+        writeln!(
+            out,
+            "\n(paper: performance 97% mean, CPU power 90%, memory power 80%)"
+        )
+        .unwrap();
         out
     }
 }

@@ -36,7 +36,10 @@ pub struct Fig2 {
 /// Run the Fig. 2 experiment.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig2 {
     let mut benches = Vec::new();
-    for graph in [matmul::matmul(256, 1, scale), matcopy::matcopy(4096, 1, scale)] {
+    for graph in [
+        matmul::matmul(256, 1, scale),
+        matcopy::matcopy(4096, 1, scale),
+    ] {
         let sw = sweep(ctx, &graph, seed);
         // Start from the joint minimum-energy configuration.
         let (start, _) = sw
@@ -48,22 +51,37 @@ pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig2 {
         let mut series = vec![*start];
         let mut cur = *start;
         while cur.fc < ctx.space.fc_max() {
-            cur = KnobConfig { fc: FreqIndex(cur.fc.0 + 1), ..cur };
+            cur = KnobConfig {
+                fc: FreqIndex(cur.fc.0 + 1),
+                ..cur
+            };
             series.push(cur);
         }
         while cur.fm < ctx.space.fm_max() {
-            cur = KnobConfig { fm: FreqIndex(cur.fm.0 + 1), ..cur };
+            cur = KnobConfig {
+                fm: FreqIndex(cur.fm.0 + 1),
+                ..cur
+            };
             series.push(cur);
         }
         while cur.nc.0 + 1 < ctx.space.n_nc(cur.tc) {
-            cur = KnobConfig { nc: NcIndex(cur.nc.0 + 1), ..cur };
+            cur = KnobConfig {
+                nc: NcIndex(cur.nc.0 + 1),
+                ..cur
+            };
             series.push(cur);
         }
         let points = series
             .into_iter()
-            .map(|config| TradeoffPoint { config, energy: sw[&config] })
+            .map(|config| TradeoffPoint {
+                config,
+                energy: sw[&config],
+            })
             .collect();
-        benches.push(Fig2Bench { label: graph.name().to_string(), points });
+        benches.push(Fig2Bench {
+            label: graph.name().to_string(),
+            points,
+        });
     }
     Fig2 { benches }
 }

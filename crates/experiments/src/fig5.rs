@@ -79,7 +79,12 @@ impl Fig5 {
             let per_level = self.points.len() / MB_LEVELS.len();
             for i in 0..per_level {
                 let p0 = &self.points[i];
-                write!(out, "{:<16}", format!("<{:.2}, {:.2}>", p0.fc_ghz, p0.fm_ghz)).unwrap();
+                write!(
+                    out,
+                    "{:<16}",
+                    format!("<{:.2}, {:.2}>", p0.fc_ghz, p0.fm_ghz)
+                )
+                .unwrap();
                 for l in 0..MB_LEVELS.len() {
                     let p = &self.points[l * per_level + i];
                     let v = if pick == 0 { p.cpu_w } else { p.mem_w };

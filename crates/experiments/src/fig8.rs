@@ -33,7 +33,10 @@ impl Fig8 {
             .iter()
             .map(|r| {
                 let base = r.reports[0].total_j();
-                (r.label.clone(), r.reports.iter().map(|x| x.total_j() / base).collect())
+                (
+                    r.label.clone(),
+                    r.reports.iter().map(|x| x.total_j() / base).collect(),
+                )
             })
             .collect()
     }
@@ -53,7 +56,11 @@ impl Fig8 {
     /// Text rendering (the paper's figure as a table).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "# Fig. 8 — total energy normalized to GRWS (lower is better)").unwrap();
+        writeln!(
+            out,
+            "# Fig. 8 — total energy normalized to GRWS (lower is better)"
+        )
+        .unwrap();
         write!(out, "{:<16}", "benchmark").unwrap();
         for s in &self.schedulers {
             write!(out, " {s:>15}").unwrap();
@@ -97,7 +104,10 @@ pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64, aequitas_slice_s: f
             }
             reports.push(rep);
         }
-        rows.push(Fig8Row { label: bench.label.clone(), reports });
+        rows.push(Fig8Row {
+            label: bench.label.clone(),
+            reports,
+        });
     }
     Fig8 { schedulers, rows }
 }

@@ -52,7 +52,10 @@ pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig9 {
             }
             reports.push(rep);
         }
-        rows.push(Fig9Row { label: bench.label.clone(), reports });
+        rows.push(Fig9Row {
+            label: bench.label.clone(),
+            reports,
+        });
     }
     Fig9 { schedulers, rows }
 }
@@ -89,13 +92,26 @@ impl Fig9 {
     /// Text rendering of the figure.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "# Fig. 9 — energy & time under performance constraints (norm. to JOSS)")
-            .unwrap();
+        writeln!(
+            out,
+            "# Fig. 9 — energy & time under performance constraints (norm. to JOSS)"
+        )
+        .unwrap();
         write!(out, "{:<16}", "benchmark").unwrap();
         for s in &self.schedulers {
             let tag = s.replace("JOSS", "");
-            let tag = if tag.is_empty() { "base".to_string() } else { tag };
-            write!(out, " {:>11} {:>11}", format!("{tag} E"), format!("{tag} T")).unwrap();
+            let tag = if tag.is_empty() {
+                "base".to_string()
+            } else {
+                tag
+            };
+            write!(
+                out,
+                " {:>11} {:>11}",
+                format!("{tag} E"),
+                format!("{tag} T")
+            )
+            .unwrap();
         }
         writeln!(out).unwrap();
         for row in &self.rows {

@@ -105,8 +105,22 @@ fn clean_samples(
                 return None;
             }
             Some((
-                machine.clean_time_s(shape, tc, width, models.fc_ref_ghz(), models.fm_ref_ghz(), &ectx),
-                machine.clean_time_s(shape, tc, width, models.fc_alt_ghz(), models.fm_ref_ghz(), &ectx),
+                machine.clean_time_s(
+                    shape,
+                    tc,
+                    width,
+                    models.fc_ref_ghz(),
+                    models.fm_ref_ghz(),
+                    &ectx,
+                ),
+                machine.clean_time_s(
+                    shape,
+                    tc,
+                    width,
+                    models.fc_alt_ghz(),
+                    models.fm_ref_ghz(),
+                    &ectx,
+                ),
             ))
         })
         .collect()
@@ -118,8 +132,7 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
     let mut tx2 = Vec::new();
     for bench in fig8_suite(scale) {
         for kernel in bench.graph.kernels() {
-            let samples =
-                clean_samples(&ctx.machine, &ctx.models, &kernel.shape, kernel.max_width);
+            let samples = clean_samples(&ctx.machine, &ctx.models, &kernel.shape, kernel.max_width);
             if samples.iter().all(|s| s.is_none()) {
                 continue;
             }
@@ -131,8 +144,9 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
             ));
         }
     }
-    let tx2_storage_entries =
-        ctx.models.build_kernel_tables(&clean_samples(
+    let tx2_storage_entries = ctx
+        .models
+        .build_kernel_tables(&clean_samples(
             &ctx.machine,
             &ctx.models,
             &joss_platform::TaskShape::new(0.01, 0.001),
@@ -158,7 +172,12 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
     ] {
         let shape = joss_platform::TaskShape::new(w, b);
         let samples = clean_samples(&large_machine, &large_models, &shape, usize::MAX);
-        large.push(compare_kernel(&large_models, &samples, usize::MAX, name.to_string()));
+        large.push(compare_kernel(
+            &large_models,
+            &samples,
+            usize::MAX,
+            name.to_string(),
+        ));
     }
     let large_storage_entries = large_models
         .build_kernel_tables(&clean_samples(
@@ -169,7 +188,12 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
         ))
         .storage_entries();
 
-    Overhead { tx2, large, tx2_storage_entries, large_storage_entries }
+    Overhead {
+        tx2,
+        large,
+        tx2_storage_entries,
+        large_storage_entries,
+    }
 }
 
 impl Overhead {
@@ -207,7 +231,11 @@ impl Overhead {
             writeln!(
                 out,
                 "{:<26} {:>9} {:>9} {:>10.5} {:>10.5} {:>9.3}",
-                c.kernel, c.ex_evals, c.sd_evals, c.ex_energy, c.sd_energy,
+                c.kernel,
+                c.ex_evals,
+                c.sd_evals,
+                c.ex_energy,
+                c.sd_energy,
                 c.reduction_ratio()
             )
             .unwrap();
@@ -243,7 +271,12 @@ impl Overhead {
             )
             .unwrap();
         }
-        writeln!(out, "storage: {} entries/kernel", self.large_storage_entries).unwrap();
+        writeln!(
+            out,
+            "storage: {} entries/kernel",
+            self.large_storage_entries
+        )
+        .unwrap();
         out
     }
 }

@@ -64,8 +64,16 @@ impl SchedulerKind {
 }
 
 /// Run one benchmark under one scheduler.
-pub fn run_one(ctx: &ExperimentContext, kind: SchedulerKind, graph: &TaskGraph, seed: u64) -> RunReport {
+pub fn run_one(
+    ctx: &ExperimentContext,
+    kind: SchedulerKind,
+    graph: &TaskGraph,
+    seed: u64,
+) -> RunReport {
     let mut sched = kind.build(ctx);
-    let engine = EngineConfig { seed, ..EngineConfig::default() };
+    let engine = EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    };
     SimEngine::run(&ctx.machine, graph, sched.as_mut(), engine)
 }

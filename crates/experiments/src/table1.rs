@@ -20,8 +20,17 @@ impl Table1 {
     /// Text rendering of the table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "# Table 1 — evaluated benchmarks (full-scale task counts)").unwrap();
-        writeln!(out, "{:<5} {:<42} {:<38} {:<20}", "abbr", "description", "input", "tasks").unwrap();
+        writeln!(
+            out,
+            "# Table 1 — evaluated benchmarks (full-scale task counts)"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<5} {:<42} {:<38} {:<20}",
+            "abbr", "description", "input", "tasks"
+        )
+        .unwrap();
         for r in &self.rows {
             let tasks: Vec<String> = r.tasks.iter().map(|t| t.to_string()).collect();
             writeln!(

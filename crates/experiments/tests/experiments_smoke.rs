@@ -15,11 +15,25 @@ fn fig1_scenarios_never_regress_with_more_information() {
     let f = fig1::run(ctx(), Scale::Divided(400), 42);
     assert_eq!(f.benches.len(), 2);
     for b in &f.benches {
-        let [s1, s2, s3, s4] = &b.scenarios[..] else { panic!("four scenarios") };
+        let [s1, s2, s3, s4] = &b.scenarios[..] else {
+            panic!("four scenarios")
+        };
         // More knobs / better objectives can only help.
-        assert!(s2.energy.total_j() <= s1.energy.total_j() + 1e-9, "{}", b.label);
-        assert!(s4.energy.total_j() <= s3.energy.total_j() + 1e-9, "{}", b.label);
-        assert!(s4.energy.total_j() <= s2.energy.total_j() + 1e-9, "{}", b.label);
+        assert!(
+            s2.energy.total_j() <= s1.energy.total_j() + 1e-9,
+            "{}",
+            b.label
+        );
+        assert!(
+            s4.energy.total_j() <= s3.energy.total_j() + 1e-9,
+            "{}",
+            b.label
+        );
+        assert!(
+            s4.energy.total_j() <= s2.energy.total_j() + 1e-9,
+            "{}",
+            b.label
+        );
     }
     assert!(f.render(ctx()).contains("scenario"));
 }
@@ -43,8 +57,14 @@ fn fig5_power_trends_match_paper() {
     assert_eq!(f.points.len(), 45);
     // Within one MB level, CPU power grows with fC.
     let level: Vec<_> = f.points.iter().filter(|p| p.mb == 0.02).collect();
-    let max_fc = level.iter().max_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap()).unwrap();
-    let min_fc = level.iter().min_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap()).unwrap();
+    let max_fc = level
+        .iter()
+        .max_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap())
+        .unwrap();
+    let min_fc = level
+        .iter()
+        .min_by(|a, b| a.fc_ghz.partial_cmp(&b.fc_ghz).unwrap())
+        .unwrap();
     assert!(max_fc.cpu_w > min_fc.cpu_w);
     // Memory power grows with MB at fixed frequencies.
     let hi_mb = f
@@ -87,7 +107,10 @@ fn fig10_perf_model_is_most_accurate() {
     let f = fig10::run(ctx(), Scale::Divided(400));
     let [(_, p), (_, c), (_, m)] = f.stats();
     assert!(p.mean > 0.9, "performance model: {p:?}");
-    assert!(p.mean > c.mean && p.mean > m.mean, "perf model leads, as in the paper");
+    assert!(
+        p.mean > c.mean && p.mean > m.mean,
+        "perf model leads, as in the paper"
+    );
 }
 
 #[test]

@@ -112,7 +112,9 @@ mod tests {
     fn eval_matches_expand_dot() {
         let b = PolyBasis::new(3);
         let vars = [0.3, 1.7, 0.9];
-        let beta: Vec<f64> = (0..b.n_features()).map(|i| (i as f64) * 0.1 - 0.4).collect();
+        let beta: Vec<f64> = (0..b.n_features())
+            .map(|i| (i as f64) * 0.1 - 0.4)
+            .collect();
         let feats = b.expand(&vars);
         let dot: f64 = feats.iter().zip(&beta).map(|(f, c)| f * c).sum();
         assert!((b.eval(&beta, &vars) - dot).abs() < 1e-12);

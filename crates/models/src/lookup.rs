@@ -91,8 +91,15 @@ impl IdleTables {
                 .map(|&f| machine.cluster_idle_w(CoreType::Little, f))
                 .collect(),
         ];
-        let mem_idle_w = space.mem_freqs_ghz.iter().map(|&f| machine.mem_idle_w(f)).collect();
-        IdleTables { cpu_idle_w, mem_idle_w }
+        let mem_idle_w = space
+            .mem_freqs_ghz
+            .iter()
+            .map(|&f| machine.mem_idle_w(f))
+            .collect();
+        IdleTables {
+            cpu_idle_w,
+            mem_idle_w,
+        }
     }
 
     /// Idle power of cluster `tc` at CPU frequency index `fc`, watts.
@@ -242,7 +249,10 @@ mod tests {
         let mut t = KernelTables::empty(&s);
         t.set_sample(CoreType::Big, NcIndex(1), 0.42, 0.001);
         assert_eq!(t.mb_of(CoreType::Big, NcIndex(1)), 0.42);
-        assert_eq!(t.t_ref_s[t.indexer().index(CoreType::Big, NcIndex(1))], 0.001);
+        assert_eq!(
+            t.t_ref_s[t.indexer().index(CoreType::Big, NcIndex(1))],
+            0.001
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
             let truth = m
                 .execute(&shape, CoreType::Little, 2, fc_hi, fm, &ctx, &[0])
                 .true_mb;
-            assert!(est > prev_est, "MB estimate must grow with true memory intensity");
+            assert!(
+                est > prev_est,
+                "MB estimate must grow with true memory intensity"
+            );
             assert!(
                 (est - truth).abs() < 0.35,
                 "shape ({w},{b}): est {est} vs truth {truth}"

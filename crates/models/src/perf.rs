@@ -66,7 +66,12 @@ impl PerfModel {
             y.push(stall_norm);
         }
         let beta = least_squares(&x, &y, samples.len(), basis.n_features())?;
-        Some(PerfModel { basis, beta, fc_ref_ghz, fm_ref_ghz })
+        Some(PerfModel {
+            basis,
+            beta,
+            fc_ref_ghz,
+            fm_ref_ghz,
+        })
     }
 
     /// Predict execution time (seconds) at `<fC', fM'>` given the task's MB
@@ -145,7 +150,10 @@ mod tests {
         let t_half = m.predict_s(0.0, 1.0, 1.0, 1.8);
         assert!((t_half / t_full - 2.0).abs() < 0.01);
         let t_mem_lo = m.predict_s(0.0, 1.0, 2.0, 0.9);
-        assert!((t_mem_lo / t_full - 1.0).abs() < 0.01, "fm must not matter at MB=0");
+        assert!(
+            (t_mem_lo / t_full - 1.0).abs() < 0.01,
+            "fm must not matter at MB=0"
+        );
     }
 
     #[test]
@@ -155,7 +163,10 @@ mod tests {
         let t_mem_lo = m.predict_s(1.0, 1.0, 2.0, 0.9);
         assert!((t_mem_lo / t_full - 2.0).abs() < 0.02);
         let t_fc_lo = m.predict_s(1.0, 1.0, 1.0, 1.8);
-        assert!((t_fc_lo / t_full - 1.0).abs() < 0.02, "fc must not matter at MB=1");
+        assert!(
+            (t_fc_lo / t_full - 1.0).abs() < 0.02,
+            "fc must not matter at MB=1"
+        );
     }
 
     #[test]

@@ -117,7 +117,12 @@ mod tests {
             let mb = mb10 as f64 / 10.0;
             for fc in [0.35, 0.65, 1.11, 1.57, 2.04] {
                 for fm in [0.8, 1.33, 1.87] {
-                    v.push(PowerSample { mb, fc_ghz: fc, fm_ghz: fm, watts: cpu_truth(mb, fc) });
+                    v.push(PowerSample {
+                        mb,
+                        fc_ghz: fc,
+                        fm_ghz: fm,
+                        watts: cpu_truth(mb, fc),
+                    });
                 }
             }
         }
@@ -131,7 +136,10 @@ mod tests {
             for fc in [0.5, 1.0, 2.0] {
                 let pred = m.predict_w(mb, fc);
                 let real = cpu_truth(mb, fc);
-                assert!((pred - real).abs() / real < 0.02, "mb={mb} fc={fc}: {pred} vs {real}");
+                assert!(
+                    (pred - real).abs() / real < 0.02,
+                    "mb={mb} fc={fc}: {pred} vs {real}"
+                );
             }
         }
     }
@@ -145,8 +153,7 @@ mod tests {
     fn mem_truth(mb: f64, fc: f64, fm: f64) -> f64 {
         // In-basis part plus a small mb*fc*fm triple product the basis lacks,
         // emulating realistic structural mismatch.
-        0.1 + 0.5 * mb + 0.2 * mb * fc + 0.15 * mb * fm + 0.05 * fc * fm
-            + 0.02 * mb * fc * fm
+        0.1 + 0.5 * mb + 0.2 * mb * fc + 0.15 * mb * fm + 0.05 * fc * fm + 0.02 * mb * fc * fm
     }
 
     fn mem_samples() -> Vec<PowerSample> {
@@ -155,7 +162,12 @@ mod tests {
             let mb = mb10 as f64 / 10.0;
             for fc in [0.35, 0.65, 1.11, 1.57, 2.04] {
                 for fm in [0.8, 1.33, 1.87] {
-                    v.push(PowerSample { mb, fc_ghz: fc, fm_ghz: fm, watts: mem_truth(mb, fc, fm) });
+                    v.push(PowerSample {
+                        mb,
+                        fc_ghz: fc,
+                        fm_ghz: fm,
+                        watts: mem_truth(mb, fc, fm),
+                    });
                 }
             }
         }

@@ -83,7 +83,9 @@ impl<'m> Profiler<'m> {
                 (fm_ghz * 1e6) as u64,
                 rep as u64,
             ];
-            let s = self.machine.execute(&bench.shape, tc, nc_count, fc_ghz, fm_ghz, &ctx, &keys);
+            let s = self
+                .machine
+                .execute(&bench.shape, tc, nc_count, fc_ghz, fm_ghz, &ctx, &keys);
             t += s.duration.as_secs_f64();
             pc += s.cpu_dyn_w;
             pm += s.mem_dyn_w;
@@ -95,8 +97,7 @@ impl<'m> Profiler<'m> {
     /// Full campaign: every synthetic benchmark at every configuration.
     pub fn profile_all(&self, space: &ConfigSpace) -> Vec<ProfileRecord> {
         let benches = self.benches();
-        let mut out =
-            Vec::with_capacity(benches.len() * space.len());
+        let mut out = Vec::with_capacity(benches.len() * space.len());
         for (bi, bench) in benches.iter().enumerate() {
             for cfg in space.iter_all() {
                 let nc_count = space.nc_count(cfg.tc, cfg.nc);
@@ -130,7 +131,9 @@ mod tests {
         let space = ConfigSpace::from_spec(&m.spec);
         let recs = Profiler::new(&m).with_reps(1).profile_all(&space);
         assert_eq!(recs.len(), 41 * space.len());
-        assert!(recs.iter().all(|r| r.time_s > 0.0 && r.cpu_w >= 0.0 && r.mem_w >= 0.0));
+        assert!(recs
+            .iter()
+            .all(|r| r.time_s > 0.0 && r.cpu_w >= 0.0 && r.mem_w >= 0.0));
     }
 
     #[test]
@@ -163,7 +166,10 @@ mod tests {
             m.spec.fm_max_ghz(),
         );
         let err_many = (many.0 - truth).abs() / truth;
-        assert!(err_many < 0.01, "50-rep mean should be close to truth: {err_many}");
+        assert!(
+            err_many < 0.01,
+            "50-rep mean should be close to truth: {err_many}"
+        );
         // Single-shot error can be anything up to ~6%, but the repeated
         // measurement must be at least as close on average; just sanity-check
         // both are in range.

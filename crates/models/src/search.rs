@@ -85,10 +85,7 @@ impl<'a> EnergyEstimator<'a> {
             Objective::CpuEnergy => (self.tables.cpu_w(cfg) + cpu_idle / conc) * t,
             Objective::TotalEnergy => {
                 let mem_idle = self.idle.mem_idle_w(cfg.fm);
-                (self.tables.cpu_w(cfg)
-                    + self.tables.mem_w(cfg)
-                    + (cpu_idle + mem_idle) / conc)
-                    * t
+                (self.tables.cpu_w(cfg) + self.tables.mem_w(cfg) + (cpu_idle + mem_idle) / conc) * t
             }
         }
     }
@@ -135,14 +132,18 @@ pub fn exhaustive_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> Sea
                 let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
                 let e = est.energy_j(cfg);
                 stats.evaluations += 1;
-                if best.map_or(true, |(_, be)| e < be) {
+                if best.is_none_or(|(_, be)| e < be) {
                     best = Some((cfg, e));
                 }
             }
         }
     }
     let (config, energy_j) = best.expect("non-empty configuration space");
-    SearchOutcome { config, energy_j, stats }
+    SearchOutcome {
+        config,
+        energy_j,
+        stats,
+    }
 }
 
 /// Steepest-descent search (Fig. 7).
@@ -159,7 +160,10 @@ pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) 
     let corners: Vec<(FreqIndex, FreqIndex)> = if allow_mem_dvfs {
         space.freq_corners().to_vec()
     } else {
-        vec![(FreqIndex(0), space.fm_max()), (space.fc_max(), space.fm_max())]
+        vec![
+            (FreqIndex(0), space.fm_max()),
+            (space.fc_max(), space.fm_max()),
+        ]
     };
 
     // Step 1: corner energies per <TC,NC> (width-admissible pairs only).
@@ -172,16 +176,18 @@ pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) 
         }
     }
 
-    // Step 2: corner wins.
+    // Step 2: corner wins — for each corner, which <TC,NC> is cheapest.
     let mut wins = vec![0usize; tcnc.len()];
-    for ci in 0..corners.len() {
-        let mut best_ti = 0;
-        for ti in 1..tcnc.len() {
-            if corner_e[ti][ci] < corner_e[best_ti][ci] {
-                best_ti = ti;
+    let mut best = vec![0usize; corners.len()];
+    for (ti, row) in corner_e.iter().enumerate().skip(1) {
+        for (ci, &e) in row.iter().enumerate() {
+            if e < corner_e[best[ci]][ci] {
+                best[ci] = ti;
             }
         }
-        wins[best_ti] += 1;
+    }
+    for &ti in &best {
+        wins[ti] += 1;
     }
     let chosen_ti = (0..tcnc.len())
         .max_by(|&a, &b| {
@@ -197,7 +203,11 @@ pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) 
 
     // Step 3: hill-descent from the best corner of the chosen table.
     let best_corner = (0..corners.len())
-        .min_by(|&a, &b| corner_e[chosen_ti][a].partial_cmp(&corner_e[chosen_ti][b]).unwrap())
+        .min_by(|&a, &b| {
+            corner_e[chosen_ti][a]
+                .partial_cmp(&corner_e[chosen_ti][b])
+                .unwrap()
+        })
         .expect("corners non-empty");
     let (fc0, fm0) = corners[best_corner];
     let mut cur = KnobConfig::new(tc, nc, fc0, fm0);
@@ -226,7 +236,11 @@ pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) 
         cur_e = best_ne;
     }
 
-    SearchOutcome { config: cur, energy_j: cur_e, stats }
+    SearchOutcome {
+        config: cur,
+        energy_j: cur_e,
+        stats,
+    }
 }
 
 /// Constrained search (§5.2.2): starting from `base` (the unconstrained
@@ -256,10 +270,10 @@ pub fn constrained_search(
             let t = est.time_s(cfg);
             let e = est.energy_j(cfg);
             stats.evaluations += 1;
-            if t <= t_target && best.map_or(true, |(_, be)| e < be) {
+            if t <= t_target && best.is_none_or(|(_, be)| e < be) {
                 best = Some((cfg, e));
             }
-            if fastest.map_or(true, |(_, bt, _)| t < bt) {
+            if fastest.is_none_or(|(_, bt, _)| t < bt) {
                 fastest = Some((cfg, t, e));
             }
         }
@@ -268,7 +282,11 @@ pub fn constrained_search(
         let (cfg, _, e) = fastest.expect("non-empty table");
         (cfg, e)
     });
-    SearchOutcome { config, energy_j, stats }
+    SearchOutcome {
+        config,
+        energy_j,
+        stats,
+    }
 }
 
 /// The configuration with the minimum predicted time (the MAXP target).
@@ -282,14 +300,18 @@ pub fn fastest_config(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> Search
                 let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
                 let t = est.time_s(cfg);
                 stats.evaluations += 1;
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((cfg, t));
                 }
             }
         }
     }
     let (config, _) = best.expect("non-empty space");
-    SearchOutcome { config, energy_j: est.energy_j(config), stats }
+    SearchOutcome {
+        config,
+        energy_j: est.energy_j(config),
+        stats,
+    }
 }
 
 #[cfg(test)]

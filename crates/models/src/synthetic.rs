@@ -112,10 +112,20 @@ mod tests {
     fn extremes_are_pure() {
         let m = MachineModel::tx2_noiseless();
         let benches = synthetic_shapes(&m);
-        assert!(benches[0].shape.work_gops.abs() < 1e-12, "0% compute has no work");
-        assert!(benches[40].shape.bytes_gb.abs() < 1e-12, "100% compute has no traffic");
+        assert!(
+            benches[0].shape.work_gops.abs() < 1e-12,
+            "0% compute has no work"
+        );
+        assert!(
+            benches[40].shape.bytes_gb.abs() < 1e-12,
+            "100% compute has no traffic"
+        );
         for b in &benches {
-            assert!(b.shape.is_valid(), "shape must be valid at frac {}", b.compute_frac);
+            assert!(
+                b.shape.is_valid(),
+                "shape must be valid at frac {}",
+                b.compute_frac
+            );
         }
     }
 }

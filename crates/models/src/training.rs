@@ -76,7 +76,9 @@ impl ModelSet {
     /// characterization).
     pub fn train(machine: &MachineModel, cfg: TrainingConfig) -> Self {
         let space = ConfigSpace::from_spec(&machine.spec);
-        let records = Profiler::new(machine).with_reps(cfg.reps).profile_all(&space);
+        let records = Profiler::new(machine)
+            .with_reps(cfg.reps)
+            .profile_all(&space);
         Self::train_from_records(machine, &space, cfg, &records)
     }
 
@@ -101,7 +103,9 @@ impl ModelSet {
             let t_at = |bench: usize, fc: FreqIndex, fm: FreqIndex| -> f64 {
                 records
                     .iter()
-                    .find(|r| r.tc == tc && r.nc == nc && r.bench == bench && r.fc == fc && r.fm == fm)
+                    .find(|r| {
+                        r.tc == tc && r.nc == nc && r.bench == bench && r.fc == fc && r.fm == fm
+                    })
                     .map(|r| r.time_s)
                     .expect("profiling campaign must cover all configurations")
             };
@@ -271,7 +275,10 @@ mod tests {
                 worst = worst.max((pred - real).abs() / real);
             }
         }
-        assert!(worst < 0.15, "worst perf rel err {worst} (paper: ~3% mean on real hw)");
+        assert!(
+            worst < 0.15,
+            "worst perf rel err {worst} (paper: ~3% mean on real hw)"
+        );
         let _ = machine;
     }
 

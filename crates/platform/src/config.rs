@@ -50,11 +50,15 @@ impl fmt::Display for CoreType {
 }
 
 /// Index into a frequency table (CPU cluster table or memory table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct FreqIndex(pub usize);
 
 /// Index into the per-core-type table of valid core counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct NcIndex(pub usize);
 
 /// One point in the four-knob configuration space.
@@ -171,7 +175,12 @@ impl ConfigSpace {
         let fc_hi = self.fc_max();
         let fm_lo = FreqIndex(0);
         let fm_hi = self.fm_max();
-        [(fc_lo, fm_lo), (fc_lo, fm_hi), (fc_hi, fm_lo), (fc_hi, fm_hi)]
+        [
+            (fc_lo, fm_lo),
+            (fc_lo, fm_hi),
+            (fc_hi, fm_lo),
+            (fc_hi, fm_hi),
+        ]
     }
 
     /// Immediate `<fC, fM>` grid neighbours of a configuration (4-connected),
@@ -179,16 +188,28 @@ impl ConfigSpace {
     pub fn freq_neighbours(&self, cfg: KnobConfig) -> Vec<KnobConfig> {
         let mut out = Vec::with_capacity(4);
         if cfg.fc.0 > 0 {
-            out.push(KnobConfig { fc: FreqIndex(cfg.fc.0 - 1), ..cfg });
+            out.push(KnobConfig {
+                fc: FreqIndex(cfg.fc.0 - 1),
+                ..cfg
+            });
         }
         if cfg.fc.0 + 1 < self.cpu_freqs_ghz.len() {
-            out.push(KnobConfig { fc: FreqIndex(cfg.fc.0 + 1), ..cfg });
+            out.push(KnobConfig {
+                fc: FreqIndex(cfg.fc.0 + 1),
+                ..cfg
+            });
         }
         if cfg.fm.0 > 0 {
-            out.push(KnobConfig { fm: FreqIndex(cfg.fm.0 - 1), ..cfg });
+            out.push(KnobConfig {
+                fm: FreqIndex(cfg.fm.0 - 1),
+                ..cfg
+            });
         }
         if cfg.fm.0 + 1 < self.mem_freqs_ghz.len() {
-            out.push(KnobConfig { fm: FreqIndex(cfg.fm.0 + 1), ..cfg });
+            out.push(KnobConfig {
+                fm: FreqIndex(cfg.fm.0 + 1),
+                ..cfg
+            });
         }
         out
     }

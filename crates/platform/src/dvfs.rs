@@ -107,7 +107,11 @@ impl DvfsController {
         if serialized {
             self.n_serialized += 1;
         }
-        DvfsRequest { effective_at: effective, serialized, transitioned: true }
+        DvfsRequest {
+            effective_at: effective,
+            serialized,
+            transitioned: true,
+        }
     }
 
     /// Drop timeline entries strictly older than `horizon` (keeping the one
@@ -127,7 +131,10 @@ impl DvfsController {
     /// All pending transition times after `now` (for the engine to schedule
     /// power-recomputation events).
     pub fn pending_after(&self, now: SimTime) -> impl Iterator<Item = SimTime> + '_ {
-        self.timeline.iter().map(|&(t, _)| t).filter(move |&t| t > now)
+        self.timeline
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(move |&t| t > now)
     }
 }
 
@@ -152,7 +159,10 @@ mod tests {
         let r = c.request(FreqIndex(0), SimTime::from_secs_f64(1.0));
         assert!(r.transitioned);
         assert!(!r.serialized);
-        assert_eq!(r.effective_at, SimTime::from_secs_f64(1.0) + Duration::from_micros(100));
+        assert_eq!(
+            r.effective_at,
+            SimTime::from_secs_f64(1.0) + Duration::from_micros(100)
+        );
         // Before effective: old frequency.
         assert_eq!(c.freq_at(SimTime::from_secs_f64(1.00005)), FreqIndex(2));
         // After: new frequency.

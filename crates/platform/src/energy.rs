@@ -68,7 +68,10 @@ mod tests {
         assert!((acc.cpu_j - 10.0).abs() < 1e-9);
         assert!((acc.mem_j - 10.0).abs() < 1e-9);
         assert!((acc.total_j() - 20.0).abs() < 1e-9);
-        assert!(acc.sampling_rel_error() < 1e-6, "constant power samples exactly");
+        assert!(
+            acc.sampling_rel_error() < 1e-6,
+            "constant power samples exactly"
+        );
         assert!((acc.makespan_s - 5.0).abs() < 1e-12);
     }
 

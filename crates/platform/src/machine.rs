@@ -58,7 +58,11 @@ pub struct TaskShape {
 impl TaskShape {
     /// A shape with the given work and traffic and near-linear scalability.
     pub fn new(work_gops: f64, bytes_gb: f64) -> Self {
-        TaskShape { work_gops, bytes_gb, scal_alpha: 0.95 }
+        TaskShape {
+            work_gops,
+            bytes_gb,
+            scal_alpha: 0.95,
+        }
     }
 
     /// Set the moldable scalability exponent.
@@ -100,7 +104,9 @@ pub struct ExecContext {
 impl ExecContext {
     /// A task running alone on the machine.
     pub fn alone() -> Self {
-        ExecContext { other_demand_gbs: 0.0 }
+        ExecContext {
+            other_demand_gbs: 0.0,
+        }
     }
 }
 
@@ -129,7 +135,9 @@ pub struct MachineParams {
 
 impl Default for MachineParams {
     fn default() -> Self {
-        MachineParams { task_overhead_s: 3.0e-6 }
+        MachineParams {
+            task_overhead_s: 3.0e-6,
+        }
     }
 }
 
@@ -221,6 +229,9 @@ impl MachineModel {
     ///
     /// `keys` identifies the measurement context (task uid, invocation count,
     /// configuration) for deterministic noise.
+    // The oracle call mirrors the paper's knob tuple <shape, TC, NC, fC, fM>
+    // plus interference context and noise keys; bundling them would obscure it.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute(
         &self,
         shape: &TaskShape,
@@ -236,7 +247,11 @@ impl MachineModel {
         let t_comp = self.compute_time_s(shape, tc, nc, fc_ghz);
         let t_stall = self.stall_time_s(shape, tc, nc, fc_ghz, fm_ghz, ctx);
         let t_clean = t_comp + t_stall + self.params.task_overhead_s;
-        let mb = if t_clean > 0.0 { t_stall / t_clean } else { 0.0 };
+        let mb = if t_clean > 0.0 {
+            t_stall / t_clean
+        } else {
+            0.0
+        };
 
         let duration_s = t_clean * self.noise.factor(Quantity::Time, keys);
 
@@ -246,15 +261,21 @@ impl MachineModel {
         let cl = self.spec.cluster(tc);
         let v = self.spec.voltage(tc, fc_ghz);
         let activity = (1.0 - mb) + STALL_ACTIVITY * mb;
-        let cpu_dyn = nc as f64 * (cl.c_dyn * v * v * fc_ghz * activity + cl.active_base_w)
+        let cpu_dyn = nc as f64
+            * (cl.c_dyn * v * v * fc_ghz * activity + cl.active_base_w)
             * self.noise.factor(Quantity::CpuPower, keys);
 
         // Memory dynamic power: per-byte energy at the achieved bandwidth,
         // mildly increasing with memory frequency (higher-rate I/O costs more
         // per bit), matching the paper's Fig. 5b trends.
-        let achieved_bw = if t_clean > 0.0 { shape.bytes_gb / t_clean } else { 0.0 };
+        let achieved_bw = if t_clean > 0.0 {
+            shape.bytes_gb / t_clean
+        } else {
+            0.0
+        };
         let fm_rel = fm_ghz / self.spec.fm_max_ghz();
-        let e_gb = self.spec.mem_energy_j_per_gb * (1.0 - MEM_E_FM_COUPLING + MEM_E_FM_COUPLING * fm_rel);
+        let e_gb =
+            self.spec.mem_energy_j_per_gb * (1.0 - MEM_E_FM_COUPLING + MEM_E_FM_COUPLING * fm_rel);
         let mem_dyn = e_gb * achieved_bw * self.noise.factor(Quantity::MemPower, keys);
 
         ExecSample {
@@ -311,7 +332,10 @@ mod tests {
         let s = TaskShape::new(1.0, 0.0);
         let t_hi = m.compute_time_s(&s, CoreType::Big, 1, 2.035);
         let t_lo = m.compute_time_s(&s, CoreType::Big, 1, 1.0175);
-        assert!((t_lo / t_hi - 2.0).abs() < 1e-9, "compute time must scale ~linearly with fC");
+        assert!(
+            (t_lo / t_hi - 2.0).abs() < 1e-9,
+            "compute time must scale ~linearly with fC"
+        );
     }
 
     #[test]
@@ -323,7 +347,10 @@ mod tests {
         let tb = m.clean_time_s(&s, CoreType::Big, 1, fc, fm, &ctx);
         let tl = m.clean_time_s(&s, CoreType::Little, 1, fc, fm, &ctx);
         let ratio = tl / tb;
-        assert!(ratio > 2.5 && ratio < 4.5, "big/little compute ratio {ratio} out of TX2 range");
+        assert!(
+            ratio > 2.5 && ratio < 4.5,
+            "big/little compute ratio {ratio} out of TX2 range"
+        );
     }
 
     #[test]
@@ -344,7 +371,10 @@ mod tests {
         let ctx = ExecContext::default();
         let t_hi = m.stall_time_s(&s, CoreType::Big, 1, 2.035, 1.866, &ctx);
         let t_lo = m.stall_time_s(&s, CoreType::Big, 1, 0.345, 1.866, &ctx);
-        assert!(t_lo > t_hi * 1.5, "low fC should throttle memory issue rate");
+        assert!(
+            t_lo > t_hi * 1.5,
+            "low fC should throttle memory issue rate"
+        );
     }
 
     #[test]
@@ -358,8 +388,16 @@ mod tests {
         let mc = TaskShape::new(0.0335, 0.268);
         let smm = m.execute(&mm, CoreType::Big, 1, fc, fm, &ctx, &[1]);
         let smc = m.execute(&mc, CoreType::Big, 1, fc, fm, &ctx, &[2]);
-        assert!(smm.true_mb < 0.15, "MM tile should be compute-bound, mb={}", smm.true_mb);
-        assert!(smc.true_mb > 0.6, "MC tile should be memory-bound, mb={}", smc.true_mb);
+        assert!(
+            smm.true_mb < 0.15,
+            "MM tile should be compute-bound, mb={}",
+            smm.true_mb
+        );
+        assert!(
+            smc.true_mb > 0.6,
+            "MC tile should be memory-bound, mb={}",
+            smc.true_mb
+        );
     }
 
     #[test]
@@ -367,9 +405,15 @@ mod tests {
         let m = m();
         let s = TaskShape::new(1.0, 0.01);
         let ctx = ExecContext::default();
-        let p1 = m.execute(&s, CoreType::Little, 1, 1.113, 1.866, &ctx, &[3]).cpu_dyn_w;
-        let p2 = m.execute(&s, CoreType::Little, 2, 1.113, 1.866, &ctx, &[3]).cpu_dyn_w;
-        let p_hi = m.execute(&s, CoreType::Little, 1, 2.035, 1.866, &ctx, &[3]).cpu_dyn_w;
+        let p1 = m
+            .execute(&s, CoreType::Little, 1, 1.113, 1.866, &ctx, &[3])
+            .cpu_dyn_w;
+        let p2 = m
+            .execute(&s, CoreType::Little, 2, 1.113, 1.866, &ctx, &[3])
+            .cpu_dyn_w;
+        let p_hi = m
+            .execute(&s, CoreType::Little, 1, 2.035, 1.866, &ctx, &[3])
+            .cpu_dyn_w;
         assert!(p2 > p1 * 1.8, "two cores should draw ~2x power");
         assert!(p_hi > p1 * 2.0, "V^2*f scaling should be superlinear in f");
     }
@@ -381,7 +425,9 @@ mod tests {
         let compute = TaskShape::new(1.0, 0.0001);
         let ctx = ExecContext::default();
         let (fc, fm) = max_cfg(&m);
-        let p = m.execute(&compute, CoreType::Little, 2, fc, fm, &ctx, &[4]).cpu_dyn_w
+        let p = m
+            .execute(&compute, CoreType::Little, 2, fc, fm, &ctx, &[4])
+            .cpu_dyn_w
             + m.cluster_idle_w(CoreType::Little, fc);
         assert!(p > 0.5 && p < 2.5, "little x2 max power {p} out of range");
     }
@@ -393,9 +439,16 @@ mod tests {
         let compute = TaskShape::new(1.0, 0.0001);
         let ctx = ExecContext::default();
         let (fc, fm) = max_cfg(&m);
-        let p_stream = m.execute(&stream, CoreType::Big, 2, fc, fm, &ctx, &[5]).mem_dyn_w;
-        let p_compute = m.execute(&compute, CoreType::Big, 2, fc, fm, &ctx, &[5]).mem_dyn_w;
-        assert!(p_stream > 5.0 * p_compute.max(1e-9), "streaming harder on memory rail");
+        let p_stream = m
+            .execute(&stream, CoreType::Big, 2, fc, fm, &ctx, &[5])
+            .mem_dyn_w;
+        let p_compute = m
+            .execute(&compute, CoreType::Big, 2, fc, fm, &ctx, &[5])
+            .mem_dyn_w;
+        assert!(
+            p_stream > 5.0 * p_compute.max(1e-9),
+            "streaming harder on memory rail"
+        );
         let idle_hi = m.mem_idle_w(1.866);
         let idle_lo = m.mem_idle_w(0.800);
         assert!(idle_hi > idle_lo, "memory background power grows with fM");
@@ -415,7 +468,9 @@ mod tests {
             1,
             fc,
             fm,
-            &ExecContext { other_demand_gbs: 4.0 },
+            &ExecContext {
+                other_demand_gbs: 4.0,
+            },
         );
         // 40 GB/s of background traffic: saturated, proportional sharing.
         let heavy = m.clean_time_s(
@@ -424,10 +479,18 @@ mod tests {
             1,
             fc,
             fm,
-            &ExecContext { other_demand_gbs: 40.0 },
+            &ExecContext {
+                other_demand_gbs: 40.0,
+            },
         );
-        assert!(light < heavy, "saturation must hurt more than light sharing");
-        assert!(heavy > 1.5 * alone, "heavy contention must slow streaming tasks");
+        assert!(
+            light < heavy,
+            "saturation must hurt more than light sharing"
+        );
+        assert!(
+            heavy > 1.5 * alone,
+            "heavy contention must slow streaming tasks"
+        );
         assert!(light < 1.3 * alone, "light sharing must be near-free");
     }
 
@@ -453,8 +516,8 @@ mod tests {
         let (fc, fm) = max_cfg(&clean);
         let a = noisy.execute(&s, CoreType::Big, 1, fc, fm, &ctx, &[7, 1]);
         let b = clean.execute(&s, CoreType::Big, 1, fc, fm, &ctx, &[7, 1]);
-        let rel = (a.duration.as_secs_f64() - b.duration.as_secs_f64()).abs()
-            / b.duration.as_secs_f64();
+        let rel =
+            (a.duration.as_secs_f64() - b.duration.as_secs_f64()).abs() / b.duration.as_secs_f64();
         assert!(rel < 0.15, "time noise should be small, rel={rel}");
         assert_ne!(a.duration, b.duration);
     }
@@ -470,7 +533,9 @@ mod tests {
 
     #[test]
     fn ops_per_byte_reflects_intensity() {
-        assert!(TaskShape::new(1.0, 0.001).ops_per_byte() > TaskShape::new(0.001, 1.0).ops_per_byte());
+        assert!(
+            TaskShape::new(1.0, 0.001).ops_per_byte() > TaskShape::new(0.001, 1.0).ops_per_byte()
+        );
         assert_eq!(TaskShape::new(1.0, 0.0).ops_per_byte(), f64::INFINITY);
     }
 }

@@ -92,12 +92,22 @@ impl NoiseModel {
     /// with the structural mismatch between the quadratic regression form and
     /// the ground-truth machine model.
     pub fn calibrated(seed: u64) -> Self {
-        NoiseModel { seed, sigma_time: 0.02, sigma_cpu_power: 0.06, sigma_mem_power: 0.30 }
+        NoiseModel {
+            seed,
+            sigma_time: 0.02,
+            sigma_cpu_power: 0.06,
+            sigma_mem_power: 0.30,
+        }
     }
 
     /// Noise disabled — measurements equal the analytic ground truth.
     pub fn disabled(seed: u64) -> Self {
-        NoiseModel { seed, sigma_time: 0.0, sigma_cpu_power: 0.0, sigma_mem_power: 0.0 }
+        NoiseModel {
+            seed,
+            sigma_time: 0.0,
+            sigma_cpu_power: 0.0,
+            sigma_mem_power: 0.0,
+        }
     }
 
     /// Multiplicative factor (mean 1) for a quantity measured under a keyed
@@ -171,7 +181,12 @@ mod tests {
 
     #[test]
     fn factors_stay_clamped() {
-        let n = NoiseModel { seed: 5, sigma_time: 0.8, sigma_cpu_power: 0.8, sigma_mem_power: 0.8 };
+        let n = NoiseModel {
+            seed: 5,
+            sigma_time: 0.8,
+            sigma_cpu_power: 0.8,
+            sigma_mem_power: 0.8,
+        };
         for i in 0..5_000 {
             let f = n.factor(Quantity::Time, &[i]);
             assert!((0.5..=1.5).contains(&f));

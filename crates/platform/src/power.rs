@@ -89,9 +89,9 @@ impl PowerTrace {
     pub fn set(&mut self, at: SimTime, watts: RailPowers) {
         debug_assert!(at >= self.now, "power trace time went backwards");
         let dt = at.since(self.now).as_secs_f64();
-        for i in 0..3 {
-            debug_assert!(watts[i] >= 0.0, "negative rail power");
-            self.energy_j[i] += self.current[i] * dt;
+        for ((e, &w), &held) in self.energy_j.iter_mut().zip(&watts).zip(&self.current) {
+            debug_assert!(w >= 0.0, "negative rail power");
+            *e += held * dt;
         }
         self.now = at;
         self.current = watts;
@@ -183,8 +183,8 @@ impl PowerSensor {
         while self.next_sample <= now {
             let watts = read(self.next_sample);
             let dt = self.period.as_secs_f64();
-            for i in 0..3 {
-                self.energy_j[i] += watts[i] * dt;
+            for (e, &w) in self.energy_j.iter_mut().zip(&watts) {
+                *e += w * dt;
             }
             self.n_samples += 1;
             self.next_sample += self.period;

@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub u64);
 
 impl SimTime {
@@ -34,7 +38,10 @@ impl SimTime {
 
     /// Elapsed span since `earlier`. Panics (in debug) if `earlier` is later.
     pub fn since(self, earlier: SimTime) -> Duration {
-        debug_assert!(self >= earlier, "time went backwards: {self:?} < {earlier:?}");
+        debug_assert!(
+            self >= earlier,
+            "time went backwards: {self:?} < {earlier:?}"
+        );
         Duration(self.0.saturating_sub(earlier.0))
     }
 }

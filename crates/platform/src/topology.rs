@@ -192,7 +192,10 @@ impl PlatformSpec {
                 return Err(format!("cluster {:?} has zero cores", c.core_type));
             }
             if c.ipc <= 0.0 || c.c_dyn <= 0.0 || c.core_bw_gbs <= 0.0 {
-                return Err(format!("cluster {:?} has non-positive parameters", c.core_type));
+                return Err(format!(
+                    "cluster {:?} has non-positive parameters",
+                    c.core_type
+                ));
             }
             if c.v_min > c.v_max {
                 return Err(format!("cluster {:?} has v_min > v_max", c.core_type));

@@ -61,7 +61,11 @@ mod tests {
     fn ring_coupling_is_valid() {
         let g = alya(Scale::Divided(100));
         g.check_invariants().unwrap();
-        assert!((g.dop() - PARTITIONS as f64).abs() < 2.0, "dop {} ~ partitions", g.dop());
+        assert!(
+            (g.dop() - PARTITIONS as f64).abs() < 2.0,
+            "dop {} ~ partitions",
+            g.dop()
+        );
     }
 
     #[test]

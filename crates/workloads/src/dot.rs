@@ -34,8 +34,9 @@ pub fn dot(scale: Scale) -> TaskGraph {
     let mut prev_reduce: Option<TaskId> = None;
     for _ in 0..iters {
         let deps: Vec<TaskId> = prev_reduce.into_iter().collect();
-        let blocks: Vec<TaskId> =
-            (0..BLOCKS).map(|_| b.add_task(block, &deps).expect("valid")).collect();
+        let blocks: Vec<TaskId> = (0..BLOCKS)
+            .map(|_| b.add_task(block, &deps).expect("valid"))
+            .collect();
         prev_reduce = Some(b.add_task(reduce, &blocks).expect("valid"));
     }
     b.build("DP").expect("non-empty")

@@ -41,7 +41,8 @@ fn build_rec(b: &mut TaskGraphBuilder, kernel: KernelId, term: usize) -> TaskId 
         let left = build_rec(b, kernel, term - 1);
         let right = build_rec(b, kernel, term - 2);
         // Interior: a join that just adds two numbers.
-        b.add_task_scaled(kernel, 0.01, &[left, right]).expect("valid")
+        b.add_task_scaled(kernel, 0.01, &[left, right])
+            .expect("valid")
     }
 }
 
@@ -49,9 +50,7 @@ fn build_rec(b: &mut TaskGraphBuilder, kernel: KernelId, term: usize) -> TaskId 
 pub fn fib(scale: Scale) -> TaskGraph {
     let mut b = TaskGraphBuilder::new();
     // A leaf computes fib(GRAIN-1) recursively: ~11M calls of a few ops.
-    let kernel = b.add_kernel(
-        KernelSpec::new("fib", TaskShape::new(0.012, 2e-5)).rigid(),
-    );
+    let kernel = b.add_kernel(KernelSpec::new("fib", TaskShape::new(0.012, 2e-5)).rigid());
     build_rec(&mut b, kernel, term_for(scale));
     b.build("FB").expect("non-empty")
 }

@@ -66,9 +66,9 @@ pub fn heat(size: HeatSize, scale: Scale) -> TaskGraph {
 
     let iters = scale.apply(size.full_tasks() / (2 * BLOCKS), 12);
     let mut b = TaskGraphBuilder::new();
-    let jacobi =
-        b.add_kernel(KernelSpec::new("jacobi", TaskShape::new(jacobi_work, jacobi_bytes))
-            .with_scalability(0.85));
+    let jacobi = b.add_kernel(
+        KernelSpec::new("jacobi", TaskShape::new(jacobi_work, jacobi_bytes)).with_scalability(0.85),
+    );
     let copy = b.add_kernel(
         KernelSpec::new("copy", TaskShape::new(copy_work, copy_bytes)).with_scalability(0.5),
     );

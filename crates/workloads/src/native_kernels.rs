@@ -69,13 +69,7 @@ pub fn fib_leaf(n: u64) -> u64 {
 /// CSR sparse matrix-vector product (the AL spmv kernel).
 ///
 /// `row_ptr` has `rows + 1` entries; `col_idx`/`values` hold the nonzeros.
-pub fn spmv_csr(
-    row_ptr: &[usize],
-    col_idx: &[usize],
-    values: &[f64],
-    x: &[f64],
-    y: &mut [f64],
-) {
+pub fn spmv_csr(row_ptr: &[usize], col_idx: &[usize], values: &[f64], x: &[f64], y: &mut [f64]) {
     assert_eq!(row_ptr.len(), y.len() + 1);
     assert_eq!(col_idx.len(), values.len());
     for (i, out) in y.iter_mut().enumerate() {
@@ -195,7 +189,11 @@ mod tests {
         let orig: Vec<f64> = (0..n * n)
             .map(|i| {
                 let (r, c) = (i / n, i % n);
-                if r == c { 10.0 + r as f64 } else { ((r * 3 + c) % 4) as f64 * 0.5 }
+                if r == c {
+                    10.0 + r as f64
+                } else {
+                    ((r * 3 + c) % 4) as f64 * 0.5
+                }
             })
             .collect();
         let mut a = orig.clone();

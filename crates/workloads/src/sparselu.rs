@@ -30,7 +30,9 @@ fn grid_for(scale: Scale) -> usize {
 
 /// Tasks generated for a grid dimension `n` (dense lower-right updates).
 pub fn task_count(n: usize) -> usize {
-    (0..n).map(|k| 1 + 2 * (n - 1 - k) + (n - 1 - k) * (n - 1 - k)).sum()
+    (0..n)
+        .map(|k| 1 + 2 * (n - 1 - k) + (n - 1 - k) * (n - 1 - k))
+        .sum()
 }
 
 /// Build the sparse-LU DAG.
@@ -40,8 +42,11 @@ pub fn sparselu(scale: Scale) -> TaskGraph {
     let blk_bytes = (BS * BS * 8) as f64;
     let mut b = TaskGraphBuilder::new();
     let lu0 = b.add_kernel(
-        KernelSpec::new("lu0", TaskShape::new(2.0 / 3.0 * flop / 1e9, blk_bytes / 1e9))
-            .with_scalability(0.7),
+        KernelSpec::new(
+            "lu0",
+            TaskShape::new(2.0 / 3.0 * flop / 1e9, blk_bytes / 1e9),
+        )
+        .with_scalability(0.7),
     );
     let fwd = b.add_kernel(
         KernelSpec::new("fwd", TaskShape::new(flop / 1e9, 2.0 * blk_bytes / 1e9))
@@ -52,8 +57,11 @@ pub fn sparselu(scale: Scale) -> TaskGraph {
             .with_scalability(0.85),
     );
     let bmod = b.add_kernel(
-        KernelSpec::new("bmod", TaskShape::new(2.0 * flop / 1e9, 3.0 * blk_bytes / 1e9))
-            .with_scalability(0.95),
+        KernelSpec::new(
+            "bmod",
+            TaskShape::new(2.0 * flop / 1e9, 3.0 * blk_bytes / 1e9),
+        )
+        .with_scalability(0.95),
     );
 
     // Last writer of each block, for dependence tracking.
@@ -62,17 +70,17 @@ pub fn sparselu(scale: Scale) -> TaskGraph {
         let deps: Vec<TaskId> = writer[k][k].into_iter().collect();
         let lu = b.add_task(lu0, &deps).expect("valid");
         writer[k][k] = Some(lu);
-        for j in (k + 1)..n {
+        for slot in writer[k].iter_mut().skip(k + 1) {
             let mut deps = vec![lu];
-            deps.extend(writer[k][j]);
+            deps.extend(*slot);
             let t = b.add_task(fwd, &deps).expect("valid");
-            writer[k][j] = Some(t);
+            *slot = Some(t);
         }
-        for i in (k + 1)..n {
+        for row in writer.iter_mut().skip(k + 1) {
             let mut deps = vec![lu];
-            deps.extend(writer[i][k]);
+            deps.extend(row[k]);
             let t = b.add_task(bdiv, &deps).expect("valid");
-            writer[i][k] = Some(t);
+            row[k] = Some(t);
         }
         for i in (k + 1)..n {
             for j in (k + 1)..n {

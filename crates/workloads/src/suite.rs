@@ -16,22 +16,26 @@ pub struct BenchInstance {
 
 impl BenchInstance {
     fn new(graph: TaskGraph) -> Self {
-        BenchInstance { label: graph.name().to_string(), graph }
+        BenchInstance {
+            label: graph.name().to_string(),
+            graph,
+        }
     }
 }
 
 /// The 21 benchmark instances of Fig. 8, in the paper's x-axis order.
 pub fn fig8_suite(scale: Scale) -> Vec<BenchInstance> {
-    let mut v = Vec::new();
-    v.push(BenchInstance::new(heat::heat(HeatSize::Small, scale)));
-    v.push(BenchInstance::new(heat::heat(HeatSize::Big, scale)));
-    v.push(BenchInstance::new(heat::heat(HeatSize::Huge, scale)));
-    v.push(BenchInstance::new(dot::dot(scale)));
-    v.push(BenchInstance::new(fib::fib(scale)));
-    v.push(BenchInstance::new(vgg::vgg(scale)));
-    v.push(BenchInstance::new(biomarker::biomarker(scale)));
-    v.push(BenchInstance::new(alya::alya(scale)));
-    v.push(BenchInstance::new(sparselu::sparselu(scale)));
+    let mut v = vec![
+        BenchInstance::new(heat::heat(HeatSize::Small, scale)),
+        BenchInstance::new(heat::heat(HeatSize::Big, scale)),
+        BenchInstance::new(heat::heat(HeatSize::Huge, scale)),
+        BenchInstance::new(dot::dot(scale)),
+        BenchInstance::new(fib::fib(scale)),
+        BenchInstance::new(vgg::vgg(scale)),
+        BenchInstance::new(biomarker::biomarker(scale)),
+        BenchInstance::new(alya::alya(scale)),
+        BenchInstance::new(sparselu::sparselu(scale)),
+    ];
     for (n, dop) in [(256, 4), (256, 16), (512, 4), (512, 16)] {
         v.push(BenchInstance::new(matmul::matmul(n, dop, scale)));
     }

@@ -23,9 +23,8 @@ pub fn vgg(scale: Scale) -> TaskGraph {
     let mut b = TaskGraphBuilder::new();
     // Conv tile: 3x3 kernel over a 64x64 tile with ~64 channels:
     // ~2*64*64*9*64 = 4.7 Mflop; activations stream through.
-    let conv = b.add_kernel(
-        KernelSpec::new("conv", TaskShape::new(0.047, 0.0021)).with_scalability(0.9),
-    );
+    let conv =
+        b.add_kernel(KernelSpec::new("conv", TaskShape::new(0.047, 0.0021)).with_scalability(0.9));
     // FC slice: matrix-vector product, weight-streaming (memory heavy).
     let fc =
         b.add_kernel(KernelSpec::new("fc", TaskShape::new(0.008, 0.016)).with_scalability(0.6));
@@ -37,8 +36,9 @@ pub fn vgg(scale: Scale) -> TaskGraph {
         for (li, &w) in CONV_WIDTHS.iter().chain(FC_WIDTHS.iter()).enumerate() {
             let kernel = if li < CONV_WIDTHS.len() { conv } else { fc };
             let deps: Vec<TaskId> = barrier.into_iter().collect();
-            let tiles: Vec<TaskId> =
-                (0..w).map(|_| b.add_task(kernel, &deps).expect("valid")).collect();
+            let tiles: Vec<TaskId> = (0..w)
+                .map(|_| b.add_task(kernel, &deps).expect("valid"))
+                .collect();
             barrier = Some(b.add_task(join, &tiles).expect("valid"));
         }
     }

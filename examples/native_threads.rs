@@ -13,8 +13,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
     let kernel = KernelSpec::new("hash", TaskShape::new(0.001, 0.0));
-    let graph = generators::fork_join("pipeline", &[kernel.clone()], kernel, 20, 64);
-    println!("DAG: {} tasks, {} edges, dop {:.1}", graph.n_tasks(), graph.n_edges(), graph.dop());
+    let graph = generators::fork_join(
+        "pipeline",
+        std::slice::from_ref(&kernel),
+        kernel.clone(),
+        20,
+        64,
+    );
+    println!(
+        "DAG: {} tasks, {} edges, dop {:.1}",
+        graph.n_tasks(),
+        graph.n_edges(),
+        graph.dop()
+    );
 
     let checksum = AtomicU64::new(0);
     for workers in [1, 2, 4] {

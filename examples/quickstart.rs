@@ -5,11 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use joss::dag::{generators, KernelSpec};
 use joss::models::{ModelSet, TrainingConfig};
 use joss::platform::{ConfigSpace, MachineModel, TaskShape};
 use joss::runtime::engine::{EngineConfig, SimEngine};
 use joss::runtime::sched::{GrwsSched, ModelSched};
-use joss::dag::{generators, KernelSpec};
 use std::sync::Arc;
 
 fn main() {
@@ -27,8 +27,14 @@ fn main() {
 
     // 2. One-time characterization: profile 41 synthetic benchmarks at every
     //    configuration and fit the MPR performance/power models (paper §4).
-    println!("training models (41 synthetics x {} configs x 10 reps)...", space.len());
-    let models = Arc::new(ModelSet::train(&machine, TrainingConfig::tx2_default(&space)));
+    println!(
+        "training models (41 synthetics x {} configs x 10 reps)...",
+        space.len()
+    );
+    let models = Arc::new(ModelSet::train(
+        &machine,
+        TrainingConfig::tx2_default(&space),
+    ));
 
     // 3. An application: 512 matrix-multiply tiles with moderate parallelism.
     let kernel = KernelSpec::new("mm_tile", TaskShape::new(0.0335, 0.0016));

@@ -16,7 +16,10 @@ fn main() {
     let ctx = ExperimentContext::new(7);
     let graph = matmul::matmul(512, 4, Scale::Divided(200));
 
-    let cfg = EngineConfig { record_trace: true, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        record_trace: true,
+        ..EngineConfig::default()
+    };
     let mut grws = GrwsSched::new();
     let base = SimEngine::run(&ctx.machine, &graph, &mut grws, cfg.clone());
     let mut joss = ModelSched::joss(ctx.models.clone());
@@ -30,7 +33,10 @@ fn main() {
             trace.makespan_s(),
             100.0 * trace.utilization(ctx.machine.spec.total_cores())
         );
-        print!("{}", trace.ascii_timeline(ctx.machine.spec.total_cores(), 100));
+        print!(
+            "{}",
+            trace.ascii_timeline(ctx.machine.spec.total_cores(), 100)
+        );
         let path = format!("trace_{}.json", report.scheduler.to_lowercase());
         std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
         println!("chrome trace written to {path}");

@@ -14,10 +14,17 @@ fn main() {
     let graph = stencil::stencil(2048, 8, Scale::Divided(100));
 
     let joss = run_one(&ctx, SchedulerKind::Joss, &graph, 7);
-    println!("\n{:<12} {:>10} {:>10} {:>8} {:>8}", "target", "energy [J]", "time [s]", "E/E0", "T0/T");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>8} {:>8}",
+        "target", "energy [J]", "time [s]", "E/E0", "T0/T"
+    );
     println!(
         "{:<12} {:>10.3} {:>10.3} {:>8.2} {:>8.2}",
-        "min-energy", joss.total_j(), joss.energy.makespan_s, 1.0, 1.0
+        "min-energy",
+        joss.total_j(),
+        joss.energy.makespan_s,
+        1.0,
+        1.0
     );
     for speedup in [1.1, 1.2, 1.4, 1.6, 1.8] {
         let r = run_one(&ctx, SchedulerKind::JossSpeedup(speedup), &graph, 7);

@@ -27,7 +27,12 @@ fn every_scheduler_completes_every_task() {
         Box::new(ModelSched::joss_maxp(ctx.models.clone())),
     ];
     for sched in &mut scheds {
-        let report = SimEngine::run(&ctx.machine, &graph, sched.as_mut(), EngineConfig::default());
+        let report = SimEngine::run(
+            &ctx.machine,
+            &graph,
+            sched.as_mut(),
+            EngineConfig::default(),
+        );
         assert_eq!(report.tasks, n, "{} left tasks behind", report.scheduler);
         assert!(report.total_j() > 0.0);
         assert!(report.energy.makespan_s > 0.0);
@@ -40,12 +45,19 @@ fn runs_are_deterministic_for_a_seed() {
     let graph = matmul::matmul(256, 4, Scale::Divided(200));
     let run = |seed: u64| {
         let mut sched = ModelSched::joss(ctx.models.clone());
-        let cfg = EngineConfig { seed, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        };
         SimEngine::run(&ctx.machine, &graph, &mut sched, cfg)
     };
     let a = run(7);
     let b = run(7);
-    assert_eq!(a.total_j(), b.total_j(), "same seed must reproduce bit-identical energy");
+    assert_eq!(
+        a.total_j(),
+        b.total_j(),
+        "same seed must reproduce bit-identical energy"
+    );
     assert_eq!(a.energy.makespan_s, b.energy.makespan_s);
     assert_eq!(a.steals, b.steals);
     let c = run(8);
@@ -84,7 +96,10 @@ fn joss_selects_low_memory_frequency_for_compute_bound_kernels() {
     let graph = matmul::matmul(512, 4, Scale::Divided(100));
     let mut joss = ModelSched::joss(ctx.models.clone());
     let report = SimEngine::run(&ctx.machine, &graph, &mut joss, EngineConfig::default());
-    let cfg = report.selected_configs.get("mm_tile").expect("mm_tile configured");
+    let cfg = report
+        .selected_configs
+        .get("mm_tile")
+        .expect("mm_tile configured");
     assert!(
         cfg.fm < ctx.space.fm_max(),
         "compute-bound kernel should not need max memory frequency, got {}",
@@ -99,7 +114,11 @@ fn no_mem_dvfs_variant_pins_memory_at_max() {
     let mut sched = ModelSched::joss_no_mem_dvfs(ctx.models.clone());
     let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
     for (k, cfg) in &report.selected_configs {
-        assert_eq!(cfg.fm, ctx.space.fm_max(), "kernel {k} moved fM without the knob");
+        assert_eq!(
+            cfg.fm,
+            ctx.space.fm_max(),
+            "kernel {k} moved fM without the knob"
+        );
     }
 }
 
@@ -157,7 +176,10 @@ fn pinned_configs_execute_on_requested_cluster() {
     let mut sched = FixedSched::new(cfg);
     let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
     assert_eq!(report.tasks_per_type[CoreType::Big.index()], 0);
-    assert_eq!(report.tasks_per_type[CoreType::Little.index()], graph.n_tasks());
+    assert_eq!(
+        report.tasks_per_type[CoreType::Little.index()],
+        graph.n_tasks()
+    );
 }
 
 #[test]

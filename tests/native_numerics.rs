@@ -46,8 +46,9 @@ fn parallel_blocked_matmul_matches_sequential() {
     }
     let graph = builder.build("blocked_mm").unwrap();
 
-    let c_tiles: Vec<Mutex<Vec<f64>>> =
-        (0..nb * nb).map(|_| Mutex::new(vec![0.0; ts * ts])).collect();
+    let c_tiles: Vec<Mutex<Vec<f64>>> = (0..nb * nb)
+        .map(|_| Mutex::new(vec![0.0; ts * ts]))
+        .collect();
     NativeExecutor::new(4).execute(&graph, |t| {
         let (i, j, k) = task_of[&t];
         let at = tile(&a, i, k);
@@ -98,7 +99,9 @@ fn jacobi_dag_is_worker_count_invariant() {
         let graph = builder.build("jacobi2").unwrap();
 
         let grid = Mutex::new(
-            (0..rows * cols).map(|i| ((i * 31) % 17) as f64).collect::<Vec<f64>>(),
+            (0..rows * cols)
+                .map(|i| ((i * 31) % 17) as f64)
+                .collect::<Vec<f64>>(),
         );
         let scratch = Mutex::new(vec![0.0; rows * cols]);
         NativeExecutor::new(workers).execute(&graph, |t| {

@@ -95,7 +95,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut last_effective = SimTime::ZERO;
         for &target in &targets {
-            t = t + Duration::from_micros(37);
+            t += Duration::from_micros(37);
             let r = c.request(FreqIndex(target), t);
             last_effective = last_effective.max(r.effective_at);
         }

@@ -1,0 +1,67 @@
+//! Workspace-wiring smoke tests: the `joss` facade re-exports resolve and
+//! every binary/example target in the workspace compiles.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Every facade module (`runtime`, `dag`, `models`, `platform`, `workloads`,
+/// `experiments`) resolves and the layers interoperate end to end.
+#[test]
+fn facade_reexports_resolve() {
+    use joss::{dag, models, platform, runtime, workloads};
+
+    // platform → dag → runtime: run a tiny DAG through the engine.
+    let machine = platform::MachineModel::tx2(7);
+    let kernel = dag::KernelSpec::new("smoke", platform::TaskShape::new(0.001, 0.0001));
+    let graph = dag::generators::independent("smoke_bag", kernel, 8);
+    let mut sched = runtime::sched::GrwsSched::new();
+    let report = runtime::engine::SimEngine::run(
+        &machine,
+        &graph,
+        &mut sched,
+        runtime::engine::EngineConfig::default(),
+    );
+    assert_eq!(report.tasks, 8);
+    assert!(report.total_j() > 0.0);
+
+    // models: Eq. 3 MB estimation is reachable through the facade.
+    let mb = models::estimate_mb(1.0, 2.035, 1.2, 1.113);
+    assert!((0.0..=1.0).contains(&mb));
+
+    // workloads: the Table-1 scale type is reachable through the facade.
+    assert_eq!(workloads::Scale::Divided(100).apply(1000, 10), 10);
+
+    // experiments: the scheduler inventory is reachable through the facade.
+    let _kind = joss::experiments::SchedulerKind::Joss;
+}
+
+/// The nine experiment binaries and seven examples are all present and
+/// `cargo build --bins --examples` compiles them. The build is incremental
+/// on top of the test build, so this mostly validates target wiring.
+#[test]
+fn all_bins_and_examples_compile() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+
+    let count = |dir: &str| {
+        std::fs::read_dir(root.join(dir))
+            .unwrap_or_else(|e| panic!("missing {dir}: {e}"))
+            .filter(|e| {
+                e.as_ref()
+                    .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "rs"))
+            })
+            .count()
+    };
+    assert_eq!(
+        count("crates/experiments/src/bin"),
+        9,
+        "expected the nine experiment binaries"
+    );
+    assert_eq!(count("examples"), 7, "expected the seven examples");
+
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "--workspace", "--bins", "--examples", "--offline"])
+        .current_dir(root)
+        .status()
+        .expect("failed to invoke cargo");
+    assert!(status.success(), "cargo build --bins --examples failed");
+}

@@ -1,0 +1,182 @@
+//! Vendored API-subset stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface this workspace's benches use:
+//! `Criterion::{bench_function, benchmark_group}`, `BenchmarkGroup`
+//! configuration, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! timed loop (median-of-samples reporting, no statistics engine or HTML
+//! reports). Sample counts are deliberately small so `cargo bench`
+//! terminates quickly. Swap for the real crates-io `criterion` when
+//! building with network access.
+
+use std::time::{Duration, Instant};
+
+/// Measured throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Re-export of the standard black box, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    last_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.last_ns.clear();
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.last_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut v = self.last_ns.clone();
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+fn human_time(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.median_ns();
+    let mut line = format!("{id:<40} time: {}", human_time(ns));
+    if let (Some(tp), true) = (throughput, ns > 0) {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (ns as f64 / 1e9);
+        line.push_str(&format!("  thrpt: {rate:.0} {unit}"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.default_samples,
+            last_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(&id, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Named group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(&id, &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: entry point running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Vendored API-subset stand-in for `crossbeam`.
+//!
+//! Implements the `deque` module surface the native executor uses
+//! (`Injector`, `Worker`, `Stealer`, `Steal`) over mutex-protected
+//! `VecDeque`s. Semantics match the lock-free originals (FIFO worker
+//! queues, stealable from both the global injector and peers); only the
+//! performance differs. Swap for the real crates-io `crossbeam` when
+//! building with network access.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam::deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Success(T),
+        Empty,
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// Global FIFO injector queue, mirroring `crossbeam::deque::Injector`.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Pop one task for the caller and move a small batch into `dest`.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap();
+            match q.pop_front() {
+                None => Steal::Empty,
+                Some(first) => {
+                    // Move up to half the remainder (capped) into the local
+                    // worker, as the real injector does.
+                    let batch = (q.len() / 2).min(16);
+                    let mut local = dest.inner.lock().unwrap();
+                    for _ in 0..batch {
+                        match q.pop_front() {
+                            Some(t) => local.push_back(t),
+                            None => break,
+                        }
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+
+    /// Worker-local FIFO deque, mirroring `crossbeam::deque::Worker`.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// Handle for stealing from another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_batch_moves_work_to_local() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            assert!(!w.is_empty(), "batch steal should refill the local deque");
+        }
+
+        #[test]
+        fn stealer_sees_worker_pushes() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(7usize);
+            assert_eq!(s.steal(), Steal::Success(7));
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+    }
+}

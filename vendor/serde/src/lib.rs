@@ -1,0 +1,14 @@
+//! Vendored API-subset stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and their derive
+//! macros so the workspace's annotations compile offline. The traits are
+//! markers only — no data format ships in this workspace yet. Swap for the
+//! real crates-io `serde` when building with network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (derive expands to nothing).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (derive expands to nothing).
+pub trait Deserialize<'de> {}
