@@ -1,0 +1,46 @@
+//! Campaign executor throughput: the same spec grid at 1 worker vs all
+//! cores, so `cargo bench` shows the sweep subsystem's parallel speedup
+//! (and catches determinism regressions — the records must agree).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joss_bench::shared_context;
+use joss_sweep::{default_threads, to_jsonl, Campaign, SchedulerKind, SpecGrid, Workload};
+use joss_workloads::{fig8_suite, Scale};
+use std::hint::black_box;
+
+fn grid() -> Vec<joss_sweep::RunSpec> {
+    SpecGrid::new()
+        .workloads(
+            fig8_suite(Scale::Divided(400))
+                .into_iter()
+                .take(7)
+                .map(Workload::from),
+        )
+        .schedulers([SchedulerKind::Grws, SchedulerKind::Joss])
+        .seeds([42])
+        .build()
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let ctx = shared_context();
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.sample_size(10);
+    let baseline = Campaign::with_threads(1).run(ctx, grid());
+    for threads in [1, default_threads()] {
+        g.bench_function(format!("grid7x2_t{threads}"), |b| {
+            b.iter(|| {
+                let records = Campaign::with_threads(threads).run(ctx, grid());
+                assert_eq!(
+                    to_jsonl(&records),
+                    to_jsonl(&baseline),
+                    "thread-count invariance violated"
+                );
+                black_box(records)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sweep, bench_campaign);
+criterion_main!(sweep);

@@ -45,7 +45,14 @@ pub struct EngineConfig {
     /// starting with a degraded width, microseconds.
     pub mold_patience_us: u64,
     /// Record a full execution trace (task spans + DVFS transitions) into
-    /// the run report. Off by default: traces grow with task count.
+    /// the run report.
+    ///
+    /// **Off by default, and keep it off for batch runs**: the trace holds
+    /// one span per task, so memory grows linearly with task count (a
+    /// full-scale FB run is ~57k spans), and it lives inside the returned
+    /// [`RunReport`] for as long as the report does. Campaign executors
+    /// (`joss-sweep`) hold every report of a grid in memory at once, so
+    /// they force this off unless a spec opts in per-run.
     pub record_trace: bool,
     /// Deadlock/livelock guard: abort if virtual time exceeds this.
     pub max_virtual_time_s: f64,
@@ -59,6 +66,17 @@ impl Default for EngineConfig {
             mold_patience_us: 500,
             record_trace: false,
             max_virtual_time_s: 1.0e6,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default config with an explicit RNG seed — the one-field override
+    /// every experiment run starts from.
+    pub fn with_seed(seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            ..EngineConfig::default()
         }
     }
 }

@@ -18,11 +18,16 @@ pub struct FixedSched {
 }
 
 impl FixedSched {
-    /// Pin all tasks to `config`.
+    /// Pin all tasks to `config`. The reported name is the compact
+    /// `Fixed<TC,nc,fc,fm>` index form, matching the sweep layer's
+    /// `SchedulerKind::Fixed` display so record labels never drift.
     pub fn new(config: KnobConfig) -> Self {
         FixedSched {
             config,
-            name: format!("Fixed{config:?}"),
+            name: format!(
+                "Fixed<{:?},{},{},{}>",
+                config.tc, config.nc.0, config.fc.0, config.fm.0
+            ),
         }
     }
 

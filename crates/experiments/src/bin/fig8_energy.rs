@@ -1,14 +1,16 @@
 //! Regenerates Fig. 8: total energy across schedulers, normalized to GRWS.
 //!
-//! Usage: `fig8_energy [--full | --scale N] [--seed S] [--verbose]`
+//! Usage: `fig8_energy [--full | --scale N] [--seed S] [--threads T]`
 
-use joss_experiments::{fig8, ExperimentContext};
+use joss_experiments::{fig8, Campaign, ExperimentContext};
+use joss_sweep::default_threads;
 use joss_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::Divided(100);
     let mut seed = 42u64;
+    let mut threads = default_threads();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,6 +23,10 @@ fn main() {
                 i += 1;
                 seed = args[i].parse().expect("seed");
             }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("thread count");
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -32,6 +38,6 @@ fn main() {
         Scale::Divided(d) => (1.0 / d as f64).max(0.005),
     };
     let ctx = ExperimentContext::new(seed);
-    let result = fig8::run(&ctx, scale, seed, slice);
+    let result = fig8::run_with(&Campaign::with_threads(threads), &ctx, scale, seed, slice);
     print!("{}", result.render());
 }

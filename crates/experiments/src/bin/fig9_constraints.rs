@@ -1,14 +1,16 @@
 //! Regenerates Fig. 9: JOSS under performance constraints.
 //!
-//! Usage: `fig9_constraints [--full | --scale N] [--seed S]`
+//! Usage: `fig9_constraints [--full | --scale N] [--seed S] [--threads T]`
 
-use joss_experiments::{fig9, ExperimentContext};
+use joss_experiments::{fig9, Campaign, ExperimentContext};
+use joss_sweep::default_threads;
 use joss_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::Divided(100);
     let mut seed = 42u64;
+    let mut threads = default_threads();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,11 +23,15 @@ fn main() {
                 i += 1;
                 seed = args[i].parse().expect("seed");
             }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("thread count");
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
     let ctx = ExperimentContext::new(seed);
-    let result = fig9::run(&ctx, scale, seed);
+    let result = fig9::run_with(&Campaign::with_threads(threads), &ctx, scale, seed);
     print!("{}", result.render());
 }

@@ -1,9 +1,12 @@
 //! Umbrella reproduction binary: runs every experiment of the paper and
 //! writes the outputs under `results/`.
 //!
-//! Usage: `joss_repro [--full | --scale N] [--seed S] [--out DIR]`
+//! Usage: `joss_repro [--full | --scale N] [--seed S] [--threads T] [--out DIR]`
 
-use joss_experiments::{fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, ExperimentContext};
+use joss_experiments::{
+    fig1, fig10, fig2, fig5, fig8, fig9, overhead, table1, Campaign, ExperimentContext,
+};
+use joss_sweep::default_threads;
 use joss_workloads::Scale;
 use std::fs;
 use std::path::PathBuf;
@@ -12,6 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::Divided(50);
     let mut seed = 42u64;
+    let mut threads = default_threads();
     let mut out_dir = PathBuf::from("results");
     let mut i = 1;
     while i < args.len() {
@@ -24,6 +28,10 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = args[i].parse().expect("seed");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("thread count");
             }
             "--out" => {
                 i += 1;
@@ -38,6 +46,7 @@ fn main() {
         Scale::Full => 1.0,
         Scale::Divided(d) => (1.0 / d as f64).max(0.005),
     };
+    let campaign = Campaign::with_threads(threads);
 
     eprintln!("[joss_repro] characterizing platform + training models...");
     let ctx = ExperimentContext::new(seed);
@@ -49,29 +58,38 @@ fn main() {
     };
 
     eprintln!("[joss_repro] Table 1...");
-    save("table1.txt", table1::run().render());
+    save("table1.txt", table1::run_with(threads).render());
     eprintln!("[joss_repro] Fig. 1...");
     save(
         "fig1.txt",
-        fig1::run(&ctx, Scale::Divided(100), seed).render(&ctx),
+        fig1::run_with(&campaign, &ctx, Scale::Divided(100), seed).render(&ctx),
     );
     eprintln!("[joss_repro] Fig. 2...");
     save(
         "fig2.txt",
-        fig2::run(&ctx, Scale::Divided(100), seed).render(&ctx),
+        fig2::run_with(&campaign, &ctx, Scale::Divided(100), seed).render(&ctx),
     );
     eprintln!("[joss_repro] Fig. 5...");
-    save("fig5.txt", fig5::run(&ctx).render());
-    eprintln!("[joss_repro] Fig. 8 (21 benchmarks x 6 schedulers)...");
-    save("fig8.txt", fig8::run(&ctx, scale, seed, slice).render());
+    save("fig5.txt", fig5::run_with(threads, &ctx).render());
+    eprintln!("[joss_repro] Fig. 8 (21 benchmarks x 6 schedulers, {threads} threads)...");
+    save(
+        "fig8.txt",
+        fig8::run_with(&campaign, &ctx, scale, seed, slice).render(),
+    );
     eprintln!("[joss_repro] Fig. 9 (constraints)...");
-    save("fig9.txt", fig9::run(&ctx, scale, seed).render());
+    save(
+        "fig9.txt",
+        fig9::run_with(&campaign, &ctx, scale, seed).render(),
+    );
     eprintln!("[joss_repro] Fig. 10 (model accuracy)...");
-    save("fig10.txt", fig10::run(&ctx, Scale::Divided(200)).render());
+    save(
+        "fig10.txt",
+        fig10::run_with(threads, &ctx, Scale::Divided(200)).render(),
+    );
     eprintln!("[joss_repro] §7.4 (overheads)...");
     save(
         "sec74_overhead.txt",
-        overhead::run(&ctx, Scale::Divided(200)).render(),
+        overhead::run_with(threads, &ctx, Scale::Divided(200)).render(),
     );
     eprintln!("[joss_repro] done; outputs in {}", out_dir.display());
 }

@@ -12,14 +12,13 @@
 //! that configuration and measuring rail energies, exactly like the paper's
 //! exhaustive platform runs.
 
-use crate::context::ExperimentContext;
-use joss_core::engine::{EngineConfig, SimEngine};
-use joss_core::sched::FixedSched;
 use joss_dag::TaskGraph;
 use joss_platform::{EnergyAccount, KnobConfig};
+use joss_sweep::{Campaign, EngineSpec, ExperimentContext, RunSpec, SchedulerKind, Workload};
 use joss_workloads::{matcopy, matmul, Scale};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Result of one scenario on one benchmark.
 #[derive(Debug, Clone)]
@@ -48,24 +47,41 @@ pub struct Fig1 {
     pub benches: Vec<Fig1Bench>,
 }
 
-/// Sweep the whole configuration space for a benchmark, measuring energy at
-/// every pinned configuration.
+/// Sweep the whole configuration space for a benchmark on all available
+/// cores, measuring energy at every pinned configuration.
 pub fn sweep(
     ctx: &ExperimentContext,
     graph: &TaskGraph,
     seed: u64,
 ) -> HashMap<KnobConfig, EnergyAccount> {
-    let mut out = HashMap::new();
-    for cfg in ctx.space.iter_all() {
-        let mut sched = FixedSched::new(cfg);
-        let engine = EngineConfig {
-            seed,
-            ..EngineConfig::default()
-        };
-        let report = SimEngine::run(&ctx.machine, graph, &mut sched, engine);
-        out.insert(cfg, report.energy);
-    }
-    out
+    sweep_with(&Campaign::new(), ctx, graph, seed)
+}
+
+/// Exhaustive pinned-configuration sweep as a campaign: one
+/// [`SchedulerKind::Fixed`] spec per `<TC,NC,fC,fM>` point, all sharing one
+/// graph, fanned out by `campaign`.
+pub fn sweep_with(
+    campaign: &Campaign,
+    ctx: &ExperimentContext,
+    graph: &TaskGraph,
+    seed: u64,
+) -> HashMap<KnobConfig, EnergyAccount> {
+    let shared = Arc::new(graph.clone());
+    let configs: Vec<KnobConfig> = ctx.space.iter_all().collect();
+    let specs = configs
+        .iter()
+        .map(|&cfg| RunSpec {
+            workload: Workload::shared(shared.name().to_string(), shared.clone()),
+            scheduler: SchedulerKind::Fixed(cfg),
+            engine: EngineSpec::seeded(seed),
+        })
+        .collect();
+    let records = campaign.run(ctx, specs);
+    configs
+        .into_iter()
+        .zip(records)
+        .map(|(cfg, rec)| (cfg, rec.report.energy))
+        .collect()
 }
 
 fn argmin_by<F: Fn(&EnergyAccount) -> f64>(
@@ -122,14 +138,19 @@ fn scenarios(
     ]
 }
 
-/// Run the Fig. 1 experiment.
+/// Run the Fig. 1 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig1 {
+    run_with(&Campaign::new(), ctx, scale, seed)
+}
+
+/// Run the Fig. 1 experiment with an explicit campaign executor.
+pub fn run_with(campaign: &Campaign, ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig1 {
     let mut benches = Vec::new();
     for graph in [
         matmul::matmul(256, 1, scale),
         matcopy::matcopy(4096, 1, scale),
     ] {
-        let sw = sweep(ctx, &graph, seed);
+        let sw = sweep_with(campaign, ctx, &graph, seed);
         benches.push(Fig1Bench {
             label: graph.name().to_string(),
             scenarios: scenarios(ctx, &sw),

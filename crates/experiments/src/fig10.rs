@@ -7,9 +7,9 @@
 //! configuration of the four-knob space. Accuracy = `1 - |real - pred| /
 //! real`, averaged per benchmark; the figure reports the distribution.
 
-use crate::context::ExperimentContext;
 use joss_models::{accuracy, AccuracyStats};
 use joss_platform::ExecContext;
+use joss_sweep::{default_threads, ordered_parallel_map, ExperimentContext};
 use joss_workloads::{fig8_suite, Scale};
 use std::fmt::Write as _;
 
@@ -24,14 +24,17 @@ pub struct Fig10 {
     pub mem: Vec<f64>,
 }
 
-/// Run the Fig. 10 experiment.
+/// Run the Fig. 10 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
+    run_with(default_threads(), ctx, scale)
+}
+
+/// Run the Fig. 10 experiment: each benchmark's sample/predict/compare
+/// cycle is independent, so benchmarks fan out over `threads` workers.
+pub fn run_with(threads: usize, ctx: &ExperimentContext, scale: Scale) -> Fig10 {
     let suite = fig8_suite(scale);
     let ectx = ExecContext::alone();
-    let mut perf = Vec::new();
-    let mut cpu = Vec::new();
-    let mut mem = Vec::new();
-    for (bi, bench) in suite.iter().enumerate() {
+    let per_bench = ordered_parallel_map(threads, &suite, |bi, bench| {
         let mut acc_p = Vec::new();
         let mut acc_c = Vec::new();
         let mut acc_m = Vec::new();
@@ -129,9 +132,15 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Fig10 {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        perf.push(mean(&acc_p));
-        cpu.push(mean(&acc_c));
-        mem.push(mean(&acc_m));
+        (mean(&acc_p), mean(&acc_c), mean(&acc_m))
+    });
+    let mut perf = Vec::with_capacity(per_bench.len());
+    let mut cpu = Vec::with_capacity(per_bench.len());
+    let mut mem = Vec::with_capacity(per_bench.len());
+    for (p, c, m) in per_bench {
+        perf.push(p);
+        cpu.push(c);
+        mem.push(m);
     }
     Fig10 { perf, cpu, mem }
 }

@@ -2,9 +2,9 @@
 //! minimum-energy configuration toward the fastest one and recording the
 //! measured energy and execution time at each step.
 
-use crate::context::ExperimentContext;
-use crate::fig1::sweep;
+use crate::fig1::sweep_with;
 use joss_platform::{EnergyAccount, FreqIndex, KnobConfig, NcIndex};
+use joss_sweep::{Campaign, ExperimentContext};
 use joss_workloads::{matcopy, matmul, Scale};
 use std::fmt::Write as _;
 
@@ -33,14 +33,22 @@ pub struct Fig2 {
     pub benches: Vec<Fig2Bench>,
 }
 
-/// Run the Fig. 2 experiment.
+/// Run the Fig. 2 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig2 {
+    run_with(&Campaign::new(), ctx, scale, seed)
+}
+
+/// Run the Fig. 2 experiment with an explicit campaign executor (the
+/// underlying exhaustive sweep is a [`SchedulerKind::Fixed`] campaign).
+///
+/// [`SchedulerKind::Fixed`]: joss_sweep::SchedulerKind::Fixed
+pub fn run_with(campaign: &Campaign, ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig2 {
     let mut benches = Vec::new();
     for graph in [
         matmul::matmul(256, 1, scale),
         matcopy::matcopy(4096, 1, scale),
     ] {
-        let sw = sweep(ctx, &graph, seed);
+        let sw = sweep_with(campaign, ctx, &graph, seed);
         // Start from the joint minimum-energy configuration.
         let (start, _) = sw
             .iter()

@@ -2,9 +2,9 @@
 //! three memory-boundness levels (2%, 36%, 72%) on two little (A57) cores,
 //! across all 15 `<fC, fM>` combinations.
 
-use crate::context::ExperimentContext;
 use joss_models::Profiler;
 use joss_platform::CoreType;
+use joss_sweep::{default_threads, ordered_parallel_map, ExperimentContext};
 use std::fmt::Write as _;
 
 /// One measured point.
@@ -32,32 +32,42 @@ pub struct Fig5 {
 /// The paper's three MB levels.
 pub const MB_LEVELS: [f64; 3] = [0.02, 0.36, 0.72];
 
-/// Run the Fig. 5 experiment.
+/// Run the Fig. 5 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext) -> Fig5 {
+    run_with(default_threads(), ctx)
+}
+
+/// Run the Fig. 5 experiment: every `(MB level, fC, fM)` measurement point
+/// is an independent unit, fanned out over `threads` workers in the
+/// paper's point order.
+pub fn run_with(threads: usize, ctx: &ExperimentContext) -> Fig5 {
     let profiler = Profiler::new(&ctx.machine);
     let benches = profiler.benches();
-    let mut points = Vec::new();
+    // Point grid: per MB level, fC descending within each fM group,
+    // matching the paper's x-axis.
+    let mut grid = Vec::new();
     for &mb in &MB_LEVELS {
         // Synthetic index whose compute fraction matches 1 - MB.
         let idx = (((1.0 - mb) / 0.025).round() as usize).min(benches.len() - 1);
-        let bench = &benches[idx];
-        // fC descending within each fM group, matching the paper's x-axis.
         for fm in (0..ctx.space.mem_freqs_ghz.len()).rev() {
             for fc in (0..ctx.space.cpu_freqs_ghz.len()).rev() {
-                let fc_ghz = ctx.space.cpu_freqs_ghz[fc];
-                let fm_ghz = ctx.space.mem_freqs_ghz[fm];
-                let (_, cpu_dyn, mem_dyn) =
-                    profiler.measure(idx, bench, CoreType::Little, 2, fc_ghz, fm_ghz);
-                points.push(Fig5Point {
-                    mb,
-                    fc_ghz,
-                    fm_ghz,
-                    cpu_w: cpu_dyn + ctx.machine.cluster_idle_w(CoreType::Little, fc_ghz),
-                    mem_w: mem_dyn + ctx.machine.mem_idle_w(fm_ghz),
-                });
+                grid.push((mb, idx, fm, fc));
             }
         }
     }
+    let points = ordered_parallel_map(threads, &grid, |_, &(mb, idx, fm, fc)| {
+        let fc_ghz = ctx.space.cpu_freqs_ghz[fc];
+        let fm_ghz = ctx.space.mem_freqs_ghz[fm];
+        let (_, cpu_dyn, mem_dyn) =
+            profiler.measure(idx, &benches[idx], CoreType::Little, 2, fc_ghz, fm_ghz);
+        Fig5Point {
+            mb,
+            fc_ghz,
+            fm_ghz,
+            cpu_w: cpu_dyn + ctx.machine.cluster_idle_w(CoreType::Little, fc_ghz),
+            mem_w: mem_dyn + ctx.machine.mem_idle_w(fm_ghz),
+        }
+    });
     Fig5 { points }
 }
 

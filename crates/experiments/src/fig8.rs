@@ -2,9 +2,10 @@
 //! and JOSS_NoMemDVFS across the 21 benchmark instances, normalized to
 //! GRWS (lower is better).
 
-use crate::context::ExperimentContext;
-use crate::runner::{run_one, SchedulerKind};
 use joss_core::metrics::RunReport;
+use joss_sweep::{
+    rows_by_workload, Campaign, ExperimentContext, SchedulerKind, SpecGrid, Workload,
+};
 use joss_workloads::{fig8_suite, Scale};
 use std::fmt::Write as _;
 
@@ -89,25 +90,30 @@ impl Fig8 {
     }
 }
 
-/// Run the Fig. 8 experiment.
+/// Run the Fig. 8 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64, aequitas_slice_s: f64) -> Fig8 {
+    run_with(&Campaign::new(), ctx, scale, seed, aequitas_slice_s)
+}
+
+/// Run the Fig. 8 experiment: a {21 benchmarks} × {6 schedulers} spec grid
+/// executed by `campaign`, re-chunked into per-benchmark rows.
+pub fn run_with(
+    campaign: &Campaign,
+    ctx: &ExperimentContext,
+    scale: Scale,
+    seed: u64,
+    aequitas_slice_s: f64,
+) -> Fig8 {
     let kinds = SchedulerKind::fig8_set(aequitas_slice_s);
-    let suite = fig8_suite(scale);
-    let mut rows = Vec::with_capacity(suite.len());
-    let mut schedulers = Vec::new();
-    for bench in &suite {
-        let mut reports = Vec::with_capacity(kinds.len());
-        for &kind in &kinds {
-            let rep = run_one(ctx, kind, &bench.graph, seed);
-            if schedulers.len() < kinds.len() {
-                schedulers.push(rep.scheduler.clone());
-            }
-            reports.push(rep);
-        }
-        rows.push(Fig8Row {
-            label: bench.label.clone(),
-            reports,
-        });
-    }
+    let specs = SpecGrid::new()
+        .workloads(fig8_suite(scale).into_iter().map(Workload::from))
+        .schedulers(kinds.iter().copied())
+        .seeds([seed])
+        .build();
+    let (schedulers, rows) = rows_by_workload(campaign.run(ctx, specs), kinds.len());
+    let rows = rows
+        .into_iter()
+        .map(|(label, reports)| Fig8Row { label, reports })
+        .collect();
     Fig8 { schedulers, rows }
 }

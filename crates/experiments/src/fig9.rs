@@ -2,9 +2,10 @@
 //! constraints: JOSS+1.2X, +1.4X, +1.8X and MAXP, with energy and execution
 //! time normalized to unconstrained JOSS.
 
-use crate::context::ExperimentContext;
-use crate::runner::{run_one, SchedulerKind};
 use joss_core::metrics::RunReport;
+use joss_sweep::{
+    rows_by_workload, Campaign, ExperimentContext, SchedulerKind, SpecGrid, Workload,
+};
 use joss_workloads::{fig9_suite, Scale};
 use std::fmt::Write as _;
 
@@ -37,26 +38,25 @@ pub fn kinds() -> Vec<SchedulerKind> {
     ]
 }
 
-/// Run the Fig. 9 experiment.
+/// Run the Fig. 9 experiment on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig9 {
-    let suite = fig9_suite(scale);
+    run_with(&Campaign::new(), ctx, scale, seed)
+}
+
+/// Run the Fig. 9 experiment: a {21 benchmarks} × {5 constraint settings}
+/// spec grid executed by `campaign`.
+pub fn run_with(campaign: &Campaign, ctx: &ExperimentContext, scale: Scale, seed: u64) -> Fig9 {
     let kinds = kinds();
-    let mut rows = Vec::new();
-    let mut schedulers = Vec::new();
-    for bench in &suite {
-        let mut reports = Vec::new();
-        for &kind in &kinds {
-            let rep = run_one(ctx, kind, &bench.graph, seed);
-            if schedulers.len() < kinds.len() {
-                schedulers.push(rep.scheduler.clone());
-            }
-            reports.push(rep);
-        }
-        rows.push(Fig9Row {
-            label: bench.label.clone(),
-            reports,
-        });
-    }
+    let specs = SpecGrid::new()
+        .workloads(fig9_suite(scale).into_iter().map(Workload::from))
+        .schedulers(kinds.iter().copied())
+        .seeds([seed])
+        .build();
+    let (schedulers, rows) = rows_by_workload(campaign.run(ctx, specs), kinds.len());
+    let rows = rows
+        .into_iter()
+        .map(|(label, reports)| Fig9Row { label, reports })
+        .collect();
     Fig9 { schedulers, rows }
 }
 

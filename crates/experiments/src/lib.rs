@@ -15,8 +15,17 @@
 //! | [`fig9`] | Fig. 9 — energy under performance constraints |
 //! | [`fig10`] | Fig. 10 — model accuracy distributions |
 //! | [`overhead`] | §7.4 — search and storage overhead analysis |
+//!
+//! Every module routes its runs through the `joss-sweep` campaign
+//! subsystem: engine-driven experiments build declarative
+//! [`SpecGrid`](joss_sweep::SpecGrid)s and post-process the ordered
+//! [`RunRecord`](joss_sweep::RunRecord)s; analysis-style experiments fan
+//! their independent units out with
+//! [`ordered_parallel_map`](joss_sweep::ordered_parallel_map). Each `run()`
+//! uses one worker per available core; the `run_with()` variants take an
+//! explicit [`Campaign`](joss_sweep::Campaign) or thread count. Results are
+//! deterministic and identical for any worker count.
 
-pub mod context;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;
@@ -24,8 +33,6 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod overhead;
-pub mod runner;
 pub mod table1;
 
-pub use context::ExperimentContext;
-pub use runner::{run_one, SchedulerKind};
+pub use joss_sweep::{run_one, Campaign, ExperimentContext, SchedulerKind};

@@ -2,12 +2,12 @@
 //! quality, and the per-kernel lookup-table storage footprint, on the TX2
 //! and on a larger hypothetical platform.
 
-use crate::context::ExperimentContext;
 use joss_models::{
     exhaustive_search, steepest_descent_search, EnergyEstimator, ModelSet, Objective,
     TrainingConfig,
 };
 use joss_platform::{ExecContext, MachineModel, NoiseModel, PlatformSpec};
+use joss_sweep::{default_threads, ordered_parallel_map, ExperimentContext};
 use joss_workloads::{fig8_suite, Scale};
 use std::fmt::Write as _;
 
@@ -126,24 +126,43 @@ fn clean_samples(
         .collect()
 }
 
-/// Run the §7.4 analysis.
+/// Run the §7.4 analysis on all available cores.
 pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
+    run_with(default_threads(), ctx, scale)
+}
+
+/// Run the §7.4 analysis: each kernel's search comparison is independent,
+/// so kernels fan out over `threads` workers in suite order.
+pub fn run_with(threads: usize, ctx: &ExperimentContext, scale: Scale) -> Overhead {
     // TX2: every kernel of the evaluation suite.
-    let mut tx2 = Vec::new();
-    for bench in fig8_suite(scale) {
-        for kernel in bench.graph.kernels() {
-            let samples = clean_samples(&ctx.machine, &ctx.models, &kernel.shape, kernel.max_width);
+    let units: Vec<(String, joss_platform::TaskShape, usize)> = fig8_suite(scale)
+        .iter()
+        .flat_map(|bench| {
+            bench.graph.kernels().iter().map(|kernel| {
+                (
+                    format!("{}/{}", bench.label, kernel.name),
+                    kernel.shape,
+                    kernel.max_width,
+                )
+            })
+        })
+        .collect();
+    let tx2: Vec<SearchComparison> =
+        ordered_parallel_map(threads, &units, |_, (label, shape, max_width)| {
+            let samples = clean_samples(&ctx.machine, &ctx.models, shape, *max_width);
             if samples.iter().all(|s| s.is_none()) {
-                continue;
+                return None;
             }
-            tx2.push(compare_kernel(
+            Some(compare_kernel(
                 &ctx.models,
                 &samples,
-                kernel.max_width,
-                format!("{}/{}", bench.label, kernel.name),
-            ));
-        }
-    }
+                *max_width,
+                label.clone(),
+            ))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let tx2_storage_entries = ctx
         .models
         .build_kernel_tables(&clean_samples(
@@ -164,21 +183,16 @@ pub fn run(ctx: &ExperimentContext, scale: Scale) -> Overhead {
     let mut tcfg = TrainingConfig::tx2_default(&large_space);
     tcfg.reps = 2;
     let large_models = ModelSet::train(&large_machine, tcfg);
-    let mut large = Vec::new();
-    for (name, w, b) in [
+    let large_units = [
         ("compute", 0.05, 0.001),
         ("mixed", 0.02, 0.02),
         ("streaming", 0.002, 0.2),
-    ] {
+    ];
+    let large = ordered_parallel_map(threads, &large_units, |_, &(name, w, b)| {
         let shape = joss_platform::TaskShape::new(w, b);
         let samples = clean_samples(&large_machine, &large_models, &shape, usize::MAX);
-        large.push(compare_kernel(
-            &large_models,
-            &samples,
-            usize::MAX,
-            name.to_string(),
-        ));
-    }
+        compare_kernel(&large_models, &samples, usize::MAX, name.to_string())
+    });
     let large_storage_entries = large_models
         .build_kernel_tables(&clean_samples(
             &large_machine,

@@ -1,7 +1,8 @@
 //! Table 1 — the benchmark inventory, with generated task counts at full
 //! scale compared against the paper's reported numbers.
 
-use joss_workloads::suite::{table1, Table1Row};
+use joss_sweep::{default_threads, ordered_parallel_map};
+use joss_workloads::suite::{table1_row, Table1Row, TABLE1_LEN};
 use std::fmt::Write as _;
 
 /// The rendered inventory.
@@ -11,9 +12,19 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
 }
 
-/// Run (generate) the Table 1 inventory.
+/// Run (generate) the Table 1 inventory on all available cores.
 pub fn run() -> Table1 {
-    Table1 { rows: table1() }
+    run_with(default_threads())
+}
+
+/// Generate the inventory with rows fanned out over `threads` workers
+/// (full-scale DAG generation — tens of thousands of tasks per row — is
+/// the expensive part).
+pub fn run_with(threads: usize) -> Table1 {
+    let indices: Vec<usize> = (0..TABLE1_LEN).collect();
+    Table1 {
+        rows: ordered_parallel_map(threads, &indices, |_, &i| table1_row(i)),
+    }
 }
 
 impl Table1 {

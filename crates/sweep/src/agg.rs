@@ -1,0 +1,146 @@
+//! Post-processing helpers over ordered [`RunRecord`] lists: grouping,
+//! baseline normalization, and the geometric mean the paper's figures use.
+
+use crate::record::RunRecord;
+
+/// Geometric mean of strictly positive values (1.0 for an empty slice).
+pub fn geo_mean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = vals.iter().map(|v| v.ln()).sum();
+    (log_sum / vals.len() as f64).exp()
+}
+
+/// Group records by workload label, preserving first-appearance order
+/// (which is spec order for campaign output).
+pub fn group_by_workload(records: &[RunRecord]) -> Vec<(&str, Vec<&RunRecord>)> {
+    let mut groups: Vec<(&str, Vec<&RunRecord>)> = Vec::new();
+    for r in records {
+        match groups.iter_mut().find(|(w, _)| *w == r.workload.as_str()) {
+            Some((_, v)) => v.push(r),
+            None => groups.push((r.workload.as_str(), vec![r])),
+        }
+    }
+    groups
+}
+
+/// One workload's metric values normalized to a baseline scheduler.
+#[derive(Debug, Clone)]
+pub struct NormalizedRow {
+    /// Workload label.
+    pub workload: String,
+    /// `(scheduler, metric / baseline_metric)` in record order.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Normalize `metric` per workload to the named baseline scheduler's value.
+///
+/// Panics if a workload group has no record for `baseline` (grids that
+/// include the baseline scheduler always do) or a baseline metric of zero.
+pub fn normalize_to_baseline(
+    records: &[RunRecord],
+    baseline: &str,
+    metric: impl Fn(&RunRecord) -> f64,
+) -> Vec<NormalizedRow> {
+    group_by_workload(records)
+        .into_iter()
+        .map(|(workload, group)| {
+            let base = group
+                .iter()
+                .find(|r| r.scheduler == baseline)
+                .unwrap_or_else(|| panic!("no {baseline:?} record for workload {workload:?}"));
+            let base_v = metric(base);
+            assert!(base_v != 0.0, "zero baseline metric for {workload:?}");
+            NormalizedRow {
+                workload: workload.to_string(),
+                values: group
+                    .iter()
+                    .map(|r| (r.scheduler.clone(), metric(r) / base_v))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Per-scheduler geometric means over normalized rows (column order of the
+/// first row; every row must share it, as grid-built campaigns do).
+pub fn geo_means_per_scheduler(rows: &[NormalizedRow]) -> Vec<(String, f64)> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    first
+        .values
+        .iter()
+        .enumerate()
+        .map(|(col, (name, _))| {
+            let vals: Vec<f64> = rows.iter().map(|r| r.values[col].1).collect();
+            (name.clone(), geo_mean(&vals))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerKind;
+    use joss_core::metrics::RunReport;
+    use joss_platform::EnergyAccount;
+    use std::collections::BTreeMap;
+
+    fn record(index: usize, workload: &str, scheduler: &str, total_j: f64) -> RunRecord {
+        RunRecord {
+            index,
+            workload: workload.into(),
+            scheduler: scheduler.into(),
+            kind: SchedulerKind::Joss,
+            seed: 1,
+            report: RunReport {
+                scheduler: scheduler.into(),
+                benchmark: workload.into(),
+                energy: EnergyAccount {
+                    cpu_j: total_j,
+                    mem_j: 0.0,
+                    cpu_sampled_j: total_j,
+                    mem_sampled_j: 0.0,
+                    makespan_s: 1.0,
+                },
+                tasks: 1,
+                tasks_per_type: [1, 0],
+                steals: 0,
+                dvfs_transitions: 0,
+                dvfs_serialized: 0,
+                sampling_time_s: 0.0,
+                total_task_time_s: 1.0,
+                search_evaluations: 0,
+                selected_configs: BTreeMap::new(),
+                trace: None,
+            },
+        }
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[]) - 1.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_groups_and_divides() {
+        let records = vec![
+            record(0, "a", "GRWS", 10.0),
+            record(1, "a", "JOSS", 5.0),
+            record(2, "b", "GRWS", 4.0),
+            record(3, "b", "JOSS", 3.0),
+        ];
+        let rows = normalize_to_baseline(&records, "GRWS", |r| r.report.total_j());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workload, "a");
+        assert!((rows[0].values[1].1 - 0.5).abs() < 1e-12);
+        assert!((rows[1].values[1].1 - 0.75).abs() < 1e-12);
+        let geo = geo_means_per_scheduler(&rows);
+        assert_eq!(geo[0].0, "GRWS");
+        assert!((geo[0].1 - 1.0).abs() < 1e-12);
+        assert!((geo[1].1 - (0.5f64 * 0.75).sqrt()).abs() < 1e-12);
+    }
+}

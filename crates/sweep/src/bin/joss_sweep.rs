@@ -1,0 +1,179 @@
+//! Run an arbitrary sweep campaign from the command line.
+//!
+//! ```text
+//! joss_sweep [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]
+//!            [--threads N] [--scale D|full] [--reps R] [--train-seed S]
+//!            [--out FILE.jsonl] [--csv FILE.csv] [--record-trace] [--list]
+//! ```
+//!
+//! Workload labels are the Fig. 8 suite labels (`--list` prints them);
+//! scheduler syntax is `SchedulerKind::parse_help()`. Records stream to
+//! stdout as a normalized summary table and optionally to JSONL/CSV files.
+
+use joss_sweep::agg::normalize_to_baseline;
+use joss_sweep::{
+    default_threads, geo_means_per_scheduler, Campaign, ExperimentContext, SchedulerKind, SpecGrid,
+    Workload,
+};
+use joss_workloads::{fig8_suite, Scale};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_sweep [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
+         \u{20}                 [--threads N] [--scale D|full] [--reps R] [--train-seed S]\n\
+         \u{20}                 [--out FILE.jsonl] [--csv FILE.csv] [--record-trace] [--list]\n\
+         schedulers: {}",
+        SchedulerKind::parse_help()
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut workload_filter: Option<Vec<String>> = None;
+    let mut schedulers: Option<Vec<SchedulerKind>> = None;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut threads = default_threads();
+    let mut scale = Scale::Divided(100);
+    let mut reps = 3u32;
+    let mut train_seed = 42u64;
+    let mut out_jsonl: Option<String> = None;
+    let mut out_csv: Option<String> = None;
+    let mut record_trace = false;
+    let mut list = false;
+
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                let v = next(&mut i);
+                if v != "all" {
+                    workload_filter = Some(v.split(',').map(str::to_string).collect());
+                }
+            }
+            "--schedulers" => {
+                let parsed: Result<Vec<SchedulerKind>, String> =
+                    next(&mut i).split(',').map(str::parse).collect();
+                schedulers = Some(parsed.unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    usage()
+                }));
+            }
+            "--seeds" => {
+                seeds = next(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("seed must be an integer"))
+                    .collect();
+            }
+            "--threads" => threads = next(&mut i).parse().expect("thread count"),
+            "--scale" => {
+                let v = next(&mut i);
+                scale = if v == "full" {
+                    Scale::Full
+                } else {
+                    Scale::Divided(v.parse().expect("scale divisor"))
+                };
+            }
+            "--reps" => reps = next(&mut i).parse().expect("training reps"),
+            "--train-seed" => train_seed = next(&mut i).parse().expect("train seed"),
+            "--out" => out_jsonl = Some(next(&mut i)),
+            "--csv" => out_csv = Some(next(&mut i)),
+            "--record-trace" => record_trace = true,
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let suite = fig8_suite(scale);
+    if list {
+        println!("available workloads ({}):", suite.len());
+        for b in &suite {
+            println!("  {}", b.label);
+        }
+        return;
+    }
+
+    let workloads: Vec<Workload> = match &workload_filter {
+        None => suite.into_iter().map(Workload::from).collect(),
+        Some(wanted) => wanted
+            .iter()
+            .map(|w| {
+                let bench = suite.iter().find(|b| &b.label == w).unwrap_or_else(|| {
+                    eprintln!("error: unknown workload {w:?} (try --list)");
+                    exit(2);
+                });
+                Workload::from(bench.clone())
+            })
+            .collect(),
+    };
+
+    // Scaled-down runs have short makespans; shrink Aequitas' slice
+    // proportionally so its time-slicing still engages.
+    let slice = match scale {
+        Scale::Full => 1.0,
+        Scale::Divided(d) => (1.0 / d as f64).max(0.005),
+    };
+    let schedulers = schedulers.unwrap_or_else(|| SchedulerKind::fig8_set(slice));
+    if seeds.is_empty() {
+        seeds.push(42);
+    }
+
+    eprintln!("[joss_sweep] characterizing platform + training models (reps={reps})...");
+    let ctx = ExperimentContext::with_reps(train_seed, reps);
+    let specs = SpecGrid::new()
+        .workloads(workloads)
+        .schedulers(schedulers.iter().copied())
+        .seeds(seeds.iter().copied())
+        .record_trace(record_trace)
+        .build();
+    eprintln!(
+        "[joss_sweep] running {} specs ({} workloads x {} schedulers x {} seeds) on {} threads...",
+        specs.len(),
+        specs.len() / (schedulers.len() * seeds.len()),
+        schedulers.len(),
+        seeds.len(),
+        threads
+    );
+    let records = Campaign::with_threads(threads).run(&ctx, specs);
+
+    if let Some(path) = &out_jsonl {
+        std::fs::write(path, joss_sweep::to_jsonl(&records)).expect("write JSONL");
+        eprintln!("[joss_sweep] wrote {} records to {path}", records.len());
+    }
+    if let Some(path) = &out_csv {
+        std::fs::write(path, joss_sweep::to_csv(&records)).expect("write CSV");
+        eprintln!("[joss_sweep] wrote {} records to {path}", records.len());
+    }
+
+    // Summary: total energy normalized to the first scheduler column.
+    let baseline = records[0].scheduler.clone();
+    let rows = normalize_to_baseline(&records, &baseline, |r| r.report.total_j());
+    println!("# campaign summary — total energy normalized to {baseline}");
+    print!("{:<18}", "workload");
+    for (name, _) in &rows[0].values {
+        print!(" {name:>15}");
+    }
+    println!();
+    for row in &rows {
+        print!("{:<18}", row.workload);
+        for (_, v) in &row.values {
+            print!(" {v:>15.3}");
+        }
+        println!();
+    }
+    print!("{:<18}", "Geo.Mean");
+    for (_, g) in geo_means_per_scheduler(&rows) {
+        print!(" {g:>15.3}");
+    }
+    println!();
+}

@@ -1,0 +1,117 @@
+//! The campaign executor: fan a list of [`RunSpec`]s out across OS threads
+//! and collect one [`RunRecord`] per spec, in spec order.
+
+use crate::context::ExperimentContext;
+use crate::pool::{default_threads, ordered_parallel_map};
+use crate::record::RunRecord;
+use crate::spec::RunSpec;
+use joss_core::engine::SimEngine;
+use joss_core::metrics::RunReport;
+
+/// Parallel executor for spec lists.
+///
+/// The expensive one-time [`ExperimentContext`] (machine + trained model
+/// set) is shared across all workers — schedulers clone the `Arc`'d model
+/// set, never the tables. Results are deterministic and thread-count
+/// invariant: each run owns its RNG (seeded from its spec), and records come
+/// back ordered by spec index, not completion order.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    threads: usize,
+}
+
+impl Campaign {
+    /// Executor using every available core.
+    pub fn new() -> Self {
+        Campaign {
+            threads: default_threads(),
+        }
+    }
+
+    /// Executor with an explicit worker count (>= 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Campaign {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count this campaign will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every spec; records come back in spec order.
+    pub fn run(&self, ctx: &ExperimentContext, specs: Vec<RunSpec>) -> Vec<RunRecord> {
+        ordered_parallel_map(self.threads, &specs, |index, spec| {
+            run_spec(ctx, index, spec)
+        })
+    }
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+/// Execute one spec (the campaign's per-worker body, also usable serially).
+pub fn run_spec(ctx: &ExperimentContext, index: usize, spec: &RunSpec) -> RunRecord {
+    let mut sched = spec.scheduler.build(ctx);
+    let report = SimEngine::run(
+        &ctx.machine,
+        &spec.workload.graph,
+        sched.as_mut(),
+        spec.engine.to_config(),
+    );
+    RunRecord {
+        index,
+        workload: spec.workload.label.clone(),
+        scheduler: report.scheduler.clone(),
+        kind: spec.scheduler,
+        seed: spec.engine.seed,
+        report,
+    }
+}
+
+/// Convenience: run a whole grid's specs and chunk the records per workload
+/// (requires the grid order [`crate::spec::SpecGrid::build`] guarantees).
+pub fn records_per_workload(
+    records: Vec<RunRecord>,
+    runs_per_workload: usize,
+) -> Vec<Vec<RunRecord>> {
+    assert!(runs_per_workload > 0);
+    assert_eq!(records.len() % runs_per_workload, 0);
+    let mut out = Vec::with_capacity(records.len() / runs_per_workload);
+    let mut it = records.into_iter();
+    loop {
+        let chunk: Vec<RunRecord> = it.by_ref().take(runs_per_workload).collect();
+        if chunk.is_empty() {
+            return out;
+        }
+        out.push(chunk);
+    }
+}
+
+/// Split grid-ordered records into per-workload `(label, reports)` rows,
+/// returning the scheduler column names from the first workload's records —
+/// the figure-table shape every suite × scheduler grid post-processes into.
+pub fn rows_by_workload(
+    records: Vec<RunRecord>,
+    runs_per_workload: usize,
+) -> (Vec<String>, Vec<(String, Vec<RunReport>)>) {
+    let schedulers = records
+        .iter()
+        .take(runs_per_workload)
+        .map(|r| r.scheduler.clone())
+        .collect();
+    let rows = records_per_workload(records, runs_per_workload)
+        .into_iter()
+        .map(|chunk| {
+            (
+                chunk[0].workload.clone(),
+                chunk.into_iter().map(|r| r.report).collect(),
+            )
+        })
+        .collect();
+    (schedulers, rows)
+}

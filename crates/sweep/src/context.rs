@@ -1,11 +1,16 @@
 //! Shared experiment context: the platform and its one-time
-//! characterization, reused across all experiments.
+//! characterization, reused across all experiments and campaign workers.
 
 use joss_models::{ModelSet, TrainingConfig};
 use joss_platform::{ConfigSpace, MachineModel};
 use std::sync::Arc;
 
 /// Platform + trained models, built once per experiment session.
+///
+/// Training is the expensive one-time step (install-time characterization in
+/// the paper); a [`Campaign`](crate::Campaign) shares one context across all
+/// of its worker threads, and the model set is behind an [`Arc`] so every
+/// scheduler instance clones a handle, not the tables.
 pub struct ExperimentContext {
     /// The simulated TX2.
     pub machine: MachineModel,

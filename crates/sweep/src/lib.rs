@@ -1,0 +1,60 @@
+//! # joss-sweep — declarative campaign sweeps
+//!
+//! The paper's evaluation is a grid — {21 benchmark instances} × {6
+//! schedulers} × {knob ablations, speedup constraints, seeds} — and every
+//! interesting new scenario is another point set in that space. This crate
+//! makes the whole grid one data structure away:
+//!
+//! * [`spec`] — [`RunSpec`] (workload × scheduler × engine config × seed)
+//!   and the cartesian [`SpecGrid`] builder;
+//! * [`scheduler`] — [`SchedulerKind`], the canonical scheduler factory
+//!   (every paper policy plus the pinned-config instrument), with stable
+//!   `Display` names and a `FromStr` CLI syntax;
+//! * [`campaign`] — [`Campaign`], the executor: fans specs out across OS
+//!   threads (the same crossbeam work-stealing machinery as
+//!   `joss_core::native`), sharing the one-time [`ExperimentContext`]
+//!   across workers;
+//! * [`pool`] — [`ordered_parallel_map`], the underlying deterministic
+//!   ordered fan-out, reused by the non-engine experiments too;
+//! * [`record`] — the uniform [`RunRecord`] artifact with JSONL/CSV
+//!   writers;
+//! * [`agg`] — post-processing: grouping, baseline normalization,
+//!   geometric means.
+//!
+//! Results are **deterministic and thread-count invariant**: each run owns
+//! its seeded RNG, and records are ordered by spec index, not completion
+//! order — `Campaign::with_threads(1)` and `::with_threads(n)` produce
+//! byte-identical record files.
+//!
+//! ```
+//! use joss_sweep::{Campaign, ExperimentContext, SchedulerKind, SpecGrid, Workload};
+//! use joss_workloads::Scale;
+//!
+//! let ctx = ExperimentContext::with_reps(42, 1); // fast doctest training
+//! let specs = SpecGrid::new()
+//!     .workload(Workload::new(joss_workloads::matmul::matmul(256, 4, Scale::Divided(400))))
+//!     .schedulers([SchedulerKind::Grws, SchedulerKind::Joss])
+//!     .seeds([42])
+//!     .build();
+//! let records = Campaign::with_threads(2).run(&ctx, specs);
+//! assert_eq!(records.len(), 2);
+//! assert!(records[1].report.total_j() <= records[0].report.total_j());
+//! ```
+
+pub mod agg;
+pub mod campaign;
+pub mod context;
+pub mod pool;
+pub mod record;
+pub mod scheduler;
+pub mod spec;
+
+pub use agg::{
+    geo_mean, geo_means_per_scheduler, group_by_workload, normalize_to_baseline, NormalizedRow,
+};
+pub use campaign::{records_per_workload, rows_by_workload, run_spec, Campaign};
+pub use context::ExperimentContext;
+pub use pool::{default_threads, ordered_parallel_map};
+pub use record::{to_csv, to_jsonl, RunRecord};
+pub use scheduler::{run_one, SchedulerKind};
+pub use spec::{EngineSpec, RunSpec, SpecGrid, Workload, DEFAULT_SEED};

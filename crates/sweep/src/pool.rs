@@ -1,0 +1,132 @@
+//! The shared fan-out primitive: an ordered, deterministic parallel map
+//! over OS threads, using the same crossbeam work-stealing machinery the
+//! native executor ([`joss_core::native`]) proves out.
+//!
+//! Work items are pushed into a global injector; each worker drains its
+//! local deque first, then batches from the injector, then steals from
+//! peers. Results land in per-index slots, so the output order is the input
+//! order no matter which thread ran which item — the property every sweep
+//! consumer (normalization, chunking, record files) relies on.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::Mutex;
+
+/// Default worker count: the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` OS threads, returning results in
+/// input order.
+///
+/// Output is identical for any `threads >= 1` as long as `f` is a pure
+/// function of `(index, item)` — which engine runs are, because each run
+/// owns its own seeded RNG.
+pub fn ordered_parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let injector = Injector::new();
+    for i in 0..n {
+        injector.push(i);
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+
+    std::thread::scope(|scope| {
+        for (wid, local) in locals.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let idx = local.pop().or_else(|| {
+                    // Global queue first, then other workers. An idle worker
+                    // that finds nothing anywhere may exit: no new work is
+                    // ever produced, and any index still in a peer's local
+                    // deque will be popped by that peer before it exits.
+                    std::iter::repeat_with(|| injector.steal_batch_and_pop(&local))
+                        .find(|s| !s.is_retry())
+                        .and_then(|s| s.success())
+                        .or_else(|| {
+                            for (vid, st) in stealers.iter().enumerate() {
+                                if vid == wid {
+                                    continue;
+                                }
+                                loop {
+                                    match st.steal() {
+                                        Steal::Success(i) => return Some(i),
+                                        Steal::Retry => continue,
+                                        Steal::Empty => break,
+                                    }
+                                }
+                            }
+                            None
+                        })
+                });
+                match idx {
+                    Some(i) => {
+                        let r = f(i, &items[i]);
+                        *slots[i].lock().expect("slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every index processed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = ordered_parallel_map(1, &items, |i, &x| x * x + i as u64);
+        for threads in [2, 3, 8] {
+            let par = ordered_parallel_map(threads, &items, |i, &x| x * x + i as u64);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let items: Vec<usize> = (0..100).collect();
+        let calls = AtomicUsize::new(0);
+        let out = ordered_parallel_map(4, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(ordered_parallel_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(ordered_parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Uniform per-run artifacts: one [`RunRecord`] per executed spec, plus
+//! JSONL and CSV writers.
+//!
+//! The JSONL schema (one object per line, stable key order) is:
+//!
+//! ```json
+//! {"index":0,"workload":"MM_256_dop4","scheduler":"JOSS","seed":42,
+//!  "cpu_j":1.25,"mem_j":0.75,"total_j":2.0,"makespan_s":0.5,
+//!  "tasks":130,"tasks_big":80,"tasks_little":50,"steals":3,
+//!  "dvfs_transitions":12,"dvfs_serialized":1,
+//!  "sampling_fraction":0.008,"search_evaluations":96}
+//! ```
+//!
+//! `index` is the spec's position in its campaign (records are emitted in
+//! spec order, not completion order); `scheduler` is the engine-reported
+//! name. The CSV writer emits the same fields in the same order.
+
+use crate::scheduler::SchedulerKind;
+use joss_core::metrics::RunReport;
+use std::fmt::Write as _;
+
+/// The outcome of one spec: identity plus the full measurement report.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Position of the spec in its campaign (defines record order).
+    pub index: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Scheduler name as the engine reported it.
+    pub scheduler: String,
+    /// The scheduler spec that produced this run.
+    pub kind: SchedulerKind,
+    /// Engine seed of this run.
+    pub seed: u64,
+    /// Full measurement report.
+    pub report: RunReport,
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RunRecord {
+    /// The flat metric tuple serialized by both writers, in column order.
+    fn columns(&self) -> [(&'static str, String); 16] {
+        let r = &self.report;
+        [
+            ("index", self.index.to_string()),
+            ("workload", format!("\"{}\"", json_escape(&self.workload))),
+            ("scheduler", format!("\"{}\"", json_escape(&self.scheduler))),
+            ("seed", self.seed.to_string()),
+            ("cpu_j", r.energy.cpu_j.to_string()),
+            ("mem_j", r.energy.mem_j.to_string()),
+            ("total_j", r.total_j().to_string()),
+            ("makespan_s", r.energy.makespan_s.to_string()),
+            ("tasks", r.tasks.to_string()),
+            ("tasks_big", r.tasks_per_type[0].to_string()),
+            ("tasks_little", r.tasks_per_type[1].to_string()),
+            ("steals", r.steals.to_string()),
+            ("dvfs_transitions", r.dvfs_transitions.to_string()),
+            ("dvfs_serialized", r.dvfs_serialized.to_string()),
+            ("sampling_fraction", r.sampling_fraction().to_string()),
+            ("search_evaluations", r.search_evaluations.to_string()),
+        ]
+    }
+
+    /// One JSON object (one JSONL line, without the newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, val)) in self.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":{val}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Serialize records as JSON Lines (one object per record, spec order).
+pub fn to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize records as CSV with a header row. String fields are quoted
+/// with the same escaping as the JSON writer (labels contain no commas or
+/// quotes in practice).
+pub fn to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    if let Some(first) = records.first() {
+        let header: Vec<&str> = first.columns().iter().map(|(k, _)| *k).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+    }
+    for r in records {
+        let row: Vec<String> = r.columns().into_iter().map(|(_, v)| v).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joss_platform::EnergyAccount;
+    use std::collections::BTreeMap;
+
+    fn record(index: usize, workload: &str, scheduler: &str) -> RunRecord {
+        RunRecord {
+            index,
+            workload: workload.into(),
+            scheduler: scheduler.into(),
+            kind: SchedulerKind::Joss,
+            seed: 42,
+            report: RunReport {
+                scheduler: scheduler.into(),
+                benchmark: workload.into(),
+                energy: EnergyAccount {
+                    cpu_j: 1.25,
+                    mem_j: 0.75,
+                    cpu_sampled_j: 1.2,
+                    mem_sampled_j: 0.8,
+                    makespan_s: 0.5,
+                },
+                tasks: 130,
+                tasks_per_type: [80, 50],
+                steals: 3,
+                dvfs_transitions: 12,
+                dvfs_serialized: 1,
+                sampling_time_s: 0.004,
+                total_task_time_s: 0.5,
+                search_evaluations: 96,
+                selected_configs: BTreeMap::new(),
+                trace: None,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_has_stable_keys_and_values() {
+        let line = record(0, "MM_256_dop4", "JOSS").to_json();
+        assert!(line.starts_with("{\"index\":0,\"workload\":\"MM_256_dop4\""));
+        assert!(line.contains("\"total_j\":2"));
+        assert!(line.contains("\"sampling_fraction\":0.008"));
+        assert!(line.ends_with("\"search_evaluations\":96}"));
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn csv_header_matches_rows() {
+        let recs = vec![record(0, "a", "GRWS"), record(1, "b", "JOSS")];
+        let csv = to_csv(&recs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("index,workload,scheduler,seed,cpu_j"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and row column counts must agree"
+        );
+        assert!(lines[2].starts_with("1,\"b\",\"JOSS\",42"));
+    }
+
+    #[test]
+    fn empty_record_sets_serialize_to_empty_strings() {
+        assert_eq!(to_jsonl(&[]), "");
+        assert_eq!(to_csv(&[]), "");
+    }
+}

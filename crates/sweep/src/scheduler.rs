@@ -1,0 +1,278 @@
+//! The canonical scheduler factory: every policy a sweep can run, as one
+//! value type with stable names and a string syntax for CLIs.
+
+use crate::context::ExperimentContext;
+use joss_core::engine::SimEngine;
+use joss_core::metrics::RunReport;
+use joss_core::sched::{AequitasSched, EraseSched, FixedSched, GrwsSched, ModelSched, Scheduler};
+use joss_dag::TaskGraph;
+use joss_platform::{Duration, KnobConfig};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+/// Which scheduler to run (the paper's six, the Fig. 9 variants, and the
+/// pinned-configuration instrument behind Figs. 1 and 2).
+///
+/// `Display` renders the same name the instantiated scheduler reports, so
+/// record labels never drift from engine output; `FromStr` accepts the CLI
+/// syntax documented on [`SchedulerKind::parse_help`].
+#[derive(Debug, Clone, Copy)]
+pub enum SchedulerKind {
+    /// Greedy random work stealing (baseline).
+    Grws,
+    /// ERASE comparator.
+    Erase,
+    /// Aequitas comparator. The field is the DVFS time-slice in seconds
+    /// (1.0 in the paper; smaller for scaled-down runs).
+    Aequitas(f64),
+    /// STEER comparator.
+    Steer,
+    /// JOSS (minimum total energy, all four knobs).
+    Joss,
+    /// JOSS with the memory-DVFS knob removed.
+    JossNoMemDvfs,
+    /// JOSS under a per-task speedup constraint.
+    JossSpeedup(f64),
+    /// JOSS maximizing per-task performance.
+    JossMaxPerf,
+    /// Every task pinned to one `<TC,NC,fC,fM>` point — the measurement
+    /// instrument behind the Fig. 1/2 exhaustive configuration sweeps.
+    Fixed(KnobConfig),
+}
+
+// Equality compares `f64` payloads (Aequitas slice, speedup target) by bit
+// pattern, exactly like `Hash` below. That makes `Eq`'s reflexivity hold
+// unconditionally — even for a hand-constructed NaN payload — so the type
+// is safe as a `HashMap`/`HashSet` key. (In practice payloads are finite:
+// the parser rejects anything else.)
+impl PartialEq for SchedulerKind {
+    fn eq(&self, other: &Self) -> bool {
+        use SchedulerKind::*;
+        match (self, other) {
+            (Grws, Grws)
+            | (Erase, Erase)
+            | (Steer, Steer)
+            | (Joss, Joss)
+            | (JossNoMemDvfs, JossNoMemDvfs)
+            | (JossMaxPerf, JossMaxPerf) => true,
+            (Aequitas(a), Aequitas(b)) | (JossSpeedup(a), JossSpeedup(b)) => {
+                a.to_bits() == b.to_bits()
+            }
+            (Fixed(a), Fixed(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SchedulerKind {}
+
+impl Hash for SchedulerKind {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            SchedulerKind::Aequitas(s) | SchedulerKind::JossSpeedup(s) => {
+                s.to_bits().hash(state);
+            }
+            SchedulerKind::Fixed(c) => c.hash(state),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerKind::Grws => write!(f, "GRWS"),
+            SchedulerKind::Erase => write!(f, "ERASE"),
+            SchedulerKind::Aequitas(_) => write!(f, "Aequitas"),
+            SchedulerKind::Steer => write!(f, "STEER"),
+            SchedulerKind::Joss => write!(f, "JOSS"),
+            SchedulerKind::JossNoMemDvfs => write!(f, "JOSS_NoMemDVFS"),
+            SchedulerKind::JossSpeedup(s) => write!(f, "JOSS+{s}X"),
+            SchedulerKind::JossMaxPerf => write!(f, "JOSS+MAXP"),
+            SchedulerKind::Fixed(c) => {
+                write!(f, "Fixed<{:?},{},{},{}>", c.tc, c.nc.0, c.fc.0, c.fm.0)
+            }
+        }
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Parse the CLI spelling of a scheduler; see [`SchedulerKind::parse_help`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let finite = |v: f64, what: &str| {
+            if v.is_finite() && v > 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{what} must be a positive finite number: {s:?}"))
+            }
+        };
+        match t.as_str() {
+            "grws" => Ok(SchedulerKind::Grws),
+            "erase" => Ok(SchedulerKind::Erase),
+            "aequitas" => Ok(SchedulerKind::Aequitas(1.0)),
+            "steer" => Ok(SchedulerKind::Steer),
+            "joss" => Ok(SchedulerKind::Joss),
+            "joss-nomem" | "joss_nomemdvfs" | "nomem" => Ok(SchedulerKind::JossNoMemDvfs),
+            "maxp" | "joss+maxp" => Ok(SchedulerKind::JossMaxPerf),
+            _ => {
+                if let Some(rest) = t.strip_prefix("aequitas:") {
+                    let v = rest
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad Aequitas slice {rest:?}: {e}"))?;
+                    return Ok(SchedulerKind::Aequitas(finite(v, "Aequitas slice")?));
+                }
+                if let Some(rest) = t.strip_prefix("speedup:") {
+                    let v = rest
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad speedup target {rest:?}: {e}"))?;
+                    return Ok(SchedulerKind::JossSpeedup(finite(v, "speedup target")?));
+                }
+                if let Some(mid) = t.strip_prefix("joss+").and_then(|r| r.strip_suffix('x')) {
+                    let v = mid
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad speedup target {mid:?}: {e}"))?;
+                    return Ok(SchedulerKind::JossSpeedup(finite(v, "speedup target")?));
+                }
+                Err(format!(
+                    "unknown scheduler {s:?}; expected one of {}",
+                    SchedulerKind::parse_help()
+                ))
+            }
+        }
+    }
+}
+
+impl SchedulerKind {
+    /// The accepted `FromStr` spellings, for CLI usage messages.
+    pub fn parse_help() -> &'static str {
+        "grws, erase, aequitas[:slice_s], steer, joss, joss-nomem, joss+<S>x (e.g. joss+1.2x), speedup:<S>, maxp"
+    }
+
+    /// The six Fig. 8 schedulers in the paper's legend order.
+    pub fn fig8_set(aequitas_slice_s: f64) -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Grws,
+            SchedulerKind::Erase,
+            SchedulerKind::Aequitas(aequitas_slice_s),
+            SchedulerKind::Steer,
+            SchedulerKind::Joss,
+            SchedulerKind::JossNoMemDvfs,
+        ]
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(self, ctx: &ExperimentContext) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Grws => Box::new(GrwsSched::new()),
+            SchedulerKind::Erase => Box::new(EraseSched::new(ctx.models.clone())),
+            SchedulerKind::Aequitas(slice) => {
+                Box::new(AequitasSched::new().with_slice(Duration::from_secs_f64(slice)))
+            }
+            SchedulerKind::Steer => Box::new(ModelSched::steer(ctx.models.clone())),
+            SchedulerKind::Joss => Box::new(ModelSched::joss(ctx.models.clone())),
+            SchedulerKind::JossNoMemDvfs => {
+                Box::new(ModelSched::joss_no_mem_dvfs(ctx.models.clone()))
+            }
+            SchedulerKind::JossSpeedup(s) => {
+                Box::new(ModelSched::joss_with_speedup(ctx.models.clone(), s))
+            }
+            SchedulerKind::JossMaxPerf => Box::new(ModelSched::joss_maxp(ctx.models.clone())),
+            SchedulerKind::Fixed(cfg) => Box::new(FixedSched::new(cfg)),
+        }
+    }
+}
+
+/// Run one benchmark under one scheduler.
+pub fn run_one(
+    ctx: &ExperimentContext,
+    kind: SchedulerKind,
+    graph: &TaskGraph,
+    seed: u64,
+) -> RunReport {
+    let mut sched = kind.build(ctx);
+    SimEngine::run(
+        &ctx.machine,
+        graph,
+        sched.as_mut(),
+        joss_core::engine::EngineConfig::with_seed(seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_matches_engine_names() {
+        // These strings are what the instantiated schedulers report as
+        // `Scheduler::name()`; record labels rely on the match.
+        assert_eq!(SchedulerKind::Grws.to_string(), "GRWS");
+        assert_eq!(SchedulerKind::Erase.to_string(), "ERASE");
+        assert_eq!(SchedulerKind::Aequitas(0.5).to_string(), "Aequitas");
+        assert_eq!(SchedulerKind::Steer.to_string(), "STEER");
+        assert_eq!(SchedulerKind::Joss.to_string(), "JOSS");
+        assert_eq!(SchedulerKind::JossNoMemDvfs.to_string(), "JOSS_NoMemDVFS");
+        assert_eq!(SchedulerKind::JossSpeedup(1.2).to_string(), "JOSS+1.2X");
+        assert_eq!(SchedulerKind::JossMaxPerf.to_string(), "JOSS+MAXP");
+        // Fixed must match FixedSched's reported name too.
+        use joss_core::sched::Scheduler as _;
+        use joss_platform::{CoreType, FreqIndex, NcIndex};
+        let cfg = KnobConfig::new(CoreType::Big, NcIndex(2), FreqIndex(5), FreqIndex(1));
+        assert_eq!(
+            SchedulerKind::Fixed(cfg).to_string(),
+            FixedSched::new(cfg).name()
+        );
+    }
+
+    #[test]
+    fn eq_is_reflexive_even_for_nan_payloads() {
+        let nan = SchedulerKind::JossSpeedup(f64::NAN);
+        assert_eq!(nan, nan);
+        let set: HashSet<SchedulerKind> = [nan, nan].into_iter().collect();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&nan));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for (text, kind) in [
+            ("grws", SchedulerKind::Grws),
+            ("ERASE", SchedulerKind::Erase),
+            ("aequitas", SchedulerKind::Aequitas(1.0)),
+            ("aequitas:0.005", SchedulerKind::Aequitas(0.005)),
+            ("steer", SchedulerKind::Steer),
+            ("joss", SchedulerKind::Joss),
+            ("joss-nomem", SchedulerKind::JossNoMemDvfs),
+            ("joss+1.2x", SchedulerKind::JossSpeedup(1.2)),
+            ("speedup:1.8", SchedulerKind::JossSpeedup(1.8)),
+            ("maxp", SchedulerKind::JossMaxPerf),
+        ] {
+            assert_eq!(text.parse::<SchedulerKind>().unwrap(), kind, "{text}");
+        }
+        assert!("frobnicate".parse::<SchedulerKind>().is_err());
+        assert!("joss+nanx".parse::<SchedulerKind>().is_err());
+        assert!("speedup:-1".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn eq_hash_distinguish_payloads() {
+        let set: HashSet<SchedulerKind> = [
+            SchedulerKind::Joss,
+            SchedulerKind::JossSpeedup(1.2),
+            SchedulerKind::JossSpeedup(1.4),
+            SchedulerKind::JossSpeedup(1.2),
+            SchedulerKind::Aequitas(1.0),
+            SchedulerKind::Aequitas(0.005),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 5);
+        assert!(set.contains(&SchedulerKind::JossSpeedup(1.4)));
+    }
+}

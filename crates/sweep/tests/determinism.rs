@@ -1,0 +1,124 @@
+//! Campaign determinism: the same spec list must produce byte-identical
+//! ordered records no matter how many worker threads execute it.
+
+use joss_sweep::{
+    to_csv, to_jsonl, Campaign, ExperimentContext, SchedulerKind, SpecGrid, Workload,
+};
+use joss_workloads::{fig8_suite, Scale};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::with_reps(42, 1))
+}
+
+/// A small pool of cheap workloads for grid sampling.
+fn workload_pool() -> Vec<Workload> {
+    fig8_suite(Scale::Divided(400))
+        .into_iter()
+        .take(6)
+        .map(Workload::from)
+        .collect()
+}
+
+fn scheduler_pool() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Grws,
+        SchedulerKind::Erase,
+        SchedulerKind::Aequitas(0.005),
+        SchedulerKind::Steer,
+        SchedulerKind::Joss,
+        SchedulerKind::JossNoMemDvfs,
+        SchedulerKind::JossSpeedup(1.4),
+        SchedulerKind::JossMaxPerf,
+    ]
+}
+
+#[test]
+fn one_thread_and_many_threads_agree_byte_for_byte() {
+    let grid = || {
+        SpecGrid::new()
+            .workloads(workload_pool().into_iter().take(3))
+            .schedulers([
+                SchedulerKind::Grws,
+                SchedulerKind::Joss,
+                SchedulerKind::Aequitas(0.005),
+            ])
+            .seeds([42, 7])
+            .build()
+    };
+    let serial = Campaign::with_threads(1).run(ctx(), grid());
+    assert_eq!(serial.len(), 18);
+    for threads in [2, 4, 8] {
+        let parallel = Campaign::with_threads(threads).run(ctx(), grid());
+        assert_eq!(
+            to_jsonl(&serial),
+            to_jsonl(&parallel),
+            "JSONL diverged at {threads} threads"
+        );
+        assert_eq!(
+            to_csv(&serial),
+            to_csv(&parallel),
+            "CSV diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn records_are_ordered_by_spec_index_and_labelled() {
+    let specs = SpecGrid::new()
+        .workloads(workload_pool().into_iter().take(2))
+        .schedulers([SchedulerKind::Grws, SchedulerKind::Joss])
+        .seeds([1])
+        .build();
+    let expect: Vec<(String, String)> = specs
+        .iter()
+        .map(|s| (s.workload.label.clone(), s.scheduler.to_string()))
+        .collect();
+    let records = Campaign::with_threads(4).run(ctx(), specs);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert_eq!(r.workload, expect[i].0);
+        assert_eq!(r.scheduler, expect[i].1, "Display must match engine name");
+        assert_eq!(r.report.benchmark, expect[i].0);
+    }
+}
+
+#[test]
+fn traces_stay_off_unless_a_spec_opts_in() {
+    let base = SpecGrid::new()
+        .workloads(workload_pool().into_iter().take(1))
+        .scheduler(SchedulerKind::Grws)
+        .seeds([1]);
+    let off = Campaign::with_threads(2).run(ctx(), base.clone().build());
+    assert!(off[0].report.trace.is_none(), "tracing must default off");
+    let on = Campaign::with_threads(2).run(ctx(), base.record_trace(true).build());
+    let trace = on[0].report.trace.as_ref().expect("opted-in trace");
+    assert_eq!(trace.tasks.len(), on[0].report.tasks);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random small grids are thread-count invariant.
+    #[test]
+    fn random_grids_are_thread_invariant(
+        n_workloads in 1usize..4,
+        n_scheds in 1usize..5,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let grid = || {
+            SpecGrid::new()
+                .workloads(workload_pool().into_iter().take(n_workloads))
+                .schedulers(scheduler_pool().into_iter().take(n_scheds))
+                .seeds([seed])
+                .build()
+        };
+        let serial = Campaign::with_threads(1).run(ctx(), grid());
+        let parallel = Campaign::with_threads(threads).run(ctx(), grid());
+        assert_eq!(serial.len(), n_workloads * n_scheds);
+        assert_eq!(to_jsonl(&serial), to_jsonl(&parallel));
+    }
+}

@@ -66,10 +66,20 @@ pub struct Table1Row {
     pub tasks: Vec<usize>,
 }
 
+/// Number of Table-1 inventory rows.
+pub const TABLE1_LEN: usize = 10;
+
 /// The Table-1 inventory with generated full-scale task counts.
 pub fn table1() -> Vec<Table1Row> {
-    vec![
-        Table1Row {
+    (0..TABLE1_LEN).map(table1_row).collect()
+}
+
+/// Build one Table-1 row (rows are independent, so callers may generate
+/// them in parallel; full-scale DAG generation is the expensive part).
+/// Panics if `i >= TABLE1_LEN`.
+pub fn table1_row(i: usize) -> Table1Row {
+    match i {
+        0 => Table1Row {
             abbr: "HD",
             description: "Heat diffusion, iterative Jacobi (copy + jacobi kernels)",
             input: "2048 (small), 8192 (big), 16384 (huge)",
@@ -79,43 +89,43 @@ pub fn table1() -> Vec<Table1Row> {
                 heat::heat(HeatSize::Huge, Scale::Full).n_tasks(),
             ],
         },
-        Table1Row {
+        1 => Table1Row {
             abbr: "DP",
             description: "Dot product over blocked vectors, 100 iterations",
             input: "VectorSize 6400000, BlockSize 32000",
             tasks: vec![dot::dot(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        2 => Table1Row {
             abbr: "FB",
             description: "Fibonacci by recursion",
             input: "Term 55, GrainSize 34",
             tasks: vec![fib::fib(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        3 => Table1Row {
             abbr: "VG",
             description: "Darknet VGG-16 CNN as fork-join DAG, 10 iterations",
             input: "768x576 RGB image, blocksize 64",
             tasks: vec![vgg::vgg(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        4 => Table1Row {
             abbr: "BI",
             description: "Biomarker combinations for hip-infection prediction",
             input: "Sample Size 2",
             tasks: vec![biomarker::biomarker(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        5 => Table1Row {
             abbr: "AL",
             description: "Alya computational mechanics (mesh partitioning)",
             input: "200K CSR non-zeros",
             tasks: vec![alya::alya(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        6 => Table1Row {
             abbr: "SLU",
             description: "Sparse LU factorization (LU0, FWD, BDIV, BMOD)",
             input: "64 blocks, BlockSize 512",
             tasks: vec![sparselu::sparselu(Scale::Full).n_tasks()],
         },
-        Table1Row {
+        7 => Table1Row {
             abbr: "MM",
             description: "Tiled matrix multiplication (dop configurable)",
             input: "256x256, 512x512",
@@ -124,7 +134,7 @@ pub fn table1() -> Vec<Table1Row> {
                 matmul::matmul(512, 4, Scale::Full).n_tasks(),
             ],
         },
-        Table1Row {
+        8 => Table1Row {
             abbr: "MC",
             description: "Matrix copy, streaming main memory (dop configurable)",
             input: "4096x4096, 8192x8192",
@@ -133,7 +143,7 @@ pub fn table1() -> Vec<Table1Row> {
                 matcopy::matcopy(8192, 4, Scale::Full).n_tasks(),
             ],
         },
-        Table1Row {
+        9 => Table1Row {
             abbr: "ST",
             description: "Stencil updates on a multi-dimensional grid (dop configurable)",
             input: "512x512, 2048x2048",
@@ -142,7 +152,8 @@ pub fn table1() -> Vec<Table1Row> {
                 stencil::stencil(2048, 4, Scale::Full).n_tasks(),
             ],
         },
-    ]
+        _ => panic!("table1_row index {i} out of range (len {TABLE1_LEN})"),
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! * [`models`] — MPR performance/power models, MB estimation, search;
 //! * [`runtime`] — the JOSS runtime and comparator schedulers;
 //! * [`workloads`] — the ten Table-1 benchmark generators;
+//! * [`sweep`] — declarative campaign sweeps: spec grids, the parallel
+//!   executor, uniform run records;
 //! * [`experiments`] — harnesses regenerating every paper figure/table.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -16,4 +18,5 @@ pub use joss_dag as dag;
 pub use joss_experiments as experiments;
 pub use joss_models as models;
 pub use joss_platform as platform;
+pub use joss_sweep as sweep;
 pub use joss_workloads as workloads;

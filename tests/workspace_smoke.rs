@@ -33,6 +33,16 @@ fn facade_reexports_resolve() {
 
     // experiments: the scheduler inventory is reachable through the facade.
     let _kind = joss::experiments::SchedulerKind::Joss;
+
+    // sweep: grid building and the parse syntax are reachable through the
+    // facade, and the scheduler inventory is the same type as experiments'.
+    let parsed: joss::experiments::SchedulerKind = "joss+1.2x".parse().unwrap();
+    assert_eq!(parsed, joss::sweep::SchedulerKind::JossSpeedup(1.2));
+    let grid = joss::sweep::SpecGrid::new()
+        .workload(joss::sweep::Workload::new(graph))
+        .scheduler(joss::sweep::SchedulerKind::Grws)
+        .seeds([1, 2]);
+    assert_eq!(grid.len(), 2);
 }
 
 /// The nine experiment binaries and seven examples are all present and
