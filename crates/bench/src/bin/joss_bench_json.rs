@@ -1,0 +1,201 @@
+//! Machine-readable perf snapshot: the hot-path benchmark numbers as one
+//! JSON artifact, so perf changes leave a reviewable trail.
+//!
+//! ```text
+//! joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]
+//! ```
+//!
+//! Measures the two benchmarks the engine optimizations are judged by —
+//! `engine_throughput` (simulated tasks per second of host time under the
+//! GRWS baseline) and `search_overhead` (configuration-search evaluations
+//! per second) — and writes a `BENCH_engine.json` snapshot (schema
+//! documented in `docs/PERF.md`). The committed copy at the repo root is
+//! the perf trajectory: every PR that touches the hot path re-runs this
+//! tool and commits the diff, so regressions show up in review. Timings are
+//! host-dependent; compare only numbers recorded on the same machine.
+
+use joss_bench::shared_context;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::GrwsSched;
+use joss_dag::{generators, KernelSpec};
+use joss_models::{
+    exhaustive_search, steepest_descent_search, EnergyEstimator, Objective, SearchOutcome,
+};
+use joss_platform::{ExecContext, TaskShape};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Entry {
+    name: &'static str,
+    unit: &'static str,
+    /// Primary rate metric (tasks/s or evals/s), median across runs.
+    rate: f64,
+    /// Median wall time of one run/iteration, nanoseconds.
+    median_ns: f64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut runs = 5usize;
+    let mut search_iters = 20_000usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).and_then(|s| s.parse().ok()).expect("--runs N");
+            }
+            "--search-iters" => {
+                i += 1;
+                search_iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--search-iters N");
+            }
+            other => {
+                eprintln!("usage: joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+        i += 1;
+    }
+    assert!(runs >= 1 && search_iters >= 1);
+
+    eprintln!("[joss_bench_json] building shared context...");
+    let ctx = shared_context();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Engine throughput: same graphs as the `engine_throughput` criterion
+    // bench, median of `runs` full simulations each.
+    for (name, n) in [
+        ("engine_throughput/grws_1000_tasks", 1_000usize),
+        ("engine_throughput/grws_10000_tasks", 10_000usize),
+    ] {
+        let graph = generators::chain_bundle(
+            "bag",
+            KernelSpec::new("k", TaskShape::new(0.005, 0.002)),
+            n,
+            16,
+        );
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let mut sched = GrwsSched::new();
+            let t0 = Instant::now();
+            let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(report.tasks, n);
+            black_box(report);
+            samples.push(ns);
+        }
+        let med = median(samples);
+        entries.push(Entry {
+            name,
+            unit: "tasks_per_sec",
+            rate: n as f64 / (med / 1e9),
+            median_ns: med,
+        });
+        eprintln!("[joss_bench_json] {name}: {:.3} ms/run", med / 1e6);
+    }
+
+    // Search overhead: same estimator fixture as the `search_overhead`
+    // criterion bench; the rate is objective *evaluations* per second.
+    let shape = TaskShape::new(0.02, 0.02);
+    let ectx = ExecContext::alone();
+    let samples: Vec<Option<(f64, f64)>> = ctx
+        .models
+        .indexer()
+        .iter()
+        .map(|(tc, nc)| {
+            let w = ctx.space.nc_count(tc, nc);
+            Some((
+                ctx.machine.clean_time_s(
+                    &shape,
+                    tc,
+                    w,
+                    ctx.models.fc_ref_ghz(),
+                    ctx.models.fm_ref_ghz(),
+                    &ectx,
+                ),
+                ctx.machine.clean_time_s(
+                    &shape,
+                    tc,
+                    w,
+                    ctx.models.fc_alt_ghz(),
+                    ctx.models.fm_ref_ghz(),
+                    &ectx,
+                ),
+            ))
+        })
+        .collect();
+    let tables = ctx.models.build_kernel_tables(&samples);
+    let est = EnergyEstimator {
+        space: &ctx.space,
+        tables: &tables,
+        idle: &ctx.models.idle,
+        objective: Objective::TotalEnergy,
+        concurrency: 2.0,
+        max_width: usize::MAX,
+    };
+    let mut search_bench = |name: &'static str, f: &dyn Fn() -> SearchOutcome| {
+        let evals_per_search = f().stats.evaluations as f64;
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            for _ in 0..search_iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / search_iters as f64);
+        }
+        let med = median(samples);
+        entries.push(Entry {
+            name,
+            unit: "evals_per_sec",
+            rate: evals_per_search / (med / 1e9),
+            median_ns: med,
+        });
+        eprintln!("[joss_bench_json] {name}: {med:.0} ns/search ({evals_per_search} evals)");
+    };
+    search_bench("search_overhead/exhaustive", &|| {
+        exhaustive_search(&est, true)
+    });
+    search_bench("search_overhead/steepest_descent", &|| {
+        steepest_descent_search(&est, true)
+    });
+
+    // Hand-rolled JSON (the vendored serde is a no-op): stable key order,
+    // one bench object per line for reviewable diffs.
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"joss-bench-engine/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"runs_per_bench\": {runs},");
+    json.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"rate\": {:.0}, \"median_ns\": {:.0}}}",
+            e.name, e.unit, e.rate, e.median_ns
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench artifact");
+    eprintln!("[joss_bench_json] wrote {out_path}");
+    print!("{json}");
+}

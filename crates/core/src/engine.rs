@@ -207,6 +207,29 @@ struct Sim<'a> {
     next_token: u64,
     trace_rec: Option<ExecTrace>,
 
+    // Incrementally maintained mirrors of queue/core state, published to
+    // schedulers as borrowed slices (O(1) `SchedCtx` construction).
+    core_tc: Vec<CoreType>,
+    queue_lens: Vec<usize>,
+    core_busy: Vec<bool>,
+    running_count: usize,
+    running_per_type: [usize; 2],
+    /// Core indices per core type (ascending engine order), precomputed so
+    /// typed placement never filters the core list.
+    cores_of: [Vec<usize>; 2],
+    /// Number of `Some` entries in `molds` (skips the join scan when zero).
+    active_molds: usize,
+    /// Reusable steal-victim buffer (refilled and reshuffled per attempt).
+    steal_scratch: Vec<usize>,
+    /// Recycled member-core vectors; steady state allocates none.
+    core_vec_pool: Vec<Vec<usize>>,
+    /// Reusable timer-command buffer handed to `Scheduler::on_timer`.
+    timer_cmds: Vec<FreqCommand>,
+    /// Cached rail powers, recomputed only after an event that can change
+    /// them (task launch/completion, DVFS activity).
+    rail_cache: [f64; 3],
+    rail_dirty: bool,
+
     ctrl: [DvfsController; 2],
     ctrl_mem: DvfsController,
 
@@ -219,6 +242,7 @@ struct Sim<'a> {
 
     // Report counters.
     steals: u64,
+    mold_timeouts: u64,
     tasks_per_type: [usize; 2],
     sampling_time_s: f64,
     total_task_time_s: f64,
@@ -255,6 +279,12 @@ impl<'a> Sim<'a> {
         let sensor = PowerSensor::new(Duration::from_millis(machine.spec.sensor_period_ms));
         let seed = cfg.seed;
         let record_trace = cfg.record_trace;
+        let n_cores = cores.len();
+        let core_tc: Vec<CoreType> = cores.iter().map(|c| c.tc).collect();
+        let mut cores_of: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for (i, &tc) in core_tc.iter().enumerate() {
+            cores_of[tc.index()].push(i);
+        }
         Sim {
             machine,
             space,
@@ -269,6 +299,18 @@ impl<'a> Sim<'a> {
             molds: Vec::new(),
             next_token: 0,
             trace_rec: record_trace.then(ExecTrace::default),
+            core_tc,
+            queue_lens: vec![0; n_cores],
+            core_busy: vec![false; n_cores],
+            running_count: 0,
+            running_per_type: [0, 0],
+            cores_of,
+            active_molds: 0,
+            steal_scratch: Vec::with_capacity(n_cores),
+            core_vec_pool: Vec::with_capacity(n_cores),
+            timer_cmds: Vec::new(),
+            rail_cache: [0.0; 3],
+            rail_dirty: true,
             ctrl,
             ctrl_mem,
             indegree: graph.indegrees().to_vec(),
@@ -277,6 +319,7 @@ impl<'a> Sim<'a> {
             sensor,
             rng: StdRng::seed_from_u64(seed),
             steals: 0,
+            mold_timeouts: 0,
             tasks_per_type: [0, 0],
             sampling_time_s: 0.0,
             total_task_time_s: 0.0,
@@ -292,22 +335,62 @@ impl<'a> Sim<'a> {
         }));
     }
 
-    fn running_tasks(&self) -> usize {
-        self.runnings.iter().filter(|r| r.is_some()).count()
-    }
-
+    /// O(1), allocation-free: every field is either a counter the event
+    /// handlers keep current or a borrowed slice over incrementally
+    /// maintained per-core state.
     fn sched_ctx(&self) -> SchedCtx<'_> {
         SchedCtx {
             space: &self.space,
             graph: self.graph,
             now_s: self.now.as_secs_f64(),
-            running_tasks: self.running_tasks(),
+            running_tasks: self.running_count,
             settled_fc: [self.ctrl[0].settled_freq(), self.ctrl[1].settled_freq()],
             settled_fm: self.ctrl_mem.settled_freq(),
-            queue_lens: self.cores.iter().map(|c| c.queue.len()).collect(),
-            core_busy: self.cores.iter().map(|c| c.running.is_some()).collect(),
-            core_tc: self.cores.iter().map(|c| c.tc).collect(),
+            queue_lens: &self.queue_lens,
+            core_busy: &self.core_busy,
+            core_tc: &self.core_tc,
         }
+    }
+
+    // Every queue mutation goes through these helpers so the published
+    // `queue_lens` mirror can never drift from the queues themselves.
+
+    fn enqueue_back(&mut self, core: usize, q: Queued) {
+        self.cores[core].queue.push_back(q);
+        self.queue_lens[core] += 1;
+    }
+
+    fn enqueue_front(&mut self, core: usize, q: Queued) {
+        self.cores[core].queue.push_front(q);
+        self.queue_lens[core] += 1;
+    }
+
+    fn dequeue_front(&mut self, core: usize) -> Option<Queued> {
+        let q = self.cores[core].queue.pop_front();
+        if q.is_some() {
+            self.queue_lens[core] -= 1;
+        }
+        debug_assert_eq!(self.queue_lens[core], self.cores[core].queue.len());
+        q
+    }
+
+    fn dequeue_at(&mut self, core: usize, pos: usize) -> Queued {
+        let q = self.cores[core].queue.remove(pos).expect("position valid");
+        self.queue_lens[core] -= 1;
+        debug_assert_eq!(self.queue_lens[core], self.cores[core].queue.len());
+        q
+    }
+
+    /// Take a member-core vector from the recycle pool (or allocate the
+    /// pool's first few on a cold start). Returned vectors are empty.
+    fn take_core_vec(&mut self) -> Vec<usize> {
+        self.core_vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a member-core vector to the pool once its task completed.
+    fn recycle_core_vec(&mut self, mut v: Vec<usize>) {
+        v.clear();
+        self.core_vec_pool.push(v);
     }
 
     fn main_loop(&mut self, sched: &mut dyn Scheduler) {
@@ -349,15 +432,22 @@ impl<'a> Sim<'a> {
                 Ev::MoldTimeout { mold } => {
                     // Patience exhausted: start with the gathered width.
                     if let Some(m) = self.molds[mold].take() {
+                        self.active_molds -= 1;
+                        self.mold_timeouts += 1;
                         self.launch(sched, m.q, m.members, m.stolen);
                     }
                 }
                 Ev::Timer => {
-                    let mut ctx = self.sched_ctx();
-                    let cmds = sched.on_timer(&mut ctx);
-                    for cmd in cmds {
+                    let mut cmds = std::mem::take(&mut self.timer_cmds);
+                    cmds.clear();
+                    {
+                        let mut ctx = self.sched_ctx();
+                        sched.on_timer(&mut ctx, &mut cmds);
+                    }
+                    for &cmd in &cmds {
                         self.apply_freq_command(cmd);
                     }
+                    self.timer_cmds = cmds;
                     if self.completed < n {
                         if let Some(interval) = sched.timer_interval() {
                             self.push(self.now + interval, Ev::Timer);
@@ -365,9 +455,14 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
-            // Rail powers may have changed; commit the new level.
-            let watts = self.rail_powers();
-            self.trace.set(self.now, watts);
+            // Commit the rail-power level at every event (the integration
+            // break points must match the event sequence exactly), but only
+            // recompute it when this event could have changed it.
+            if self.rail_dirty {
+                self.rail_cache = self.rail_powers();
+                self.rail_dirty = false;
+            }
+            self.trace.set(self.now, self.rail_cache);
         }
     }
 
@@ -379,28 +474,27 @@ impl<'a> Sim<'a> {
             sched.place(&mut ctx, task)
         };
         let core = self.pick_home_core(placement.tc);
-        self.cores[core].queue.push_back(Queued {
-            task,
-            placement,
-            pin_waits: 0,
-        });
+        self.enqueue_back(
+            core,
+            Queued {
+                task,
+                placement,
+                pin_waits: 0,
+            },
+        );
         self.push(self.now, Ev::Wake { core });
     }
 
     /// Random core of the requested type (or of any type), as the paper's
-    /// random-queue placement.
+    /// random-queue placement. The per-type index lists are precomputed at
+    /// construction, so a typed pick is one RNG draw and one table lookup.
     fn pick_home_core(&mut self, tc: Option<CoreType>) -> usize {
         match tc {
             None => self.rng.gen_range(0..self.cores.len()),
             Some(t) => {
-                let candidates: Vec<usize> = self
-                    .cores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.tc == t)
-                    .map(|(i, _)| i)
-                    .collect();
-                candidates[self.rng.gen_range(0..candidates.len())]
+                let candidates = self.cores_of[t.index()].len();
+                let pick = self.rng.gen_range(0..candidates);
+                self.cores_of[t.index()][pick]
             }
         }
     }
@@ -412,25 +506,30 @@ impl<'a> Sim<'a> {
             return;
         }
         // Waiting moldable tasks of my type have priority (core reservation).
+        // The scan is gated on the active-mold counter: in the common case
+        // (no task gathering cores) dispatch skips it entirely.
         let my_tc = self.cores[core].tc;
-        let joinable = self.molds.iter().position(|m| {
-            m.as_ref()
-                .is_some_and(|m| m.tc == my_tc && m.members.len() < m.need)
-        });
-        if let Some(mi) = joinable {
-            self.cores[core].reserved = true;
-            let full = {
-                let m = self.molds[mi].as_mut().expect("present");
-                m.members.push(core);
-                m.members.len() >= m.need
-            };
-            if full {
-                let m = self.molds[mi].take().expect("present");
-                self.launch(sched, m.q, m.members, m.stolen);
+        if self.active_molds > 0 {
+            let joinable = self.molds.iter().position(|m| {
+                m.as_ref()
+                    .is_some_and(|m| m.tc == my_tc && m.members.len() < m.need)
+            });
+            if let Some(mi) = joinable {
+                self.cores[core].reserved = true;
+                let full = {
+                    let m = self.molds[mi].as_mut().expect("present");
+                    m.members.push(core);
+                    m.members.len() >= m.need
+                };
+                if full {
+                    let m = self.molds[mi].take().expect("present");
+                    self.active_molds -= 1;
+                    self.launch(sched, m.q, m.members, m.stolen);
+                }
+                return;
             }
-            return;
         }
-        if let Some(q) = self.cores[core].queue.pop_front() {
+        if let Some(q) = self.dequeue_front(core) {
             if self.revise_and_route(sched, core, q, false) {
                 return;
             }
@@ -440,28 +539,38 @@ impl<'a> Sim<'a> {
         }
         // Steal: visit victims in random order; take the oldest compatible
         // item. Typed placements may only be stolen by cores of the same
-        // type (paper §5.3); untyped (GRWS) items move anywhere.
-        let mut victims: Vec<usize> = (0..self.cores.len()).filter(|&v| v != core).collect();
+        // type (paper §5.3); untyped (GRWS) items move anywhere. The victim
+        // buffer is engine-owned scratch, refilled (not reallocated) and
+        // reshuffled on every attempt — the RNG draw sequence is identical
+        // to shuffling a freshly collected vector.
+        let mut victims = std::mem::take(&mut self.steal_scratch);
+        victims.clear();
+        victims.extend((0..self.cores.len()).filter(|&v| v != core));
         // Fisher-Yates with the engine RNG for deterministic victim order.
         for i in (1..victims.len()).rev() {
             let j = self.rng.gen_range(0..=i);
             victims.swap(i, j);
         }
-        for v in victims {
+        let mut found = None;
+        for &v in &victims {
             let pos = self.cores[v]
                 .queue
                 .iter()
                 .position(|q| q.placement.tc.is_none_or(|t| t == my_tc));
             if let Some(pos) = pos {
-                let q = self.cores[v].queue.remove(pos).expect("position valid");
-                self.steals += 1;
-                if !self.revise_and_route(sched, core, q, true) {
-                    self.push(self.now, Ev::Wake { core });
-                }
-                return;
+                found = Some((v, pos));
+                break;
             }
         }
-        // Nothing to do: the core sleeps until a Wake event.
+        self.steal_scratch = victims;
+        if let Some((v, pos)) = found {
+            let q = self.dequeue_at(v, pos);
+            self.steals += 1;
+            if !self.revise_and_route(sched, core, q, true) {
+                self.push(self.now, Ev::Wake { core });
+            }
+        }
+        // Otherwise nothing to do: the core sleeps until a Wake event.
     }
 
     /// Give the scheduler a dispatch-time chance to revise the placement.
@@ -483,7 +592,7 @@ impl<'a> Sim<'a> {
         if let Some(want_tc) = revised.tc {
             if want_tc != my_tc {
                 let target = self.pick_home_core(Some(want_tc));
-                self.cores[target].queue.push_back(q);
+                self.enqueue_back(target, q);
                 self.push(self.now, Ev::Wake { core: target });
                 return false;
             }
@@ -517,10 +626,12 @@ impl<'a> Sim<'a> {
             if r1.transitioned {
                 self.push(r1.effective_at, Ev::Dvfs);
                 self.note_dvfs(tc.index(), r1.effective_at, want_fc);
+                self.rail_dirty = true;
             }
             if r2.transitioned {
                 self.push(r2.effective_at, Ev::Dvfs);
                 self.note_dvfs(2, r2.effective_at, want_fm);
+                self.rail_dirty = true;
             }
             let settle = r1.effective_at.max(r2.effective_at);
             let pending = self.ctrl[tc.index()].freq_at(self.now) != want_fc
@@ -528,7 +639,7 @@ impl<'a> Sim<'a> {
             if pending && settle > self.now && q.pin_waits < 3 {
                 let mut q = q;
                 q.pin_waits += 1;
-                self.cores[leader].queue.push_front(q);
+                self.enqueue_front(leader, q);
                 self.push(settle, Ev::Wake { core: leader });
                 return;
             }
@@ -536,8 +647,11 @@ impl<'a> Sim<'a> {
 
         // Gather cores for moldable execution: take currently free same-type
         // cores immediately; if short, reserve and wait (bounded patience)
-        // for cores to finish their current tasks and join.
-        let mut members = vec![leader];
+        // for cores to finish their current tasks and join. The member
+        // vector is recycled from completed tasks, so the steady state
+        // allocates nothing.
+        let mut members = self.take_core_vec();
+        members.push(leader);
         if width_req > 1 {
             for i in 0..self.cores.len() {
                 if members.len() >= width_req {
@@ -566,6 +680,7 @@ impl<'a> Sim<'a> {
                     self.molds.push(Some(mold));
                     self.molds.len() - 1
                 };
+                self.active_molds += 1;
                 // Patience: at least the configured floor, and long enough
                 // for every same-cluster task currently running to finish
                 // and join (cores join waiting molds before taking new
@@ -594,15 +709,11 @@ impl<'a> Sim<'a> {
         let width = members.len();
 
         // Coordinated frequency requests: blend with the current setting when
-        // other tasks share the domain (paper §5.3).
+        // other tasks share the domain (paper §5.3). Sharer counts come from
+        // the incrementally maintained per-type counters, not a slot scan.
         if let (Some((want_fc, want_fm)), true) = (q.placement.freq, q.placement.coordinate) {
-            let others_cluster = self
-                .runnings
-                .iter()
-                .flatten()
-                .filter(|r| r.tc == tc)
-                .count();
-            let others_mem = self.running_tasks();
+            let others_cluster = self.running_per_type[tc.index()];
+            let others_mem = self.running_count;
             let fc_t = self.cfg.coordination.blend(
                 want_fc,
                 self.ctrl[tc.index()].settled_freq(),
@@ -663,12 +774,19 @@ impl<'a> Sim<'a> {
         });
         let duration_s = exec.duration.as_secs_f64().max(1e-12);
         self.next_token += 1;
+        for &m in &members {
+            self.cores[m].running = Some(slot);
+            self.cores[m].reserved = false;
+            self.core_busy[m] = true;
+        }
+        // `members` moves into the running slot (it is recycled at
+        // completion); no per-launch clone.
         let running = Running {
             task,
             shape,
             tc,
             width,
-            cores: members.clone(),
+            cores: members,
             started: self.now,
             finish_at: self.now + exec.duration,
             token: self.next_token,
@@ -687,11 +805,10 @@ impl<'a> Sim<'a> {
         let finish_at = running.finish_at;
         let token = running.token;
         self.runnings[slot] = Some(running);
-        for &m in &members {
-            self.cores[m].running = Some(slot);
-            self.cores[m].reserved = false;
-        }
+        self.running_count += 1;
+        self.running_per_type[tc.index()] += 1;
         self.tasks_per_type[tc.index()] += 1;
+        self.rail_dirty = true;
         self.push(finish_at, Ev::Done { slot, token });
 
         let mut ctx2 = self.sched_ctx();
@@ -707,8 +824,16 @@ impl<'a> Sim<'a> {
         }
         let r = self.runnings[slot].take().expect("checked above");
         self.free_slots.push(slot);
+        self.running_count -= 1;
+        self.running_per_type[r.tc.index()] -= 1;
+        self.rail_dirty = true;
+        debug_assert_eq!(
+            self.running_count,
+            self.runnings.iter().filter(|r| r.is_some()).count()
+        );
         for &c in &r.cores {
             self.cores[c].running = None;
+            self.core_busy[c] = false;
             self.push(self.now, Ev::Wake { core: c });
         }
         let duration_s = self.now.since(r.started).as_secs_f64();
@@ -751,10 +876,14 @@ impl<'a> Sim<'a> {
             let mut ctx = self.sched_ctx();
             sched.task_completed(&mut ctx, &sample);
         }
+        let task = r.task;
+        self.recycle_core_vec(r.cores);
 
-        // Wake dependents whose last dependency this was.
-        let succs: Vec<TaskId> = self.graph.successors(r.task).to_vec();
-        for s in succs {
+        // Wake dependents whose last dependency this was. The successor
+        // slice borrows the graph (lifetime `'a`, independent of `self`),
+        // so no defensive copy is needed while `make_ready` mutates state.
+        let graph = self.graph;
+        for &s in graph.successors(task) {
             let d = &mut self.indegree[s.index()];
             debug_assert!(*d > 0, "dependency counting underflow");
             *d -= 1;
@@ -774,6 +903,7 @@ impl<'a> Sim<'a> {
         if req.transitioned {
             self.push(req.effective_at, Ev::Dvfs);
             self.note_dvfs(domain, req.effective_at, freq);
+            self.rail_dirty = true;
         }
     }
 
@@ -791,6 +921,9 @@ impl<'a> Sim<'a> {
     /// A DVFS transition took effect: rescale every running task whose
     /// effective frequencies changed and refresh its power draw.
     fn rescale_all(&mut self) {
+        // A transition landed: even if no running task's operating point
+        // changes, the cluster idle draw follows the new frequency.
+        self.rail_dirty = true;
         let n_slots = self.runnings.len();
         let mut self_token = self.next_token;
         for slot in 0..n_slots {
@@ -888,6 +1021,7 @@ impl<'a> Sim<'a> {
             tasks: self.completed,
             tasks_per_type: self.tasks_per_type,
             steals: self.steals,
+            mold_timeouts: self.mold_timeouts,
             dvfs_transitions: self.ctrl[0].n_transitions
                 + self.ctrl[1].n_transitions
                 + self.ctrl_mem.n_transitions,

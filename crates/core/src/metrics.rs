@@ -20,6 +20,9 @@ pub struct RunReport {
     pub tasks_per_type: [usize; 2],
     /// Number of successful steals.
     pub steals: u64,
+    /// Moldable tasks that ran out of gathering patience and launched with a
+    /// degraded width (the §5.3 mold-timeout path).
+    pub mold_timeouts: u64,
     /// DVFS transitions performed across all domains.
     pub dvfs_transitions: u64,
     /// DVFS requests that serialized behind an in-flight transition.
@@ -88,6 +91,7 @@ mod tests {
             tasks: 100,
             tasks_per_type: [40, 60],
             steals: 7,
+            mold_timeouts: 0,
             dvfs_transitions: 3,
             dvfs_serialized: 1,
             sampling_time_s: 0.01,

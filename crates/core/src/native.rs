@@ -202,10 +202,17 @@ mod tests {
             std::hint::black_box((0..50_000u64).fold(0u64, |a, b| a.wrapping_add(b * b)));
         });
         assert_eq!(stats.total_tasks(), 1000);
-        // With 1000 independent tasks, at least two workers should get work.
+        // With 1000 independent tasks, at least two workers should get work —
+        // but only when the host can actually run two workers at once. On a
+        // single-CPU machine the first worker routinely drains the whole
+        // injector before the OS ever schedules a second one.
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let active = stats.per_worker.iter().filter(|&&c| c > 0).count();
+        let want = if host_cores >= 2 { 2 } else { 1 };
         assert!(
-            active >= 2,
+            active >= want,
             "stealing failed to spread load: {:?}",
             stats.per_worker
         );

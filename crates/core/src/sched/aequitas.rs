@@ -85,22 +85,25 @@ impl Scheduler for AequitasSched {
         Some(self.slice)
     }
 
-    fn on_timer(&mut self, ctx: &mut SchedCtx<'_>) -> Vec<FreqCommand> {
+    fn on_timer(&mut self, ctx: &mut SchedCtx<'_>, out: &mut Vec<FreqCommand>) {
         self.ensure_cores(ctx);
-        let mut cmds = Vec::new();
         for tc in CoreType::ALL {
             // Active cores of this cluster: running or with queued work.
-            let active: Vec<usize> = (0..ctx.core_tc.len())
-                .filter(|&c| ctx.core_tc[c] == tc && (ctx.core_busy[c] || ctx.queue_lens[c] > 0))
-                .collect();
-            if active.is_empty() {
+            // Count-then-select keeps the tick allocation-free; the chosen
+            // core is identical to indexing a collected active list.
+            let is_active =
+                |c: usize| ctx.core_tc[c] == tc && (ctx.core_busy[c] || ctx.queue_lens[c] > 0);
+            let n_active = (0..ctx.core_tc.len()).filter(|&c| is_active(c)).count();
+            if n_active == 0 {
                 continue;
             }
-            let slot = self.token[tc.index()] % active.len();
+            let slot = self.token[tc.index()] % n_active;
             self.token[tc.index()] = self.token[tc.index()].wrapping_add(1);
-            let core = active[slot];
-            cmds.push(FreqCommand::Cluster(tc, self.desired[core]));
+            let core = (0..ctx.core_tc.len())
+                .filter(|&c| is_active(c))
+                .nth(slot)
+                .expect("slot < n_active");
+            out.push(FreqCommand::Cluster(tc, self.desired[core]));
         }
-        cmds
     }
 }

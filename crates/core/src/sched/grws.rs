@@ -42,6 +42,7 @@ mod tests {
         let t = b.add_task(k, &[]).unwrap();
         let g = b.build("g").unwrap();
         let space = joss_platform::ConfigSpace::from_spec(&joss_platform::PlatformSpec::tx2_like());
+        use joss_platform::CoreType::{Big, Little};
         let mut ctx = SchedCtx {
             space: &space,
             graph: &g,
@@ -49,16 +50,9 @@ mod tests {
             running_tasks: 0,
             settled_fc: [space.fc_max(), space.fc_max()],
             settled_fm: space.fm_max(),
-            queue_lens: vec![0; 6],
-            core_busy: vec![false; 6],
-            core_tc: vec![
-                joss_platform::CoreType::Big,
-                joss_platform::CoreType::Big,
-                joss_platform::CoreType::Little,
-                joss_platform::CoreType::Little,
-                joss_platform::CoreType::Little,
-                joss_platform::CoreType::Little,
-            ],
+            queue_lens: &[0; 6],
+            core_busy: &[false; 6],
+            core_tc: &[Big, Big, Little, Little, Little, Little],
         };
         let mut s = GrwsSched::new();
         let p = s.place(&mut ctx, t);

@@ -21,6 +21,12 @@ pub use grws::GrwsSched;
 pub use model_based::{ModelSched, SearchKind, Target};
 
 /// Read-only runtime view handed to scheduler callbacks.
+///
+/// Construction is O(1): the per-core views are borrowed slices over state
+/// the engine maintains incrementally (queue lengths and busy flags are
+/// updated at enqueue/dispatch/completion, the running-task count at
+/// launch/completion), not snapshots collected per callback. Schedulers are
+/// invoked several times per task, so nothing here may scan or allocate.
 #[derive(Debug)]
 pub struct SchedCtx<'a> {
     /// Platform configuration space.
@@ -37,11 +43,11 @@ pub struct SchedCtx<'a> {
     /// Settled (target) memory frequency.
     pub settled_fm: FreqIndex,
     /// Work-queue length per core.
-    pub queue_lens: Vec<usize>,
+    pub queue_lens: &'a [usize],
     /// Whether each core is currently executing a partition.
-    pub core_busy: Vec<bool>,
+    pub core_busy: &'a [bool],
     /// Core type of each core (engine numbering: big cores first).
-    pub core_tc: Vec<joss_platform::CoreType>,
+    pub core_tc: &'a [joss_platform::CoreType],
 }
 
 /// A scheduling policy. The engine provides mechanisms (queues, stealing,
@@ -83,11 +89,11 @@ pub trait Scheduler {
         None
     }
 
-    /// Periodic hook (e.g. Aequitas' 1 s frequency time slices); returned
-    /// commands are applied to the DVFS controllers.
-    fn on_timer(&mut self, _ctx: &mut SchedCtx<'_>) -> Vec<FreqCommand> {
-        Vec::new()
-    }
+    /// Periodic hook (e.g. Aequitas' 1 s frequency time slices); commands
+    /// pushed into `out` are applied to the DVFS controllers. `out` is a
+    /// reusable engine-owned buffer (cleared before every tick) so periodic
+    /// schedulers stay allocation-free in steady state.
+    fn on_timer(&mut self, _ctx: &mut SchedCtx<'_>, _out: &mut Vec<FreqCommand>) {}
 
     /// Total configuration-search evaluations performed (report metric).
     fn search_evaluations(&self) -> u64 {

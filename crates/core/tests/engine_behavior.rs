@@ -239,6 +239,137 @@ fn untyped_tasks_use_both_clusters() {
 }
 
 #[test]
+fn competing_molds_time_out_and_launch_degraded() {
+    // Two long width-1 little tasks occupy cores while two width-3 molds
+    // gather: the molds split the remaining little cores between their
+    // reservations, neither fills, and when the first mold launches (fed by
+    // the finishing long tasks) the second one's patience deadline — set
+    // when it started gathering — fires mid-run and launches it degraded.
+    let mut b = TaskGraphBuilder::new();
+    let long = b.add_kernel(KernelSpec::new("long", TaskShape::new(0.02, 0.001)));
+    let mold = b.add_kernel(KernelSpec::new("mold", TaskShape::new(0.02, 0.001)));
+    for _ in 0..2 {
+        b.add_task(long, &[]).unwrap();
+    }
+    for _ in 0..2 {
+        b.add_task(mold, &[]).unwrap();
+    }
+    let g = b.build("compete").unwrap();
+
+    struct MixedWidth;
+    impl Scheduler for MixedWidth {
+        fn name(&self) -> &str {
+            "MixedWidth"
+        }
+        fn place(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Placement {
+            if ctx.graph.kernel_of(task).index() == 0 {
+                Placement::on(CoreType::Little, 1)
+            } else {
+                Placement::on(CoreType::Little, 3)
+            }
+        }
+    }
+    let machine = machine();
+    let mut sched = MixedWidth;
+    let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());
+    assert_eq!(report.tasks, 4);
+    assert!(
+        report.mold_timeouts >= 1,
+        "a gathering mold must run out of patience (got {})",
+        report.mold_timeouts
+    );
+}
+
+#[test]
+fn sched_ctx_mirrors_stay_consistent_through_steals() {
+    // The per-core queue-length/busy slices and the running-task counter
+    // are maintained incrementally; this probe cross-checks their
+    // invariants at every scheduler callback of a steal- and mold-heavy
+    // run (they cannot be compared against the queues directly from here,
+    // but violations of these invariants are what drift looks like).
+    #[derive(Default)]
+    struct Auditor {
+        placed: usize,
+        completed: usize,
+        callbacks: usize,
+    }
+    impl Auditor {
+        fn audit(&mut self, ctx: &SchedCtx<'_>) {
+            self.callbacks += 1;
+            let n = ctx.core_tc.len();
+            assert_eq!(ctx.queue_lens.len(), n);
+            assert_eq!(ctx.core_busy.len(), n);
+            let busy = ctx.core_busy.iter().filter(|&&b| b).count();
+            assert!(
+                busy >= ctx.running_tasks,
+                "each running task occupies at least one core ({} busy, {} running)",
+                busy,
+                ctx.running_tasks
+            );
+            if ctx.running_tasks == 0 {
+                assert_eq!(busy, 0, "no running tasks but busy cores");
+            }
+            let queued: usize = ctx.queue_lens.iter().sum();
+            assert!(
+                queued + ctx.running_tasks + self.completed <= self.placed + ctx.running_tasks,
+                "more work visible than ever placed"
+            );
+        }
+    }
+    impl Scheduler for Auditor {
+        fn name(&self) -> &str {
+            "Auditor"
+        }
+        fn place(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) -> Placement {
+            self.audit(ctx);
+            self.placed += 1;
+            // Mixed widths and types keep molds, steals and re-routing busy.
+            match task.0 % 3 {
+                0 => Placement::anywhere(),
+                1 => Placement::on(CoreType::Little, 2),
+                _ => Placement::on(CoreType::Big, 1),
+            }
+        }
+        fn revise(
+            &mut self,
+            ctx: &mut SchedCtx<'_>,
+            _task: TaskId,
+            current: Placement,
+        ) -> Placement {
+            self.audit(ctx);
+            current
+        }
+        fn task_started(
+            &mut self,
+            ctx: &mut SchedCtx<'_>,
+            _task: TaskId,
+            core: usize,
+            _stolen: bool,
+        ) {
+            self.audit(ctx);
+            assert!(ctx.core_busy[core], "the leader core must be marked busy");
+        }
+        fn task_completed(&mut self, ctx: &mut SchedCtx<'_>, _sample: &ExecutedSample) {
+            self.audit(ctx);
+            self.completed += 1;
+        }
+    }
+    let machine = machine();
+    let g = generators::chain_bundle(
+        "audit",
+        KernelSpec::new("k", TaskShape::new(0.008, 0.002)),
+        120,
+        12,
+    );
+    let mut sched = Auditor::default();
+    let report = SimEngine::run(&machine, &g, &mut sched, EngineConfig::default());
+    assert_eq!(report.tasks, 120);
+    assert_eq!(sched.completed, 120);
+    assert!(report.steals > 0, "the audit run must exercise stealing");
+    assert!(sched.callbacks > 400, "every callback path must be audited");
+}
+
+#[test]
 fn energy_includes_idle_power_of_unused_cluster() {
     // Running only on the big cluster must still pay the little cluster's
     // idle power: compare against the analytic idle floor.

@@ -47,12 +47,15 @@ pub struct EnergyEstimator<'a> {
 }
 
 impl<'a> EnergyEstimator<'a> {
-    /// `<TC,NC>` pairs admissible under the kernel's moldable width cap.
-    fn tc_nc_candidates(&self) -> Vec<(joss_platform::CoreType, joss_platform::NcIndex)> {
+    /// `<TC,NC>` pairs admissible under the kernel's moldable width cap,
+    /// iterated directly (a search runs per kernel per run, so candidate
+    /// enumeration must not allocate).
+    fn tc_nc_candidates(
+        &self,
+    ) -> impl Iterator<Item = (joss_platform::CoreType, joss_platform::NcIndex)> + '_ {
         self.space
             .iter_tc_nc()
-            .filter(|&(tc, nc)| self.space.nc_count(tc, nc) <= self.max_width)
-            .collect()
+            .filter(move |&(tc, nc)| self.space.nc_count(tc, nc) <= self.max_width)
     }
 }
 
@@ -109,12 +112,15 @@ pub struct SearchOutcome {
     pub stats: SearchStats,
 }
 
-/// How the `fM` knob may be used by a search.
-fn fm_candidates(space: &ConfigSpace, allow_mem_dvfs: bool) -> Vec<FreqIndex> {
+/// How the `fM` knob may be used by a search: the admissible index range
+/// (the whole ladder, or the single pinned maximum). The candidates are
+/// contiguous either way, so searches iterate the range directly instead of
+/// collecting a vector per search.
+fn fm_range(space: &ConfigSpace, allow_mem_dvfs: bool) -> std::ops::Range<usize> {
     if allow_mem_dvfs {
-        (0..space.mem_freqs_ghz.len()).map(FreqIndex).collect()
+        0..space.mem_freqs_ghz.len()
     } else {
-        vec![space.fm_max()]
+        space.fm_max().0..space.fm_max().0 + 1
     }
 }
 
@@ -124,12 +130,12 @@ fn fm_candidates(space: &ConfigSpace, allow_mem_dvfs: bool) -> Vec<FreqIndex> {
 /// JOSS_NoMemDVFS / STEER setting).
 pub fn exhaustive_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
     let mut stats = SearchStats::default();
-    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let fms = fm_range(est.space, allow_mem_dvfs);
     let mut best: Option<(KnobConfig, f64)> = None;
     for (tc, nc) in est.tc_nc_candidates() {
         for fc in 0..est.space.cpu_freqs_ghz.len() {
-            for &fm in &fms {
-                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
+            for fm in fms.clone() {
+                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), FreqIndex(fm));
                 let e = est.energy_j(cfg);
                 stats.evaluations += 1;
                 if best.is_none_or(|(_, be)| e < be) {
@@ -157,67 +163,114 @@ pub fn exhaustive_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> Sea
 pub fn steepest_descent_search(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
     let space = est.space;
     let mut stats = SearchStats::default();
-    let corners: Vec<(FreqIndex, FreqIndex)> = if allow_mem_dvfs {
-        space.freq_corners().to_vec()
+    let corner_buf: [(FreqIndex, FreqIndex); 4] = if allow_mem_dvfs {
+        space.freq_corners()
     } else {
-        vec![
+        let pinned = [
             (FreqIndex(0), space.fm_max()),
             (space.fc_max(), space.fm_max()),
-        ]
+        ];
+        [pinned[0], pinned[1], pinned[0], pinned[1]]
     };
+    let corners: &[(FreqIndex, FreqIndex)] = &corner_buf[..if allow_mem_dvfs { 4 } else { 2 }];
 
-    // Step 1: corner energies per <TC,NC> (width-admissible pairs only).
-    let tcnc: Vec<_> = est.tc_nc_candidates();
-    let mut corner_e = vec![vec![0.0f64; corners.len()]; tcnc.len()];
-    for (ti, &(tc, nc)) in tcnc.iter().enumerate() {
-        for (ci, &(fc, fm)) in corners.iter().enumerate() {
-            corner_e[ti][ci] = est.energy_j(KnobConfig::new(tc, nc, fc, fm));
-            stats.evaluations += 1;
-        }
+    /// One `<TC,NC>` candidate with its corner-energy row — everything the
+    /// win-count and descent steps need, held on the stack. Only the current
+    /// candidate and the (≤ 4) per-corner leaders are ever live, so the
+    /// search stores O(corners), not O(candidates × corners).
+    #[derive(Clone, Copy)]
+    struct Cand {
+        ti: usize,
+        tc: joss_platform::CoreType,
+        nc: joss_platform::NcIndex,
+        row: [f64; 4],
+        row_sum: f64,
     }
 
-    // Step 2: corner wins — for each corner, which <TC,NC> is cheapest.
-    let mut wins = vec![0usize; tcnc.len()];
-    let mut best = vec![0usize; corners.len()];
-    for (ti, row) in corner_e.iter().enumerate().skip(1) {
-        for (ci, &e) in row.iter().enumerate() {
-            if e < corner_e[best[ci]][ci] {
-                best[ci] = ti;
+    // Steps 1+2 fused and streamed: evaluate each candidate's corner row in
+    // enumeration order (same evaluation order and count as materializing
+    // the full table) and keep the per-corner leader. Strict `<` preserves
+    // the original first-index-wins tie behavior.
+    let mut leaders: [Option<Cand>; 4] = [None; 4];
+    for (ti, (tc, nc)) in est.tc_nc_candidates().enumerate() {
+        let mut row = [0.0f64; 4];
+        for (ci, &(fc, fm)) in corners.iter().enumerate() {
+            row[ci] = est.energy_j(KnobConfig::new(tc, nc, fc, fm));
+            stats.evaluations += 1;
+        }
+        // Identical summation order to `corner_e[ti].iter().sum()`.
+        let mut row_sum = 0.0;
+        for &e in &row[..corners.len()] {
+            row_sum += e;
+        }
+        let cand = Cand {
+            ti,
+            tc,
+            nc,
+            row,
+            row_sum,
+        };
+        for (ci, leader) in leaders[..corners.len()].iter_mut().enumerate() {
+            match leader {
+                None => *leader = Some(cand),
+                Some(l) if cand.row[ci] < l.row[ci] => *leader = Some(cand),
+                _ => {}
             }
         }
     }
-    for &ti in &best {
-        wins[ti] += 1;
-    }
-    let chosen_ti = (0..tcnc.len())
-        .max_by(|&a, &b| {
-            wins[a].cmp(&wins[b]).then_with(|| {
-                // Tie-break: lower total corner energy wins.
-                let sa: f64 = corner_e[a].iter().sum();
-                let sb: f64 = corner_e[b].iter().sum();
-                sb.partial_cmp(&sa).expect("finite energies")
-            })
-        })
-        .expect("non-empty tcnc set");
-    let (tc, nc) = tcnc[chosen_ti];
 
-    // Step 3: hill-descent from the best corner of the chosen table.
-    let best_corner = (0..corners.len())
-        .min_by(|&a, &b| {
-            corner_e[chosen_ti][a]
-                .partial_cmp(&corner_e[chosen_ti][b])
-                .unwrap()
-        })
-        .expect("corners non-empty");
+    // Count corner wins per distinct leader (at most one per corner).
+    let mut winners: [Option<(Cand, usize)>; 4] = [None; 4];
+    for leader in leaders[..corners.len()].iter() {
+        let l = leader.expect("non-empty tcnc set");
+        let slot = winners
+            .iter_mut()
+            .find(|w| w.is_none() || w.is_some_and(|(c, _)| c.ti == l.ti))
+            .expect("≤ 4 distinct winners");
+        match slot {
+            Some((_, wins)) => *wins += 1,
+            None => *slot = Some((l, 1)),
+        }
+    }
+    // Pick the winner exactly as `max_by` over all candidates did: most
+    // wins, then lower total corner energy, then the *later* candidate
+    // index (max_by keeps the last maximal element). Non-winning candidates
+    // (zero wins) can never beat a winner under that order.
+    let mut chosen: Option<(Cand, usize)> = None;
+    for &(cand, wins) in winners.iter().flatten() {
+        let better = match chosen {
+            None => true,
+            Some((bc, bw)) => {
+                wins > bw
+                    || (wins == bw
+                        && (cand.row_sum < bc.row_sum
+                            || (cand.row_sum == bc.row_sum && cand.ti > bc.ti)))
+            }
+        };
+        if better {
+            chosen = Some((cand, wins));
+        }
+    }
+    let (chosen, _) = chosen.expect("non-empty tcnc set");
+    let (tc, nc) = (chosen.tc, chosen.nc);
+
+    // Step 3: hill-descent from the best corner of the chosen table
+    // (first-minimum tie behavior, as `min_by`).
+    let mut best_corner = 0;
+    for ci in 1..corners.len() {
+        if chosen.row[ci] < chosen.row[best_corner] {
+            best_corner = ci;
+        }
+    }
     let (fc0, fm0) = corners[best_corner];
     let mut cur = KnobConfig::new(tc, nc, fc0, fm0);
-    let mut cur_e = corner_e[chosen_ti][best_corner];
+    let mut cur_e = chosen.row[best_corner];
     loop {
         let mut improved = false;
-        let neighbours = space.freq_neighbours(cur);
+        let (neighbours, n_neigh) = space.freq_neighbours_array(cur);
         let mut best_n = cur;
         let mut best_ne = cur_e;
-        for n in neighbours {
+        for &n in &neighbours[..n_neigh] {
             if !allow_mem_dvfs && n.fm != space.fm_max() {
                 continue;
             }
@@ -260,13 +313,13 @@ pub fn constrained_search(
     assert!(speedup > 0.0);
     let t_base = est.time_s(base);
     let t_target = t_base / speedup;
-    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let fms = fm_range(est.space, allow_mem_dvfs);
     let mut stats = SearchStats::default();
     let mut best: Option<(KnobConfig, f64)> = None;
     let mut fastest: Option<(KnobConfig, f64, f64)> = None; // (cfg, time, energy)
     for fc in 0..est.space.cpu_freqs_ghz.len() {
-        for &fm in &fms {
-            let cfg = KnobConfig::new(base.tc, base.nc, FreqIndex(fc), fm);
+        for fm in fms.clone() {
+            let cfg = KnobConfig::new(base.tc, base.nc, FreqIndex(fc), FreqIndex(fm));
             let t = est.time_s(cfg);
             let e = est.energy_j(cfg);
             stats.evaluations += 1;
@@ -291,13 +344,13 @@ pub fn constrained_search(
 
 /// The configuration with the minimum predicted time (the MAXP target).
 pub fn fastest_config(est: &EnergyEstimator<'_>, allow_mem_dvfs: bool) -> SearchOutcome {
-    let fms = fm_candidates(est.space, allow_mem_dvfs);
+    let fms = fm_range(est.space, allow_mem_dvfs);
     let mut stats = SearchStats::default();
     let mut best: Option<(KnobConfig, f64)> = None;
     for (tc, nc) in est.tc_nc_candidates() {
         for fc in 0..est.space.cpu_freqs_ghz.len() {
-            for &fm in &fms {
-                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), fm);
+            for fm in fms.clone() {
+                let cfg = KnobConfig::new(tc, nc, FreqIndex(fc), FreqIndex(fm));
                 let t = est.time_s(cfg);
                 stats.evaluations += 1;
                 if best.is_none_or(|(_, bt)| t < bt) {

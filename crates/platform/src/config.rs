@@ -186,32 +186,46 @@ impl ConfigSpace {
     /// Immediate `<fC, fM>` grid neighbours of a configuration (4-connected),
     /// used by the steepest-descent inner loop.
     pub fn freq_neighbours(&self, cfg: KnobConfig) -> Vec<KnobConfig> {
-        let mut out = Vec::with_capacity(4);
+        let (buf, n) = self.freq_neighbours_array(cfg);
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free [`Self::freq_neighbours`]: the (up to four) valid
+    /// neighbours in `buf[..n]`, in the same order (`fC-1`, `fC+1`, `fM-1`,
+    /// `fM+1`). The search inner loop calls this per descent step, so it
+    /// must not touch the heap.
+    pub fn freq_neighbours_array(&self, cfg: KnobConfig) -> ([KnobConfig; 4], usize) {
+        let mut buf = [cfg; 4];
+        let mut n = 0;
         if cfg.fc.0 > 0 {
-            out.push(KnobConfig {
+            buf[n] = KnobConfig {
                 fc: FreqIndex(cfg.fc.0 - 1),
                 ..cfg
-            });
+            };
+            n += 1;
         }
         if cfg.fc.0 + 1 < self.cpu_freqs_ghz.len() {
-            out.push(KnobConfig {
+            buf[n] = KnobConfig {
                 fc: FreqIndex(cfg.fc.0 + 1),
                 ..cfg
-            });
+            };
+            n += 1;
         }
         if cfg.fm.0 > 0 {
-            out.push(KnobConfig {
+            buf[n] = KnobConfig {
                 fm: FreqIndex(cfg.fm.0 - 1),
                 ..cfg
-            });
+            };
+            n += 1;
         }
         if cfg.fm.0 + 1 < self.mem_freqs_ghz.len() {
-            out.push(KnobConfig {
+            buf[n] = KnobConfig {
                 fm: FreqIndex(cfg.fm.0 + 1),
                 ..cfg
-            });
+            };
+            n += 1;
         }
-        out
+        (buf, n)
     }
 
     /// Human-readable `<TC, NC, fC, fM>` label matching the paper's figures,

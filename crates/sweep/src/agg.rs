@@ -34,6 +34,64 @@ pub struct NormalizedRow {
     pub values: Vec<(String, f64)>,
 }
 
+/// One scalar metric extracted from a record: the slim summary unit a
+/// streaming campaign keeps after the full [`RunRecord`] (report, trace,
+/// selected configs) has gone to its sink.
+#[derive(Debug, Clone)]
+pub struct MetricPoint {
+    /// Workload label.
+    pub workload: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// The metric value.
+    pub value: f64,
+}
+
+impl MetricPoint {
+    /// Extract a metric from a record.
+    pub fn from_record(r: &RunRecord, metric: impl Fn(&RunRecord) -> f64) -> Self {
+        MetricPoint {
+            workload: r.workload.clone(),
+            scheduler: r.scheduler.clone(),
+            value: metric(r),
+        }
+    }
+}
+
+/// Normalize metric points per workload to the named baseline scheduler's
+/// value, preserving first-appearance workload order (spec order for
+/// campaign output).
+///
+/// Panics if a workload group has no point for `baseline` (grids that
+/// include the baseline scheduler always do) or a baseline value of zero.
+pub fn normalize_points(points: &[MetricPoint], baseline: &str) -> Vec<NormalizedRow> {
+    let mut groups: Vec<(&str, Vec<&MetricPoint>)> = Vec::new();
+    for p in points {
+        match groups.iter_mut().find(|(w, _)| *w == p.workload.as_str()) {
+            Some((_, v)) => v.push(p),
+            None => groups.push((p.workload.as_str(), vec![p])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(workload, group)| {
+            let base = group
+                .iter()
+                .find(|p| p.scheduler == baseline)
+                .unwrap_or_else(|| panic!("no {baseline:?} record for workload {workload:?}"));
+            let base_v = base.value;
+            assert!(base_v != 0.0, "zero baseline metric for {workload:?}");
+            NormalizedRow {
+                workload: workload.to_string(),
+                values: group
+                    .iter()
+                    .map(|p| (p.scheduler.clone(), p.value / base_v))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// Normalize `metric` per workload to the named baseline scheduler's value.
 ///
 /// Panics if a workload group has no record for `baseline` (grids that
@@ -43,24 +101,11 @@ pub fn normalize_to_baseline(
     baseline: &str,
     metric: impl Fn(&RunRecord) -> f64,
 ) -> Vec<NormalizedRow> {
-    group_by_workload(records)
-        .into_iter()
-        .map(|(workload, group)| {
-            let base = group
-                .iter()
-                .find(|r| r.scheduler == baseline)
-                .unwrap_or_else(|| panic!("no {baseline:?} record for workload {workload:?}"));
-            let base_v = metric(base);
-            assert!(base_v != 0.0, "zero baseline metric for {workload:?}");
-            NormalizedRow {
-                workload: workload.to_string(),
-                values: group
-                    .iter()
-                    .map(|r| (r.scheduler.clone(), metric(r) / base_v))
-                    .collect(),
-            }
-        })
-        .collect()
+    let points: Vec<MetricPoint> = records
+        .iter()
+        .map(|r| MetricPoint::from_record(r, &metric))
+        .collect();
+    normalize_points(&points, baseline)
 }
 
 /// Per-scheduler geometric means over normalized rows (column order of the
@@ -108,6 +153,7 @@ mod tests {
                 tasks: 1,
                 tasks_per_type: [1, 0],
                 steals: 0,
+                mold_timeouts: 0,
                 dvfs_transitions: 0,
                 dvfs_serialized: 0,
                 sampling_time_s: 0.0,

@@ -7,13 +7,17 @@
 //! ```
 //!
 //! Workload labels are the Fig. 8 suite labels (`--list` prints them);
-//! scheduler syntax is `SchedulerKind::parse_help()`. Records stream to
-//! stdout as a normalized summary table and optionally to JSONL/CSV files.
+//! scheduler syntax is `SchedulerKind::parse_help()`. Records **stream** to
+//! the JSONL/CSV files in spec order as workers finish — full records
+//! (reports, opted-in traces) are never held for the whole grid. Only one
+//! slim `MetricPoint` per record (two labels + one float) survives for the
+//! normalized table printed at the end, so memory grows with the spec
+//! count but not with task counts or traces.
 
-use joss_sweep::agg::normalize_to_baseline;
+use joss_sweep::agg::{normalize_points, MetricPoint};
 use joss_sweep::{
-    default_threads, geo_means_per_scheduler, Campaign, ExperimentContext, SchedulerKind, SpecGrid,
-    Workload,
+    default_threads, geo_means_per_scheduler, Campaign, CsvSink, ExperimentContext, JsonlSink,
+    SchedulerKind, SpecGrid, Workload,
 };
 use joss_workloads::{fig8_suite, Scale};
 use std::process::exit;
@@ -144,20 +148,37 @@ fn main() {
         seeds.len(),
         threads
     );
-    let records = Campaign::with_threads(threads).run(&ctx, specs);
-
-    if let Some(path) = &out_jsonl {
-        std::fs::write(path, joss_sweep::to_jsonl(&records)).expect("write JSONL");
-        eprintln!("[joss_sweep] wrote {} records to {path}", records.len());
+    let mut jsonl_sink = out_jsonl
+        .as_ref()
+        .map(|p| JsonlSink::create(p).expect("create JSONL file"));
+    let mut csv_sink = out_csv
+        .as_ref()
+        .map(|p| CsvSink::create(p).expect("create CSV file"));
+    // Stream: each record is serialized to the sinks and reduced to one
+    // summary point the moment it flushes out of the reorder window, then
+    // dropped — the full grid (reports, opted-in traces) never accumulates.
+    let mut points: Vec<MetricPoint> = Vec::with_capacity(specs.len());
+    Campaign::with_threads(threads).run_streaming(&ctx, specs, |record| {
+        if let Some(sink) = &mut jsonl_sink {
+            sink.write(&record).expect("write JSONL record");
+        }
+        if let Some(sink) = &mut csv_sink {
+            sink.write(&record).expect("write CSV record");
+        }
+        points.push(MetricPoint::from_record(&record, |r| r.report.total_j()));
+    });
+    if let (Some(sink), Some(path)) = (jsonl_sink, &out_jsonl) {
+        let n = sink.finish().expect("flush JSONL");
+        eprintln!("[joss_sweep] wrote {n} records to {path}");
     }
-    if let Some(path) = &out_csv {
-        std::fs::write(path, joss_sweep::to_csv(&records)).expect("write CSV");
-        eprintln!("[joss_sweep] wrote {} records to {path}", records.len());
+    if let (Some(sink), Some(path)) = (csv_sink, &out_csv) {
+        let n = sink.finish().expect("flush CSV");
+        eprintln!("[joss_sweep] wrote {n} records to {path}");
     }
 
     // Summary: total energy normalized to the first scheduler column.
-    let baseline = records[0].scheduler.clone();
-    let rows = normalize_to_baseline(&records, &baseline, |r| r.report.total_j());
+    let baseline = points[0].scheduler.clone();
+    let rows = normalize_points(&points, &baseline);
     println!("# campaign summary — total energy normalized to {baseline}");
     print!("{:<18}", "workload");
     for (name, _) in &rows[0].values {

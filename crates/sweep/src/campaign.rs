@@ -2,7 +2,7 @@
 //! and collect one [`RunRecord`] per spec, in spec order.
 
 use crate::context::ExperimentContext;
-use crate::pool::{default_threads, ordered_parallel_map};
+use crate::pool::{default_threads, ordered_parallel_map, ordered_parallel_stream};
 use crate::record::RunRecord;
 use crate::spec::RunSpec;
 use joss_core::engine::SimEngine;
@@ -41,10 +41,39 @@ impl Campaign {
     }
 
     /// Execute every spec; records come back in spec order.
+    ///
+    /// Holds every record of the grid in memory at once — fine for grids
+    /// whose records are post-processed together. For large grids (or any
+    /// grid with traces opted in) whose records go straight to disk, use
+    /// [`Campaign::run_streaming`] instead.
     pub fn run(&self, ctx: &ExperimentContext, specs: Vec<RunSpec>) -> Vec<RunRecord> {
         ordered_parallel_map(self.threads, &specs, |index, spec| {
             run_spec(ctx, index, spec)
         })
+    }
+
+    /// Execute every spec, handing each record to `sink` **in spec order**
+    /// as workers finish.
+    ///
+    /// Only records that have finished but not yet flushed to the sink are
+    /// buffered — O(threads) in practice when the sink keeps pace with the
+    /// workers — so a grid's memory footprint does not scale with its spec
+    /// count. This is the streaming path the `joss_sweep` CLI uses to write
+    /// JSONL/CSV files. The sink runs on the calling thread and is not
+    /// backpressured; keep it cheap (buffered writes), or a sink slower
+    /// than all workers combined will grow the backlog.
+    pub fn run_streaming(
+        &self,
+        ctx: &ExperimentContext,
+        specs: Vec<RunSpec>,
+        mut sink: impl FnMut(RunRecord),
+    ) {
+        ordered_parallel_stream(
+            self.threads,
+            &specs,
+            |index, spec| run_spec(ctx, index, spec),
+            |_, record| sink(record),
+        );
     }
 }
 

@@ -14,10 +14,14 @@
 //!   threads (the same crossbeam work-stealing machinery as
 //!   `joss_core::native`), sharing the one-time [`ExperimentContext`]
 //!   across workers;
-//! * [`pool`] — [`ordered_parallel_map`], the underlying deterministic
-//!   ordered fan-out, reused by the non-engine experiments too;
+//! * [`pool`] — [`ordered_parallel_map`] and the streaming
+//!   [`ordered_parallel_stream`], the underlying deterministic ordered
+//!   fan-out, reused by the non-engine experiments too;
 //! * [`record`] — the uniform [`RunRecord`] artifact with JSONL/CSV
 //!   writers;
+//! * [`sink`] — buffered streaming file sinks ([`JsonlSink`], [`CsvSink`])
+//!   pairing with [`Campaign::run_streaming`], so large grids write to
+//!   disk with a flat memory footprint;
 //! * [`agg`] — post-processing: grouping, baseline normalization,
 //!   geometric means.
 //!
@@ -47,14 +51,17 @@ pub mod context;
 pub mod pool;
 pub mod record;
 pub mod scheduler;
+pub mod sink;
 pub mod spec;
 
 pub use agg::{
-    geo_mean, geo_means_per_scheduler, group_by_workload, normalize_to_baseline, NormalizedRow,
+    geo_mean, geo_means_per_scheduler, group_by_workload, normalize_points, normalize_to_baseline,
+    MetricPoint, NormalizedRow,
 };
 pub use campaign::{records_per_workload, rows_by_workload, run_spec, Campaign};
 pub use context::ExperimentContext;
-pub use pool::{default_threads, ordered_parallel_map};
+pub use pool::{default_threads, ordered_parallel_map, ordered_parallel_stream};
 pub use record::{to_csv, to_jsonl, RunRecord};
 pub use scheduler::{run_one, SchedulerKind};
+pub use sink::{CsvSink, JsonlSink};
 pub use spec::{EngineSpec, RunSpec, SpecGrid, Workload, DEFAULT_SEED};

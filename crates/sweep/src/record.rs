@@ -91,6 +91,26 @@ impl RunRecord {
         out.push('}');
         out
     }
+
+    /// One CSV row (without the newline), column order matching
+    /// [`RunRecord::csv_header`].
+    pub fn to_csv_row(&self) -> String {
+        let mut out = String::new();
+        for (i, (_, val)) in self.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(val);
+        }
+        out
+    }
+
+    /// The CSV header row (without the newline).
+    pub fn csv_header() -> &'static str {
+        "index,workload,scheduler,seed,cpu_j,mem_j,total_j,makespan_s,tasks,tasks_big,\
+         tasks_little,steals,dvfs_transitions,dvfs_serialized,sampling_fraction,\
+         search_evaluations"
+    }
 }
 
 /// Serialize records as JSON Lines (one object per record, spec order).
@@ -108,14 +128,12 @@ pub fn to_jsonl(records: &[RunRecord]) -> String {
 /// quotes in practice).
 pub fn to_csv(records: &[RunRecord]) -> String {
     let mut out = String::new();
-    if let Some(first) = records.first() {
-        let header: Vec<&str> = first.columns().iter().map(|(k, _)| *k).collect();
-        out.push_str(&header.join(","));
+    if !records.is_empty() {
+        out.push_str(RunRecord::csv_header());
         out.push('\n');
     }
     for r in records {
-        let row: Vec<String> = r.columns().into_iter().map(|(_, v)| v).collect();
-        out.push_str(&row.join(","));
+        out.push_str(&r.to_csv_row());
         out.push('\n');
     }
     out
@@ -147,6 +165,7 @@ mod tests {
                 tasks: 130,
                 tasks_per_type: [80, 50],
                 steals: 3,
+                mold_timeouts: 0,
                 dvfs_transitions: 12,
                 dvfs_serialized: 1,
                 sampling_time_s: 0.004,
@@ -192,5 +211,12 @@ mod tests {
     fn empty_record_sets_serialize_to_empty_strings() {
         assert_eq!(to_jsonl(&[]), "");
         assert_eq!(to_csv(&[]), "");
+    }
+
+    #[test]
+    fn csv_header_matches_column_names() {
+        let cols = record(0, "w", "s").columns();
+        let names: Vec<&str> = cols.iter().map(|(k, _)| *k).collect();
+        assert_eq!(RunRecord::csv_header(), names.join(","));
     }
 }

@@ -1,0 +1,180 @@
+//! Buffered record sinks: write [`RunRecord`]s to JSONL/CSV files as a
+//! streaming campaign produces them.
+//!
+//! Pairs with [`Campaign::run_streaming`](crate::Campaign::run_streaming):
+//! records are serialized and written the moment they flush out of the
+//! reorder window, so the whole-grid `to_jsonl`/`to_csv` strings (and the
+//! record list itself) never exist.
+//! Both sinks wrap the file in a [`BufWriter`]; call `finish()` to flush
+//! and surface any I/O error instead of losing it in `Drop`.
+
+use crate::record::RunRecord;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Streaming JSON-Lines writer (one record object per line, spec order).
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+    written: usize,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncate) a JSONL file sink.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer (buffered here; do not double-buffer).
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: BufWriter::new(out),
+            written: 0,
+        }
+    }
+
+    /// Append one record as one JSONL line.
+    pub fn write(&mut self, record: &RunRecord) -> io::Result<()> {
+        self.out.write_all(record.to_json().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flush and return the record count.
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+
+    /// Flush and unwrap the underlying writer (in-memory/test use).
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+/// Streaming CSV writer; the header row is emitted before the first record.
+pub struct CsvSink<W: Write> {
+    out: BufWriter<W>,
+    written: usize,
+}
+
+impl CsvSink<File> {
+    /// Create (truncate) a CSV file sink.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wrap any writer (buffered here; do not double-buffer).
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out: BufWriter::new(out),
+            written: 0,
+        }
+    }
+
+    /// Append one record row (plus the header if this is the first).
+    pub fn write(&mut self, record: &RunRecord) -> io::Result<()> {
+        if self.written == 0 {
+            self.out.write_all(RunRecord::csv_header().as_bytes())?;
+            self.out.write_all(b"\n")?;
+        }
+        self.out.write_all(record.to_csv_row().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flush and return the record count.
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+
+    /// Flush and unwrap the underlying writer (in-memory/test use).
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{to_csv, to_jsonl};
+    use crate::scheduler::SchedulerKind;
+    use joss_core::metrics::RunReport;
+    use joss_platform::EnergyAccount;
+    use std::collections::BTreeMap;
+
+    fn record(index: usize) -> RunRecord {
+        RunRecord {
+            index,
+            workload: format!("w{index}"),
+            scheduler: "GRWS".into(),
+            kind: SchedulerKind::Grws,
+            seed: 7,
+            report: RunReport {
+                scheduler: "GRWS".into(),
+                benchmark: format!("w{index}"),
+                energy: EnergyAccount {
+                    cpu_j: 1.0 + index as f64,
+                    mem_j: 0.5,
+                    cpu_sampled_j: 1.0,
+                    mem_sampled_j: 0.5,
+                    makespan_s: 0.25,
+                },
+                tasks: 10,
+                tasks_per_type: [4, 6],
+                steals: 1,
+                mold_timeouts: 0,
+                dvfs_transitions: 0,
+                dvfs_serialized: 0,
+                sampling_time_s: 0.0,
+                total_task_time_s: 0.2,
+                search_evaluations: 0,
+                selected_configs: BTreeMap::new(),
+                trace: None,
+            },
+        }
+    }
+
+    #[test]
+    fn streamed_output_matches_batch_serializers() {
+        let records: Vec<RunRecord> = (0..5).map(record).collect();
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let mut csv = CsvSink::new(Vec::new());
+        for r in &records {
+            jsonl.write(r).unwrap();
+            csv.write(r).unwrap();
+        }
+        let jsonl_bytes = jsonl.into_inner().unwrap();
+        let csv_bytes = csv.into_inner().unwrap();
+        assert_eq!(String::from_utf8(jsonl_bytes).unwrap(), to_jsonl(&records));
+        assert_eq!(String::from_utf8(csv_bytes).unwrap(), to_csv(&records));
+    }
+
+    #[test]
+    fn finish_reports_counts() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write(&record(0)).unwrap();
+        sink.write(&record(1)).unwrap();
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.finish().unwrap(), 2);
+        let empty = CsvSink::new(Vec::new());
+        assert_eq!(empty.finish().unwrap(), 0);
+    }
+}

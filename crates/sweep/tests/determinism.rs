@@ -66,6 +66,34 @@ fn one_thread_and_many_threads_agree_byte_for_byte() {
 }
 
 #[test]
+fn streaming_matches_batch_byte_for_byte() {
+    use joss_sweep::JsonlSink;
+    let grid = || {
+        SpecGrid::new()
+            .workloads(workload_pool().into_iter().take(3))
+            .schedulers([SchedulerKind::Grws, SchedulerKind::Joss])
+            .seeds([42, 7])
+            .build()
+    };
+    let batch = to_jsonl(&Campaign::with_threads(1).run(ctx(), grid()));
+    for threads in [1, 4] {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut seen = 0usize;
+        Campaign::with_threads(threads).run_streaming(ctx(), grid(), |record| {
+            assert_eq!(record.index, seen, "sink must observe spec order");
+            seen += 1;
+            sink.write(&record).expect("in-memory write");
+        });
+        assert_eq!(seen, 12);
+        let streamed = String::from_utf8(sink.into_inner().expect("flush")).expect("utf8");
+        assert_eq!(
+            streamed, batch,
+            "streamed JSONL diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn records_are_ordered_by_spec_index_and_labelled() {
     let specs = SpecGrid::new()
         .workloads(workload_pool().into_iter().take(2))

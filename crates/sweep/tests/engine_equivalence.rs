@@ -1,0 +1,233 @@
+//! Behavior-preservation guardrail for engine optimizations.
+//!
+//! The engine's hot path is aggressively optimized (incremental scheduler
+//! context, indexed core sets, scratch buffers — see `docs/PERF.md`), and
+//! every optimization must be *exactly* behavior-preserving: same RNG
+//! consumption, same floating-point operation order, same reports. This
+//! suite locks that in two ways:
+//!
+//! 1. a **golden fixture** (`golden_engine_behavior.jsonl`) captured from
+//!    the pre-optimization engine over a fixed grid that exercises the
+//!    steal path (untyped GRWS placements over a wide task bag) and the
+//!    moldable gather/timeout path (width-4 kernels pinned to the 4-core
+//!    little cluster under contention). The engine must still reproduce it
+//!    byte for byte;
+//! 2. **property tests** over random graphs, schedulers, and seeds
+//!    asserting run-to-run determinism and that trace recording (which
+//!    gates several allocations) never changes the measured report.
+//!
+//! Regenerate the fixture only when a *deliberate* behavior change lands:
+//!
+//! ```text
+//! cargo test -p joss-sweep --test engine_equivalence -- --ignored regenerate
+//! ```
+
+use joss_dag::{generators, KernelSpec, TaskGraph};
+use joss_platform::{CoreType, FreqIndex, KnobConfig, NcIndex, TaskShape};
+use joss_sweep::{
+    to_jsonl, Campaign, ExperimentContext, RunRecord, SchedulerKind, SpecGrid, Workload,
+};
+use joss_workloads::{fig8_suite, Scale};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::with_reps(42, 1))
+}
+
+/// A bag of tasks with no structure: under GRWS everything is stealable.
+fn steal_bag() -> TaskGraph {
+    generators::chain_bundle(
+        "steal_bag",
+        KernelSpec::new("kb", TaskShape::new(0.004, 0.002)),
+        300,
+        16,
+    )
+}
+
+/// Width-4 moldable kernels: pinned to the 4-core little cluster these must
+/// gather every little core, so under contention the mold-timeout path runs.
+fn mold_bag() -> TaskGraph {
+    generators::independent(
+        "mold_bag",
+        KernelSpec::new("km", TaskShape::new(0.006, 0.003)).with_max_width(4),
+        48,
+    )
+}
+
+/// Moldable fork-join: joins serialize, fans contend for cores.
+fn mold_fork_join() -> TaskGraph {
+    generators::fork_join(
+        "mold_fj",
+        &[KernelSpec::new("kf", TaskShape::new(0.003, 0.002)).with_max_width(4)],
+        KernelSpec::new("kj", TaskShape::new(0.002, 0.001)),
+        8,
+        10,
+    )
+}
+
+/// Irregular dependencies, seeded (deterministic).
+fn layered() -> TaskGraph {
+    generators::random_layered(
+        "layered",
+        KernelSpec::new("kl", TaskShape::new(0.004, 0.001)).with_max_width(2),
+        24,
+        6,
+        7,
+    )
+}
+
+/// The fixed grid behind the golden fixture: every scheduler family, plus
+/// workloads chosen to force steals and mold gathering/timeouts.
+fn golden_specs() -> Vec<joss_sweep::RunSpec> {
+    let mut workloads: Vec<Workload> = fig8_suite(Scale::Divided(400))
+        .into_iter()
+        .take(3)
+        .map(Workload::from)
+        .collect();
+    workloads.push(Workload::new(steal_bag()));
+    workloads.push(Workload::new(mold_bag()));
+    workloads.push(Workload::new(mold_fork_join()));
+    workloads.push(Workload::new(layered()));
+    SpecGrid::new()
+        .workloads(workloads)
+        .schedulers([
+            SchedulerKind::Grws,
+            SchedulerKind::Erase,
+            SchedulerKind::Aequitas(0.005),
+            SchedulerKind::Steer,
+            SchedulerKind::Joss,
+            SchedulerKind::JossNoMemDvfs,
+            SchedulerKind::JossSpeedup(1.4),
+            SchedulerKind::JossMaxPerf,
+            // The measurement instrument: molds on both clusters.
+            SchedulerKind::Fixed(KnobConfig::new(
+                CoreType::Big,
+                NcIndex(1),
+                FreqIndex(2),
+                FreqIndex(1),
+            )),
+            SchedulerKind::Fixed(KnobConfig::new(
+                CoreType::Little,
+                NcIndex(2),
+                FreqIndex(1),
+                FreqIndex(0),
+            )),
+        ])
+        .seeds([1, 42])
+        .build()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_engine_behavior.jsonl")
+}
+
+fn run_golden_grid() -> Vec<RunRecord> {
+    Campaign::with_threads(1).run(ctx(), golden_specs())
+}
+
+/// Regenerates the fixture. Run explicitly (`-- --ignored regenerate`) and
+/// only for deliberate behavior changes; commit the diff with the change
+/// that caused it.
+#[test]
+#[ignore = "fixture regenerator, run explicitly"]
+fn regenerate_golden_fixture() {
+    let records = run_golden_grid();
+    std::fs::write(golden_path(), to_jsonl(&records)).expect("write golden fixture");
+}
+
+#[test]
+fn engine_reproduces_seed_behavior_byte_for_byte() {
+    let expected = std::fs::read_to_string(golden_path()).expect(
+        "golden fixture missing; run \
+         `cargo test -p joss-sweep --test engine_equivalence -- --ignored regenerate`",
+    );
+    let records = run_golden_grid();
+    let actual = to_jsonl(&records);
+    if expected != actual {
+        // Line-level diff beats a 120-line string mismatch dump.
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(e, a, "golden record {i} diverged");
+        }
+        assert_eq!(
+            expected.lines().count(),
+            actual.lines().count(),
+            "record count diverged"
+        );
+        unreachable!("strings differ but no line did");
+    }
+    // The fixture must actually exercise the paths it claims to cover.
+    let steals: u64 = records.iter().map(|r| r.report.steals).sum();
+    assert!(steals > 0, "golden grid never exercised the steal path");
+    let molds: u64 = records.iter().map(|r| r.report.mold_timeouts).sum();
+    assert!(
+        molds > 0,
+        "golden grid never exercised the mold-timeout path"
+    );
+}
+
+/// One small random-graph run under one scheduler.
+fn run_once(kind: SchedulerKind, graph: &TaskGraph, seed: u64, trace: bool) -> RunRecord {
+    let spec = SpecGrid::new()
+        .workload(Workload::new(graph.clone()))
+        .scheduler(kind)
+        .seeds([seed])
+        .record_trace(trace)
+        .build();
+    Campaign::with_threads(1).run(ctx(), spec).remove(0)
+}
+
+fn scheduler_pool() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Grws,
+        SchedulerKind::Erase,
+        SchedulerKind::Aequitas(0.005),
+        SchedulerKind::Steer,
+        SchedulerKind::Joss,
+        SchedulerKind::JossSpeedup(1.4),
+        SchedulerKind::Fixed(KnobConfig::new(
+            CoreType::Little,
+            NcIndex(2),
+            FreqIndex(1),
+            FreqIndex(1),
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random graphs x schedulers x seeds: re-running is bit-identical, and
+    /// trace recording (which gates the hot path's allocation elisions)
+    /// never changes any measured quantity.
+    #[test]
+    fn reports_invariant_under_rerun_and_tracing(
+        n_tasks in 8usize..40,
+        width in 1usize..5,
+        layers in 2usize..5,
+        graph_seed in 0u64..100,
+        sched_idx in 0usize..7,
+        engine_seed in 0u64..1000,
+    ) {
+        let kernel =
+            KernelSpec::new("kp", TaskShape::new(0.004, 0.002)).with_max_width(width);
+        let graph = generators::random_layered(
+            "prop", kernel, n_tasks, n_tasks.div_ceil(layers).max(1), graph_seed,
+        );
+        let kind = scheduler_pool()[sched_idx];
+        let plain = run_once(kind, &graph, engine_seed, false);
+        let rerun = run_once(kind, &graph, engine_seed, false);
+        prop_assert_eq!(plain.to_json(), rerun.to_json(), "rerun diverged");
+        let traced = run_once(kind, &graph, engine_seed, true);
+        prop_assert_eq!(
+            plain.to_json(),
+            traced.to_json(),
+            "trace recording changed the measured report"
+        );
+        prop_assert!(traced.report.trace.is_some());
+        prop_assert_eq!(plain.report.tasks, graph.n_tasks());
+    }
+}

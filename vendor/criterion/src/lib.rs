@@ -80,15 +80,35 @@ pub struct Criterion {
     default_samples: usize,
 }
 
+/// Extension over crates-io criterion: `JOSS_BENCH_SAMPLES` caps every
+/// sample count globally — including explicit `sample_size()` calls — so CI
+/// smoke jobs can set it to 1 and execute every bench target without paying
+/// for stable timings.
+fn env_sample_cap() -> Option<usize> {
+    std::env::var("JOSS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: usize| n.max(1))
+}
+
+fn capped(n: usize) -> usize {
+    match env_sample_cap() {
+        Some(cap) => n.max(1).min(cap),
+        None => n.max(1),
+    }
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_samples: 3 }
+        Criterion {
+            default_samples: capped(3),
+        }
     }
 }
 
 impl Criterion {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.default_samples = n.max(1);
+        self.default_samples = capped(n);
         self
     }
 
@@ -130,7 +150,7 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        self.samples = capped(n);
         self
     }
 
