@@ -3,16 +3,22 @@
 //!
 //! ```text
 //! joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]
+//!                 [--serve-out FILE.json] [--serve-clients N] [--serve-requests M]
 //! ```
 //!
 //! Measures the two benchmarks the engine optimizations are judged by —
 //! `engine_throughput` (simulated tasks per second of host time under the
 //! GRWS baseline) and `search_overhead` (configuration-search evaluations
 //! per second) — and writes a `BENCH_engine.json` snapshot (schema
-//! documented in `docs/PERF.md`). The committed copy at the repo root is
-//! the perf trajectory: every PR that touches the hot path re-runs this
-//! tool and commits the diff, so regressions show up in review. Timings are
-//! host-dependent; compare only numbers recorded on the same machine.
+//! documented in `docs/PERF.md`). With `--serve-out` it additionally boots
+//! an in-process `joss-serve` daemon on an ephemeral port and snapshots
+//! the serving layer — cache-miss and cache-hit campaign latency plus
+//! closed-loop throughput under concurrent clients — as
+//! `BENCH_serve.json` (`joss-bench-serve/v1`, also in `docs/PERF.md`).
+//! The committed copies at the repo root are the perf trajectory: every PR
+//! that touches the hot path re-runs this tool and commits the diff, so
+//! regressions show up in review. Timings are host-dependent; compare only
+//! numbers recorded on the same machine.
 
 use joss_bench::shared_context;
 use joss_core::engine::{EngineConfig, SimEngine};
@@ -45,6 +51,9 @@ fn main() {
     let mut out_path = String::from("BENCH_engine.json");
     let mut runs = 5usize;
     let mut search_iters = 20_000usize;
+    let mut serve_out: Option<String> = None;
+    let mut serve_clients = 8usize;
+    let mut serve_requests = 4usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,14 +72,36 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--search-iters N");
             }
+            "--serve-out" => {
+                i += 1;
+                serve_out = Some(args.get(i).expect("--serve-out needs a path").clone());
+            }
+            "--serve-clients" => {
+                i += 1;
+                serve_clients = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--serve-clients N");
+            }
+            "--serve-requests" => {
+                i += 1;
+                serve_requests = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--serve-requests M");
+            }
             other => {
-                eprintln!("usage: joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]");
+                eprintln!(
+                    "usage: joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]\n\
+                     \u{20}                      [--serve-out FILE.json] [--serve-clients N] \
+                     [--serve-requests M]"
+                );
                 panic!("unknown argument {other:?}");
             }
         }
         i += 1;
     }
-    assert!(runs >= 1 && search_iters >= 1);
+    assert!(runs >= 1 && search_iters >= 1 && serve_clients >= 1 && serve_requests >= 1);
 
     eprintln!("[joss_bench_json] building shared context...");
     let ctx = shared_context();
@@ -173,10 +204,25 @@ fn main() {
         steepest_descent_search(&est, true)
     });
 
-    // Hand-rolled JSON (the vendored serde is a no-op): stable key order,
-    // one bench object per line for reviewable diffs.
+    write_snapshot(&out_path, "joss-bench-engine/v1", &[], runs, &entries);
+
+    if let Some(serve_path) = serve_out {
+        serve_benches(&serve_path, runs, serve_clients, serve_requests);
+    }
+}
+
+/// Hand-rolled JSON (the vendored serde is a no-op): stable key order, one
+/// bench object per line for reviewable diffs. `extras` are pre-rendered
+/// JSON values appended after the common fields.
+fn write_snapshot(
+    out_path: &str,
+    schema: &str,
+    extras: &[(&str, String)],
+    runs: usize,
+    entries: &[Entry],
+) {
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"joss-bench-engine/v1\",\n");
+    let _ = writeln!(json, "{{\n  \"schema\": \"{schema}\",");
     let _ = writeln!(
         json,
         "  \"host_cores\": {},",
@@ -185,6 +231,9 @@ fn main() {
             .unwrap_or(1)
     );
     let _ = writeln!(json, "  \"runs_per_bench\": {runs},");
+    for (key, value) in extras {
+        let _ = writeln!(json, "  \"{key}\": {value},");
+    }
     json.push_str("  \"benches\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
@@ -195,7 +244,128 @@ fn main() {
         json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write bench artifact");
+    std::fs::write(out_path, &json).expect("write bench artifact");
     eprintln!("[joss_bench_json] wrote {out_path}");
     print!("{json}");
+}
+
+/// The serving-layer snapshot: boot an in-process daemon (ephemeral port,
+/// eager training so characterization never pollutes a sample) and measure
+/// the three numbers the serve design is judged by — cold (cache-miss)
+/// campaign latency, cache-hit latency, and closed-loop throughput under
+/// concurrent verified clients.
+fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
+    use joss_serve::{client, loadgen, LoadgenConfig, ServeConfig, Server};
+    use joss_sweep::{GridDesc, SchedulerKind};
+    use joss_workloads::Scale;
+    use std::time::Duration;
+
+    let desc = GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+    };
+    let timeout = Duration::from_secs(120);
+
+    eprintln!("[joss_bench_json] booting in-process joss-serve (reps=1, eager training)...");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: clients + 4,
+        max_inflight: clients.max(2),
+        reps: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral serve port");
+    server.train();
+    let handle = server.spawn().expect("spawn serve daemon");
+    let addr = handle.addr().to_string();
+    let mut entries: Vec<Entry> = Vec::new();
+    let lat_samples = (runs * 2).max(6);
+
+    // Cache-miss latency: a unique seed per request defeats the cache, so
+    // every sample pays a full (tiny-grid) simulation.
+    let mut samples = Vec::with_capacity(lat_samples);
+    for it in 0..lat_samples {
+        let mut miss = desc.clone();
+        miss.seeds = vec![0xbe9c_0000 + it as u64];
+        let t0 = Instant::now();
+        let resp = client::run_campaign(&addr, &miss, timeout).expect("miss request");
+        let ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-joss-cache"), Some("miss"));
+        client::verify_body(&miss, &resp.body).expect("verified records");
+        samples.push(ns);
+    }
+    let med = median(samples);
+    entries.push(Entry {
+        name: "serve/campaign_miss",
+        unit: "req_per_sec",
+        rate: 1e9 / med,
+        median_ns: med,
+    });
+    eprintln!(
+        "[joss_bench_json] serve/campaign_miss: {:.3} ms/req",
+        med / 1e6
+    );
+
+    // Cache-hit latency: prime once, then repeat the identical grid.
+    let prime = client::run_campaign(&addr, &desc, timeout).expect("prime request");
+    assert_eq!(prime.status, 200);
+    let mut samples = Vec::with_capacity(lat_samples);
+    for _ in 0..lat_samples {
+        let t0 = Instant::now();
+        let resp = client::run_campaign(&addr, &desc, timeout).expect("hit request");
+        let ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(resp.header("x-joss-cache"), Some("hit"));
+        assert_eq!(resp.body, prime.body, "cache must replay identical bytes");
+        samples.push(ns);
+    }
+    let med = median(samples);
+    entries.push(Entry {
+        name: "serve/campaign_hit",
+        unit: "req_per_sec",
+        rate: 1e9 / med,
+        median_ns: med,
+    });
+    eprintln!(
+        "[joss_bench_json] serve/campaign_hit: {:.3} ms/req",
+        med / 1e6
+    );
+
+    // Closed-loop throughput: N concurrent verified clients hammering the
+    // same grid (one miss, then hits) — the "heavy traffic" shape.
+    let mut config = LoadgenConfig::new(addr, desc.clone());
+    config.clients = clients;
+    config.requests_per_client = requests;
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, clients * requests, "all requests must succeed");
+    assert_eq!(report.malformed, 0, "{:?}", report.first_malformation);
+    assert_eq!(report.errors, 0);
+    entries.push(Entry {
+        name: "serve/closed_loop_throughput",
+        unit: "req_per_sec",
+        rate: report.throughput_rps(),
+        median_ns: report.percentile(50.0).as_nanos() as f64,
+    });
+    eprintln!(
+        "[joss_bench_json] serve/closed_loop_throughput: {:.0} req/s ({} clients)",
+        report.throughput_rps(),
+        clients
+    );
+    handle.stop().expect("stop serve daemon");
+
+    write_snapshot(
+        out_path,
+        "joss-bench-serve/v1",
+        &[
+            ("serve_clients", clients.to_string()),
+            ("serve_requests_per_client", requests.to_string()),
+            ("grid_specs", desc.spec_count().to_string()),
+            ("train_reps", "1".to_string()),
+        ],
+        runs,
+        &entries,
+    );
 }

@@ -1,0 +1,105 @@
+//! Admission control: a bounded in-flight-campaign counter.
+//!
+//! Every simulated campaign fans out across the host's cores via the sweep
+//! pool, so running more campaigns concurrently than the configured bound
+//! oversubscribes the simulation pool without making anything finish
+//! sooner. The daemon instead **sheds load**: when no permit is available
+//! the request is answered `503 Service Unavailable` + `Retry-After`
+//! immediately (cache hits and health/stats never need a permit). This is
+//! a try-acquire-only semaphore — nothing ever blocks on it — with RAII
+//! release so a panicking handler cannot leak a permit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Try-acquire-only counting semaphore.
+pub struct Admission {
+    available: AtomicUsize,
+    limit: usize,
+}
+
+impl Admission {
+    /// Allow up to `limit` concurrent in-flight campaigns.
+    pub fn new(limit: usize) -> Self {
+        Admission {
+            available: AtomicUsize::new(limit),
+            limit,
+        }
+    }
+
+    /// The configured bound.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Permits currently free.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Claim a permit if one is free; never blocks.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut current = self.available.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                return None;
+            }
+            match self.available.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { owner: self }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// RAII permit; dropping it releases the slot.
+pub struct Permit<'a> {
+    owner: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.owner.available.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_are_bounded_and_released_on_drop() {
+        let adm = Admission::new(2);
+        assert_eq!(adm.limit(), 2);
+        let a = adm.try_acquire().expect("first permit");
+        let b = adm.try_acquire().expect("second permit");
+        assert!(adm.try_acquire().is_none(), "limit reached");
+        assert_eq!(adm.available(), 0);
+        drop(a);
+        assert_eq!(adm.available(), 1);
+        let _c = adm.try_acquire().expect("released permit is reusable");
+        drop(b);
+        assert_eq!(adm.available(), 1);
+    }
+
+    #[test]
+    fn zero_limit_rejects_everything() {
+        let adm = Admission::new(0);
+        assert!(adm.try_acquire().is_none());
+    }
+
+    #[test]
+    fn panicking_holder_still_releases() {
+        let adm = Admission::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = adm.try_acquire().expect("permit");
+            panic!("handler died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(adm.available(), 1, "unwind must return the permit");
+    }
+}

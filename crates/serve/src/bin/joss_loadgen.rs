@@ -1,0 +1,159 @@
+//! Load generator for a running `joss_serve` daemon.
+//!
+//! ```text
+//! joss_loadgen --addr HOST:PORT [--clients N] [--requests M] [--rate R]
+//!              [--workloads L1,L2] [--schedulers S1,S2] [--seeds N1,N2]
+//!              [--scale D|full] [--vary-seeds] [--no-verify] [--no-retry]
+//!              [--wait-secs S] [--save-body FILE]
+//! ```
+//!
+//! Closed loop by default (each client fires as soon as its previous
+//! response completes); `--rate` switches to open-loop pacing at an
+//! aggregate R requests/second. Every response is verified (record count,
+//! order, schema) unless `--no-verify`; 503 sheds are retried after their
+//! `Retry-After` unless `--no-retry`. Exit status is non-zero on any
+//! malformed record or transport error, so CI can gate on it.
+
+use joss_serve::{client, loadgen, LoadgenConfig};
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_workloads::Scale;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_loadgen --addr HOST:PORT [--clients N] [--requests M] [--rate R]\n\
+         \u{20}                   [--workloads L1,L2] [--schedulers S1,S2] [--seeds N1,N2]\n\
+         \u{20}                   [--scale D|full] [--vary-seeds] [--no-verify] [--no-retry]\n\
+         \u{20}                   [--wait-secs S] [--save-body FILE]\n\
+         schedulers: {}",
+        SchedulerKind::parse_help()
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr: Option<String> = None;
+    let mut desc = GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+    };
+    let mut clients = 2usize;
+    let mut requests = 4usize;
+    let mut rate: Option<f64> = None;
+    let mut vary_seeds = false;
+    let mut verify = true;
+    let mut retry = true;
+    let mut wait_secs = 0u64;
+    let mut save_body: Option<String> = None;
+
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)),
+            "--clients" => clients = next(&mut i).parse().expect("client count"),
+            "--requests" => requests = next(&mut i).parse().expect("request count"),
+            "--rate" => rate = Some(next(&mut i).parse().expect("request rate")),
+            "--workloads" => {
+                desc.workloads = next(&mut i).split(',').map(str::to_string).collect();
+            }
+            "--schedulers" => {
+                desc.schedulers = next(&mut i)
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, String>>()
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        usage()
+                    });
+            }
+            "--seeds" => {
+                desc.seeds = next(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("seed must be an integer"))
+                    .collect();
+            }
+            "--scale" => {
+                let v = next(&mut i);
+                desc.scale = if v == "full" {
+                    Scale::Full
+                } else {
+                    Scale::Divided(v.parse().expect("scale divisor"))
+                };
+            }
+            "--vary-seeds" => vary_seeds = true,
+            "--no-verify" => verify = false,
+            "--no-retry" => retry = false,
+            "--wait-secs" => wait_secs = next(&mut i).parse().expect("wait seconds"),
+            "--save-body" => save_body = Some(next(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("error: --addr is required");
+        usage()
+    });
+    if vary_seeds && save_body.is_some() {
+        // --vary-seeds gives every request a different grid, so there is
+        // no single body that represents the configured grid to save.
+        eprintln!("error: --save-body cannot be combined with --vary-seeds");
+        usage()
+    }
+
+    if wait_secs > 0 {
+        if let Err(e) = client::wait_ready(&addr, Duration::from_secs(wait_secs)) {
+            eprintln!("error: daemon at {addr} not ready after {wait_secs}s: {e}");
+            exit(1);
+        }
+    }
+
+    let mut config = LoadgenConfig::new(addr.clone(), desc);
+    config.clients = clients;
+    config.requests_per_client = requests;
+    config.target_rate = rate;
+    config.vary_seeds = vary_seeds;
+    config.verify = verify;
+    config.retry_503 = retry;
+
+    eprintln!(
+        "[joss_loadgen] {} clients x {} requests ({} loop, grid of {} specs) against {addr}",
+        config.clients,
+        config.requests_per_client,
+        if rate.is_some() { "open" } else { "closed" },
+        config.desc.spec_count(),
+    );
+    let report = loadgen::run(&config);
+    println!("{}", report.summary());
+    if let Some(why) = &report.first_malformation {
+        eprintln!("[joss_loadgen] first malformed response: {why}");
+    }
+
+    if let Some(path) = save_body {
+        match &report.first_body {
+            Some(body) => {
+                std::fs::write(&path, body).expect("write saved body");
+                eprintln!("[joss_loadgen] saved one response body to {path}");
+            }
+            None => {
+                eprintln!("error: no successful response body to save");
+                exit(1);
+            }
+        }
+    }
+    if report.malformed > 0 || report.errors > 0 {
+        exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! The simulation-as-a-service daemon.
+//!
+//! ```text
+//! joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
+//!            [--cache-entries N] [--campaign-threads N] [--max-specs N]
+//!            [--reps R] [--train-seed S] [--train-eager]
+//! ```
+//!
+//! Serves the wire protocol documented in `docs/SERVE.md`:
+//! `POST /v1/campaign` with a JSON grid description streams back one
+//! `RunRecord` JSON object per line; `GET /healthz` and `GET /stats` are
+//! JSON endpoints. Model training (the paper's install-time
+//! characterization) happens once, on the first campaign — or at startup
+//! with `--train-eager`.
+
+use joss_serve::{ServeConfig, Server};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]\n\
+         \u{20}                 [--cache-entries N] [--campaign-threads N] [--max-specs N]\n\
+         \u{20}                 [--reps R] [--train-seed S] [--train-eager]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ServeConfig::default();
+    let mut train_eager = false;
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = next(&mut i),
+            "--workers" => config.workers = next(&mut i).parse().expect("worker count"),
+            "--max-inflight" => config.max_inflight = next(&mut i).parse().expect("inflight bound"),
+            "--cache-entries" => {
+                config.cache_entries = next(&mut i).parse().expect("cache capacity")
+            }
+            "--campaign-threads" => {
+                config.campaign_threads = next(&mut i).parse().expect("campaign threads")
+            }
+            "--max-specs" => config.max_specs = next(&mut i).parse().expect("spec cap"),
+            "--reps" => config.reps = next(&mut i).parse().expect("training reps"),
+            "--train-seed" => config.train_seed = next(&mut i).parse().expect("train seed"),
+            "--train-eager" => train_eager = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let reps = config.reps;
+    let train_seed = config.train_seed;
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("error: bind failed: {e}");
+        exit(1);
+    });
+    let addr = server.local_addr().expect("bound address");
+    eprintln!(
+        "[joss_serve] listening on {addr} (train_seed={train_seed}, reps={reps}; \
+         training {} )",
+        if train_eager {
+            "now"
+        } else {
+            "on first campaign"
+        }
+    );
+    if train_eager {
+        let t0 = std::time::Instant::now();
+        server.train();
+        eprintln!(
+            "[joss_serve] characterization done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        exit(1);
+    }
+}

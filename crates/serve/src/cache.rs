@@ -1,0 +1,146 @@
+//! Process-wide LRU results cache: canonical grid description → the full
+//! JSONL body that campaign produced.
+//!
+//! The cache key is the **canonical JSON** of the [`GridDesc`]
+//! (`joss_sweep::GridDesc::to_canonical_json`), not just its 64-bit
+//! `spec_hash` — the hash routes and labels (response header, stats), the
+//! full canonical string guards against hash collisions serving the wrong
+//! grid. Entries are whole response bodies behind `Arc`s, so cache hits
+//! stream to the socket without copying and eviction never frees bytes a
+//! response is still writing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// LRU map from canonical grid JSON to the streamed JSONL body.
+pub struct ResultsCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    body: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+impl ResultsCache {
+    /// Cache holding up to `capacity` campaign bodies (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultsCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Look up a canonical grid, bumping its recency on hit.
+    pub fn get(&self, canonical: &str) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(canonical)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.body))
+    }
+
+    /// Insert (or refresh) a finished campaign body, evicting the least
+    /// recently used entries while over capacity.
+    pub fn insert(&self, canonical: String, body: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            canonical,
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            // O(n) eviction scan: capacities are small (tens of grids) and
+            // insertions happen once per *simulated* campaign, so this is
+            // noise next to the simulation itself.
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity cache");
+            inner.entries.remove(&oldest);
+        }
+    }
+
+    /// False when capacity is 0 — callers can skip building bodies that
+    /// [`ResultsCache::insert`] would discard anyway.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let cache = ResultsCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), body("records"));
+        assert_eq!(cache.get("a").unwrap().as_slice(), b"records");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let cache = ResultsCache::new(2);
+        cache.insert("a".into(), body("A"));
+        cache.insert("b".into(), body("B"));
+        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), body("C"));
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultsCache::new(0);
+        cache.insert("a".into(), body("A"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_the_body() {
+        let cache = ResultsCache::new(2);
+        cache.insert("a".into(), body("old"));
+        cache.insert("a".into(), body("new"));
+        assert_eq!(cache.get("a").unwrap().as_slice(), b"new");
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal blocking HTTP client for the serve protocol — what the
+//! `joss_loadgen` tool, the integration tests, and the `remote_sweep`
+//! example talk through. One request per connection, mirroring the
+//! daemon's `Connection: close` framing.
+
+use crate::http::{self, RequestError, Response};
+use joss_sweep::GridDesc;
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Turn a protocol error into an `io::Error` (the client's only error
+/// type; malformed responses from a daemon are I/O-level failures here).
+fn to_io(err: RequestError) -> io::Error {
+    match err {
+        RequestError::Io(e) => e,
+        other => io::Error::other(format!("{other:?}")),
+    }
+}
+
+/// One exchange: connect, send, read the full response.
+fn exchange(
+    addr: &str,
+    request_head: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(request_head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    http::read_response(&mut reader).map_err(to_io)
+}
+
+/// `GET` an endpoint (e.g. `/healthz`, `/stats`).
+pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<Response> {
+    let head = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n");
+    exchange(addr, &head, b"", timeout)
+}
+
+/// `POST` a raw body to a path (used by tests probing the error paths).
+pub fn post(addr: &str, path: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    exchange(addr, &head, body, timeout)
+}
+
+/// Submit a campaign: the description goes up as canonical JSON, the
+/// response body is the streamed `RunRecord` JSONL (or a JSON error).
+pub fn run_campaign(addr: &str, desc: &GridDesc, timeout: Duration) -> io::Result<Response> {
+    post(
+        addr,
+        "/v1/campaign",
+        desc.to_canonical_json().as_bytes(),
+        timeout,
+    )
+}
+
+/// Poll `/healthz` until the daemon answers, up to `wait`. Returns the
+/// first successful response, or the last error once time is up.
+pub fn wait_ready(addr: &str, wait: Duration) -> io::Result<Response> {
+    let deadline = std::time::Instant::now() + wait;
+    loop {
+        match get(addr, "/healthz", Duration::from_secs(2)) {
+            Ok(resp) if resp.status == 200 => return Ok(resp),
+            Ok(resp) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(io::Error::other(format!(
+                        "daemon answered /healthz with {}",
+                        resp.status
+                    )));
+                }
+            }
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Verify a streamed campaign body against its description: the expected
+/// number of JSONL lines, each parsing as a record object with the right
+/// `index`. Returns the record count or a description of the first
+/// malformation — the check `joss_loadgen --verify` applies to every
+/// response.
+pub fn verify_body(desc: &GridDesc, body: &[u8]) -> Result<usize, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let expected = desc.spec_count();
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let value = joss_sweep::json::parse(line)
+            .map_err(|e| format!("record {i} is not valid JSON: {e}"))?;
+        let index = value
+            .get("index")
+            .and_then(joss_sweep::json::Value::as_u64)
+            .ok_or_else(|| format!("record {i} is missing its index"))?;
+        if index != i as u64 {
+            return Err(format!("record {i} carries index {index}: order broken"));
+        }
+        for key in ["workload", "scheduler", "seed", "total_j", "makespan_s"] {
+            if value.get(key).is_none() {
+                return Err(format!("record {i} is missing {key:?}"));
+            }
+        }
+        count += 1;
+    }
+    if count != expected {
+        return Err(format!("expected {expected} records, got {count}"));
+    }
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("body does not end with a newline".to_string());
+    }
+    Ok(count)
+}

@@ -1,0 +1,367 @@
+//! Minimal hand-rolled HTTP/1.1 plumbing shared by the server and client.
+//!
+//! The vendored dependency set has no HTTP stack (and no async runtime), so
+//! this is the small, strict subset the wire protocol needs: one request
+//! per connection, explicit `Content-Length` on requests, and responses
+//! either length-delimited or streamed until close (`Connection: close`).
+//! Header names are case-insensitive (stored lowercase); size limits guard
+//! every unbounded read.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request/status/header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted on one message.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request head plus body.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path only; no normalization).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+}
+
+/// A parsed response, as the client sees it.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Full body (read to `Content-Length`, or to connection close).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Body as UTF-8 (lossy — diagnostics only).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let name = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Why a request could not be served; maps directly onto a status code.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport failed (including timeouts); no response possible.
+    Io(io::Error),
+    /// Malformed request head or body framing → 400.
+    Malformed(String),
+    /// Body present without `Content-Length` → 411.
+    LengthRequired,
+    /// Declared body exceeds the server's limit → 413.
+    BodyTooLarge { limit: usize },
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Read one CRLF (or bare-LF) terminated line, capped at [`MAX_LINE`].
+///
+/// EOF is **not** a line terminator: a head truncated by a dropped
+/// connection must never parse as a complete request. EOF with nothing
+/// buffered is a clean close between lines (an I/O condition); EOF
+/// mid-line is a malformed, truncated head.
+fn read_line(r: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                return Err(if buf.is_empty() {
+                    RequestError::Io(io::Error::from(io::ErrorKind::UnexpectedEof))
+                } else {
+                    RequestError::Malformed("message truncated mid-line".into())
+                });
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(RequestError::Malformed("header line too long".into()));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| RequestError::Malformed("non-UTF-8 header line".into()))
+}
+
+/// Parse `Name: value` header lines until the blank separator line.
+fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, RequestError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// Read and frame one request. `max_body` caps the accepted
+/// `Content-Length`; bodies require an explicit length (no chunked
+/// requests — the protocol's requests are small JSON documents).
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
+    let line = read_line(r)?;
+    if line.is_empty() {
+        return Err(RequestError::Malformed("empty request line".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let headers = read_headers(r)?;
+
+    let body = match header_lookup(&headers, "content-length") {
+        None => {
+            if method == "POST" || method == "PUT" {
+                return Err(RequestError::LengthRequired);
+            }
+            Vec::new()
+        }
+        Some(text) => {
+            let len: usize = text
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            if len > max_body {
+                return Err(RequestError::BodyTooLarge { limit: max_body });
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body)
+                .map_err(|_| RequestError::Malformed("body shorter than Content-Length".into()))?;
+            body
+        }
+    };
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a response head: status line + headers + blank line. Every
+/// response the daemon sends is `Connection: close` (one exchange per
+/// connection), which is also what delimits streamed bodies.
+pub fn write_head(w: &mut impl Write, status: u16, headers: &[(&str, &str)]) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", status, reason(status))?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"Connection: close\r\n\r\n")
+}
+
+/// Write a complete length-delimited JSON response.
+pub fn write_json(w: &mut impl Write, status: u16, json_body: &str) -> io::Result<()> {
+    let len = json_body.len().to_string();
+    write_head(
+        w,
+        status,
+        &[
+            ("Content-Type", "application/json"),
+            ("Content-Length", &len),
+        ],
+    )?;
+    w.write_all(json_body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one response: status line, headers, then the body — to
+/// `Content-Length` if present, else to connection close.
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, RequestError> {
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| RequestError::Malformed("missing status code".into()))?;
+    let headers = read_headers(r)?;
+    let mut body = Vec::new();
+    match header_lookup(&headers, "content-length") {
+        Some(text) => {
+            let len: usize = text
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            body.resize(len, 0);
+            r.read_exact(&mut body)
+                .map_err(|_| RequestError::Malformed("short response body".into()))?;
+        }
+        None => {
+            r.read_to_end(&mut body)?;
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/campaign HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/campaign");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        let req = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_length_is_411_and_oversize_is_413() {
+        let raw = b"POST / HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..]), 1024),
+            Err(RequestError::LengthRequired)
+        ));
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..]), 4),
+            Err(RequestError::BodyTooLarge { limit: 4 })
+        ));
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort"[..],
+        ] {
+            assert!(read_request(&mut Cursor::new(raw), 1024).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_heads_never_parse_as_complete_requests() {
+        // EOF mid-line: malformed, not a line terminator.
+        for raw in [
+            &b"GET / HTTP/1.1"[..],
+            &b"POST /v1/campaign HTTP/1.1\r\nContent-Length: 60\r\n"[..],
+            &b"GET / HTTP/1.1\r\nHost: x"[..],
+        ] {
+            assert!(
+                matches!(
+                    read_request(&mut Cursor::new(raw), 1024),
+                    Err(RequestError::Malformed(_)) | Err(RequestError::Io(_))
+                ),
+                "truncated head must be rejected: {raw:?}"
+            );
+        }
+        // A clean close before any bytes is an I/O condition, not a 400.
+        assert!(matches!(
+            read_request(&mut Cursor::new(&b""[..]), 1024),
+            Err(RequestError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_with_and_without_length() {
+        let mut wire = Vec::new();
+        write_json(&mut wire, 400, "{\"error\":\"x\"}").unwrap();
+        let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_text(), "{\"error\":\"x\"}");
+
+        // Streamed body: no Content-Length, delimited by close (EOF here).
+        let mut wire = Vec::new();
+        write_head(&mut wire, 200, &[("Content-Type", "application/x-ndjson")]).unwrap();
+        wire.extend_from_slice(b"{\"index\":0}\n{\"index\":1}\n");
+        let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text().lines().count(), 2);
+    }
+}

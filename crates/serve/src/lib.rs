@@ -1,0 +1,43 @@
+//! # joss-serve — simulation as a service
+//!
+//! The paper's figure grids are offline artifacts; the serving layer turns
+//! the same campaign machinery into an interactive "ask the model a
+//! what-if question" endpoint. A long-running daemon accepts grid
+//! descriptions over a hand-rolled HTTP/1.1 wire (threads + blocking I/O —
+//! the vendored dependency set has no async runtime) and **streams** the
+//! resulting [`joss_sweep::RunRecord`] JSONL back as the campaign
+//! executes:
+//!
+//! * [`http`] — the minimal HTTP subset (request/response framing, size
+//!   limits) shared by server and client;
+//! * [`server`] — the daemon: acceptor + worker pool, the
+//!   `POST /v1/campaign` streaming handler, one lazily-trained
+//!   [`joss_sweep::ExperimentContext`] shared by every connection;
+//! * [`cache`] — the process-wide LRU results cache (canonical grid JSON →
+//!   full JSONL body), so repeated queries never re-simulate;
+//! * [`admission`] — the bounded in-flight-campaign semaphore behind the
+//!   `503 + Retry-After` overload response;
+//! * [`client`] — a small blocking client (`run_campaign`, `wait_ready`,
+//!   record verification);
+//! * [`loadgen`] — the open/closed-loop load generator behind
+//!   `joss_loadgen`.
+//!
+//! The wire contract that everything above leans on: **for any grid, the
+//! streamed body is byte-identical to
+//! [`joss_sweep::Campaign::run_streaming`] writing a
+//! [`joss_sweep::JsonlSink`] offline** with the same training seed and
+//! reps (`crates/serve/tests/service.rs` and the CI `serve-smoke` job
+//! assert it). Protocol reference: `docs/SERVE.md`.
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use admission::Admission;
+pub use cache::ResultsCache;
+pub use http::{Request, Response};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use server::{ServeConfig, Server, ServerHandle, Stats};

@@ -1,0 +1,307 @@
+//! The load generator behind `joss_loadgen`: drive a daemon with N
+//! concurrent clients, verify every streamed record, and report
+//! throughput + latency percentiles.
+//!
+//! Two drive modes:
+//!
+//! * **closed loop** (default): each client issues its next request the
+//!   moment the previous response finishes — measures saturation
+//!   throughput;
+//! * **open loop** (`target_rate`): request *starts* are paced on a fixed
+//!   schedule spread across clients, independent of completions —
+//!   measures latency at a controlled offered load. (A client whose
+//!   response is still streaming when its next slot arrives fires late;
+//!   with enough clients the offered rate holds.)
+//!
+//! A `503` answer is load shedding, not failure: the client honours
+//! `Retry-After` and retries the same request (configurable), and the
+//! report counts every shed. Latency is measured per *request*, first
+//! attempt to final byte, so shed-and-retry shows up as tail latency —
+//! exactly what a real client would experience.
+
+use crate::client;
+use joss_sweep::GridDesc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to drive, how hard, and how carefully to check it.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// The grid each request submits.
+    pub desc: GridDesc,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Open-loop aggregate request-start rate (req/s); `None` = closed loop.
+    pub target_rate: Option<f64>,
+    /// Verify every streamed record (count, order, schema).
+    pub verify: bool,
+    /// Retry shed (503) requests after their `Retry-After`.
+    pub retry_503: bool,
+    /// Most 503 retries per request before it counts as an error —
+    /// bounds the run against a permanently saturated daemon.
+    pub max_shed_retries: usize,
+    /// Give each request a unique seed list, defeating the daemon's cache
+    /// (measures simulation throughput rather than memory bandwidth).
+    pub vary_seeds: bool,
+    /// Per-exchange socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// Closed-loop config with verification on.
+    pub fn new(addr: impl Into<String>, desc: GridDesc) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            desc,
+            clients: 1,
+            requests_per_client: 1,
+            target_rate: None,
+            verify: true,
+            retry_503: true,
+            max_shed_retries: 30,
+            vary_seeds: false,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Successful (200, and verified if enabled) requests.
+    pub ok: usize,
+    /// 503 responses observed (each retry attempt counts one).
+    pub shed_503: usize,
+    /// Responses that failed verification.
+    pub malformed: usize,
+    /// Transport/protocol errors and non-200/503 statuses.
+    pub errors: usize,
+    /// Total records across successful responses.
+    pub records: usize,
+    /// Successful responses served from the daemon's cache (header).
+    pub cache_hits: usize,
+    /// Per-request latencies (first attempt → final byte), sorted ascending.
+    pub latencies: Vec<Duration>,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Body of the first successful response (for offline diffing).
+    pub first_body: Option<Vec<u8>>,
+    /// First verification failure, if any (diagnostics).
+    pub first_malformation: Option<String>,
+}
+
+impl LoadReport {
+    /// Latency at percentile `p` (0–100) over successful requests.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
+        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    }
+
+    /// Successful requests per second of wall time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Human summary (the `joss_loadgen` output).
+    pub fn summary(&self) -> String {
+        format!(
+            "ok {} | shed(503) {} | malformed {} | errors {} | records {} | \
+             cache hits {} | {:.1} req/s | p50 {:.1} ms | p90 {:.1} ms | \
+             p99 {:.1} ms | max {:.1} ms",
+            self.ok,
+            self.shed_503,
+            self.malformed,
+            self.errors,
+            self.records,
+            self.cache_hits,
+            self.throughput_rps(),
+            self.percentile(50.0).as_secs_f64() * 1e3,
+            self.percentile(90.0).as_secs_f64() * 1e3,
+            self.percentile(99.0).as_secs_f64() * 1e3,
+            self.latencies
+                .last()
+                .copied()
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e3,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    malformed: usize,
+    errors: usize,
+    records: usize,
+    cache_hits: usize,
+    latencies: Vec<Duration>,
+}
+
+/// Drive the daemon as configured and aggregate the outcome.
+pub fn run(config: &LoadgenConfig) -> LoadReport {
+    let first_body: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let first_malformation: Mutex<Option<String>> = Mutex::new(None);
+    let shed_total = AtomicU64::new(0);
+    let interval = config
+        .target_rate
+        .map(|rate| Duration::from_secs_f64(1.0 / rate.max(1e-9)));
+    let started = Instant::now();
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client_id| {
+                let first_body = &first_body;
+                let first_malformation = &first_malformation;
+                let shed_total = &shed_total;
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    for req in 0..config.requests_per_client {
+                        // Open loop: global request slots are interleaved
+                        // round-robin across clients.
+                        if let Some(interval) = interval {
+                            let slot = (req * config.clients.max(1) + client_id) as u32;
+                            let due = started + interval * slot;
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        let desc = request_desc(config, client_id, req);
+                        drive_one(
+                            config,
+                            &desc,
+                            &mut tally,
+                            shed_total,
+                            first_body,
+                            first_malformation,
+                        );
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        ok: 0,
+        shed_503: shed_total.load(Ordering::Relaxed) as usize,
+        malformed: 0,
+        errors: 0,
+        records: 0,
+        cache_hits: 0,
+        latencies: Vec::new(),
+        elapsed,
+        first_body: first_body.into_inner().expect("first body lock"),
+        first_malformation: first_malformation.into_inner().expect("malformation lock"),
+    };
+    for tally in tallies {
+        report.ok += tally.ok;
+        report.malformed += tally.malformed;
+        report.errors += tally.errors;
+        report.records += tally.records;
+        report.cache_hits += tally.cache_hits;
+        report.latencies.extend(tally.latencies);
+    }
+    report.latencies.sort();
+    report
+}
+
+/// The grid a given (client, request) submits; unique seeds when the run
+/// wants to defeat the cache.
+fn request_desc(config: &LoadgenConfig, client_id: usize, req: usize) -> GridDesc {
+    let mut desc = config.desc.clone();
+    if config.vary_seeds {
+        let unique = (client_id * config.requests_per_client + req) as u64;
+        desc.seeds = vec![0x5eed_0000 + unique];
+    }
+    desc
+}
+
+fn drive_one(
+    config: &LoadgenConfig,
+    desc: &GridDesc,
+    tally: &mut Tally,
+    shed_total: &AtomicU64,
+    first_body: &Mutex<Option<Vec<u8>>>,
+    first_malformation: &Mutex<Option<String>>,
+) {
+    let t0 = Instant::now();
+    let mut sheds_seen = 0usize;
+    loop {
+        let response = match client::run_campaign(&config.addr, desc, config.timeout) {
+            Ok(r) => r,
+            Err(_) => {
+                tally.errors += 1;
+                return;
+            }
+        };
+        match response.status {
+            200 => {
+                if config.verify {
+                    match client::verify_body(desc, &response.body) {
+                        Ok(n) => tally.records += n,
+                        Err(why) => {
+                            tally.malformed += 1;
+                            let mut slot = first_malformation.lock().expect("malformation lock");
+                            slot.get_or_insert(why);
+                            return;
+                        }
+                    }
+                } else {
+                    tally.records += response.body.iter().filter(|&&b| b == b'\n').count();
+                }
+                if response.header("x-joss-cache") == Some("hit") {
+                    tally.cache_hits += 1;
+                }
+                tally.ok += 1;
+                tally.latencies.push(t0.elapsed());
+                if !config.vary_seeds {
+                    let mut slot = first_body.lock().expect("first body lock");
+                    if slot.is_none() {
+                        *slot = Some(response.body);
+                    }
+                }
+                return;
+            }
+            503 => {
+                shed_total.fetch_add(1, Ordering::Relaxed);
+                if !config.retry_503 {
+                    return;
+                }
+                sheds_seen += 1;
+                if sheds_seen > config.max_shed_retries {
+                    // A daemon shedding this persistently is effectively
+                    // down for this client; bound the run instead of
+                    // spinning on Retry-After forever.
+                    tally.errors += 1;
+                    return;
+                }
+                let wait = response
+                    .header("retry-after")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(1);
+                std::thread::sleep(Duration::from_millis((wait * 1000).clamp(100, 10_000)));
+            }
+            _ => {
+                tally.errors += 1;
+                return;
+            }
+        }
+    }
+}

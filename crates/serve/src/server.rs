@@ -1,0 +1,511 @@
+//! The daemon: TCP acceptor + worker thread pool, request routing, and the
+//! campaign-streaming handler.
+//!
+//! Architecture (threads + blocking I/O by design — the vendored
+//! dependency set has no async runtime):
+//!
+//! ```text
+//! acceptor ──► connection queue ──► N HTTP workers
+//!                                        │ parse GridDesc, cache lookup,
+//!                                        │ admission check
+//!                                        ▼
+//!                      Campaign::run_streaming (sweep pool fan-out,
+//!                      shared lazily-trained ExperimentContext)
+//!                                        │ records in spec order
+//!                                        ▼
+//!                      socket (JSONL) + in-memory copy → results cache
+//! ```
+//!
+//! One exchange per connection (`Connection: close` delimits streamed
+//! bodies). The expensive per-process state is shared: **one**
+//! [`ExperimentContext`] trained on first use serves every connection, and
+//! finished campaign bodies land in the [`ResultsCache`] keyed by the
+//! grid's canonical JSON, so a repeated query never re-simulates.
+
+use crate::admission::Admission;
+use crate::cache::ResultsCache;
+use crate::http::{self, RequestError};
+use joss_sweep::{Campaign, ExperimentContext, GridDesc};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Daemon configuration; [`ServeConfig::default`] matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads. Keep this above `max_inflight` so health and
+    /// cache-hit traffic stays responsive while campaigns stream.
+    pub workers: usize,
+    /// Concurrent in-flight campaigns admitted before 503s (see
+    /// [`Admission`]).
+    pub max_inflight: usize,
+    /// Results-cache capacity in campaign bodies (0 disables).
+    pub cache_entries: usize,
+    /// Worker threads per admitted campaign (the sweep pool's fan-out).
+    pub campaign_threads: usize,
+    /// Largest accepted grid, in specs.
+    pub max_specs: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body: usize,
+    /// Training seed for the shared context (must match an offline run for
+    /// byte-identical records).
+    pub train_seed: u64,
+    /// Profiling repetitions for the one-time characterization.
+    pub reps: u32,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers: 8,
+            max_inflight: 2,
+            cache_entries: 64,
+            campaign_threads: joss_sweep::default_threads(),
+            max_specs: 4096,
+            max_body: 64 * 1024,
+            train_seed: 42,
+            reps: 3,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic service counters, exposed at `GET /stats`.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Requests whose head parsed (any method/path).
+    pub requests: AtomicU64,
+    /// Campaigns actually simulated (== cache misses that were admitted).
+    pub campaigns_executed: AtomicU64,
+    /// Campaign requests served straight from the results cache.
+    pub cache_hits: AtomicU64,
+    /// Campaign requests shed with 503.
+    pub rejected_503: AtomicU64,
+    /// Requests answered 4xx.
+    pub bad_requests: AtomicU64,
+    /// Records streamed by executed campaigns.
+    pub records_streamed: AtomicU64,
+    /// Connections dropped on transport errors.
+    pub io_errors: AtomicU64,
+    /// Handler panics contained by the worker pool (each one is a bug —
+    /// the count is surfaced so it cannot hide).
+    pub handler_panics: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared per-process serving state.
+struct State {
+    config: ServeConfig,
+    cache: ResultsCache,
+    admission: Admission,
+    ctx: OnceLock<ExperimentContext>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    queue: ConnQueue,
+}
+
+impl State {
+    /// The shared experiment context, trained on first use (the paper's
+    /// install-time characterization). Concurrent first requests block
+    /// here until the one training finishes, then all share it.
+    fn ctx(&self) -> &ExperimentContext {
+        self.ctx
+            .get_or_init(|| ExperimentContext::with_reps(self.config.train_seed, self.config.reps))
+    }
+
+    fn stats_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
+             \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
+             \"io_errors\":{},\"handler_panics\":{},\"cached_grids\":{},\"trained\":{},\
+             \"max_inflight\":{},\"available_permits\":{}}}",
+            Stats::get(&self.stats.requests),
+            Stats::get(&self.stats.campaigns_executed),
+            Stats::get(&self.stats.cache_hits),
+            Stats::get(&self.stats.rejected_503),
+            Stats::get(&self.stats.bad_requests),
+            Stats::get(&self.stats.records_streamed),
+            Stats::get(&self.stats.io_errors),
+            Stats::get(&self.stats.handler_panics),
+            self.cache.len(),
+            self.ctx.get().is_some(),
+            self.admission.limit(),
+            self.admission.available(),
+        )
+    }
+}
+
+/// Blocking MPMC connection queue feeding the worker pool.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: TcpStream) {
+        self.queue.lock().expect("conn queue").push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Next connection, or `None` once shutdown is flagged.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("conn queue");
+        loop {
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let (next, _) = self
+                .ready
+                .wait_timeout(queue, Duration::from_millis(100))
+                .expect("conn queue");
+            queue = next;
+        }
+    }
+}
+
+/// A bound daemon, ready to [`Server::run`] or [`Server::spawn`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind the listener (does not accept yet, and does not train).
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(State {
+            cache: ResultsCache::new(config.cache_entries),
+            admission: Admission::new(config.max_inflight),
+            ctx: OnceLock::new(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            queue: ConnQueue::default(),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Train the shared context now instead of on the first campaign
+    /// (`joss_serve --train-eager`): connections accepted after this
+    /// returns never pay the characterization latency.
+    pub fn train(&self) {
+        let _ = self.state.ctx();
+    }
+
+    /// Serve until [`ServerHandle::stop`] (or a listener error). Blocks the
+    /// calling thread; use [`Server::spawn`] for an owned background
+    /// daemon.
+    pub fn run(self) -> io::Result<()> {
+        let workers = self.state.config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || {
+                    while let Some(conn) = state.queue.pop(&state.shutdown) {
+                        // Contain handler panics: a daemon must not lose a
+                        // worker (and eventually its whole pool) to one bad
+                        // request. The connection just drops; the client
+                        // sees a reset, the counter sees a bug.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handle_connection(conn, &state)
+                            }));
+                        if outcome.is_err() {
+                            Stats::bump(&state.stats.handler_panics);
+                        }
+                    }
+                });
+            }
+            for conn in self.listener.incoming() {
+                if self.state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => self.state.queue.push(stream),
+                    Err(_) => Stats::bump(&self.state.stats.io_errors),
+                }
+            }
+            // Unblock any waiting workers.
+            self.state.shutdown.store(true, Ordering::Release);
+            self.state.queue.ready.notify_all();
+        });
+        Ok(())
+    }
+
+    /// Run on a background thread, returning a stop/join handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// Handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flag shutdown, unblock the acceptor, and join. In-flight campaign
+    /// streams finish; queued-but-unserved connections are dropped.
+    pub fn stop(self) -> io::Result<()> {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.queue.ready.notify_all();
+        // The acceptor is parked in accept(); poke it with a connection.
+        let _ = TcpStream::connect(self.addr);
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Serve one connection: read one request, route it, respond, close.
+fn handle_connection(conn: TcpStream, state: &State) {
+    let _ = conn.set_read_timeout(Some(state.config.read_timeout));
+    let _ = conn.set_nodelay(true);
+    let reader_half = match conn.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            Stats::bump(&state.stats.io_errors);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = BufWriter::new(conn);
+
+    let request = match http::read_request(&mut reader, state.config.max_body) {
+        Ok(req) => req,
+        Err(RequestError::Io(_)) => {
+            Stats::bump(&state.stats.io_errors);
+            return;
+        }
+        Err(err) => {
+            Stats::bump(&state.stats.bad_requests);
+            let (status, msg) = match err {
+                RequestError::Malformed(m) => (400, m),
+                RequestError::LengthRequired => (411, "Content-Length required".into()),
+                RequestError::BodyTooLarge { limit } => {
+                    (413, format!("body exceeds {limit} bytes"))
+                }
+                RequestError::Io(_) => unreachable!("handled above"),
+            };
+            let _ = http::write_json(&mut writer, status, &error_json(&msg));
+            return;
+        }
+    };
+
+    Stats::bump(&state.stats.requests);
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => http::write_json(
+            &mut writer,
+            200,
+            &format!(
+                "{{\"status\":\"ok\",\"trained\":{}}}",
+                state.ctx.get().is_some()
+            ),
+        ),
+        ("GET", "/stats") => http::write_json(&mut writer, 200, &state.stats_json()),
+        ("POST", "/v1/campaign") => handle_campaign(&mut writer, &request.body, state),
+        (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") => {
+            Stats::bump(&state.stats.bad_requests);
+            http::write_json(&mut writer, 405, &error_json("method not allowed"))
+        }
+        _ => {
+            Stats::bump(&state.stats.bad_requests);
+            http::write_json(&mut writer, 404, &error_json("no such endpoint"))
+        }
+    };
+    if outcome.is_err() {
+        Stats::bump(&state.stats.io_errors);
+    }
+}
+
+/// The campaign endpoint: parse → cache → admission → simulate + stream.
+fn handle_campaign(
+    writer: &mut BufWriter<TcpStream>,
+    body: &[u8],
+    state: &State,
+) -> io::Result<()> {
+    let bad = |writer: &mut BufWriter<TcpStream>, state: &State, msg: &str| {
+        Stats::bump(&state.stats.bad_requests);
+        http::write_json(writer, 400, &error_json(msg))
+    };
+
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad(writer, state, "request body must be UTF-8 JSON"),
+    };
+    let desc = match GridDesc::from_json(text) {
+        Ok(d) => d,
+        Err(e) => return bad(writer, state, &e),
+    };
+    // Everything up to the admission gate works on the description alone:
+    // resolving a grid instantiates the whole benchmark suite at the
+    // requested scale, which is exactly the work the cache and the
+    // semaphore exist to bound, so it must not happen for hits, sheds, or
+    // oversized requests.
+    let spec_count = desc.spec_count();
+    if spec_count > state.config.max_specs {
+        return bad(
+            writer,
+            state,
+            &format!(
+                "grid has {spec_count} specs, above this daemon's limit of {}",
+                state.config.max_specs
+            ),
+        );
+    }
+
+    let canonical = desc.to_canonical_json();
+    let hash = format!("{:016x}", desc.spec_hash());
+    let records_header = spec_count.to_string();
+
+    // Cache: repeated identical grids stream from memory, no permit needed.
+    if let Some(cached) = state.cache.get(&canonical) {
+        Stats::bump(&state.stats.cache_hits);
+        http::write_head(
+            writer,
+            200,
+            &[
+                ("Content-Type", "application/x-ndjson"),
+                ("X-Joss-Spec-Hash", &hash),
+                ("X-Joss-Cache", "hit"),
+                ("X-Joss-Records", &records_header),
+            ],
+        )?;
+        writer.write_all(&cached)?;
+        return writer.flush();
+    }
+
+    // Admission: shed load instead of oversubscribing the simulation pool.
+    let permit = match state.admission.try_acquire() {
+        Some(p) => p,
+        None => {
+            Stats::bump(&state.stats.rejected_503);
+            let json = error_json("simulation pool saturated; retry shortly");
+            let len = json.len().to_string();
+            http::write_head(
+                writer,
+                503,
+                &[
+                    ("Content-Type", "application/json"),
+                    ("Content-Length", &len),
+                    ("Retry-After", "1"),
+                ],
+            )?;
+            writer.write_all(json.as_bytes())?;
+            return writer.flush();
+        }
+    };
+
+    // Train-once (first admitted campaign pays it), then validate against
+    // the serving platform and resolve. Both must precede the 200 head:
+    // an out-of-range `fixed:` knob index or unknown workload label is a
+    // client fault, not a half-streamed response.
+    let ctx = state.ctx();
+    if let Err(e) = desc
+        .schedulers
+        .iter()
+        .try_for_each(|s| s.validate(&ctx.space))
+    {
+        drop(permit);
+        return bad(writer, state, &e);
+    }
+    let specs = match desc.resolve() {
+        Ok(grid) => grid.build(),
+        Err(e) => {
+            drop(permit);
+            return bad(writer, state, &e);
+        }
+    };
+    http::write_head(
+        writer,
+        200,
+        &[
+            ("Content-Type", "application/x-ndjson"),
+            ("X-Joss-Spec-Hash", &hash),
+            ("X-Joss-Cache", "miss"),
+            ("X-Joss-Records", &records_header),
+        ],
+    )?;
+
+    // Stream each record to the socket as it flushes out of the reorder
+    // window AND (when caching is on) into the in-memory copy that becomes
+    // the cache entry. A client that disconnects mid-stream stops socket
+    // writes only — the campaign still completes and its full body is
+    // still cached. With the cache disabled (`--cache-entries 0`) records
+    // go straight to the socket through a reused line buffer, keeping the
+    // flat-memory streaming property.
+    let caching = state.cache.enabled();
+    let mut cache_body: Vec<u8> = Vec::with_capacity(if caching { spec_count * 192 } else { 0 });
+    let mut socket_err: Option<io::Error> = None;
+    Campaign::with_threads(state.config.campaign_threads).run_streaming(ctx, specs, |record| {
+        let line_start = cache_body.len();
+        cache_body.extend_from_slice(record.to_json().as_bytes());
+        cache_body.push(b'\n');
+        if socket_err.is_none() {
+            if let Err(e) = writer.write_all(&cache_body[line_start..]) {
+                socket_err = Some(e);
+            }
+        }
+        if !caching {
+            cache_body.clear();
+        }
+    });
+    Stats::bump(&state.stats.campaigns_executed);
+    state
+        .stats
+        .records_streamed
+        .fetch_add(spec_count as u64, Ordering::Relaxed);
+    if caching {
+        state.cache.insert(canonical, Arc::new(cache_body));
+    }
+    drop(permit);
+    match socket_err {
+        Some(e) => Err(e),
+        None => writer.flush(),
+    }
+}
+
+fn error_json(msg: &str) -> String {
+    format!("{{\"error\":{}}}", joss_sweep::json::quote(msg))
+}

@@ -1,0 +1,281 @@
+//! Service-boundary tests: boot the daemon on an ephemeral port and drive
+//! it over real sockets.
+//!
+//! The load-bearing assertion is **byte identity across the network hop**:
+//! for the same grid description and training parameters, the JSONL a
+//! client receives equals `Campaign::run_streaming` → `JsonlSink` run
+//! offline, regardless of how many threads either side used.
+
+use joss_serve::{client, loadgen, LoadgenConfig, ServeConfig, Server, ServerHandle};
+use joss_sweep::{Campaign, ExperimentContext, GridDesc, JsonlSink, SchedulerKind};
+use joss_workloads::Scale;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Offline reference context — same (seed, reps) the test servers use.
+fn offline_ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::with_reps(42, 1))
+}
+
+fn tiny_desc() -> GridDesc {
+    GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+    }
+}
+
+fn boot(configure: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        reps: 1,
+        workers: 4,
+        campaign_threads: 2,
+        ..ServeConfig::default()
+    };
+    configure(&mut config);
+    Server::bind(config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// The offline JSONL bytes for a description, single-threaded.
+fn offline_jsonl(desc: &GridDesc) -> Vec<u8> {
+    let specs = desc.resolve().expect("resolvable grid").build();
+    let mut sink = JsonlSink::new(Vec::new());
+    Campaign::with_threads(1).run_streaming(offline_ctx(), specs, |record| {
+        sink.write(&record).expect("in-memory write");
+    });
+    sink.into_inner().expect("flush")
+}
+
+#[test]
+fn streamed_body_is_byte_identical_to_offline_campaign() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    for desc in [
+        tiny_desc(),
+        GridDesc {
+            workloads: vec!["DP".into(), "MM_256_dop4".into()],
+            schedulers: vec![
+                SchedulerKind::Grws,
+                SchedulerKind::Aequitas(0.005),
+                SchedulerKind::Joss,
+            ],
+            seeds: vec![42, 7],
+            scale: Scale::Divided(400),
+            record_trace: false,
+        },
+    ] {
+        let response = client::run_campaign(&addr, &desc, TIMEOUT).expect("campaign request");
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        assert_eq!(response.header("x-joss-cache"), Some("miss"));
+        assert_eq!(
+            response.header("x-joss-records"),
+            Some(desc.spec_count().to_string().as_str())
+        );
+        assert_eq!(
+            response.header("x-joss-spec-hash"),
+            Some(format!("{:016x}", desc.spec_hash()).as_str())
+        );
+        assert_eq!(
+            client::verify_body(&desc, &response.body),
+            Ok(desc.spec_count())
+        );
+        // Determinism must survive the network hop: the daemon simulated
+        // this on 2 worker threads, the reference on 1.
+        assert_eq!(
+            response.body,
+            offline_jsonl(&desc),
+            "served JSONL diverged from the offline campaign"
+        );
+    }
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn repeated_request_is_served_from_cache_without_resimulating() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let desc = tiny_desc();
+
+    let first = client::run_campaign(&addr, &desc, TIMEOUT).expect("first request");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-joss-cache"), Some("miss"));
+
+    // Same grid, reformatted body (different key order + whitespace): the
+    // canonical form must hit the same cache entry.
+    let scrambled =
+        "{ \"seeds\": [42],\n  \"scale\": 400, \"schedulers\": [\"grws\",\"joss\"],\n  \
+         \"workloads\": [\"DP\"] }";
+    let second =
+        client::post(&addr, "/v1/campaign", scrambled.as_bytes(), TIMEOUT).expect("second request");
+    assert_eq!(second.status, 200, "{}", second.body_text());
+    assert_eq!(second.header("x-joss-cache"), Some("hit"));
+    assert_eq!(second.body, first.body, "cache must replay identical bytes");
+
+    let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+    let parsed = joss_sweep::json::parse(&stats.body_text()).expect("stats JSON");
+    let count = |key: &str| {
+        parsed
+            .get(key)
+            .and_then(joss_sweep::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {key}"))
+    };
+    assert_eq!(
+        count("campaigns_executed"),
+        1,
+        "the repeat must not re-simulate"
+    );
+    assert_eq!(count("cache_hits"), 1);
+    assert_eq!(count("cached_grids"), 1);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    // max_inflight = 0: every campaign is shed — the deterministic way to
+    // exercise the overload path.
+    let handle = boot(|c| c.max_inflight = 0);
+    let addr = handle.addr().to_string();
+
+    let response = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("request");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert!(response.body_text().contains("saturated"));
+
+    // Degrading gracefully means everything that needs no simulation slot
+    // still answers.
+    let health = client::get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+    assert!(stats.body_text().contains("\"rejected_503\":1"));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn shed_requests_succeed_once_capacity_returns() {
+    // One slot, several clients racing distinct grids: the loadgen's
+    // retry-on-503 must land every request eventually.
+    let handle = boot(|c| c.max_inflight = 1);
+    let addr = handle.addr().to_string();
+    let mut config = LoadgenConfig::new(addr, tiny_desc());
+    config.clients = 3;
+    config.requests_per_client = 2;
+    config.vary_seeds = true; // distinct grids: no cache shortcuts
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 6, "every request must eventually succeed");
+    assert_eq!(report.malformed, 0, "{:?}", report.first_malformation);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.cache_hits, 0);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn protocol_errors_are_client_faults_not_crashes() {
+    let handle = boot(|c| c.max_specs = 8);
+    let addr = handle.addr().to_string();
+
+    // Malformed JSON.
+    let r = client::post(&addr, "/v1/campaign", b"{not json", TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+    // Unknown workload label.
+    let bad = "{\"workloads\":[\"NOPE\"],\"schedulers\":[\"joss\"]}";
+    let r = client::post(&addr, "/v1/campaign", bad.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("NOPE"), "{}", r.body_text());
+    // Unknown scheduler.
+    let bad = "{\"workloads\":[\"DP\"],\"schedulers\":[\"frobnicate\"]}";
+    let r = client::post(&addr, "/v1/campaign", bad.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+    // Well-formed but out-of-range fixed knob indices: must be a client
+    // fault, never an engine panic that kills a worker.
+    let bad = "{\"workloads\":[\"DP\"],\"schedulers\":[\"fixed:big:99:99:99\"]}";
+    let r = client::post(&addr, "/v1/campaign", bad.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("out of range"), "{}", r.body_text());
+    // Grid above the daemon's spec cap.
+    let mut big = tiny_desc();
+    big.seeds = (0..9).collect(); // 1 workload x 2 schedulers x 9 seeds = 18 > 8
+    let r = client::run_campaign(&addr, &big, TIMEOUT).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("limit"), "{}", r.body_text());
+    // Wrong method / path.
+    let r = client::get(&addr, "/v1/campaign", TIMEOUT).unwrap();
+    assert_eq!(r.status, 405);
+    let r = client::get(&addr, "/v1/nope", TIMEOUT).unwrap();
+    assert_eq!(r.status, 404);
+    // Oversized body.
+    let huge = vec![b' '; 80 * 1024];
+    let r = client::post(&addr, "/v1/campaign", &huge, TIMEOUT).unwrap();
+    assert_eq!(r.status, 413);
+
+    // After all that abuse the daemon still serves.
+    let ok = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).unwrap();
+    assert_eq!(ok.status, 200);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn eight_concurrent_clients_stream_verified_records() {
+    let handle = boot(|c| {
+        c.workers = 12;
+        c.max_inflight = 8;
+    });
+    let addr = handle.addr().to_string();
+    let desc = tiny_desc();
+    let per_request = desc.spec_count();
+
+    let mut config = LoadgenConfig::new(addr.clone(), desc);
+    config.clients = 8;
+    config.requests_per_client = 3;
+    let report = loadgen::run(&config);
+
+    assert_eq!(
+        report.ok, 24,
+        "errors={} shed={}",
+        report.errors, report.shed_503
+    );
+    assert_eq!(report.malformed, 0, "{:?}", report.first_malformation);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.records, 24 * per_request);
+    assert!(
+        report.cache_hits >= 16,
+        "identical grids after the first must mostly hit the cache (got {})",
+        report.cache_hits
+    );
+    assert_eq!(report.latencies.len(), 24);
+    assert!(report.throughput_rps() > 0.0);
+
+    // The saved body diffs clean against the offline reference too.
+    let body = report.first_body.expect("a saved body");
+    assert_eq!(body, offline_jsonl(&tiny_desc()));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn open_loop_pacing_spreads_request_starts() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let mut config = LoadgenConfig::new(addr, tiny_desc());
+    config.clients = 2;
+    config.requests_per_client = 3;
+    config.target_rate = Some(50.0); // 6 request slots, 20 ms apart
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 6);
+    assert_eq!(report.malformed, 0);
+    // 6 slots at 50 req/s put the last start at >= 100 ms.
+    assert!(
+        report.elapsed >= Duration::from_millis(100),
+        "open loop finished too fast: {:?}",
+        report.elapsed
+    );
+    handle.stop().expect("clean shutdown");
+}

@@ -75,6 +75,36 @@ impl Campaign {
             |_, record| sink(record),
         );
     }
+
+    /// Execute every spec, streaming records into a fallible
+    /// [`RecordSink`](crate::sink::RecordSink) in spec order.
+    ///
+    /// The campaign itself cannot be cancelled mid-flight (workers finish
+    /// their specs), but after the first sink error no further writes are
+    /// attempted and that error is returned — the behaviour a network
+    /// response stream needs when its client disconnects. Returns the
+    /// number of records written on success.
+    pub fn run_to_sink(
+        &self,
+        ctx: &ExperimentContext,
+        specs: Vec<RunSpec>,
+        sink: &mut impl crate::sink::RecordSink,
+    ) -> std::io::Result<usize> {
+        let mut first_err: Option<std::io::Error> = None;
+        let mut written = 0usize;
+        self.run_streaming(ctx, specs, |record| {
+            if first_err.is_none() {
+                match sink.write(&record) {
+                    Ok(()) => written += 1,
+                    Err(e) => first_err = Some(e),
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
 }
 
 impl Default for Campaign {

@@ -1,0 +1,302 @@
+//! The wire-format grid description: a [`SpecGrid`] as pure data.
+//!
+//! A [`SpecGrid`] holds instantiated task graphs, so it cannot itself cross
+//! a process boundary. [`GridDesc`] is its round-trippable description —
+//! workloads by Fig. 8 suite label, schedulers in their canonical CLI
+//! spelling, seeds, scale — with a **canonical JSON form**: fixed key
+//! order (`workloads`, `schedulers`, `seeds`, `scale`, `record_trace`), no
+//! whitespace. [`GridDesc::from_json`] accepts any key order and
+//! whitespace; [`GridDesc::spec_hash`] hashes the canonical form, so the
+//! hash is invariant under reordering/reformatting — that is what makes it
+//! usable as a results-cache key in the serve daemon.
+//!
+//! `parse(print(desc)) == desc` and the hash invariance are enforced by
+//! `crates/sweep/tests/wire_roundtrip.rs`.
+
+use crate::json::{self, Value};
+use crate::scheduler::SchedulerKind;
+use crate::spec::{SpecGrid, Workload};
+use joss_workloads::{fig8_bench, fig8_labels, Scale};
+use std::fmt::Write as _;
+
+/// Declarative, serializable description of a [`SpecGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridDesc {
+    /// Fig. 8 suite labels (resolved against [`fig8_suite`] at `scale`).
+    pub workloads: Vec<String>,
+    /// Scheduler columns.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Seeds (empty means the grid default, [`crate::spec::DEFAULT_SEED`]).
+    pub seeds: Vec<u64>,
+    /// Workload scale shared by every spec.
+    pub scale: Scale,
+    /// Opt every spec into execution-trace recording.
+    pub record_trace: bool,
+}
+
+impl Default for GridDesc {
+    fn default() -> Self {
+        GridDesc {
+            workloads: Vec::new(),
+            schedulers: Vec::new(),
+            seeds: Vec::new(),
+            scale: DEFAULT_SCALE,
+            record_trace: false,
+        }
+    }
+}
+
+/// Scale assumed when a request omits it (matches the `joss_sweep` CLI).
+pub const DEFAULT_SCALE: Scale = Scale::Divided(100);
+
+impl GridDesc {
+    /// Number of specs [`GridDesc::resolve`]'s grid will emit.
+    pub fn spec_count(&self) -> usize {
+        self.workloads.len() * self.schedulers.len() * self.seeds.len().max(1)
+    }
+
+    /// The canonical JSON form: fixed key order, no whitespace. Two
+    /// descriptions are equal iff their canonical strings are equal.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{\"workloads\":[");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::quote(w));
+        }
+        out.push_str("],\"schedulers\":[");
+        for (i, s) in self.schedulers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::quote(&s.to_cli_string()));
+        }
+        out.push_str("],\"seeds\":[");
+        for (i, seed) in self.seeds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{seed}");
+        }
+        out.push_str("],\"scale\":");
+        match self.scale {
+            Scale::Full => out.push_str("\"full\""),
+            Scale::Divided(d) => {
+                let _ = write!(out, "{d}");
+            }
+        }
+        let _ = write!(out, ",\"record_trace\":{}}}", self.record_trace);
+        out
+    }
+
+    /// Parse a description from JSON (any key order/whitespace). Unknown
+    /// keys are rejected so protocol typos fail loudly instead of silently
+    /// running a different grid.
+    pub fn from_json(text: &str) -> Result<GridDesc, String> {
+        let root = json::parse(text)?;
+        let members = root
+            .as_object()
+            .ok_or_else(|| "grid description must be a JSON object".to_string())?;
+        let mut desc = GridDesc::default();
+        for (key, value) in members {
+            match key.as_str() {
+                "workloads" => {
+                    desc.workloads = string_array(value, "workloads")?;
+                }
+                "schedulers" => {
+                    desc.schedulers = string_array(value, "schedulers")?
+                        .iter()
+                        .map(|s| s.parse())
+                        .collect::<Result<_, _>>()?;
+                }
+                "seeds" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| "\"seeds\" must be an array".to_string())?;
+                    desc.seeds = items
+                        .iter()
+                        .map(|v| {
+                            v.as_u64()
+                                .ok_or_else(|| "seeds must be unsigned integers".to_string())
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "scale" => {
+                    desc.scale = match value {
+                        Value::String(s) if s == "full" => Scale::Full,
+                        v => {
+                            let d = v.as_u64().ok_or_else(|| {
+                                "\"scale\" must be \"full\" or a positive divisor".to_string()
+                            })?;
+                            let d = u32::try_from(d)
+                                .map_err(|_| "scale divisor too large".to_string())?;
+                            if d == 0 {
+                                return Err("scale divisor must be >= 1".to_string());
+                            }
+                            Scale::Divided(d)
+                        }
+                    };
+                }
+                "record_trace" => {
+                    desc.record_trace = value
+                        .as_bool()
+                        .ok_or_else(|| "\"record_trace\" must be a boolean".to_string())?;
+                }
+                other => return Err(format!("unknown grid description key {other:?}")),
+            }
+        }
+        if desc.workloads.is_empty() {
+            return Err("grid description needs a non-empty \"workloads\" array".to_string());
+        }
+        if desc.schedulers.is_empty() {
+            return Err("grid description needs a non-empty \"schedulers\" array".to_string());
+        }
+        Ok(desc)
+    }
+
+    /// Stable 64-bit key for this grid: FNV-1a over the canonical JSON, so
+    /// it is invariant under JSON key order and whitespace by construction.
+    pub fn spec_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.to_canonical_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Instantiate the described grid, resolving workload labels against
+    /// the Fig. 8 suite at this description's scale.
+    ///
+    /// Only the *named* workloads are constructed ([`fig8_bench`] builds
+    /// one instance, not the suite) — this runs on the serve daemon's miss
+    /// path while an admission permit is held, so a one-workload grid must
+    /// not pay for 21 full-scale graph builds.
+    pub fn resolve(&self) -> Result<SpecGrid, String> {
+        if self.workloads.is_empty() || self.schedulers.is_empty() {
+            return Err("grid needs at least one workload and one scheduler".to_string());
+        }
+        let workloads: Vec<Workload> = self
+            .workloads
+            .iter()
+            .map(|label| {
+                fig8_bench(label, self.scale)
+                    .map(Workload::from)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown workload {label:?}; available: {}",
+                            fig8_labels().join(", ")
+                        )
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(SpecGrid::new()
+            .workloads(workloads)
+            .schedulers(self.schedulers.iter().copied())
+            .seeds(self.seeds.iter().copied())
+            .record_trace(self.record_trace))
+    }
+}
+
+fn string_array(value: &Value, what: &str) -> Result<Vec<String>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{what:?} must be an array of strings"))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what:?} must contain only strings"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GridDesc {
+        GridDesc {
+            workloads: vec!["DP".into(), "MM_256_dop4".into()],
+            schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+            seeds: vec![42, 7],
+            scale: Scale::Divided(400),
+            record_trace: false,
+        }
+    }
+
+    #[test]
+    fn canonical_json_has_the_documented_shape() {
+        assert_eq!(
+            sample().to_canonical_json(),
+            "{\"workloads\":[\"DP\",\"MM_256_dop4\"],\
+             \"schedulers\":[\"grws\",\"joss\"],\
+             \"seeds\":[42,7],\"scale\":400,\"record_trace\":false}"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_any_key_order_and_defaults() {
+        let desc = GridDesc::from_json(
+            "{ \"scale\": \"full\", \"schedulers\": [\"joss\"], \"workloads\": [\"DP\"] }",
+        )
+        .unwrap();
+        assert_eq!(desc.scale, Scale::Full);
+        assert!(desc.seeds.is_empty());
+        assert!(!desc.record_trace);
+        assert_eq!(desc.spec_count(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_descriptions() {
+        for bad in [
+            "[]",
+            "{}",
+            "{\"workloads\":[\"DP\"]}",
+            "{\"workloads\":[],\"schedulers\":[\"joss\"]}",
+            "{\"workloads\":[\"DP\"],\"schedulers\":[\"nope\"]}",
+            "{\"workloads\":[\"DP\"],\"schedulers\":[\"joss\"],\"scale\":0}",
+            "{\"workloads\":[\"DP\"],\"schedulers\":[\"joss\"],\"seeds\":[-1]}",
+            "{\"workloads\":[\"DP\"],\"schedulers\":[\"joss\"],\"surprise\":1}",
+            "{\"workloads\":[1],\"schedulers\":[\"joss\"]}",
+        ] {
+            assert!(GridDesc::from_json(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn resolve_builds_the_described_grid() {
+        let grid = sample().resolve().unwrap();
+        assert_eq!(grid.len(), sample().spec_count());
+        let specs = grid.build();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].label(), "DP/GRWS/seed42");
+        assert_eq!(specs[7].label(), "MM_256_dop4/JOSS/seed7");
+    }
+
+    #[test]
+    fn resolve_reports_unknown_workloads() {
+        let mut desc = sample();
+        desc.workloads.push("NOPE".into());
+        let err = desc.resolve().unwrap_err();
+        assert!(err.contains("NOPE") && err.contains("DP"), "{err}");
+    }
+
+    #[test]
+    fn hash_distinguishes_grids_and_ignores_formatting() {
+        let a = sample();
+        let reformatted = GridDesc::from_json(
+            "{\n  \"seeds\": [42, 7],\n  \"scale\": 400,\n  \"record_trace\": false,\n  \
+             \"schedulers\": [\"grws\", \"joss\"],\n  \
+             \"workloads\": [\"DP\", \"MM_256_dop4\"]\n}",
+        )
+        .unwrap();
+        assert_eq!(a, reformatted);
+        assert_eq!(a.spec_hash(), reformatted.spec_hash());
+        let mut b = a.clone();
+        b.seeds = vec![42];
+        assert_ne!(a.spec_hash(), b.spec_hash());
+    }
+}

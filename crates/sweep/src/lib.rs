@@ -19,9 +19,15 @@
 //!   fan-out, reused by the non-engine experiments too;
 //! * [`record`] — the uniform [`RunRecord`] artifact with JSONL/CSV
 //!   writers;
-//! * [`sink`] — buffered streaming file sinks ([`JsonlSink`], [`CsvSink`])
-//!   pairing with [`Campaign::run_streaming`], so large grids write to
-//!   disk with a flat memory footprint;
+//! * [`json`] — the shared hand-rolled JSON machinery (escaping for the
+//!   writers, a parser for the wire protocol; the vendored `serde` is a
+//!   no-op, so this is the one place JSON is spelled out);
+//! * [`desc`] — [`GridDesc`], the round-trippable wire description of a
+//!   grid (canonical JSON, `spec_hash`), used by the `joss-serve` daemon;
+//! * [`sink`] — the [`RecordSink`] abstraction and buffered streaming file
+//!   sinks ([`JsonlSink`], [`CsvSink`]) pairing with
+//!   [`Campaign::run_streaming`]/[`Campaign::run_to_sink`], so large grids
+//!   write to disk (or a network stream) with a flat memory footprint;
 //! * [`agg`] — post-processing: grouping, baseline normalization,
 //!   geometric means.
 //!
@@ -48,6 +54,8 @@
 pub mod agg;
 pub mod campaign;
 pub mod context;
+pub mod desc;
+pub mod json;
 pub mod pool;
 pub mod record;
 pub mod scheduler;
@@ -60,8 +68,9 @@ pub use agg::{
 };
 pub use campaign::{records_per_workload, rows_by_workload, run_spec, Campaign};
 pub use context::ExperimentContext;
+pub use desc::{GridDesc, DEFAULT_SCALE};
 pub use pool::{default_threads, ordered_parallel_map, ordered_parallel_stream};
 pub use record::{to_csv, to_jsonl, RunRecord};
 pub use scheduler::{run_one, SchedulerKind};
-pub use sink::{CsvSink, JsonlSink};
+pub use sink::{CsvSink, JsonlSink, RecordSink};
 pub use spec::{EngineSpec, RunSpec, SpecGrid, Workload, DEFAULT_SEED};

@@ -15,6 +15,7 @@
 //! spec order, not completion order); `scheduler` is the engine-reported
 //! name. The CSV writer emits the same fields in the same order.
 
+use crate::json;
 use crate::scheduler::SchedulerKind;
 use joss_core::metrics::RunReport;
 use std::fmt::Write as _;
@@ -36,33 +37,14 @@ pub struct RunRecord {
     pub report: RunReport,
 }
 
-/// Escape a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl RunRecord {
     /// The flat metric tuple serialized by both writers, in column order.
     fn columns(&self) -> [(&'static str, String); 16] {
         let r = &self.report;
         [
             ("index", self.index.to_string()),
-            ("workload", format!("\"{}\"", json_escape(&self.workload))),
-            ("scheduler", format!("\"{}\"", json_escape(&self.scheduler))),
+            ("workload", json::quote(&self.workload)),
+            ("scheduler", json::quote(&self.scheduler)),
             ("seed", self.seed.to_string()),
             ("cpu_j", r.energy.cpu_j.to_string()),
             ("mem_j", r.energy.mem_j.to_string()),
@@ -187,9 +169,17 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping_covers_quotes_and_controls() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    fn record_lines_parse_back_through_the_shared_json_module() {
+        // The writer and the wire parser live in `crate::json`; a record
+        // line must survive the round trip with its identity intact.
+        let line = record(3, "odd \"label\"\n", "JOSS").to_json();
+        let v = json::parse(&line).expect("record line is valid JSON");
+        assert_eq!(v.get("index").and_then(json::Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("workload").and_then(json::Value::as_str),
+            Some("odd \"label\"\n")
+        );
+        assert_eq!(v.get("seed").and_then(json::Value::as_u64), Some(42));
     }
 
     #[test]

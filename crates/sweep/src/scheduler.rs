@@ -138,6 +138,9 @@ impl FromStr for SchedulerKind {
                         .map_err(|e| format!("bad speedup target {mid:?}: {e}"))?;
                     return Ok(SchedulerKind::JossSpeedup(finite(v, "speedup target")?));
                 }
+                if let Some(rest) = t.strip_prefix("fixed:") {
+                    return parse_fixed(rest).map(SchedulerKind::Fixed);
+                }
                 Err(format!(
                     "unknown scheduler {s:?}; expected one of {}",
                     SchedulerKind::parse_help()
@@ -147,10 +150,98 @@ impl FromStr for SchedulerKind {
     }
 }
 
+/// Parse the `fixed:` payload: `<big|little>:<nc>:<fc>:<fm>` (raw knob
+/// indices, the same numbers `Display` shows for `Fixed`).
+fn parse_fixed(rest: &str) -> Result<KnobConfig, String> {
+    use joss_platform::{CoreType, FreqIndex, NcIndex};
+    let parts: Vec<&str> = rest.split(':').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "bad fixed config {rest:?}: expected fixed:<big|little>:<nc>:<fc>:<fm>"
+        ));
+    }
+    let tc = match parts[0] {
+        "big" => CoreType::Big,
+        "little" => CoreType::Little,
+        other => return Err(format!("bad core type {other:?}: expected big or little")),
+    };
+    let idx = |s: &str, what: &str| {
+        s.parse::<usize>()
+            .map_err(|e| format!("bad {what} index {s:?}: {e}"))
+    };
+    Ok(KnobConfig::new(
+        tc,
+        NcIndex(idx(parts[1], "nc")?),
+        FreqIndex(idx(parts[2], "fc")?),
+        FreqIndex(idx(parts[3], "fm")?),
+    ))
+}
+
 impl SchedulerKind {
     /// The accepted `FromStr` spellings, for CLI usage messages.
     pub fn parse_help() -> &'static str {
-        "grws, erase, aequitas[:slice_s], steer, joss, joss-nomem, joss+<S>x (e.g. joss+1.2x), speedup:<S>, maxp"
+        "grws, erase, aequitas[:slice_s], steer, joss, joss-nomem, joss+<S>x (e.g. joss+1.2x), \
+         speedup:<S>, maxp, fixed:<big|little>:<nc>:<fc>:<fm>"
+    }
+
+    /// The canonical `FromStr`-parseable spelling of this scheduler — the
+    /// inverse of [`FromStr`], used by the wire protocol
+    /// ([`crate::desc::GridDesc`]) so every variant (including payloads)
+    /// survives a serialize/parse round trip bit-for-bit.
+    pub fn to_cli_string(self) -> String {
+        match self {
+            SchedulerKind::Grws => "grws".into(),
+            SchedulerKind::Erase => "erase".into(),
+            SchedulerKind::Aequitas(s) => format!("aequitas:{s}"),
+            SchedulerKind::Steer => "steer".into(),
+            SchedulerKind::Joss => "joss".into(),
+            SchedulerKind::JossNoMemDvfs => "joss-nomem".into(),
+            SchedulerKind::JossSpeedup(s) => format!("speedup:{s}"),
+            SchedulerKind::JossMaxPerf => "maxp".into(),
+            SchedulerKind::Fixed(c) => {
+                let tc = match c.tc {
+                    joss_platform::CoreType::Big => "big",
+                    joss_platform::CoreType::Little => "little",
+                };
+                format!("fixed:{tc}:{}:{}:{}", c.nc.0, c.fc.0, c.fm.0)
+            }
+        }
+    }
+
+    /// Check this scheduler against a platform's configuration space.
+    ///
+    /// `FromStr` can only check shape — `fixed:` knob *indices* are raw
+    /// table positions whose bounds the parser cannot know — but pinning a
+    /// task to an out-of-range index would panic deep inside the engine.
+    /// Anything accepting schedulers from an untrusted source (the
+    /// `joss-serve` wire path) must validate against the serving platform
+    /// first and turn errors into a client fault.
+    pub fn validate(&self, space: &joss_platform::ConfigSpace) -> Result<(), String> {
+        if let SchedulerKind::Fixed(c) = self {
+            let nc_limit = space.n_nc(c.tc);
+            if c.nc.0 >= nc_limit {
+                return Err(format!(
+                    "fixed nc index {} out of range (platform has {nc_limit} core-count \
+                     options for {:?})",
+                    c.nc.0, c.tc
+                ));
+            }
+            if c.fc.0 >= space.cpu_freqs_ghz.len() {
+                return Err(format!(
+                    "fixed fc index {} out of range (platform has {} CPU frequencies)",
+                    c.fc.0,
+                    space.cpu_freqs_ghz.len()
+                ));
+            }
+            if c.fm.0 >= space.mem_freqs_ghz.len() {
+                return Err(format!(
+                    "fixed fm index {} out of range (platform has {} memory frequencies)",
+                    c.fm.0,
+                    space.mem_freqs_ghz.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The six Fig. 8 schedulers in the paper's legend order.
@@ -258,6 +349,66 @@ mod tests {
         assert!("frobnicate".parse::<SchedulerKind>().is_err());
         assert!("joss+nanx".parse::<SchedulerKind>().is_err());
         assert!("speedup:-1".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn cli_string_is_the_exact_inverse_of_parse() {
+        use joss_platform::{CoreType, FreqIndex, NcIndex};
+        let kinds = [
+            SchedulerKind::Grws,
+            SchedulerKind::Erase,
+            SchedulerKind::Aequitas(1.0),
+            SchedulerKind::Aequitas(0.005),
+            SchedulerKind::Steer,
+            SchedulerKind::Joss,
+            SchedulerKind::JossNoMemDvfs,
+            SchedulerKind::JossSpeedup(1.2),
+            SchedulerKind::JossMaxPerf,
+            SchedulerKind::Fixed(KnobConfig::new(
+                CoreType::Little,
+                NcIndex(2),
+                FreqIndex(5),
+                FreqIndex(1),
+            )),
+        ];
+        for kind in kinds {
+            let text = kind.to_cli_string();
+            assert_eq!(text.parse::<SchedulerKind>().unwrap(), kind, "{text}");
+        }
+    }
+
+    #[test]
+    fn fixed_parse_rejects_malformed_configs() {
+        assert!("fixed:big:2:5:1".parse::<SchedulerKind>().is_ok());
+        assert!("fixed:huge:2:5:1".parse::<SchedulerKind>().is_err());
+        assert!("fixed:big:2:5".parse::<SchedulerKind>().is_err());
+        assert!("fixed:big:2:5:x".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_fixed_knob_indices_to_the_platform() {
+        use joss_platform::{ConfigSpace, MachineModel};
+        let machine = MachineModel::tx2(1);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        // Every non-Fixed scheduler is platform-independent.
+        for kind in [
+            SchedulerKind::Grws,
+            SchedulerKind::Aequitas(0.5),
+            SchedulerKind::JossSpeedup(1.2),
+        ] {
+            assert!(kind.validate(&space).is_ok());
+        }
+        let good: SchedulerKind = "fixed:big:0:0:0".parse().unwrap();
+        assert!(good.validate(&space).is_ok());
+        for (bad, what) in [
+            ("fixed:big:99:0:0", "nc"),
+            ("fixed:big:0:99:0", "fc"),
+            ("fixed:big:0:0:99", "fm"),
+        ] {
+            let kind: SchedulerKind = bad.parse().unwrap();
+            let err = kind.validate(&space).unwrap_err();
+            assert!(err.contains(what), "{bad}: {err}");
+        }
     }
 
     #[test]

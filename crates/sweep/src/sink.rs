@@ -13,6 +13,30 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+/// Anything that can consume a stream of [`RunRecord`]s in spec order.
+///
+/// Both file sinks implement it, as does any closure-style consumer built
+/// over a `Write` (a TCP response stream in `joss-serve`, an in-memory
+/// buffer in tests). Pairs with
+/// [`Campaign::run_to_sink`](crate::Campaign::run_to_sink), which
+/// propagates the first write error instead of panicking mid-campaign.
+pub trait RecordSink {
+    /// Consume one record; errors stop further writes.
+    fn write(&mut self, record: &RunRecord) -> io::Result<()>;
+}
+
+impl<W: Write> RecordSink for JsonlSink<W> {
+    fn write(&mut self, record: &RunRecord) -> io::Result<()> {
+        JsonlSink::write(self, record)
+    }
+}
+
+impl<W: Write> RecordSink for CsvSink<W> {
+    fn write(&mut self, record: &RunRecord) -> io::Result<()> {
+        CsvSink::write(self, record)
+    }
+}
+
 /// Streaming JSON-Lines writer (one record object per line, spec order).
 pub struct JsonlSink<W: Write> {
     out: BufWriter<W>,
@@ -160,6 +184,25 @@ mod tests {
         for r in &records {
             jsonl.write(r).unwrap();
             csv.write(r).unwrap();
+        }
+        let jsonl_bytes = jsonl.into_inner().unwrap();
+        let csv_bytes = csv.into_inner().unwrap();
+        assert_eq!(String::from_utf8(jsonl_bytes).unwrap(), to_jsonl(&records));
+        assert_eq!(String::from_utf8(csv_bytes).unwrap(), to_csv(&records));
+    }
+
+    #[test]
+    fn record_sink_trait_objects_match_the_inherent_writers() {
+        let records: Vec<RunRecord> = (0..3).map(record).collect();
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let mut csv = CsvSink::new(Vec::new());
+        {
+            let sinks: [&mut dyn RecordSink; 2] = [&mut jsonl, &mut csv];
+            for sink in sinks {
+                for r in &records {
+                    sink.write(r).unwrap();
+                }
+            }
         }
         let jsonl_bytes = jsonl.into_inner().unwrap();
         let csv_bytes = csv.into_inner().unwrap();

@@ -1,0 +1,184 @@
+//! Wire-format guarantees for [`GridDesc`]: `from_json(to_canonical_json(g))
+//! == g` over random grids (including hostile workload labels), and
+//! `spec_hash` invariance under JSON key reordering and whitespace.
+
+use joss_platform::{CoreType, FreqIndex, KnobConfig, NcIndex};
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_workloads::Scale;
+use proptest::prelude::*;
+
+/// Label alphabet stressing the JSON escaper: quotes, backslashes,
+/// controls, non-ASCII.
+const LABEL_CHARS: [char; 12] = [
+    'a', 'Z', '0', '_', ' ', '"', '\\', '\n', '\t', '\u{1}', 'é', '\u{2603}',
+];
+
+fn label_from(bits: u64) -> String {
+    // 1..=8 chars driven by the sampled bits.
+    let len = 1 + (bits % 8) as usize;
+    let mut bits = bits;
+    (0..len)
+        .map(|_| {
+            bits = bits.rotate_left(7).wrapping_mul(0x9e3779b97f4a7c15);
+            LABEL_CHARS[(bits % LABEL_CHARS.len() as u64) as usize]
+        })
+        .collect()
+}
+
+fn scheduler_from(idx: u64, payload: f64) -> SchedulerKind {
+    match idx % 10 {
+        0 => SchedulerKind::Grws,
+        1 => SchedulerKind::Erase,
+        2 => SchedulerKind::Aequitas(payload),
+        3 => SchedulerKind::Steer,
+        4 => SchedulerKind::Joss,
+        5 => SchedulerKind::JossNoMemDvfs,
+        6 => SchedulerKind::JossSpeedup(payload),
+        7 => SchedulerKind::JossMaxPerf,
+        8 => SchedulerKind::Fixed(KnobConfig::new(
+            CoreType::Big,
+            NcIndex((idx / 10 % 3) as usize),
+            FreqIndex((idx / 30 % 12) as usize),
+            FreqIndex((idx / 360 % 4) as usize),
+        )),
+        _ => SchedulerKind::Fixed(KnobConfig::new(
+            CoreType::Little,
+            NcIndex((idx / 10 % 3) as usize),
+            FreqIndex((idx / 30 % 12) as usize),
+            FreqIndex((idx / 360 % 4) as usize),
+        )),
+    }
+}
+
+fn desc_from(
+    workload_bits: &[u64],
+    sched_bits: &[(u64, f64)],
+    seeds: &[u64],
+    scale_code: u64,
+    record_trace: bool,
+) -> GridDesc {
+    GridDesc {
+        workloads: workload_bits.iter().copied().map(label_from).collect(),
+        schedulers: sched_bits
+            .iter()
+            .map(|&(i, p)| scheduler_from(i, p))
+            .collect(),
+        seeds: seeds.to_vec(),
+        scale: match scale_code % 5 {
+            0 => Scale::Full,
+            c => Scale::Divided((c * 100) as u32),
+        },
+        record_trace,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(print(grid)) == grid, for grids with hostile labels and every
+    /// scheduler variant (payloads must survive bit-for-bit).
+    #[test]
+    fn canonical_json_round_trips(
+        workload_bits in proptest::collection::vec(proptest::any::<u64>(), 1..5),
+        sched_bits in proptest::collection::vec(
+            (proptest::any::<u64>(), 0.001f64..16.0), 1..5),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..4),
+        scale_code in proptest::any::<u64>(),
+        record_trace in proptest::any::<bool>(),
+    ) {
+        let desc = desc_from(&workload_bits, &sched_bits, &seeds, scale_code, record_trace);
+        let printed = desc.to_canonical_json();
+        let parsed = GridDesc::from_json(&printed).expect("canonical form must parse");
+        prop_assert_eq!(&parsed, &desc);
+        // Canonical form is a fixed point: printing the parse is identical.
+        prop_assert_eq!(parsed.to_canonical_json(), printed);
+    }
+
+    /// The spec hash keys the serve results cache, so it must not depend on
+    /// JSON key order or whitespace — only on the described grid.
+    #[test]
+    fn spec_hash_ignores_key_order_and_whitespace(
+        workload_bits in proptest::collection::vec(proptest::any::<u64>(), 1..4),
+        sched_bits in proptest::collection::vec(
+            (proptest::any::<u64>(), 0.001f64..16.0), 1..4),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..3),
+        scale_code in proptest::any::<u64>(),
+        shuffle_seed in proptest::any::<u64>(),
+    ) {
+        let desc = desc_from(&workload_bits, &sched_bits, &seeds, scale_code, true);
+
+        // Rebuild the JSON with shuffled member order and erratic spacing.
+        let canonical = desc.to_canonical_json();
+        let parsed = joss_sweep::json::parse(&canonical).expect("canonical parses");
+        let members = parsed.as_object().expect("object").to_vec();
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        let mut bits = shuffle_seed;
+        for i in (1..order.len()).rev() {
+            bits = bits.rotate_left(11).wrapping_mul(0x9e3779b97f4a7c15);
+            order.swap(i, (bits % (i as u64 + 1)) as usize);
+        }
+        let pad = ["", " ", "\n", "\t  "];
+        let mut scrambled = String::from("{");
+        for (pos, &idx) in order.iter().enumerate() {
+            if pos > 0 {
+                scrambled.push(',');
+            }
+            let (key, value) = &members[idx];
+            bits = bits.rotate_left(5).wrapping_add(pos as u64);
+            scrambled.push_str(pad[(bits % 4) as usize]);
+            scrambled.push_str(&joss_sweep::json::quote(key));
+            scrambled.push_str(pad[(bits / 4 % 4) as usize]);
+            scrambled.push(':');
+            scrambled.push_str(pad[(bits / 16 % 4) as usize]);
+            scrambled.push_str(&render(value));
+        }
+        scrambled.push_str("\n}");
+
+        let reparsed = GridDesc::from_json(&scrambled)
+            .unwrap_or_else(|e| panic!("scrambled form must parse: {e}\n{scrambled}"));
+        prop_assert_eq!(&reparsed, &desc);
+        prop_assert_eq!(reparsed.spec_hash(), desc.spec_hash());
+    }
+}
+
+/// Re-render a parsed JSON value compactly (enough for scrambling tests).
+fn render(v: &joss_sweep::json::Value) -> String {
+    use joss_sweep::json::Value;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(raw) => raw.clone(),
+        Value::String(s) => joss_sweep::json::quote(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(" , "))
+        }
+        Value::Object(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}: {}", joss_sweep::json::quote(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// A described grid and its resolved form agree on shape, and equal
+/// descriptions resolve to byte-identical spec lists (label check).
+#[test]
+fn resolve_matches_description_shape() {
+    let desc = GridDesc {
+        workloads: vec!["DP".into(), "FB".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Aequitas(0.005)],
+        seeds: vec![1, 2, 3],
+        scale: Scale::Divided(400),
+        record_trace: false,
+    };
+    let specs = desc.resolve().expect("resolves").build();
+    assert_eq!(specs.len(), desc.spec_count());
+    assert_eq!(specs[0].label(), "DP/GRWS/seed1");
+    let again = desc.resolve().expect("resolves").build();
+    let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+    let labels2: Vec<String> = again.iter().map(|s| s.label()).collect();
+    assert_eq!(labels, labels2);
+}

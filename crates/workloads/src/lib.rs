@@ -35,7 +35,7 @@ pub mod stencil;
 pub mod suite;
 pub mod vgg;
 
-pub use suite::{fig8_suite, fig9_suite, BenchInstance};
+pub use suite::{fig8_bench, fig8_labels, fig8_suite, fig9_suite, BenchInstance};
 
 use serde::{Deserialize, Serialize};
 

@@ -23,29 +23,63 @@ impl BenchInstance {
     }
 }
 
-/// The 21 benchmark instances of Fig. 8, in the paper's x-axis order.
-pub fn fig8_suite(scale: Scale) -> Vec<BenchInstance> {
-    let mut v = vec![
-        BenchInstance::new(heat::heat(HeatSize::Small, scale)),
-        BenchInstance::new(heat::heat(HeatSize::Big, scale)),
-        BenchInstance::new(heat::heat(HeatSize::Huge, scale)),
-        BenchInstance::new(dot::dot(scale)),
-        BenchInstance::new(fib::fib(scale)),
-        BenchInstance::new(vgg::vgg(scale)),
-        BenchInstance::new(biomarker::biomarker(scale)),
-        BenchInstance::new(alya::alya(scale)),
-        BenchInstance::new(sparselu::sparselu(scale)),
+/// The suite's per-instance constructors, in the paper's x-axis order.
+/// Single source of truth for [`fig8_suite`] and [`fig8_bench`].
+#[allow(clippy::type_complexity)]
+fn fig8_builders() -> Vec<Box<dyn Fn(Scale) -> TaskGraph>> {
+    let mut v: Vec<Box<dyn Fn(Scale) -> TaskGraph>> = vec![
+        Box::new(|s| heat::heat(HeatSize::Small, s)),
+        Box::new(|s| heat::heat(HeatSize::Big, s)),
+        Box::new(|s| heat::heat(HeatSize::Huge, s)),
+        Box::new(dot::dot),
+        Box::new(fib::fib),
+        Box::new(vgg::vgg),
+        Box::new(biomarker::biomarker),
+        Box::new(alya::alya),
+        Box::new(sparselu::sparselu),
     ];
     for (n, dop) in [(256, 4), (256, 16), (512, 4), (512, 16)] {
-        v.push(BenchInstance::new(matmul::matmul(n, dop, scale)));
+        v.push(Box::new(move |s| matmul::matmul(n, dop, s)));
     }
     for (n, dop) in [(4096, 4), (4096, 16), (8192, 4), (8192, 16)] {
-        v.push(BenchInstance::new(matcopy::matcopy(n, dop, scale)));
+        v.push(Box::new(move |s| matcopy::matcopy(n, dop, s)));
     }
     for (n, dop) in [(512, 4), (512, 16), (2048, 4), (2048, 16)] {
-        v.push(BenchInstance::new(stencil::stencil(n, dop, scale)));
+        v.push(Box::new(move |s| stencil::stencil(n, dop, s)));
     }
     v
+}
+
+/// Minimum-size probe: every generator floors its task count, so this is
+/// the cheapest scale a graph can be built at. Labels are scale-invariant,
+/// which is what lets the probe stand in for label lookups.
+const PROBE: Scale = Scale::Divided(u32::MAX);
+
+/// The 21 benchmark instances of Fig. 8, in the paper's x-axis order.
+pub fn fig8_suite(scale: Scale) -> Vec<BenchInstance> {
+    fig8_builders()
+        .iter()
+        .map(|build| BenchInstance::new(build(scale)))
+        .collect()
+}
+
+/// The 21 Fig. 8 labels in x-axis order, without building the suite at
+/// any real scale (probe-size graphs only).
+pub fn fig8_labels() -> Vec<String> {
+    fig8_builders()
+        .iter()
+        .map(|build| build(PROBE).name().to_string())
+        .collect()
+}
+
+/// Build only the instance with this label, without constructing the rest
+/// of the suite at the requested scale — the serving hot path resolves
+/// grids through this (a full-scale suite build is ~21 large graphs; a
+/// grid usually wants a handful).
+pub fn fig8_bench(label: &str, scale: Scale) -> Option<BenchInstance> {
+    fig8_builders()
+        .into_iter()
+        .find_map(|build| (build(PROBE).name() == label).then(|| BenchInstance::new(build(scale))))
 }
 
 /// The Fig. 9 suite (same instances as Fig. 8).
@@ -177,5 +211,28 @@ mod tests {
         let rows = table1();
         assert_eq!(rows.len(), 10);
         assert!(rows.iter().all(|r| !r.tasks.is_empty()));
+    }
+
+    #[test]
+    fn labels_are_scale_invariant_and_probe_enumerable() {
+        let labels = fig8_labels();
+        let suite: Vec<String> = fig8_suite(Scale::Divided(200))
+            .into_iter()
+            .map(|b| b.label)
+            .collect();
+        assert_eq!(labels, suite, "probe labels must match real-scale labels");
+    }
+
+    #[test]
+    fn fig8_bench_builds_the_same_instance_as_the_suite() {
+        let scale = Scale::Divided(200);
+        let from_suite = fig8_suite(scale)
+            .into_iter()
+            .find(|b| b.label == "MM_256_dop4")
+            .unwrap();
+        let single = fig8_bench("MM_256_dop4", scale).expect("known label");
+        assert_eq!(single.label, from_suite.label);
+        assert_eq!(single.graph.n_tasks(), from_suite.graph.n_tasks());
+        assert!(fig8_bench("NOPE", scale).is_none());
     }
 }

@@ -1,0 +1,86 @@
+//! Remote sweep: run a campaign grid against a `joss-serve` daemon from a
+//! programmatic client — the "ask the model a what-if question over a
+//! wire" loop.
+//!
+//! ```text
+//! cargo run --release --example remote_sweep
+//! ```
+//!
+//! Boots the daemon in-process on an ephemeral port so the example is
+//! self-contained; point `addr` at a long-running `joss_serve` instead to
+//! query a shared deployment. Protocol details: `docs/SERVE.md`.
+
+use joss::serve::{client, ServeConfig, Server};
+use joss::sweep::{GridDesc, SchedulerKind};
+use joss::workloads::Scale;
+use std::time::Duration;
+
+fn main() {
+    // 1. A daemon (in-process here; usually a separate long-running
+    //    `joss_serve`). Training happens once, on the first campaign, and
+    //    is shared by every later request and connection.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        reps: 1, // fast example training; deployments use more
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn daemon");
+    let addr = handle.addr().to_string();
+    println!("daemon listening on {addr}");
+
+    // 2. A what-if question, as pure data: which scheduler wins on these
+    //    workloads, at this scale, under these seeds?
+    let desc = GridDesc {
+        workloads: vec!["DP".into(), "MM_256_dop4".into()],
+        schedulers: vec![
+            SchedulerKind::Grws,
+            SchedulerKind::Joss,
+            SchedulerKind::JossSpeedup(1.2),
+        ],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+    };
+    println!("submitting grid: {}", desc.to_canonical_json());
+
+    // 3. POST it; the response streams one RunRecord JSON object per line,
+    //    in spec order, as the campaign executes.
+    let timeout = Duration::from_secs(120);
+    let response = client::run_campaign(&addr, &desc, timeout).expect("campaign request");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    println!(
+        "{} records (cache: {}, spec hash {}):",
+        client::verify_body(&desc, &response.body).expect("well-formed stream"),
+        response.header("x-joss-cache").unwrap_or("?"),
+        response.header("x-joss-spec-hash").unwrap_or("?"),
+    );
+    for line in response.body_text().lines() {
+        let record = joss::sweep::json::parse(line).expect("record JSON");
+        let field = |k: &str| record.get(k).cloned();
+        println!(
+            "  {:<14} {:<10} total_j={:.4} makespan_s={:.4}",
+            field("workload")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .unwrap_or_default(),
+            field("scheduler")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .unwrap_or_default(),
+            field("total_j")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+            field("makespan_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+        );
+    }
+
+    // 4. Ask again: the identical grid is answered from the daemon's
+    //    results cache, no re-simulation.
+    let again = client::run_campaign(&addr, &desc, timeout).expect("repeat request");
+    assert_eq!(again.header("x-joss-cache"), Some("hit"));
+    assert_eq!(again.body, response.body, "cached replay is byte-identical");
+    println!("repeat request served from cache, byte-identical");
+
+    handle.stop().expect("clean shutdown");
+}

@@ -9,6 +9,9 @@
 //! * [`workloads`] — the ten Table-1 benchmark generators;
 //! * [`sweep`] — declarative campaign sweeps: spec grids, the parallel
 //!   executor, uniform run records;
+//! * [`serve`] — the simulation-as-a-service daemon: campaigns over
+//!   HTTP/1.1 with streamed JSONL, a shared model cache, and admission
+//!   control;
 //! * [`experiments`] — harnesses regenerating every paper figure/table.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -18,5 +21,6 @@ pub use joss_dag as dag;
 pub use joss_experiments as experiments;
 pub use joss_models as models;
 pub use joss_platform as platform;
+pub use joss_serve as serve;
 pub use joss_sweep as sweep;
 pub use joss_workloads as workloads;

@@ -43,9 +43,23 @@ fn facade_reexports_resolve() {
         .scheduler(joss::sweep::SchedulerKind::Grws)
         .seeds([1, 2]);
     assert_eq!(grid.len(), 2);
+
+    // serve: the wire description and the daemon types are reachable
+    // through the facade, and the description round-trips.
+    let desc = joss::sweep::GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![joss::sweep::SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: workloads::Scale::Divided(400),
+        record_trace: false,
+    };
+    let round = joss::sweep::GridDesc::from_json(&desc.to_canonical_json()).unwrap();
+    assert_eq!(round, desc);
+    assert_eq!(round.spec_hash(), desc.spec_hash());
+    let _cfg = joss::serve::ServeConfig::default();
 }
 
-/// The nine experiment binaries and seven examples are all present and
+/// The nine experiment binaries and eight examples are all present and
 /// `cargo build --bins --examples` compiles them. The build is incremental
 /// on top of the test build, so this mostly validates target wiring.
 #[test]
@@ -66,7 +80,7 @@ fn all_bins_and_examples_compile() {
         9,
         "expected the nine experiment binaries"
     );
-    assert_eq!(count("examples"), 7, "expected the seven examples");
+    assert_eq!(count("examples"), 8, "expected the eight examples");
 
     let status = Command::new(env!("CARGO"))
         .args(["build", "--workspace", "--bins", "--examples", "--offline"])
