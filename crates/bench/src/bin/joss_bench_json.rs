@@ -4,6 +4,7 @@
 //! ```text
 //! joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]
 //!                 [--serve-out FILE.json] [--serve-clients N] [--serve-requests M]
+//!                 [--fleet-out FILE.json]
 //! ```
 //!
 //! Measures the two benchmarks the engine optimizations are judged by —
@@ -15,10 +16,13 @@
 //! the serving layer — cache-miss and cache-hit campaign latency plus
 //! closed-loop throughput under concurrent clients — as
 //! `BENCH_serve.json` (`joss-bench-serve/v1`, also in `docs/PERF.md`).
-//! The committed copies at the repo root are the perf trajectory: every PR
-//! that touches the hot path re-runs this tool and commits the diff, so
-//! regressions show up in review. Timings are host-dependent; compare only
-//! numbers recorded on the same machine.
+//! With `--fleet-out` it boots 1-vs-2 local backend
+//! fleets and snapshots sharded campaign latency as `BENCH_fleet.json`
+//! (`joss-bench-fleet/v1`), asserting the two merges are byte-identical
+//! while it measures. The committed copies at the repo root are the perf
+//! trajectory: every PR that touches the hot path re-runs this tool and
+//! commits the diff, so regressions show up in review. Timings are
+//! host-dependent; compare only numbers recorded on the same machine.
 
 use joss_bench::shared_context;
 use joss_core::engine::{EngineConfig, SimEngine};
@@ -54,6 +58,7 @@ fn main() {
     let mut serve_out: Option<String> = None;
     let mut serve_clients = 8usize;
     let mut serve_requests = 4usize;
+    let mut fleet_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,11 +95,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--serve-requests M");
             }
+            "--fleet-out" => {
+                i += 1;
+                fleet_out = Some(args.get(i).expect("--fleet-out needs a path").clone());
+            }
             other => {
                 eprintln!(
                     "usage: joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]\n\
                      \u{20}                      [--serve-out FILE.json] [--serve-clients N] \
-                     [--serve-requests M]"
+                     [--serve-requests M]\n\
+                     \u{20}                      [--fleet-out FILE.json]"
                 );
                 panic!("unknown argument {other:?}");
             }
@@ -209,6 +219,9 @@ fn main() {
     if let Some(serve_path) = serve_out {
         serve_benches(&serve_path, runs, serve_clients, serve_requests);
     }
+    if let Some(fleet_path) = fleet_out {
+        fleet_benches(&fleet_path, runs);
+    }
 }
 
 /// Hand-rolled JSON (the vendored serde is a no-op): stable key order, one
@@ -266,6 +279,7 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
         seeds: vec![42],
         scale: Scale::Divided(400),
         record_trace: false,
+        shard: None,
     };
     let timeout = Duration::from_secs(120);
 
@@ -363,6 +377,106 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
             ("serve_clients", clients.to_string()),
             ("serve_requests_per_client", requests.to_string()),
             ("grid_specs", desc.spec_count().to_string()),
+            ("train_reps", "1".to_string()),
+        ],
+        runs,
+        &entries,
+    );
+}
+
+/// The fleet-layer snapshot: the same sharded campaign run through one
+/// local backend and through two, so the scale-out factor (and the
+/// coordination overhead it pays for) leaves a reviewable trail. Every
+/// sample defeats the backends' results caches with fresh seeds, so the
+/// numbers measure sharded *simulation*, not cache replay — and the
+/// 1-backend and 2-backend merges are asserted byte-identical while the
+/// clock runs.
+fn fleet_benches(out_path: &str, runs: usize) {
+    use joss_fleet::{run_fleet, spawn_local_backends_with, FleetConfig};
+    use joss_serve::ServeConfig;
+    use joss_sweep::{GridDesc, SchedulerKind};
+    use joss_workloads::Scale;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("[joss_bench_json] booting 2 local backends (reps=1, eager training)...");
+    let template = ServeConfig {
+        reps: 1,
+        workers: 4,
+        max_inflight: 2,
+        // Split the host between the two daemons, as --spawn would.
+        campaign_threads: host_threads.div_ceil(2),
+        ..ServeConfig::default()
+    };
+    let handles = spawn_local_backends_with(2, &template, true).expect("spawn local backends");
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    let base = GridDesc {
+        workloads: vec!["DP".into(), "MM_256_dop4".into(), "FB".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42, 7],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    };
+    let fleet_config = |n_backends: usize| FleetConfig {
+        shards: 4,
+        expect_train_seed: Some(42),
+        expect_reps: Some(1),
+        ..FleetConfig::new(addrs[..n_backends].to_vec())
+    };
+
+    // Cross-topology identity before the clock runs: 1-backend and
+    // 2-backend merges of the same grid must be the same bytes.
+    let mut one = Vec::new();
+    run_fleet(&fleet_config(1), &base, &mut one).expect("1-backend campaign");
+    let mut two = Vec::new();
+    run_fleet(&fleet_config(2), &base, &mut two).expect("2-backend campaign");
+    assert_eq!(one, two, "backend count changed the merged bytes");
+
+    let lat_samples = (runs * 2).max(6);
+    let mut entries: Vec<Entry> = Vec::new();
+    for (name, n_backends) in [
+        ("fleet/campaign_1_backend", 1usize),
+        ("fleet/campaign_2_backends", 2usize),
+    ] {
+        let config = fleet_config(n_backends);
+        let mut samples = Vec::with_capacity(lat_samples);
+        for it in 0..lat_samples {
+            // Seeds unique per (topology, sample) so no backend can serve
+            // a shard from its cache — misses are what's being measured.
+            let tag = (n_backends as u64) << 20 | it as u64;
+            let mut desc = base.clone();
+            desc.seeds = vec![0xf1ee_0000 + tag, 0xf1ee_8000 + tag];
+            let mut merged = Vec::new();
+            let t0 = Instant::now();
+            let report = run_fleet(&config, &desc, &mut merged).expect("fleet campaign");
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(report.records, desc.spec_count());
+            assert_eq!(report.failovers, 0);
+            samples.push(ns);
+        }
+        let med = median(samples);
+        entries.push(Entry {
+            name,
+            unit: "campaigns_per_sec",
+            rate: 1e9 / med,
+            median_ns: med,
+        });
+        eprintln!("[joss_bench_json] {name}: {:.3} ms/campaign", med / 1e6);
+    }
+
+    for handle in handles {
+        handle.stop().expect("stop local backend");
+    }
+    write_snapshot(
+        out_path,
+        "joss-bench-fleet/v1",
+        &[
+            ("fleet_backends_max", "2".to_string()),
+            ("fleet_shards", "4".to_string()),
+            ("grid_specs", base.spec_count().to_string()),
             ("train_reps", "1".to_string()),
         ],
         runs,

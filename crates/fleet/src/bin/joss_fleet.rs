@@ -1,0 +1,213 @@
+//! Run one campaign grid across a fleet of `joss-serve` backends and
+//! merge the streams into a single JSONL file in global spec order.
+//!
+//! ```text
+//! joss_fleet (--backend HOST:PORT ... | --spawn N)
+//!            [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]
+//!            [--scale D|full] [--record-trace]
+//!            [--shards M] [--out FILE.jsonl]
+//!            [--train-seed S] [--reps R] [--campaign-threads N]
+//!            [--timeout-secs T] [--max-attempts K]
+//! ```
+//!
+//! `--backend` (repeatable) points at running daemons; the coordinator
+//! probes each `/healthz` and **refuses** backends whose train seed,
+//! reps, or record schema disagree — their records would not merge
+//! byte-identically. `--spawn N` instead boots N in-process daemons on
+//! ephemeral ports (single-machine scale-out) with the given
+//! `--train-seed`/`--reps`. The merged output is `cmp`-identical to an
+//! offline `joss_sweep --out` run of the same grid and training
+//! parameters — the invariant the CI `fleet-smoke` job enforces.
+//! Topology and failover semantics: `docs/FLEET.md`.
+
+use joss_fleet::{run_fleet, spawn_local_backends, FleetConfig};
+use joss_serve::ServeConfig;
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_workloads::{fig8_labels, Scale};
+use std::io::{BufWriter, Write};
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_fleet (--backend HOST:PORT ... | --spawn N)\n\
+         \u{20}                 [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
+         \u{20}                 [--scale D|full] [--record-trace] [--shards M] [--out FILE.jsonl]\n\
+         \u{20}                 [--train-seed S] [--reps R] [--campaign-threads N]\n\
+         \u{20}                 [--timeout-secs T] [--max-attempts K]\n\
+         schedulers: {}",
+        SchedulerKind::parse_help()
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut backends: Vec<String> = Vec::new();
+    let mut spawn = 0usize;
+    let mut workload_filter: Option<Vec<String>> = None;
+    let mut schedulers: Option<Vec<SchedulerKind>> = None;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut scale = Scale::Divided(100);
+    let mut record_trace = false;
+    let mut shards = 0usize;
+    let mut out_path: Option<String> = None;
+    let mut train_seed = 42u64;
+    let mut reps = 3u32;
+    let mut campaign_threads = 0usize;
+    let mut timeout_secs = 120u64;
+    let mut max_attempts = 0usize;
+
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => backends.push(next(&mut i)),
+            "--spawn" => spawn = next(&mut i).parse().expect("backend count"),
+            "--workloads" => {
+                let v = next(&mut i);
+                if v != "all" {
+                    workload_filter = Some(v.split(',').map(str::to_string).collect());
+                }
+            }
+            "--schedulers" => {
+                let parsed: Result<Vec<SchedulerKind>, String> =
+                    next(&mut i).split(',').map(str::parse).collect();
+                schedulers = Some(parsed.unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    usage()
+                }));
+            }
+            "--seeds" => {
+                seeds = next(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("seed must be an integer"))
+                    .collect();
+            }
+            "--scale" => {
+                let v = next(&mut i);
+                scale = if v == "full" {
+                    Scale::Full
+                } else {
+                    Scale::Divided(v.parse().expect("scale divisor"))
+                };
+            }
+            "--record-trace" => record_trace = true,
+            "--shards" => shards = next(&mut i).parse().expect("shard count"),
+            "--out" => out_path = Some(next(&mut i)),
+            "--train-seed" => train_seed = next(&mut i).parse().expect("train seed"),
+            "--reps" => reps = next(&mut i).parse().expect("training reps"),
+            "--campaign-threads" => {
+                campaign_threads = next(&mut i).parse().expect("campaign threads")
+            }
+            "--timeout-secs" => timeout_secs = next(&mut i).parse().expect("timeout seconds"),
+            "--max-attempts" => max_attempts = next(&mut i).parse().expect("attempt cap"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if backends.is_empty() == (spawn == 0) {
+        eprintln!("error: give either --backend addresses or --spawn N");
+        usage();
+    }
+
+    // Grid description: same defaults as joss_sweep (all 21 workloads,
+    // the Fig. 8 scheduler set with a scale-proportional Aequitas slice).
+    let slice = match scale {
+        Scale::Full => 1.0,
+        Scale::Divided(d) => (1.0 / d as f64).max(0.005),
+    };
+    let desc = GridDesc {
+        workloads: workload_filter.unwrap_or_else(fig8_labels),
+        schedulers: schedulers.unwrap_or_else(|| SchedulerKind::fig8_set(slice)),
+        seeds: if seeds.is_empty() { vec![42] } else { seeds },
+        scale,
+        record_trace,
+        shard: None,
+    };
+
+    // Boot in-process backends if asked, splitting the host's cores
+    // between them so N local daemons do not oversubscribe N-fold.
+    let spawned = if spawn > 0 {
+        let threads = if campaign_threads > 0 {
+            campaign_threads
+        } else {
+            joss_sweep::default_threads().div_ceil(spawn)
+        };
+        let template = ServeConfig {
+            train_seed,
+            reps,
+            campaign_threads: threads,
+            ..ServeConfig::default()
+        };
+        let handles = spawn_local_backends(spawn, &template).unwrap_or_else(|e| {
+            eprintln!("error: failed to spawn local backends: {e}");
+            exit(1);
+        });
+        backends = handles.iter().map(|h| h.addr().to_string()).collect();
+        eprintln!("[joss_fleet] spawned {spawn} local backends: {backends:?}");
+        handles
+    } else {
+        Vec::new()
+    };
+
+    let config = FleetConfig {
+        shards,
+        timeout: Duration::from_secs(timeout_secs),
+        max_attempts,
+        expect_train_seed: Some(train_seed),
+        expect_reps: Some(reps),
+        ..FleetConfig::new(backends)
+    };
+    eprintln!(
+        "[joss_fleet] dispatching {} specs across {} backends...",
+        desc.spec_count(),
+        config.backends.len()
+    );
+
+    let started = std::time::Instant::now();
+    let report = match out_path {
+        Some(ref path) => {
+            let file = std::fs::File::create(path).expect("create output file");
+            let mut out = BufWriter::new(file);
+            let report = run_fleet(&config, &desc, &mut out);
+            out.flush().expect("flush output file");
+            report
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            let report = run_fleet(&config, &desc, &mut out);
+            out.flush().expect("flush stdout");
+            report
+        }
+    };
+
+    for handle in spawned {
+        let _ = handle.stop();
+    }
+
+    match report {
+        Ok(report) => {
+            eprintln!(
+                "[joss_fleet] done in {:.2}s: {}",
+                started.elapsed().as_secs_f64(),
+                report.summary()
+            );
+            if let Some(path) = out_path {
+                eprintln!("[joss_fleet] wrote {} records to {path}", report.records);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: fleet run failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! The fleet coordinator: shard plan → per-backend fetch workers → ordered
+//! merge, with health-checked failover.
+//!
+//! ```text
+//!                ┌── worker(backend 0) ── POST shard k ──► joss-serve #0
+//!  GridDesc ──►  │                                             │ JSONL
+//!  ShardPlan ──► │   shared shard queue                        ▼
+//!  (cost-        │   (retry requeues with            (global index, line)
+//!   balanced)    │    the failed backend                       │
+//!                │    excluded)                                ▼
+//!                └── worker(backend N-1) ──────────► OrderedMerger ──► out
+//! ```
+//!
+//! One fetch worker per backend, each running at most one shard request
+//! at a time (backends parallelize *inside* a campaign; the fleet
+//! parallelizes across backends). Failure policy, in order:
+//!
+//! * **503 shed** — the backend is alive but saturated; honour
+//!   `Retry-After` on the same backend, bounded by `max_shed_retries`.
+//! * **4xx** — a description fault (unknown workload, out-of-range knob);
+//!   retrying elsewhere cannot help, the run aborts with the body.
+//! * **transport error / truncated stream** — the shard is requeued for
+//!   any *other* backend, resuming after the lines that already reached
+//!   the merge (byte-determinism makes the retry's prefix identical, so
+//!   skipping it is sound). The failed backend is re-probed: if its
+//!   health check fails too it is marked dead, its worker exits, and the
+//!   resharding is bounded — remaining shards drain onto survivors, and
+//!   the run aborts once a shard has no untried live backend left or
+//!   exceeds `max_attempts`.
+
+use crate::backend::{self, BackendInfo};
+use crate::merge::OrderedMerger;
+use joss_serve::client::{self, StreamOutcome};
+use joss_sweep::shard::plan_grid;
+use joss_sweep::{GridDesc, SpecRange};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Fleet topology and retry policy.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Backend addresses (`host:port`), one fetch worker each.
+    pub backends: Vec<String>,
+    /// Shards to cut the grid into; 0 = auto (two per backend, so one
+    /// slow shard does not idle the rest of the fleet).
+    pub shards: usize,
+    /// Per-exchange socket timeout.
+    pub timeout: Duration,
+    /// How long to wait for each backend's first health probe.
+    pub ready_timeout: Duration,
+    /// Most failed tries per shard before the run aborts; 0 = one try
+    /// per backend.
+    pub max_attempts: usize,
+    /// Most 503 sheds tolerated per shard attempt (each waits out the
+    /// backend's `Retry-After`).
+    pub max_shed_retries: usize,
+    /// Training seed every backend must report (None = follow the first
+    /// backend).
+    pub expect_train_seed: Option<u64>,
+    /// Training reps every backend must report (None = follow the first
+    /// backend).
+    pub expect_reps: Option<u32>,
+}
+
+impl FleetConfig {
+    /// Defaults for a given backend list.
+    pub fn new(backends: Vec<String>) -> Self {
+        FleetConfig {
+            backends,
+            shards: 0,
+            timeout: Duration::from_secs(120),
+            ready_timeout: Duration::from_secs(30),
+            max_attempts: 0,
+            max_shed_retries: 30,
+            expect_train_seed: None,
+            expect_reps: None,
+        }
+    }
+
+    fn effective_shards(&self, run_count: usize) -> usize {
+        let auto = self.backends.len().max(1) * 2;
+        (if self.shards == 0 { auto } else { self.shards }).clamp(1, run_count)
+    }
+
+    fn effective_max_attempts(&self) -> usize {
+        if self.max_attempts == 0 {
+            self.backends.len().max(1)
+        } else {
+            self.max_attempts
+        }
+    }
+}
+
+/// Why a fleet run could not produce the merged grid.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The coordinator was given no backends.
+    NoBackends,
+    /// A backend never answered its health probe, or answered garbage.
+    Probe(String),
+    /// Backends disagree on training parameters or record schema.
+    Incompatible(String),
+    /// The grid description itself is unusable (already sharded, unknown
+    /// workloads, ...).
+    Grid(String),
+    /// A backend rejected the sub-grid with a client-fault status; the
+    /// same description would fail everywhere.
+    Rejected {
+        /// Backend that answered.
+        addr: String,
+        /// Its HTTP status.
+        status: u16,
+        /// Its error body.
+        body: String,
+    },
+    /// A shard ran out of live, untried backends (or attempts).
+    Exhausted {
+        /// Plan index of the shard.
+        shard: usize,
+        /// What the attempts saw.
+        detail: String,
+    },
+    /// The merge output failed to write.
+    Io(io::Error),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoBackends => write!(f, "fleet has no backends"),
+            FleetError::Probe(msg) | FleetError::Incompatible(msg) | FleetError::Grid(msg) => {
+                write!(f, "{msg}")
+            }
+            FleetError::Rejected { addr, status, body } => {
+                write!(f, "backend {addr} rejected the grid with {status}: {body}")
+            }
+            FleetError::Exhausted { shard, detail } => {
+                write!(f, "shard {shard} ran out of backends: {detail}")
+            }
+            FleetError::Io(e) => write!(f, "merge output failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// What a completed fleet run did.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Shards the plan cut the grid into.
+    pub shards: usize,
+    /// Records merged (== the grid's spec count on success).
+    pub records: usize,
+    /// Shard attempts that failed over to another backend.
+    pub failovers: usize,
+    /// 503 sheds absorbed (each waited out a `Retry-After`).
+    pub sheds: usize,
+    /// Shards completed per backend, in [`FleetConfig::backends`] order.
+    pub completed_per_backend: Vec<(String, usize)>,
+    /// Backends whose post-failure health re-probe also failed.
+    pub dead_backends: Vec<String>,
+    /// High-water mark of the merge reorder buffer, in lines.
+    pub max_buffered_lines: usize,
+}
+
+impl FleetReport {
+    /// One-line human summary (the `joss_fleet` CLI footer).
+    pub fn summary(&self) -> String {
+        let per_backend: Vec<String> = self
+            .completed_per_backend
+            .iter()
+            .map(|(addr, n)| format!("{addr}={n}"))
+            .collect();
+        format!(
+            "{} records over {} shards | failovers {} | sheds {} | dead {:?} | \
+             shards per backend: {} | merge buffer peak {} lines",
+            self.records,
+            self.shards,
+            self.failovers,
+            self.sheds,
+            self.dead_backends,
+            per_backend.join(" "),
+            self.max_buffered_lines,
+        )
+    }
+}
+
+/// One shard's place in the retry state machine.
+struct ShardTask {
+    /// Plan index (stable across retries; used in errors/logs).
+    shard: usize,
+    /// Global spec range.
+    range: SpecRange,
+    /// Backends (by index) that already failed this shard.
+    excluded: Vec<usize>,
+    /// Failed tries so far.
+    attempts: usize,
+    /// Lines of this shard already delivered to the merge — a retry
+    /// skips this many lines and splices the rest.
+    lines_done: usize,
+}
+
+/// Queue + liveness state shared by the fetch workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<ShardTask>,
+    in_flight: usize,
+    dead: Vec<bool>,
+    fatal: Option<FleetError>,
+    failovers: usize,
+    sheds: usize,
+    completed: Vec<usize>,
+}
+
+impl Shared {
+    fn with<R>(&self, f: impl FnOnce(&mut QueueState) -> R) -> R {
+        let mut st = self.state.lock().expect("fleet queue lock");
+        let r = f(&mut st);
+        self.ready.notify_all();
+        r
+    }
+}
+
+/// Live backends that have not yet failed this task.
+fn candidates(st: &QueueState, task: &ShardTask, n_backends: usize) -> usize {
+    (0..n_backends)
+        .filter(|b| !st.dead[*b] && !task.excluded.contains(b))
+        .count()
+}
+
+/// Execute `desc` across the fleet, writing the merged JSONL (global spec
+/// order, byte-identical to a single-node run) to `out`. `out` is written
+/// incrementally; hand it a buffered writer. On error the stream may be
+/// truncated — a failed fleet run is not a usable record file.
+pub fn run_fleet(
+    config: &FleetConfig,
+    desc: &GridDesc,
+    out: &mut impl Write,
+) -> Result<FleetReport, FleetError> {
+    if config.backends.is_empty() {
+        return Err(FleetError::NoBackends);
+    }
+    if desc.shard.is_some() {
+        return Err(FleetError::Grid(
+            "the fleet shards grids itself; submit an unsharded description".into(),
+        ));
+    }
+    let run_count = desc.spec_count();
+    if run_count == 0 {
+        return Err(FleetError::Grid(
+            "grid needs at least one workload and one scheduler".into(),
+        ));
+    }
+
+    // Health + compatibility gate: refuse to dispatch anything to a fleet
+    // whose records could not merge.
+    let infos: Vec<BackendInfo> = config
+        .backends
+        .iter()
+        .map(|addr| backend::probe(addr, config.ready_timeout).map_err(FleetError::Probe))
+        .collect::<Result<_, _>>()?;
+    backend::verify_compatible(&infos, config.expect_train_seed, config.expect_reps)
+        .map_err(FleetError::Incompatible)?;
+
+    // Cost-balanced contiguous plan (same planner as `joss_sweep --shard`).
+    let plan = plan_grid(desc, config.effective_shards(run_count)).map_err(FleetError::Grid)?;
+
+    let n_backends = config.backends.len();
+    let shared = Shared {
+        state: Mutex::new(QueueState {
+            pending: plan
+                .ranges()
+                .iter()
+                .enumerate()
+                .map(|(shard, &range)| ShardTask {
+                    shard,
+                    range,
+                    excluded: Vec::new(),
+                    attempts: 0,
+                    lines_done: 0,
+                })
+                .collect(),
+            in_flight: 0,
+            dead: vec![false; n_backends],
+            fatal: None,
+            failovers: 0,
+            sheds: 0,
+            completed: vec![0; n_backends],
+        }),
+        ready: Condvar::new(),
+    };
+
+    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    let mut merger = OrderedMerger::new(out, 0, run_count);
+
+    std::thread::scope(|scope| {
+        for (b, addr) in config.backends.iter().enumerate() {
+            let tx = tx.clone();
+            let shared = &shared;
+            scope.spawn(move || fetch_worker(b, addr, desc, config, shared, tx));
+        }
+        drop(tx);
+        // The merge runs on the coordinating thread: restore global order
+        // and stream to the caller's writer as lines arrive.
+        for (index, line) in rx {
+            if let Err(e) = merger.push(index, &line) {
+                shared.with(|st| {
+                    if st.fatal.is_none() {
+                        st.fatal = Some(FleetError::Io(e));
+                    }
+                });
+                break; // dropping rx unblocks nothing (sends just fail)
+            }
+        }
+    });
+
+    let (fatal, failovers, sheds, dead, completed) = {
+        let mut st = shared.state.lock().expect("fleet queue lock");
+        (
+            st.fatal.take(),
+            st.failovers,
+            st.sheds,
+            st.dead.clone(),
+            st.completed.clone(),
+        )
+    };
+    if let Some(error) = fatal {
+        return Err(error);
+    }
+    if !merger.is_complete() {
+        // Unreachable by construction (every shard either completed or
+        // flagged fatal) — but a truncated merge must never pass silently.
+        return Err(FleetError::Exhausted {
+            shard: usize::MAX,
+            detail: format!(
+                "merge stalled at record {} of {run_count}",
+                merger.frontier()
+            ),
+        });
+    }
+    let max_buffered_lines = merger.max_buffered();
+    merger.finish().map_err(FleetError::Io)?;
+    Ok(FleetReport {
+        shards: plan.len(),
+        records: run_count,
+        failovers,
+        sheds,
+        completed_per_backend: config.backends.iter().cloned().zip(completed).collect(),
+        dead_backends: config
+            .backends
+            .iter()
+            .zip(&dead)
+            .filter(|(_, &d)| d)
+            .map(|(a, _)| a.clone())
+            .collect(),
+        max_buffered_lines,
+    })
+}
+
+/// How one shard attempt ended (worker-internal).
+enum Attempt {
+    Done,
+    Failed(String),
+    Fatal(FleetError),
+}
+
+/// One backend's fetch loop: claim shards this backend has not failed,
+/// stream them into the merge, requeue on failure.
+fn fetch_worker(
+    b: usize,
+    addr: &str,
+    desc: &GridDesc,
+    config: &FleetConfig,
+    shared: &Shared,
+    tx: mpsc::Sender<(usize, String)>,
+) {
+    let n_backends = config.backends.len();
+    loop {
+        // Claim the next shard not excluded for this backend, or exit
+        // when the queue has fully drained / the run went fatal / this
+        // backend was declared dead.
+        let mut st = shared.state.lock().expect("fleet queue lock");
+        let task = loop {
+            if st.fatal.is_some() || st.dead[b] {
+                return;
+            }
+            if st.pending.is_empty() && st.in_flight == 0 {
+                return;
+            }
+            if let Some(pos) = st.pending.iter().position(|t| !t.excluded.contains(&b)) {
+                st.in_flight += 1;
+                break st.pending.remove(pos).expect("position just found");
+            }
+            let (next, _) = shared
+                .ready
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("fleet queue lock");
+            st = next;
+        };
+        drop(st);
+
+        let (outcome, forwarded) = run_shard(addr, desc, config, &task, shared, &tx);
+        match outcome {
+            Attempt::Done => shared.with(|st| {
+                st.in_flight -= 1;
+                st.completed[b] += 1;
+            }),
+            Attempt::Fatal(error) => {
+                shared.with(|st| {
+                    st.in_flight -= 1;
+                    if st.fatal.is_none() {
+                        st.fatal = Some(error);
+                    }
+                });
+                return;
+            }
+            Attempt::Failed(why) => {
+                // Distinguish "that backend is gone" from "that exchange
+                // failed": a dead backend is excluded from everything and
+                // its worker exits; a live one only loses this shard.
+                let alive = backend::is_alive(addr, Duration::from_secs(2));
+                let mut task = task;
+                task.lines_done += forwarded;
+                task.attempts += 1;
+                task.excluded.push(b);
+                let exit = shared.with(|st| {
+                    st.in_flight -= 1;
+                    st.failovers += 1;
+                    if !alive {
+                        st.dead[b] = true;
+                    }
+                    let detail = format!(
+                        "attempt {} on backend {addr} failed ({why}); \
+                         {} of {} lines salvaged",
+                        task.attempts,
+                        task.lines_done,
+                        task.range.len()
+                    );
+                    if candidates(st, &task, n_backends) == 0
+                        || task.attempts >= config.effective_max_attempts()
+                    {
+                        let shard = task.shard;
+                        if st.fatal.is_none() {
+                            st.fatal = Some(FleetError::Exhausted { shard, detail });
+                        }
+                    } else {
+                        st.pending.push_back(task);
+                        // A newly dead backend may have stranded *other*
+                        // queued shards that already excluded every
+                        // survivor.
+                        if st.dead[b] {
+                            if let Some(stranded) = st
+                                .pending
+                                .iter()
+                                .find(|t| candidates(st, t, n_backends) == 0)
+                            {
+                                let shard = stranded.shard;
+                                if st.fatal.is_none() {
+                                    st.fatal = Some(FleetError::Exhausted {
+                                        shard,
+                                        detail: format!("no live backend left after {addr} died"),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    st.dead[b] || st.fatal.is_some()
+                });
+                if exit {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Run one shard exchange against one backend, forwarding new lines (past
+/// the task's resume point) to the merge. Returns the outcome and how
+/// many *new* lines made it out.
+fn run_shard(
+    addr: &str,
+    desc: &GridDesc,
+    config: &FleetConfig,
+    task: &ShardTask,
+    shared: &Shared,
+    tx: &mpsc::Sender<(usize, String)>,
+) -> (Attempt, usize) {
+    let sub = desc.with_shard(task.range);
+    let skip = task.lines_done;
+    let start = task.range.start;
+    let expected = task.range.len();
+    let mut forwarded = 0usize;
+    let mut sheds_seen = 0usize;
+    loop {
+        let result = client::stream_campaign(addr, &sub, config.timeout, |i, line| {
+            // Resume semantics: the first `skip` lines were already
+            // merged by a previous attempt; determinism makes this
+            // attempt's prefix byte-identical, so it is skipped, not
+            // re-verified. The upper bound matters just as much: a
+            // garbled backend streaming MORE lines than the shard holds
+            // must not leak indices into a neighbouring shard's range —
+            // the merger would take them as that shard's records and
+            // silently drop the legitimate ones as duplicates.
+            if i >= skip && i < expected {
+                let _ = tx.send((start + i, line.to_string()));
+                forwarded += 1;
+            }
+        });
+        match result {
+            Ok(StreamOutcome::Done { lines }) if lines == expected => {
+                return (Attempt::Done, forwarded);
+            }
+            Ok(StreamOutcome::Done { lines }) => {
+                // A clean close with too few (or too many) lines is a
+                // truncated/garbled stream, not success.
+                return (
+                    Attempt::Failed(format!("stream closed after {lines}/{expected} lines")),
+                    forwarded,
+                );
+            }
+            Ok(StreamOutcome::Rejected {
+                status: 503,
+                headers,
+                ..
+            }) => {
+                shared.with(|st| st.sheds += 1);
+                sheds_seen += 1;
+                if sheds_seen > config.max_shed_retries {
+                    return (
+                        Attempt::Failed(format!("shed {sheds_seen} times in a row")),
+                        forwarded,
+                    );
+                }
+                let wait = headers
+                    .iter()
+                    .find(|(k, _)| k == "retry-after")
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .unwrap_or(1);
+                // saturating: Retry-After is backend-controlled input.
+                std::thread::sleep(Duration::from_millis(
+                    wait.saturating_mul(1000).clamp(100, 10_000),
+                ));
+            }
+            Ok(StreamOutcome::Rejected { status, body, .. }) => {
+                return (
+                    Attempt::Fatal(FleetError::Rejected {
+                        addr: addr.to_string(),
+                        status,
+                        body,
+                    }),
+                    forwarded,
+                );
+            }
+            Err(e) => return (Attempt::Failed(e.to_string()), forwarded),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # joss-fleet — sharded campaign execution across serve backends
+//!
+//! One `joss-serve` daemon is bounded by one machine; the paper's
+//! evaluation grid — and every what-if sweep built on it — is
+//! embarrassingly parallel at the *grid* level, because each spec
+//! (workload × scheduler × DVFS config × seed) is an independent,
+//! deterministic simulation. This crate is the distribution layer on top
+//! of PR 4's wire protocol: a coordinator that takes **one**
+//! [`joss_sweep::GridDesc`], cuts it into cost-balanced contiguous shards
+//! ([`joss_sweep::ShardPlan`]), fans the sub-grids out to N backends over
+//! the existing serve client, and merges the streamed record lines back
+//! into **global spec order** as they arrive.
+//!
+//! * [`backend`] — health probing and compatibility checks: a backend's
+//!   `/healthz` carries its train seed/reps and record schema, and the
+//!   coordinator refuses to merge records from mismatched backends;
+//! * [`merge`] — [`OrderedMerger`], the reorder buffer that turns
+//!   out-of-order shard streams into one in-order JSONL stream;
+//! * [`coordinator`] — [`run_fleet`]: the work queue, per-backend fetch
+//!   workers, and the failover policy (retry a failed shard on surviving
+//!   backends, excluding the one that failed, resuming mid-shard);
+//! * [`local`] — boot N in-process daemons for single-machine scale-out
+//!   (`joss_fleet --spawn N`) and tests.
+//!
+//! The invariant everything hangs off, extending the serve layer's:
+//! **fleet-merged bytes are identical to a single-node
+//! [`joss_sweep::Campaign::run_streaming`] → [`joss_sweep::JsonlSink`]
+//! run of the whole grid** with the same training parameters — for any
+//! shard count, any backend count, and any backend failure the retries
+//! can absorb. Determinism is what makes mid-stream failover cheap: a
+//! retried shard reproduces the exact bytes the dead backend already
+//! sent, so the coordinator skips the merged prefix and splices the rest.
+//! `crates/fleet/tests/fleet.rs` kills a backend mid-stream and `cmp`s;
+//! the CI `fleet-smoke` job does the same over real processes.
+//! Topology and semantics: `docs/FLEET.md`.
+
+pub mod backend;
+pub mod coordinator;
+pub mod local;
+pub mod merge;
+
+pub use backend::{is_alive, probe, verify_compatible, BackendInfo};
+pub use coordinator::{run_fleet, FleetConfig, FleetError, FleetReport};
+pub use local::{spawn_local_backends, spawn_local_backends_with};
+pub use merge::OrderedMerger;

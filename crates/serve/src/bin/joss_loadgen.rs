@@ -41,6 +41,7 @@ fn main() {
         seeds: vec![42],
         scale: Scale::Divided(400),
         record_trace: false,
+        shard: None,
     };
     let mut clients = 2usize;
     let mut requests = 4usize;

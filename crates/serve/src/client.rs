@@ -18,13 +18,16 @@ fn to_io(err: RequestError) -> io::Error {
     }
 }
 
-/// One exchange: connect, send, read the full response.
-fn exchange(
+/// Connect and send one request, returning the stream with the response
+/// unread — shared by the buffered [`exchange`] and the streaming
+/// [`stream_campaign`], so the two clients cannot drift apart on socket
+/// setup or head formatting.
+fn connect_and_send(
     addr: &str,
     request_head: &str,
     body: &[u8],
     timeout: Duration,
-) -> io::Result<Response> {
+) -> io::Result<TcpStream> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -33,6 +36,25 @@ fn exchange(
     writer.write_all(request_head.as_bytes())?;
     writer.write_all(body)?;
     writer.flush()?;
+    Ok(stream)
+}
+
+/// The request head of a JSON `POST` (shared for the same reason).
+fn post_head(addr: &str, path: &str, body_len: usize) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {body_len}\r\n\r\n"
+    )
+}
+
+/// One exchange: connect, send, read the full response.
+fn exchange(
+    addr: &str,
+    request_head: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<Response> {
+    let stream = connect_and_send(addr, request_head, body, timeout)?;
     let mut reader = BufReader::new(stream);
     http::read_response(&mut reader).map_err(to_io)
 }
@@ -45,12 +67,7 @@ pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<Response> {
 
 /// `POST` a raw body to a path (used by tests probing the error paths).
 pub fn post(addr: &str, path: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
-    let head = format!(
-        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n\r\n",
-        body.len()
-    );
-    exchange(addr, &head, body, timeout)
+    exchange(addr, &post_head(addr, path, body.len()), body, timeout)
 }
 
 /// Submit a campaign: the description goes up as canonical JSON, the
@@ -91,12 +108,14 @@ pub fn wait_ready(addr: &str, wait: Duration) -> io::Result<Response> {
 
 /// Verify a streamed campaign body against its description: the expected
 /// number of JSONL lines, each parsing as a record object with the right
-/// `index`. Returns the record count or a description of the first
-/// malformation — the check `joss_loadgen --verify` applies to every
-/// response.
+/// `index` (global spec indices — a sharded description's records start
+/// at the shard's first index). Returns the record count or a description
+/// of the first malformation — the check `joss_loadgen --verify` applies
+/// to every response.
 pub fn verify_body(desc: &GridDesc, body: &[u8]) -> Result<usize, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let expected = desc.spec_count();
+    let expected = desc.run_count();
+    let base = desc.index_base() as u64;
     let mut count = 0usize;
     for (i, line) in text.lines().enumerate() {
         let value = joss_sweep::json::parse(line)
@@ -105,8 +124,11 @@ pub fn verify_body(desc: &GridDesc, body: &[u8]) -> Result<usize, String> {
             .get("index")
             .and_then(joss_sweep::json::Value::as_u64)
             .ok_or_else(|| format!("record {i} is missing its index"))?;
-        if index != i as u64 {
-            return Err(format!("record {i} carries index {index}: order broken"));
+        if index != base + i as u64 {
+            return Err(format!(
+                "record {i} carries index {index}, expected {}: order broken",
+                base + i as u64
+            ));
         }
         for key in ["workload", "scheduler", "seed", "total_j", "makespan_s"] {
             if value.get(key).is_none() {
@@ -122,4 +144,82 @@ pub fn verify_body(desc: &GridDesc, body: &[u8]) -> Result<usize, String> {
         return Err("body does not end with a newline".to_string());
     }
     Ok(count)
+}
+
+/// How a streamed campaign exchange ended (see [`stream_campaign`]).
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// 200: the stream completed cleanly after `lines` record lines.
+    Done {
+        /// Record lines delivered to the callback.
+        lines: usize,
+    },
+    /// The daemon answered with a non-200 status and this (JSON) body —
+    /// a shed (503) or a client fault (4xx), not a transport failure.
+    Rejected {
+        /// HTTP status code.
+        status: u16,
+        /// Response headers (lowercased names).
+        headers: Vec<(String, String)>,
+        /// Full response body.
+        body: String,
+    },
+}
+
+/// Submit a campaign and hand each record line (without its newline) to
+/// `on_line` **as it arrives**, instead of buffering the whole body like
+/// [`run_campaign`] does. `on_line` gets the 0-based position of the line
+/// within this response.
+///
+/// This is the fleet coordinator's fetch primitive: a shard's records
+/// flow into the global merge while the backend is still simulating, and
+/// when a backend dies mid-stream the error arrives *after* the lines
+/// that made it out — determinism makes those lines identical on retry,
+/// so the coordinator resumes by skipping what it already has.
+///
+/// A body that ends mid-line (no trailing newline before the peer closed)
+/// is a truncated stream and reported as an I/O error; the partial line
+/// is never delivered.
+pub fn stream_campaign(
+    addr: &str,
+    desc: &GridDesc,
+    timeout: Duration,
+    mut on_line: impl FnMut(usize, &str),
+) -> io::Result<StreamOutcome> {
+    let body = desc.to_canonical_json();
+    let head = post_head(addr, "/v1/campaign", body.len());
+    let stream = connect_and_send(addr, &head, body.as_bytes(), timeout)?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = http::read_response_head(&mut reader).map_err(to_io)?;
+    if status != 200 {
+        // Error bodies are small length-delimited JSON; read them whole.
+        let mut rejected = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rejected)?;
+        return Ok(StreamOutcome::Rejected {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&rejected).into_owned(),
+        });
+    }
+
+    let mut lines = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut reader, &mut line)?;
+        if n == 0 {
+            return Ok(StreamOutcome::Done { lines });
+        }
+        let Some(record) = line.strip_suffix('\n') else {
+            // EOF mid-line: the backend died while a record was in
+            // flight. Surface it as a transport failure so the caller
+            // retries — the partial line must never look like a record.
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("record stream truncated mid-line after {lines} full lines"),
+            ));
+        };
+        on_line(lines, record);
+        lines += 1;
+    }
 }

@@ -233,9 +233,13 @@ pub fn write_json(w: &mut impl Write, status: u16, json_body: &str) -> io::Resul
     w.flush()
 }
 
-/// Read one response: status line, headers, then the body — to
-/// `Content-Length` if present, else to connection close.
-pub fn read_response(r: &mut impl BufRead) -> Result<Response, RequestError> {
+/// Read a response head only: status line plus headers, leaving the body
+/// unread on the stream — the entry point for clients that consume a
+/// streamed body incrementally (the fleet coordinator's line merge)
+/// instead of buffering it whole.
+pub fn read_response_head(
+    r: &mut impl BufRead,
+) -> Result<(u16, Vec<(String, String)>), RequestError> {
     let line = read_line(r)?;
     let mut parts = line.split_whitespace();
     let version = parts
@@ -251,6 +255,13 @@ pub fn read_response(r: &mut impl BufRead) -> Result<Response, RequestError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| RequestError::Malformed("missing status code".into()))?;
     let headers = read_headers(r)?;
+    Ok((status, headers))
+}
+
+/// Read one response: status line, headers, then the body — to
+/// `Content-Length` if present, else to connection close.
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, RequestError> {
+    let (status, headers) = read_response_head(r)?;
     let mut body = Vec::new();
     match header_lookup(&headers, "content-length") {
         Some(text) => {

@@ -296,7 +296,10 @@ fn drive_one(
                     .header("retry-after")
                     .and_then(|s| s.parse::<u64>().ok())
                     .unwrap_or(1);
-                std::thread::sleep(Duration::from_millis((wait * 1000).clamp(100, 10_000)));
+                // saturating: Retry-After is server-controlled input.
+                std::thread::sleep(Duration::from_millis(
+                    wait.saturating_mul(1000).clamp(100, 10_000),
+                ));
             }
             _ => {
                 tally.errors += 1;

@@ -135,7 +135,8 @@ impl State {
             "{{\"requests\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
              \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
              \"io_errors\":{},\"handler_panics\":{},\"cached_grids\":{},\"trained\":{},\
-             \"max_inflight\":{},\"available_permits\":{}}}",
+             \"max_inflight\":{},\"available_permits\":{},\"train_seed\":{},\"reps\":{},\
+             \"schema\":{}}}",
             Stats::get(&self.stats.requests),
             Stats::get(&self.stats.campaigns_executed),
             Stats::get(&self.stats.cache_hits),
@@ -148,6 +149,9 @@ impl State {
             self.ctx.get().is_some(),
             self.admission.limit(),
             self.admission.available(),
+            self.config.train_seed,
+            self.config.reps,
+            joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
         )
     }
 }
@@ -335,12 +339,22 @@ fn handle_connection(conn: TcpStream, state: &State) {
 
     Stats::bump(&state.stats.requests);
     let outcome = match (request.method.as_str(), request.path.as_str()) {
+        // Besides liveness, /healthz carries everything a fleet
+        // coordinator needs to decide whether this backend's records can
+        // be merged with another's: the training parameters (records are
+        // byte-identical only across equal train seed/reps), the record
+        // wire schema, and the build version.
         ("GET", "/healthz") => http::write_json(
             &mut writer,
             200,
             &format!(
-                "{{\"status\":\"ok\",\"trained\":{}}}",
-                state.ctx.get().is_some()
+                "{{\"status\":\"ok\",\"trained\":{},\"train_seed\":{},\"reps\":{},\
+                 \"schema\":{},\"version\":{}}}",
+                state.ctx.get().is_some(),
+                state.config.train_seed,
+                state.config.reps,
+                joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
+                joss_sweep::json::quote(env!("CARGO_PKG_VERSION")),
             ),
         ),
         ("GET", "/stats") => http::write_json(&mut writer, 200, &state.stats_json()),
@@ -382,14 +396,17 @@ fn handle_campaign(
     // resolving a grid instantiates the whole benchmark suite at the
     // requested scale, which is exactly the work the cache and the
     // semaphore exist to bound, so it must not happen for hits, sheds, or
-    // oversized requests.
-    let spec_count = desc.spec_count();
-    if spec_count > state.config.max_specs {
+    // oversized requests. The spec cap gates the work this request *runs*
+    // (the shard's slice, not the grid it is cut from) — sharding is how a
+    // fleet feeds a grid larger than any single daemon's limit through
+    // many daemons.
+    let run_count = desc.run_count();
+    if run_count > state.config.max_specs {
         return bad(
             writer,
             state,
             &format!(
-                "grid has {spec_count} specs, above this daemon's limit of {}",
+                "request runs {run_count} specs, above this daemon's limit of {}",
                 state.config.max_specs
             ),
         );
@@ -397,7 +414,7 @@ fn handle_campaign(
 
     let canonical = desc.to_canonical_json();
     let hash = format!("{:016x}", desc.spec_hash());
-    let records_header = spec_count.to_string();
+    let records_header = run_count.to_string();
 
     // Cache: repeated identical grids stream from memory, no permit needed.
     if let Some(cached) = state.cache.get(&canonical) {
@@ -450,8 +467,11 @@ fn handle_campaign(
         drop(permit);
         return bad(writer, state, &e);
     }
-    let specs = match desc.resolve() {
-        Ok(grid) => grid.build(),
+    // Shard-aware resolution: a sharded description builds only the
+    // workloads its spec range touches and streams records carrying
+    // global spec indices.
+    let (index_base, specs) = match desc.resolve_specs() {
+        Ok(resolved) => resolved,
         Err(e) => {
             drop(permit);
             return bad(writer, state, &e);
@@ -476,26 +496,31 @@ fn handle_campaign(
     // go straight to the socket through a reused line buffer, keeping the
     // flat-memory streaming property.
     let caching = state.cache.enabled();
-    let mut cache_body: Vec<u8> = Vec::with_capacity(if caching { spec_count * 192 } else { 0 });
+    let mut cache_body: Vec<u8> = Vec::with_capacity(if caching { run_count * 192 } else { 0 });
     let mut socket_err: Option<io::Error> = None;
-    Campaign::with_threads(state.config.campaign_threads).run_streaming(ctx, specs, |record| {
-        let line_start = cache_body.len();
-        cache_body.extend_from_slice(record.to_json().as_bytes());
-        cache_body.push(b'\n');
-        if socket_err.is_none() {
-            if let Err(e) = writer.write_all(&cache_body[line_start..]) {
-                socket_err = Some(e);
+    Campaign::with_threads(state.config.campaign_threads).run_streaming_indexed(
+        ctx,
+        index_base,
+        specs,
+        |record| {
+            let line_start = cache_body.len();
+            cache_body.extend_from_slice(record.to_json().as_bytes());
+            cache_body.push(b'\n');
+            if socket_err.is_none() {
+                if let Err(e) = writer.write_all(&cache_body[line_start..]) {
+                    socket_err = Some(e);
+                }
             }
-        }
-        if !caching {
-            cache_body.clear();
-        }
-    });
+            if !caching {
+                cache_body.clear();
+            }
+        },
+    );
     Stats::bump(&state.stats.campaigns_executed);
     state
         .stats
         .records_streamed
-        .fetch_add(spec_count as u64, Ordering::Relaxed);
+        .fetch_add(run_count as u64, Ordering::Relaxed);
     if caching {
         state.cache.insert(canonical, Arc::new(cache_body));
     }

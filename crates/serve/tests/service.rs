@@ -27,6 +27,7 @@ fn tiny_desc() -> GridDesc {
         seeds: vec![42],
         scale: Scale::Divided(400),
         record_trace: false,
+        shard: None,
     }
 }
 
@@ -72,6 +73,7 @@ fn streamed_body_is_byte_identical_to_offline_campaign() {
             seeds: vec![42, 7],
             scale: Scale::Divided(400),
             record_trace: false,
+            shard: None,
         },
     ] {
         let response = client::run_campaign(&addr, &desc, TIMEOUT).expect("campaign request");
@@ -97,6 +99,115 @@ fn streamed_body_is_byte_identical_to_offline_campaign() {
             "served JSONL diverged from the offline campaign"
         );
     }
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn health_reports_training_identity_for_fleet_compatibility() {
+    let handle = boot(|c| c.train_seed = 42);
+    let addr = handle.addr().to_string();
+    let health = client::get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    let parsed = joss_sweep::json::parse(&health.body_text()).expect("health JSON");
+    assert_eq!(
+        parsed
+            .get("train_seed")
+            .and_then(joss_sweep::json::Value::as_u64),
+        Some(42)
+    );
+    assert_eq!(
+        parsed.get("reps").and_then(joss_sweep::json::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        parsed
+            .get("schema")
+            .and_then(joss_sweep::json::Value::as_str),
+        Some(joss_sweep::RECORD_SCHEMA)
+    );
+    assert!(
+        parsed
+            .get("version")
+            .and_then(joss_sweep::json::Value::as_str)
+            .is_some(),
+        "{}",
+        health.body_text()
+    );
+    // /stats mirrors the identity fields.
+    let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+    let parsed = joss_sweep::json::parse(&stats.body_text()).expect("stats JSON");
+    assert_eq!(
+        parsed
+            .get("train_seed")
+            .and_then(joss_sweep::json::Value::as_u64),
+        Some(42)
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn sharded_requests_stream_the_slice_with_global_indices() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let desc = GridDesc {
+        workloads: vec!["DP".into(), "MM_256_dop4".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    };
+    let full = client::run_campaign(&addr, &desc, TIMEOUT).expect("full grid");
+    assert_eq!(full.status, 200);
+    let full_lines: Vec<&str> = std::str::from_utf8(&full.body).unwrap().lines().collect();
+    assert_eq!(full_lines.len(), 4);
+
+    // A mid-grid shard: record count reflects the slice, indices are
+    // global, and the bytes are exactly the full body's middle lines.
+    let sharded = desc.with_shard(joss_sweep::SpecRange::new(1, 3));
+    let resp = client::run_campaign(&addr, &sharded, TIMEOUT).expect("sharded request");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert_eq!(resp.header("x-joss-records"), Some("2"));
+    assert_eq!(client::verify_body(&sharded, &resp.body), Ok(2));
+    let expected = format!("{}\n{}\n", full_lines[1], full_lines[2]);
+    assert_eq!(
+        resp.body,
+        expected.as_bytes(),
+        "shard bytes must be the grid's slice"
+    );
+
+    // The shard is its own cache entry, replayed byte-identically.
+    let again = client::run_campaign(&addr, &sharded, TIMEOUT).expect("repeat");
+    assert_eq!(again.header("x-joss-cache"), Some("hit"));
+    assert_eq!(again.body, resp.body);
+
+    // Out-of-range and empty shards are client faults.
+    for bad in [(2usize, 9usize), (3, 3)] {
+        let body = format!(
+            "{{\"workloads\":[\"DP\",\"MM_256_dop4\"],\"schedulers\":[\"grws\",\"joss\"],\
+             \"seeds\":[42],\"scale\":400,\"record_trace\":false,\"shard\":[{},{}]}}",
+            bad.0, bad.1
+        );
+        let r = client::post(&addr, "/v1/campaign", body.as_bytes(), TIMEOUT).unwrap();
+        assert_eq!(r.status, 400, "shard {bad:?} must be rejected");
+    }
+
+    // The spec cap gates the *run* size, so one shard of a grid larger
+    // than max_specs still serves — that is how a fleet feeds big grids
+    // through small daemons.
+    handle.stop().expect("clean shutdown");
+    let handle = boot(|c| c.max_specs = 2);
+    let addr = handle.addr().to_string();
+    let r = client::run_campaign(&addr, &desc, TIMEOUT).unwrap();
+    assert_eq!(r.status, 400, "4-spec grid is over the 2-spec cap");
+    let r = client::run_campaign(
+        &addr,
+        &desc.with_shard(joss_sweep::SpecRange::new(1, 3)),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert_eq!(r.body, expected.as_bytes());
     handle.stop().expect("clean shutdown");
 }
 

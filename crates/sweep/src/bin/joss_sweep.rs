@@ -3,7 +3,8 @@
 //! ```text
 //! joss_sweep [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]
 //!            [--threads N] [--scale D|full] [--reps R] [--train-seed S]
-//!            [--out FILE.jsonl] [--csv FILE.csv] [--record-trace] [--list]
+//!            [--out FILE.jsonl] [--csv FILE.csv] [--record-trace]
+//!            [--shard I/N] [--list]
 //! ```
 //!
 //! Workload labels are the Fig. 8 suite labels (`--list` prints them);
@@ -13,11 +14,20 @@
 //! slim `MetricPoint` per record (two labels + one float) survives for the
 //! normalized table printed at the end, so memory grows with the spec
 //! count but not with task counts or traces.
+//!
+//! `--shard I/N` (0-based) runs only shard `I` of the cost-balanced
+//! `ShardPlan` that splits the grid into `N` contiguous spec ranges.
+//! Records carry their **global** spec indices, so concatenating the N
+//! shard outputs in shard order is byte-identical to the unsharded
+//! `--out` file — the property the `joss_fleet` merge relies on, asserted
+//! in `crates/sweep/tests/shard_plan.rs` and by the CI campaign smoke.
+//! Sharded runs skip the summary table (one shard may hold a partial
+//! workload row).
 
 use joss_sweep::agg::{normalize_points, MetricPoint};
 use joss_sweep::{
     default_threads, geo_means_per_scheduler, Campaign, CsvSink, ExperimentContext, JsonlSink,
-    SchedulerKind, SpecGrid, Workload,
+    SchedulerKind, ShardPlan, SpecGrid, Workload,
 };
 use joss_workloads::{fig8_suite, Scale};
 use std::process::exit;
@@ -26,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: joss_sweep [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
          \u{20}                 [--threads N] [--scale D|full] [--reps R] [--train-seed S]\n\
-         \u{20}                 [--out FILE.jsonl] [--csv FILE.csv] [--record-trace] [--list]\n\
+         \u{20}                 [--out FILE.jsonl] [--csv FILE.csv] [--record-trace]\n\
+         \u{20}                 [--shard I/N] [--list]\n\
          schedulers: {}",
         SchedulerKind::parse_help()
     );
@@ -45,6 +56,7 @@ fn main() {
     let mut out_jsonl: Option<String> = None;
     let mut out_csv: Option<String> = None;
     let mut record_trace = false;
+    let mut shard: Option<(usize, usize)> = None;
     let mut list = false;
 
     let mut i = 1;
@@ -88,6 +100,20 @@ fn main() {
             "--out" => out_jsonl = Some(next(&mut i)),
             "--csv" => out_csv = Some(next(&mut i)),
             "--record-trace" => record_trace = true,
+            "--shard" => {
+                let v = next(&mut i);
+                let (idx, n) = v.split_once('/').unwrap_or_else(|| {
+                    eprintln!("error: --shard wants I/N (e.g. 0/4), got {v:?}");
+                    usage()
+                });
+                let idx: usize = idx.parse().expect("shard index");
+                let n: usize = n.parse().expect("shard count");
+                if n == 0 || idx >= n {
+                    eprintln!("error: --shard index {idx} out of range for {n} shards");
+                    usage();
+                }
+                shard = Some((idx, n));
+            }
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -141,11 +167,48 @@ fn main() {
         .record_trace(record_trace)
         .build();
     eprintln!(
-        "[joss_sweep] running {} specs ({} workloads x {} schedulers x {} seeds) on {} threads...",
+        "[joss_sweep] grid has {} specs ({} workloads x {} schedulers x {} seeds)",
         specs.len(),
         specs.len() / (schedulers.len() * seeds.len()),
         schedulers.len(),
         seeds.len(),
+    );
+
+    // --shard I/N: run only one range of the cost-balanced plan, with
+    // global record indices, so the N outputs concatenate into the
+    // unsharded file. The cost model (per-workload task counts) matches
+    // `joss_sweep::shard::grid_costs`, so a fleet planning the same grid
+    // agrees on the boundaries.
+    let (index_base, specs) = match shard {
+        None => (0, specs),
+        Some((idx, n)) => {
+            let costs: Vec<f64> = specs
+                .iter()
+                .map(|s| s.workload.graph.n_tasks() as f64)
+                .collect();
+            let plan = ShardPlan::weighted(&costs, n);
+            if idx >= plan.len() {
+                // More shards requested than specs: trailing shards are
+                // empty, and an empty output still concatenates cleanly.
+                eprintln!(
+                    "[joss_sweep] shard {idx}/{n} is empty ({} specs fill only {} shards)",
+                    specs.len(),
+                    plan.len()
+                );
+                (0, Vec::new())
+            } else {
+                let range = plan.shard(idx);
+                eprintln!(
+                    "[joss_sweep] shard {idx}/{n}: specs {range} of {}",
+                    specs.len()
+                );
+                (range.start, specs[range.start..range.end].to_vec())
+            }
+        }
+    };
+    eprintln!(
+        "[joss_sweep] running {} specs on {} threads...",
+        specs.len(),
         threads
     );
     let mut jsonl_sink = out_jsonl
@@ -158,7 +221,7 @@ fn main() {
     // summary point the moment it flushes out of the reorder window, then
     // dropped — the full grid (reports, opted-in traces) never accumulates.
     let mut points: Vec<MetricPoint> = Vec::with_capacity(specs.len());
-    Campaign::with_threads(threads).run_streaming(&ctx, specs, |record| {
+    Campaign::with_threads(threads).run_streaming_indexed(&ctx, index_base, specs, |record| {
         if let Some(sink) = &mut jsonl_sink {
             sink.write(&record).expect("write JSONL record");
         }
@@ -176,7 +239,13 @@ fn main() {
         eprintln!("[joss_sweep] wrote {n} records to {path}");
     }
 
-    // Summary: total energy normalized to the first scheduler column.
+    // Summary: total energy normalized to the first scheduler column. A
+    // shard may cut a workload's scheduler row in half, so sharded runs
+    // skip the table — the merged file is the unit that gets summarized.
+    if shard.is_some() {
+        eprintln!("[joss_sweep] sharded run: summary table skipped (concatenate shards first)");
+        return;
+    }
     let baseline = points[0].scheduler.clone();
     let rows = normalize_points(&points, &baseline);
     println!("# campaign summary — total energy normalized to {baseline}");

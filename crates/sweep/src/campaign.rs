@@ -66,12 +66,28 @@ impl Campaign {
         &self,
         ctx: &ExperimentContext,
         specs: Vec<RunSpec>,
+        sink: impl FnMut(RunRecord),
+    ) {
+        self.run_streaming_indexed(ctx, 0, specs, sink);
+    }
+
+    /// [`Campaign::run_streaming`], with record indices offset by
+    /// `index_base` — the sharded-execution entry point: a shard running
+    /// specs `base..base+len` of a larger grid emits records carrying
+    /// their **global** spec indices, so shard outputs concatenate
+    /// byte-identically into the unsharded run (see
+    /// [`crate::shard`] and [`crate::GridDesc::resolve_specs`]).
+    pub fn run_streaming_indexed(
+        &self,
+        ctx: &ExperimentContext,
+        index_base: usize,
+        specs: Vec<RunSpec>,
         mut sink: impl FnMut(RunRecord),
     ) {
         ordered_parallel_stream(
             self.threads,
             &specs,
-            |index, spec| run_spec(ctx, index, spec),
+            |index, spec| run_spec(ctx, index_base + index, spec),
             |_, record| sink(record),
         );
     }

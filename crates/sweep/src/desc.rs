@@ -4,8 +4,8 @@
 //! a process boundary. [`GridDesc`] is its round-trippable description —
 //! workloads by Fig. 8 suite label, schedulers in their canonical CLI
 //! spelling, seeds, scale — with a **canonical JSON form**: fixed key
-//! order (`workloads`, `schedulers`, `seeds`, `scale`, `record_trace`), no
-//! whitespace. [`GridDesc::from_json`] accepts any key order and
+//! order (`workloads`, `schedulers`, `seeds`, `scale`, `record_trace`,
+//! then `shard` only when present), no whitespace. [`GridDesc::from_json`] accepts any key order and
 //! whitespace; [`GridDesc::spec_hash`] hashes the canonical form, so the
 //! hash is invariant under reordering/reformatting — that is what makes it
 //! usable as a results-cache key in the serve daemon.
@@ -15,7 +15,8 @@
 
 use crate::json::{self, Value};
 use crate::scheduler::SchedulerKind;
-use crate::spec::{SpecGrid, Workload};
+use crate::shard::SpecRange;
+use crate::spec::{EngineSpec, RunSpec, SpecGrid, Workload, DEFAULT_SEED};
 use joss_workloads::{fig8_bench, fig8_labels, Scale};
 use std::fmt::Write as _;
 
@@ -32,6 +33,12 @@ pub struct GridDesc {
     pub scale: Scale,
     /// Opt every spec into execution-trace recording.
     pub record_trace: bool,
+    /// Run only this contiguous range of the grid's global spec indices
+    /// (`None` runs the whole grid). The described *grid* is unchanged —
+    /// records of a sharded run carry their **global** spec indices, which
+    /// is what lets shard outputs concatenate byte-identically into the
+    /// unsharded JSONL (see [`crate::shard`]).
+    pub shard: Option<SpecRange>,
 }
 
 impl Default for GridDesc {
@@ -42,6 +49,7 @@ impl Default for GridDesc {
             seeds: Vec::new(),
             scale: DEFAULT_SCALE,
             record_trace: false,
+            shard: None,
         }
     }
 }
@@ -50,9 +58,46 @@ impl Default for GridDesc {
 pub const DEFAULT_SCALE: Scale = Scale::Divided(100);
 
 impl GridDesc {
-    /// Number of specs [`GridDesc::resolve`]'s grid will emit.
+    /// Number of specs in the **full** described grid, shard or not.
     pub fn spec_count(&self) -> usize {
         self.workloads.len() * self.schedulers.len() * self.seeds.len().max(1)
+    }
+
+    /// Number of specs this description will actually *run*: the shard's
+    /// length when sharded, the full grid otherwise.
+    pub fn run_count(&self) -> usize {
+        self.shard.map_or_else(|| self.spec_count(), |r| r.len())
+    }
+
+    /// Global index of the first record this description emits.
+    pub fn index_base(&self) -> usize {
+        self.shard.map_or(0, |r| r.start)
+    }
+
+    /// The same grid restricted to one contiguous spec-index range (the
+    /// sub-grid a fleet coordinator dispatches to one backend).
+    pub fn with_shard(&self, range: SpecRange) -> GridDesc {
+        GridDesc {
+            shard: Some(range),
+            ..self.clone()
+        }
+    }
+
+    /// Err unless the shard range (if any) is a valid, non-empty sub-range
+    /// of the full grid.
+    pub fn validate_shard(&self) -> Result<(), String> {
+        if let Some(r) = self.shard {
+            if r.start >= r.end {
+                return Err(format!("shard range {r} is empty"));
+            }
+            if r.end > self.spec_count() {
+                return Err(format!(
+                    "shard range {r} exceeds the grid's {} specs",
+                    self.spec_count()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The canonical JSON form: fixed key order, no whitespace. Two
@@ -86,7 +131,14 @@ impl GridDesc {
                 let _ = write!(out, "{d}");
             }
         }
-        let _ = write!(out, ",\"record_trace\":{}}}", self.record_trace);
+        let _ = write!(out, ",\"record_trace\":{}", self.record_trace);
+        // The shard key appears only when present, so unsharded grids keep
+        // the canonical form (and spec hash) they had before sharding
+        // existed — a shard is a different cache entry than its full grid.
+        if let Some(r) = self.shard {
+            let _ = write!(out, ",\"shard\":[{},{}]", r.start, r.end);
+        }
+        out.push('}');
         out
     }
 
@@ -143,6 +195,21 @@ impl GridDesc {
                         .as_bool()
                         .ok_or_else(|| "\"record_trace\" must be a boolean".to_string())?;
                 }
+                "shard" => {
+                    let items = value
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| "\"shard\" must be a [start,end] pair".to_string())?;
+                    let bound = |v: &Value| {
+                        v.as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| "shard bounds must be unsigned integers".to_string())
+                    };
+                    desc.shard = Some(SpecRange {
+                        start: bound(&items[0])?,
+                        end: bound(&items[1])?,
+                    });
+                }
                 other => return Err(format!("unknown grid description key {other:?}")),
             }
         }
@@ -152,6 +219,7 @@ impl GridDesc {
         if desc.schedulers.is_empty() {
             return Err("grid description needs a non-empty \"schedulers\" array".to_string());
         }
+        desc.validate_shard()?;
         Ok(desc)
     }
 
@@ -177,25 +245,77 @@ impl GridDesc {
         if self.workloads.is_empty() || self.schedulers.is_empty() {
             return Err("grid needs at least one workload and one scheduler".to_string());
         }
+        if self.shard.is_some() {
+            // A shard is not a cartesian grid; the full-grid builder would
+            // silently run everything. Force callers through the
+            // shard-aware path.
+            return Err("sharded description: use resolve_specs()".to_string());
+        }
         let workloads: Vec<Workload> = self
             .workloads
             .iter()
-            .map(|label| {
-                fig8_bench(label, self.scale)
-                    .map(Workload::from)
-                    .ok_or_else(|| {
-                        format!(
-                            "unknown workload {label:?}; available: {}",
-                            fig8_labels().join(", ")
-                        )
-                    })
-            })
+            .map(|label| self.build_workload(label))
             .collect::<Result<_, _>>()?;
         Ok(SpecGrid::new()
             .workloads(workloads)
             .schedulers(self.schedulers.iter().copied())
             .seeds(self.seeds.iter().copied())
             .record_trace(self.record_trace))
+    }
+
+    /// Instantiate the spec list this description *runs*, plus the global
+    /// index of its first spec: the whole grid for an unsharded
+    /// description, exactly the shard's slice (in global spec order) for a
+    /// sharded one.
+    ///
+    /// Only workloads whose spec blocks intersect the shard are built —
+    /// spec order is workload-major, so a shard touches a contiguous run
+    /// of workloads and a backend serving one shard of a 21-workload grid
+    /// builds only its share of the graphs. The slice is exactly what
+    /// [`SpecGrid::build`] would emit at those indices, which is what
+    /// makes sharded records byte-identical to the full run's.
+    pub fn resolve_specs(&self) -> Result<(usize, Vec<RunSpec>), String> {
+        self.validate_shard()?;
+        let range = match self.shard {
+            None => return Ok((0, self.resolve()?.build())),
+            Some(range) => range,
+        };
+        let seeds: Vec<u64> = if self.seeds.is_empty() {
+            vec![DEFAULT_SEED]
+        } else {
+            self.seeds.clone()
+        };
+        let block = self.schedulers.len() * seeds.len(); // specs per workload
+        let first_w = range.start / block;
+        let last_w = (range.end - 1) / block;
+        let built: Vec<Workload> = (first_w..=last_w)
+            .map(|wi| self.build_workload(&self.workloads[wi]))
+            .collect::<Result<_, _>>()?;
+        let mut specs = Vec::with_capacity(range.len());
+        for index in range.start..range.end {
+            let rem = index % block;
+            specs.push(RunSpec {
+                workload: built[index / block - first_w].clone(),
+                scheduler: self.schedulers[rem / seeds.len()],
+                engine: EngineSpec {
+                    seed: seeds[rem % seeds.len()],
+                    record_trace: self.record_trace,
+                },
+            });
+        }
+        Ok((range.start, specs))
+    }
+
+    /// Build one labelled workload at this description's scale.
+    fn build_workload(&self, label: &str) -> Result<Workload, String> {
+        fig8_bench(label, self.scale)
+            .map(Workload::from)
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload {label:?}; available: {}",
+                    fig8_labels().join(", ")
+                )
+            })
     }
 }
 
@@ -224,6 +344,7 @@ mod tests {
             seeds: vec![42, 7],
             scale: Scale::Divided(400),
             record_trace: false,
+            shard: None,
         }
     }
 
@@ -282,6 +403,48 @@ mod tests {
         desc.workloads.push("NOPE".into());
         let err = desc.resolve().unwrap_err();
         assert!(err.contains("NOPE") && err.contains("DP"), "{err}");
+    }
+
+    #[test]
+    fn shard_round_trips_and_is_validated() {
+        let sharded = sample().with_shard(SpecRange::new(2, 7));
+        let json = sharded.to_canonical_json();
+        assert!(json.ends_with(",\"shard\":[2,7]}"), "{json}");
+        assert_eq!(GridDesc::from_json(&json).unwrap(), sharded);
+        // Sharding changes the cache identity but not the base canonical
+        // form, which stays exactly what it was before shards existed.
+        assert_ne!(sharded.spec_hash(), sample().spec_hash());
+        assert!(!sample().to_canonical_json().contains("shard"));
+        // Out-of-range or empty shards are rejected loudly.
+        for bad in ["[3,3]", "[5,2]", "[0,9]", "[1]", "\"x\"", "[0,-1]"] {
+            let text = format!(
+                "{{\"workloads\":[\"DP\",\"MM_256_dop4\"],\"schedulers\":[\"grws\",\"joss\"],\
+                 \"seeds\":[42,7],\"scale\":400,\"record_trace\":false,\"shard\":{bad}}}"
+            );
+            assert!(GridDesc::from_json(&text).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn resolve_specs_slices_match_the_full_grid() {
+        let desc = sample();
+        let full = desc.resolve().unwrap().build();
+        let (base, all) = desc.resolve_specs().unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(all.len(), full.len());
+        for (start, end) in [(0, 8), (2, 7), (3, 4), (0, 1), (7, 8), (1, 6)] {
+            let (base, slice) = desc
+                .with_shard(SpecRange::new(start, end))
+                .resolve_specs()
+                .unwrap();
+            assert_eq!(base, start);
+            assert_eq!(slice.len(), end - start);
+            for (offset, spec) in slice.iter().enumerate() {
+                assert_eq!(spec.label(), full[start + offset].label());
+            }
+        }
+        // The full-grid builder refuses sharded descriptions.
+        assert!(desc.with_shard(SpecRange::new(0, 2)).resolve().is_err());
     }
 
     #[test]

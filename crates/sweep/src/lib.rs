@@ -23,7 +23,12 @@
 //!   writers, a parser for the wire protocol; the vendored `serde` is a
 //!   no-op, so this is the one place JSON is spelled out);
 //! * [`desc`] — [`GridDesc`], the round-trippable wire description of a
-//!   grid (canonical JSON, `spec_hash`), used by the `joss-serve` daemon;
+//!   grid (canonical JSON, `spec_hash`, optional shard range), used by the
+//!   `joss-serve` daemon and the `joss-fleet` coordinator;
+//! * [`shard`] — [`ShardPlan`], the contiguous cost-balanced partition of
+//!   a grid's spec-index space behind `joss_sweep --shard i/n` and fleet
+//!   dispatch: shard outputs concatenate byte-identically into the
+//!   unsharded JSONL;
 //! * [`sink`] — the [`RecordSink`] abstraction and buffered streaming file
 //!   sinks ([`JsonlSink`], [`CsvSink`]) pairing with
 //!   [`Campaign::run_streaming`]/[`Campaign::run_to_sink`], so large grids
@@ -59,6 +64,7 @@ pub mod json;
 pub mod pool;
 pub mod record;
 pub mod scheduler;
+pub mod shard;
 pub mod sink;
 pub mod spec;
 
@@ -70,7 +76,8 @@ pub use campaign::{records_per_workload, rows_by_workload, run_spec, Campaign};
 pub use context::ExperimentContext;
 pub use desc::{GridDesc, DEFAULT_SCALE};
 pub use pool::{default_threads, ordered_parallel_map, ordered_parallel_stream};
-pub use record::{to_csv, to_jsonl, RunRecord};
+pub use record::{to_csv, to_jsonl, RunRecord, RECORD_SCHEMA};
 pub use scheduler::{run_one, SchedulerKind};
+pub use shard::{grid_costs, plan_grid, ShardPlan, SpecRange};
 pub use sink::{CsvSink, JsonlSink, RecordSink};
 pub use spec::{EngineSpec, RunSpec, SpecGrid, Workload, DEFAULT_SEED};

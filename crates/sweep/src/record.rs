@@ -20,6 +20,13 @@ use crate::scheduler::SchedulerKind;
 use joss_core::metrics::RunReport;
 use std::fmt::Write as _;
 
+/// Version tag of the record wire schema (the JSONL key set above). The
+/// serve daemon surfaces it in `/healthz` and the fleet coordinator
+/// refuses backends whose schema differs — bump it whenever
+/// [`RunRecord::columns`] changes shape, so mixed-version fleets fail
+/// loudly instead of merging incompatible records.
+pub const RECORD_SCHEMA: &str = "joss-run-record/v1";
+
 /// The outcome of one spec: identity plus the full measurement report.
 #[derive(Debug, Clone)]
 pub struct RunRecord {

@@ -69,6 +69,7 @@ fn desc_from(
             c => Scale::Divided((c * 100) as u32),
         },
         record_trace,
+        shard: None,
     }
 }
 
@@ -85,8 +86,16 @@ proptest! {
         seeds in proptest::collection::vec(proptest::any::<u64>(), 0..4),
         scale_code in proptest::any::<u64>(),
         record_trace in proptest::any::<bool>(),
+        shard_bits in proptest::any::<u64>(),
     ) {
-        let desc = desc_from(&workload_bits, &sched_bits, &seeds, scale_code, record_trace);
+        let mut desc = desc_from(&workload_bits, &sched_bits, &seeds, scale_code, record_trace);
+        // A third of sampled grids carry a (valid, random) shard range.
+        if shard_bits.is_multiple_of(3) {
+            let count = desc.spec_count() as u64;
+            let start = (shard_bits / 3) % count;
+            let end = start + 1 + (shard_bits / 7) % (count - start);
+            desc = desc.with_shard(joss_sweep::SpecRange::new(start as usize, end as usize));
+        }
         let printed = desc.to_canonical_json();
         let parsed = GridDesc::from_json(&printed).expect("canonical form must parse");
         prop_assert_eq!(&parsed, &desc);
@@ -173,6 +182,7 @@ fn resolve_matches_description_shape() {
         seeds: vec![1, 2, 3],
         scale: Scale::Divided(400),
         record_trace: false,
+        shard: None,
     };
     let specs = desc.resolve().expect("resolves").build();
     assert_eq!(specs.len(), desc.spec_count());

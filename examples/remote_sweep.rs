@@ -41,6 +41,7 @@ fn main() {
         seeds: vec![42],
         scale: Scale::Divided(400),
         record_trace: false,
+        shard: None,
     };
     println!("submitting grid: {}", desc.to_canonical_json());
 

@@ -12,6 +12,9 @@
 //! * [`serve`] — the simulation-as-a-service daemon: campaigns over
 //!   HTTP/1.1 with streamed JSONL, a shared model cache, and admission
 //!   control;
+//! * [`fleet`] — the distribution layer: shard one grid across many
+//!   serve backends and merge the streams byte-identically, with
+//!   health-checked failover;
 //! * [`experiments`] — harnesses regenerating every paper figure/table.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -19,6 +22,7 @@
 pub use joss_core as runtime;
 pub use joss_dag as dag;
 pub use joss_experiments as experiments;
+pub use joss_fleet as fleet;
 pub use joss_models as models;
 pub use joss_platform as platform;
 pub use joss_serve as serve;

@@ -52,11 +52,19 @@ fn facade_reexports_resolve() {
         seeds: vec![42],
         scale: workloads::Scale::Divided(400),
         record_trace: false,
+        shard: None,
     };
     let round = joss::sweep::GridDesc::from_json(&desc.to_canonical_json()).unwrap();
     assert_eq!(round, desc);
     assert_eq!(round.spec_hash(), desc.spec_hash());
     let _cfg = joss::serve::ServeConfig::default();
+
+    // fleet: shard planning and the coordinator types are reachable
+    // through the facade.
+    let plan = joss::sweep::ShardPlan::uniform(4, 2);
+    assert_eq!(plan.len(), 2);
+    let fleet_cfg = joss::fleet::FleetConfig::new(vec!["127.0.0.1:1".into()]);
+    assert_eq!(fleet_cfg.backends.len(), 1);
 }
 
 /// The nine experiment binaries and eight examples are all present and
