@@ -13,7 +13,11 @@
 //!
 //! One fetch worker per backend, each running at most one shard request
 //! at a time (backends parallelize *inside* a campaign; the fleet
-//! parallelizes across backends). Failure policy, in order:
+//! parallelizes across backends). Each worker holds **one persistent
+//! keep-alive connection** to its backend and streams every shard down
+//! it; a connection the backend closed between shards (idle reap, restart)
+//! is redialed transparently — only a failure that cost record lines
+//! counts as a shard failure. Failure policy, in order:
 //!
 //! * **503 shed** — the backend is alive but saturated; honour
 //!   `Retry-After` on the same backend, bounded by `max_shed_retries`.
@@ -30,7 +34,7 @@
 
 use crate::backend::{self, BackendInfo};
 use crate::merge::OrderedMerger;
-use joss_serve::client::{self, StreamOutcome};
+use joss_serve::client::{Conn, StreamOutcome};
 use joss_sweep::shard::plan_grid;
 use joss_sweep::{GridDesc, SpecRange};
 use std::collections::VecDeque;
@@ -383,6 +387,9 @@ fn fetch_worker(
     tx: mpsc::Sender<(usize, String)>,
 ) {
     let n_backends = config.backends.len();
+    // The worker's persistent connection: dialed on first use, kept across
+    // shards, dropped (and redialed) after any transport failure.
+    let mut conn: Option<Conn> = None;
     loop {
         // Claim the next shard not excluded for this backend, or exit
         // when the queue has fully drained / the run went fatal / this
@@ -407,7 +414,7 @@ fn fetch_worker(
         };
         drop(st);
 
-        let (outcome, forwarded) = run_shard(addr, desc, config, &task, shared, &tx);
+        let (outcome, forwarded) = run_shard(addr, desc, config, &task, shared, &tx, &mut conn);
         match outcome {
             Attempt::Done => shared.with(|st| {
                 st.in_flight -= 1;
@@ -482,7 +489,8 @@ fn fetch_worker(
     }
 }
 
-/// Run one shard exchange against one backend, forwarding new lines (past
+/// Run one shard exchange against one backend over the worker's
+/// persistent connection (dialing if needed), forwarding new lines (past
 /// the task's resume point) to the merge. Returns the outcome and how
 /// many *new* lines made it out.
 fn run_shard(
@@ -492,6 +500,7 @@ fn run_shard(
     task: &ShardTask,
     shared: &Shared,
     tx: &mpsc::Sender<(usize, String)>,
+    conn: &mut Option<Conn>,
 ) -> (Attempt, usize) {
     let sub = desc.with_shard(task.range);
     let skip = task.lines_done;
@@ -499,21 +508,44 @@ fn run_shard(
     let expected = task.range.len();
     let mut forwarded = 0usize;
     let mut sheds_seen = 0usize;
+    let mut stale_retry_used = false;
     loop {
-        let result = client::stream_campaign(addr, &sub, config.timeout, |i, line| {
-            // Resume semantics: the first `skip` lines were already
-            // merged by a previous attempt; determinism makes this
-            // attempt's prefix byte-identical, so it is skipped, not
-            // re-verified. The upper bound matters just as much: a
-            // garbled backend streaming MORE lines than the shard holds
-            // must not leak indices into a neighbouring shard's range —
-            // the merger would take them as that shard's records and
-            // silently drop the legitimate ones as duplicates.
-            if i >= skip && i < expected {
-                let _ = tx.send((start + i, line.to_string()));
-                forwarded += 1;
+        let reused = conn.as_ref().is_some_and(|c| c.is_reusable());
+        if !reused {
+            *conn = match Conn::connect(addr, config.timeout) {
+                Ok(c) => Some(c),
+                Err(e) => return (Attempt::Failed(e.to_string()), forwarded),
+            };
+        }
+        let forwarded_before = forwarded;
+        let result = conn
+            .as_mut()
+            .expect("connection just ensured")
+            .stream_campaign(&sub, |i, line| {
+                // Resume semantics: the first `skip` lines were already
+                // merged by a previous attempt; determinism makes this
+                // attempt's prefix byte-identical, so it is skipped, not
+                // re-verified. The upper bound matters just as much: a
+                // garbled backend streaming MORE lines than the shard holds
+                // must not leak indices into a neighbouring shard's range —
+                // the merger would take them as that shard's records and
+                // silently drop the legitimate ones as duplicates.
+                if i >= skip && i < expected {
+                    let _ = tx.send((start + i, line.to_string()));
+                    forwarded += 1;
+                }
+            });
+        if result.is_err() {
+            // The stream died: this connection's framing state is gone.
+            *conn = None;
+            // A *reused* connection failing before any line made it out is
+            // most likely the backend having reaped it as idle between
+            // shards — redial once before charging a shard failure.
+            if reused && forwarded == forwarded_before && !stale_retry_used {
+                stale_retry_used = true;
+                continue;
             }
-        });
+        }
         match result {
             Ok(StreamOutcome::Done { lines }) if lines == expected => {
                 return (Attempt::Done, forwarded);

@@ -7,9 +7,13 @@
 //! the request is answered `503 Service Unavailable` + `Retry-After`
 //! immediately (cache hits and health/stats never need a permit). This is
 //! a try-acquire-only semaphore — nothing ever blocks on it — with RAII
-//! release so a panicking handler cannot leak a permit.
+//! release so a panicking handler cannot leak a permit. Permits own an
+//! `Arc` to the semaphore rather than borrowing it, so a permit can ride
+//! inside a queued `'static` job (the event loop acquires on admission,
+//! the executor pool releases when the stream finishes).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Try-acquire-only counting semaphore.
 pub struct Admission {
@@ -36,8 +40,10 @@ impl Admission {
         self.available.load(Ordering::Relaxed)
     }
 
-    /// Claim a permit if one is free; never blocks.
-    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+    /// Claim a permit if one is free; never blocks. The permit is
+    /// self-contained (`'static`) and releases its slot on drop, wherever
+    /// that happens.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
         let mut current = self.available.load(Ordering::Relaxed);
         loop {
             if current == 0 {
@@ -49,7 +55,11 @@ impl Admission {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(Permit { owner: self }),
+                Ok(_) => {
+                    return Some(Permit {
+                        owner: Arc::clone(self),
+                    })
+                }
                 Err(seen) => current = seen,
             }
         }
@@ -57,11 +67,11 @@ impl Admission {
 }
 
 /// RAII permit; dropping it releases the slot.
-pub struct Permit<'a> {
-    owner: &'a Admission,
+pub struct Permit {
+    owner: Arc<Admission>,
 }
 
-impl Drop for Permit<'_> {
+impl Drop for Permit {
     fn drop(&mut self) {
         self.owner.available.fetch_add(1, Ordering::Release);
     }
@@ -73,7 +83,7 @@ mod tests {
 
     #[test]
     fn permits_are_bounded_and_released_on_drop() {
-        let adm = Admission::new(2);
+        let adm = Arc::new(Admission::new(2));
         assert_eq!(adm.limit(), 2);
         let a = adm.try_acquire().expect("first permit");
         let b = adm.try_acquire().expect("second permit");
@@ -88,13 +98,25 @@ mod tests {
 
     #[test]
     fn zero_limit_rejects_everything() {
-        let adm = Admission::new(0);
+        let adm = Arc::new(Admission::new(0));
         assert!(adm.try_acquire().is_none());
     }
 
     #[test]
+    fn permits_outlive_the_acquiring_scope() {
+        // A permit moved into a queued job keeps its slot until the job
+        // drops it — even after the acquiring reference is gone.
+        let adm = Arc::new(Admission::new(1));
+        let permit = adm.try_acquire().expect("permit");
+        let moved = std::thread::spawn(move || permit).join().expect("join");
+        assert_eq!(adm.available(), 0, "slot held across threads");
+        drop(moved);
+        assert_eq!(adm.available(), 1);
+    }
+
+    #[test]
     fn panicking_holder_still_releases() {
-        let adm = Admission::new(1);
+        let adm = Arc::new(Admission::new(1));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _permit = adm.try_acquire().expect("permit");
             panic!("handler died");

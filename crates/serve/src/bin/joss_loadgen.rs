@@ -4,12 +4,16 @@
 //! joss_loadgen --addr HOST:PORT [--clients N] [--requests M] [--rate R]
 //!              [--workloads L1,L2] [--schedulers S1,S2] [--seeds N1,N2]
 //!              [--scale D|full] [--vary-seeds] [--no-verify] [--no-retry]
+//!              [--close-mode] [--requests-per-conn K]
 //!              [--wait-secs S] [--save-body FILE]
 //! ```
 //!
 //! Closed loop by default (each client fires as soon as its previous
 //! response completes); `--rate` switches to open-loop pacing at an
-//! aggregate R requests/second. Every response is verified (record count,
+//! aggregate R requests/second. Connections are kept alive and reused
+//! across requests by default; `--close-mode` dials per request with
+//! `Connection: close` (the A/B baseline for what reuse buys) and
+//! `--requests-per-conn K` recycles each connection after K exchanges. Every response is verified (record count,
 //! order, schema) unless `--no-verify`; 503 sheds are retried after their
 //! `Retry-After` unless `--no-retry`. Exit status is non-zero on any
 //! malformed record or transport error, so CI can gate on it.
@@ -25,6 +29,7 @@ fn usage() -> ! {
         "usage: joss_loadgen --addr HOST:PORT [--clients N] [--requests M] [--rate R]\n\
          \u{20}                   [--workloads L1,L2] [--schedulers S1,S2] [--seeds N1,N2]\n\
          \u{20}                   [--scale D|full] [--vary-seeds] [--no-verify] [--no-retry]\n\
+         \u{20}                   [--close-mode] [--requests-per-conn K]\n\
          \u{20}                   [--wait-secs S] [--save-body FILE]\n\
          schedulers: {}",
         SchedulerKind::parse_help()
@@ -51,6 +56,8 @@ fn main() {
     let mut retry = true;
     let mut wait_secs = 0u64;
     let mut save_body: Option<String> = None;
+    let mut keep_alive = true;
+    let mut requests_per_conn = 0usize;
 
     let mut i = 1;
     let next = |i: &mut usize| -> String {
@@ -91,6 +98,10 @@ fn main() {
                 };
             }
             "--vary-seeds" => vary_seeds = true,
+            "--close-mode" => keep_alive = false,
+            "--requests-per-conn" => {
+                requests_per_conn = next(&mut i).parse().expect("requests per connection");
+            }
             "--no-verify" => verify = false,
             "--no-retry" => retry = false,
             "--wait-secs" => wait_secs = next(&mut i).parse().expect("wait seconds"),
@@ -128,12 +139,19 @@ fn main() {
     config.vary_seeds = vary_seeds;
     config.verify = verify;
     config.retry_503 = retry;
+    config.keep_alive = keep_alive;
+    config.requests_per_conn = requests_per_conn;
 
     eprintln!(
-        "[joss_loadgen] {} clients x {} requests ({} loop, grid of {} specs) against {addr}",
+        "[joss_loadgen] {} clients x {} requests ({} loop, {}, grid of {} specs) against {addr}",
         config.clients,
         config.requests_per_client,
         if rate.is_some() { "open" } else { "closed" },
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "close-per-request"
+        },
         config.desc.spec_count(),
     );
     let report = loadgen::run(&config);

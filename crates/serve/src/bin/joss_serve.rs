@@ -4,6 +4,8 @@
 //! joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
 //!            [--cache-entries N] [--campaign-threads N] [--max-specs N]
 //!            [--reps R] [--train-seed S] [--train-eager]
+//!            [--read-timeout-secs S] [--write-timeout-secs S]
+//!            [--idle-timeout-secs S]
 //! ```
 //!
 //! Serves the wire protocol documented in `docs/SERVE.md`:
@@ -20,7 +22,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]\n\
          \u{20}                 [--cache-entries N] [--campaign-threads N] [--max-specs N]\n\
-         \u{20}                 [--reps R] [--train-seed S] [--train-eager]"
+         \u{20}                 [--reps R] [--train-seed S] [--train-eager]\n\
+         \u{20}                 [--read-timeout-secs S] [--write-timeout-secs S]\n\
+         \u{20}                 [--idle-timeout-secs S]"
     );
     exit(2);
 }
@@ -49,6 +53,18 @@ fn main() {
             "--reps" => config.reps = next(&mut i).parse().expect("training reps"),
             "--train-seed" => config.train_seed = next(&mut i).parse().expect("train seed"),
             "--train-eager" => train_eager = true,
+            "--read-timeout-secs" => {
+                config.read_timeout =
+                    std::time::Duration::from_secs(next(&mut i).parse().expect("read timeout"))
+            }
+            "--write-timeout-secs" => {
+                config.write_timeout =
+                    std::time::Duration::from_secs(next(&mut i).parse().expect("write timeout"))
+            }
+            "--idle-timeout-secs" => {
+                config.idle_timeout =
+                    std::time::Duration::from_secs(next(&mut i).parse().expect("idle timeout"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");

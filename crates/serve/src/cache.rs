@@ -1,18 +1,114 @@
 //! Process-wide LRU results cache: canonical grid description → the full
-//! JSONL body that campaign produced.
+//! JSONL body that campaign produced, stored once as `Arc<[u8]>` with
+//! line offsets precomputed at insert time.
 //!
 //! The cache key is the **canonical JSON** of the [`GridDesc`]
 //! (`joss_sweep::GridDesc::to_canonical_json`), not just its 64-bit
 //! `spec_hash` — the hash routes and labels (response header, stats), the
 //! full canonical string guards against hash collisions serving the wrong
-//! grid. Entries are whole response bodies behind `Arc`s, so cache hits
-//! stream to the socket without copying and eviction never frees bytes a
-//! response is still writing.
+//! grid. Entries are [`CachedBody`] views: shared bytes plus a line index,
+//! so a hit is served by reference (one vectored socket write, zero
+//! copies), eviction never frees bytes a response is still writing, and a
+//! shard of an already-cached grid is answered by slicing the parent body
+//! between two precomputed line offsets instead of re-simulating or
+//! re-scanning for newlines per request.
+//!
+//! A second, bounded memo maps **raw request bodies** to their canonical
+//! key: a repeated byte-identical request (the steady state of a
+//! keep-alive client replaying a grid) resolves to its cached body without
+//! JSON parsing or canonicalization — the hit path does no per-request
+//! parsing at all.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// LRU map from canonical grid JSON to the streamed JSONL body.
+/// An immutable campaign body: shared bytes plus the byte offset of every
+/// line start (and one past the last line), computed once when the body
+/// enters the cache. A `CachedBody` may be a *view* over a sub-range of
+/// lines of a larger body — slicing shares the same allocations.
+#[derive(Clone)]
+pub struct CachedBody {
+    bytes: Arc<[u8]>,
+    /// Absolute byte offsets into `bytes`: `offsets[i]` starts line `i`,
+    /// `offsets[total_lines]` == `bytes.len()` (with an unterminated tail
+    /// counting as a line). Shared, never re-derived per request.
+    offsets: Arc<[usize]>,
+    line_start: usize,
+    line_end: usize,
+}
+
+impl CachedBody {
+    /// Index a complete body, scanning for line starts exactly once.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        let mut offsets = Vec::with_capacity(bytes.len() / 32 + 2);
+        offsets.push(0);
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                offsets.push(i + 1);
+            }
+        }
+        if *offsets.last().expect("non-empty offsets") != bytes.len() {
+            offsets.push(bytes.len());
+        }
+        let line_end = offsets.len() - 1;
+        CachedBody {
+            bytes: bytes.into(),
+            offsets: offsets.into(),
+            line_start: 0,
+            line_end,
+        }
+    }
+
+    /// Lines in this view.
+    pub fn line_count(&self) -> usize {
+        self.line_end - self.line_start
+    }
+
+    /// Bytes in this view.
+    pub fn len(&self) -> usize {
+        self.offsets[self.line_end] - self.offsets[self.line_start]
+    }
+
+    /// True when the view holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The view's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[self.offsets[self.line_start]..self.offsets[self.line_end]]
+    }
+
+    /// The shared allocation plus this view's byte range within it — what
+    /// a zero-copy writer queues (clone of the `Arc`, two indices, no
+    /// bytes moved).
+    pub fn share(&self) -> (Arc<[u8]>, usize, usize) {
+        (
+            Arc::clone(&self.bytes),
+            self.offsets[self.line_start],
+            self.offsets[self.line_end],
+        )
+    }
+
+    /// A sub-view over lines `[start, end)` of this view (relative
+    /// indices), sharing the same bytes and offsets. `None` when the range
+    /// is out of bounds or inverted; an empty in-range slice is `None`
+    /// too — there is no empty campaign body to serve.
+    pub fn slice_lines(&self, start: usize, end: usize) -> Option<CachedBody> {
+        if start >= end || end > self.line_count() {
+            return None;
+        }
+        Some(CachedBody {
+            bytes: Arc::clone(&self.bytes),
+            offsets: Arc::clone(&self.offsets),
+            line_start: self.line_start + start,
+            line_end: self.line_start + end,
+        })
+    }
+}
+
+/// LRU map from canonical grid JSON to the streamed JSONL body, with the
+/// raw-request-body memo in front of it.
 pub struct ResultsCache {
     capacity: usize,
     inner: Mutex<Inner>,
@@ -20,11 +116,21 @@ pub struct ResultsCache {
 
 struct Inner {
     entries: HashMap<String, Entry>,
+    /// raw request body → (canonical key, response spec-hash label). The
+    /// memo only short-circuits parsing; the body always comes from
+    /// `entries`, so an evicted grid cannot be served stale through here.
+    raw_keys: HashMap<Vec<u8>, RawKey>,
     tick: u64,
 }
 
 struct Entry {
-    body: Arc<Vec<u8>>,
+    body: CachedBody,
+    last_used: u64,
+}
+
+struct RawKey {
+    canonical: String,
+    spec_hash: Arc<str>,
     last_used: u64,
 }
 
@@ -35,24 +141,81 @@ impl ResultsCache {
             capacity,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                raw_keys: HashMap::new(),
                 tick: 0,
             }),
         }
     }
 
     /// Look up a canonical grid, bumping its recency on hit.
-    pub fn get(&self, canonical: &str) -> Option<Arc<Vec<u8>>> {
+    pub fn get(&self, canonical: &str) -> Option<CachedBody> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
         let entry = inner.entries.get_mut(canonical)?;
         entry.last_used = tick;
-        Some(Arc::clone(&entry.body))
+        Some(entry.body.clone())
+    }
+
+    /// Resolve a raw request body straight to its cached campaign body and
+    /// spec-hash label, skipping JSON parsing entirely. Misses when the
+    /// exact bytes were never memoized *or* the grid itself has been
+    /// evicted (the memo never outlives the entry it points at).
+    pub fn get_raw(&self, raw: &[u8]) -> Option<(CachedBody, Arc<str>)> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Inner {
+            entries, raw_keys, ..
+        } = &mut *inner;
+        let key = raw_keys.get_mut(raw)?;
+        match entries.get_mut(&key.canonical) {
+            Some(entry) => {
+                key.last_used = tick;
+                entry.last_used = tick;
+                Some((entry.body.clone(), Arc::clone(&key.spec_hash)))
+            }
+            None => {
+                raw_keys.remove(raw);
+                None
+            }
+        }
+    }
+
+    /// Remember that request body `raw` canonicalizes to `canonical`
+    /// (labelled `spec_hash`), so the next byte-identical request skips
+    /// parsing. Bounded separately from the body cache — several textual
+    /// spellings can point at one grid.
+    pub fn memo_raw(&self, raw: Vec<u8>, canonical: String, spec_hash: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.raw_keys.insert(
+            raw,
+            RawKey {
+                canonical,
+                spec_hash: spec_hash.into(),
+                last_used: tick,
+            },
+        );
+        let memo_capacity = self.capacity * 4;
+        while inner.raw_keys.len() > memo_capacity {
+            let oldest = inner
+                .raw_keys
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity memo");
+            inner.raw_keys.remove(&oldest);
+        }
     }
 
     /// Insert (or refresh) a finished campaign body, evicting the least
     /// recently used entries while over capacity.
-    pub fn insert(&self, canonical: String, body: Arc<Vec<u8>>) {
+    pub fn insert(&self, canonical: String, body: CachedBody) {
         if self.capacity == 0 {
             return;
         }
@@ -101,8 +264,8 @@ impl ResultsCache {
 mod tests {
     use super::*;
 
-    fn body(s: &str) -> Arc<Vec<u8>> {
-        Arc::new(s.as_bytes().to_vec())
+    fn body(s: &str) -> CachedBody {
+        CachedBody::new(s.as_bytes().to_vec())
     }
 
     #[test]
@@ -131,7 +294,9 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let cache = ResultsCache::new(0);
         cache.insert("a".into(), body("A"));
+        cache.memo_raw(b"raw".to_vec(), "a".into(), "hash");
         assert!(cache.get("a").is_none());
+        assert!(cache.get_raw(b"raw").is_none());
         assert!(cache.is_empty());
     }
 
@@ -142,5 +307,57 @@ mod tests {
         cache.insert("a".into(), body("new"));
         assert_eq!(cache.get("a").unwrap().as_slice(), b"new");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn line_offsets_index_every_line_once() {
+        let b = body("{\"index\":0}\n{\"index\":1}\n{\"index\":2}\n");
+        assert_eq!(b.line_count(), 3);
+        assert_eq!(b.len(), b.as_slice().len());
+        let middle = b.slice_lines(1, 2).unwrap();
+        assert_eq!(middle.as_slice(), b"{\"index\":1}\n");
+        assert_eq!(middle.line_count(), 1);
+        let tail = b.slice_lines(1, 3).unwrap();
+        assert_eq!(tail.as_slice(), b"{\"index\":1}\n{\"index\":2}\n");
+        // Slices of slices stay consistent (absolute offsets shared).
+        assert_eq!(
+            tail.slice_lines(1, 2).unwrap().as_slice(),
+            b"{\"index\":2}\n"
+        );
+        // Out-of-range and empty slices are refused.
+        assert!(b.slice_lines(0, 4).is_none());
+        assert!(b.slice_lines(2, 2).is_none());
+        assert!(b.slice_lines(3, 1).is_none());
+        // Shared allocation: no bytes copied.
+        let (bytes, start, end) = middle.share();
+        assert_eq!(&bytes[start..end], middle.as_slice());
+        assert_eq!(bytes.len(), b.len());
+    }
+
+    #[test]
+    fn unterminated_tail_counts_as_a_line() {
+        let b = body("a\nb");
+        assert_eq!(b.line_count(), 2);
+        assert_eq!(b.slice_lines(1, 2).unwrap().as_slice(), b"b");
+        let empty = body("");
+        assert_eq!(empty.line_count(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn raw_memo_skips_parsing_but_never_outlives_the_entry() {
+        let cache = ResultsCache::new(1);
+        cache.insert("canon-a".into(), body("A\n"));
+        cache.memo_raw(b" { spaced a } ".to_vec(), "canon-a".into(), "hash-a");
+        let (hit, hash) = cache.get_raw(b" { spaced a } ").expect("memoized hit");
+        assert_eq!(hit.as_slice(), b"A\n");
+        assert_eq!(&*hash, "hash-a");
+        assert!(cache.get_raw(b"never seen").is_none());
+
+        // Evict the entry (capacity 1): the memo must now miss, not serve
+        // stale bytes.
+        cache.insert("canon-b".into(), body("B\n"));
+        assert!(cache.get("canon-a").is_none());
+        assert!(cache.get_raw(b" { spaced a } ").is_none());
     }
 }

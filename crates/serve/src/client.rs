@@ -1,11 +1,23 @@
 //! Minimal blocking HTTP client for the serve protocol — what the
-//! `joss_loadgen` tool, the integration tests, and the `remote_sweep`
-//! example talk through. One request per connection, mirroring the
-//! daemon's `Connection: close` framing.
+//! `joss_loadgen` tool, the fleet coordinator, the integration tests, and
+//! the `remote_sweep` example talk through.
+//!
+//! Two shapes:
+//!
+//! * [`Conn`] — a **persistent keep-alive connection**: one TCP session
+//!   carries many exchanges. Responses are `Content-Length` or chunked
+//!   framed, so the stream stays aligned between requests; the connection
+//!   reports [`Conn::is_reusable`] `false` once the daemon signals
+//!   `Connection: close` or a response had to be read to EOF.
+//! * The free functions ([`get`], [`post`], [`run_campaign`],
+//!   [`stream_campaign`]) — **one request per connection**: they send
+//!   `Connection: close` and read to the daemon's close. Dial-per-request
+//!   is the right shape for probes through flaky transports and for A/B
+//!   baselines against the keep-alive path.
 
-use crate::http::{self, RequestError, Response};
+use crate::http::{self, ChunkedReader, RequestError, Response};
 use joss_sweep::GridDesc;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -18,60 +30,235 @@ fn to_io(err: RequestError) -> io::Error {
     }
 }
 
-/// Connect and send one request, returning the stream with the response
-/// unread — shared by the buffered [`exchange`] and the streaming
-/// [`stream_campaign`], so the two clients cannot drift apart on socket
-/// setup or head formatting.
-fn connect_and_send(
-    addr: &str,
-    request_head: &str,
-    body: &[u8],
-    timeout: Duration,
-) -> io::Result<TcpStream> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    writer.write_all(request_head.as_bytes())?;
-    writer.write_all(body)?;
-    writer.flush()?;
-    Ok(stream)
-}
-
-/// The request head of a JSON `POST` (shared for the same reason).
-fn post_head(addr: &str, path: &str, body_len: usize) -> String {
+/// The request head of a JSON `POST`.
+fn post_head(addr: &str, path: &str, body_len: usize, close: bool) -> String {
     format!(
         "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {body_len}\r\n\r\n"
+         Content-Length: {body_len}\r\n{}\r\n",
+        if close { "Connection: close\r\n" } else { "" }
     )
 }
 
-/// One exchange: connect, send, read the full response.
-fn exchange(
-    addr: &str,
-    request_head: &str,
-    body: &[u8],
-    timeout: Duration,
-) -> io::Result<Response> {
-    let stream = connect_and_send(addr, request_head, body, timeout)?;
-    let mut reader = BufReader::new(stream);
-    http::read_response(&mut reader).map_err(to_io)
+/// The request head of a `GET`.
+fn get_head(addr: &str, path: &str, close: bool) -> String {
+    format!(
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{}\r\n",
+        if close { "Connection: close\r\n" } else { "" }
+    )
 }
 
-/// `GET` an endpoint (e.g. `/healthz`, `/stats`).
+/// How a streamed campaign exchange ended (see [`Conn::stream_campaign`]).
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// 200: the stream completed cleanly after `lines` record lines.
+    Done {
+        /// Record lines delivered to the callback.
+        lines: usize,
+    },
+    /// The daemon answered with a non-200 status and this (JSON) body —
+    /// a shed (503) or a client fault (4xx), not a transport failure.
+    Rejected {
+        /// HTTP status code.
+        status: u16,
+        /// Response headers (lowercased names).
+        headers: Vec<(String, String)>,
+        /// Full response body.
+        body: String,
+    },
+}
+
+/// A persistent client connection to one daemon.
+pub struct Conn {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    reusable: bool,
+}
+
+impl Conn {
+    /// Dial `addr` with `timeout` applied to connect, reads, and writes.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream),
+            writer,
+            reusable: true,
+        })
+    }
+
+    /// The address this connection was dialed to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the connection can carry another request. `false` after
+    /// the daemon signaled `Connection: close` or a response had no
+    /// self-delimiting framing — callers should drop and redial.
+    pub fn is_reusable(&self) -> bool {
+        self.reusable
+    }
+
+    fn send(&mut self, head: &str, body: &[u8]) -> io::Result<()> {
+        if !self.reusable {
+            return Err(io::Error::other(
+                "connection is not reusable; dial a new one",
+            ));
+        }
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()
+    }
+
+    /// Note framing facts from a response head: a `Connection: close`
+    /// makes this exchange the connection's last.
+    fn note_connection(&mut self, headers: &[(String, String)]) {
+        let close = headers.iter().any(|(name, value)| {
+            name == "connection"
+                && value
+                    .split(',')
+                    .any(|token| token.trim().eq_ignore_ascii_case("close"))
+        });
+        if close {
+            self.reusable = false;
+        }
+    }
+
+    fn read_full_response(&mut self) -> io::Result<Response> {
+        let (status, headers) = http::read_response_head(&mut self.reader).map_err(to_io)?;
+        self.note_connection(&headers);
+        let mut body = Vec::new();
+        if http::is_chunked(&headers) {
+            ChunkedReader::new(&mut self.reader).read_to_end(&mut body)?;
+        } else if let Some(len) = content_length(&headers) {
+            body.resize(len, 0);
+            self.reader.read_exact(&mut body)?;
+        } else {
+            // Close-delimited: legal, but ends the session.
+            self.reader.read_to_end(&mut body)?;
+            self.reusable = false;
+        }
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// `GET` an endpoint (e.g. `/healthz`, `/stats`).
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        let head = get_head(&self.addr, path, false);
+        self.send(&head, b"")?;
+        self.read_full_response()
+    }
+
+    /// `POST` a raw body to a path.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        let head = post_head(&self.addr, path, body.len(), false);
+        self.send(&head, body)?;
+        self.read_full_response()
+    }
+
+    /// Submit a campaign: the description goes up as canonical JSON, the
+    /// response body is the streamed `RunRecord` JSONL (or a JSON error).
+    pub fn run_campaign(&mut self, desc: &GridDesc) -> io::Result<Response> {
+        self.post("/v1/campaign", desc.to_canonical_json().as_bytes())
+    }
+
+    /// Submit a campaign and hand each record line (without its newline)
+    /// to `on_line` **as it arrives**, instead of buffering the whole body
+    /// like [`Conn::run_campaign`] does. `on_line` gets the 0-based
+    /// position of the line within this response.
+    ///
+    /// This is the fleet coordinator's fetch primitive: a shard's records
+    /// flow into the global merge while the backend is still simulating,
+    /// and when a backend dies mid-stream the error arrives *after* the
+    /// lines that made it out — determinism makes those lines identical on
+    /// retry, so the coordinator resumes by skipping what it already has.
+    ///
+    /// A body that ends mid-line, or a chunked stream cut before its
+    /// terminator, is a truncated stream and reported as an I/O error; the
+    /// partial line is never delivered.
+    pub fn stream_campaign(
+        &mut self,
+        desc: &GridDesc,
+        on_line: impl FnMut(usize, &str),
+    ) -> io::Result<StreamOutcome> {
+        let body = desc.to_canonical_json();
+        let head = post_head(&self.addr, "/v1/campaign", body.len(), false);
+        self.send(&head, body.as_bytes())?;
+        stream_response(self, on_line)
+    }
+}
+
+fn content_length(headers: &[(String, String)]) -> Option<usize> {
+    headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .and_then(|(_, value)| value.trim().parse().ok())
+}
+
+/// Read newline-delimited record lines to EOF of `reader` (which is
+/// already bounded to the response body by its framing). EOF mid-line is
+/// a truncated stream.
+fn read_record_lines(
+    mut reader: impl BufRead,
+    on_line: &mut impl FnMut(usize, &str),
+) -> io::Result<usize> {
+    let mut lines = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(lines);
+        }
+        let Some(record) = line.strip_suffix('\n') else {
+            // EOF mid-line: the backend died while a record was in
+            // flight. Surface it as a transport failure so the caller
+            // retries — the partial line must never look like a record.
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("record stream truncated mid-line after {lines} full lines"),
+            ));
+        };
+        on_line(lines, record);
+        lines += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot (close-per-request) API
+// ---------------------------------------------------------------------------
+
+/// One exchange on a fresh connection, sending `Connection: close`.
+fn exchange(addr: &str, head: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
+    let mut conn = Conn::connect(addr, timeout)?;
+    conn.send(head, body)?;
+    conn.read_full_response()
+}
+
+/// `GET` an endpoint (e.g. `/healthz`, `/stats`) on a fresh connection.
 pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<Response> {
-    let head = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n");
-    exchange(addr, &head, b"", timeout)
+    exchange(addr, &get_head(addr, path, true), b"", timeout)
 }
 
-/// `POST` a raw body to a path (used by tests probing the error paths).
+/// `POST` a raw body to a path on a fresh connection (used by tests
+/// probing the error paths).
 pub fn post(addr: &str, path: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
-    exchange(addr, &post_head(addr, path, body.len()), body, timeout)
+    exchange(
+        addr,
+        &post_head(addr, path, body.len(), true),
+        body,
+        timeout,
+    )
 }
 
-/// Submit a campaign: the description goes up as canonical JSON, the
-/// response body is the streamed `RunRecord` JSONL (or a JSON error).
+/// Submit a campaign on a fresh connection.
 pub fn run_campaign(addr: &str, desc: &GridDesc, timeout: Duration) -> io::Result<Response> {
     post(
         addr,
@@ -104,6 +291,63 @@ pub fn wait_ready(addr: &str, wait: Duration) -> io::Result<Response> {
         }
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// Submit a campaign on a fresh `Connection: close` connection, streaming
+/// record lines — the dial-per-request twin of [`Conn::stream_campaign`].
+pub fn stream_campaign(
+    addr: &str,
+    desc: &GridDesc,
+    timeout: Duration,
+    on_line: impl FnMut(usize, &str),
+) -> io::Result<StreamOutcome> {
+    let mut conn = Conn::connect(addr, timeout)?;
+    let body = desc.to_canonical_json();
+    let head = post_head(addr, "/v1/campaign", body.len(), true);
+    conn.send(&head, body.as_bytes())?;
+    stream_response(&mut conn, on_line)
+}
+
+/// Shared response-side of a campaign stream: dispatch on the body's
+/// framing (chunked for executed campaigns, `Content-Length` for cache
+/// hits and errors, read-to-close for legacy peers) and feed record lines
+/// to the callback.
+fn stream_response(
+    conn: &mut Conn,
+    mut on_line: impl FnMut(usize, &str),
+) -> io::Result<StreamOutcome> {
+    let (status, headers) = http::read_response_head(&mut conn.reader).map_err(to_io)?;
+    conn.note_connection(&headers);
+    if status != 200 {
+        // Error bodies are small JSON; read them with their framing so
+        // the connection survives for the retry.
+        let mut rejected = Vec::new();
+        if http::is_chunked(&headers) {
+            ChunkedReader::new(&mut conn.reader).read_to_end(&mut rejected)?;
+        } else if let Some(len) = content_length(&headers) {
+            rejected.resize(len, 0);
+            conn.reader.read_exact(&mut rejected)?;
+        } else {
+            conn.reader.read_to_end(&mut rejected)?;
+            conn.reusable = false;
+        }
+        return Ok(StreamOutcome::Rejected {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&rejected).into_owned(),
+        });
+    }
+    if http::is_chunked(&headers) {
+        let chunked = ChunkedReader::new(&mut conn.reader);
+        read_record_lines(BufReader::new(chunked), &mut on_line)
+    } else if let Some(len) = content_length(&headers) {
+        let limited = (&mut conn.reader).take(len as u64);
+        read_record_lines(limited, &mut on_line)
+    } else {
+        conn.reusable = false;
+        read_record_lines(&mut conn.reader, &mut on_line)
+    }
+    .map(|lines| StreamOutcome::Done { lines })
 }
 
 /// Verify a streamed campaign body against its description: the expected
@@ -144,82 +388,4 @@ pub fn verify_body(desc: &GridDesc, body: &[u8]) -> Result<usize, String> {
         return Err("body does not end with a newline".to_string());
     }
     Ok(count)
-}
-
-/// How a streamed campaign exchange ended (see [`stream_campaign`]).
-#[derive(Debug)]
-pub enum StreamOutcome {
-    /// 200: the stream completed cleanly after `lines` record lines.
-    Done {
-        /// Record lines delivered to the callback.
-        lines: usize,
-    },
-    /// The daemon answered with a non-200 status and this (JSON) body —
-    /// a shed (503) or a client fault (4xx), not a transport failure.
-    Rejected {
-        /// HTTP status code.
-        status: u16,
-        /// Response headers (lowercased names).
-        headers: Vec<(String, String)>,
-        /// Full response body.
-        body: String,
-    },
-}
-
-/// Submit a campaign and hand each record line (without its newline) to
-/// `on_line` **as it arrives**, instead of buffering the whole body like
-/// [`run_campaign`] does. `on_line` gets the 0-based position of the line
-/// within this response.
-///
-/// This is the fleet coordinator's fetch primitive: a shard's records
-/// flow into the global merge while the backend is still simulating, and
-/// when a backend dies mid-stream the error arrives *after* the lines
-/// that made it out — determinism makes those lines identical on retry,
-/// so the coordinator resumes by skipping what it already has.
-///
-/// A body that ends mid-line (no trailing newline before the peer closed)
-/// is a truncated stream and reported as an I/O error; the partial line
-/// is never delivered.
-pub fn stream_campaign(
-    addr: &str,
-    desc: &GridDesc,
-    timeout: Duration,
-    mut on_line: impl FnMut(usize, &str),
-) -> io::Result<StreamOutcome> {
-    let body = desc.to_canonical_json();
-    let head = post_head(addr, "/v1/campaign", body.len());
-    let stream = connect_and_send(addr, &head, body.as_bytes(), timeout)?;
-    let mut reader = BufReader::new(stream);
-    let (status, headers) = http::read_response_head(&mut reader).map_err(to_io)?;
-    if status != 200 {
-        // Error bodies are small length-delimited JSON; read them whole.
-        let mut rejected = Vec::new();
-        std::io::Read::read_to_end(&mut reader, &mut rejected)?;
-        return Ok(StreamOutcome::Rejected {
-            status,
-            headers,
-            body: String::from_utf8_lossy(&rejected).into_owned(),
-        });
-    }
-
-    let mut lines = 0usize;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let n = std::io::BufRead::read_line(&mut reader, &mut line)?;
-        if n == 0 {
-            return Ok(StreamOutcome::Done { lines });
-        }
-        let Some(record) = line.strip_suffix('\n') else {
-            // EOF mid-line: the backend died while a record was in
-            // flight. Surface it as a transport failure so the caller
-            // retries — the partial line must never look like a record.
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("record stream truncated mid-line after {lines} full lines"),
-            ));
-        };
-        on_line(lines, record);
-        lines += 1;
-    }
 }

@@ -1,18 +1,23 @@
 //! Minimal hand-rolled HTTP/1.1 plumbing shared by the server and client.
 //!
 //! The vendored dependency set has no HTTP stack (and no async runtime), so
-//! this is the small, strict subset the wire protocol needs: one request
-//! per connection, explicit `Content-Length` on requests, and responses
-//! either length-delimited or streamed until close (`Connection: close`).
-//! Header names are case-insensitive (stored lowercase); size limits guard
-//! every unbounded read.
+//! this is the small, strict subset the wire protocol needs. Since the
+//! nonblocking rewrite the connection is persistent by default: requests
+//! are parsed incrementally out of a connection buffer ([`parse_request`]),
+//! responses are either length-delimited (`Content-Length`) or chunked
+//! (`Transfer-Encoding: chunked` for streamed campaign bodies), and
+//! `Connection: close` — from either side — still tears the connection
+//! down after the exchange. Header names are case-insensitive (stored
+//! lowercase); size limits guard every unbounded read.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Longest accepted request/status/header line, bytes.
 const MAX_LINE: usize = 8 * 1024;
 /// Most headers accepted on one message.
 const MAX_HEADERS: usize = 64;
+/// Cap on a whole request head (request line + headers + separators).
+const MAX_HEAD: usize = 32 * 1024;
 
 /// A parsed request head plus body.
 #[derive(Debug)]
@@ -21,6 +26,8 @@ pub struct Request {
     pub method: String,
     /// Request target as sent (path only; no normalization).
     pub path: String,
+    /// `true` for HTTP/1.1 and later 1.x; `false` for HTTP/1.0.
+    pub http11: bool,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
@@ -32,6 +39,22 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         header_lookup(&self.headers, name)
     }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to keep-alive unless the request says
+    /// `Connection: close`; HTTP/1.0 defaults to close.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !connection_says_close(v) && self.http11,
+            None => self.http11,
+        }
+    }
+}
+
+fn connection_says_close(value: &str) -> bool {
+    value
+        .split(',')
+        .any(|tok| tok.trim().eq_ignore_ascii_case("close"))
 }
 
 /// A parsed response, as the client sees it.
@@ -41,7 +64,7 @@ pub struct Response {
     pub status: u16,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
-    /// Full body (read to `Content-Length`, or to connection close).
+    /// Full body (length-delimited, chunk-decoded, or read to close).
     pub body: Vec<u8>,
 }
 
@@ -65,6 +88,16 @@ fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a 
         .map(|(_, v)| v.as_str())
 }
 
+/// Whether a header set declares a chunked body.
+pub fn is_chunked(headers: &[(String, String)]) -> bool {
+    header_lookup(headers, "transfer-encoding")
+        .map(|v| {
+            v.split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
+        })
+        .unwrap_or(false)
+}
+
 /// Why a request could not be served; maps directly onto a status code.
 #[derive(Debug)]
 pub enum RequestError {
@@ -84,10 +117,300 @@ impl From<io::Error> for RequestError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental request parsing (server side)
+// ---------------------------------------------------------------------------
+
+/// Try to parse one complete request from the front of `buf` (a
+/// connection's receive buffer, which under pipelining may hold several
+/// requests and/or a partial tail).
+///
+/// * `Ok(Some((request, consumed)))` — a full request occupied
+///   `buf[..consumed]`; the caller advances past it and may parse again.
+/// * `Ok(None)` — the bytes so far are a valid *prefix*; read more.
+/// * `Err(_)` — the connection is unrecoverable at this framing position;
+///   the caller answers with the mapped status (400/411/413) and closes.
+///
+/// EOF handling lives in the caller: a closed connection with a non-empty
+/// unparsed prefix is a truncated request, never a complete one.
+pub fn parse_request(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, RequestError> {
+    // Find the blank line ending the head, collecting line boundaries.
+    let mut lines: Vec<(usize, usize)> = Vec::new();
+    let mut line_start = 0usize;
+    let mut head_end = None;
+    for (i, &b) in buf.iter().enumerate() {
+        if i >= MAX_HEAD {
+            return Err(RequestError::Malformed("request head too large".into()));
+        }
+        if b != b'\n' {
+            continue;
+        }
+        let mut end = i;
+        if end > line_start && buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if end == line_start {
+            if lines.is_empty() {
+                return Err(RequestError::Malformed("empty request line".into()));
+            }
+            head_end = Some(i + 1);
+            break;
+        }
+        if end - line_start > MAX_LINE {
+            return Err(RequestError::Malformed("header line too long".into()));
+        }
+        if lines.len() > MAX_HEADERS {
+            return Err(RequestError::Malformed("too many headers".into()));
+        }
+        lines.push((line_start, end));
+        line_start = i + 1;
+    }
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_HEAD {
+            return Err(RequestError::Malformed("request head too large".into()));
+        }
+        if buf.len() - line_start > MAX_LINE {
+            return Err(RequestError::Malformed("header line too long".into()));
+        }
+        return Ok(None);
+    };
+
+    let line_text = |range: (usize, usize)| -> Result<&str, RequestError> {
+        std::str::from_utf8(&buf[range.0..range.1])
+            .map_err(|_| RequestError::Malformed("non-UTF-8 header line".into()))
+    };
+
+    let request_line = line_text(lines[0])?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let http11 = version != "HTTP/1.0";
+
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    for &range in &lines[1..] {
+        let line = line_text(range)?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let body_len = match header_lookup(&headers, "content-length") {
+        None => {
+            if method == "POST" || method == "PUT" {
+                return Err(RequestError::LengthRequired);
+            }
+            0
+        }
+        Some(text) => {
+            let len: usize = text
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            if len > max_body {
+                return Err(RequestError::BodyTooLarge { limit: max_body });
+            }
+            len
+        }
+    };
+    if buf.len() < head_end + body_len {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method,
+            path,
+            http11,
+            headers,
+            body: buf[head_end..head_end + body_len].to_vec(),
+        },
+        head_end + body_len,
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Response head construction (server side)
+// ---------------------------------------------------------------------------
+
+/// Standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Append a response head (status line + headers + blank line) to `out`.
+/// `Connection: close` is added only when `close` — keep-alive is the
+/// HTTP/1.1 default and is signalled by its absence.
+pub fn head_bytes(out: &mut Vec<u8>, status: u16, headers: &[(&str, &str)], close: bool) {
+    let _ = write!(out, "HTTP/1.1 {} {}\r\n", status, reason(status));
+    for (name, value) in headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// A complete length-delimited JSON response as wire bytes.
+pub fn json_response_bytes(status: u16, json_body: &str, close: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + json_body.len());
+    let len = json_body.len().to_string();
+    head_bytes(
+        &mut out,
+        status,
+        &[
+            ("Content-Type", "application/json"),
+            ("Content-Length", &len),
+        ],
+        close,
+    );
+    out.extend_from_slice(json_body.as_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chunked transfer encoding
+// ---------------------------------------------------------------------------
+
+/// The zero-length chunk that terminates a chunked body.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// Append one non-empty data chunk (`<hex len>\r\n<data>\r\n`) to `out`.
+/// Empty input appends nothing: a zero-length chunk would terminate the
+/// body ([`CHUNK_TERMINATOR`] does that explicitly).
+pub fn encode_chunk(data: &[u8], out: &mut Vec<u8>) {
+    if data.is_empty() {
+        return;
+    }
+    let _ = write!(out, "{:x}\r\n", data.len());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+fn chunk_frame_error(e: RequestError) -> io::Error {
+    match e {
+        // Any EOF inside the chunk framing is a truncated body: the
+        // terminating zero chunk was never seen.
+        RequestError::Io(err) if err.kind() == io::ErrorKind::UnexpectedEof => {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "chunked body truncated")
+        }
+        RequestError::Io(err) => err,
+        RequestError::Malformed(why) => {
+            if why.contains("truncated") {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "chunked body truncated")
+            } else {
+                io::Error::new(io::ErrorKind::InvalidData, why)
+            }
+        }
+        _ => io::Error::new(io::ErrorKind::InvalidData, "bad chunked framing"),
+    }
+}
+
+/// Decode a chunked body from `inner`, which must be positioned at the
+/// first chunk-size line. Reads *exactly* the chunked message — never past
+/// the terminating zero chunk — so the underlying connection stays aligned
+/// for the next response. A connection that closes before the terminator
+/// yields `UnexpectedEof`: truncated chunked bodies are rejected, never
+/// silently accepted as complete (the close-delimited failure mode this
+/// encoding exists to fix).
+pub struct ChunkedReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    remaining: usize,
+    first: bool,
+    done: bool,
+}
+
+impl<'a, R: BufRead> ChunkedReader<'a, R> {
+    pub fn new(inner: &'a mut R) -> Self {
+        ChunkedReader {
+            inner,
+            remaining: 0,
+            first: true,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Read for ChunkedReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.done || buf.is_empty() {
+            return Ok(0);
+        }
+        while self.remaining == 0 {
+            if !self.first {
+                let sep = read_line(self.inner).map_err(chunk_frame_error)?;
+                if !sep.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "missing CRLF after chunk data",
+                    ));
+                }
+            }
+            self.first = false;
+            let line = read_line(self.inner).map_err(chunk_frame_error)?;
+            let size_text = line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size line"))?;
+            if size == 0 {
+                // Consume (and discard) any trailers up to the blank line.
+                loop {
+                    let trailer = read_line(self.inner).map_err(chunk_frame_error)?;
+                    if trailer.is_empty() {
+                        break;
+                    }
+                }
+                self.done = true;
+                return Ok(0);
+            }
+            self.remaining = size;
+        }
+        let want = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "chunked body truncated mid-chunk",
+            ));
+        }
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking reads (client side)
+// ---------------------------------------------------------------------------
+
 /// Read one CRLF (or bare-LF) terminated line, capped at [`MAX_LINE`].
 ///
 /// EOF is **not** a line terminator: a head truncated by a dropped
-/// connection must never parse as a complete request. EOF with nothing
+/// connection must never parse as a complete message. EOF with nothing
 /// buffered is a clean close between lines (an I/O condition); EOF
 /// mid-line is a malformed, truncated head.
 fn read_line(r: &mut impl BufRead) -> Result<String, RequestError> {
@@ -137,102 +460,6 @@ fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, RequestEr
     }
 }
 
-/// Read and frame one request. `max_body` caps the accepted
-/// `Content-Length`; bodies require an explicit length (no chunked
-/// requests — the protocol's requests are small JSON documents).
-pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
-    let line = read_line(r)?;
-    if line.is_empty() {
-        return Err(RequestError::Malformed("empty request line".into()));
-    }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
-        .to_ascii_uppercase();
-    let path = parts
-        .next()
-        .ok_or_else(|| RequestError::Malformed("missing request target".into()))?
-        .to_string();
-    let version = parts
-        .next()
-        .ok_or_else(|| RequestError::Malformed("missing HTTP version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(RequestError::Malformed(format!(
-            "unsupported version {version:?}"
-        )));
-    }
-    let headers = read_headers(r)?;
-
-    let body = match header_lookup(&headers, "content-length") {
-        None => {
-            if method == "POST" || method == "PUT" {
-                return Err(RequestError::LengthRequired);
-            }
-            Vec::new()
-        }
-        Some(text) => {
-            let len: usize = text
-                .parse()
-                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
-            if len > max_body {
-                return Err(RequestError::BodyTooLarge { limit: max_body });
-            }
-            let mut body = vec![0u8; len];
-            r.read_exact(&mut body)
-                .map_err(|_| RequestError::Malformed("body shorter than Content-Length".into()))?;
-            body
-        }
-    };
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
-}
-
-/// Standard reason phrase for the status codes the daemon uses.
-pub fn reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        411 => "Length Required",
-        413 => "Payload Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    }
-}
-
-/// Write a response head: status line + headers + blank line. Every
-/// response the daemon sends is `Connection: close` (one exchange per
-/// connection), which is also what delimits streamed bodies.
-pub fn write_head(w: &mut impl Write, status: u16, headers: &[(&str, &str)]) -> io::Result<()> {
-    write!(w, "HTTP/1.1 {} {}\r\n", status, reason(status))?;
-    for (name, value) in headers {
-        write!(w, "{name}: {value}\r\n")?;
-    }
-    w.write_all(b"Connection: close\r\n\r\n")
-}
-
-/// Write a complete length-delimited JSON response.
-pub fn write_json(w: &mut impl Write, status: u16, json_body: &str) -> io::Result<()> {
-    let len = json_body.len().to_string();
-    write_head(
-        w,
-        status,
-        &[
-            ("Content-Type", "application/json"),
-            ("Content-Length", &len),
-        ],
-    )?;
-    w.write_all(json_body.as_bytes())?;
-    w.flush()
-}
-
 /// Read a response head only: status line plus headers, leaving the body
 /// unread on the stream — the entry point for clients that consume a
 /// streamed body incrementally (the fleet coordinator's line merge)
@@ -258,22 +485,27 @@ pub fn read_response_head(
     Ok((status, headers))
 }
 
-/// Read one response: status line, headers, then the body — to
-/// `Content-Length` if present, else to connection close.
+/// Read one response: status line, headers, then the body — chunk-decoded
+/// if `Transfer-Encoding: chunked`, else to `Content-Length` if present,
+/// else to connection close (the legacy delimiter).
 pub fn read_response(r: &mut impl BufRead) -> Result<Response, RequestError> {
     let (status, headers) = read_response_head(r)?;
     let mut body = Vec::new();
-    match header_lookup(&headers, "content-length") {
-        Some(text) => {
-            let len: usize = text
-                .parse()
-                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
-            body.resize(len, 0);
-            r.read_exact(&mut body)
-                .map_err(|_| RequestError::Malformed("short response body".into()))?;
-        }
-        None => {
-            r.read_to_end(&mut body)?;
+    if is_chunked(&headers) {
+        ChunkedReader::new(r).read_to_end(&mut body)?;
+    } else {
+        match header_lookup(&headers, "content-length") {
+            Some(text) => {
+                let len: usize = text
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+                body.resize(len, 0);
+                r.read_exact(&mut body)
+                    .map_err(|_| RequestError::Malformed("short response body".into()))?;
+            }
+            None => {
+                r.read_to_end(&mut body)?;
+            }
         }
     }
     Ok(Response {
@@ -288,35 +520,82 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn parse_one(raw: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, RequestError> {
+        parse_request(raw, max_body)
+    }
+
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /v1/campaign HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
-        let req = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap();
+        let (req, used) = parse_one(raw, 1024).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/campaign");
+        assert!(req.http11);
+        assert!(req.keep_alive());
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, b"body");
+        assert_eq!(used, raw.len());
     }
 
     #[test]
     fn bare_lf_lines_are_tolerated() {
         let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
-        let req = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap();
+        let (req, used) = parse_one(raw, 1024).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (req, _) = parse_one(raw, 1024).unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let (req, _) = parse_one(raw, 1024).unwrap().unwrap();
+        assert!(!req.http11);
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let first = b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nab".to_vec();
+        let mut wire = first.clone();
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (req, used) = parse_one(&wire, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"ab");
+        assert_eq!(used, first.len());
+        let (req2, used2) = parse_one(&wire[used..], 1024).unwrap().unwrap();
+        assert_eq!(req2.method, "GET");
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn partial_requests_are_incomplete_not_errors() {
+        let raw = b"POST /v1/campaign HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf";
+        for cut in [0, 4, 20, raw.len() - 1] {
+            assert!(
+                parse_one(&raw[..cut], 1024).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        assert!(parse_one(&raw[..raw.len()], 1024).unwrap().is_none());
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(parse_one(raw, 1024).unwrap().is_some());
     }
 
     #[test]
     fn post_without_length_is_411_and_oversize_is_413() {
         let raw = b"POST / HTTP/1.1\r\n\r\n";
         assert!(matches!(
-            read_request(&mut Cursor::new(&raw[..]), 1024),
+            parse_one(raw, 1024),
             Err(RequestError::LengthRequired)
         ));
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
         assert!(matches!(
-            read_request(&mut Cursor::new(&raw[..]), 4),
+            parse_one(raw, 4),
             Err(RequestError::BodyTooLarge { limit: 4 })
         ));
     }
@@ -329,50 +608,123 @@ mod tests {
             &b"GET /\r\n\r\n"[..],
             &b"GET / SPDY/3\r\n\r\n"[..],
             &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
-            &b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort"[..],
         ] {
-            assert!(read_request(&mut Cursor::new(raw), 1024).is_err());
+            assert!(parse_one(raw, 1024).is_err(), "must reject {raw:?}");
         }
     }
 
     #[test]
-    fn truncated_heads_never_parse_as_complete_requests() {
-        // EOF mid-line: malformed, not a line terminator.
-        for raw in [
-            &b"GET / HTTP/1.1"[..],
-            &b"POST /v1/campaign HTTP/1.1\r\nContent-Length: 60\r\n"[..],
-            &b"GET / HTTP/1.1\r\nHost: x"[..],
-        ] {
-            assert!(
-                matches!(
-                    read_request(&mut Cursor::new(raw), 1024),
-                    Err(RequestError::Malformed(_)) | Err(RequestError::Io(_))
-                ),
-                "truncated head must be rejected: {raw:?}"
+    fn runaway_heads_are_rejected_before_completion() {
+        // A single line longer than the cap fails even with no newline yet.
+        let raw = vec![b'A'; MAX_LINE + 2];
+        assert!(parse_one(&raw, 1024).is_err());
+        // An endless header stream fails at the head cap.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        while raw.len() <= MAX_HEAD {
+            raw.extend_from_slice(b"X-Filler: some padding value\r\n");
+        }
+        assert!(parse_one(&raw, 1024).is_err());
+    }
+
+    #[test]
+    fn chunked_bodies_round_trip() {
+        let mut wire = Vec::new();
+        encode_chunk(b"{\"index\":0}\n", &mut wire);
+        encode_chunk(b"", &mut wire); // no-op, not a terminator
+        encode_chunk(b"{\"index\":1}\n{\"index\":2}\n", &mut wire);
+        wire.extend_from_slice(CHUNK_TERMINATOR);
+
+        let mut cursor = Cursor::new(&wire[..]);
+        let mut decoded = Vec::new();
+        ChunkedReader::new(&mut cursor)
+            .read_to_end(&mut decoded)
+            .unwrap();
+        assert_eq!(
+            decoded,
+            b"{\"index\":0}\n{\"index\":1}\n{\"index\":2}\n".to_vec()
+        );
+        // Exactly the message was consumed — nothing past the terminator.
+        assert_eq!(cursor.position() as usize, wire.len());
+    }
+
+    #[test]
+    fn truncated_chunked_bodies_are_rejected() {
+        let mut wire = Vec::new();
+        encode_chunk(b"{\"index\":0}\n", &mut wire);
+        encode_chunk(b"{\"index\":1}\n", &mut wire);
+        wire.extend_from_slice(CHUNK_TERMINATOR);
+        // Cut the stream at every prefix short of the full message: none
+        // may decode cleanly (missing terminator == truncated).
+        for cut in 0..wire.len() {
+            let mut cursor = Cursor::new(&wire[..cut]);
+            let mut decoded = Vec::new();
+            let err = ChunkedReader::new(&mut cursor)
+                .read_to_end(&mut decoded)
+                .unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at {cut} must be UnexpectedEof, got {err:?}"
             );
         }
-        // A clean close before any bytes is an I/O condition, not a 400.
-        assert!(matches!(
-            read_request(&mut Cursor::new(&b""[..]), 1024),
-            Err(RequestError::Io(_))
-        ));
     }
 
     #[test]
-    fn response_round_trips_with_and_without_length() {
-        let mut wire = Vec::new();
-        write_json(&mut wire, 400, "{\"error\":\"x\"}").unwrap();
+    fn garbage_chunk_sizes_are_invalid_data() {
+        let wire = b"zzz\r\ndata\r\n0\r\n\r\n";
+        let mut cursor = Cursor::new(&wire[..]);
+        let mut decoded = Vec::new();
+        let err = ChunkedReader::new(&mut cursor)
+            .read_to_end(&mut decoded)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn response_round_trips_all_three_framings() {
+        // Length-delimited.
+        let wire = json_response_bytes(400, "{\"error\":\"x\"}", false);
         let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
         assert_eq!(resp.status, 400);
         assert_eq!(resp.header("content-type"), Some("application/json"));
         assert_eq!(resp.body_text(), "{\"error\":\"x\"}");
+        assert_eq!(resp.header("connection"), None);
 
-        // Streamed body: no Content-Length, delimited by close (EOF here).
+        // Chunked: two responses back to back on one connection — the
+        // first decode must stop exactly at its terminator.
         let mut wire = Vec::new();
-        write_head(&mut wire, 200, &[("Content-Type", "application/x-ndjson")]).unwrap();
+        head_bytes(
+            &mut wire,
+            200,
+            &[
+                ("Content-Type", "application/x-ndjson"),
+                ("Transfer-Encoding", "chunked"),
+            ],
+            false,
+        );
+        encode_chunk(b"{\"index\":0}\n{\"index\":1}\n", &mut wire);
+        wire.extend_from_slice(CHUNK_TERMINATOR);
+        let second = json_response_bytes(200, "{\"status\":\"ok\"}", false);
+        wire.extend_from_slice(&second);
+
+        let mut cursor = Cursor::new(&wire[..]);
+        let resp = read_response(&mut cursor).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text().lines().count(), 2);
+        let resp2 = read_response(&mut cursor).unwrap();
+        assert_eq!(resp2.body_text(), "{\"status\":\"ok\"}");
+
+        // Legacy close-delimited: no length, no chunking, EOF ends it.
+        let mut wire = Vec::new();
+        head_bytes(
+            &mut wire,
+            200,
+            &[("Content-Type", "application/x-ndjson")],
+            true,
+        );
         wire.extend_from_slice(b"{\"index\":0}\n{\"index\":1}\n");
         let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
-        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("close"));
         assert_eq!(resp.body_text().lines().count(), 2);
     }
 }

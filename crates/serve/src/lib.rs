@@ -3,18 +3,25 @@
 //! The paper's figure grids are offline artifacts; the serving layer turns
 //! the same campaign machinery into an interactive "ask the model a
 //! what-if question" endpoint. A long-running daemon accepts grid
-//! descriptions over a hand-rolled HTTP/1.1 wire (threads + blocking I/O —
-//! the vendored dependency set has no async runtime) and **streams** the
-//! resulting [`joss_sweep::RunRecord`] JSONL back as the campaign
-//! executes:
+//! descriptions over a hand-rolled HTTP/1.1 wire — nonblocking sockets
+//! multiplexed by a readiness event loop (epoll via the vendored
+//! `polling` shim; no async runtime) — and **streams** the resulting
+//! [`joss_sweep::RunRecord`] JSONL back as the campaign executes.
+//! Connections are keep-alive: one TCP session carries many campaign
+//! exchanges, and a repeated grid is answered from cache with a single
+//! vectored write of shared bytes (no per-request allocation, parsing, or
+//! grid resolution).
 //!
-//! * [`http`] — the minimal HTTP subset (request/response framing, size
-//!   limits) shared by server and client;
-//! * [`server`] — the daemon: acceptor + worker pool, the
-//!   `POST /v1/campaign` streaming handler, one lazily-trained
-//!   [`joss_sweep::ExperimentContext`] shared by every connection;
+//! * [`http`] — the minimal HTTP subset (incremental request parsing,
+//!   keep-alive/close negotiation, chunked transfer framing, size limits)
+//!   shared by server and client;
+//! * [`server`] — the daemon: the reactor event loop + campaign executor
+//!   pool behind the `POST /v1/campaign` streaming handler, one
+//!   lazily-trained [`joss_sweep::ExperimentContext`] shared by every
+//!   connection;
 //! * [`cache`] — the process-wide LRU results cache (canonical grid JSON →
-//!   full JSONL body), so repeated queries never re-simulate;
+//!   shared `Arc` JSONL body with precomputed line offsets), so repeated
+//!   queries never re-simulate — or re-parse, via the raw-body memo;
 //! * [`admission`] — the bounded in-flight-campaign semaphore behind the
 //!   `503 + Retry-After` overload response;
 //! * [`client`] — a small blocking client (`run_campaign`, `wait_ready`,
@@ -34,6 +41,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod loadgen;
+mod reactor;
 pub mod server;
 
 pub use admission::Admission;

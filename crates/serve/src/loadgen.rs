@@ -13,6 +13,14 @@
 //!   response is still streaming when its next slot arrives fires late;
 //!   with enough clients the offered rate holds.)
 //!
+//! Connections are **reused by default** (HTTP/1.1 keep-alive): each
+//! client holds one connection and pipelines its requests down it
+//! back-to-back, optionally recycling after `requests_per_conn` exchanges.
+//! `keep_alive: false` restores the dial-per-request behaviour — the A/B
+//! baseline for measuring what connection reuse buys. The report carries
+//! the dial count so reuse is visible (`ok / connections` = exchanges per
+//! connection).
+//!
 //! A `503` answer is load shedding, not failure: the client honours
 //! `Retry-After` and retries the same request (configurable), and the
 //! report counts every shed. Latency is measured per *request*, first
@@ -48,6 +56,12 @@ pub struct LoadgenConfig {
     /// Give each request a unique seed list, defeating the daemon's cache
     /// (measures simulation throughput rather than memory bandwidth).
     pub vary_seeds: bool,
+    /// Reuse connections across requests (HTTP/1.1 keep-alive). `false`
+    /// dials per request and sends `Connection: close` — the A/B baseline.
+    pub keep_alive: bool,
+    /// With `keep_alive`, recycle each connection after this many
+    /// exchanges (0 = never; one connection per client for the whole run).
+    pub requests_per_conn: usize,
     /// Per-exchange socket timeout.
     pub timeout: Duration,
 }
@@ -65,6 +79,8 @@ impl LoadgenConfig {
             retry_503: true,
             max_shed_retries: 30,
             vary_seeds: false,
+            keep_alive: true,
+            requests_per_conn: 0,
             timeout: Duration::from_secs(120),
         }
     }
@@ -83,6 +99,8 @@ pub struct LoadReport {
     pub errors: usize,
     /// Total records across successful responses.
     pub records: usize,
+    /// Connections dialed (with keep-alive, many requests share one).
+    pub connections: usize,
     /// Successful responses served from the daemon's cache (header).
     pub cache_hits: usize,
     /// Per-request latencies (first attempt → final byte), sorted ascending.
@@ -117,14 +135,20 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         format!(
             "ok {} | shed(503) {} | malformed {} | errors {} | records {} | \
-             cache hits {} | {:.1} req/s | p50 {:.1} ms | p90 {:.1} ms | \
-             p99 {:.1} ms | max {:.1} ms",
+             cache hits {} | conns {} ({:.1} req/conn) | {:.1} req/s | \
+             p50 {:.1} ms | p90 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
             self.ok,
             self.shed_503,
             self.malformed,
             self.errors,
             self.records,
             self.cache_hits,
+            self.connections,
+            if self.connections == 0 {
+                0.0
+            } else {
+                self.ok as f64 / self.connections as f64
+            },
             self.throughput_rps(),
             self.percentile(50.0).as_secs_f64() * 1e3,
             self.percentile(90.0).as_secs_f64() * 1e3,
@@ -149,6 +173,65 @@ struct Tally {
     latencies: Vec<Duration>,
 }
 
+/// One client's connection slot: holds the kept-alive connection between
+/// requests and counts dials.
+#[derive(Default)]
+struct ConnSlot {
+    conn: Option<client::Conn>,
+    /// Exchanges completed on the current connection.
+    served: usize,
+    /// Connections dialed by this client.
+    dials: usize,
+}
+
+impl ConnSlot {
+    /// The connection for the next exchange, dialing when there is none,
+    /// the daemon asked to close, or the recycle interval is up.
+    fn acquire(&mut self, config: &LoadgenConfig) -> std::io::Result<&mut client::Conn> {
+        let recycle = match &self.conn {
+            None => true,
+            Some(conn) => {
+                !conn.is_reusable()
+                    || (config.requests_per_conn > 0 && self.served >= config.requests_per_conn)
+            }
+        };
+        if recycle {
+            self.conn = Some(client::Conn::connect(&config.addr, config.timeout)?);
+            self.dials += 1;
+            self.served = 0;
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    /// One campaign exchange with keep-alive reuse. A failure on a
+    /// *reused* connection is retried once on a fresh dial — the daemon
+    /// may have reaped it as idle between exchanges, which is not a
+    /// request failure.
+    fn run_campaign(
+        &mut self,
+        config: &LoadgenConfig,
+        desc: &GridDesc,
+    ) -> std::io::Result<crate::http::Response> {
+        for attempt in 0..2 {
+            let fresh = self.conn.is_none() || self.served == 0;
+            let conn = self.acquire(config)?;
+            match conn.run_campaign(desc) {
+                Ok(response) => {
+                    self.served += 1;
+                    return Ok(response);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if fresh || attempt > 0 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success, error, or retry exhaustion")
+    }
+}
+
 /// Drive the daemon as configured and aggregate the outcome.
 pub fn run(config: &LoadgenConfig) -> LoadReport {
     let first_body: Mutex<Option<Vec<u8>>> = Mutex::new(None);
@@ -159,7 +242,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         .map(|rate| Duration::from_secs_f64(1.0 / rate.max(1e-9)));
     let started = Instant::now();
 
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+    let tallies: Vec<(Tally, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
             .map(|client_id| {
                 let first_body = &first_body;
@@ -167,6 +250,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
                 let shed_total = &shed_total;
                 scope.spawn(move || {
                     let mut tally = Tally::default();
+                    let mut slot = ConnSlot::default();
                     for req in 0..config.requests_per_client {
                         // Open loop: global request slots are interleaved
                         // round-robin across clients.
@@ -181,13 +265,14 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
                         drive_one(
                             config,
                             &desc,
+                            &mut slot,
                             &mut tally,
                             shed_total,
                             first_body,
                             first_malformation,
                         );
                     }
-                    tally
+                    (tally, slot.dials)
                 })
             })
             .collect();
@@ -204,18 +289,20 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         malformed: 0,
         errors: 0,
         records: 0,
+        connections: 0,
         cache_hits: 0,
         latencies: Vec::new(),
         elapsed,
         first_body: first_body.into_inner().expect("first body lock"),
         first_malformation: first_malformation.into_inner().expect("malformation lock"),
     };
-    for tally in tallies {
+    for (tally, dials) in tallies {
         report.ok += tally.ok;
         report.malformed += tally.malformed;
         report.errors += tally.errors;
         report.records += tally.records;
         report.cache_hits += tally.cache_hits;
+        report.connections += dials;
         report.latencies.extend(tally.latencies);
     }
     report.latencies.sort();
@@ -236,6 +323,7 @@ fn request_desc(config: &LoadgenConfig, client_id: usize, req: usize) -> GridDes
 fn drive_one(
     config: &LoadgenConfig,
     desc: &GridDesc,
+    slot: &mut ConnSlot,
     tally: &mut Tally,
     shed_total: &AtomicU64,
     first_body: &Mutex<Option<Vec<u8>>>,
@@ -244,7 +332,13 @@ fn drive_one(
     let t0 = Instant::now();
     let mut sheds_seen = 0usize;
     loop {
-        let response = match client::run_campaign(&config.addr, desc, config.timeout) {
+        let attempt = if config.keep_alive {
+            slot.run_campaign(config, desc)
+        } else {
+            slot.dials += 1;
+            client::run_campaign(&config.addr, desc, config.timeout)
+        };
+        let response = match attempt {
             Ok(r) => r,
             Err(_) => {
                 tally.errors += 1;

@@ -1,0 +1,814 @@
+//! The nonblocking I/O core of the daemon: one event-loop thread
+//! multiplexing every connection over a readiness poller (`vendor/polling`
+//! — epoll on Linux), nonblocking sockets, and per-connection outbound
+//! queues.
+//!
+//! Division of labor with [`crate::server`]:
+//!
+//! * the **reactor** (this module) accepts, reads, parses requests out of
+//!   per-connection buffers, answers everything cheap in-line (health,
+//!   stats, errors, 503 sheds, and zero-copy cache hits), and owns all
+//!   socket writes;
+//! * **campaign misses** are handed to the executor pool as [`Job`]s; the
+//!   executor streams chunk-framed records into the connection's
+//!   [`Outbound`] queue (blocking on its high-water mark — a slow client
+//!   stalls its own queue, never a simulation thread or the event loop)
+//!   and the reactor drains the queue as the socket accepts bytes.
+//!
+//! Connections are keep-alive by default (HTTP/1.1): requests are parsed
+//! back-to-back out of the receive buffer and pipelined requests drain in
+//! order, because parsing pauses while a streamed response is in flight
+//! and resumes the moment it completes. `Connection: close` (or HTTP/1.0)
+//! is honored by flushing and closing. Deadlines bound every direction:
+//! a half-sent request (read), a client that stops reading mid-response
+//! (write stall), and an idle keep-alive connection (idle) are all
+//! reaped by the sweep without blocking anything else.
+
+use crate::http::{self, Request, RequestError};
+use crate::server::{Job, State, Stats};
+use joss_sweep::GridDesc;
+use polling::Event;
+use std::collections::HashMap;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Poller key of the listening socket; connections count up from 1.
+const LISTENER_KEY: usize = 0;
+/// Outbound bytes above which the executor's `push_blocking` waits for the
+/// socket to drain (per connection).
+pub(crate) const OUT_HIGH_WATER: usize = 256 * 1024;
+/// Outbound bytes above which the reactor stops parsing further pipelined
+/// requests on that connection until the backlog drains.
+const OUT_PARSE_PAUSE: usize = 1024 * 1024;
+/// Hard cap on unparsed received bytes; a connection pipelining past this
+/// while responses are pending is dropped as abusive.
+const IN_MAX_BUFFER: usize = 2 * 1024 * 1024;
+/// Poll tick used for deadline sweeps.
+const SWEEP_TICK: Duration = Duration::from_millis(50);
+
+// ---------------------------------------------------------------------------
+// Outbound queue
+// ---------------------------------------------------------------------------
+
+/// One queued span of response bytes.
+pub(crate) enum Seg {
+    /// Bytes owned by the queue (heads, small JSON responses, chunk
+    /// frames).
+    Owned(Vec<u8>),
+    /// A window into a shared cache body — the zero-copy hit path queues
+    /// the `Arc` and two indices; the bytes are written straight from the
+    /// cache allocation by the vectored writer.
+    Shared {
+        bytes: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl Seg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared { bytes, start, end } => &bytes[*start..*end],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Seg::Owned(v) => v.len(),
+            Seg::Shared { start, end, .. } => end - start,
+        }
+    }
+}
+
+struct OutboundState {
+    segs: std::collections::VecDeque<(Seg, usize)>,
+    /// Unsent bytes across all segments.
+    queued: usize,
+    /// The executor finished the in-flight streamed response.
+    stream_done: bool,
+    /// The connection is gone (or dying): producers must stop.
+    closed: bool,
+}
+
+/// What [`Outbound::flush`] observed.
+pub(crate) struct FlushOutcome {
+    pub remaining: usize,
+    /// The streamed response completed *and* fully drained; consumed
+    /// (reset) by this call — act on it exactly once.
+    pub took_stream_done: bool,
+    pub progressed: bool,
+    pub closed: bool,
+}
+
+/// Per-connection outbound byte queue, shared between the reactor (drains
+/// into the socket) and one executor job at a time (produces chunks).
+pub(crate) struct Outbound {
+    inner: Mutex<OutboundState>,
+    drained: Condvar,
+}
+
+impl Outbound {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Outbound {
+            inner: Mutex::new(OutboundState {
+                segs: std::collections::VecDeque::new(),
+                queued: 0,
+                stream_done: false,
+                closed: false,
+            }),
+            drained: Condvar::new(),
+        })
+    }
+
+    /// Reactor-side enqueue (never blocks; the reactor enforces
+    /// [`OUT_PARSE_PAUSE`] instead).
+    fn push(&self, seg: Seg) {
+        let mut st = self.inner.lock().expect("outbound lock");
+        if st.closed {
+            return;
+        }
+        st.queued += seg.len();
+        st.segs.push_back((seg, 0));
+    }
+
+    /// Executor-side enqueue: waits while the queue is at or above
+    /// [`OUT_HIGH_WATER`]. Returns `false` once the connection is closed —
+    /// the producer should stop writing (and finish simulating for the
+    /// cache only).
+    pub(crate) fn push_blocking(&self, seg: Seg) -> bool {
+        let mut st = self.inner.lock().expect("outbound lock");
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.queued < OUT_HIGH_WATER {
+                break;
+            }
+            let (next, _) = self
+                .drained
+                .wait_timeout(st, Duration::from_millis(100))
+                .expect("outbound lock");
+            st = next;
+        }
+        st.queued += seg.len();
+        st.segs.push_back((seg, 0));
+        true
+    }
+
+    /// Executor-side: the streamed response is complete (all of it is in
+    /// the queue).
+    pub(crate) fn finish_stream(&self) {
+        let mut st = self.inner.lock().expect("outbound lock");
+        st.stream_done = true;
+    }
+
+    /// Unsent bytes currently queued.
+    fn queued(&self) -> usize {
+        self.inner.lock().expect("outbound lock").queued
+    }
+
+    /// Tear down: drop queued bytes and unblock any producer.
+    pub(crate) fn close(&self) {
+        let mut st = self.inner.lock().expect("outbound lock");
+        st.closed = true;
+        st.segs.clear();
+        st.queued = 0;
+        st.stream_done = false;
+        self.drained.notify_all();
+    }
+
+    /// Write as much queued data as the socket accepts, gathering up to
+    /// eight segments per `writev` — a cache hit (owned head + shared
+    /// body) goes out in one syscall without copying the body.
+    fn flush(&self, stream: &mut TcpStream) -> io::Result<FlushOutcome> {
+        let mut st = self.inner.lock().expect("outbound lock");
+        if st.closed {
+            return Ok(FlushOutcome {
+                remaining: 0,
+                took_stream_done: false,
+                progressed: false,
+                closed: true,
+            });
+        }
+        let mut progressed = false;
+        while !st.segs.is_empty() {
+            let written = {
+                let mut bufs = [IoSlice::new(&[]); 8];
+                let mut n = 0;
+                for (seg, pos) in st.segs.iter() {
+                    if n == bufs.len() {
+                        break;
+                    }
+                    bufs[n] = IoSlice::new(&seg.bytes()[*pos..]);
+                    n += 1;
+                }
+                match stream.write_vectored(&bufs[..n]) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(w) => w,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            progressed = true;
+            st.queued -= written;
+            let mut left = written;
+            while left > 0 {
+                let (seg, pos) = st.segs.front_mut().expect("accounted segment");
+                let rem = seg.len() - *pos;
+                if left >= rem {
+                    left -= rem;
+                    st.segs.pop_front();
+                } else {
+                    *pos += left;
+                    left = 0;
+                }
+            }
+        }
+        let took_stream_done = st.segs.is_empty() && st.stream_done;
+        if took_stream_done {
+            st.stream_done = false;
+        }
+        if progressed {
+            self.drained.notify_all();
+        }
+        Ok(FlushOutcome {
+            remaining: st.queued,
+            took_stream_done,
+            progressed,
+            closed: false,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections and the event loop
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    /// Bytes at the front of `inbuf` already consumed by the parser.
+    parsed: usize,
+    out: Arc<Outbound>,
+    /// A streamed (miss) response is in flight; parsing is paused.
+    streaming: bool,
+    /// Flush everything, then close (Connection: close, framing errors,
+    /// shutdown).
+    close_after_flush: bool,
+    /// Write interest currently registered with the poller.
+    wants_writable: bool,
+    last_read: Instant,
+    /// Last time a flush moved bytes into the socket (or emptied the
+    /// queue). With bytes queued and no progress past the write timeout,
+    /// the connection is a stalled reader and gets reaped.
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn has_partial_request(&self) -> bool {
+        self.parsed < self.inbuf.len()
+    }
+}
+
+/// Cap the kernel send buffer on an accepted socket. The daemon keeps its
+/// own bounded outbound queue per connection ([`OUT_HIGH_WATER`]); an
+/// autotuned multi-megabyte kernel buffer underneath it would only hide
+/// stalled readers from the write deadline (bytes "progress" into the
+/// kernel while the peer reads nothing) and multiply per-connection
+/// memory. The kernel doubles the requested value for bookkeeping.
+#[cfg(target_os = "linux")]
+fn cap_send_buffer(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    let val: i32 = 128 * 1024;
+    let _ = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &val as *const i32 as *const u8,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn cap_send_buffer(_stream: &TcpStream) {}
+
+pub(crate) fn run(listener: TcpListener, state: Arc<State>) -> io::Result<()> {
+    Reactor {
+        listener,
+        state,
+        conns: HashMap::new(),
+        next_key: LISTENER_KEY + 1,
+        events: Vec::new(),
+    }
+    .run()
+}
+
+struct Reactor {
+    listener: TcpListener,
+    state: Arc<State>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    events: Vec<Event>,
+}
+
+impl Reactor {
+    fn run(mut self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        self.state
+            .poller
+            .add(&self.listener, Event::readable(LISTENER_KEY))?;
+        let mut shutting_down = false;
+        let result = loop {
+            let mut events = std::mem::take(&mut self.events);
+            if let Err(e) = self.state.poller.wait(&mut events, Some(SWEEP_TICK)) {
+                self.events = events;
+                break Err(e);
+            }
+            for &ev in &events {
+                if ev.key == LISTENER_KEY {
+                    if !shutting_down && ev.readable {
+                        self.accept();
+                    }
+                    continue;
+                }
+                if ev.readable {
+                    self.read_ready(ev.key);
+                }
+                if ev.writable {
+                    self.service(ev.key);
+                }
+            }
+            self.events = events;
+
+            // Executor-side completions and chunk pushes.
+            let wakes = std::mem::take(&mut *self.state.wakes.lock().expect("wake list"));
+            for key in wakes {
+                self.service(key);
+            }
+
+            self.sweep_deadlines();
+
+            if self.state.shutdown.load(Ordering::Acquire) {
+                if !shutting_down {
+                    shutting_down = true;
+                    let _ = self.state.poller.delete(&self.listener);
+                    // Existing connections finish what is in flight, then
+                    // close; idle ones close now.
+                    let keys: Vec<usize> = self.conns.keys().copied().collect();
+                    for key in keys {
+                        if let Some(conn) = self.conns.get_mut(&key) {
+                            conn.close_after_flush = true;
+                        }
+                        self.service(key);
+                    }
+                }
+                if self.conns.is_empty() && self.state.active_jobs.load(Ordering::Acquire) == 0 {
+                    break Ok(());
+                }
+            }
+        };
+        for (_, conn) in self.conns.drain() {
+            conn.out.close();
+            let _ = self.state.poller.delete(&conn.stream);
+        }
+        result
+    }
+
+    fn accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    cap_send_buffer(&stream);
+                    let key = self.next_key;
+                    self.next_key += 1;
+                    if self
+                        .state
+                        .poller
+                        .add(&stream, Event::readable(key))
+                        .is_err()
+                    {
+                        Stats::bump(&self.state.stats.io_errors);
+                        continue;
+                    }
+                    Stats::bump(&self.state.stats.connections);
+                    self.conns.insert(
+                        key,
+                        Conn {
+                            stream,
+                            inbuf: Vec::new(),
+                            parsed: 0,
+                            out: Outbound::new(),
+                            streaming: false,
+                            close_after_flush: false,
+                            wants_writable: false,
+                            last_read: Instant::now(),
+                            last_progress: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    Stats::bump(&self.state.stats.io_errors);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: usize, io_error: bool) {
+        if let Some(conn) = self.conns.remove(&key) {
+            if io_error {
+                Stats::bump(&self.state.stats.io_errors);
+            }
+            // A job still streaming into this queue observes the close,
+            // stops producing output, and finishes into the cache.
+            conn.out.close();
+            let _ = self.state.poller.delete(&conn.stream);
+        }
+    }
+
+    /// Drain the socket's receive buffer into the connection buffer.
+    fn read_ready(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // Peer closed. Mid-request or mid-stream that is an
+                    // abnormal drop; between requests it is a clean end of
+                    // a keep-alive session.
+                    let abnormal = conn.has_partial_request() || conn.streaming;
+                    self.remove(key, abnormal);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_read = Instant::now();
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    if conn.inbuf.len() - conn.parsed > IN_MAX_BUFFER {
+                        self.remove(key, true);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.remove(key, true);
+                    return;
+                }
+            }
+        }
+        self.service(key);
+    }
+
+    /// Parse and route every complete request currently allowed, then
+    /// flush outbound bytes; repeat when a streamed response completed in
+    /// between (its pipelined successors are now unblocked).
+    fn service(&mut self, key: usize) {
+        loop {
+            if !self.conns.contains_key(&key) {
+                return;
+            }
+            self.parse_requests(key);
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return;
+            };
+            let outcome = match conn.out.flush(&mut conn.stream) {
+                Ok(o) => o,
+                Err(_) => {
+                    self.remove(key, true);
+                    return;
+                }
+            };
+            if outcome.closed {
+                // The executor tore the stream down (handler panic).
+                self.remove(key, false);
+                return;
+            }
+            if outcome.progressed || outcome.remaining == 0 {
+                conn.last_progress = Instant::now();
+            }
+            if outcome.took_stream_done {
+                conn.streaming = false;
+                // Pipelined requests behind the stream are now parseable.
+                continue;
+            }
+            let want_w = outcome.remaining > 0;
+            if want_w != conn.wants_writable {
+                let ev = if want_w {
+                    Event::all(key)
+                } else {
+                    Event::readable(key)
+                };
+                if self.state.poller.modify(&conn.stream, ev).is_err() {
+                    self.remove(key, true);
+                    return;
+                }
+                conn.wants_writable = want_w;
+            }
+            if conn.close_after_flush && !conn.streaming && outcome.remaining == 0 {
+                self.remove(key, false);
+            }
+            return;
+        }
+    }
+
+    fn parse_requests(&mut self, key: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return;
+            };
+            if conn.streaming || conn.close_after_flush {
+                break;
+            }
+            {
+                let st = conn.out.inner.lock().expect("outbound lock");
+                if st.queued > OUT_PARSE_PAUSE {
+                    break;
+                }
+            }
+            match http::parse_request(&conn.inbuf[conn.parsed..], self.state.config.max_body) {
+                Ok(None) => break,
+                Ok(Some((request, used))) => {
+                    conn.parsed += used;
+                    self.route(key, request);
+                }
+                Err(err) => {
+                    self.framing_error(key, err);
+                    break;
+                }
+            }
+        }
+        // Compact the receive buffer once the parser has moved past a
+        // chunk of it.
+        if let Some(conn) = self.conns.get_mut(&key) {
+            if conn.parsed > 0 && (conn.parsed == conn.inbuf.len() || conn.parsed >= 16 * 1024) {
+                conn.inbuf.drain(..conn.parsed);
+                conn.parsed = 0;
+            }
+        }
+    }
+
+    /// A request that cannot be framed: answer with its status and close —
+    /// the connection's byte stream is not recoverable.
+    fn framing_error(&mut self, key: usize, err: RequestError) {
+        Stats::bump(&self.state.stats.bad_requests);
+        let (status, msg) = match err {
+            RequestError::Malformed(m) => (400, m),
+            RequestError::LengthRequired => (411, "Content-Length required".into()),
+            RequestError::BodyTooLarge { limit } => (413, format!("body exceeds {limit} bytes")),
+            RequestError::Io(_) => unreachable!("parse_request does no I/O"),
+        };
+        let bytes = http::json_response_bytes(status, &error_json(&msg), true);
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.out.push(Seg::Owned(bytes));
+            conn.close_after_flush = true;
+        }
+    }
+
+    fn respond(&mut self, key: usize, bytes: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.out.push(Seg::Owned(bytes));
+        }
+    }
+
+    fn route(&mut self, key: usize, request: Request) {
+        let state = Arc::clone(&self.state);
+        Stats::bump(&state.stats.requests);
+        let keep = request.keep_alive();
+        match (request.method.as_str(), request.path.as_str()) {
+            // Besides liveness, /healthz carries everything a fleet
+            // coordinator needs to decide whether this backend's records
+            // can be merged with another's: the training parameters
+            // (records are byte-identical only across equal train
+            // seed/reps), the record wire schema, and the build version.
+            ("GET", "/healthz") => {
+                self.respond(
+                    key,
+                    http::json_response_bytes(200, &state.health_json(), !keep),
+                );
+            }
+            ("GET", "/stats") => {
+                self.respond(
+                    key,
+                    http::json_response_bytes(200, &state.stats_json(), !keep),
+                );
+            }
+            ("POST", "/v1/campaign") => self.campaign(key, request.body, keep),
+            (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") => {
+                Stats::bump(&state.stats.bad_requests);
+                self.respond(
+                    key,
+                    http::json_response_bytes(405, &error_json("method not allowed"), !keep),
+                );
+            }
+            _ => {
+                Stats::bump(&state.stats.bad_requests);
+                self.respond(
+                    key,
+                    http::json_response_bytes(404, &error_json("no such endpoint"), !keep),
+                );
+            }
+        }
+        if !keep {
+            if let Some(conn) = self.conns.get_mut(&key) {
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    /// The campaign endpoint: memoized raw-body hit → parse → cache →
+    /// shard-of-cached-parent slice → admission → executor job.
+    fn campaign(&mut self, key: usize, raw: Vec<u8>, keep: bool) {
+        let state = Arc::clone(&self.state);
+
+        // Zero-parse fast path: a byte-identical request seen before maps
+        // straight to its cached body — no JSON parsing, no
+        // canonicalization, no grid resolution.
+        if let Some((body, hash)) = state.cache.get_raw(&raw) {
+            Stats::bump(&state.stats.cache_hits);
+            self.serve_hit(key, &body, &hash, keep);
+            return;
+        }
+
+        let bad = |this: &mut Self, msg: &str| {
+            Stats::bump(&state.stats.bad_requests);
+            this.respond(key, http::json_response_bytes(400, &error_json(msg), !keep));
+        };
+
+        let desc = match std::str::from_utf8(&raw)
+            .map_err(|_| "request body must be UTF-8 JSON".to_string())
+            .and_then(GridDesc::from_json)
+        {
+            Ok(d) => d,
+            Err(e) => return bad(self, &e),
+        };
+        // Everything up to the admission gate works on the description
+        // alone: resolving a grid instantiates the whole benchmark suite
+        // at the requested scale, which is exactly the work the cache and
+        // the semaphore exist to bound, so it must not happen for hits,
+        // sheds, or oversized requests. The spec cap gates the work this
+        // request *runs* (the shard's slice, not the grid it is cut from).
+        let run_count = desc.run_count();
+        if run_count > state.config.max_specs {
+            return bad(
+                self,
+                &format!(
+                    "request runs {run_count} specs, above this daemon's limit of {}",
+                    state.config.max_specs
+                ),
+            );
+        }
+
+        let canonical = desc.to_canonical_json();
+        let hash = format!("{:016x}", desc.spec_hash());
+
+        // Cache: repeated identical grids are served from memory, no
+        // permit needed; memoize the raw spelling so the next replay skips
+        // the parse too.
+        if let Some(body) = state.cache.get(&canonical) {
+            Stats::bump(&state.stats.cache_hits);
+            state.cache.memo_raw(raw, canonical, &hash);
+            self.serve_hit(key, &body, &hash, keep);
+            return;
+        }
+
+        // A shard of a grid whose *full* body is cached is a slice between
+        // two precomputed line offsets — served as a hit, no simulation.
+        if let Some(range) = desc.shard {
+            let mut parent = desc.clone();
+            parent.shard = None;
+            if let Some(parent_body) = state.cache.get(&parent.to_canonical_json()) {
+                if let Some(slice) = parent_body.slice_lines(range.start, range.end) {
+                    Stats::bump(&state.stats.cache_hits);
+                    state.cache.insert(canonical.clone(), slice.clone());
+                    state.cache.memo_raw(raw, canonical, &hash);
+                    self.serve_hit(key, &slice, &hash, keep);
+                    return;
+                }
+            }
+        }
+
+        // Admission: shed load instead of oversubscribing the simulation
+        // pool.
+        let Some(permit) = state.admission.try_acquire() else {
+            Stats::bump(&state.stats.rejected_503);
+            let json = error_json("simulation pool saturated; retry shortly");
+            let len = json.len().to_string();
+            let mut bytes = Vec::with_capacity(160 + json.len());
+            http::head_bytes(
+                &mut bytes,
+                503,
+                &[
+                    ("Content-Type", "application/json"),
+                    ("Content-Length", &len),
+                    ("Retry-After", "1"),
+                ],
+                !keep,
+            );
+            bytes.extend_from_slice(json.as_bytes());
+            self.respond(key, bytes);
+            return;
+        };
+
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        conn.streaming = true;
+        state.active_jobs.fetch_add(1, Ordering::AcqRel);
+        state.jobs.push(Job {
+            key,
+            out: Arc::clone(&conn.out),
+            desc,
+            canonical,
+            raw_body: raw,
+            hash,
+            run_count,
+            close_after: !keep,
+            permit,
+        });
+    }
+
+    /// Serve a cached body: one owned head segment plus one shared body
+    /// segment, written together by the vectored writer. No allocation
+    /// touches the body bytes.
+    fn serve_hit(&mut self, key: usize, body: &crate::cache::CachedBody, hash: &str, keep: bool) {
+        let mut head = Vec::with_capacity(192);
+        let _ = write!(
+            head,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+             X-Joss-Spec-Hash: {hash}\r\nX-Joss-Cache: hit\r\nX-Joss-Records: {}\r\n\
+             Content-Length: {}\r\n",
+            body.line_count(),
+            body.len(),
+        );
+        if !keep {
+            head.extend_from_slice(b"Connection: close\r\n");
+        }
+        head.extend_from_slice(b"\r\n");
+        let (bytes, start, end) = body.share();
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.out.push(Seg::Owned(head));
+            conn.out.push(Seg::Shared { bytes, start, end });
+        }
+    }
+
+    /// Close connections that blew a deadline: half-sent requests (read
+    /// timeout), clients not draining their responses (write stall), and
+    /// idle keep-alive sessions (idle timeout).
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let config = &self.state.config;
+        let mut stalled: Vec<usize> = Vec::new();
+        let mut idle: Vec<usize> = Vec::new();
+        for (&key, conn) in self.conns.iter() {
+            // A stalled reader: bytes queued, zero write progress. This
+            // must be judged from the queue, not from events — a full
+            // socket produces no further writable events to observe.
+            if conn.out.queued() > 0
+                && now.duration_since(conn.last_progress) > config.write_timeout
+            {
+                stalled.push(key);
+                continue;
+            }
+            if conn.has_partial_request() && !conn.streaming {
+                if now.duration_since(conn.last_read) > config.read_timeout {
+                    stalled.push(key);
+                }
+            } else if !conn.streaming
+                && conn.out.queued() == 0
+                && now.duration_since(conn.last_read) > config.idle_timeout
+            {
+                idle.push(key);
+            }
+        }
+        for key in stalled {
+            self.remove(key, true);
+        }
+        for key in idle {
+            self.remove(key, false);
+        }
+    }
+}
+
+pub(crate) fn error_json(msg: &str) -> String {
+    format!("{{\"error\":{}}}", joss_sweep::json::quote(msg))
+}

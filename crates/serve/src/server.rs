@@ -1,35 +1,47 @@
-//! The daemon: TCP acceptor + worker thread pool, request routing, and the
-//! campaign-streaming handler.
+//! The daemon: a readiness-driven reactor thread plus a campaign executor
+//! pool.
 //!
-//! Architecture (threads + blocking I/O by design — the vendored
-//! dependency set has no async runtime):
+//! Architecture (event loop + blocking simulation workers — the vendored
+//! dependency set has no async runtime, and simulations are CPU-bound
+//! anyway):
 //!
 //! ```text
-//! acceptor ──► connection queue ──► N HTTP workers
-//!                                        │ parse GridDesc, cache lookup,
-//!                                        │ admission check
-//!                                        ▼
-//!                      Campaign::run_streaming (sweep pool fan-out,
-//!                      shared lazily-trained ExperimentContext)
-//!                                        │ records in spec order
-//!                                        ▼
-//!                      socket (JSONL) + in-memory copy → results cache
+//! reactor thread (epoll over nonblocking sockets; crate::reactor)
+//!   ├─ accept / read / parse HTTP/1.1 (keep-alive, pipelined)
+//!   ├─ in-line: health, stats, 4xx, 503 shed, zero-copy cache hits
+//!   │    hit = one owned head + one Arc'd body segment → writev
+//!   └─ miss ──► job queue ──► N executor threads
+//!                                  │ validate, resolve, then
+//!                                  │ Campaign::run_streaming (sweep pool,
+//!                                  │ shared lazily-trained context)
+//!                                  ▼
+//!                    chunk frames → per-connection Outbound queue
+//!                    (bounded: a slow client blocks only its own stream)
+//!                                  │ poller.notify()
+//!                                  ▼
+//!                    reactor drains queue as the socket accepts bytes
 //! ```
 //!
-//! One exchange per connection (`Connection: close` delimits streamed
-//! bodies). The expensive per-process state is shared: **one**
-//! [`ExperimentContext`] trained on first use serves every connection, and
+//! Connections are persistent: HTTP/1.1 keep-alive by default, with
+//! `Connection: close` (and HTTP/1.0) honored. Cache hits and error
+//! responses are `Content-Length`-framed; executed campaigns stream with
+//! `Transfer-Encoding: chunked` so the connection survives a
+//! length-unknown body. The expensive per-process state is shared: **one**
+//! [`ExperimentContext`] trained on first use serves every request, and
 //! finished campaign bodies land in the [`ResultsCache`] keyed by the
-//! grid's canonical JSON, so a repeated query never re-simulates.
+//! grid's canonical JSON — with their raw request bytes memoized, so a
+//! repeated query re-simulates nothing and re-parses nothing.
 
-use crate::admission::Admission;
-use crate::cache::ResultsCache;
-use crate::http::{self, RequestError};
+use crate::admission::{Admission, Permit};
+use crate::cache::{CachedBody, ResultsCache};
+use crate::http;
+use crate::reactor::{self, Outbound, Seg};
 use joss_sweep::{Campaign, ExperimentContext, GridDesc};
+use polling::Poller;
 use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -38,8 +50,9 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// HTTP worker threads. Keep this above `max_inflight` so health and
-    /// cache-hit traffic stays responsive while campaigns stream.
+    /// Campaign executor threads. Only admitted cache misses occupy one;
+    /// health, stats, and cache-hit traffic is answered by the reactor and
+    /// never waits behind a simulation.
     pub workers: usize,
     /// Concurrent in-flight campaigns admitted before 503s (see
     /// [`Admission`]).
@@ -57,8 +70,14 @@ pub struct ServeConfig {
     pub train_seed: u64,
     /// Profiling repetitions for the one-time characterization.
     pub reps: u32,
-    /// Per-connection socket read timeout.
+    /// How long a half-received request may sit before the connection is
+    /// dropped.
     pub read_timeout: Duration,
+    /// How long queued response bytes may make zero progress (client not
+    /// reading) before the connection is dropped.
+    pub write_timeout: Duration,
+    /// How long an idle keep-alive connection is kept before being reaped.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +93,8 @@ impl Default for ServeConfig {
             train_seed: 42,
             reps: 3,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -83,6 +104,9 @@ impl Default for ServeConfig {
 pub struct Stats {
     /// Requests whose head parsed (any method/path).
     pub requests: AtomicU64,
+    /// Connections accepted (a keep-alive connection counts once however
+    /// many requests it carries).
+    pub connections: AtomicU64,
     /// Campaigns actually simulated (== cache misses that were admitted).
     pub campaigns_executed: AtomicU64,
     /// Campaign requests served straight from the results cache.
@@ -93,15 +117,15 @@ pub struct Stats {
     pub bad_requests: AtomicU64,
     /// Records streamed by executed campaigns.
     pub records_streamed: AtomicU64,
-    /// Connections dropped on transport errors.
+    /// Connections dropped on transport errors or blown deadlines.
     pub io_errors: AtomicU64,
-    /// Handler panics contained by the worker pool (each one is a bug —
+    /// Handler panics contained by the executor pool (each one is a bug —
     /// the count is surfaced so it cannot hide).
     pub handler_panics: AtomicU64,
 }
 
 impl Stats {
-    fn bump(counter: &AtomicU64) {
+    pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -110,15 +134,73 @@ impl Stats {
     }
 }
 
+/// An admitted campaign miss, queued from the reactor to the executors.
+pub(crate) struct Job {
+    /// Reactor key of the owning connection (for wakes).
+    pub(crate) key: usize,
+    pub(crate) out: Arc<Outbound>,
+    pub(crate) desc: GridDesc,
+    pub(crate) canonical: String,
+    /// Request body bytes, memoized alongside the cache entry on success.
+    pub(crate) raw_body: Vec<u8>,
+    /// Formatted spec hash for the response head.
+    pub(crate) hash: String,
+    pub(crate) run_count: usize,
+    /// Response should carry `Connection: close`.
+    pub(crate) close_after: bool,
+    /// Admission slot, held from reactor-side admission until the job is
+    /// done (dropped here even on panic, via the permit's RAII release).
+    pub(crate) permit: Permit,
+}
+
+/// Blocking MPMC job queue feeding the executor pool.
+#[derive(Default)]
+pub(crate) struct JobQueue {
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn push(&self, job: Job) {
+        self.queue.lock().expect("job queue").0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Next job, or `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut guard = self.queue.lock().expect("job queue");
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("job queue");
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("job queue").1 = true;
+        self.ready.notify_all();
+    }
+}
+
 /// Shared per-process serving state.
-struct State {
-    config: ServeConfig,
-    cache: ResultsCache,
-    admission: Admission,
+pub(crate) struct State {
+    pub(crate) config: ServeConfig,
+    pub(crate) cache: ResultsCache,
+    pub(crate) admission: Arc<Admission>,
     ctx: OnceLock<ExperimentContext>,
-    stats: Stats,
-    shutdown: AtomicBool,
-    queue: ConnQueue,
+    pub(crate) stats: Stats,
+    pub(crate) shutdown: AtomicBool,
+    /// The reactor's poller; executors use it to wake the event loop.
+    pub(crate) poller: Poller,
+    pub(crate) jobs: JobQueue,
+    /// Jobs admitted but not yet finished (keeps shutdown honest).
+    pub(crate) active_jobs: AtomicUsize,
+    /// Connection keys with executor-side progress to flush.
+    pub(crate) wakes: Mutex<Vec<usize>>,
 }
 
 impl State {
@@ -130,14 +212,22 @@ impl State {
             .get_or_init(|| ExperimentContext::with_reps(self.config.train_seed, self.config.reps))
     }
 
-    fn stats_json(&self) -> String {
+    /// Ask the reactor to service connection `key` (executor-side progress:
+    /// queued chunks or a finished stream).
+    pub(crate) fn wake(&self, key: usize) {
+        self.wakes.lock().expect("wake list").push(key);
+        let _ = self.poller.notify();
+    }
+
+    pub(crate) fn stats_json(&self) -> String {
         format!(
-            "{{\"requests\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
+            "{{\"requests\":{},\"connections\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
              \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
              \"io_errors\":{},\"handler_panics\":{},\"cached_grids\":{},\"trained\":{},\
              \"max_inflight\":{},\"available_permits\":{},\"train_seed\":{},\"reps\":{},\
              \"schema\":{}}}",
             Stats::get(&self.stats.requests),
+            Stats::get(&self.stats.connections),
             Stats::get(&self.stats.campaigns_executed),
             Stats::get(&self.stats.cache_hits),
             Stats::get(&self.stats.rejected_503),
@@ -154,37 +244,17 @@ impl State {
             joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
         )
     }
-}
 
-/// Blocking MPMC connection queue feeding the worker pool.
-#[derive(Default)]
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-}
-
-impl ConnQueue {
-    fn push(&self, conn: TcpStream) {
-        self.queue.lock().expect("conn queue").push_back(conn);
-        self.ready.notify_one();
-    }
-
-    /// Next connection, or `None` once shutdown is flagged.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut queue = self.queue.lock().expect("conn queue");
-        loop {
-            if let Some(conn) = queue.pop_front() {
-                return Some(conn);
-            }
-            if shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            let (next, _) = self
-                .ready
-                .wait_timeout(queue, Duration::from_millis(100))
-                .expect("conn queue");
-            queue = next;
-        }
+    pub(crate) fn health_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"trained\":{},\"train_seed\":{},\"reps\":{},\
+             \"schema\":{},\"version\":{}}}",
+            self.ctx.get().is_some(),
+            self.config.train_seed,
+            self.config.reps,
+            joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
+            joss_sweep::json::quote(env!("CARGO_PKG_VERSION")),
+        )
     }
 }
 
@@ -200,11 +270,14 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let state = Arc::new(State {
             cache: ResultsCache::new(config.cache_entries),
-            admission: Admission::new(config.max_inflight),
+            admission: Arc::new(Admission::new(config.max_inflight)),
             ctx: OnceLock::new(),
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
-            queue: ConnQueue::default(),
+            poller: Poller::new()?,
+            jobs: JobQueue::default(),
+            active_jobs: AtomicUsize::new(0),
+            wakes: Mutex::new(Vec::new()),
             config,
         });
         Ok(Server { listener, state })
@@ -222,44 +295,25 @@ impl Server {
         let _ = self.state.ctx();
     }
 
-    /// Serve until [`ServerHandle::stop`] (or a listener error). Blocks the
-    /// calling thread; use [`Server::spawn`] for an owned background
-    /// daemon.
+    /// Serve until [`ServerHandle::stop`] (or a poller error). Blocks the
+    /// calling thread — it becomes the reactor — and runs the executor
+    /// pool on scoped threads; use [`Server::spawn`] for an owned
+    /// background daemon.
     pub fn run(self) -> io::Result<()> {
         let workers = self.state.config.workers.max(1);
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let state = Arc::clone(&self.state);
-                scope.spawn(move || {
-                    while let Some(conn) = state.queue.pop(&state.shutdown) {
-                        // Contain handler panics: a daemon must not lose a
-                        // worker (and eventually its whole pool) to one bad
-                        // request. The connection just drops; the client
-                        // sees a reset, the counter sees a bug.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                handle_connection(conn, &state)
-                            }));
-                        if outcome.is_err() {
-                            Stats::bump(&state.stats.handler_panics);
-                        }
-                    }
-                });
+                scope.spawn(move || executor_loop(&state));
             }
-            for conn in self.listener.incoming() {
-                if self.state.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => self.state.queue.push(stream),
-                    Err(_) => Stats::bump(&self.state.stats.io_errors),
-                }
-            }
-            // Unblock any waiting workers.
+            let result = reactor::run(self.listener, Arc::clone(&self.state));
+            // The reactor only exits on shutdown (or a fatal poller
+            // error): release the executors.
             self.state.shutdown.store(true, Ordering::Release);
-            self.state.queue.ready.notify_all();
+            self.state.jobs.close();
+            result
         });
-        Ok(())
+        result
     }
 
     /// Run on a background thread, returning a stop/join handle.
@@ -288,13 +342,12 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Flag shutdown, unblock the acceptor, and join. In-flight campaign
-    /// streams finish; queued-but-unserved connections are dropped.
+    /// Flag shutdown, wake the reactor, and join. In-flight campaign
+    /// streams finish and every connection is flushed and closed; no new
+    /// connections are accepted.
     pub fn stop(self) -> io::Result<()> {
         self.state.shutdown.store(true, Ordering::Release);
-        self.state.queue.ready.notify_all();
-        // The acceptor is parked in accept(); poke it with a connection.
-        let _ = TcpStream::connect(self.addr);
+        let _ = self.state.poller.notify();
         match self.thread.join() {
             Ok(result) => result,
             Err(_) => Err(io::Error::other("server thread panicked")),
@@ -302,161 +355,44 @@ impl ServerHandle {
     }
 }
 
-/// Serve one connection: read one request, route it, respond, close.
-fn handle_connection(conn: TcpStream, state: &State) {
-    let _ = conn.set_read_timeout(Some(state.config.read_timeout));
-    let _ = conn.set_nodelay(true);
-    let reader_half = match conn.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => {
-            Stats::bump(&state.stats.io_errors);
-            return;
+/// Executor thread: drain admitted campaign jobs until the queue closes.
+fn executor_loop(state: &Arc<State>) {
+    while let Some(job) = state.jobs.pop() {
+        let key = job.key;
+        let out = Arc::clone(&job.out);
+        // Contain handler panics: the daemon must not lose an executor
+        // (and eventually its whole pool) to one bad request. The
+        // connection is torn down; the client sees a reset, the counter
+        // sees a bug. The job's permit releases on unwind.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(state, job)));
+        if outcome.is_err() {
+            Stats::bump(&state.stats.handler_panics);
+            out.close();
         }
-    };
-    let mut reader = BufReader::new(reader_half);
-    let mut writer = BufWriter::new(conn);
-
-    let request = match http::read_request(&mut reader, state.config.max_body) {
-        Ok(req) => req,
-        Err(RequestError::Io(_)) => {
-            Stats::bump(&state.stats.io_errors);
-            return;
-        }
-        Err(err) => {
-            Stats::bump(&state.stats.bad_requests);
-            let (status, msg) = match err {
-                RequestError::Malformed(m) => (400, m),
-                RequestError::LengthRequired => (411, "Content-Length required".into()),
-                RequestError::BodyTooLarge { limit } => {
-                    (413, format!("body exceeds {limit} bytes"))
-                }
-                RequestError::Io(_) => unreachable!("handled above"),
-            };
-            let _ = http::write_json(&mut writer, status, &error_json(&msg));
-            return;
-        }
-    };
-
-    Stats::bump(&state.stats.requests);
-    let outcome = match (request.method.as_str(), request.path.as_str()) {
-        // Besides liveness, /healthz carries everything a fleet
-        // coordinator needs to decide whether this backend's records can
-        // be merged with another's: the training parameters (records are
-        // byte-identical only across equal train seed/reps), the record
-        // wire schema, and the build version.
-        ("GET", "/healthz") => http::write_json(
-            &mut writer,
-            200,
-            &format!(
-                "{{\"status\":\"ok\",\"trained\":{},\"train_seed\":{},\"reps\":{},\
-                 \"schema\":{},\"version\":{}}}",
-                state.ctx.get().is_some(),
-                state.config.train_seed,
-                state.config.reps,
-                joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
-                joss_sweep::json::quote(env!("CARGO_PKG_VERSION")),
-            ),
-        ),
-        ("GET", "/stats") => http::write_json(&mut writer, 200, &state.stats_json()),
-        ("POST", "/v1/campaign") => handle_campaign(&mut writer, &request.body, state),
-        (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") => {
-            Stats::bump(&state.stats.bad_requests);
-            http::write_json(&mut writer, 405, &error_json("method not allowed"))
-        }
-        _ => {
-            Stats::bump(&state.stats.bad_requests);
-            http::write_json(&mut writer, 404, &error_json("no such endpoint"))
-        }
-    };
-    if outcome.is_err() {
-        Stats::bump(&state.stats.io_errors);
+        state.active_jobs.fetch_sub(1, Ordering::AcqRel);
+        state.wake(key);
     }
 }
 
-/// The campaign endpoint: parse → cache → admission → simulate + stream.
-fn handle_campaign(
-    writer: &mut BufWriter<TcpStream>,
-    body: &[u8],
-    state: &State,
-) -> io::Result<()> {
-    let bad = |writer: &mut BufWriter<TcpStream>, state: &State, msg: &str| {
-        Stats::bump(&state.stats.bad_requests);
-        http::write_json(writer, 400, &error_json(msg))
-    };
-
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => return bad(writer, state, "request body must be UTF-8 JSON"),
-    };
-    let desc = match GridDesc::from_json(text) {
-        Ok(d) => d,
-        Err(e) => return bad(writer, state, &e),
-    };
-    // Everything up to the admission gate works on the description alone:
-    // resolving a grid instantiates the whole benchmark suite at the
-    // requested scale, which is exactly the work the cache and the
-    // semaphore exist to bound, so it must not happen for hits, sheds, or
-    // oversized requests. The spec cap gates the work this request *runs*
-    // (the shard's slice, not the grid it is cut from) — sharding is how a
-    // fleet feeds a grid larger than any single daemon's limit through
-    // many daemons.
-    let run_count = desc.run_count();
-    if run_count > state.config.max_specs {
-        return bad(
-            writer,
-            state,
-            &format!(
-                "request runs {run_count} specs, above this daemon's limit of {}",
-                state.config.max_specs
-            ),
-        );
-    }
-
-    let canonical = desc.to_canonical_json();
-    let hash = format!("{:016x}", desc.spec_hash());
-    let records_header = run_count.to_string();
-
-    // Cache: repeated identical grids stream from memory, no permit needed.
-    if let Some(cached) = state.cache.get(&canonical) {
-        Stats::bump(&state.stats.cache_hits);
-        http::write_head(
-            writer,
-            200,
-            &[
-                ("Content-Type", "application/x-ndjson"),
-                ("X-Joss-Spec-Hash", &hash),
-                ("X-Joss-Cache", "hit"),
-                ("X-Joss-Records", &records_header),
-            ],
-        )?;
-        writer.write_all(&cached)?;
-        return writer.flush();
-    }
-
-    // Admission: shed load instead of oversubscribing the simulation pool.
-    let permit = match state.admission.try_acquire() {
-        Some(p) => p,
-        None => {
-            Stats::bump(&state.stats.rejected_503);
-            let json = error_json("simulation pool saturated; retry shortly");
-            let len = json.len().to_string();
-            http::write_head(
-                writer,
-                503,
-                &[
-                    ("Content-Type", "application/json"),
-                    ("Content-Length", &len),
-                    ("Retry-After", "1"),
-                ],
-            )?;
-            writer.write_all(json.as_bytes())?;
-            return writer.flush();
-        }
-    };
+/// Simulate one admitted campaign, streaming chunk-framed records into the
+/// connection's outbound queue and (when enabled) into the results cache.
+fn run_job(state: &Arc<State>, job: Job) {
+    let Job {
+        key,
+        out,
+        desc,
+        canonical,
+        raw_body,
+        hash,
+        run_count,
+        close_after,
+        permit: _permit,
+    } = job;
 
     // Train-once (first admitted campaign pays it), then validate against
-    // the serving platform and resolve. Both must precede the 200 head:
-    // an out-of-range `fixed:` knob index or unknown workload label is a
+    // the serving platform and resolve. Both must precede the 200 head: an
+    // out-of-range `fixed:` knob index or unknown workload label is a
     // client fault, not a half-streamed response.
     let ctx = state.ctx();
     if let Err(e) = desc
@@ -464,73 +400,97 @@ fn handle_campaign(
         .iter()
         .try_for_each(|s| s.validate(&ctx.space))
     {
-        drop(permit);
-        return bad(writer, state, &e);
+        Stats::bump(&state.stats.bad_requests);
+        out.push_blocking(Seg::Owned(http::json_response_bytes(
+            400,
+            &reactor::error_json(&e),
+            close_after,
+        )));
+        out.finish_stream();
+        return;
     }
     // Shard-aware resolution: a sharded description builds only the
-    // workloads its spec range touches and streams records carrying
-    // global spec indices.
+    // workloads its spec range touches and streams records carrying global
+    // spec indices.
     let (index_base, specs) = match desc.resolve_specs() {
         Ok(resolved) => resolved,
         Err(e) => {
-            drop(permit);
-            return bad(writer, state, &e);
+            Stats::bump(&state.stats.bad_requests);
+            out.push_blocking(Seg::Owned(http::json_response_bytes(
+                400,
+                &reactor::error_json(&e),
+                close_after,
+            )));
+            out.finish_stream();
+            return;
         }
     };
-    http::write_head(
-        writer,
+
+    let records_header = run_count.to_string();
+    let mut head = Vec::with_capacity(224);
+    http::head_bytes(
+        &mut head,
         200,
         &[
             ("Content-Type", "application/x-ndjson"),
             ("X-Joss-Spec-Hash", &hash),
             ("X-Joss-Cache", "miss"),
             ("X-Joss-Records", &records_header),
+            ("Transfer-Encoding", "chunked"),
         ],
-    )?;
+        close_after,
+    );
+    // `aborted` means the connection died: stop producing output but keep
+    // simulating — the completed body still becomes the cache entry.
+    let mut aborted = !out.push_blocking(Seg::Owned(head));
+    if !aborted {
+        state.wake(key);
+    }
 
-    // Stream each record to the socket as it flushes out of the reorder
-    // window AND (when caching is on) into the in-memory copy that becomes
-    // the cache entry. A client that disconnects mid-stream stops socket
-    // writes only — the campaign still completes and its full body is
-    // still cached. With the cache disabled (`--cache-entries 0`) records
-    // go straight to the socket through a reused line buffer, keeping the
+    // Records accumulate in `body`; `sent` marks the prefix already
+    // chunk-framed into the queue. With the cache disabled
+    // (`--cache-entries 0`) flushed bytes are dropped, keeping the
     // flat-memory streaming property.
     let caching = state.cache.enabled();
-    let mut cache_body: Vec<u8> = Vec::with_capacity(if caching { run_count * 192 } else { 0 });
-    let mut socket_err: Option<io::Error> = None;
+    let mut body: Vec<u8> = Vec::with_capacity(if caching { run_count * 192 } else { 32 * 1024 });
+    let mut sent = 0usize;
     Campaign::with_threads(state.config.campaign_threads).run_streaming_indexed(
         ctx,
         index_base,
         specs,
         |record| {
-            let line_start = cache_body.len();
-            cache_body.extend_from_slice(record.to_json().as_bytes());
-            cache_body.push(b'\n');
-            if socket_err.is_none() {
-                if let Err(e) = writer.write_all(&cache_body[line_start..]) {
-                    socket_err = Some(e);
+            body.extend_from_slice(record.to_json().as_bytes());
+            body.push(b'\n');
+            if !aborted && body.len() - sent >= 16 * 1024 {
+                let mut frame = Vec::with_capacity(body.len() - sent + 16);
+                http::encode_chunk(&body[sent..], &mut frame);
+                sent = body.len();
+                if out.push_blocking(Seg::Owned(frame)) {
+                    state.wake(key);
+                } else {
+                    aborted = true;
                 }
             }
-            if !caching {
-                cache_body.clear();
+            if !caching && (aborted || sent == body.len()) {
+                body.clear();
+                sent = 0;
             }
         },
     );
+    if !aborted {
+        let mut tail = Vec::with_capacity(body.len() - sent + 16);
+        http::encode_chunk(&body[sent..], &mut tail);
+        tail.extend_from_slice(http::CHUNK_TERMINATOR);
+        out.push_blocking(Seg::Owned(tail));
+    }
     Stats::bump(&state.stats.campaigns_executed);
     state
         .stats
         .records_streamed
         .fetch_add(run_count as u64, Ordering::Relaxed);
     if caching {
-        state.cache.insert(canonical, Arc::new(cache_body));
+        state.cache.insert(canonical.clone(), CachedBody::new(body));
+        state.cache.memo_raw(raw_body, canonical, &hash);
     }
-    drop(permit);
-    match socket_err {
-        Some(e) => Err(e),
-        None => writer.flush(),
-    }
-}
-
-fn error_json(msg: &str) -> String {
-    format!("{{\"error\":{}}}", joss_sweep::json::quote(msg))
+    out.finish_stream();
 }

@@ -390,3 +390,311 @@ fn open_loop_pacing_spreads_request_starts() {
     );
     handle.stop().expect("clean shutdown");
 }
+
+// ---------------------------------------------------------------------------
+// Keep-alive, pipelining, and deadline tests (the nonblocking serve path)
+// ---------------------------------------------------------------------------
+
+/// A grid big enough that its JSONL body (~1 MB) cannot fit in the capped
+/// loopback socket buffers — the lever for the write-stall test.
+fn big_desc() -> GridDesc {
+    GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: (0..1500).collect(),
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    }
+}
+
+#[test]
+fn kept_alive_connection_serves_byte_identical_bodies() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let reference = offline_jsonl(&tiny_desc());
+
+    // One TCP session, many exchanges: miss (chunked), hits
+    // (Content-Length), health and stats interleaved.
+    let mut conn = client::Conn::connect(&addr, TIMEOUT).expect("dial");
+    let first = conn.run_campaign(&tiny_desc()).expect("first exchange");
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    assert_eq!(first.header("x-joss-cache"), Some("miss"));
+    assert_eq!(first.body, reference, "miss over keep-alive diverged");
+
+    let health = conn.get("/healthz").expect("health on same conn");
+    assert_eq!(health.status, 200);
+
+    for round in 0..3 {
+        let again = conn.run_campaign(&tiny_desc()).expect("hit exchange");
+        assert_eq!(again.header("x-joss-cache"), Some("hit"), "round {round}");
+        assert_eq!(again.body, reference, "hit over keep-alive diverged");
+    }
+    assert!(
+        conn.is_reusable(),
+        "daemon must not close a keep-alive conn"
+    );
+
+    // The daemon saw exactly one connection for all six exchanges.
+    let stats = conn.get("/stats").expect("stats on same conn");
+    let parsed = joss_sweep::json::parse(&stats.body_text()).expect("stats JSON");
+    assert_eq!(
+        parsed
+            .get("connections")
+            .and_then(joss_sweep::json::Value::as_u64),
+        Some(1),
+        "{}",
+        stats.body_text()
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn pipelined_requests_drain_in_order() {
+    use std::io::{BufReader, Write};
+    let handle = boot(|_| {});
+    let addr = handle.addr();
+    let desc = tiny_desc();
+    let body = desc.to_canonical_json();
+
+    // Three requests written back-to-back before reading anything: a
+    // campaign miss (streams chunked), the same campaign again, and a
+    // health probe. The daemon must answer them strictly in order — the
+    // second and third parse only after the first stream completes.
+    let mut socket = std::net::TcpStream::connect(addr).expect("connect");
+    socket
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    let campaign = format!(
+        "POST /v1/campaign HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut burst = Vec::new();
+    burst.extend_from_slice(campaign.as_bytes());
+    burst.extend_from_slice(campaign.as_bytes());
+    burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    socket.write_all(&burst).expect("pipelined burst");
+
+    let mut reader = BufReader::new(socket);
+    let first = joss_serve::http::read_response(&mut reader).expect("first response");
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    assert_eq!(first.header("x-joss-cache"), Some("miss"));
+    let second = joss_serve::http::read_response(&mut reader).expect("second response");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-joss-cache"), Some("hit"));
+    assert_eq!(
+        second.body, first.body,
+        "pipelined repeat must replay identical bytes"
+    );
+    let third = joss_serve::http::read_response(&mut reader).expect("third response");
+    assert_eq!(third.status, 200);
+    assert!(third.body_text().contains("\"status\":\"ok\""));
+    assert_eq!(first.body, offline_jsonl(&desc));
+    handle.stop().expect("clean shutdown");
+}
+
+/// Shrink a socket's receive buffer so the peer's writes hit backpressure
+/// after a few KB instead of a few hundred.
+#[cfg(target_os = "linux")]
+fn shrink_recv_buffer(stream: &std::net::TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let val: i32 = 4096;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &val as *const i32 as *const u8,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stalled_reader_is_reaped_without_wedging_the_event_loop() {
+    use std::io::{Read, Write};
+    let handle = boot(|c| {
+        c.write_timeout = Duration::from_millis(500);
+    });
+    let addr = handle.addr().to_string();
+
+    // Prime the cache with a body far larger than the socket buffers the
+    // stalled connection can absorb.
+    let big = big_desc();
+    let primed = client::run_campaign(&addr, &big, TIMEOUT).expect("prime cache");
+    assert_eq!(primed.status, 200, "{}", primed.body_text());
+    let full_len = primed.body.len();
+    assert!(full_len > 500 * 1024, "body too small to stall: {full_len}");
+
+    // The stalled client: request the cached body, then read nothing.
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("connect");
+    shrink_recv_buffer(&stalled);
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("read timeout");
+    let body = big.to_canonical_json();
+    let request = format!(
+        "POST /v1/campaign HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stalled.write_all(request.as_bytes()).expect("send request");
+
+    // While the stalled connection sits on a full outbound queue, the
+    // event loop keeps serving everyone else promptly.
+    let t0 = std::time::Instant::now();
+    let live = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("live client");
+    assert_eq!(live.status, 200);
+    let health = client::get(&addr, "/healthz", TIMEOUT).expect("health");
+    assert_eq!(health.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "event loop wedged behind a stalled reader: {:?}",
+        t0.elapsed()
+    );
+
+    // The write deadline (500 ms of zero progress) must kill the stalled
+    // connection; io_errors records the reap.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+        let parsed = joss_sweep::json::parse(&stats.body_text()).expect("stats JSON");
+        let reaped = parsed
+            .get("io_errors")
+            .and_then(joss_sweep::json::Value::as_u64)
+            .unwrap_or(0);
+        if reaped >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled connection never reaped: {}",
+            stats.body_text()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Draining the stalled socket now ends early: the daemon dropped the
+    // connection mid-body, so the client cannot receive the full response.
+    let mut received = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stalled.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => received += n,
+        }
+    }
+    assert!(
+        received < full_len,
+        "expected a truncated body after the reap, got {received} of {full_len}"
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn half_sent_request_hits_the_read_deadline() {
+    use std::io::{Read, Write};
+    let handle = boot(|c| {
+        c.read_timeout = Duration::from_millis(300);
+    });
+    let addr = handle.addr().to_string();
+
+    // Send half a request head and go silent.
+    let mut dribbler = std::net::TcpStream::connect(&addr).expect("connect");
+    dribbler
+        .write_all(b"POST /v1/campaign HTTP/1.1\r\nContent-Le")
+        .expect("partial head");
+    dribbler
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+
+    // Others are unaffected while the dribbler's deadline runs.
+    let health = client::get(&addr, "/healthz", TIMEOUT).expect("health");
+    assert_eq!(health.status, 200);
+
+    // The daemon drops the connection once the read deadline passes.
+    let mut buf = [0u8; 256];
+    match dribbler.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected the connection to close, got {n} bytes"),
+    }
+
+    // An idle keep-alive connection with NO partial request is governed by
+    // the (long) idle timeout, not the read deadline: it survives this.
+    let mut conn = client::Conn::connect(&addr, TIMEOUT).expect("dial");
+    conn.get("/healthz").expect("first exchange");
+    std::thread::sleep(Duration::from_millis(600));
+    let again = conn.get("/healthz").expect("idle conn still serves");
+    assert_eq!(again.status, 200);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn loadgen_reuses_connections_and_close_mode_dials_per_request() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    // Keep-alive (default): one dial per client.
+    let mut config = LoadgenConfig::new(addr.clone(), tiny_desc());
+    config.clients = 2;
+    config.requests_per_client = 3;
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 6);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.connections, 2, "one dial per keep-alive client");
+
+    // Recycling every 2 exchanges: ceil(3/2) = 2 dials per client.
+    config.requests_per_conn = 2;
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 6);
+    assert_eq!(report.connections, 4, "recycle after 2 exchanges");
+
+    // Close-per-request A/B mode: one dial per request.
+    config.requests_per_conn = 0;
+    config.keep_alive = false;
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 6);
+    assert_eq!(report.connections, 6, "close mode dials per request");
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn connection_close_requests_are_honored() {
+    // The legacy one-shot client sends `Connection: close`; the daemon
+    // must close-delimit the session (HTTP/1.0-era peers and proxies that
+    // read to EOF depend on it).
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let response = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("one-shot");
+    assert_eq!(response.status, 200);
+    assert_eq!(client::verify_body(&tiny_desc(), &response.body), Ok(2));
+
+    // Raw probe: the response must carry `Connection: close` and the
+    // socket must actually reach EOF afterwards.
+    use std::io::{Read, Write};
+    let mut socket = std::net::TcpStream::connect(&addr).expect("connect");
+    socket
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    socket
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut raw = Vec::new();
+    socket.read_to_end(&mut raw).expect("read to daemon close");
+    let text = String::from_utf8_lossy(&raw).to_lowercase();
+    assert!(
+        text.contains("connection: close"),
+        "close request must be acknowledged: {text}"
+    );
+    handle.stop().expect("clean shutdown");
+}

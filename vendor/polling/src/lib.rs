@@ -1,0 +1,653 @@
+//! Vendored API-subset stand-in for the `polling` crate (offline build).
+//!
+//! Portable readiness polling over raw file descriptors: register sources
+//! with interest flags, block in [`Poller::wait`] until one is ready, and
+//! wake the waiter from any thread with [`Poller::notify`]. The backend is
+//! epoll(7) on Linux/Android and poll(2) on other Unix platforms; both are
+//! level-triggered, so an event repeats on every `wait` until the
+//! condition is consumed (read drained, write buffer full, or interest
+//! changed with [`Poller::modify`]).
+//!
+//! Only the subset this workspace uses is implemented: no edge-triggered
+//! or oneshot modes, no timers, and `wait` delivers into a caller-owned
+//! `Vec<Event>`. Keys are caller-chosen `usize` values; [`NOTIFY_KEY`] is
+//! reserved for the internal wakeup source and never delivered.
+
+#[cfg(not(unix))]
+compile_error!("the vendored `polling` stand-in supports Unix platforms only");
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Reserved key for the internal notify source; never delivered to callers
+/// and rejected by [`Poller::add`].
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Interest in, or readiness of, a registered source.
+///
+/// When passed to `add`/`modify` the flags are the *interest set*; when
+/// returned from `wait` they are the *ready set*. Error and hangup
+/// conditions are folded into both flags so a caller that only watches one
+/// direction still observes the failure and lets the subsequent I/O call
+/// report it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    pub fn none(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                // Round up so a 100µs timeout does not busy-spin at 0ms.
+                let ms = (d.as_micros().saturating_add(999) / 1000).min(i32::MAX as u128);
+                (ms as i32).max(1)
+            }
+        }
+    }
+}
+
+/// The default poller for this platform.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub type Poller = EpollPoller;
+#[cfg(all(unix, not(any(target_os = "linux", target_os = "android"))))]
+pub type Poller = PollPoller;
+
+// ---------------------------------------------------------------------------
+// epoll backend (Linux/Android)
+// ---------------------------------------------------------------------------
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod epoll_sys {
+    use core::ffi::{c_int, c_uint, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    // The kernel ABI packs epoll_event on x86/x86_64 (12 bytes); other
+    // architectures use natural alignment (16 bytes).
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// epoll(7)-backed poller: the kernel tracks registrations, `notify` is an
+/// eventfd registered under [`NOTIFY_KEY`] and drained inside `wait`.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub struct EpollPoller {
+    epfd: RawFd,
+    event_fd: RawFd,
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+impl EpollPoller {
+    pub fn new() -> io::Result<Self> {
+        use epoll_sys as sys;
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let event_fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if event_fd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(err);
+        }
+        let poller = EpollPoller { epfd, event_fd };
+        poller.ctl(
+            sys::EPOLL_CTL_ADD,
+            event_fd,
+            Some(Event::readable(NOTIFY_KEY)),
+        )?;
+        Ok(poller)
+    }
+
+    fn interest_bits(ev: Event) -> u32 {
+        use epoll_sys as sys;
+        let mut bits = 0;
+        if ev.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if ev.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn ctl(&self, op: core::ffi::c_int, fd: RawFd, ev: Option<Event>) -> io::Result<()> {
+        use epoll_sys as sys;
+        let mut raw = sys::EpollEvent {
+            events: ev.map(Self::interest_bits).unwrap_or(0),
+            data: ev.map(|e| e.key as u64).unwrap_or(0),
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut raw) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register a source under `ev.key` with `ev`'s interest set.
+    pub fn add(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved",
+            ));
+        }
+        self.ctl(epoll_sys::EPOLL_CTL_ADD, source.as_raw_fd(), Some(ev))
+    }
+
+    /// Replace the interest set of a registered source.
+    pub fn modify(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved",
+            ));
+        }
+        self.ctl(epoll_sys::EPOLL_CTL_MOD, source.as_raw_fd(), Some(ev))
+    }
+
+    /// Deregister a source. Must be called before the fd is closed.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until a source is ready, the timeout elapses, or `notify` is
+    /// called. Ready events are appended to `events` (cleared first);
+    /// returns the number delivered. A `notify` wakeup is consumed
+    /// internally and can yield `Ok(0)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        use epoll_sys as sys;
+        events.clear();
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                raw.as_mut_ptr(),
+                raw.len() as i32,
+                timeout_millis(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(n as usize) {
+            let key = { ev.data } as usize;
+            if key == NOTIFY_KEY {
+                let mut buf = [0u8; 8];
+                unsafe { sys::read(self.event_fd, buf.as_mut_ptr() as *mut core::ffi::c_void, 8) };
+                continue;
+            }
+            let bits = { ev.events };
+            let fail = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            events.push(Event {
+                key,
+                readable: fail || bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: fail || bits & sys::EPOLLOUT != 0,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent `wait` from any thread. Coalesces: multiple
+    /// notifies before the next `wait` produce one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        use epoll_sys as sys;
+        let one: u64 = 1;
+        let rc = unsafe {
+            sys::write(
+                self.event_fd,
+                (&one as *const u64) as *const core::ffi::c_void,
+                8,
+            )
+        };
+        // EAGAIN means the counter is already non-zero: the wakeup is
+        // pending, which is all notify promises.
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            epoll_sys::close(self.event_fd);
+            epoll_sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+unsafe impl Send for EpollPoller {}
+#[cfg(any(target_os = "linux", target_os = "android"))]
+unsafe impl Sync for EpollPoller {}
+
+// ---------------------------------------------------------------------------
+// poll(2) backend (all Unix; the default off Linux, CI-covered on Linux)
+// ---------------------------------------------------------------------------
+
+mod poll_sys {
+    use core::ffi::{c_int, c_short, c_ulong, c_void};
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    pub const F_SETFD: c_int = 2;
+    pub const FD_CLOEXEC: c_int = 1;
+    pub const F_SETFL: c_int = 4;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub const O_NONBLOCK: c_int = 0x0004;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// poll(2)-backed poller: registrations live in a userspace table that is
+/// snapshotted into a `pollfd` array per `wait`; `notify` writes to a
+/// nonblocking self-pipe included in every poll set.
+pub struct PollPoller {
+    fds: std::sync::Mutex<std::collections::HashMap<RawFd, Event>>,
+    pipe_read: RawFd,
+    pipe_write: RawFd,
+}
+
+impl PollPoller {
+    pub fn new() -> io::Result<Self> {
+        use poll_sys as sys;
+        let mut fds = [0 as core::ffi::c_int; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            unsafe {
+                sys::fcntl(fd, sys::F_SETFL, sys::O_NONBLOCK);
+                sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC);
+            }
+        }
+        Ok(PollPoller {
+            fds: std::sync::Mutex::new(std::collections::HashMap::new()),
+            pipe_read: fds[0],
+            pipe_write: fds[1],
+        })
+    }
+
+    /// Register a source under `ev.key` with `ev`'s interest set.
+    pub fn add(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved",
+            ));
+        }
+        let mut fds = self.fds.lock().unwrap();
+        if fds.insert(source.as_raw_fd(), ev).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Replace the interest set of a registered source.
+    pub fn modify(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        if ev.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved",
+            ));
+        }
+        let mut fds = self.fds.lock().unwrap();
+        match fds.get_mut(&source.as_raw_fd()) {
+            Some(slot) => {
+                *slot = ev;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Deregister a source.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let mut fds = self.fds.lock().unwrap();
+        match fds.remove(&source.as_raw_fd()) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Block until a source is ready, the timeout elapses, or `notify` is
+    /// called; semantics match [`EpollPoller::wait`].
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        use poll_sys as sys;
+        events.clear();
+        let mut set: Vec<(usize, sys::PollFd)> = vec![(
+            NOTIFY_KEY,
+            sys::PollFd {
+                fd: self.pipe_read,
+                events: sys::POLLIN,
+                revents: 0,
+            },
+        )];
+        {
+            let fds = self.fds.lock().unwrap();
+            for (&fd, &ev) in fds.iter() {
+                let mut bits = 0;
+                if ev.readable {
+                    bits |= sys::POLLIN;
+                }
+                if ev.writable {
+                    bits |= sys::POLLOUT;
+                }
+                set.push((
+                    ev.key,
+                    sys::PollFd {
+                        fd,
+                        events: bits,
+                        revents: 0,
+                    },
+                ));
+            }
+        }
+        let mut raw: Vec<sys::PollFd> = set.iter().map(|(_, p)| *p).collect();
+        let n = unsafe {
+            sys::poll(
+                raw.as_mut_ptr(),
+                raw.len() as core::ffi::c_ulong,
+                timeout_millis(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ((key, _), ready) in set.iter().zip(raw.iter()) {
+            if ready.revents == 0 {
+                continue;
+            }
+            if *key == NOTIFY_KEY {
+                let mut buf = [0u8; 64];
+                loop {
+                    let rc = unsafe {
+                        sys::read(
+                            self.pipe_read,
+                            buf.as_mut_ptr() as *mut core::ffi::c_void,
+                            buf.len(),
+                        )
+                    };
+                    if rc < buf.len() as isize {
+                        break;
+                    }
+                }
+                continue;
+            }
+            let fail = ready.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+            events.push(Event {
+                key: *key,
+                readable: fail || ready.revents & sys::POLLIN != 0,
+                writable: fail || ready.revents & sys::POLLOUT != 0,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent `wait` from any thread; coalesces like
+    /// [`EpollPoller::notify`].
+    pub fn notify(&self) -> io::Result<()> {
+        use poll_sys as sys;
+        let one = 1u8;
+        let rc = unsafe {
+            sys::write(
+                self.pipe_write,
+                (&one as *const u8) as *const core::ffi::c_void,
+                1,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            // A full pipe already guarantees a pending wakeup.
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            poll_sys::close(self.pipe_read);
+            poll_sys::close(self.pipe_write);
+        }
+    }
+}
+
+unsafe impl Send for PollPoller {}
+unsafe impl Sync for PollPoller {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    macro_rules! backend_tests {
+        ($modname:ident, $poller:ty) => {
+            mod $modname {
+                use super::*;
+
+                #[test]
+                fn readable_event_fires_and_clears() {
+                    let poller = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (mut server, _) = listener.accept().unwrap();
+                    poller.add(&server, Event::readable(7)).unwrap();
+
+                    let mut events = Vec::new();
+                    // Nothing to read yet: times out with no events.
+                    poller
+                        .wait(&mut events, Some(Duration::from_millis(10)))
+                        .unwrap();
+                    assert!(events.is_empty());
+
+                    client.write_all(b"ping").unwrap();
+                    poller
+                        .wait(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events, vec![Event::readable(7)]);
+
+                    // Level-triggered: still readable until drained.
+                    poller
+                        .wait(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events.len(), 1);
+                    let mut buf = [0u8; 16];
+                    let n = server.read(&mut buf).unwrap();
+                    assert_eq!(&buf[..n], b"ping");
+                    poller
+                        .wait(&mut events, Some(Duration::from_millis(10)))
+                        .unwrap();
+                    assert!(events.is_empty());
+                    poller.delete(&server).unwrap();
+                }
+
+                #[test]
+                fn modify_switches_interest() {
+                    let poller = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+
+                    // An idle connected socket is writable but not readable.
+                    poller.add(&server, Event::all(3)).unwrap();
+                    let mut events = Vec::new();
+                    poller
+                        .wait(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events, vec![Event::writable(3)]);
+
+                    poller.modify(&server, Event::readable(3)).unwrap();
+                    poller
+                        .wait(&mut events, Some(Duration::from_millis(10)))
+                        .unwrap();
+                    assert!(events.is_empty());
+                    poller.delete(&server).unwrap();
+                }
+
+                #[test]
+                fn peer_close_wakes_reader() {
+                    let poller = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+                    poller.add(&server, Event::readable(9)).unwrap();
+                    drop(client);
+                    let mut events = Vec::new();
+                    poller
+                        .wait(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events.len(), 1);
+                    assert_eq!(events[0].key, 9);
+                    assert!(events[0].readable);
+                }
+
+                #[test]
+                fn notify_wakes_wait_without_events() {
+                    let poller = std::sync::Arc::new(<$poller>::new().unwrap());
+                    let waker = std::sync::Arc::clone(&poller);
+                    let handle = std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(50));
+                        waker.notify().unwrap();
+                        waker.notify().unwrap(); // coalesces
+                    });
+                    let mut events = Vec::new();
+                    let start = Instant::now();
+                    poller
+                        .wait(&mut events, Some(Duration::from_secs(30)))
+                        .unwrap();
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "notify did not wake wait"
+                    );
+                    assert!(events.is_empty(), "notify must not surface as an event");
+                    handle.join().unwrap();
+                }
+
+                #[test]
+                fn notify_key_is_reserved() {
+                    let poller = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    assert!(poller.add(&listener, Event::readable(NOTIFY_KEY)).is_err());
+                }
+            }
+        };
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    backend_tests!(epoll_backend, EpollPoller);
+    backend_tests!(poll_backend, PollPoller);
+}
