@@ -1,0 +1,111 @@
+//! Calendar queue vs the `BinaryHeap` it replaced, on an engine-shaped
+//! event stream: pop one event, push follow-ups mostly at the current
+//! timestamp (the `Wake` pattern), occasionally in the future (the `Done`
+//! pattern). Both sides produce identical pop sequences (see the proptest
+//! in `joss-core/tests/equeue_order.rs`); this measures the speed gap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use joss_core::CalendarQueue;
+use joss_platform::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const EVENTS: usize = 100_000;
+
+/// The surface the driver needs from either queue.
+trait EventQueue {
+    fn push(&mut self, at: SimTime, id: u32);
+    fn pop(&mut self) -> Option<(SimTime, u32)>;
+}
+
+impl EventQueue for CalendarQueue<u32> {
+    fn push(&mut self, at: SimTime, id: u32) {
+        CalendarQueue::push(self, at, id)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        CalendarQueue::pop(self)
+    }
+}
+
+/// The engine's previous queue: min-heap with a push counter as FIFO
+/// tie-break.
+#[derive(Default)]
+struct HeapQueue {
+    seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+}
+
+impl EventQueue for HeapQueue {
+    fn push(&mut self, at: SimTime, id: u32) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, id)));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        self.heap.pop().map(|Reverse((at, _, id))| (at, id))
+    }
+}
+
+/// Drive a queue through the engine-shaped stream: start with a backlog,
+/// then per pop push follow-ups — 70% at "now", 30% strictly later — until
+/// `EVENTS` pops have been served. Returns a checksum of the popped
+/// timestamps (identical across implementations by the ordering contract,
+/// so the two benches verifiably do the same work).
+fn drive(q: &mut impl EventQueue) -> u64 {
+    let mut rng = StdRng::seed_from_u64(42);
+    for id in 0..64u32 {
+        q.push(SimTime(rng.gen_range(0..1_000)), id);
+    }
+    let mut checksum = 0u64;
+    let mut served = 0usize;
+    let mut next_id = 64u32;
+    while served < EVENTS {
+        let Some((now, id)) = q.pop() else { break };
+        checksum = checksum.wrapping_mul(31).wrapping_add(now.0 ^ id as u64);
+        served += 1;
+        // Keep the queue population roughly steady.
+        let follow_ups = if rng.gen_range(0..4u64) == 0 { 2 } else { 1 };
+        for _ in 0..follow_ups {
+            let at = if rng.gen_range(0..10u64) < 7 {
+                now
+            } else {
+                SimTime(now.0 + rng.gen_range(1..5_000u64))
+            };
+            q.push(at, next_id);
+            next_id = next_id.wrapping_add(1);
+        }
+    }
+    checksum
+}
+
+fn bench_equeue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equeue_vs_heap");
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    g.sample_size(20);
+
+    g.bench_function("calendar_queue", |b| {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        b.iter(|| {
+            q.reset();
+            black_box(drive(&mut q))
+        })
+    });
+
+    g.bench_function("binary_heap", |b| {
+        let mut q = HeapQueue::default();
+        b.iter(|| {
+            q.heap.clear();
+            q.seq = 0;
+            black_box(drive(&mut q))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(equeue, bench_equeue);
+criterion_main!(equeue);

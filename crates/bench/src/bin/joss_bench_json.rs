@@ -16,10 +16,10 @@
 //! the serving layer — cache-miss campaign latency, cache-hit latency
 //! under pipelined/keep-alive/close connection disciplines, and
 //! closed-loop throughput under concurrent clients — as
-//! `BENCH_serve.json` (`joss-bench-serve/v1`, also in `docs/PERF.md`).
+//! `BENCH_serve.json` (`joss-bench-serve/v2`, also in `docs/PERF.md`).
 //! With `--fleet-out` it boots 1-vs-2 local backend
 //! fleets and snapshots sharded campaign latency as `BENCH_fleet.json`
-//! (`joss-bench-fleet/v1`), asserting the two merges are byte-identical
+//! (`joss-bench-fleet/v2`), asserting the two merges are byte-identical
 //! while it measures. The committed copies at the repo root are the perf
 //! trajectory: every PR that touches the hot path re-runs this tool and
 //! commits the diff, so regressions show up in review. Timings are
@@ -42,13 +42,28 @@ struct Entry {
     unit: &'static str,
     /// Primary rate metric (tasks/s or evals/s), median across runs.
     rate: f64,
-    /// Median wall time of one run/iteration, nanoseconds.
-    median_ns: f64,
+    /// Wall-time spread of one run/iteration across runs, nanoseconds.
+    /// The median is the headline; min (the quietest run — closest to the
+    /// code's true cost on a noisy host) and max (the worst outlier) bound
+    /// how much to trust it.
+    stats: Stats,
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
+/// Min / median / max of a sample set, nanoseconds.
+#[derive(Clone, Copy)]
+struct Stats {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+fn stats(mut v: Vec<f64>) -> Stats {
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    v[v.len() / 2]
+    Stats {
+        min_ns: v[0],
+        median_ns: v[v.len() / 2],
+        max_ns: v[v.len() - 1],
+    }
 }
 
 fn main() {
@@ -130,24 +145,33 @@ fn main() {
             n,
             16,
         );
+        // One unrecorded warm-up run first (criterion does the same): the
+        // first simulation pays one-time costs — lazy thread-local init,
+        // cold caches — that no steady-state run repeats.
         let mut samples = Vec::with_capacity(runs);
-        for _ in 0..runs {
+        for it in 0..=runs {
             let mut sched = GrwsSched::new();
             let t0 = Instant::now();
             let report = SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
             let ns = t0.elapsed().as_nanos() as f64;
             assert_eq!(report.tasks, n);
             black_box(report);
-            samples.push(ns);
+            if it > 0 {
+                samples.push(ns);
+            }
         }
-        let med = median(samples);
+        let st = stats(samples);
         entries.push(Entry {
             name,
             unit: "tasks_per_sec",
-            rate: n as f64 / (med / 1e9),
-            median_ns: med,
+            rate: n as f64 / (st.median_ns / 1e9),
+            stats: st,
         });
-        eprintln!("[joss_bench_json] {name}: {:.3} ms/run", med / 1e6);
+        eprintln!(
+            "[joss_bench_json] {name}: {:.3} ms/run (min {:.3})",
+            st.median_ns / 1e6,
+            st.min_ns / 1e6
+        );
     }
 
     // Search overhead: same estimator fixture as the `search_overhead`
@@ -199,14 +223,17 @@ fn main() {
             }
             samples.push(t0.elapsed().as_nanos() as f64 / search_iters as f64);
         }
-        let med = median(samples);
+        let st = stats(samples);
         entries.push(Entry {
             name,
             unit: "evals_per_sec",
-            rate: evals_per_search / (med / 1e9),
-            median_ns: med,
+            rate: evals_per_search / (st.median_ns / 1e9),
+            stats: st,
         });
-        eprintln!("[joss_bench_json] {name}: {med:.0} ns/search ({evals_per_search} evals)");
+        eprintln!(
+            "[joss_bench_json] {name}: {:.0} ns/search ({evals_per_search} evals)",
+            st.median_ns
+        );
     };
     search_bench("search_overhead/exhaustive", &|| {
         exhaustive_search(&est, true)
@@ -215,7 +242,7 @@ fn main() {
         steepest_descent_search(&est, true)
     });
 
-    write_snapshot(&out_path, "joss-bench-engine/v1", &[], runs, &entries);
+    write_snapshot(&out_path, "joss-bench-engine/v2", &[], runs, &entries);
 
     if let Some(serve_path) = serve_out {
         serve_benches(&serve_path, runs, serve_clients, serve_requests);
@@ -252,8 +279,9 @@ fn write_snapshot(
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"rate\": {:.0}, \"median_ns\": {:.0}}}",
-            e.name, e.unit, e.rate, e.median_ns
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"rate\": {:.0}, \
+             \"min_ns\": {:.0}, \"median_ns\": {:.0}, \"max_ns\": {:.0}}}",
+            e.name, e.unit, e.rate, e.stats.min_ns, e.stats.median_ns, e.stats.max_ns
         );
         json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -315,16 +343,16 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
         client::verify_body(&miss, &resp.body).expect("verified records");
         samples.push(ns);
     }
-    let med = median(samples);
+    let st = stats(samples);
     entries.push(Entry {
         name: "serve/campaign_miss",
         unit: "req_per_sec",
-        rate: 1e9 / med,
-        median_ns: med,
+        rate: 1e9 / st.median_ns,
+        stats: st,
     });
     eprintln!(
         "[joss_bench_json] serve/campaign_miss: {:.3} ms/req",
-        med / 1e6
+        st.median_ns / 1e6
     );
 
     // Cache-hit latency: prime once, then measure the zero-copy replay
@@ -374,16 +402,16 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
                 samples.push(t0.elapsed().as_nanos() as f64 / depth as f64);
             }
         }
-        let med = median(samples);
+        let st = stats(samples);
         entries.push(Entry {
             name: "serve/campaign_hit",
             unit: "req_per_sec",
-            rate: 1e9 / med,
-            median_ns: med,
+            rate: 1e9 / st.median_ns,
+            stats: st,
         });
         eprintln!(
             "[joss_bench_json] serve/campaign_hit: {:.1} us/req (pipelined x{depth})",
-            med / 1e3
+            st.median_ns / 1e3
         );
     }
 
@@ -404,16 +432,16 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
             }
             samples.push(t0.elapsed().as_nanos() as f64 / hit_per_conn as f64);
         }
-        let med = median(samples);
+        let st = stats(samples);
         entries.push(Entry {
             name: "serve/campaign_hit_keepalive",
             unit: "req_per_sec",
-            rate: 1e9 / med,
-            median_ns: med,
+            rate: 1e9 / st.median_ns,
+            stats: st,
         });
         eprintln!(
             "[joss_bench_json] serve/campaign_hit_keepalive: {:.1} us/req ({hit_per_conn}/conn)",
-            med / 1e3
+            st.median_ns / 1e3
         );
     }
 
@@ -429,16 +457,16 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
         assert_eq!(resp.body, prime.body, "cache must replay identical bytes");
         samples.push(ns);
     }
-    let med = median(samples);
+    let st = stats(samples);
     entries.push(Entry {
         name: "serve/campaign_hit_close",
         unit: "req_per_sec",
-        rate: 1e9 / med,
-        median_ns: med,
+        rate: 1e9 / st.median_ns,
+        stats: st,
     });
     eprintln!(
         "[joss_bench_json] serve/campaign_hit_close: {:.3} ms/req",
-        med / 1e6
+        st.median_ns / 1e6
     );
 
     // Closed-loop throughput: N concurrent verified clients hammering the
@@ -454,7 +482,11 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
         name: "serve/closed_loop_throughput",
         unit: "req_per_sec",
         rate: report.throughput_rps(),
-        median_ns: report.percentile(50.0).as_nanos() as f64,
+        stats: Stats {
+            min_ns: report.percentile(0.0).as_nanos() as f64,
+            median_ns: report.percentile(50.0).as_nanos() as f64,
+            max_ns: report.percentile(100.0).as_nanos() as f64,
+        },
     });
     eprintln!(
         "[joss_bench_json] serve/closed_loop_throughput: {:.0} req/s ({} clients)",
@@ -465,7 +497,7 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
 
     write_snapshot(
         out_path,
-        "joss-bench-serve/v1",
+        "joss-bench-serve/v2",
         &[
             ("serve_clients", clients.to_string()),
             ("serve_requests_per_client", requests.to_string()),
@@ -550,14 +582,17 @@ fn fleet_benches(out_path: &str, runs: usize) {
             assert_eq!(report.failovers, 0);
             samples.push(ns);
         }
-        let med = median(samples);
+        let st = stats(samples);
         entries.push(Entry {
             name,
             unit: "campaigns_per_sec",
-            rate: 1e9 / med,
-            median_ns: med,
+            rate: 1e9 / st.median_ns,
+            stats: st,
         });
-        eprintln!("[joss_bench_json] {name}: {:.3} ms/campaign", med / 1e6);
+        eprintln!(
+            "[joss_bench_json] {name}: {:.3} ms/campaign",
+            st.median_ns / 1e6
+        );
     }
 
     for handle in handles {
@@ -565,7 +600,7 @@ fn fleet_benches(out_path: &str, runs: usize) {
     }
     write_snapshot(
         out_path,
-        "joss-bench-fleet/v1",
+        "joss-bench-fleet/v2",
         &[
             ("fleet_backends_max", "2".to_string()),
             ("fleet_shards", "4".to_string()),

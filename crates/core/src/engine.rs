@@ -18,21 +18,29 @@
 //!   time of every affected task and updates its power draw;
 //! * rail powers are piecewise-constant between events and integrated
 //!   exactly; the INA3221-style sensor samples them every 5 ms in parallel.
+//!
+//! Hot-path layout (see `docs/ENGINE.md` for the full story): all per-run
+//! mutable state lives in an [`EngineArena`] — struct-of-arrays task and
+//! slot storage with intrusive per-core queues — events flow through a
+//! [`CalendarQueue`](crate::equeue::CalendarQueue) that reproduces the
+//! `(time, push order)` pop order of a binary heap, and idle rail power
+//! comes from precomputed [`PowerTables`]. All of it is bit-exact against
+//! the pre-arena engine: the golden-fixture suite in
+//! `crates/sweep/tests/engine_equivalence.rs` is the gate.
 
+use crate::arena::{EngineArena, QueuedTask, WaitingMold, NIL};
 use crate::coordination::Coordination;
 use crate::metrics::RunReport;
-use crate::placement::{ExecutedSample, FreqCommand, Placement};
+use crate::placement::{ExecutedSample, FreqCommand};
 use crate::sched::{SchedCtx, Scheduler};
 use crate::trace::{DvfsSpan, ExecTrace, TaskSpan};
 use joss_dag::{TaskGraph, TaskId};
 use joss_platform::{
     ConfigSpace, CoreType, Duration, DvfsController, DvfsDomain, EnergyAccount, ExecContext,
-    FreqIndex, MachineModel, PowerSensor, PowerTrace, SimTime, TaskShape,
+    FreqIndex, MachineModel, PowerSensor, PowerTables, PowerTrace, SimTime,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -81,8 +89,12 @@ impl EngineConfig {
     }
 }
 
+/// Event payloads. Ordering is owned by the calendar queue: events pop in
+/// ascending `(SimTime, push order)` — FIFO within an identical timestamp,
+/// with the kind never participating in the order (the push counter is
+/// unique, so the tie-break never reaches it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub(crate) enum Ev {
     /// A core may have work to pick up.
     Wake { core: usize },
     /// A running task's partitions finish (all at once; the engine models
@@ -98,93 +110,47 @@ enum Ev {
     Timer,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: Ev,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Debug, Clone)]
-struct Queued {
-    task: TaskId,
-    placement: Placement,
-    /// Times this item was held back waiting for a pinned-frequency
-    /// transition (bounded to avoid ping-pong between conflicting pins).
-    pin_waits: u8,
-}
-
-#[derive(Debug, Clone)]
-struct Running {
-    task: TaskId,
-    shape: TaskShape,
-    tc: CoreType,
-    width: usize,
-    cores: Vec<usize>,
-    started: SimTime,
-    finish_at: SimTime,
-    /// Unique completion-event key; regenerated on install and every rescale.
-    token: u64,
-    /// Number of mid-run DVFS rescales (perturbation marker).
-    rescales: u32,
-    fc_start: FreqIndex,
-    fm_start: FreqIndex,
-    fc_cur: FreqIndex,
-    fm_cur: FreqIndex,
-    cpu_dyn_w: f64,
-    mem_dyn_w: f64,
-    /// DRAM bandwidth this task consumes while running, GB/s.
-    mem_demand_gbs: f64,
-    ctx: ExecContext,
-    sampling: bool,
-    stolen: bool,
-}
-
-#[derive(Debug)]
-struct Core {
-    tc: CoreType,
-    queue: VecDeque<Queued>,
-    running: Option<usize>,
-    /// Reserved by a waiting moldable task (see [`WaitingMold`]).
-    reserved: bool,
-}
-
-/// A moldable task gathering cores: the leader reserves itself and waits up
-/// to the configured patience for same-type cores to join (XiTAO-style core
-/// reservation); on timeout it starts with whatever width it has.
-#[derive(Debug)]
-struct WaitingMold {
-    q: Queued,
-    tc: CoreType,
-    need: usize,
-    members: Vec<usize>,
-    stolen: bool,
-}
-
-/// The simulation engine. Create one per run via [`SimEngine::run`].
+/// The simulation engine. Create one per run via [`SimEngine::run`], or
+/// reuse an [`EngineArena`] across runs via [`SimEngine::run_with_arena`].
 pub struct SimEngine;
 
 impl SimEngine {
     /// Execute `graph` on `machine` under `scheduler`; returns the full
     /// measurement report.
+    ///
+    /// Convenience wrapper building a fresh [`EngineArena`] and idle
+    /// [`PowerTables`] per run. Batch executors should build both once and
+    /// call [`SimEngine::run_with_arena`] instead — the results are
+    /// identical either way (the arena resets to a fresh state and the
+    /// tables are a pure function of the machine).
     pub fn run(
         machine: &MachineModel,
         graph: &TaskGraph,
         scheduler: &mut dyn Scheduler,
         cfg: EngineConfig,
     ) -> RunReport {
-        let mut sim = Sim::new(machine, graph, cfg);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let idle = PowerTables::measure(machine, &space);
+        let mut arena = EngineArena::new();
+        Self::run_with_arena(machine, graph, scheduler, cfg, &mut arena, &idle)
+    }
+
+    /// Execute `graph` reusing a caller-owned arena and precomputed idle
+    /// power tables (`idle` must be [`PowerTables::measure`] of `machine` —
+    /// `Campaign` workers pass the experiment context's tables).
+    ///
+    /// The arena is reset at the start of the run, so any arena works for
+    /// any run; reusing one across many runs keeps the hot path free of
+    /// per-run allocation (one arena per worker thread, not per spec).
+    pub fn run_with_arena(
+        machine: &MachineModel,
+        graph: &TaskGraph,
+        scheduler: &mut dyn Scheduler,
+        cfg: EngineConfig,
+        arena: &mut EngineArena,
+        idle: &PowerTables,
+    ) -> RunReport {
+        let mut sim = Sim::new(machine, graph, cfg, arena, idle);
         sim.main_loop(scheduler);
         sim.into_report(scheduler, graph)
     }
@@ -197,34 +163,20 @@ struct Sim<'a> {
     cfg: EngineConfig,
 
     now: SimTime,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    /// All reusable per-run state: SoA task/slot storage, intrusive
+    /// queues, the calendar event queue, mirrors, scratch (see
+    /// [`crate::arena`]).
+    a: &'a mut EngineArena,
+    /// Precomputed idle rail power per frequency index.
+    idle: &'a PowerTables,
 
-    cores: Vec<Core>,
-    runnings: Vec<Option<Running>>,
-    free_slots: Vec<usize>,
-    molds: Vec<Option<WaitingMold>>,
     next_token: u64,
     trace_rec: Option<ExecTrace>,
 
-    // Incrementally maintained mirrors of queue/core state, published to
-    // schedulers as borrowed slices (O(1) `SchedCtx` construction).
-    core_tc: Vec<CoreType>,
-    queue_lens: Vec<usize>,
-    core_busy: Vec<bool>,
     running_count: usize,
     running_per_type: [usize; 2],
-    /// Core indices per core type (ascending engine order), precomputed so
-    /// typed placement never filters the core list.
-    cores_of: [Vec<usize>; 2],
     /// Number of `Some` entries in `molds` (skips the join scan when zero).
     active_molds: usize,
-    /// Reusable steal-victim buffer (refilled and reshuffled per attempt).
-    steal_scratch: Vec<usize>,
-    /// Recycled member-core vectors; steady state allocates none.
-    core_vec_pool: Vec<Vec<usize>>,
-    /// Reusable timer-command buffer handed to `Scheduler::on_timer`.
-    timer_cmds: Vec<FreqCommand>,
     /// Cached rail powers, recomputed only after an event that can change
     /// them (task launch/completion, DVFS activity).
     rail_cache: [f64; 3],
@@ -233,7 +185,6 @@ struct Sim<'a> {
     ctrl: [DvfsController; 2],
     ctrl_mem: DvfsController,
 
-    indegree: Vec<u32>,
     completed: usize,
 
     trace: PowerTrace,
@@ -249,25 +200,16 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(machine: &'a MachineModel, graph: &'a TaskGraph, cfg: EngineConfig) -> Self {
+    fn new(
+        machine: &'a MachineModel,
+        graph: &'a TaskGraph,
+        cfg: EngineConfig,
+        arena: &'a mut EngineArena,
+        idle: &'a PowerTables,
+    ) -> Self {
         let space = ConfigSpace::from_spec(&machine.spec);
-        let mut cores = Vec::new();
-        for _ in 0..machine.spec.cluster(CoreType::Big).n_cores {
-            cores.push(Core {
-                tc: CoreType::Big,
-                queue: VecDeque::new(),
-                running: None,
-                reserved: false,
-            });
-        }
-        for _ in 0..machine.spec.cluster(CoreType::Little).n_cores {
-            cores.push(Core {
-                tc: CoreType::Little,
-                queue: VecDeque::new(),
-                running: None,
-                reserved: false,
-            });
-        }
+        arena.reset(machine);
+        arena.indegree.extend_from_slice(graph.indegrees());
         // Paper §6.1: frequencies start at maximum before each benchmark.
         let cpu_lat = Duration::from_micros(machine.spec.cpu_dvfs_latency_us);
         let mem_lat = Duration::from_micros(machine.spec.mem_dvfs_latency_us);
@@ -279,41 +221,23 @@ impl<'a> Sim<'a> {
         let sensor = PowerSensor::new(Duration::from_millis(machine.spec.sensor_period_ms));
         let seed = cfg.seed;
         let record_trace = cfg.record_trace;
-        let n_cores = cores.len();
-        let core_tc: Vec<CoreType> = cores.iter().map(|c| c.tc).collect();
-        let mut cores_of: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
-        for (i, &tc) in core_tc.iter().enumerate() {
-            cores_of[tc.index()].push(i);
-        }
         Sim {
             machine,
             space,
             graph,
             cfg,
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
-            seq: 0,
-            cores,
-            runnings: Vec::new(),
-            free_slots: Vec::new(),
-            molds: Vec::new(),
+            a: arena,
+            idle,
             next_token: 0,
             trace_rec: record_trace.then(ExecTrace::default),
-            core_tc,
-            queue_lens: vec![0; n_cores],
-            core_busy: vec![false; n_cores],
             running_count: 0,
             running_per_type: [0, 0],
-            cores_of,
             active_molds: 0,
-            steal_scratch: Vec::with_capacity(n_cores),
-            core_vec_pool: Vec::with_capacity(n_cores),
-            timer_cmds: Vec::new(),
             rail_cache: [0.0; 3],
             rail_dirty: true,
             ctrl,
             ctrl_mem,
-            indegree: graph.indegrees().to_vec(),
             completed: 0,
             trace: PowerTrace::new(false),
             sensor,
@@ -326,18 +250,14 @@ impl<'a> Sim<'a> {
         }
     }
 
+    #[inline]
     fn push(&mut self, at: SimTime, kind: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse(Event {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        self.a.events.push(at, kind);
     }
 
     /// O(1), allocation-free: every field is either a counter the event
-    /// handlers keep current or a borrowed slice over incrementally
-    /// maintained per-core state.
+    /// handlers keep current or a borrowed slice over the arena's
+    /// incrementally maintained per-core mirrors.
     fn sched_ctx(&self) -> SchedCtx<'_> {
         SchedCtx {
             space: &self.space,
@@ -346,60 +266,21 @@ impl<'a> Sim<'a> {
             running_tasks: self.running_count,
             settled_fc: [self.ctrl[0].settled_freq(), self.ctrl[1].settled_freq()],
             settled_fm: self.ctrl_mem.settled_freq(),
-            queue_lens: &self.queue_lens,
-            core_busy: &self.core_busy,
-            core_tc: &self.core_tc,
+            queue_lens: &self.a.queue_lens,
+            core_busy: &self.a.core_busy,
+            core_tc: &self.a.core_tc,
         }
-    }
-
-    // Every queue mutation goes through these helpers so the published
-    // `queue_lens` mirror can never drift from the queues themselves.
-
-    fn enqueue_back(&mut self, core: usize, q: Queued) {
-        self.cores[core].queue.push_back(q);
-        self.queue_lens[core] += 1;
-    }
-
-    fn enqueue_front(&mut self, core: usize, q: Queued) {
-        self.cores[core].queue.push_front(q);
-        self.queue_lens[core] += 1;
-    }
-
-    fn dequeue_front(&mut self, core: usize) -> Option<Queued> {
-        let q = self.cores[core].queue.pop_front();
-        if q.is_some() {
-            self.queue_lens[core] -= 1;
-        }
-        debug_assert_eq!(self.queue_lens[core], self.cores[core].queue.len());
-        q
-    }
-
-    fn dequeue_at(&mut self, core: usize, pos: usize) -> Queued {
-        let q = self.cores[core].queue.remove(pos).expect("position valid");
-        self.queue_lens[core] -= 1;
-        debug_assert_eq!(self.queue_lens[core], self.cores[core].queue.len());
-        q
-    }
-
-    /// Take a member-core vector from the recycle pool (or allocate the
-    /// pool's first few on a cold start). Returned vectors are empty.
-    fn take_core_vec(&mut self) -> Vec<usize> {
-        self.core_vec_pool.pop().unwrap_or_default()
-    }
-
-    /// Return a member-core vector to the pool once its task completed.
-    fn recycle_core_vec(&mut self, mut v: Vec<usize>) {
-        v.clear();
-        self.core_vec_pool.push(v);
     }
 
     fn main_loop(&mut self, sched: &mut dyn Scheduler) {
         // Seed the system: place roots, wake all cores.
-        let roots: Vec<TaskId> = self.graph.roots().collect();
-        for t in roots {
+        let mut roots = std::mem::take(&mut self.a.roots);
+        roots.extend(self.graph.roots());
+        for &t in &roots {
             self.make_ready(sched, t);
         }
-        for c in 0..self.cores.len() {
+        self.a.roots = roots;
+        for c in 0..self.a.core_tc.len() {
             self.push(SimTime::ZERO, Ev::Wake { core: c });
         }
         if let Some(interval) = sched.timer_interval() {
@@ -408,37 +289,38 @@ impl<'a> Sim<'a> {
 
         let n = self.graph.n_tasks();
         let deadline = SimTime::from_secs_f64(self.cfg.max_virtual_time_s);
+        let mut audit_tick = 0u32;
         while self.completed < n {
-            let Reverse(ev) = self.heap.pop().unwrap_or_else(|| {
+            let Some((at, kind)) = self.a.events.pop() else {
                 panic!(
                     "scheduler deadlock: {} of {} tasks completed, no events pending",
                     self.completed, n
                 )
-            });
+            };
             assert!(
-                ev.at <= deadline,
+                at <= deadline,
                 "virtual-time guard exceeded: possible livelock"
             );
             // Integrate power up to the event, with pre-event rail values.
             let held = self.trace.current();
-            self.sensor.advance_to(ev.at, |_| held);
-            self.trace.advance(ev.at);
-            self.now = ev.at;
+            self.sensor.advance_to(at, |_| held);
+            self.trace.advance(at);
+            self.now = at;
 
-            match ev.kind {
+            match kind {
                 Ev::Wake { core } => self.try_dispatch(sched, core),
                 Ev::Done { slot, token } => self.handle_done(sched, slot, token),
                 Ev::Dvfs => self.rescale_all(),
                 Ev::MoldTimeout { mold } => {
                     // Patience exhausted: start with the gathered width.
-                    if let Some(m) = self.molds[mold].take() {
+                    if let Some(m) = self.a.molds[mold].take() {
                         self.active_molds -= 1;
                         self.mold_timeouts += 1;
                         self.launch(sched, m.q, m.members, m.stolen);
                     }
                 }
                 Ev::Timer => {
-                    let mut cmds = std::mem::take(&mut self.timer_cmds);
+                    let mut cmds = std::mem::take(&mut self.a.timer_cmds);
                     cmds.clear();
                     {
                         let mut ctx = self.sched_ctx();
@@ -447,7 +329,7 @@ impl<'a> Sim<'a> {
                     for &cmd in &cmds {
                         self.apply_freq_command(cmd);
                     }
-                    self.timer_cmds = cmds;
+                    self.a.timer_cmds = cmds;
                     if self.completed < n {
                         if let Some(interval) = sched.timer_interval() {
                             self.push(self.now + interval, Ev::Timer);
@@ -463,6 +345,16 @@ impl<'a> Sim<'a> {
                 self.rail_dirty = false;
             }
             self.trace.set(self.now, self.rail_cache);
+
+            // Debug builds audit the arena's link/free-list/mirror
+            // invariants as the run progresses (every 32 events keeps the
+            // audit's list walks from turning tests quadratic).
+            if cfg!(debug_assertions) {
+                if audit_tick & 31 == 0 {
+                    self.a.debug_validate();
+                }
+                audit_tick = audit_tick.wrapping_add(1);
+            }
         }
     }
 
@@ -474,9 +366,9 @@ impl<'a> Sim<'a> {
             sched.place(&mut ctx, task)
         };
         let core = self.pick_home_core(placement.tc);
-        self.enqueue_back(
+        self.a.enqueue_back(
             core,
-            Queued {
+            QueuedTask {
                 task,
                 placement,
                 pin_waits: 0,
@@ -490,11 +382,11 @@ impl<'a> Sim<'a> {
     /// construction, so a typed pick is one RNG draw and one table lookup.
     fn pick_home_core(&mut self, tc: Option<CoreType>) -> usize {
         match tc {
-            None => self.rng.gen_range(0..self.cores.len()),
+            None => self.rng.gen_range(0..self.a.core_tc.len()),
             Some(t) => {
-                let candidates = self.cores_of[t.index()].len();
+                let candidates = self.a.cores_of[t.index()].len();
                 let pick = self.rng.gen_range(0..candidates);
-                self.cores_of[t.index()][pick]
+                self.a.cores_of[t.index()][pick]
             }
         }
     }
@@ -502,34 +394,34 @@ impl<'a> Sim<'a> {
     /// Try to give an idle core work: join a waiting moldable task first,
     /// then own queue, then steal.
     fn try_dispatch(&mut self, sched: &mut dyn Scheduler, core: usize) {
-        if self.cores[core].running.is_some() || self.cores[core].reserved {
+        if self.a.core_running[core] != NIL || self.a.core_reserved[core] {
             return;
         }
         // Waiting moldable tasks of my type have priority (core reservation).
         // The scan is gated on the active-mold counter: in the common case
         // (no task gathering cores) dispatch skips it entirely.
-        let my_tc = self.cores[core].tc;
+        let my_tc = self.a.core_tc[core];
         if self.active_molds > 0 {
-            let joinable = self.molds.iter().position(|m| {
+            let joinable = self.a.molds.iter().position(|m| {
                 m.as_ref()
                     .is_some_and(|m| m.tc == my_tc && m.members.len() < m.need)
             });
             if let Some(mi) = joinable {
-                self.cores[core].reserved = true;
+                self.a.core_reserved[core] = true;
                 let full = {
-                    let m = self.molds[mi].as_mut().expect("present");
+                    let m = self.a.molds[mi].as_mut().expect("present");
                     m.members.push(core);
                     m.members.len() >= m.need
                 };
                 if full {
-                    let m = self.molds[mi].take().expect("present");
+                    let m = self.a.molds[mi].take().expect("present");
                     self.active_molds -= 1;
                     self.launch(sched, m.q, m.members, m.stolen);
                 }
                 return;
             }
         }
-        if let Some(q) = self.dequeue_front(core) {
+        if let Some(q) = self.a.dequeue_front(core) {
             if self.revise_and_route(sched, core, q, false) {
                 return;
             }
@@ -540,12 +432,12 @@ impl<'a> Sim<'a> {
         // Steal: visit victims in random order; take the oldest compatible
         // item. Typed placements may only be stolen by cores of the same
         // type (paper §5.3); untyped (GRWS) items move anywhere. The victim
-        // buffer is engine-owned scratch, refilled (not reallocated) and
+        // buffer is arena-owned scratch, refilled (not reallocated) and
         // reshuffled on every attempt — the RNG draw sequence is identical
         // to shuffling a freshly collected vector.
-        let mut victims = std::mem::take(&mut self.steal_scratch);
+        let mut victims = std::mem::take(&mut self.a.steal_scratch);
         victims.clear();
-        victims.extend((0..self.cores.len()).filter(|&v| v != core));
+        victims.extend((0..self.a.core_tc.len()).filter(|&v| v != core));
         // Fisher-Yates with the engine RNG for deterministic victim order.
         for i in (1..victims.len()).rev() {
             let j = self.rng.gen_range(0..=i);
@@ -553,18 +445,16 @@ impl<'a> Sim<'a> {
         }
         let mut found = None;
         for &v in &victims {
-            let pos = self.cores[v]
-                .queue
-                .iter()
-                .position(|q| q.placement.tc.is_none_or(|t| t == my_tc));
-            if let Some(pos) = pos {
-                found = Some((v, pos));
+            if let Some(q) = self
+                .a
+                .dequeue_first_matching(v, |p| p.tc.is_none_or(|t| t == my_tc))
+            {
+                found = Some(q);
                 break;
             }
         }
-        self.steal_scratch = victims;
-        if let Some((v, pos)) = found {
-            let q = self.dequeue_at(v, pos);
+        self.a.steal_scratch = victims;
+        if let Some(q) = found {
             self.steals += 1;
             if !self.revise_and_route(sched, core, q, true) {
                 self.push(self.now, Ev::Wake { core });
@@ -580,7 +470,7 @@ impl<'a> Sim<'a> {
         &mut self,
         sched: &mut dyn Scheduler,
         core: usize,
-        mut q: Queued,
+        mut q: QueuedTask,
         stolen: bool,
     ) -> bool {
         let revised = {
@@ -588,11 +478,11 @@ impl<'a> Sim<'a> {
             sched.revise(&mut ctx, q.task, q.placement)
         };
         q.placement = revised;
-        let my_tc = self.cores[core].tc;
+        let my_tc = self.a.core_tc[core];
         if let Some(want_tc) = revised.tc {
             if want_tc != my_tc {
                 let target = self.pick_home_core(Some(want_tc));
-                self.enqueue_back(target, q);
+                self.a.enqueue_back(target, q);
                 self.push(self.now, Ev::Wake { core: target });
                 return false;
             }
@@ -603,11 +493,17 @@ impl<'a> Sim<'a> {
 
     /// Begin executing a task on `leader`, recruiting idle same-type cores
     /// up to the requested moldable width.
-    fn start_task(&mut self, sched: &mut dyn Scheduler, leader: usize, q: Queued, stolen: bool) {
+    fn start_task(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        leader: usize,
+        q: QueuedTask,
+        stolen: bool,
+    ) {
         let task = q.task;
         let kernel_id = self.graph.kernel_of(task);
         let spec = self.graph.kernel(kernel_id);
-        let tc = self.cores[leader].tc;
+        let tc = self.a.core_tc[leader];
         let cluster_size = self.machine.spec.cluster(tc).n_cores;
         let width_req = q
             .placement
@@ -639,7 +535,7 @@ impl<'a> Sim<'a> {
             if pending && settle > self.now && q.pin_waits < 3 {
                 let mut q = q;
                 q.pin_waits += 1;
-                self.enqueue_front(leader, q);
+                self.a.enqueue_front(leader, q);
                 self.push(settle, Ev::Wake { core: leader });
                 return;
             }
@@ -650,21 +546,24 @@ impl<'a> Sim<'a> {
         // for cores to finish their current tasks and join. The member
         // vector is recycled from completed tasks, so the steady state
         // allocates nothing.
-        let mut members = self.take_core_vec();
+        let mut members = self.a.take_core_vec();
         members.push(leader);
         if width_req > 1 {
-            for i in 0..self.cores.len() {
+            for i in 0..self.a.core_tc.len() {
                 if members.len() >= width_req {
                     break;
                 }
-                let c = &self.cores[i];
-                if i != leader && c.tc == tc && c.running.is_none() && !c.reserved {
+                if i != leader
+                    && self.a.core_tc[i] == tc
+                    && self.a.core_running[i] == NIL
+                    && !self.a.core_reserved[i]
+                {
                     members.push(i);
                 }
             }
             if members.len() < width_req {
                 for &m in &members {
-                    self.cores[m].reserved = true;
+                    self.a.core_reserved[m] = true;
                 }
                 let mold = WaitingMold {
                     q,
@@ -673,12 +572,12 @@ impl<'a> Sim<'a> {
                     members,
                     stolen,
                 };
-                let mi = if let Some(free) = self.molds.iter().position(|m| m.is_none()) {
-                    self.molds[free] = Some(mold);
+                let mi = if let Some(free) = self.a.molds.iter().position(|m| m.is_none()) {
+                    self.a.molds[free] = Some(mold);
                     free
                 } else {
-                    self.molds.push(Some(mold));
-                    self.molds.len() - 1
+                    self.a.molds.push(Some(mold));
+                    self.a.molds.len() - 1
                 };
                 self.active_molds += 1;
                 // Patience: at least the configured floor, and long enough
@@ -686,9 +585,10 @@ impl<'a> Sim<'a> {
                 // and join (cores join waiting molds before taking new
                 // work, so this bounds the wait without deadlock).
                 let mut deadline = self.now + Duration::from_micros(self.cfg.mold_patience_us);
-                for r in self.runnings.iter().flatten() {
-                    if r.tc == tc {
-                        deadline = deadline.max(r.finish_at + Duration::from_micros(10));
+                for slot in 0..self.a.run_live.len() {
+                    if self.a.run_live[slot] && self.a.run_tc[slot] == tc {
+                        deadline =
+                            deadline.max(self.a.run_finish[slot] + Duration::from_micros(10));
                     }
                 }
                 self.push(deadline, Ev::MoldTimeout { mold: mi });
@@ -700,12 +600,18 @@ impl<'a> Sim<'a> {
 
     /// Execute a task on the gathered member cores: issue coordinated
     /// frequency requests, compute the execution sample, and commit it.
-    fn launch(&mut self, sched: &mut dyn Scheduler, q: Queued, members: Vec<usize>, stolen: bool) {
+    fn launch(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        q: QueuedTask,
+        members: Vec<usize>,
+        stolen: bool,
+    ) {
         let task = q.task;
         let kernel_id = self.graph.kernel_of(task);
         let spec = self.graph.kernel(kernel_id);
         let leader = members[0];
-        let tc = self.cores[leader].tc;
+        let tc = self.a.core_tc[leader];
         let width = members.len();
 
         // Coordinated frequency requests: blend with the current setting when
@@ -745,12 +651,14 @@ impl<'a> Sim<'a> {
         let shape = spec.scaled_shape(self.graph.scale_of(task));
         // DRAM contention context: aggregate bandwidth demand of the other
         // running tasks (each task's demand was computed when it started).
-        let other_demand_gbs = self
-            .runnings
-            .iter()
-            .flatten()
-            .map(|r| r.mem_demand_gbs)
-            .sum::<f64>();
+        // Slot order, exactly as the rail-power sum below — the float
+        // rounding of both depends on it.
+        let mut other_demand_gbs = 0.0;
+        for slot in 0..self.a.run_live.len() {
+            if self.a.run_live[slot] {
+                other_demand_gbs += self.a.run_mem_demand[slot];
+            }
+        }
         let ctx = ExecContext { other_demand_gbs };
         let exec = self.machine.execute(
             &shape,
@@ -768,43 +676,38 @@ impl<'a> Sim<'a> {
             ],
         );
 
-        let slot = self.free_slots.pop().unwrap_or_else(|| {
-            self.runnings.push(None);
-            self.runnings.len() - 1
-        });
+        let slot = self.a.alloc_run_slot();
         let duration_s = exec.duration.as_secs_f64().max(1e-12);
         self.next_token += 1;
         for &m in &members {
-            self.cores[m].running = Some(slot);
-            self.cores[m].reserved = false;
-            self.core_busy[m] = true;
+            self.a.core_running[m] = slot as u32;
+            self.a.core_reserved[m] = false;
+            self.a.core_busy[m] = true;
         }
+        let finish_at = self.now + exec.duration;
+        let token = self.next_token;
+        self.a.run_live[slot] = true;
+        self.a.run_task[slot] = task;
+        self.a.run_shape[slot] = shape;
+        self.a.run_tc[slot] = tc;
+        self.a.run_width[slot] = width;
         // `members` moves into the running slot (it is recycled at
         // completion); no per-launch clone.
-        let running = Running {
-            task,
-            shape,
-            tc,
-            width,
-            cores: members,
-            started: self.now,
-            finish_at: self.now + exec.duration,
-            token: self.next_token,
-            rescales: 0,
-            fc_start: fc_now,
-            fm_start: fm_now,
-            fc_cur: fc_now,
-            fm_cur: fm_now,
-            cpu_dyn_w: exec.cpu_dyn_w,
-            mem_dyn_w: exec.mem_dyn_w,
-            mem_demand_gbs: shape.bytes_gb / duration_s,
-            ctx,
-            sampling: !q.placement.coordinate,
-            stolen,
-        };
-        let finish_at = running.finish_at;
-        let token = running.token;
-        self.runnings[slot] = Some(running);
+        self.a.run_cores[slot] = members;
+        self.a.run_started[slot] = self.now;
+        self.a.run_finish[slot] = finish_at;
+        self.a.run_token[slot] = token;
+        self.a.run_rescales[slot] = 0;
+        self.a.run_fc_start[slot] = fc_now;
+        self.a.run_fm_start[slot] = fm_now;
+        self.a.run_fc_cur[slot] = fc_now;
+        self.a.run_fm_cur[slot] = fm_now;
+        self.a.run_cpu_dyn_w[slot] = exec.cpu_dyn_w;
+        self.a.run_mem_dyn_w[slot] = exec.mem_dyn_w;
+        self.a.run_mem_demand[slot] = shape.bytes_gb / duration_s;
+        self.a.run_other_demand[slot] = other_demand_gbs;
+        self.a.run_sampling[slot] = !q.placement.coordinate;
+        self.a.run_stolen[slot] = stolen;
         self.running_count += 1;
         self.running_per_type[tc.index()] += 1;
         self.tasks_per_type[tc.index()] += 1;
@@ -818,73 +721,75 @@ impl<'a> Sim<'a> {
     /// A task's partitions all finished: free cores, notify the scheduler,
     /// wake dependents.
     fn handle_done(&mut self, sched: &mut dyn Scheduler, slot: usize, token: u64) {
-        let valid = matches!(&self.runnings[slot], Some(r) if r.token == token);
-        if !valid {
+        if !self.a.run_live[slot] || self.a.run_token[slot] != token {
             return; // stale event (rescaled, or a later occupant of the slot)
         }
-        let r = self.runnings[slot].take().expect("checked above");
-        self.free_slots.push(slot);
+        self.a.run_live[slot] = false;
+        self.a.free_slots.push(slot);
         self.running_count -= 1;
-        self.running_per_type[r.tc.index()] -= 1;
+        let tc = self.a.run_tc[slot];
+        self.running_per_type[tc.index()] -= 1;
         self.rail_dirty = true;
         debug_assert_eq!(
             self.running_count,
-            self.runnings.iter().filter(|r| r.is_some()).count()
+            self.a.run_live.iter().filter(|&&l| l).count()
         );
-        for &c in &r.cores {
-            self.cores[c].running = None;
-            self.core_busy[c] = false;
+        let cores = std::mem::take(&mut self.a.run_cores[slot]);
+        for &c in &cores {
+            self.a.core_running[c] = NIL;
+            self.a.core_busy[c] = false;
             self.push(self.now, Ev::Wake { core: c });
         }
-        let duration_s = self.now.since(r.started).as_secs_f64();
+        let started = self.a.run_started[slot];
+        let duration_s = self.now.since(started).as_secs_f64();
         self.total_task_time_s += duration_s;
-        if r.sampling {
+        if self.a.run_sampling[slot] {
             self.sampling_time_s += duration_s;
         }
         self.completed += 1;
 
+        let task = self.a.run_task[slot];
         let sample = ExecutedSample {
-            task: r.task,
-            kernel: self.graph.kernel_of(r.task),
-            tc: r.tc,
-            width: r.width,
-            fc_start: r.fc_start,
-            fm_start: r.fm_start,
-            fc_end: self.ctrl[r.tc.index()].freq_at(self.now),
+            task,
+            kernel: self.graph.kernel_of(task),
+            tc,
+            width: self.a.run_width[slot],
+            fc_start: self.a.run_fc_start[slot],
+            fm_start: self.a.run_fm_start[slot],
+            fc_end: self.ctrl[tc.index()].freq_at(self.now),
             fm_end: self.ctrl_mem.freq_at(self.now),
             duration_s,
-            started_s: r.started.as_secs_f64(),
-            stolen: r.stolen,
-            perturbed: r.rescales > 0,
-            scale: self.graph.scale_of(r.task),
+            started_s: started.as_secs_f64(),
+            stolen: self.a.run_stolen[slot],
+            perturbed: self.a.run_rescales[slot] > 0,
+            scale: self.graph.scale_of(task),
         };
         if let Some(tr) = &mut self.trace_rec {
             tr.tasks.push(TaskSpan {
-                task: r.task,
-                kernel: self.graph.kernel(self.graph.kernel_of(r.task)).name.clone(),
-                core: r.cores[0],
-                cores: r.cores.clone(),
-                tc: r.tc,
-                start_s: r.started.as_secs_f64(),
+                task,
+                kernel: self.graph.kernel(self.graph.kernel_of(task)).name.clone(),
+                core: cores[0],
+                cores: cores.clone(),
+                tc,
+                start_s: started.as_secs_f64(),
                 end_s: self.now.as_secs_f64(),
-                fc: r.fc_start,
-                fm: r.fm_start,
-                sampling: r.sampling,
+                fc: self.a.run_fc_start[slot],
+                fm: self.a.run_fm_start[slot],
+                sampling: self.a.run_sampling[slot],
             });
         }
         {
             let mut ctx = self.sched_ctx();
             sched.task_completed(&mut ctx, &sample);
         }
-        let task = r.task;
-        self.recycle_core_vec(r.cores);
+        self.a.recycle_core_vec(cores);
 
         // Wake dependents whose last dependency this was. The successor
         // slice borrows the graph (lifetime `'a`, independent of `self`),
         // so no defensive copy is needed while `make_ready` mutates state.
         let graph = self.graph;
         for &s in graph.successors(task) {
-            let d = &mut self.indegree[s.index()];
+            let d = &mut self.a.indegree[s.index()];
             debug_assert!(*d > 0, "dependency counting underflow");
             *d -= 1;
             if *d == 0 {
@@ -924,90 +829,109 @@ impl<'a> Sim<'a> {
         // A transition landed: even if no running task's operating point
         // changes, the cluster idle draw follows the new frequency.
         self.rail_dirty = true;
-        let n_slots = self.runnings.len();
+        let n_slots = self.a.run_live.len();
         let mut self_token = self.next_token;
         for slot in 0..n_slots {
-            let Some(r) = &self.runnings[slot] else {
-                continue;
-            };
-            let fc_new = self.ctrl[r.tc.index()].freq_at(self.now);
-            let fm_new = self.ctrl_mem.freq_at(self.now);
-            if fc_new == r.fc_cur && fm_new == r.fm_cur {
+            if !self.a.run_live[slot] {
                 continue;
             }
-            let r = self.runnings[slot].as_mut().expect("present");
+            let tc = self.a.run_tc[slot];
+            let fc_new = self.ctrl[tc.index()].freq_at(self.now);
+            let fm_new = self.ctrl_mem.freq_at(self.now);
+            if fc_new == self.a.run_fc_cur[slot] && fm_new == self.a.run_fm_cur[slot] {
+                continue;
+            }
+            let shape = self.a.run_shape[slot];
+            let width = self.a.run_width[slot];
+            let ctx = ExecContext {
+                other_demand_gbs: self.a.run_other_demand[slot],
+            };
             let t_old = self.machine.clean_time_s(
-                &r.shape,
-                r.tc,
-                r.width,
-                self.space.cpu_freqs_ghz[r.fc_cur.0],
-                self.space.mem_freqs_ghz[r.fm_cur.0],
-                &r.ctx,
+                &shape,
+                tc,
+                width,
+                self.space.cpu_freqs_ghz[self.a.run_fc_cur[slot].0],
+                self.space.mem_freqs_ghz[self.a.run_fm_cur[slot].0],
+                &ctx,
             );
             let t_new = self.machine.clean_time_s(
-                &r.shape,
-                r.tc,
-                r.width,
+                &shape,
+                tc,
+                width,
                 self.space.cpu_freqs_ghz[fc_new.0],
                 self.space.mem_freqs_ghz[fm_new.0],
-                &r.ctx,
+                &ctx,
             );
-            let remaining = r.finish_at.since(self.now.min(r.finish_at)).as_secs_f64();
+            let finish_at = self.a.run_finish[slot];
+            let remaining = finish_at.since(self.now.min(finish_at)).as_secs_f64();
             let remaining_new = if t_old > 0.0 {
                 remaining * t_new / t_old
             } else {
                 remaining
             };
-            r.finish_at = self.now + joss_platform::Duration::from_secs_f64(remaining_new);
-            r.rescales += 1;
+            let new_finish = self.now + joss_platform::Duration::from_secs_f64(remaining_new);
+            self.a.run_finish[slot] = new_finish;
+            self.a.run_rescales[slot] += 1;
             // Refresh power draw at the new operating point (deterministic:
             // keyed by task and configuration).
             let exec = self.machine.execute(
-                &r.shape,
-                r.tc,
-                r.width,
+                &shape,
+                tc,
+                width,
                 self.space.cpu_freqs_ghz[fc_new.0],
                 self.space.mem_freqs_ghz[fm_new.0],
-                &r.ctx,
+                &ctx,
                 &[
-                    r.task.0 as u64,
-                    r.tc.index() as u64,
-                    r.width as u64,
+                    self.a.run_task[slot].0 as u64,
+                    tc.index() as u64,
+                    width as u64,
                     fc_new.0 as u64,
                     fm_new.0 as u64,
                 ],
             );
-            r.cpu_dyn_w = exec.cpu_dyn_w;
-            r.mem_dyn_w = exec.mem_dyn_w;
-            r.mem_demand_gbs =
-                r.shape.bytes_gb / r.finish_at.since(r.started).as_secs_f64().max(1e-12);
-            r.fc_cur = fc_new;
-            r.fm_cur = fm_new;
-            r.token = {
-                self_token += 1;
-                self_token
-            };
-            let (finish_at, token) = (r.finish_at, r.token);
-            self.push(finish_at, Ev::Done { slot, token });
+            self.a.run_cpu_dyn_w[slot] = exec.cpu_dyn_w;
+            self.a.run_mem_dyn_w[slot] = exec.mem_dyn_w;
+            self.a.run_mem_demand[slot] = shape.bytes_gb
+                / new_finish
+                    .since(self.a.run_started[slot])
+                    .as_secs_f64()
+                    .max(1e-12);
+            self.a.run_fc_cur[slot] = fc_new;
+            self.a.run_fm_cur[slot] = fm_new;
+            self_token += 1;
+            self.a.run_token[slot] = self_token;
+            self.push(
+                new_finish,
+                Ev::Done {
+                    slot,
+                    token: self_token,
+                },
+            );
         }
         self.next_token = self_token;
     }
 
     /// Instantaneous rail powers: per-cluster idle + running dynamic CPU
-    /// power; memory background + running dynamic memory power.
+    /// power; memory background + running dynamic memory power. Idle power
+    /// is a [`PowerTables`] lookup by frequency index (bit-identical to the
+    /// machine-model call it replaces); the dynamic sums stream the arena's
+    /// SoA columns in slot order.
     fn rail_powers(&self) -> [f64; 3] {
-        let fc_big = self.space.cpu_freqs_ghz[self.ctrl[0].freq_at(self.now).0];
-        let fc_little = self.space.cpu_freqs_ghz[self.ctrl[1].freq_at(self.now).0];
-        let fm = self.space.mem_freqs_ghz[self.ctrl_mem.freq_at(self.now).0];
-        let mut big = self.machine.cluster_idle_w(CoreType::Big, fc_big);
-        let mut little = self.machine.cluster_idle_w(CoreType::Little, fc_little);
-        let mut mem = self.machine.mem_idle_w(fm);
-        for r in self.runnings.iter().flatten() {
-            match r.tc {
-                CoreType::Big => big += r.cpu_dyn_w,
-                CoreType::Little => little += r.cpu_dyn_w,
+        let mut big = self
+            .idle
+            .cluster_idle_w(CoreType::Big, self.ctrl[0].freq_at(self.now));
+        let mut little = self
+            .idle
+            .cluster_idle_w(CoreType::Little, self.ctrl[1].freq_at(self.now));
+        let mut mem = self.idle.mem_idle_w(self.ctrl_mem.freq_at(self.now));
+        for slot in 0..self.a.run_live.len() {
+            if self.a.run_live[slot] {
+                match self.a.run_tc[slot] {
+                    CoreType::Big => big += self.a.run_cpu_dyn_w[slot],
+                    CoreType::Little => little += self.a.run_cpu_dyn_w[slot],
+                }
+                mem += self.a.run_mem_dyn_w[slot];
             }
-            mem += r.mem_dyn_w;
         }
         [big, little, mem]
     }

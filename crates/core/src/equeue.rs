@@ -1,0 +1,289 @@
+//! The engine's calendar event queue: a two-level bucket structure that
+//! reproduces the pop order of a `BinaryHeap<Reverse<(SimTime, seq)>>`
+//! exactly, while making the dominant event class — events scheduled *at
+//! the current simulation time* — O(1) ring-buffer operations.
+//!
+//! # Ordering contract
+//!
+//! Events pop in ascending `(SimTime, push order)`: earliest timestamp
+//! first, and **FIFO within an identical `SimTime`** — the event pushed
+//! first pops first, regardless of its kind. This is precisely the order
+//! the engine's previous `BinaryHeap<Reverse<Event>>` produced, where a
+//! global push counter (`seq`) was the tie-break key; the golden-fixture
+//! equivalence suite and a proptest (`tests/equeue_order.rs`) hold the two
+//! implementations to byte-identical pop sequences, including bursts of
+//! events sharing one timestamp.
+//!
+//! # Why a calendar beats a heap here
+//!
+//! A discrete-event simulator pops the earliest event and lets its handler
+//! push follow-ups. In this engine most follow-ups are `Wake`s scheduled
+//! at the *current* time (task became ready, core freed), so they land in
+//! the bucket that is about to drain anyway. The queue therefore keeps:
+//!
+//! * a **current bucket**: a FIFO ring of events whose timestamp equals
+//!   the watermark (the timestamp of the last pop). Push and pop are O(1)
+//!   with no comparisons;
+//! * a **future heap**: a conventional binary min-heap, keyed by
+//!   `(SimTime, seq)`, holding everything scheduled strictly later.
+//!
+//! Correctness of the merged order rests on one invariant: a future-heap
+//! entry with timestamp `T` was necessarily pushed while the watermark was
+//! still `< T` (pushes at the watermark go to the current bucket), hence
+//! *before* — in global push order — every current-bucket entry once the
+//! watermark reaches `T`. So on pop: future entries at the watermark
+//! drain first, then the current bucket in ring order, then the heap
+//! advances the watermark.
+//!
+//! # Precondition
+//!
+//! Pushes must be **monotone**: `at` must not precede the watermark. Every
+//! discrete-event engine satisfies this (handlers schedule at or after
+//! "now"); it is `debug_assert`ed.
+
+use joss_platform::SimTime;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct FutureEntry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+/// Two-level calendar queue over [`SimTime`] with FIFO tie-break. See the
+/// module docs for the ordering contract.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    /// Timestamp of the last pop (all queued events are `>=` this).
+    watermark: SimTime,
+    /// Global push counter for future entries (FIFO tie-break in the heap).
+    seq: u64,
+    /// Events with `at == watermark`, in push order.
+    current: VecDeque<T>,
+    /// Binary min-heap on `(at, seq)` of events with `at > watermark`.
+    future: Vec<FutureEntry<T>>,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Empty queue with the watermark at time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            watermark: SimTime::ZERO,
+            seq: 0,
+            current: VecDeque::new(),
+            future: Vec::new(),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.future.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.future.is_empty()
+    }
+
+    /// Timestamp of the last pop (time zero before any pop).
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drop all events and rewind the watermark to time zero, keeping the
+    /// allocated capacity (the arena-reuse path).
+    pub fn reset(&mut self) {
+        self.watermark = SimTime::ZERO;
+        self.seq = 0;
+        self.current.clear();
+        self.future.clear();
+    }
+
+    /// Schedule `item` at `at`. `at` must not precede the watermark.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, item: T) {
+        debug_assert!(
+            at >= self.watermark,
+            "calendar queue requires monotone pushes"
+        );
+        if at == self.watermark {
+            self.current.push_back(item);
+        } else {
+            self.seq += 1;
+            let entry = FutureEntry {
+                at,
+                seq: self.seq,
+                item,
+            };
+            self.future.push(entry);
+            self.sift_up(self.future.len() - 1);
+        }
+    }
+
+    /// Pop the earliest event (FIFO among equals); advances the watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        // Future entries already at the watermark pre-date (in push order)
+        // everything in the current bucket — see the module docs.
+        if let Some(top) = self.future.first() {
+            if top.at == self.watermark {
+                let e = self.heap_pop();
+                return Some((e.at, e.item));
+            }
+        }
+        if let Some(item) = self.current.pop_front() {
+            return Some((self.watermark, item));
+        }
+        if self.future.is_empty() {
+            return None;
+        }
+        let e = self.heap_pop();
+        self.watermark = e.at;
+        Some((e.at, e.item))
+    }
+
+    fn heap_pop(&mut self) -> FutureEntry<T> {
+        let last = self.future.len() - 1;
+        self.future.swap(0, last);
+        let e = self.future.pop().expect("checked non-empty");
+        if !self.future.is_empty() {
+            self.sift_down(0);
+        }
+        e
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> (SimTime, u64) {
+        let e = &self.future[i];
+        (e.at, e.seq)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(i) < self.key(parent) {
+                self.future.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.future.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut best = i;
+            if l < n && self.key(l) < self.key(best) {
+                best = l;
+            }
+            if r < n && self.key(r) < self.key(best) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.future.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(0), "a");
+        q.push(SimTime(5), "d");
+        q.push(SimTime(0), "b");
+        q.push(SimTime(2), "c");
+        q.push(SimTime(5), "e");
+        let mut out = Vec::new();
+        while let Some((at, x)) = q.pop() {
+            out.push((at.0, x));
+        }
+        assert_eq!(out, vec![(0, "a"), (0, "b"), (2, "c"), (5, "d"), (5, "e")]);
+    }
+
+    #[test]
+    fn future_entries_at_watermark_precede_current_bucket() {
+        let mut q = CalendarQueue::new();
+        // Two future events at t=3, then advance to t=3 by popping one and
+        // push a same-time follow-up: the older future entry must win.
+        q.push(SimTime(3), "first");
+        q.push(SimTime(3), "second");
+        assert_eq!(q.pop(), Some((SimTime(3), "first")));
+        q.push(SimTime(3), "follow-up");
+        assert_eq!(q.pop(), Some((SimTime(3), "second")));
+        assert_eq!(q.pop(), Some((SimTime(3), "follow-up")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reset_rewinds_watermark_and_clears() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(1), 1u32);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.watermark(), SimTime::ZERO);
+        q.push(SimTime::ZERO, 2u32); // watermark rewound: t=0 is legal again
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 2u32)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = SimTime::ZERO;
+        // Deterministic pseudo-random schedule of pushes and pops.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for i in 0..4000u32 {
+            let r = next() % 10;
+            if r < 6 {
+                let dt = match next() % 3 {
+                    0 => 0,
+                    1 => next() % 3,
+                    _ => next() % 1000,
+                };
+                let at = SimTime(now.0 + dt);
+                seq += 1;
+                q.push(at, i);
+                heap.push(Reverse((at, seq, i)));
+            } else {
+                let got = q.pop();
+                let want = heap.pop().map(|Reverse((at, _, x))| (at, x));
+                assert_eq!(got, want, "divergence at step {i}");
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        loop {
+            let got = q.pop();
+            let want = heap.pop().map(|Reverse((at, _, x))| (at, x));
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -49,8 +49,10 @@
 //! assert!(report.total_j() > 0.0);
 //! ```
 
+pub mod arena;
 pub mod coordination;
 pub mod engine;
+pub mod equeue;
 pub mod metrics;
 pub mod native;
 pub mod placement;
@@ -58,8 +60,10 @@ pub mod sampling;
 pub mod sched;
 pub mod trace;
 
+pub use arena::EngineArena;
 pub use coordination::Coordination;
 pub use engine::{EngineConfig, SimEngine};
+pub use equeue::CalendarQueue;
 pub use metrics::RunReport;
 pub use placement::{ExecutedSample, FreqCommand, Placement};
 pub use sched::{

@@ -370,6 +370,76 @@ fn sched_ctx_mirrors_stay_consistent_through_steals() {
 }
 
 #[test]
+fn arena_invariants_hold_through_steal_and_mold_heavy_runs() {
+    // Debug builds audit the arena inside the event loop every 32 events
+    // (`EngineArena::debug_validate`: queue links vs the `SchedCtx`
+    // mirrors, free-list accounting, busy/running consistency). This test
+    // drives that auditor through a steal- and mold-heavy workload, reuses
+    // one arena across runs of different sizes the way `Campaign` workers
+    // do, and audits the final state after each run drains.
+    use joss_core::{CalendarQueue, EngineArena};
+    use joss_platform::{ConfigSpace, PowerTables, SimTime};
+
+    struct MixedWidths;
+    impl Scheduler for MixedWidths {
+        fn name(&self) -> &str {
+            "MixedWidths"
+        }
+        fn place(&mut self, _ctx: &mut SchedCtx<'_>, task: TaskId) -> Placement {
+            // Mixed widths and types keep molds gathering, queues deep,
+            // and steals frequent.
+            match task.0 % 4 {
+                0 => Placement::anywhere(),
+                1 => Placement::on(CoreType::Little, 3),
+                2 => Placement::on(CoreType::Big, 2),
+                _ => Placement::on(CoreType::Little, 1),
+            }
+        }
+    }
+
+    let machine = machine();
+    let space = ConfigSpace::from_spec(&machine.spec);
+    let idle = PowerTables::measure(&machine, &space);
+    let mut arena = EngineArena::new();
+    let mut total_steals = 0;
+    for n in [40usize, 160, 80] {
+        let g = generators::chain_bundle(
+            "arena-audit",
+            KernelSpec::new("k", TaskShape::new(0.008, 0.002)),
+            n,
+            10,
+        );
+        let report = SimEngine::run_with_arena(
+            &machine,
+            &g,
+            &mut MixedWidths,
+            EngineConfig::default(),
+            &mut arena,
+            &idle,
+        );
+        assert_eq!(report.tasks, n);
+        total_steals += report.steals;
+        // After a completed run every queue is empty and every slot freed;
+        // the invariants must hold on this quiescent recycled state too.
+        arena.debug_validate();
+    }
+    assert!(total_steals > 0, "the audit runs must exercise stealing");
+
+    // The calendar queue rejects non-monotone pushes in debug builds —
+    // the guard the engine's event stream is audited by.
+    let mut q: CalendarQueue<u32> = CalendarQueue::new();
+    q.push(SimTime(100), 1);
+    assert_eq!(q.pop(), Some((SimTime(100), 1)));
+    let past = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        q.push(SimTime(50), 2);
+    }));
+    assert!(
+        past.is_err(),
+        "pushing before the watermark must trip the debug guard"
+    );
+}
+
+#[test]
 fn energy_includes_idle_power_of_unused_cluster() {
     // Running only on the big cluster must still pay the little cluster's
     // idle power: compare against the analytic idle floor.

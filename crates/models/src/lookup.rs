@@ -68,50 +68,12 @@ impl TcNcIndexer {
 /// Idle power characterization measured during benchmarking (§4.3.3):
 /// per-cluster idle power at each CPU frequency and memory background power
 /// at each memory frequency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct IdleTables {
-    /// `[core_type][fc]` idle power of the whole cluster, watts.
-    pub cpu_idle_w: [Vec<f64>; 2],
-    /// `[fm]` memory background power, watts.
-    pub mem_idle_w: Vec<f64>,
-}
-
-impl IdleTables {
-    /// Measure from a machine (idle power is stable; measured once).
-    pub fn measure(machine: &joss_platform::MachineModel, space: &ConfigSpace) -> Self {
-        let cpu_idle_w = [
-            space
-                .cpu_freqs_ghz
-                .iter()
-                .map(|&f| machine.cluster_idle_w(CoreType::Big, f))
-                .collect(),
-            space
-                .cpu_freqs_ghz
-                .iter()
-                .map(|&f| machine.cluster_idle_w(CoreType::Little, f))
-                .collect(),
-        ];
-        let mem_idle_w = space
-            .mem_freqs_ghz
-            .iter()
-            .map(|&f| machine.mem_idle_w(f))
-            .collect();
-        IdleTables {
-            cpu_idle_w,
-            mem_idle_w,
-        }
-    }
-
-    /// Idle power of cluster `tc` at CPU frequency index `fc`, watts.
-    pub fn cluster_idle_w(&self, tc: CoreType, fc: FreqIndex) -> f64 {
-        self.cpu_idle_w[tc.index()][fc.0]
-    }
-
-    /// Memory background power at memory frequency index `fm`, watts.
-    pub fn mem_idle_w(&self, fm: FreqIndex) -> f64 {
-        self.mem_idle_w[fm.0]
-    }
-}
+///
+/// This is the platform's [`joss_platform::PowerTables`] under its
+/// model-layer name: the engine's event loop and the configuration searches
+/// look idle power up in the *same* table, built once per experiment
+/// context (see `docs/ENGINE.md`).
+pub use joss_platform::PowerTables as IdleTables;
 
 /// The three per-kernel lookup tables of §5.1.
 ///

@@ -30,6 +30,7 @@ pub mod energy;
 pub mod machine;
 pub mod noise;
 pub mod power;
+pub mod tables;
 pub mod time;
 pub mod topology;
 
@@ -39,6 +40,7 @@ pub use energy::EnergyAccount;
 pub use machine::{ExecContext, ExecSample, MachineModel, MachineParams, TaskShape};
 pub use noise::NoiseModel;
 pub use power::{PowerSensor, PowerTrace, RailSample};
+pub use tables::PowerTables;
 pub use time::{Duration, SimTime};
 pub use topology::{ClusterSpec, PlatformSpec};
 

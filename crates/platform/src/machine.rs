@@ -23,10 +23,25 @@
 //!   `fM`-dependent background captured in idle power.
 
 use crate::config::CoreType;
-use crate::noise::{NoiseModel, Quantity};
+use crate::noise::NoiseModel;
 use crate::time::Duration;
 use crate::topology::PlatformSpec;
 use serde::{Deserialize, Serialize};
+
+/// `x.powf(y)` with the IEEE-754 `pow(1, y) == 1` special case branched
+/// before the call: bit-identical for every input (the standard requires
+/// `pow(1, y)` to be exactly `1.0` for any `y`, even NaN), but skips the
+/// ~20 ns transcendental in the engine's overwhelmingly common operating
+/// points — width-1 tasks (`nc == 1`) and maximum frequencies
+/// (`f_rel == 1.0`).
+#[inline]
+pub(crate) fn powf_1fast(x: f64, y: f64) -> f64 {
+    if x == 1.0 {
+        1.0
+    } else {
+        x.powf(y)
+    }
+}
 
 /// Exponent of demand-bandwidth growth with CPU frequency.
 const DEMAND_FC_EXP: f64 = 0.55;
@@ -174,7 +189,7 @@ impl MachineModel {
     /// Compute-side time component (seconds), before noise.
     pub fn compute_time_s(&self, shape: &TaskShape, tc: CoreType, nc: usize, fc_ghz: f64) -> f64 {
         let cl = self.spec.cluster(tc);
-        let parallelism = (nc as f64).powf(shape.scal_alpha);
+        let parallelism = powf_1fast(nc as f64, shape.scal_alpha);
         shape.work_gops / (cl.ipc * fc_ghz * parallelism)
     }
 
@@ -194,8 +209,10 @@ impl MachineModel {
         let cl = self.spec.cluster(tc);
         let fc_rel = fc_ghz / self.spec.fc_max_ghz();
         let fm_rel = fm_ghz / self.spec.fm_max_ghz();
-        let demand = cl.core_bw_gbs * (nc as f64).powf(DEMAND_NC_EXP) * fc_rel.powf(DEMAND_FC_EXP);
-        let supply_total = self.spec.mem_bw_gbs * fm_rel.powf(SUPPLY_FM_EXP);
+        let demand = cl.core_bw_gbs
+            * powf_1fast(nc as f64, DEMAND_NC_EXP)
+            * powf_1fast(fc_rel, DEMAND_FC_EXP);
+        let supply_total = self.spec.mem_bw_gbs * powf_1fast(fm_rel, SUPPLY_FM_EXP);
         // Contention: below saturation the other streams do not slow us
         // down; above it, supply is split proportionally to demand.
         let other = ctx.other_demand_gbs.max(0.0);
@@ -253,7 +270,10 @@ impl MachineModel {
             0.0
         };
 
-        let duration_s = t_clean * self.noise.factor(Quantity::Time, keys);
+        // One memoized probe yields all three noise factors (bit-identical
+        // to three `factor` calls; see `NoiseModel::factors3`).
+        let [f_time, f_cpu, f_mem] = self.noise.factors3(keys);
+        let duration_s = t_clean * f_time;
 
         // CPU dynamic power: switching power scales with V^2*f and droops
         // while stalled; the active-base term is paid by every active core
@@ -261,9 +281,7 @@ impl MachineModel {
         let cl = self.spec.cluster(tc);
         let v = self.spec.voltage(tc, fc_ghz);
         let activity = (1.0 - mb) + STALL_ACTIVITY * mb;
-        let cpu_dyn = nc as f64
-            * (cl.c_dyn * v * v * fc_ghz * activity + cl.active_base_w)
-            * self.noise.factor(Quantity::CpuPower, keys);
+        let cpu_dyn = nc as f64 * (cl.c_dyn * v * v * fc_ghz * activity + cl.active_base_w) * f_cpu;
 
         // Memory dynamic power: per-byte energy at the achieved bandwidth,
         // mildly increasing with memory frequency (higher-rate I/O costs more
@@ -276,7 +294,7 @@ impl MachineModel {
         let fm_rel = fm_ghz / self.spec.fm_max_ghz();
         let e_gb =
             self.spec.mem_energy_j_per_gb * (1.0 - MEM_E_FM_COUPLING + MEM_E_FM_COUPLING * fm_rel);
-        let mem_dyn = e_gb * achieved_bw * self.noise.factor(Quantity::MemPower, keys);
+        let mem_dyn = e_gb * achieved_bw * f_mem;
 
         ExecSample {
             duration: Duration::from_secs_f64(duration_s),

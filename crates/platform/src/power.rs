@@ -86,8 +86,26 @@ impl PowerTrace {
     /// Advance to `at` (integrating the held powers) and set new rail powers.
     ///
     /// `at` must not be earlier than the previous change point.
+    ///
+    /// Zero-elapsed-time calls are bit-exact no-ops for the energy
+    /// accumulators (powers are non-negative, so `e += held * 0.0` adds
+    /// `+0.0` and cannot flip a sign bit or raise a NaN), which lets the two
+    /// fast paths below skip the per-rail loops the engine would otherwise
+    /// pay at every event.
     pub fn set(&mut self, at: SimTime, watts: RailPowers) {
         debug_assert!(at >= self.now, "power trace time went backwards");
+        debug_assert!(watts.iter().all(|&w| w >= 0.0), "negative rail power");
+        if at == self.now {
+            // No time elapsed: nothing integrates. Replace the held level
+            // and (when recording) still log the change point.
+            if watts != self.current || self.history.is_some() {
+                self.current = watts;
+                if let Some(h) = &mut self.history {
+                    h.push(RailSample { at, watts });
+                }
+            }
+            return;
+        }
         let dt = at.since(self.now).as_secs_f64();
         for ((e, &w), &held) in self.energy_j.iter_mut().zip(&watts).zip(&self.current) {
             debug_assert!(w >= 0.0, "negative rail power");
@@ -102,6 +120,10 @@ impl PowerTrace {
 
     /// Integrate up to `at` without changing the held powers.
     pub fn advance(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now, "power trace time went backwards");
+        if at == self.now {
+            return; // zero elapsed time: bit-exact no-op (see `set`)
+        }
         let cur = self.current;
         self.set(at, cur);
         if let Some(h) = &mut self.history {

@@ -1,0 +1,110 @@
+//! Precomputed per-configuration rail-power tables.
+//!
+//! Idle (background) rail power is a pure function of the domain's frequency
+//! index — `cluster_idle_w` of the CPU frequency, `mem_idle_w` of the memory
+//! frequency — so it can be measured once per machine and reused everywhere
+//! a frequency index is in hand. Two hot paths share these tables:
+//!
+//! * the engine's event loop, where the dirty-flag rail-power recompute
+//!   becomes three table lookups instead of three `powi`-laden model calls;
+//! * `joss_models::search`, where every objective evaluation charges the
+//!   idle floor of a candidate configuration.
+//!
+//! The values are produced by the *exact same* [`MachineModel`] calls the
+//! direct computation would make, so replacing a call with a lookup is
+//! bit-exact — the engine's golden-fixture equivalence tests rely on that.
+
+use crate::config::{ConfigSpace, CoreType, FreqIndex};
+use crate::machine::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// Idle rail power per frequency index, measured once per machine (the
+/// paper's §4.3.3 idle characterization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTables {
+    /// `[core_type][fc]` idle power of the whole cluster, watts.
+    pub cpu_idle_w: [Vec<f64>; 2],
+    /// `[fm]` memory background power, watts.
+    pub mem_idle_w: Vec<f64>,
+}
+
+impl PowerTables {
+    /// Measure from a machine (idle power is stable; measured once).
+    pub fn measure(machine: &MachineModel, space: &ConfigSpace) -> Self {
+        let cpu_idle_w = [
+            space
+                .cpu_freqs_ghz
+                .iter()
+                .map(|&f| machine.cluster_idle_w(CoreType::Big, f))
+                .collect(),
+            space
+                .cpu_freqs_ghz
+                .iter()
+                .map(|&f| machine.cluster_idle_w(CoreType::Little, f))
+                .collect(),
+        ];
+        let mem_idle_w = space
+            .mem_freqs_ghz
+            .iter()
+            .map(|&f| machine.mem_idle_w(f))
+            .collect();
+        PowerTables {
+            cpu_idle_w,
+            mem_idle_w,
+        }
+    }
+
+    /// Idle power of cluster `tc` at CPU frequency index `fc`, watts.
+    #[inline]
+    pub fn cluster_idle_w(&self, tc: CoreType, fc: FreqIndex) -> f64 {
+        self.cpu_idle_w[tc.index()][fc.0]
+    }
+
+    /// Memory background power at memory frequency index `fm`, watts.
+    #[inline]
+    pub fn mem_idle_w(&self, fm: FreqIndex) -> f64 {
+        self.mem_idle_w[fm.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PlatformSpec;
+
+    #[test]
+    fn tables_match_direct_model_calls_bitwise() {
+        let machine = MachineModel::tx2(7);
+        let space = ConfigSpace::from_spec(&machine.spec);
+        let tables = PowerTables::measure(&machine, &space);
+        for tc in CoreType::ALL {
+            for (i, &f) in space.cpu_freqs_ghz.iter().enumerate() {
+                assert_eq!(
+                    tables.cluster_idle_w(tc, FreqIndex(i)).to_bits(),
+                    machine.cluster_idle_w(tc, f).to_bits(),
+                    "cluster idle lookup must be bit-exact"
+                );
+            }
+        }
+        for (i, &f) in space.mem_freqs_ghz.iter().enumerate() {
+            assert_eq!(
+                tables.mem_idle_w(FreqIndex(i)).to_bits(),
+                machine.mem_idle_w(f).to_bits(),
+                "memory idle lookup must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_power_increases_with_frequency() {
+        let machine = MachineModel::tx2_noiseless();
+        let space = ConfigSpace::from_spec(&PlatformSpec::tx2_like());
+        let tables = PowerTables::measure(&machine, &space);
+        for tc in CoreType::ALL {
+            let lo = tables.cluster_idle_w(tc, FreqIndex(0));
+            let hi = tables.cluster_idle_w(tc, FreqIndex(space.cpu_freqs_ghz.len() - 1));
+            assert!(hi > lo && lo > 0.0);
+        }
+        assert!(tables.mem_idle_w(FreqIndex(2)) > tables.mem_idle_w(FreqIndex(0)));
+    }
+}

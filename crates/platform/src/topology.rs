@@ -49,7 +49,7 @@ impl ClusterSpec {
             return self.v_max;
         }
         let t = ((f_ghz - f_min_ghz) / (f_max_ghz - f_min_ghz)).clamp(0.0, 1.0);
-        self.v_min + t.powf(self.v_exp) * (self.v_max - self.v_min)
+        self.v_min + crate::machine::powf_1fast(t, self.v_exp) * (self.v_max - self.v_min)
     }
 }
 

@@ -7,6 +7,8 @@ use crate::record::RunRecord;
 use crate::spec::RunSpec;
 use joss_core::engine::SimEngine;
 use joss_core::metrics::RunReport;
+use joss_core::EngineArena;
+use std::cell::RefCell;
 
 /// Parallel executor for spec lists.
 ///
@@ -47,9 +49,11 @@ impl Campaign {
     /// grid with traces opted in) whose records go straight to disk, use
     /// [`Campaign::run_streaming`] instead.
     pub fn run(&self, ctx: &ExperimentContext, specs: Vec<RunSpec>) -> Vec<RunRecord> {
-        ordered_parallel_map(self.threads, &specs, |index, spec| {
+        let records = ordered_parallel_map(self.threads, &specs, |index, spec| {
             run_spec(ctx, index, spec)
-        })
+        });
+        joss_platform::noise::release_thread_memo();
+        records
     }
 
     /// Execute every spec, handing each record to `sink` **in spec order**
@@ -90,6 +94,10 @@ impl Campaign {
             |index, spec| run_spec(ctx, index_base + index, spec),
             |_, record| sink(record),
         );
+        // Single-worker campaigns ran inline on this thread; hand the
+        // noise memo back so the next campaign (possibly on another
+        // executor thread) adopts it instead of faulting in its own.
+        joss_platform::noise::release_thread_memo();
     }
 
     /// Execute every spec, streaming records into a fallible
@@ -129,15 +137,29 @@ impl Default for Campaign {
     }
 }
 
+thread_local! {
+    /// Per-worker engine arena, recycled across every spec the thread runs.
+    ///
+    /// [`SimEngine::run_with_arena`] resets the arena at the start of each
+    /// run, so recycling is behaviorally identical to building a fresh
+    /// engine per spec (asserted byte-for-byte by the campaign determinism
+    /// test) — it just keeps grid sweeps free of per-spec allocation.
+    static ARENA: RefCell<EngineArena> = RefCell::new(EngineArena::new());
+}
+
 /// Execute one spec (the campaign's per-worker body, also usable serially).
 pub fn run_spec(ctx: &ExperimentContext, index: usize, spec: &RunSpec) -> RunRecord {
     let mut sched = spec.scheduler.build(ctx);
-    let report = SimEngine::run(
-        &ctx.machine,
-        &spec.workload.graph,
-        sched.as_mut(),
-        spec.engine.to_config(),
-    );
+    let report = ARENA.with(|arena| {
+        SimEngine::run_with_arena(
+            &ctx.machine,
+            &spec.workload.graph,
+            sched.as_mut(),
+            spec.engine.to_config(),
+            &mut arena.borrow_mut(),
+            &ctx.models.idle,
+        )
+    });
     RunRecord {
         index,
         workload: spec.workload.label.clone(),

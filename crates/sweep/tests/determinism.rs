@@ -93,6 +93,58 @@ fn streaming_matches_batch_byte_for_byte() {
     }
 }
 
+/// A single worker recycling one arena across a whole grid must emit the
+/// same bytes as a fresh engine (fresh arena, fresh idle tables) per spec:
+/// arena reuse is a pure allocation optimization, never state leakage.
+#[test]
+fn recycled_arena_matches_fresh_engines_byte_for_byte() {
+    use joss_core::engine::SimEngine;
+    use joss_sweep::RunRecord;
+
+    let grid = || {
+        SpecGrid::new()
+            .workloads(workload_pool().into_iter().take(3))
+            .schedulers([
+                SchedulerKind::Grws,
+                SchedulerKind::Joss,
+                SchedulerKind::Erase,
+                SchedulerKind::Aequitas(0.005),
+            ])
+            .seeds([42, 7])
+            .build()
+    };
+    // One worker thread: every spec reuses that thread's recycled arena.
+    let recycled = Campaign::with_threads(1).run(ctx(), grid());
+    // Reference: a brand-new engine per spec via the convenience entry point.
+    let fresh: Vec<RunRecord> = grid()
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            let mut sched = spec.scheduler.build(ctx());
+            let report = SimEngine::run(
+                &ctx().machine,
+                &spec.workload.graph,
+                sched.as_mut(),
+                spec.engine.to_config(),
+            );
+            RunRecord {
+                index,
+                workload: spec.workload.label.clone(),
+                scheduler: report.scheduler.clone(),
+                kind: spec.scheduler,
+                seed: spec.engine.seed,
+                report,
+            }
+        })
+        .collect();
+    assert_eq!(recycled.len(), 24);
+    assert_eq!(
+        to_jsonl(&recycled),
+        to_jsonl(&fresh),
+        "arena recycling must be invisible in the output bytes"
+    );
+}
+
 #[test]
 fn records_are_ordered_by_spec_index_and_labelled() {
     let specs = SpecGrid::new()
