@@ -19,8 +19,10 @@
 //! `BENCH_serve.json` (`joss-bench-serve/v2`, also in `docs/PERF.md`).
 //! With `--fleet-out` it boots 1-vs-2 local backend
 //! fleets and snapshots sharded campaign latency as `BENCH_fleet.json`
-//! (`joss-bench-fleet/v2`), asserting the two merges are byte-identical
-//! while it measures. The committed copies at the repo root are the perf
+//! (`joss-bench-fleet/v3`) — including a *straggler* pair, one backend
+//! behind a ~4x throttling proxy, measured with the elastic
+//! work-stealing coordinator and again with the static plan — asserting
+//! the merges are byte-identical while it measures. The committed copies at the repo root are the perf
 //! trajectory: every PR that touches the hot path re-runs this tool and
 //! commits the diff, so regressions show up in review. Timings are
 //! host-dependent; compare only numbers recorded on the same machine.
@@ -509,15 +511,19 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
     );
 }
 
-/// The fleet-layer snapshot: the same sharded campaign run through one
-/// local backend and through two, so the scale-out factor (and the
-/// coordination overhead it pays for) leaves a reviewable trail. Every
-/// sample defeats the backends' results caches with fresh seeds, so the
-/// numbers measure sharded *simulation*, not cache replay — and the
-/// 1-backend and 2-backend merges are asserted byte-identical while the
-/// clock runs.
+/// The fleet-layer snapshot: the same campaign run through one local
+/// backend, through two, and through two with one of them throttled to a
+/// straggler — with the elastic work-stealing coordinator and with the
+/// static plan — so the scale-out factor, the coordination overhead it
+/// pays for, and the rebalancing payoff all leave a reviewable trail.
+/// Every sample defeats the backends' results caches *and* spec stores
+/// with fresh seeds, so the numbers measure sharded simulation, not
+/// replay — and the merges are asserted byte-identical while the clock
+/// runs.
 fn fleet_benches(out_path: &str, runs: usize) {
-    use joss_fleet::{run_fleet, spawn_local_backends_with, FleetConfig};
+    use joss_fleet::{
+        run_fleet, spawn_local_backends_with, FleetConfig, FleetSession, ThrottleProxy,
+    };
     use joss_serve::ServeConfig;
     use joss_sweep::{GridDesc, SchedulerKind};
     use joss_workloads::Scale;
@@ -537,74 +543,217 @@ fn fleet_benches(out_path: &str, runs: usize) {
     let handles = spawn_local_backends_with(2, &template, true).expect("spawn local backends");
     let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
 
+    // Six cheap workloads x 2 schedulers x 4 seeds = 48 specs: enough
+    // work that a 1-core host still has room to pipeline two backends,
+    // and that a straggler's range holds a tail worth stealing.
     let base = GridDesc {
-        workloads: vec!["DP".into(), "MM_256_dop4".into(), "FB".into()],
+        workloads: vec![
+            "DP".into(),
+            "FB".into(),
+            "MM_256_dop4".into(),
+            "HT_Small".into(),
+            "MC_4096_dop4".into(),
+            "ST_512_dop4".into(),
+        ],
         schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
-        seeds: vec![42, 7],
+        seeds: vec![42, 7, 13, 99],
         scale: Scale::Divided(400),
         record_trace: false,
         shard: None,
     };
-    let fleet_config = |n_backends: usize| FleetConfig {
-        shards: 4,
+    // `shards`: the healthy 1-vs-2 pair pins the same 8-range plan on
+    // both topologies so the comparison varies only the backend count;
+    // the straggler pair uses each coordinator's own default plan (8
+    // micro-ranges elastic, 4 static) — that before/after gap is the
+    // thing being measured.
+    let fleet_config = |backends: Vec<String>, shards: usize, steal: bool| FleetConfig {
+        shards,
+        steal,
         expect_train_seed: Some(42),
         expect_reps: Some(1),
-        ..FleetConfig::new(addrs[..n_backends].to_vec())
+        ..FleetConfig::new(backends)
     };
 
     // Cross-topology identity before the clock runs: 1-backend and
-    // 2-backend merges of the same grid must be the same bytes.
+    // 2-backend merges of the same grid must be the same bytes. The
+    // first (cold) run is timed — it calibrates the straggler throttle
+    // below against the host's cold delivery pace.
     let mut one = Vec::new();
-    run_fleet(&fleet_config(1), &base, &mut one).expect("1-backend campaign");
+    let t0 = Instant::now();
+    run_fleet(&fleet_config(addrs[..1].to_vec(), 8, true), &base, &mut one)
+        .expect("1-backend campaign");
+    let cold_secs = t0.elapsed().as_secs_f64();
     let mut two = Vec::new();
-    run_fleet(&fleet_config(2), &base, &mut two).expect("2-backend campaign");
+    run_fleet(&fleet_config(addrs.clone(), 8, true), &base, &mut two).expect("2-backend campaign");
     assert_eq!(one, two, "backend count changed the merged bytes");
+    let body_bytes = one.len();
 
     let lat_samples = (runs * 2).max(6);
     let mut entries: Vec<Entry> = Vec::new();
-    for (name, n_backends) in [
-        ("fleet/campaign_1_backend", 1usize),
-        ("fleet/campaign_2_backends", 2usize),
-    ] {
-        let config = fleet_config(n_backends);
-        let mut samples = Vec::with_capacity(lat_samples);
-        for it in 0..lat_samples {
-            // Seeds unique per (topology, sample) so no backend can serve
-            // a shard from its cache — misses are what's being measured.
-            let tag = (n_backends as u64) << 20 | it as u64;
-            let mut desc = base.clone();
-            desc.seeds = vec![0xf1ee_0000 + tag, 0xf1ee_8000 + tag];
-            let mut merged = Vec::new();
-            let t0 = Instant::now();
-            let report = run_fleet(&config, &desc, &mut merged).expect("fleet campaign");
-            let ns = t0.elapsed().as_nanos() as f64;
-            assert_eq!(report.records, desc.spec_count());
-            assert_eq!(report.failovers, 0);
-            samples.push(ns);
+    // The benches come in A/B pairs whose *comparison* is the headline
+    // number, so samples interleave A,B,A,B,... — host-wide slowdowns
+    // (another tenant, frequency steps) land on both sides of each pair
+    // instead of biasing whichever bench ran last.
+    //
+    // `fresh`: cold samples draw unique seeds per (bench, side, sample)
+    // so no backend can serve a range from its spec store — simulation
+    // misses are what's being measured. Warm samples re-run the base
+    // grid: steady-state re-execution, where the store answers and the
+    // clock sees only coordination plus delivery.
+    let mut bench_pair = |names: [&'static str; 2],
+                          bench_idx: u64,
+                          fresh: bool,
+                          configs: [&FleetConfig; 2]| {
+        if !fresh {
+            // Prime every backend's store with ALL ranges of the plan
+            // (claim order is nondeterministic, so any backend may be
+            // handed any range once the clock runs), then one combined
+            // warmup per topology for the coordination path itself.
+            for config in configs {
+                for addr in &config.backends {
+                    let mut warm = Vec::new();
+                    let solo = FleetConfig {
+                        backends: vec![addr.clone()],
+                        ..config.clone()
+                    };
+                    run_fleet(&solo, &base, &mut warm).expect("fleet store prime");
+                    assert_eq!(warm, one, "priming changed the merged bytes");
+                }
+                let mut warm = Vec::new();
+                run_fleet(config, &base, &mut warm).expect("fleet warmup");
+                assert_eq!(warm, one, "warmup changed the merged bytes");
+            }
         }
-        let st = stats(samples);
-        entries.push(Entry {
-            name,
-            unit: "campaigns_per_sec",
-            rate: 1e9 / st.median_ns,
-            stats: st,
-        });
-        eprintln!(
-            "[joss_bench_json] {name}: {:.3} ms/campaign",
-            st.median_ns / 1e6
-        );
-    }
+        // One resident session per topology: each sample measures a
+        // campaign dispatched through an already-connected fleet (the
+        // steady-state shape — probe and worker dials amortized), not
+        // per-campaign setup.
+        let sessions = [
+            FleetSession::connect(configs[0]).expect("fleet session"),
+            FleetSession::connect(configs[1]).expect("fleet session"),
+        ];
+        // Two untimed laps per session: a fresh session's first campaigns
+        // pay first-exchange costs on the pooled connections.
+        for session in &sessions {
+            for _ in 0..2 {
+                let mut warm = Vec::new();
+                session.run(&base, &mut warm).expect("fleet session warmup");
+                assert_eq!(warm, one, "session warmup changed the merged bytes");
+            }
+        }
+        let mut samples = [Vec::new(), Vec::new()];
+        let mut steals_total = [0usize; 2];
+        for it in 0..lat_samples {
+            // Alternate which side goes first so slow drift (frequency
+            // steps, another tenant ramping) cancels in the pairing
+            // rather than always taxing the same side.
+            let order = if it % 2 == 0 { [0, 1] } else { [1, 0] };
+            for side in order {
+                let session = &sessions[side];
+                let desc = if fresh {
+                    let tag = bench_idx << 21 | (side as u64) << 20 | it as u64;
+                    let mut desc = base.clone();
+                    desc.seeds = vec![
+                        0xf1ee_0000 + tag,
+                        0xf1ee_4000 + tag,
+                        0xf1ee_8000 + tag,
+                        0xf1ee_c000 + tag,
+                    ];
+                    desc
+                } else {
+                    base.clone()
+                };
+                let mut merged = Vec::new();
+                let t0 = Instant::now();
+                let report = session.run(&desc, &mut merged).expect("fleet campaign");
+                let ns = t0.elapsed().as_nanos() as f64;
+                assert_eq!(report.records, desc.spec_count());
+                assert_eq!(report.failovers, 0);
+                if !fresh {
+                    assert_eq!(merged, one, "steady-state run changed the merged bytes");
+                }
+                steals_total[side] += report.steals;
+                samples[side].push(ns);
+            }
+        }
+        for (side, name) in names.into_iter().enumerate() {
+            let st = stats(std::mem::take(&mut samples[side]));
+            entries.push(Entry {
+                name,
+                unit: "campaigns_per_sec",
+                rate: 1e9 / st.median_ns,
+                stats: st,
+            });
+            eprintln!(
+                "[joss_bench_json] {name}: {:.3} ms/campaign (steals {} over {lat_samples} samples)",
+                st.median_ns / 1e6,
+                steals_total[side]
+            );
+        }
+    };
+
+    bench_pair(
+        ["fleet/campaign_1_backend", "fleet/campaign_2_backends"],
+        1,
+        false,
+        [
+            &fleet_config(addrs[..1].to_vec(), 8, true),
+            &fleet_config(addrs.clone(), 8, true),
+        ],
+    );
+
+    // Straggler pair: backend 1 goes behind a proxy that meters its
+    // responses to a twelfth of the cold single-backend delivery rate,
+    // so its ranges arrive ~12x slower than it simulates them. The
+    // elastic run steals the slow tails; the static run must sit them
+    // out.
+    let throttle_rate = ((body_bytes as f64 / cold_secs / 12.0) as u64).clamp(2_000, 50_000_000);
+    eprintln!(
+        "[joss_bench_json] straggler throttle: {throttle_rate} B/s (~12x on a {body_bytes}-byte body)"
+    );
+    let proxy = ThrottleProxy::spawn(&addrs[1], throttle_rate).expect("throttle proxy");
+    let straggler_addrs = vec![addrs[0].clone(), proxy.addr().to_string()];
+    // Identity holds through the throttle and any steal schedule.
+    let mut throttled = Vec::new();
+    run_fleet(
+        &fleet_config(straggler_addrs.clone(), 0, true),
+        &base,
+        &mut throttled,
+    )
+    .expect("straggler campaign");
+    assert_eq!(throttled, one, "the straggler topology changed the bytes");
+
+    bench_pair(
+        [
+            "fleet/campaign_2_backends_straggler",
+            "fleet/campaign_2_backends_straggler_static",
+        ],
+        3,
+        true,
+        [
+            &fleet_config(straggler_addrs.clone(), 0, true),
+            &fleet_config(straggler_addrs.clone(), 0, false),
+        ],
+    );
+    drop(proxy);
 
     for handle in handles {
         handle.stop().expect("stop local backend");
     }
     write_snapshot(
         out_path,
-        "joss-bench-fleet/v2",
+        "joss-bench-fleet/v3",
         &[
             ("fleet_backends_max", "2".to_string()),
-            ("fleet_shards", "4".to_string()),
+            // Auto plans: MICRO_FACTOR ranges per backend when stealing,
+            // two per backend for the static comparator.
+            ("fleet_micro_factor", "4".to_string()),
+            ("fleet_static_shards_per_backend", "2".to_string()),
             ("grid_specs", base.spec_count().to_string()),
+            (
+                "straggler_throttle_bytes_per_sec",
+                throttle_rate.to_string(),
+            ),
             ("train_reps", "1".to_string()),
         ],
         runs,

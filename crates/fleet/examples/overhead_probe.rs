@@ -1,0 +1,131 @@
+//! Fleet-overhead measurement rig: where does a steady-state campaign
+//! spend its non-delivery time? Times a lone probe, a lone dial, warm
+//! one-shot `run_fleet` (probe + dial every run), and warm
+//! `FleetSession::run` (setup amortized) across 1- and 2-backend
+//! topologies and several plan granularities. This is the experiment
+//! behind the healthy-pair design in `joss_bench_json --fleet-out`
+//! (`docs/PERF.md`): run it when fleet dispatch overhead regresses and
+//! the snapshot alone does not say which stage grew.
+
+use std::time::{Duration, Instant};
+
+use joss_fleet::{backend, run_fleet, spawn_local_backends_with, FleetConfig};
+use joss_serve::client::Conn;
+use joss_serve::ServeConfig;
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_workloads::Scale;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let template = ServeConfig {
+        reps: 1,
+        workers: 4,
+        max_inflight: 2,
+        campaign_threads: 1,
+        ..ServeConfig::default()
+    };
+    let handles = spawn_local_backends_with(2, &template, true).expect("spawn");
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    let base = GridDesc {
+        workloads: vec![
+            "DP".into(),
+            "FB".into(),
+            "MM_256_dop4".into(),
+            "HT_Small".into(),
+            "MC_4096_dop4".into(),
+            "ST_512_dop4".into(),
+        ],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42, 7, 13, 99],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    };
+    let config = |backends: Vec<String>| {
+        let mut c = FleetConfig::new(backends);
+        c.shards = 16;
+        c.steal = true;
+        c
+    };
+
+    // Warm both backends' stores + raw memos on all 16 ranges.
+    for addr in &addrs {
+        let mut sink = Vec::new();
+        run_fleet(&config(vec![addr.clone()]), &base, &mut sink).expect("prime");
+    }
+    let mut sink = Vec::new();
+    run_fleet(&config(addrs.clone()), &base, &mut sink).expect("prime both");
+
+    const N: usize = 60;
+    let mut t_probe = Vec::new();
+    let mut t_dial = Vec::new();
+    let mut t_1b = Vec::new();
+    let mut t_2b = Vec::new();
+    for _ in 0..N {
+        let t0 = Instant::now();
+        backend::probe(&addrs[0], Duration::from_secs(2)).expect("probe");
+        t_probe.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        let c = Conn::connect(&addrs[0], Duration::from_secs(2)).expect("dial");
+        t_dial.push(t0.elapsed().as_secs_f64() * 1e3);
+        drop(c);
+
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        run_fleet(&config(addrs[..1].to_vec()), &base, &mut out).expect("1b");
+        t_1b.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        run_fleet(&config(addrs.clone()), &base, &mut out).expect("2b");
+        t_2b.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    eprintln!("probe   median {:.3} ms", median(t_probe));
+    eprintln!("dial    median {:.3} ms", median(t_dial));
+    eprintln!("1b warm median {:.3} ms", median(t_1b));
+    eprintln!("2b warm median {:.3} ms", median(t_2b));
+
+    // Session form at several plan granularities: probe + dial paid
+    // once, conns pooled across runs.
+    for shards in [8usize, 12, 16, 24, 32] {
+        let mk = |backends: Vec<String>| {
+            let mut c = FleetConfig::new(backends);
+            c.shards = shards;
+            c.steal = true;
+            c
+        };
+        let c1 = mk(addrs[..1].to_vec());
+        let c2 = mk(addrs.clone());
+        let s1 = joss_fleet::FleetSession::connect(&c1).expect("session 1b");
+        let s2 = joss_fleet::FleetSession::connect(&c2).expect("session 2b");
+        // Re-prime raw memos for this plan's request shapes.
+        let mut out = Vec::new();
+        s1.run(&base, &mut out).expect("prime s1");
+        let mut out = Vec::new();
+        s2.run(&base, &mut out).expect("prime s2");
+        let mut t_s1 = Vec::new();
+        let mut t_s2 = Vec::new();
+        for _ in 0..N {
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            s1.run(&base, &mut out).expect("s1 run");
+            t_s1.push(t0.elapsed().as_secs_f64() * 1e3);
+
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            s2.run(&base, &mut out).expect("s2 run");
+            t_s2.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "shards {shards:2}: 1b session median {:.3} ms | 2b session median {:.3} ms",
+            median(t_s1),
+            median(t_s2)
+        );
+    }
+}

@@ -79,6 +79,66 @@ pub fn is_alive(addr: &str, timeout: Duration) -> bool {
     client::get(addr, "/healthz", timeout).is_ok_and(|r| r.status == 200)
 }
 
+/// Live progress of one campaign on one backend, read from `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// Specs the backend has emitted for this campaign so far.
+    pub completed: u64,
+    /// Specs the campaign will emit in total.
+    pub total: u64,
+    /// Backend-wide executor queue depth (jobs admitted, not yet started).
+    pub queue_depth: u64,
+}
+
+/// Poll a backend's `/stats` for the progress of the campaign whose
+/// formatted spec hash is `hash` (the `X-Joss-Spec-Hash` spelling).
+///
+/// `Ok(Some(_))` — the campaign is actively executing there;
+/// `Ok(None)` — the backend answered but is not currently executing that
+/// campaign (finished, still queued, or served from cache);
+/// `Err(_)` — the backend did not answer, or sent unparseable stats.
+///
+/// This is the coordinator's steal-side sanity check: before re-issuing
+/// part of an in-flight range elsewhere, it confirms the victim backend
+/// is reachable and sees how far the campaign actually got.
+pub fn fetch_progress(
+    addr: &str,
+    hash: &str,
+    timeout: Duration,
+) -> Result<Option<CampaignProgress>, String> {
+    let response = client::get(addr, "/stats", timeout)
+        .map_err(|e| format!("backend {addr} failed its stats probe: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "backend {addr} answered /stats with {}",
+            response.status
+        ));
+    }
+    let text = String::from_utf8_lossy(&response.body).into_owned();
+    let parsed =
+        json::parse(&text).map_err(|e| format!("backend {addr} sent unparseable stats: {e}"))?;
+    let queue_depth = parsed
+        .get("executor_queue_depth")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let Some(active) = parsed.get("active_campaigns").and_then(Value::as_array) else {
+        // A pre-elastic backend: no progress feed. Treat as "not running".
+        return Ok(None);
+    };
+    for entry in active {
+        if entry.get("hash").and_then(Value::as_str) == Some(hash) {
+            let completed = entry.get("completed").and_then(Value::as_u64).unwrap_or(0);
+            let total = entry.get("total").and_then(Value::as_u64).unwrap_or(0);
+            return Ok(Some(CampaignProgress {
+                completed,
+                total,
+                queue_depth,
+            }));
+        }
+    }
+    Ok(None)
+}
+
 /// Refuse a fleet whose backends would produce unmergeable records:
 /// every backend must agree on train seed, reps, and record schema (with
 /// each other, and with the caller's expectation when given). Build

@@ -5,7 +5,7 @@
 //! joss_fleet (--backend HOST:PORT ... | --spawn N)
 //!            [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]
 //!            [--scale D|full] [--record-trace]
-//!            [--shards M] [--out FILE.jsonl]
+//!            [--shards M] [--no-steal] [--min-steal N] [--out FILE.jsonl]
 //!            [--train-seed S] [--reps R] [--campaign-threads N]
 //!            [--timeout-secs T] [--max-attempts K]
 //! ```
@@ -32,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: joss_fleet (--backend HOST:PORT ... | --spawn N)\n\
          \u{20}                 [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
-         \u{20}                 [--scale D|full] [--record-trace] [--shards M] [--out FILE.jsonl]\n\
+         \u{20}                 [--scale D|full] [--record-trace] [--shards M]\n\
+         \u{20}                 [--no-steal] [--min-steal N] [--out FILE.jsonl]\n\
          \u{20}                 [--train-seed S] [--reps R] [--campaign-threads N]\n\
          \u{20}                 [--timeout-secs T] [--max-attempts K]\n\
          schedulers: {}",
@@ -51,6 +52,8 @@ fn main() {
     let mut scale = Scale::Divided(100);
     let mut record_trace = false;
     let mut shards = 0usize;
+    let mut steal = true;
+    let mut min_steal = 2usize;
     let mut out_path: Option<String> = None;
     let mut train_seed = 42u64;
     let mut reps = 3u32;
@@ -97,6 +100,8 @@ fn main() {
             }
             "--record-trace" => record_trace = true,
             "--shards" => shards = next(&mut i).parse().expect("shard count"),
+            "--no-steal" => steal = false,
+            "--min-steal" => min_steal = next(&mut i).parse().expect("min steal size"),
             "--out" => out_path = Some(next(&mut i)),
             "--train-seed" => train_seed = next(&mut i).parse().expect("train seed"),
             "--reps" => reps = next(&mut i).parse().expect("training reps"),
@@ -160,6 +165,8 @@ fn main() {
 
     let config = FleetConfig {
         shards,
+        steal,
+        min_steal,
         timeout: Duration::from_secs(timeout_secs),
         max_attempts,
         expect_train_seed: Some(train_seed),

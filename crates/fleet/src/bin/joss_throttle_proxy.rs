@@ -1,0 +1,62 @@
+//! Standalone rate-limiting TCP proxy (see [`joss_fleet::throttle`]).
+//!
+//! ```text
+//! joss_throttle_proxy --listen HOST:PORT --upstream HOST:PORT --bytes-per-sec N
+//! ```
+//!
+//! Forwards every connection to `--upstream`, metering the response
+//! direction to `--bytes-per-sec`. CI's fleet slow-backend scenario puts
+//! this in front of one healthy `joss_serve` daemon to manufacture a
+//! straggler and assert the elastic coordinator steals from it.
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::atomic::AtomicBool;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_throttle_proxy --listen HOST:PORT --upstream HOST:PORT --bytes-per-sec N"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut listen = None;
+    let mut upstream = None;
+    let mut bytes_per_sec: u64 = 0;
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = Some(next(&mut i)),
+            "--upstream" => upstream = Some(next(&mut i)),
+            "--bytes-per-sec" => bytes_per_sec = next(&mut i).parse().expect("byte rate"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let (Some(listen), Some(upstream)) = (listen, upstream) else {
+        usage();
+    };
+    if bytes_per_sec == 0 {
+        eprintln!("error: --bytes-per-sec must be positive");
+        exit(2);
+    }
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("error: bind {listen} failed: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "[joss_throttle_proxy] {listen} -> {upstream} at {bytes_per_sec} B/s (responses metered)"
+    );
+    static RUN_FOREVER: AtomicBool = AtomicBool::new(false);
+    joss_fleet::throttle::accept_loop(listener, &upstream, bytes_per_sec, &RUN_FOREVER);
+}

@@ -16,20 +16,27 @@
 //!   coordinator refuses to merge records from mismatched backends;
 //! * [`merge`] — [`OrderedMerger`], the reorder buffer that turns
 //!   out-of-order shard streams into one in-order JSONL stream;
-//! * [`coordinator`] — [`run_fleet`]: the work queue, per-backend fetch
-//!   workers, and the failover policy (retry a failed shard on surviving
-//!   backends, excluding the one that failed, resuming mid-shard);
+//! * [`coordinator`] — [`run_fleet`]: the shared micro-range work queue,
+//!   per-backend fetch workers, **work stealing** (an idle worker
+//!   re-issues the undelivered tail of a straggler's in-flight range),
+//!   and the failover policy (retry a failed range on surviving
+//!   backends, excluding the one that failed, resuming mid-range);
 //! * [`local`] — boot N in-process daemons for single-machine scale-out
-//!   (`joss_fleet --spawn N`) and tests.
+//!   (`joss_fleet --spawn N`) and tests;
+//! * [`throttle`] — [`ThrottleProxy`], a rate-limiting TCP proxy that
+//!   manufactures stragglers for steal tests, benches, and CI.
 //!
 //! The invariant everything hangs off, extending the serve layer's:
 //! **fleet-merged bytes are identical to a single-node
 //! [`joss_sweep::Campaign::run_streaming`] → [`joss_sweep::JsonlSink`]
 //! run of the whole grid** with the same training parameters — for any
-//! shard count, any backend count, and any backend failure the retries
-//! can absorb. Determinism is what makes mid-stream failover cheap: a
-//! retried shard reproduces the exact bytes the dead backend already
-//! sent, so the coordinator skips the merged prefix and splices the rest.
+//! shard count, any backend count, any steal schedule, and any backend
+//! failure the retries can absorb. Determinism is what makes both
+//! mid-stream failover and stealing cheap: a retried range reproduces
+//! the exact bytes the dead backend already sent (the coordinator skips
+//! the merged prefix and splices the rest), and a stolen tail that the
+//! victim races into anyway yields duplicate global indices the
+//! [`OrderedMerger`] drops for free.
 //! `crates/fleet/tests/fleet.rs` kills a backend mid-stream and `cmp`s;
 //! the CI `fleet-smoke` job does the same over real processes.
 //! Topology and semantics: `docs/FLEET.md`.
@@ -38,8 +45,12 @@ pub mod backend;
 pub mod coordinator;
 pub mod local;
 pub mod merge;
+pub mod throttle;
 
-pub use backend::{is_alive, probe, verify_compatible, BackendInfo};
-pub use coordinator::{run_fleet, FleetConfig, FleetError, FleetReport};
+pub use backend::{
+    fetch_progress, is_alive, probe, verify_compatible, BackendInfo, CampaignProgress,
+};
+pub use coordinator::{run_fleet, FleetConfig, FleetError, FleetReport, FleetSession};
 pub use local::{spawn_local_backends, spawn_local_backends_with};
 pub use merge::OrderedMerger;
+pub use throttle::ThrottleProxy;

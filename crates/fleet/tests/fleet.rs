@@ -84,8 +84,93 @@ fn merged_output_is_byte_identical_across_shard_and_backend_counts() {
         assert_eq!(report.failovers, 0);
         assert!(report.dead_backends.is_empty());
         let completed: usize = report.completed_per_backend.iter().map(|(_, n)| n).sum();
-        assert_eq!(completed, report.shards);
+        // Every plan range plus every stolen tail concludes as a task.
+        assert_eq!(completed, report.shards + report.steals);
     }
+    for h in handles {
+        h.stop().expect("clean backend shutdown");
+    }
+}
+
+#[test]
+fn a_session_reuses_its_fleet_across_campaigns_byte_identically() {
+    let desc = grid();
+    let reference = offline_jsonl(&desc);
+    let handles = spawn_local_backends(2, &backend_template()).expect("spawn backends");
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    let config = fleet_config(addrs);
+    let session = joss_fleet::FleetSession::connect(&config).expect("session connect");
+    // Repeated campaigns over one session: probe and dials were paid at
+    // connect, worker connections persist in the pool between runs, and
+    // every run must still merge to the reference bytes.
+    for lap in 0..3 {
+        let mut merged = Vec::new();
+        let report = session
+            .run(&desc, &mut merged)
+            .unwrap_or_else(|e| panic!("session run {lap}: {e}"));
+        assert_eq!(merged, reference, "session run {lap} diverged");
+        assert_eq!(report.records, desc.spec_count());
+        assert_eq!(report.failovers, 0);
+    }
+    // A different grid through the same session.
+    let small = GridDesc {
+        workloads: vec!["DP".into(), "FB".into()],
+        seeds: vec![42],
+        ..grid()
+    };
+    let mut merged = Vec::new();
+    session
+        .run(&small, &mut merged)
+        .expect("session run, second grid");
+    assert_eq!(merged, offline_jsonl(&small), "second grid diverged");
+
+    for h in handles {
+        h.stop().expect("clean backend shutdown");
+    }
+}
+
+#[test]
+fn an_idle_backend_steals_from_a_throttled_straggler_byte_identically() {
+    // Grid big enough that the straggler always holds a multi-spec
+    // undelivered tail while the fast backend drains the rest of the
+    // queue and goes idle.
+    let desc = GridDesc {
+        seeds: vec![42, 7, 13, 99],
+        ..grid()
+    };
+    let reference = offline_jsonl(&desc);
+    let handles = spawn_local_backends(2, &backend_template()).expect("spawn backends");
+    // 600 B/s: a multi-spec range takes whole seconds to trickle through
+    // the proxy, while /healthz probes and /stats steal polls (a few
+    // hundred bytes) still land inside their 2s read timeouts.
+    let proxy =
+        joss_fleet::ThrottleProxy::spawn(&handles[1].addr().to_string(), 600).expect("proxy spawn");
+    let config = fleet_config(vec![
+        handles[0].addr().to_string(),
+        proxy.addr().to_string(),
+    ]);
+
+    let mut merged = Vec::new();
+    let report = run_fleet(&config, &desc, &mut merged).expect("elastic fleet run");
+
+    assert_eq!(merged, reference, "steals must not change a single byte");
+    assert!(
+        report.steals >= 1,
+        "no steal despite a heavily throttled straggler: {report:?}"
+    );
+    assert!(
+        report.stolen_specs >= 1,
+        "steals without moved specs: {report:?}"
+    );
+    assert_eq!(
+        report.failovers, 0,
+        "throttling is not a failure: {report:?}"
+    );
+    assert!(report.dead_backends.is_empty(), "{report:?}");
+    let completed: usize = report.completed_per_backend.iter().map(|(_, n)| n).sum();
+    assert_eq!(completed, report.shards + report.steals);
+
     for h in handles {
         h.stop().expect("clean backend shutdown");
     }
@@ -252,6 +337,9 @@ fn mid_stream_backend_death_fails_over_and_keeps_bytes_identical() {
 
     let config = FleetConfig {
         shards: 4,
+        // Stealing off: this test pins down the *failover* path, and its
+        // per-backend completion assertions assume no tails move around.
+        steal: false,
         ..fleet_config(vec![survivor.clone(), proxy.addr.clone()])
     };
     let mut merged = Vec::new();

@@ -3,7 +3,7 @@
 //! ```text
 //! joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
 //!            [--cache-entries N] [--campaign-threads N] [--max-specs N]
-//!            [--reps R] [--train-seed S] [--train-eager]
+//!            [--store-specs N] [--reps R] [--train-seed S] [--train-eager]
 //!            [--read-timeout-secs S] [--write-timeout-secs S]
 //!            [--idle-timeout-secs S]
 //! ```
@@ -22,7 +22,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: joss_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]\n\
          \u{20}                 [--cache-entries N] [--campaign-threads N] [--max-specs N]\n\
-         \u{20}                 [--reps R] [--train-seed S] [--train-eager]\n\
+         \u{20}                 [--store-specs N] [--reps R] [--train-seed S] [--train-eager]\n\
          \u{20}                 [--read-timeout-secs S] [--write-timeout-secs S]\n\
          \u{20}                 [--idle-timeout-secs S]"
     );
@@ -50,6 +50,7 @@ fn main() {
                 config.campaign_threads = next(&mut i).parse().expect("campaign threads")
             }
             "--max-specs" => config.max_specs = next(&mut i).parse().expect("spec cap"),
+            "--store-specs" => config.store_specs = next(&mut i).parse().expect("store capacity"),
             "--reps" => config.reps = next(&mut i).parse().expect("training reps"),
             "--train-seed" => config.train_seed = next(&mut i).parse().expect("train seed"),
             "--train-eager" => train_eager = true,

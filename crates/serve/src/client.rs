@@ -65,6 +65,16 @@ pub enum StreamOutcome {
         /// Full response body.
         body: String,
     },
+    /// The *caller* stopped the stream mid-body (a
+    /// [`Conn::stream_campaign_ctl`] callback returned `false`) after
+    /// `lines` record lines. The rest of the response is abandoned
+    /// unread, so the connection is no longer reusable — the elastic
+    /// fleet's steal-abort path, where a victim backend's tail range has
+    /// been re-issued elsewhere and reading it out would waste the pipe.
+    Stopped {
+        /// Record lines delivered to the callback before the stop.
+        lines: usize,
+    },
 }
 
 /// A persistent client connection to one daemon.
@@ -186,7 +196,29 @@ impl Conn {
     pub fn stream_campaign(
         &mut self,
         desc: &GridDesc,
-        on_line: impl FnMut(usize, &str),
+        mut on_line: impl FnMut(usize, &str),
+    ) -> io::Result<StreamOutcome> {
+        self.stream_campaign_ctl(desc, |i, line| {
+            on_line(i, line);
+            true
+        })
+    }
+
+    /// [`Conn::stream_campaign`] with flow control: the callback returns
+    /// whether to **keep reading**. Returning `false` abandons the rest of
+    /// the response immediately ([`StreamOutcome::Stopped`]) and marks the
+    /// connection not reusable (unread body bytes are in flight) — callers
+    /// redial for the next exchange. Returning `true` for every line
+    /// behaves exactly like [`Conn::stream_campaign`].
+    ///
+    /// This is what lets an elastic fleet coordinator cut a straggler
+    /// loose: once a steal moves the tail of a backend's range elsewhere,
+    /// the victim's fetcher stops reading at the new effective end instead
+    /// of draining records that would only be dropped as duplicates.
+    pub fn stream_campaign_ctl(
+        &mut self,
+        desc: &GridDesc,
+        on_line: impl FnMut(usize, &str) -> bool,
     ) -> io::Result<StreamOutcome> {
         let body = desc.to_canonical_json();
         let head = post_head(&self.addr, "/v1/campaign", body.len(), false);
@@ -203,19 +235,20 @@ fn content_length(headers: &[(String, String)]) -> Option<usize> {
 }
 
 /// Read newline-delimited record lines to EOF of `reader` (which is
-/// already bounded to the response body by its framing). EOF mid-line is
-/// a truncated stream.
+/// already bounded to the response body by its framing), or until the
+/// callback returns `false` (the `.1` of the result is `true` when the
+/// callback stopped the read early). EOF mid-line is a truncated stream.
 fn read_record_lines(
     mut reader: impl BufRead,
-    on_line: &mut impl FnMut(usize, &str),
-) -> io::Result<usize> {
+    on_line: &mut impl FnMut(usize, &str) -> bool,
+) -> io::Result<(usize, bool)> {
     let mut lines = 0usize;
     let mut line = String::new();
     loop {
         line.clear();
         let n = reader.read_line(&mut line)?;
         if n == 0 {
-            return Ok(lines);
+            return Ok((lines, false));
         }
         let Some(record) = line.strip_suffix('\n') else {
             // EOF mid-line: the backend died while a record was in
@@ -226,8 +259,11 @@ fn read_record_lines(
                 format!("record stream truncated mid-line after {lines} full lines"),
             ));
         };
-        on_line(lines, record);
+        let keep_going = on_line(lines, record);
         lines += 1;
+        if !keep_going {
+            return Ok((lines, true));
+        }
     }
 }
 
@@ -299,22 +335,25 @@ pub fn stream_campaign(
     addr: &str,
     desc: &GridDesc,
     timeout: Duration,
-    on_line: impl FnMut(usize, &str),
+    mut on_line: impl FnMut(usize, &str),
 ) -> io::Result<StreamOutcome> {
     let mut conn = Conn::connect(addr, timeout)?;
     let body = desc.to_canonical_json();
     let head = post_head(addr, "/v1/campaign", body.len(), true);
     conn.send(&head, body.as_bytes())?;
-    stream_response(&mut conn, on_line)
+    stream_response(&mut conn, |i, line| {
+        on_line(i, line);
+        true
+    })
 }
 
 /// Shared response-side of a campaign stream: dispatch on the body's
 /// framing (chunked for executed campaigns, `Content-Length` for cache
 /// hits and errors, read-to-close for legacy peers) and feed record lines
-/// to the callback.
+/// to the callback until it returns `false` or the body ends.
 fn stream_response(
     conn: &mut Conn,
-    mut on_line: impl FnMut(usize, &str),
+    mut on_line: impl FnMut(usize, &str) -> bool,
 ) -> io::Result<StreamOutcome> {
     let (status, headers) = http::read_response_head(&mut conn.reader).map_err(to_io)?;
     conn.note_connection(&headers);
@@ -337,7 +376,7 @@ fn stream_response(
             body: String::from_utf8_lossy(&rejected).into_owned(),
         });
     }
-    if http::is_chunked(&headers) {
+    let (lines, stopped) = if http::is_chunked(&headers) {
         let chunked = ChunkedReader::new(&mut conn.reader);
         read_record_lines(BufReader::new(chunked), &mut on_line)
     } else if let Some(len) = content_length(&headers) {
@@ -346,8 +385,14 @@ fn stream_response(
     } else {
         conn.reusable = false;
         read_record_lines(&mut conn.reader, &mut on_line)
+    }?;
+    if stopped {
+        // The rest of the body (and any chunked terminator) is still in
+        // the pipe; the stream is no longer request-aligned.
+        conn.reusable = false;
+        return Ok(StreamOutcome::Stopped { lines });
     }
-    .map(|lines| StreamOutcome::Done { lines })
+    Ok(StreamOutcome::Done { lines })
 }
 
 /// Verify a streamed campaign body against its description: the expected

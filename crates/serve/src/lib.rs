@@ -22,6 +22,11 @@
 //! * [`cache`] — the process-wide LRU results cache (canonical grid JSON →
 //!   shared `Arc` JSONL body with precomputed line offsets), so repeated
 //!   queries never re-simulate — or re-parse, via the raw-body memo;
+//! * [`store`] — the content-addressed **per-spec** result store (base
+//!   grid canonical JSON → global spec index → record line): overlapping
+//!   ranges of one grid, cut any which way — a fleet's re-issued stolen
+//!   ranges, a second campaign over part of the same grid — reuse stored
+//!   specs and simulate only the gaps;
 //! * [`admission`] — the bounded in-flight-campaign semaphore behind the
 //!   `503 + Retry-After` overload response;
 //! * [`client`] — a small blocking client (`run_campaign`, `wait_ready`,
@@ -43,9 +48,11 @@ pub mod http;
 pub mod loadgen;
 mod reactor;
 pub mod server;
+pub mod store;
 
 pub use admission::Admission;
 pub use cache::ResultsCache;
 pub use http::{Request, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use server::{ServeConfig, Server, ServerHandle, Stats};
+pub use store::RangeStore;

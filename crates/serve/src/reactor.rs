@@ -707,6 +707,31 @@ impl Reactor {
             }
         }
 
+        // Content-addressed store: when every spec of the requested range
+        // was already deposited by earlier campaigns over the same base
+        // grid — however their ranges were cut — assemble the body from
+        // stored lines and serve it as a hit without touching an
+        // executor. (Partial coverage is handled on the executor side,
+        // which simulates only the gaps.)
+        let index_base = desc.index_base();
+        if let Some(lines) = state.store.lookup_range(
+            &desc.to_base_canonical_json(),
+            index_base,
+            index_base + run_count,
+        ) {
+            let mut bytes = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+            for line in &lines {
+                bytes.extend_from_slice(line.as_bytes());
+                bytes.push(b'\n');
+            }
+            Stats::bump(&state.stats.store_hits);
+            let body = crate::cache::CachedBody::new(bytes);
+            state.cache.insert(canonical.clone(), body.clone());
+            state.cache.memo_raw(raw, canonical, &hash);
+            self.serve_hit(key, &body, &hash, keep);
+            return;
+        }
+
         // Admission: shed load instead of oversubscribing the simulation
         // pool.
         let Some(permit) = state.admission.try_acquire() else {

@@ -63,6 +63,14 @@ pub struct ServeConfig {
     pub campaign_threads: usize,
     /// Largest accepted grid, in specs.
     pub max_specs: usize,
+    /// Capacity of the content-addressed per-spec result store, in record
+    /// lines across all grids (0 disables). Unlike `cache_entries` (whole
+    /// response bodies keyed by exact range), the store serves *overlapping*
+    /// ranges of a grid: any sub-range cut differently than before — a
+    /// fleet's re-issued stolen range, a second campaign over part of the
+    /// same grid — reuses whatever specs are already stored and simulates
+    /// only the gaps.
+    pub store_specs: usize,
     /// Largest accepted request body, bytes.
     pub max_body: usize,
     /// Training seed for the shared context (must match an offline run for
@@ -89,6 +97,7 @@ impl Default for ServeConfig {
             cache_entries: 64,
             campaign_threads: joss_sweep::default_threads(),
             max_specs: 4096,
+            store_specs: 16 * 1024,
             max_body: 64 * 1024,
             train_seed: 42,
             reps: 3,
@@ -122,6 +131,12 @@ pub struct Stats {
     /// Handler panics contained by the executor pool (each one is a bug —
     /// the count is surfaced so it cannot hide).
     pub handler_panics: AtomicU64,
+    /// Campaign requests whose whole range was assembled from the per-spec
+    /// result store without touching an executor.
+    pub store_hits: AtomicU64,
+    /// Individual specs an executed campaign spliced in from the store
+    /// instead of re-simulating (partial-overlap reuse).
+    pub store_spec_hits: AtomicU64,
 }
 
 impl Stats {
@@ -166,6 +181,12 @@ impl JobQueue {
         self.ready.notify_one();
     }
 
+    /// Jobs admitted but not yet claimed by an executor (a `/stats`
+    /// gauge: nonzero means every executor is busy and work is piling up).
+    pub(crate) fn len(&self) -> usize {
+        self.queue.lock().expect("job queue").0.len()
+    }
+
     /// Next job, or `None` once the queue is closed and drained.
     fn pop(&self) -> Option<Job> {
         let mut guard = self.queue.lock().expect("job queue");
@@ -186,10 +207,25 @@ impl JobQueue {
     }
 }
 
+/// Live progress of one executing campaign, registered for the duration
+/// of its `run_job` and exposed in `GET /stats` as `active_campaigns` —
+/// the per-campaign specs-completed / specs-total signal an elastic fleet
+/// coordinator reads before stealing part of a straggler's range.
+pub(crate) struct ActiveCampaign {
+    /// Formatted spec hash of the (possibly sharded) request.
+    pub(crate) hash: String,
+    /// Specs this campaign will emit.
+    pub(crate) total: usize,
+    /// Specs emitted so far (monotonic, ends at `total`).
+    pub(crate) completed: AtomicUsize,
+}
+
 /// Shared per-process serving state.
 pub(crate) struct State {
     pub(crate) config: ServeConfig,
     pub(crate) cache: ResultsCache,
+    /// Content-addressed per-spec result store (see [`crate::store`]).
+    pub(crate) store: crate::store::RangeStore,
     pub(crate) admission: Arc<Admission>,
     ctx: OnceLock<ExperimentContext>,
     pub(crate) stats: Stats,
@@ -199,8 +235,27 @@ pub(crate) struct State {
     pub(crate) jobs: JobQueue,
     /// Jobs admitted but not yet finished (keeps shutdown honest).
     pub(crate) active_jobs: AtomicUsize,
+    /// Campaigns currently streaming records, for `/stats` progress.
+    pub(crate) active_campaigns: Mutex<Vec<Arc<ActiveCampaign>>>,
     /// Connection keys with executor-side progress to flush.
     pub(crate) wakes: Mutex<Vec<usize>>,
+}
+
+/// RAII registration of an [`ActiveCampaign`]: deregisters on drop, so a
+/// panicking handler cannot leave a ghost entry in `/stats`.
+struct ProgressGuard<'a> {
+    state: &'a State,
+    entry: Arc<ActiveCampaign>,
+}
+
+impl Drop for ProgressGuard<'_> {
+    fn drop(&mut self) {
+        self.state
+            .active_campaigns
+            .lock()
+            .expect("active campaigns")
+            .retain(|e| !Arc::ptr_eq(e, &self.entry));
+    }
 }
 
 impl State {
@@ -220,10 +275,37 @@ impl State {
     }
 
     pub(crate) fn stats_json(&self) -> String {
+        // Snapshot live campaign progress: `[{"hash":..,"completed":..,
+        // "total":..}, ...]`, one entry per campaign an executor is
+        // currently streaming.
+        let mut active = String::from("[");
+        for (i, entry) in self
+            .active_campaigns
+            .lock()
+            .expect("active campaigns")
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                active.push(',');
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut active,
+                format_args!(
+                    "{{\"hash\":{},\"completed\":{},\"total\":{}}}",
+                    joss_sweep::json::quote(&entry.hash),
+                    entry.completed.load(Ordering::Relaxed),
+                    entry.total,
+                ),
+            );
+        }
+        active.push(']');
         format!(
             "{{\"requests\":{},\"connections\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
              \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
-             \"io_errors\":{},\"handler_panics\":{},\"cached_grids\":{},\"trained\":{},\
+             \"io_errors\":{},\"handler_panics\":{},\"store_hits\":{},\"store_spec_hits\":{},\
+             \"store_lines\":{},\"executor_queue_depth\":{},\"active_campaigns\":{},\
+             \"cached_grids\":{},\"trained\":{},\
              \"max_inflight\":{},\"available_permits\":{},\"train_seed\":{},\"reps\":{},\
              \"schema\":{}}}",
             Stats::get(&self.stats.requests),
@@ -235,6 +317,11 @@ impl State {
             Stats::get(&self.stats.records_streamed),
             Stats::get(&self.stats.io_errors),
             Stats::get(&self.stats.handler_panics),
+            Stats::get(&self.stats.store_hits),
+            Stats::get(&self.stats.store_spec_hits),
+            self.store.lines(),
+            self.jobs.len(),
+            active,
             self.cache.len(),
             self.ctx.get().is_some(),
             self.admission.limit(),
@@ -270,6 +357,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let state = Arc::new(State {
             cache: ResultsCache::new(config.cache_entries),
+            store: crate::store::RangeStore::new(config.store_specs),
             admission: Arc::new(Admission::new(config.max_inflight)),
             ctx: OnceLock::new(),
             stats: Stats::default(),
@@ -277,6 +365,7 @@ impl Server {
             poller: Poller::new()?,
             jobs: JobQueue::default(),
             active_jobs: AtomicUsize::new(0),
+            active_campaigns: Mutex::new(Vec::new()),
             wakes: Mutex::new(Vec::new()),
             config,
         });
@@ -447,36 +536,108 @@ fn run_job(state: &Arc<State>, job: Job) {
         state.wake(key);
     }
 
+    // Register live progress for `/stats` (the fleet's steal signal);
+    // deregistered on every exit path, including panics, by the guard.
+    let progress = Arc::new(ActiveCampaign {
+        hash: hash.clone(),
+        total: run_count,
+        completed: AtomicUsize::new(0),
+    });
+    state
+        .active_campaigns
+        .lock()
+        .expect("active campaigns")
+        .push(Arc::clone(&progress));
+    let _progress_guard = ProgressGuard {
+        state,
+        entry: Arc::clone(&progress),
+    };
+
+    // Consult the content-addressed per-spec store: any of this range's
+    // records deposited by an earlier campaign over the same base grid —
+    // however its ranges were cut — are spliced in instead of
+    // re-simulated. `stored[offset]` is the record line for global index
+    // `index_base + offset`, when present.
+    let base_canonical = desc.to_base_canonical_json();
+    let stored: Vec<Option<std::sync::Arc<str>>> = state
+        .store
+        .snapshot_range(&base_canonical, index_base, index_base + run_count)
+        .unwrap_or_else(|| vec![None; run_count]);
+    let stored_hits = stored.iter().filter(|line| line.is_some()).count() as u64;
+    if stored_hits > 0 {
+        state
+            .stats
+            .store_spec_hits
+            .fetch_add(stored_hits, Ordering::Relaxed);
+    }
+    let mut missing_indices = Vec::with_capacity(run_count);
+    let mut missing_specs = Vec::with_capacity(run_count);
+    for (offset, spec) in specs.into_iter().enumerate() {
+        if stored[offset].is_none() {
+            missing_indices.push(index_base + offset);
+            missing_specs.push(spec);
+        }
+    }
+
     // Records accumulate in `body`; `sent` marks the prefix already
     // chunk-framed into the queue. With the cache disabled
     // (`--cache-entries 0`) flushed bytes are dropped, keeping the
-    // flat-memory streaming property.
+    // flat-memory streaming property. Sharded requests flush every record
+    // (not every 16 KiB): shards are the fleet's unit of work, and the
+    // coordinator's delivery frontier — its steal signal — is only as
+    // fresh as our flushes. Whole-grid clients keep the batched framing.
     let caching = state.cache.enabled();
+    let flush_threshold = if desc.shard.is_some() { 1 } else { 16 * 1024 };
     let mut body: Vec<u8> = Vec::with_capacity(if caching { run_count * 192 } else { 32 * 1024 });
     let mut sent = 0usize;
-    Campaign::with_threads(state.config.campaign_threads).run_streaming_indexed(
+    let mut append_line = |line: &str| {
+        body.extend_from_slice(line.as_bytes());
+        body.push(b'\n');
+        progress.completed.fetch_add(1, Ordering::Relaxed);
+        if !aborted && body.len() - sent >= flush_threshold {
+            let mut frame = Vec::with_capacity(body.len() - sent + 16);
+            http::encode_chunk(&body[sent..], &mut frame);
+            sent = body.len();
+            if out.push_blocking(Seg::Owned(frame)) {
+                state.wake(key);
+            } else {
+                aborted = true;
+            }
+        }
+        if !caching && (aborted || sent == body.len()) {
+            body.clear();
+            sent = 0;
+        }
+    };
+    // Fresh records stream back in ascending global-index order, so a
+    // cursor over grid offsets interleaves stored lines exactly: every
+    // offset below the next fresh record is a store hit by construction.
+    let mut next_offset = 0usize;
+    Campaign::with_threads(state.config.campaign_threads).run_streaming_at(
         ctx,
-        index_base,
-        specs,
+        &missing_indices,
+        missing_specs,
         |record| {
-            body.extend_from_slice(record.to_json().as_bytes());
-            body.push(b'\n');
-            if !aborted && body.len() - sent >= 16 * 1024 {
-                let mut frame = Vec::with_capacity(body.len() - sent + 16);
-                http::encode_chunk(&body[sent..], &mut frame);
-                sent = body.len();
-                if out.push_blocking(Seg::Owned(frame)) {
-                    state.wake(key);
-                } else {
-                    aborted = true;
-                }
+            let offset = record.index - index_base;
+            while next_offset < offset {
+                let line = stored[next_offset]
+                    .as_ref()
+                    .expect("offset below a missing index is stored");
+                append_line(line);
+                next_offset += 1;
             }
-            if !caching && (aborted || sent == body.len()) {
-                body.clear();
-                sent = 0;
-            }
+            let json = record.to_json();
+            state
+                .store
+                .insert_line(&base_canonical, record.index, &json);
+            append_line(&json);
+            next_offset += 1;
         },
     );
+    for stored_line in &stored[next_offset..run_count] {
+        let line = stored_line.as_ref().expect("trailing offsets are stored");
+        append_line(line);
+    }
     if !aborted {
         let mut tail = Vec::with_capacity(body.len() - sent + 16);
         http::encode_chunk(&body[sent..], &mut tail);

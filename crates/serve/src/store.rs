@@ -1,0 +1,253 @@
+//! Content-addressed per-spec result store: the sub-range complement to
+//! the whole-body [`ResultsCache`](crate::cache::ResultsCache).
+//!
+//! The results cache keys finished response bodies by their full
+//! (possibly sharded) canonical JSON — useful only when the *exact same
+//! range* comes back. But records are pure functions of
+//! `(global index, spec, context)`, so any two requests over the same
+//! **base grid** (the description with its shard restriction stripped)
+//! produce byte-identical lines wherever their index ranges overlap, no
+//! matter how the ranges were cut. [`RangeStore`] exploits that: it maps
+//! `base canonical JSON → (global spec index → record line)` and is
+//!
+//! * **filled** as the executor streams records (every miss deposits its
+//!   lines, one by one, while the response is still in flight),
+//! * **consulted** before simulation — fully-covered ranges are served
+//!   straight from the store by the reactor, partially-covered ranges
+//!   let the executor simulate only the missing specs and splice the
+//!   stored lines back in, in index order.
+//!
+//! Overlapping campaigns across clients, re-issued stolen ranges from an
+//! elastic fleet, and shard plans that slice one grid two different ways
+//! all hit the same entries.
+//!
+//! Keys are the canonical JSON **string**, not the 64-bit spec hash —
+//! same collision stance as the results cache: a hash collision must
+//! never serve the wrong grid's records. Lines are stored without their
+//! trailing newline and shared as `Arc<str>`, so a hit costs one clone
+//! of a pointer, not of a record.
+//!
+//! Bounds: a global line budget (`max_lines`). When an insert pushes the
+//! total over budget, least-recently-used *grids* are evicted whole;
+//! if the inserting grid alone exceeds the budget its lowest-indexed
+//! lines are dropped first (most recent ranges stay warm). `max_lines: 0`
+//! disables the store entirely.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// One grid's stored record lines, keyed by global spec index.
+struct GridLines {
+    lines: BTreeMap<usize, Arc<str>>,
+    last_used: u64,
+}
+
+struct StoreInner {
+    grids: HashMap<String, GridLines>,
+    total_lines: usize,
+    tick: u64,
+}
+
+/// Bounded, concurrency-safe store of per-spec record lines, keyed by
+/// base-grid canonical JSON. See the module docs for semantics.
+pub struct RangeStore {
+    max_lines: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl RangeStore {
+    /// A store holding at most `max_lines` record lines across all grids
+    /// (0 disables storing and lookups entirely).
+    pub fn new(max_lines: usize) -> RangeStore {
+        RangeStore {
+            max_lines,
+            inner: Mutex::new(StoreInner {
+                grids: HashMap::new(),
+                total_lines: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Whether the store accepts lines at all.
+    pub fn enabled(&self) -> bool {
+        self.max_lines > 0
+    }
+
+    /// Total record lines currently stored (the `/stats` gauge).
+    pub fn lines(&self) -> usize {
+        self.inner.lock().unwrap().total_lines
+    }
+
+    /// Number of distinct base grids with stored lines.
+    pub fn grids(&self) -> usize {
+        self.inner.lock().unwrap().grids.len()
+    }
+
+    /// Deposit one record line (without its trailing newline) for global
+    /// spec index `index` of the grid with this base canonical JSON.
+    /// Evicts per the bound policy; re-inserting an existing index is a
+    /// no-op (records are deterministic, the bytes are already right).
+    pub fn insert_line(&self, base_canonical: &str, index: usize, line: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.grids.contains_key(base_canonical) {
+            inner.grids.insert(
+                base_canonical.to_string(),
+                GridLines {
+                    lines: BTreeMap::new(),
+                    last_used: tick,
+                },
+            );
+        }
+        let grid = inner.grids.get_mut(base_canonical).expect("just inserted");
+        grid.last_used = tick;
+        let fresh = grid.lines.insert(index, Arc::<str>::from(line)).is_none();
+        if fresh {
+            inner.total_lines += 1;
+        }
+        self.evict_over_budget(&mut inner, base_canonical);
+    }
+
+    /// Every stored line for `start..end` of this grid, or `None` unless
+    /// the store covers the **whole** range — the reactor's serve-a-hit
+    /// path, which needs a complete body or nothing.
+    pub fn lookup_range(
+        &self,
+        base_canonical: &str,
+        start: usize,
+        end: usize,
+    ) -> Option<Vec<Arc<str>>> {
+        let snapshot = self.snapshot_range(base_canonical, start, end)?;
+        snapshot.into_iter().collect()
+    }
+
+    /// Per-index view of `start..end` for this grid: `Some(line)` where a
+    /// record is stored, `None` where it must be simulated. Returns `None`
+    /// when the store is disabled or holds nothing for the grid (callers
+    /// then run the whole range without a splice cursor). Bumps the
+    /// grid's recency.
+    pub fn snapshot_range(
+        &self,
+        base_canonical: &str,
+        start: usize,
+        end: usize,
+    ) -> Option<Vec<Option<Arc<str>>>> {
+        if !self.enabled() || start >= end {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let grid = inner.grids.get_mut(base_canonical)?;
+        grid.last_used = tick;
+        let mut out = vec![None; end - start];
+        for (&index, line) in grid.lines.range(start..end) {
+            out[index - start] = Some(Arc::clone(line));
+        }
+        Some(out)
+    }
+
+    /// Evict until back under `max_lines`: whole least-recently-used
+    /// grids first (never `keep`, which was just touched); if `keep`
+    /// alone still exceeds the budget, drop its lowest-indexed lines.
+    fn evict_over_budget(&self, inner: &mut StoreInner, keep: &str) {
+        while inner.total_lines > self.max_lines {
+            let victim = inner
+                .grids
+                .iter()
+                .filter(|(key, _)| key.as_str() != keep)
+                .min_by_key(|(_, grid)| grid.last_used)
+                .map(|(key, _)| key.clone());
+            match victim {
+                Some(key) => {
+                    if let Some(grid) = inner.grids.remove(&key) {
+                        inner.total_lines -= grid.lines.len();
+                    }
+                }
+                None => {
+                    let excess = inner.total_lines - self.max_lines;
+                    let grid = inner.grids.get_mut(keep).expect("inserting grid present");
+                    let mut removed = 0usize;
+                    while removed < excess && grid.lines.pop_first().is_some() {
+                        removed += 1;
+                    }
+                    let empty = grid.lines.is_empty();
+                    inner.total_lines -= removed;
+                    if empty {
+                        inner.grids.remove(keep);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_lines_and_reports_partial_coverage() {
+        let store = RangeStore::new(64);
+        assert!(store.lookup_range("g", 0, 2).is_none());
+        store.insert_line("g", 3, "three");
+        store.insert_line("g", 5, "five");
+        assert_eq!(store.lines(), 2);
+        // Full coverage only for lookup_range.
+        assert!(store.lookup_range("g", 3, 6).is_none());
+        let hit = store.lookup_range("g", 3, 4).unwrap();
+        assert_eq!(&*hit[0], "three");
+        // Snapshot exposes the gaps.
+        let snap = store.snapshot_range("g", 3, 6).unwrap();
+        assert_eq!(snap[0].as_deref(), Some("three"));
+        assert!(snap[1].is_none());
+        assert_eq!(snap[2].as_deref(), Some("five"));
+        // Different base grid, different namespace.
+        assert!(store.snapshot_range("other", 3, 6).is_none());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let store = RangeStore::new(8);
+        store.insert_line("g", 0, "zero");
+        store.insert_line("g", 0, "zero");
+        assert_eq!(store.lines(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_grids_whole_then_trims_the_writer() {
+        let store = RangeStore::new(4);
+        for i in 0..3 {
+            store.insert_line("old", i, "x");
+        }
+        store.insert_line("new", 0, "y");
+        assert_eq!(store.lines(), 4);
+        // One more line for "new" pushes over budget: "old" goes entirely.
+        store.insert_line("new", 1, "y");
+        assert_eq!(store.grids(), 1);
+        assert_eq!(store.lines(), 2);
+        assert!(store.lookup_range("old", 0, 1).is_none());
+        // A single grid larger than the budget sheds its lowest indices.
+        for i in 0..8 {
+            store.insert_line("new", i, "y");
+        }
+        assert_eq!(store.lines(), 4);
+        assert!(store.lookup_range("new", 0, 1).is_none());
+        assert!(store.lookup_range("new", 4, 8).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_the_store() {
+        let store = RangeStore::new(0);
+        store.insert_line("g", 0, "zero");
+        assert_eq!(store.lines(), 0);
+        assert!(!store.enabled());
+        assert!(store.snapshot_range("g", 0, 1).is_none());
+    }
+}

@@ -698,3 +698,101 @@ fn connection_close_requests_are_honored() {
     );
     handle.stop().expect("clean shutdown");
 }
+
+#[test]
+fn spec_store_serves_overlapping_shards_without_resimulating() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let desc = GridDesc {
+        workloads: vec!["DP".into(), "MM_256_dop4".into(), "FB".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    };
+    let reference = offline_jsonl(&desc);
+    let ref_lines: Vec<&str> = std::str::from_utf8(&reference).unwrap().lines().collect();
+    let shard = |s, e| desc.with_shard(joss_sweep::SpecRange::new(s, e));
+    let slice = |s: usize, e: usize| -> Vec<u8> {
+        ref_lines[s..e]
+            .iter()
+            .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+            .collect()
+    };
+
+    // Cold shard [0,4): simulates four specs and fills the store.
+    let first = client::run_campaign(&addr, &shard(0, 4), TIMEOUT).expect("cold shard");
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    assert_eq!(first.header("x-joss-cache"), Some("miss"));
+    assert_eq!(first.body, slice(0, 4));
+
+    // Overlapping shard [2,6): specs 2..4 splice from the store, only
+    // 4..6 simulate — and the bytes must not betray the difference.
+    let second = client::run_campaign(&addr, &shard(2, 6), TIMEOUT).expect("overlapping shard");
+    assert_eq!(second.status, 200, "{}", second.body_text());
+    assert_eq!(second.body, slice(2, 6), "store splice changed bytes");
+
+    // Shard [1,3) is now fully covered: answered from the store in the
+    // reactor without touching the executor at all.
+    let third = client::run_campaign(&addr, &shard(1, 3), TIMEOUT).expect("covered shard");
+    assert_eq!(third.status, 200, "{}", third.body_text());
+    assert_eq!(third.body, slice(1, 3), "store assembly changed bytes");
+
+    let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+    let parsed = joss_sweep::json::parse(&stats.body_text()).expect("stats JSON");
+    let count = |key: &str| {
+        parsed
+            .get(key)
+            .and_then(joss_sweep::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {key}: {}", stats.body_text()))
+    };
+    assert_eq!(count("campaigns_executed"), 2, "[1,3) must not execute");
+    assert_eq!(count("store_spec_hits"), 2, "specs 2 and 3 were stored");
+    assert_eq!(count("store_hits"), 1, "[1,3) was fully covered");
+    assert_eq!(count("store_lines"), 6, "every spec of the grid is stored");
+    // The elastic coordinator's steal-poll contract: queue depth and the
+    // per-campaign progress feed are part of /stats.
+    assert_eq!(count("executor_queue_depth"), 0);
+    assert!(
+        parsed
+            .get("active_campaigns")
+            .and_then(joss_sweep::json::Value::as_array)
+            .is_some(),
+        "stats must carry active_campaigns: {}",
+        stats.body_text()
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn store_can_be_disabled_without_changing_bytes() {
+    let handle = boot(|c| c.store_specs = 0);
+    let addr = handle.addr().to_string();
+    let desc = tiny_desc();
+    let reference = offline_jsonl(&desc);
+    let shard = desc.with_shard(joss_sweep::SpecRange::new(0, 2));
+
+    let first = client::run_campaign(&addr, &shard, TIMEOUT).expect("first");
+    let second = client::run_campaign(
+        &addr,
+        &desc.with_shard(joss_sweep::SpecRange::new(1, 2)),
+        TIMEOUT,
+    )
+    .expect("second");
+    assert_eq!(first.status, 200);
+    assert_eq!(second.status, 200);
+    assert_eq!(first.body, reference);
+    assert_eq!(
+        second.body,
+        reference[reference.len() - second.body.len()..]
+    );
+
+    let stats = client::get(&addr, "/stats", TIMEOUT).expect("stats");
+    let text = stats.body_text();
+    assert!(
+        text.contains("\"store_lines\":0") && text.contains("\"store_hits\":0"),
+        "a disabled store must stay empty: {text}"
+    );
+    handle.stop().expect("clean shutdown");
+}

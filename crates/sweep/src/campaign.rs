@@ -100,6 +100,37 @@ impl Campaign {
         joss_platform::noise::release_thread_memo();
     }
 
+    /// [`Campaign::run_streaming`], with an **explicit global index per
+    /// spec** — the entry point for gap-filling execution: a server that
+    /// already holds some of a range's records (a content-addressed store
+    /// hit) simulates only the missing specs, passing their original
+    /// global indices here. `indices` must be the same length as `specs`;
+    /// records stream back in `specs` order carrying `indices[i]`. A
+    /// record's bytes depend on its index only through the emitted
+    /// `index` field — the simulation itself is a pure function of
+    /// `(spec, context)` — so records produced here are byte-identical to
+    /// the same specs run via [`Campaign::run_streaming_indexed`].
+    pub fn run_streaming_at(
+        &self,
+        ctx: &ExperimentContext,
+        indices: &[usize],
+        specs: Vec<RunSpec>,
+        mut sink: impl FnMut(RunRecord),
+    ) {
+        assert_eq!(
+            indices.len(),
+            specs.len(),
+            "one global index per spec required"
+        );
+        ordered_parallel_stream(
+            self.threads,
+            &specs,
+            |index, spec| run_spec(ctx, indices[index], spec),
+            |_, record| sink(record),
+        );
+        joss_platform::noise::release_thread_memo();
+    }
+
     /// Execute every spec, streaming records into a fallible
     /// [`RecordSink`](crate::sink::RecordSink) in spec order.
     ///

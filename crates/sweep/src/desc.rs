@@ -142,6 +142,22 @@ impl GridDesc {
         out
     }
 
+    /// The canonical JSON of the **base grid** — this description with any
+    /// shard restriction stripped. Every shard cut of the same grid shares
+    /// one base canonical (and base [`GridDesc::spec_hash`]), which is
+    /// what lets a per-spec result store recognize overlapping ranges of
+    /// the same grid regardless of how the ranges were cut.
+    pub fn to_base_canonical_json(&self) -> String {
+        match self.shard {
+            None => self.to_canonical_json(),
+            Some(_) => GridDesc {
+                shard: None,
+                ..self.clone()
+            }
+            .to_canonical_json(),
+        }
+    }
+
     /// Parse a description from JSON (any key order/whitespace). Unknown
     /// keys are rejected so protocol typos fail loudly instead of silently
     /// running a different grid.

@@ -79,6 +79,23 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
+    /// How many micro-ranges an elastic (work-stealing) coordinator cuts
+    /// per backend: enough granularity that a straggler never holds more
+    /// than ~1/4 of its fair share hostage in a single range, small enough
+    /// that per-range dispatch overhead (one HTTP exchange each) stays
+    /// negligible against millisecond-scale campaign ranges.
+    pub const MICRO_FACTOR: usize = 4;
+
+    /// Cost-weighted micro-range plan for an elastic fleet: like
+    /// [`ShardPlan::weighted`] but targeting `backends * MICRO_FACTOR`
+    /// ranges, so a work-stealing coordinator always has spare ranges to
+    /// hand an idle backend. Same partition invariants as every plan:
+    /// ranges are non-empty, disjoint, adjacent, and union to
+    /// `0..costs.len()`.
+    pub fn micro(costs: &[f64], backends: usize) -> ShardPlan {
+        ShardPlan::weighted(costs, backends.max(1) * Self::MICRO_FACTOR)
+    }
+
     /// Split `0..n_specs` into (up to) `shards` ranges of near-equal
     /// *count*. The shard count is clamped to `n_specs` (shards are never
     /// empty) and to at least 1. `n_specs` must be non-zero.

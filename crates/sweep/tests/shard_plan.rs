@@ -73,6 +73,28 @@ proptest! {
         }
     }
 
+    /// The micro planner (the elastic fleet's default cut) is the
+    /// weighted planner at [`ShardPlan::MICRO_FACTOR`] ranges per
+    /// backend: same partition invariants — pairwise disjoint, ascending,
+    /// union exactly the full spec range — at the finer granularity.
+    #[test]
+    fn micro_plans_partition_at_micro_factor_granularity(
+        costs in proptest::collection::vec(1.0f64..1000.0, 1..120),
+        backends in proptest::any::<u64>(),
+    ) {
+        let backends = 1 + (backends % 8) as usize;
+        let plan = ShardPlan::micro(&costs, backends);
+        prop_assert_eq!(
+            plan.len(),
+            (backends * ShardPlan::MICRO_FACTOR).min(costs.len())
+        );
+        assert_partition(&plan, costs.len());
+        // Zero backends is treated as one, never an empty plan.
+        let degenerate = ShardPlan::micro(&costs, 0);
+        prop_assert_eq!(degenerate.len(), ShardPlan::MICRO_FACTOR.min(costs.len()));
+        assert_partition(&degenerate, costs.len());
+    }
+
     /// Uniform plans obey the same partition invariants with near-equal
     /// counts.
     #[test]
