@@ -1,0 +1,70 @@
+//! What telemetry costs: the primitive recording operations in
+//! isolation, and the engine's hot loop with the profiling flush
+//! enabled vs runtime-disabled. The CI bench-smoke job additionally
+//! compiles this crate with `--features telemetry-off` and asserts the
+//! grws_10k numbers agree within noise — the compile-out feature must
+//! be indistinguishable from the runtime-on path, or the "one relaxed
+//! atomic add" claim is broken somewhere.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use joss_bench::shared_context;
+use joss_core::engine::{EngineConfig, SimEngine};
+use joss_core::sched::GrwsSched;
+use joss_dag::{generators, KernelSpec};
+use joss_platform::TaskShape;
+use joss_telemetry::{counter, histogram};
+use std::hint::black_box;
+
+counter!(static BENCH_COUNTER: "joss_bench_ops", "telemetry_overhead probe counter");
+histogram!(
+    static BENCH_HIST: "joss_bench_lat",
+    "telemetry_overhead probe histogram"
+);
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_primitives");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("counter_inc", |b| b.iter(|| BENCH_COUNTER.inc()));
+    g.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            BENCH_HIST.record(black_box(v));
+            v = v.wrapping_mul(2).max(1) & 0xffff_ffff;
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_toggle(c: &mut Criterion) {
+    let ctx = shared_context();
+    let n = 10_000usize;
+    let graph = generators::chain_bundle(
+        "bag",
+        KernelSpec::new("k", TaskShape::new(0.005, 0.002)),
+        n,
+        16,
+    );
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for (label, enabled) in [
+        ("grws_10k_telemetry_on", true),
+        ("grws_10k_telemetry_off", false),
+    ] {
+        g.bench_function(label, |b| {
+            joss_telemetry::set_enabled(enabled);
+            b.iter(|| {
+                let mut sched = GrwsSched::new();
+                let report =
+                    SimEngine::run(&ctx.machine, &graph, &mut sched, EngineConfig::default());
+                assert_eq!(report.tasks, n);
+                black_box(report)
+            });
+            joss_telemetry::set_enabled(true);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(telemetry, bench_primitives, bench_engine_toggle);
+criterion_main!(telemetry);

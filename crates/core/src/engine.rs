@@ -197,6 +197,15 @@ struct Sim<'a> {
     tasks_per_type: [usize; 2],
     sampling_time_s: f64,
     total_task_time_s: f64,
+
+    // Profiling tallies, flushed to the joss-telemetry catalog once per
+    // run by `into_report` (branch-on-enabled). Plain local increments —
+    // the hot loop never touches an atomic for these.
+    t_events: u64,
+    t_dispatches: u64,
+    t_steal_attempts: u64,
+    t_arena_recycles: u64,
+    t_queue_peak: usize,
 }
 
 impl<'a> Sim<'a> {
@@ -247,6 +256,11 @@ impl<'a> Sim<'a> {
             tasks_per_type: [0, 0],
             sampling_time_s: 0.0,
             total_task_time_s: 0.0,
+            t_events: 0,
+            t_dispatches: 0,
+            t_steal_attempts: 0,
+            t_arena_recycles: 0,
+            t_queue_peak: 0,
         }
     }
 
@@ -291,6 +305,8 @@ impl<'a> Sim<'a> {
         let deadline = SimTime::from_secs_f64(self.cfg.max_virtual_time_s);
         let mut audit_tick = 0u32;
         while self.completed < n {
+            self.t_events += 1;
+            self.t_queue_peak = self.t_queue_peak.max(self.a.events.len());
             let Some((at, kind)) = self.a.events.pop() else {
                 panic!(
                     "scheduler deadlock: {} of {} tasks completed, no events pending",
@@ -397,6 +413,7 @@ impl<'a> Sim<'a> {
         if self.a.core_running[core] != NIL || self.a.core_reserved[core] {
             return;
         }
+        self.t_dispatches += 1;
         // Waiting moldable tasks of my type have priority (core reservation).
         // The scan is gated on the active-mold counter: in the common case
         // (no task gathering cores) dispatch skips it entirely.
@@ -435,6 +452,7 @@ impl<'a> Sim<'a> {
         // buffer is arena-owned scratch, refilled (not reallocated) and
         // reshuffled on every attempt — the RNG draw sequence is identical
         // to shuffling a freshly collected vector.
+        self.t_steal_attempts += 1;
         let mut victims = std::mem::take(&mut self.a.steal_scratch);
         victims.clear();
         victims.extend((0..self.a.core_tc.len()).filter(|&v| v != core));
@@ -783,6 +801,7 @@ impl<'a> Sim<'a> {
             sched.task_completed(&mut ctx, &sample);
         }
         self.a.recycle_core_vec(cores);
+        self.t_arena_recycles += 1;
 
         // Wake dependents whose last dependency this was. The successor
         // slice borrows the graph (lifetime `'a`, independent of `self`),
@@ -937,6 +956,17 @@ impl<'a> Sim<'a> {
     }
 
     fn into_report(self, sched: &mut dyn Scheduler, graph: &TaskGraph) -> RunReport {
+        if joss_telemetry::enabled() {
+            use joss_telemetry::catalog as tm;
+            tm::ENGINE_RUNS.inc();
+            tm::ENGINE_EVENTS.add(self.t_events);
+            tm::ENGINE_DISPATCHES.add(self.t_dispatches);
+            tm::ENGINE_STEAL_ATTEMPTS.add(self.t_steal_attempts);
+            tm::ENGINE_STEALS.add(self.steals);
+            tm::ENGINE_ARENA_RECYCLES.add(self.t_arena_recycles);
+            tm::ENGINE_TASKS.add(self.completed as u64);
+            tm::ENGINE_EVENT_QUEUE_PEAK.set_max(self.t_queue_peak as i64);
+        }
         let energy = EnergyAccount::from_measurements(&self.trace, &self.sensor, self.now);
         RunReport {
             scheduler: sched.name().to_string(),

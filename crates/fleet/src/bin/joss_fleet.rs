@@ -34,6 +34,7 @@ fn usage() -> ! {
          \u{20}                 [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
          \u{20}                 [--scale D|full] [--record-trace] [--shards M]\n\
          \u{20}                 [--no-steal] [--min-steal N] [--out FILE.jsonl]\n\
+         \u{20}                 [--telemetry-out FILE.jsonl]\n\
          \u{20}                 [--train-seed S] [--reps R] [--campaign-threads N]\n\
          \u{20}                 [--timeout-secs T] [--max-attempts K]\n\
          schedulers: {}",
@@ -55,6 +56,7 @@ fn main() {
     let mut steal = true;
     let mut min_steal = 2usize;
     let mut out_path: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut train_seed = 42u64;
     let mut reps = 3u32;
     let mut campaign_threads = 0usize;
@@ -103,6 +105,7 @@ fn main() {
             "--no-steal" => steal = false,
             "--min-steal" => min_steal = next(&mut i).parse().expect("min steal size"),
             "--out" => out_path = Some(next(&mut i)),
+            "--telemetry-out" => telemetry_out = Some(next(&mut i)),
             "--train-seed" => train_seed = next(&mut i).parse().expect("train seed"),
             "--reps" => reps = next(&mut i).parse().expect("training reps"),
             "--campaign-threads" => {
@@ -199,6 +202,11 @@ fn main() {
 
     for handle in spawned {
         let _ = handle.stop();
+    }
+
+    if let Some(path) = &telemetry_out {
+        std::fs::write(path, joss_telemetry::snapshot_jsonl()).expect("write telemetry snapshot");
+        eprintln!("[joss_fleet] wrote telemetry snapshot to {path}");
     }
 
     match report {

@@ -56,6 +56,8 @@ use crate::merge::OrderedMerger;
 use joss_serve::client::{Conn, StreamOutcome};
 use joss_sweep::shard::{grid_costs, ShardPlan};
 use joss_sweep::{GridDesc, SpecRange};
+use joss_telemetry::catalog as tm;
+use joss_telemetry::trace;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Write};
@@ -468,6 +470,18 @@ impl<'a> FleetSession<'a> {
         let plan = ShardPlan::weighted(&costs, config.effective_shards(run_count));
 
         let n_backends = config.backends.len();
+        tm::FLEET_RUNS.inc();
+        tm::FLEET_SHARDS_PLANNED.add(plan.len() as u64);
+        // One trace id per fleet run: workers adopt it (their spans and
+        // steal/requeue events share it) and send it to every backend as
+        // `X-Joss-Trace`, so the backends' request spans stitch into the
+        // same distributed trace.
+        let fleet_tid = trace::new_trace_id();
+        trace::set_current(fleet_tid);
+        trace::event(
+            "fleet_run",
+            format!("shards={} backends={n_backends}", plan.len()),
+        );
         let shared = Shared {
             state: Mutex::new(QueueState {
                 pending: plan
@@ -513,7 +527,10 @@ impl<'a> FleetSession<'a> {
                 .map(|((b, addr), conn)| {
                     let tx = tx.clone();
                     let shared = &shared;
-                    scope.spawn(move || fetch_worker(b, addr, desc, config, shared, conn, tx))
+                    scope.spawn(move || {
+                        trace::set_current(fleet_tid);
+                        fetch_worker(b, addr, desc, config, shared, conn, tx)
+                    })
                 })
                 .collect();
             drop(tx);
@@ -695,6 +712,15 @@ fn try_commit_steal(st: &mut QueueState, plan: &StealPlan, config: &FleetConfig)
     let shard = f.shard;
     st.steals += 1;
     st.stolen_specs += stolen.len();
+    tm::FLEET_STEALS_COMMITTED.inc();
+    tm::FLEET_STOLEN_SPECS.add(stolen.len() as u64);
+    trace::event(
+        "fleet_steal",
+        format!(
+            "victim={} shard={shard} range={}..{}",
+            plan.victim, stolen.start, stolen.end
+        ),
+    );
     st.pending.push_front(ShardTask {
         shard,
         range: stolen,
@@ -703,6 +729,17 @@ fn try_commit_steal(st: &mut QueueState, plan: &StealPlan, config: &FleetConfig)
         lines_done: 0,
     });
     true
+}
+
+/// The `X-Joss-Trace` value this worker thread should send with every
+/// campaign request: the fleet run's trace id (adopted via
+/// [`trace::set_current`] at worker spawn), or nothing when tracing is
+/// off / no run-level id was minted.
+fn trace_header() -> Option<String> {
+    match trace::current() {
+        0 => None,
+        id => Some(trace::format_id(id)),
+    }
 }
 
 /// One backend's fetch loop: claim ranges this backend has not failed,
@@ -721,6 +758,9 @@ fn fetch_worker(
     tx: mpsc::Sender<(usize, String)>,
 ) -> Option<Conn> {
     let n_backends = config.backends.len();
+    if let Some(c) = conn.as_mut() {
+        c.set_trace(trace_header());
+    }
     loop {
         // Claim the next range not excluded for this backend; steal when
         // the queue is dry; exit when everything has drained / the run
@@ -752,6 +792,13 @@ fn fetch_worker(
                     claimed_at: Instant::now(),
                     ctl: Arc::clone(&ctl),
                 });
+                trace::event(
+                    "fleet_dispatch",
+                    format!(
+                        "backend={b} shard={} range={}..{}",
+                        task.shard, task.range.start, task.range.end
+                    ),
+                );
                 break (task, ctl);
             }
             if may_steal {
@@ -760,17 +807,22 @@ fn fetch_worker(
                     // then gate on what it says (see [`steal_justified`]):
                     // only genuinely lagging ranges are worth re-issuing.
                     drop(st);
+                    tm::FLEET_STEAL_ATTEMPTS.inc();
                     let poll = backend::fetch_progress(
                         &config.backends[plan.victim],
                         &plan.sub_hash,
                         Duration::from_secs(2),
                     );
                     st = shared.state.lock().expect("fleet queue lock");
-                    if steal_justified(&poll, &plan, config)
-                        && try_commit_steal(&mut st, &plan, config)
-                    {
-                        shared.ready.notify_all();
-                        continue; // the stolen tail is at the queue front
+                    if steal_justified(&poll, &plan, config) {
+                        if try_commit_steal(&mut st, &plan, config) {
+                            shared.ready.notify_all();
+                            continue; // the stolen tail is at the queue front
+                        }
+                        // Justified by the poll, but the moment passed
+                        // while the lock was dropped (attempt concluded,
+                        // another thief won, tail shrank).
+                        tm::FLEET_STEALS_INVALIDATED.inc();
                     }
                     // Steal declined (victim healthy, finished, raced, or
                     // unreachable): loop once more to re-check the exit
@@ -808,6 +860,8 @@ fn fetch_worker(
             run_shard(addr, desc, config, &task, &ctl, shared, &tx, &mut conn);
         match outcome {
             Attempt::Done => {
+                tm::FLEET_TASKS_COMPLETED.inc();
+                tm::FLEET_BACKEND_TASKS.add(addr, 1);
                 shared.with(|st| {
                     st.in_flight[b] = None;
                     st.completed[b] += 1;
@@ -863,14 +917,25 @@ fn fetch_worker(
                         // complete, not failed.
                         st.completed[b] += 1;
                         st.failovers -= 1;
+                        tm::FLEET_TASKS_COMPLETED.inc();
+                        tm::FLEET_BACKEND_TASKS.add(addr, 1);
                     } else if candidates(st, &task, n_backends) == 0
                         || task.attempts >= config.effective_max_attempts()
                     {
+                        tm::FLEET_FAILOVERS.inc();
                         let shard = task.shard;
                         if st.fatal.is_none() {
                             st.fatal = Some(FleetError::Exhausted { shard, detail });
                         }
                     } else {
+                        tm::FLEET_FAILOVERS.inc();
+                        trace::event(
+                            "fleet_requeue",
+                            format!(
+                                "backend={b} shard={} range={}..{} attempt={}",
+                                task.shard, task.range.start, task.range.end, task.attempts
+                            ),
+                        );
                         st.pending.push_back(task);
                         // A newly dead backend may have stranded *other*
                         // queued ranges that already excluded every
@@ -931,7 +996,10 @@ fn run_shard(
         let reused = conn.as_ref().is_some_and(|c| c.is_reusable());
         if !reused {
             *conn = match Conn::connect(addr, config.timeout) {
-                Ok(c) => Some(c),
+                Ok(mut c) => {
+                    c.set_trace(trace_header());
+                    Some(c)
+                }
                 Err(e) => return (Attempt::Failed(e.to_string()), forwarded),
             };
         }
@@ -1000,6 +1068,8 @@ fn run_shard(
                 ..
             }) => {
                 shared.with(|st| st.sheds += 1);
+                tm::FLEET_SHEDS.inc();
+                trace::event("fleet_shed", format!("backend={addr}"));
                 sheds_seen += 1;
                 if sheds_seen > config.max_shed_retries {
                     return (

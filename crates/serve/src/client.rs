@@ -30,19 +30,30 @@ fn to_io(err: RequestError) -> io::Error {
     }
 }
 
+/// The `X-Joss-Trace` header line for a request head (empty when the
+/// caller has no trace to propagate).
+fn trace_line(trace: Option<&str>) -> String {
+    match trace {
+        Some(id) => format!("X-Joss-Trace: {id}\r\n"),
+        None => String::new(),
+    }
+}
+
 /// The request head of a JSON `POST`.
-fn post_head(addr: &str, path: &str, body_len: usize, close: bool) -> String {
+fn post_head(addr: &str, path: &str, body_len: usize, close: bool, trace: Option<&str>) -> String {
     format!(
         "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {body_len}\r\n{}\r\n",
+         Content-Length: {body_len}\r\n{}{}\r\n",
+        trace_line(trace),
         if close { "Connection: close\r\n" } else { "" }
     )
 }
 
 /// The request head of a `GET`.
-fn get_head(addr: &str, path: &str, close: bool) -> String {
+fn get_head(addr: &str, path: &str, close: bool, trace: Option<&str>) -> String {
     format!(
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{}\r\n",
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{}{}\r\n",
+        trace_line(trace),
         if close { "Connection: close\r\n" } else { "" }
     )
 }
@@ -83,6 +94,10 @@ pub struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     reusable: bool,
+    /// Trace id (16-hex) sent as `X-Joss-Trace` on every request this
+    /// connection carries; the daemon adopts it so its request spans and
+    /// `X-Joss-Request-Id` echoes stitch into the caller's trace.
+    trace_hex: Option<String>,
 }
 
 impl Conn {
@@ -98,12 +113,19 @@ impl Conn {
             reader: BufReader::new(stream),
             writer,
             reusable: true,
+            trace_hex: None,
         })
     }
 
     /// The address this connection was dialed to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Propagate `trace` (a 16-hex trace id) as `X-Joss-Trace` on every
+    /// subsequent request; `None` clears it.
+    pub fn set_trace(&mut self, trace: Option<String>) {
+        self.trace_hex = trace;
     }
 
     /// Whether the connection can carry another request. `false` after
@@ -161,14 +183,20 @@ impl Conn {
 
     /// `GET` an endpoint (e.g. `/healthz`, `/stats`).
     pub fn get(&mut self, path: &str) -> io::Result<Response> {
-        let head = get_head(&self.addr, path, false);
+        let head = get_head(&self.addr, path, false, self.trace_hex.as_deref());
         self.send(&head, b"")?;
         self.read_full_response()
     }
 
     /// `POST` a raw body to a path.
     pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
-        let head = post_head(&self.addr, path, body.len(), false);
+        let head = post_head(
+            &self.addr,
+            path,
+            body.len(),
+            false,
+            self.trace_hex.as_deref(),
+        );
         self.send(&head, body)?;
         self.read_full_response()
     }
@@ -221,7 +249,13 @@ impl Conn {
         on_line: impl FnMut(usize, &str) -> bool,
     ) -> io::Result<StreamOutcome> {
         let body = desc.to_canonical_json();
-        let head = post_head(&self.addr, "/v1/campaign", body.len(), false);
+        let head = post_head(
+            &self.addr,
+            "/v1/campaign",
+            body.len(),
+            false,
+            self.trace_hex.as_deref(),
+        );
         self.send(&head, body.as_bytes())?;
         stream_response(self, on_line)
     }
@@ -280,7 +314,7 @@ fn exchange(addr: &str, head: &str, body: &[u8], timeout: Duration) -> io::Resul
 
 /// `GET` an endpoint (e.g. `/healthz`, `/stats`) on a fresh connection.
 pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<Response> {
-    exchange(addr, &get_head(addr, path, true), b"", timeout)
+    exchange(addr, &get_head(addr, path, true, None), b"", timeout)
 }
 
 /// `POST` a raw body to a path on a fresh connection (used by tests
@@ -288,7 +322,7 @@ pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<Response> {
 pub fn post(addr: &str, path: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
     exchange(
         addr,
-        &post_head(addr, path, body.len(), true),
+        &post_head(addr, path, body.len(), true, None),
         body,
         timeout,
     )
@@ -339,7 +373,7 @@ pub fn stream_campaign(
 ) -> io::Result<StreamOutcome> {
     let mut conn = Conn::connect(addr, timeout)?;
     let body = desc.to_canonical_json();
-    let head = post_head(addr, "/v1/campaign", body.len(), true);
+    let head = post_head(addr, "/v1/campaign", body.len(), true, None);
     conn.send(&head, body.as_bytes())?;
     stream_response(&mut conn, |i, line| {
         on_line(i, line);

@@ -279,17 +279,24 @@ pub fn head_bytes(out: &mut Vec<u8>, status: u16, headers: &[(&str, &str)], clos
 
 /// A complete length-delimited JSON response as wire bytes.
 pub fn json_response_bytes(status: u16, json_body: &str, close: bool) -> Vec<u8> {
-    let mut out = Vec::with_capacity(128 + json_body.len());
+    json_response_with(status, json_body, close, &[])
+}
+
+/// [`json_response_bytes`] with extra response headers (e.g. the
+/// `X-Joss-Request-Id` echoed on every response, `Retry-After` on sheds).
+pub fn json_response_with(
+    status: u16,
+    json_body: &str,
+    close: bool,
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(160 + json_body.len());
     let len = json_body.len().to_string();
-    head_bytes(
-        &mut out,
-        status,
-        &[
-            ("Content-Type", "application/json"),
-            ("Content-Length", &len),
-        ],
-        close,
-    );
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(2 + extra.len());
+    headers.push(("Content-Type", "application/json"));
+    headers.push(("Content-Length", &len));
+    headers.extend_from_slice(extra);
+    head_bytes(&mut out, status, &headers, close);
     out.extend_from_slice(json_body.as_bytes());
     out
 }

@@ -27,6 +27,8 @@
 use crate::http::{self, Request, RequestError};
 use crate::server::{Job, State, Stats};
 use joss_sweep::GridDesc;
+use joss_telemetry::catalog as tm;
+use joss_telemetry::trace;
 use polling::Event;
 use std::collections::HashMap;
 use std::io::{self, IoSlice, Read, Write};
@@ -403,10 +405,10 @@ impl Reactor {
                         .add(&stream, Event::readable(key))
                         .is_err()
                     {
-                        Stats::bump(&self.state.stats.io_errors);
+                        Stats::bump(&self.state.stats.io_errors, &tm::SERVE_IO_ERRORS);
                         continue;
                     }
-                    Stats::bump(&self.state.stats.connections);
+                    Stats::bump(&self.state.stats.connections, &tm::SERVE_CONNECTIONS);
                     self.conns.insert(
                         key,
                         Conn {
@@ -425,7 +427,7 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    Stats::bump(&self.state.stats.io_errors);
+                    Stats::bump(&self.state.stats.io_errors, &tm::SERVE_IO_ERRORS);
                     break;
                 }
             }
@@ -435,7 +437,7 @@ impl Reactor {
     fn remove(&mut self, key: usize, io_error: bool) {
         if let Some(conn) = self.conns.remove(&key) {
             if io_error {
-                Stats::bump(&self.state.stats.io_errors);
+                Stats::bump(&self.state.stats.io_errors, &tm::SERVE_IO_ERRORS);
             }
             // A job still streaming into this queue observes the close,
             // stops producing output, and finishes into the cache.
@@ -570,14 +572,22 @@ impl Reactor {
     /// A request that cannot be framed: answer with its status and close —
     /// the connection's byte stream is not recoverable.
     fn framing_error(&mut self, key: usize, err: RequestError) {
-        Stats::bump(&self.state.stats.bad_requests);
+        Stats::bump(&self.state.stats.bad_requests, &tm::SERVE_BAD_REQUESTS);
         let (status, msg) = match err {
             RequestError::Malformed(m) => (400, m),
             RequestError::LengthRequired => (411, "Content-Length required".into()),
             RequestError::BodyTooLarge { limit } => (413, format!("body exceeds {limit} bytes")),
             RequestError::Io(_) => unreachable!("parse_request does no I/O"),
         };
-        let bytes = http::json_response_bytes(status, &error_json(&msg), true);
+        // No parsed head to adopt a trace id from; mint one so even a
+        // framing failure is attributable.
+        let rid = trace::format_id(trace::new_trace_id());
+        let bytes = http::json_response_with(
+            status,
+            &error_json(&msg),
+            true,
+            &[("X-Joss-Request-Id", &rid)],
+        );
         if let Some(conn) = self.conns.get_mut(&key) {
             conn.out.push(Seg::Owned(bytes));
             conn.close_after_flush = true;
@@ -592,8 +602,24 @@ impl Reactor {
 
     fn route(&mut self, key: usize, request: Request) {
         let state = Arc::clone(&self.state);
-        Stats::bump(&state.stats.requests);
+        Stats::bump(&state.stats.requests, &tm::SERVE_REQUESTS);
         let keep = request.keep_alive();
+        // Adopt the client's `X-Joss-Trace` id (the fleet coordinator
+        // sends one per campaign, stitching backend traces into its own);
+        // mint a fresh id otherwise. Its 16-hex spelling is the
+        // `X-Joss-Request-Id` echoed on every response — including 4xx,
+        // 503 sheds, and streamed 200s — so any answer this daemon gives
+        // is attributable in logs, traces, and panic accounting.
+        let tid = request
+            .header("x-joss-trace")
+            .and_then(trace::parse_id)
+            .unwrap_or_else(trace::new_trace_id);
+        let rid = trace::format_id(tid);
+        let _span = trace::Span::with_trace(
+            tid,
+            "request",
+            format!("{} {} {rid}", request.method, request.path),
+        );
         match (request.method.as_str(), request.path.as_str()) {
             // Besides liveness, /healthz carries everything a fleet
             // coordinator needs to decide whether this backend's records
@@ -603,28 +629,76 @@ impl Reactor {
             ("GET", "/healthz") => {
                 self.respond(
                     key,
-                    http::json_response_bytes(200, &state.health_json(), !keep),
+                    http::json_response_with(
+                        200,
+                        &state.health_json(),
+                        !keep,
+                        &[("X-Joss-Request-Id", &rid)],
+                    ),
                 );
             }
             ("GET", "/stats") => {
                 self.respond(
                     key,
-                    http::json_response_bytes(200, &state.stats_json(), !keep),
+                    http::json_response_with(
+                        200,
+                        &state.stats_json(),
+                        !keep,
+                        &[("X-Joss-Request-Id", &rid)],
+                    ),
                 );
             }
-            ("POST", "/v1/campaign") => self.campaign(key, request.body, keep),
-            (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") => {
-                Stats::bump(&state.stats.bad_requests);
+            // Prometheus text exposition of the whole process-global
+            // catalog. Scrape-sampled gauges are set here, from instance
+            // state, right before rendering.
+            ("GET", "/metrics") => {
+                tm::SERVE_EXECUTOR_QUEUE_DEPTH.set(state.jobs.len() as i64);
+                tm::SERVE_ACTIVE_CAMPAIGNS.set(
+                    state
+                        .active_campaigns
+                        .lock()
+                        .expect("active campaigns")
+                        .len() as i64,
+                );
+                let body = joss_telemetry::render_prometheus();
+                let len = body.len().to_string();
+                let mut bytes = Vec::with_capacity(192 + body.len());
+                http::head_bytes(
+                    &mut bytes,
+                    200,
+                    &[
+                        ("Content-Type", "text/plain; version=0.0.4"),
+                        ("Content-Length", &len),
+                        ("X-Joss-Request-Id", &rid),
+                    ],
+                    !keep,
+                );
+                bytes.extend_from_slice(body.as_bytes());
+                self.respond(key, bytes);
+            }
+            ("POST", "/v1/campaign") => self.campaign(key, request.body, keep, rid, tid),
+            (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") | (_, "/metrics") => {
+                Stats::bump(&state.stats.bad_requests, &tm::SERVE_BAD_REQUESTS);
                 self.respond(
                     key,
-                    http::json_response_bytes(405, &error_json("method not allowed"), !keep),
+                    http::json_response_with(
+                        405,
+                        &error_json("method not allowed"),
+                        !keep,
+                        &[("X-Joss-Request-Id", &rid)],
+                    ),
                 );
             }
             _ => {
-                Stats::bump(&state.stats.bad_requests);
+                Stats::bump(&state.stats.bad_requests, &tm::SERVE_BAD_REQUESTS);
                 self.respond(
                     key,
-                    http::json_response_bytes(404, &error_json("no such endpoint"), !keep),
+                    http::json_response_with(
+                        404,
+                        &error_json("no such endpoint"),
+                        !keep,
+                        &[("X-Joss-Request-Id", &rid)],
+                    ),
                 );
             }
         }
@@ -637,21 +711,37 @@ impl Reactor {
 
     /// The campaign endpoint: memoized raw-body hit → parse → cache →
     /// shard-of-cached-parent slice → admission → executor job.
-    fn campaign(&mut self, key: usize, raw: Vec<u8>, keep: bool) {
+    fn campaign(&mut self, key: usize, raw: Vec<u8>, keep: bool, rid: String, tid: u64) {
         let state = Arc::clone(&self.state);
+        // The scrape-consistency identity (asserted by tests and the CI
+        // gate): every request counted here leaves through exactly one of
+        // campaign_hits / campaigns_admitted / rejected_503 /
+        // campaign_errors. Executor-side 400s (validation after
+        // admission) count as admitted — they held a permit.
+        tm::SERVE_CAMPAIGN_REQUESTS.inc();
 
         // Zero-parse fast path: a byte-identical request seen before maps
         // straight to its cached body — no JSON parsing, no
         // canonicalization, no grid resolution.
         if let Some((body, hash)) = state.cache.get_raw(&raw) {
-            Stats::bump(&state.stats.cache_hits);
-            self.serve_hit(key, &body, &hash, keep);
+            Stats::bump(&state.stats.cache_hits, &tm::SERVE_CACHE_HITS);
+            tm::SERVE_CAMPAIGN_HITS.inc();
+            self.serve_hit(key, &body, &hash, keep, &rid);
             return;
         }
 
         let bad = |this: &mut Self, msg: &str| {
-            Stats::bump(&state.stats.bad_requests);
-            this.respond(key, http::json_response_bytes(400, &error_json(msg), !keep));
+            Stats::bump(&state.stats.bad_requests, &tm::SERVE_BAD_REQUESTS);
+            tm::SERVE_CAMPAIGN_ERRORS.inc();
+            this.respond(
+                key,
+                http::json_response_with(
+                    400,
+                    &error_json(msg),
+                    !keep,
+                    &[("X-Joss-Request-Id", &rid)],
+                ),
+            );
         };
 
         let desc = match std::str::from_utf8(&raw)
@@ -685,9 +775,10 @@ impl Reactor {
         // permit needed; memoize the raw spelling so the next replay skips
         // the parse too.
         if let Some(body) = state.cache.get(&canonical) {
-            Stats::bump(&state.stats.cache_hits);
+            Stats::bump(&state.stats.cache_hits, &tm::SERVE_CACHE_HITS);
+            tm::SERVE_CAMPAIGN_HITS.inc();
             state.cache.memo_raw(raw, canonical, &hash);
-            self.serve_hit(key, &body, &hash, keep);
+            self.serve_hit(key, &body, &hash, keep, &rid);
             return;
         }
 
@@ -698,10 +789,11 @@ impl Reactor {
             parent.shard = None;
             if let Some(parent_body) = state.cache.get(&parent.to_canonical_json()) {
                 if let Some(slice) = parent_body.slice_lines(range.start, range.end) {
-                    Stats::bump(&state.stats.cache_hits);
+                    Stats::bump(&state.stats.cache_hits, &tm::SERVE_CACHE_HITS);
+                    tm::SERVE_CAMPAIGN_HITS.inc();
                     state.cache.insert(canonical.clone(), slice.clone());
                     state.cache.memo_raw(raw, canonical, &hash);
-                    self.serve_hit(key, &slice, &hash, keep);
+                    self.serve_hit(key, &slice, &hash, keep, &rid);
                     return;
                 }
             }
@@ -724,21 +816,22 @@ impl Reactor {
                 bytes.extend_from_slice(line.as_bytes());
                 bytes.push(b'\n');
             }
-            Stats::bump(&state.stats.store_hits);
+            Stats::bump(&state.stats.store_hits, &tm::SERVE_STORE_HITS);
+            tm::SERVE_CAMPAIGN_HITS.inc();
             let body = crate::cache::CachedBody::new(bytes);
             state.cache.insert(canonical.clone(), body.clone());
             state.cache.memo_raw(raw, canonical, &hash);
-            self.serve_hit(key, &body, &hash, keep);
+            self.serve_hit(key, &body, &hash, keep, &rid);
             return;
         }
 
         // Admission: shed load instead of oversubscribing the simulation
         // pool.
         let Some(permit) = state.admission.try_acquire() else {
-            Stats::bump(&state.stats.rejected_503);
+            Stats::bump(&state.stats.rejected_503, &tm::SERVE_REJECTED_503);
             let json = error_json("simulation pool saturated; retry shortly");
             let len = json.len().to_string();
-            let mut bytes = Vec::with_capacity(160 + json.len());
+            let mut bytes = Vec::with_capacity(192 + json.len());
             http::head_bytes(
                 &mut bytes,
                 503,
@@ -746,6 +839,7 @@ impl Reactor {
                     ("Content-Type", "application/json"),
                     ("Content-Length", &len),
                     ("Retry-After", "1"),
+                    ("X-Joss-Request-Id", &rid),
                 ],
                 !keep,
             );
@@ -759,6 +853,7 @@ impl Reactor {
         };
         conn.streaming = true;
         state.active_jobs.fetch_add(1, Ordering::AcqRel);
+        tm::SERVE_CAMPAIGNS_ADMITTED.inc();
         state.jobs.push(Job {
             key,
             out: Arc::clone(&conn.out),
@@ -768,6 +863,8 @@ impl Reactor {
             hash,
             run_count,
             close_after: !keep,
+            request_id: rid,
+            trace: tid,
             permit,
         });
     }
@@ -775,13 +872,20 @@ impl Reactor {
     /// Serve a cached body: one owned head segment plus one shared body
     /// segment, written together by the vectored writer. No allocation
     /// touches the body bytes.
-    fn serve_hit(&mut self, key: usize, body: &crate::cache::CachedBody, hash: &str, keep: bool) {
-        let mut head = Vec::with_capacity(192);
+    fn serve_hit(
+        &mut self,
+        key: usize,
+        body: &crate::cache::CachedBody,
+        hash: &str,
+        keep: bool,
+        rid: &str,
+    ) {
+        let mut head = Vec::with_capacity(224);
         let _ = write!(
             head,
             "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
              X-Joss-Spec-Hash: {hash}\r\nX-Joss-Cache: hit\r\nX-Joss-Records: {}\r\n\
-             Content-Length: {}\r\n",
+             X-Joss-Request-Id: {rid}\r\nContent-Length: {}\r\n",
             body.line_count(),
             body.len(),
         );

@@ -140,8 +140,13 @@ pub struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn bump(counter: &AtomicU64) {
+    /// Bump a per-instance `/stats` counter and its process-global
+    /// catalog twin in one call. Call sites name both, so the instance
+    /// view (one daemon) and the telemetry view (whole process — a fleet
+    /// `--spawn` topology hosts several daemons) stay in lockstep.
+    pub(crate) fn bump(counter: &AtomicU64, global: &joss_telemetry::Counter) {
         counter.fetch_add(1, Ordering::Relaxed);
+        global.inc();
     }
 
     fn get(counter: &AtomicU64) -> u64 {
@@ -163,6 +168,12 @@ pub(crate) struct Job {
     pub(crate) run_count: usize,
     /// Response should carry `Connection: close`.
     pub(crate) close_after: bool,
+    /// Request id echoed on the response head and logged if the handler
+    /// panics (satellite: panics are attributable to a request).
+    pub(crate) request_id: String,
+    /// Trace id adopted from `X-Joss-Trace` (0 = client sent none);
+    /// installed as the executor thread's current trace for the job.
+    pub(crate) trace: u64,
     /// Admission slot, held from reactor-side admission until the job is
     /// done (dropped here even on panic, via the permit's RAII release).
     pub(crate) permit: Permit,
@@ -239,7 +250,13 @@ pub(crate) struct State {
     pub(crate) active_campaigns: Mutex<Vec<Arc<ActiveCampaign>>>,
     /// Connection keys with executor-side progress to flush.
     pub(crate) wakes: Mutex<Vec<usize>>,
+    /// Request ids of the most recent contained handler panics (capped),
+    /// surfaced in `/stats` so a panic is attributable to its request.
+    pub(crate) recent_panics: Mutex<VecDeque<String>>,
 }
+
+/// How many panic request ids `/stats` retains.
+const RECENT_PANICS_CAP: usize = 8;
 
 /// RAII registration of an [`ActiveCampaign`]: deregisters on drop, so a
 /// panicking handler cannot leave a ghost entry in `/stats`.
@@ -300,13 +317,66 @@ impl State {
             );
         }
         active.push(']');
+        // Recent panic request ids, oldest first.
+        let mut panics = String::from("[");
+        for (i, rid) in self
+            .recent_panics
+            .lock()
+            .expect("recent panics")
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                panics.push(',');
+            }
+            panics.push_str(&joss_sweep::json::quote(rid));
+        }
+        panics.push(']');
+        // The fleet coordinator's steal bookkeeping, read from the
+        // process-global telemetry catalog. Meaningful when the
+        // coordinator shares this process (the `joss_fleet --spawn`
+        // topology); all zeros when it runs elsewhere.
+        let fleet = {
+            use joss_telemetry::catalog as tm;
+            let mut backends = String::from("[");
+            for (i, (backend, tasks)) in tm::FLEET_BACKEND_TASKS.cells().iter().enumerate() {
+                if i > 0 {
+                    backends.push(',');
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut backends,
+                    format_args!(
+                        "{{\"backend\":{},\"tasks\":{}}}",
+                        joss_sweep::json::quote(backend),
+                        tasks
+                    ),
+                );
+            }
+            backends.push(']');
+            format!(
+                "{{\"steal_attempts\":{},\"steals_committed\":{},\"steals_invalidated\":{},\
+                 \"stolen_specs\":{},\"failovers\":{},\"sheds\":{},\"shards_planned\":{},\
+                 \"tasks_completed\":{},\"backend_tasks\":{}}}",
+                tm::FLEET_STEAL_ATTEMPTS.get(),
+                tm::FLEET_STEALS_COMMITTED.get(),
+                tm::FLEET_STEALS_INVALIDATED.get(),
+                tm::FLEET_STOLEN_SPECS.get(),
+                tm::FLEET_FAILOVERS.get(),
+                tm::FLEET_SHEDS.get(),
+                tm::FLEET_SHARDS_PLANNED.get(),
+                tm::FLEET_TASKS_COMPLETED.get(),
+                backends,
+            )
+        };
         format!(
-            "{{\"requests\":{},\"connections\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
+            "{{\"stats_schema\":2,\
+             \"requests\":{},\"connections\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
              \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
              \"io_errors\":{},\"handler_panics\":{},\"store_hits\":{},\"store_spec_hits\":{},\
              \"store_lines\":{},\"executor_queue_depth\":{},\"active_campaigns\":{},\
              \"cached_grids\":{},\"trained\":{},\
              \"max_inflight\":{},\"available_permits\":{},\"train_seed\":{},\"reps\":{},\
+             \"recent_panic_request_ids\":{panics},\"fleet\":{fleet},\
              \"schema\":{}}}",
             Stats::get(&self.stats.requests),
             Stats::get(&self.stats.connections),
@@ -367,6 +437,7 @@ impl Server {
             active_jobs: AtomicUsize::new(0),
             active_campaigns: Mutex::new(Vec::new()),
             wakes: Mutex::new(Vec::new()),
+            recent_panics: Mutex::new(VecDeque::new()),
             config,
         });
         Ok(Server { listener, state })
@@ -449,14 +520,33 @@ fn executor_loop(state: &Arc<State>) {
     while let Some(job) = state.jobs.pop() {
         let key = job.key;
         let out = Arc::clone(&job.out);
+        let request_id = job.request_id.clone();
+        // The job's trace becomes this thread's current trace for the
+        // duration of the run, so campaign/spec spans recorded anywhere
+        // below tag themselves with it; restored even on panic.
+        let prev_trace = joss_telemetry::trace::set_current(job.trace);
         // Contain handler panics: the daemon must not lose an executor
         // (and eventually its whole pool) to one bad request. The
         // connection is torn down; the client sees a reset, the counter
         // sees a bug. The job's permit releases on unwind.
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(state, job)));
+        joss_telemetry::trace::set_current(prev_trace);
         if outcome.is_err() {
-            Stats::bump(&state.stats.handler_panics);
+            Stats::bump(
+                &state.stats.handler_panics,
+                &joss_telemetry::catalog::SERVE_HANDLER_PANICS,
+            );
+            // Attribute the panic to its request: log the id, keep it in
+            // the capped /stats window, and mark the trace.
+            eprintln!("[joss_serve] handler panic; request id {request_id}");
+            joss_telemetry::trace::event("handler_panic", request_id.clone());
+            let mut recent = state.recent_panics.lock().expect("recent panics");
+            if recent.len() >= RECENT_PANICS_CAP {
+                recent.pop_front();
+            }
+            recent.push_back(request_id);
+            drop(recent);
             out.close();
         }
         state.active_jobs.fetch_sub(1, Ordering::AcqRel);
@@ -476,8 +566,11 @@ fn run_job(state: &Arc<State>, job: Job) {
         hash,
         run_count,
         close_after,
+        request_id,
+        trace,
         permit: _permit,
     } = job;
+    let span = joss_telemetry::Span::with_trace(trace, "campaign_miss", request_id.clone());
 
     // Train-once (first admitted campaign pays it), then validate against
     // the serving platform and resolve. Both must precede the 200 head: an
@@ -489,11 +582,15 @@ fn run_job(state: &Arc<State>, job: Job) {
         .iter()
         .try_for_each(|s| s.validate(&ctx.space))
     {
-        Stats::bump(&state.stats.bad_requests);
-        out.push_blocking(Seg::Owned(http::json_response_bytes(
+        Stats::bump(
+            &state.stats.bad_requests,
+            &joss_telemetry::catalog::SERVE_BAD_REQUESTS,
+        );
+        out.push_blocking(Seg::Owned(http::json_response_with(
             400,
             &reactor::error_json(&e),
             close_after,
+            &[("X-Joss-Request-Id", &request_id)],
         )));
         out.finish_stream();
         return;
@@ -504,11 +601,15 @@ fn run_job(state: &Arc<State>, job: Job) {
     let (index_base, specs) = match desc.resolve_specs() {
         Ok(resolved) => resolved,
         Err(e) => {
-            Stats::bump(&state.stats.bad_requests);
-            out.push_blocking(Seg::Owned(http::json_response_bytes(
+            Stats::bump(
+                &state.stats.bad_requests,
+                &joss_telemetry::catalog::SERVE_BAD_REQUESTS,
+            );
+            out.push_blocking(Seg::Owned(http::json_response_with(
                 400,
                 &reactor::error_json(&e),
                 close_after,
+                &[("X-Joss-Request-Id", &request_id)],
             )));
             out.finish_stream();
             return;
@@ -516,7 +617,7 @@ fn run_job(state: &Arc<State>, job: Job) {
     };
 
     let records_header = run_count.to_string();
-    let mut head = Vec::with_capacity(224);
+    let mut head = Vec::with_capacity(256);
     http::head_bytes(
         &mut head,
         200,
@@ -525,6 +626,7 @@ fn run_job(state: &Arc<State>, job: Job) {
             ("X-Joss-Spec-Hash", &hash),
             ("X-Joss-Cache", "miss"),
             ("X-Joss-Records", &records_header),
+            ("X-Joss-Request-Id", &request_id),
             ("Transfer-Encoding", "chunked"),
         ],
         close_after,
@@ -569,6 +671,7 @@ fn run_job(state: &Arc<State>, job: Job) {
             .stats
             .store_spec_hits
             .fetch_add(stored_hits, Ordering::Relaxed);
+        joss_telemetry::catalog::SERVE_STORE_SPEC_HITS.add(stored_hits);
     }
     let mut missing_indices = Vec::with_capacity(run_count);
     let mut missing_specs = Vec::with_capacity(run_count);
@@ -644,14 +747,19 @@ fn run_job(state: &Arc<State>, job: Job) {
         tail.extend_from_slice(http::CHUNK_TERMINATOR);
         out.push_blocking(Seg::Owned(tail));
     }
-    Stats::bump(&state.stats.campaigns_executed);
+    Stats::bump(
+        &state.stats.campaigns_executed,
+        &joss_telemetry::catalog::SERVE_CAMPAIGNS_EXECUTED,
+    );
     state
         .stats
         .records_streamed
         .fetch_add(run_count as u64, Ordering::Relaxed);
+    joss_telemetry::catalog::SERVE_RECORDS_STREAMED.add(run_count as u64);
     if caching {
         state.cache.insert(canonical.clone(), CachedBody::new(body));
         state.cache.memo_raw(raw_body, canonical, &hash);
     }
+    joss_telemetry::catalog::SERVE_MISS_SECONDS.record_duration(span.elapsed());
     out.finish_stream();
 }

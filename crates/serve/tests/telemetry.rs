@@ -1,0 +1,268 @@
+//! Telemetry-boundary tests: the `/metrics` scrape, the request-id
+//! contract, and the counter-identity invariant under concurrent load.
+//!
+//! The metric catalog is **process-global** (that is the point — one
+//! scrape covers every layer), so these tests serialize on a local mutex
+//! and assert on *deltas* between snapshots, never on absolute values.
+
+use joss_serve::{client, loadgen, LoadgenConfig, ServeConfig, Server, ServerHandle};
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_telemetry::catalog as tm;
+use joss_workloads::Scale;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Serializes the tests in this file: they all read the process-global
+/// catalog, and interleaved servers would tangle the deltas.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_desc() -> GridDesc {
+    GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    }
+}
+
+fn boot(configure: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        reps: 1,
+        workers: 4,
+        campaign_threads: 2,
+        ..ServeConfig::default()
+    };
+    configure(&mut config);
+    Server::bind(config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// The admission-identity counters (see the catalog): every campaign
+/// request resolves to exactly one of hit / admitted / shed / error.
+#[derive(Clone, Copy)]
+struct AdmissionSnap {
+    requests: u64,
+    hits: u64,
+    admitted: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+fn admission_snap() -> AdmissionSnap {
+    AdmissionSnap {
+        requests: tm::SERVE_CAMPAIGN_REQUESTS.get(),
+        hits: tm::SERVE_CAMPAIGN_HITS.get(),
+        admitted: tm::SERVE_CAMPAIGNS_ADMITTED.get(),
+        rejected: tm::SERVE_REJECTED_503.get(),
+        errors: tm::SERVE_CAMPAIGN_ERRORS.get(),
+    }
+}
+
+fn assert_request_id(response: &joss_serve::http::Response) -> String {
+    let rid = response
+        .header("x-joss-request-id")
+        .unwrap_or_else(|| panic!("status {} without a request id", response.status));
+    assert_eq!(rid.len(), 16, "request id is 16 hex chars, got {rid:?}");
+    assert!(
+        rid.chars().all(|c| c.is_ascii_hexdigit()),
+        "non-hex request id {rid:?}"
+    );
+    rid.to_string()
+}
+
+#[test]
+fn counters_reconcile_under_concurrent_load() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    let before = admission_snap();
+    let mut config = LoadgenConfig::new(addr.clone(), tiny_desc());
+    config.clients = 8;
+    config.requests_per_client = 3;
+    config.vary_seeds = true; // distinct grids: the cache cannot shortcut
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 24, "every request must land");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.malformed, 0, "{:?}", report.first_malformation);
+    let after = admission_snap();
+
+    // The identity: requests == hits + admitted + sheds + errors. At
+    // quiesce (loadgen returned, every response fully streamed) nothing
+    // is still between "counted in" and "counted out".
+    let requests = after.requests - before.requests;
+    let hits = after.hits - before.hits;
+    let admitted = after.admitted - before.admitted;
+    let rejected = after.rejected - before.rejected;
+    let errors = after.errors - before.errors;
+    assert_eq!(
+        requests,
+        hits + admitted + rejected + errors,
+        "admission identity broke: {requests} != {hits} + {admitted} + {rejected} + {errors}"
+    );
+    // Client and server agree on the request count: 24 successes plus
+    // one campaign request per 503 the loadgen retried.
+    assert_eq!(requests, 24 + report.shed_503 as u64);
+    assert_eq!(errors, 0);
+
+    // The /metrics scrape must tell the same story the raw catalog does.
+    let scrape = client::get(&addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(scrape.status, 200);
+    let text = scrape.body_text();
+    let series_value = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} series in scrape:\n{text}"))
+    };
+    assert_eq!(
+        series_value("joss_serve_campaign_requests_total"),
+        after.requests
+    );
+    assert_eq!(
+        series_value("joss_serve_campaigns_admitted_total"),
+        after.admitted
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn metrics_scrape_is_prometheus_text_with_full_catalog() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    // One real campaign first, so serve/engine/sweep series carry data.
+    let response = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("campaign");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+
+    let scrape = client::get(&addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(scrape.status, 200);
+    assert!(
+        scrape
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "scrape content type {:?}",
+        scrape.header("content-type")
+    );
+    let text = scrape.body_text();
+    let mut names: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.split_once('{')
+                .map(|(n, _)| n)
+                .or_else(|| l.split_once(' ').map(|(n, _)| n))
+                .unwrap_or(l)
+        })
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert!(
+        names.len() >= 20,
+        "only {} distinct series in scrape:\n{text}",
+        names.len()
+    );
+    // Every layer is represented in one scrape.
+    for needle in [
+        "joss_serve_requests_total",
+        "joss_serve_campaign_miss_duration_seconds",
+        "joss_engine_events_total",
+        "joss_engine_tasks_total",
+        "joss_sweep_specs_total",
+        "joss_fleet_steals_committed_total",
+    ] {
+        assert!(
+            names.contains(&needle),
+            "missing {needle} in scrape:\n{text}"
+        );
+    }
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    // 200 (campaign miss, streamed).
+    let ok = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("campaign");
+    assert_eq!(ok.status, 200, "{}", ok.body_text());
+    assert_request_id(&ok);
+
+    // 200 (plain GET).
+    let health = client::get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_request_id(&health);
+
+    // 400 (malformed body).
+    let bad = client::post(&addr, "/v1/campaign", b"{not json", TIMEOUT).expect("bad request");
+    assert_eq!(bad.status, 400);
+    assert_request_id(&bad);
+
+    // 404.
+    let missing = client::get(&addr, "/no-such-route", TIMEOUT).expect("404");
+    assert_eq!(missing.status, 404);
+    assert_request_id(&missing);
+
+    // 405.
+    let wrong_method = client::post(&addr, "/metrics", b"", TIMEOUT).expect("405");
+    assert_eq!(wrong_method.status, 405);
+    assert_request_id(&wrong_method);
+
+    // Distinct requests mint distinct ids.
+    let a = client::get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    let b = client::get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_ne!(
+        assert_request_id(&a),
+        assert_request_id(&b),
+        "request ids must be unique per request"
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn shed_responses_carry_request_ids_too() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // max_inflight = 0: every campaign is shed — the deterministic 503.
+    let handle = boot(|c| c.max_inflight = 0);
+    let addr = handle.addr().to_string();
+    let shed = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("request");
+    assert_eq!(shed.status, 503);
+    assert_request_id(&shed);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn client_trace_id_is_adopted_and_echoed() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+
+    let mut conn = client::Conn::connect(&addr, TIMEOUT).expect("connect");
+    conn.set_trace(Some("00000000deadbeef".into()));
+    let response = conn.get("/healthz").expect("healthz");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("x-joss-request-id"),
+        Some("00000000deadbeef"),
+        "a client-supplied X-Joss-Trace id must become the request id"
+    );
+
+    // A garbage trace header is ignored, not adopted.
+    conn.set_trace(Some("not-a-trace-id".into()));
+    let response = conn.get("/healthz").expect("healthz");
+    assert_eq!(response.status, 200);
+    let rid = assert_request_id(&response);
+    assert_ne!(rid, "not-a-trace-id");
+    handle.stop().expect("clean shutdown");
+}

@@ -37,7 +37,7 @@ fn usage() -> ! {
         "usage: joss_sweep [--workloads L1,L2|all] [--schedulers S1,S2] [--seeds N1,N2]\n\
          \u{20}                 [--threads N] [--scale D|full] [--reps R] [--train-seed S]\n\
          \u{20}                 [--out FILE.jsonl] [--csv FILE.csv] [--record-trace]\n\
-         \u{20}                 [--shard I/N] [--list]\n\
+         \u{20}                 [--telemetry-out FILE.jsonl] [--shard I/N] [--list]\n\
          schedulers: {}",
         SchedulerKind::parse_help()
     );
@@ -55,6 +55,7 @@ fn main() {
     let mut train_seed = 42u64;
     let mut out_jsonl: Option<String> = None;
     let mut out_csv: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut record_trace = false;
     let mut shard: Option<(usize, usize)> = None;
     let mut list = false;
@@ -99,6 +100,7 @@ fn main() {
             "--train-seed" => train_seed = next(&mut i).parse().expect("train seed"),
             "--out" => out_jsonl = Some(next(&mut i)),
             "--csv" => out_csv = Some(next(&mut i)),
+            "--telemetry-out" => telemetry_out = Some(next(&mut i)),
             "--record-trace" => record_trace = true,
             "--shard" => {
                 let v = next(&mut i);
@@ -221,6 +223,9 @@ fn main() {
     // summary point the moment it flushes out of the reorder window, then
     // dropped — the full grid (reports, opted-in traces) never accumulates.
     let mut points: Vec<MetricPoint> = Vec::with_capacity(specs.len());
+    // Tag the campaign's spec spans with one fresh trace id, so a
+    // --telemetry-out snapshot groups into a single trace.
+    joss_telemetry::trace::set_current(joss_telemetry::trace::new_trace_id());
     Campaign::with_threads(threads).run_streaming_indexed(&ctx, index_base, specs, |record| {
         if let Some(sink) = &mut jsonl_sink {
             sink.write(&record).expect("write JSONL record");
@@ -237,6 +242,10 @@ fn main() {
     if let (Some(sink), Some(path)) = (csv_sink, &out_csv) {
         let n = sink.finish().expect("flush CSV");
         eprintln!("[joss_sweep] wrote {n} records to {path}");
+    }
+    if let Some(path) = &telemetry_out {
+        std::fs::write(path, joss_telemetry::snapshot_jsonl()).expect("write telemetry snapshot");
+        eprintln!("[joss_sweep] wrote telemetry snapshot to {path}");
     }
 
     // Summary: total energy normalized to the first scheduler column. A

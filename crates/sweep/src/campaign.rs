@@ -49,8 +49,9 @@ impl Campaign {
     /// grid with traces opted in) whose records go straight to disk, use
     /// [`Campaign::run_streaming`] instead.
     pub fn run(&self, ctx: &ExperimentContext, specs: Vec<RunSpec>) -> Vec<RunRecord> {
+        let tid = campaign_started();
         let records = ordered_parallel_map(self.threads, &specs, |index, spec| {
-            run_spec(ctx, index, spec)
+            run_spec_traced(ctx, tid, index, spec)
         });
         joss_platform::noise::release_thread_memo();
         records
@@ -88,10 +89,11 @@ impl Campaign {
         specs: Vec<RunSpec>,
         mut sink: impl FnMut(RunRecord),
     ) {
+        let tid = campaign_started();
         ordered_parallel_stream(
             self.threads,
             &specs,
-            |index, spec| run_spec(ctx, index_base + index, spec),
+            |index, spec| run_spec_traced(ctx, tid, index_base + index, spec),
             |_, record| sink(record),
         );
         // Single-worker campaigns ran inline on this thread; hand the
@@ -122,10 +124,11 @@ impl Campaign {
             specs.len(),
             "one global index per spec required"
         );
+        let tid = campaign_started();
         ordered_parallel_stream(
             self.threads,
             &specs,
-            |index, spec| run_spec(ctx, indices[index], spec),
+            |index, spec| run_spec_traced(ctx, tid, indices[index], spec),
             |_, record| sink(record),
         );
         joss_platform::noise::release_thread_memo();
@@ -176,6 +179,33 @@ thread_local! {
     /// engine per spec (asserted byte-for-byte by the campaign determinism
     /// test) — it just keeps grid sweeps free of per-spec allocation.
     static ARENA: RefCell<EngineArena> = RefCell::new(EngineArena::new());
+}
+
+/// Count a campaign start and capture the calling thread's trace id so
+/// worker closures (which run on pool threads without the thread-local)
+/// can tag their spec spans with it. Returns 0 (untraced) when telemetry
+/// is disabled — [`run_spec_traced`] skips span capture entirely then.
+fn campaign_started() -> u64 {
+    if joss_telemetry::enabled() {
+        joss_telemetry::catalog::SWEEP_CAMPAIGNS.inc();
+        joss_telemetry::trace::current()
+    } else {
+        0
+    }
+}
+
+/// [`run_spec`] wrapped in spec-lifecycle telemetry: a `spec` span under
+/// the campaign's trace, the per-spec latency histogram, and the spec
+/// counter. Zero extra work when telemetry is disabled.
+fn run_spec_traced(ctx: &ExperimentContext, tid: u64, index: usize, spec: &RunSpec) -> RunRecord {
+    if !joss_telemetry::enabled() {
+        return run_spec(ctx, index, spec);
+    }
+    let span = joss_telemetry::trace::Span::with_trace(tid, "spec", format!("spec={index}"));
+    let record = run_spec(ctx, index, spec);
+    joss_telemetry::catalog::SWEEP_SPECS.inc();
+    joss_telemetry::catalog::SWEEP_SPEC_SECONDS.record_duration(span.elapsed());
+    record
 }
 
 /// Execute one spec (the campaign's per-worker body, also usable serially).

@@ -1,0 +1,115 @@
+//! # joss-telemetry — unified metrics, tracing, and profiling
+//!
+//! The diagnostic substrate wired through every layer of the stack: the
+//! engine flushes per-run profiling tallies here, `Campaign` records
+//! per-spec spans and latencies, the serve reactor counts and times every
+//! request, and the fleet coordinator publishes its steal bookkeeping.
+//! `joss-serve` renders the whole catalog at `GET /metrics`
+//! (Prometheus text), and the `joss_sweep`/`joss_fleet` CLIs snapshot it
+//! to JSONL with `--telemetry-out`.
+//!
+//! Design constraints, in order:
+//!
+//! * **Zero dependencies.** The vendored dependency set has no metrics
+//!   crate; everything here is `std` atomics and one mutex-guarded ring.
+//! * **One relaxed atomic add on the hot path.** [`metrics::Counter`] and
+//!   [`metrics::Histogram`] are striped into per-thread shards
+//!   (cache-line padded; a thread writes only its own stripe) that are
+//!   summed at scrape time — recording never takes a lock and never
+//!   contends in the common case.
+//! * **Compile-out proof.** Building with the `telemetry-off` feature
+//!   turns every recording call into a no-op the optimizer deletes; the
+//!   CI overhead job builds the engine bench both ways and gates on the
+//!   throughput ratio.
+//! * **Static registration.** All well-known series live in [`catalog`]
+//!   as `static` items (declared with [`counter!`]/[`gauge!`]/
+//!   [`histogram!`]), so a scrape shows the full catalog — zeros
+//!   included — from the first request, and recording is a static
+//!   reference, not a registry lookup.
+//!
+//! Tracing ([`trace`]) is a bounded in-memory ring of span/event records
+//! tagged with 64-bit trace ids. A fleet campaign mints one id and
+//! propagates it to every backend via the `X-Joss-Trace` request header;
+//! the serve daemon adopts it (echoing `X-Joss-Request-Id` on every
+//! response) and tags its request and campaign spans with it, so the
+//! snapshots from coordinator and backends stitch into one distributed
+//! trace. See `docs/OBSERVABILITY.md` for the catalog, formats, and
+//! measured overhead.
+
+pub mod catalog;
+pub mod metrics;
+pub mod render;
+pub mod trace;
+
+pub use metrics::{Counter, CounterVec, Gauge, Histogram};
+pub use render::{render_prometheus, snapshot_jsonl};
+pub use trace::Span;
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(not(feature = "telemetry-off"))]
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether telemetry is live. Always `false` under `telemetry-off` (a
+/// `const`, so gated code folds away); otherwise a runtime flag that
+/// defaults to on. Cheap enough to check per *run*, not per event — the
+/// engine keeps local tallies and branches on this once, at flush.
+#[cfg(not(feature = "telemetry-off"))]
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Compiled-out build: telemetry is never enabled.
+#[cfg(feature = "telemetry-off")]
+#[inline]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Flip the runtime flag (benchmarks measuring the branch-on-enabled
+/// paths; tests). A no-op under `telemetry-off`.
+pub fn set_enabled(on: bool) {
+    #[cfg(not(feature = "telemetry-off"))]
+    ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(feature = "telemetry-off")]
+    let _ = on;
+}
+
+/// Declare a static [`metrics::Counter`]:
+/// `counter!(pub static FOO: "joss_foo_total", "what it counts");`
+#[macro_export]
+macro_rules! counter {
+    ($vis:vis static $ident:ident : $name:literal, $help:literal) => {
+        $vis static $ident: $crate::metrics::Counter =
+            $crate::metrics::Counter::new($name, $help);
+    };
+}
+
+/// Declare a static [`metrics::Gauge`].
+#[macro_export]
+macro_rules! gauge {
+    ($vis:vis static $ident:ident : $name:literal, $help:literal) => {
+        $vis static $ident: $crate::metrics::Gauge = $crate::metrics::Gauge::new($name, $help);
+    };
+}
+
+/// Declare a static [`metrics::Histogram`] (values in microseconds by
+/// convention; rendered as a Prometheus summary in seconds).
+#[macro_export]
+macro_rules! histogram {
+    ($vis:vis static $ident:ident : $name:literal, $help:literal) => {
+        $vis static $ident: $crate::metrics::Histogram =
+            $crate::metrics::Histogram::new($name, $help);
+    };
+}
+
+/// Declare a static [`metrics::CounterVec`] (one label dimension).
+#[macro_export]
+macro_rules! counter_vec {
+    ($vis:vis static $ident:ident : $name:literal, $label:literal, $help:literal) => {
+        $vis static $ident: $crate::metrics::CounterVec =
+            $crate::metrics::CounterVec::new($name, $label, $help);
+    };
+}

@@ -1,0 +1,467 @@
+//! Lock-free metric primitives: striped counters, gauges, and
+//! log2-bucketed latency histograms.
+//!
+//! Counters and histograms are **striped**: each holds a small fixed
+//! array of cache-line-padded shards, and every thread writes one shard
+//! (assigned round-robin on first use). A record is exactly one (for
+//! histograms, two) relaxed `fetch_add` on a line no other thread is
+//! writing in the common case; a scrape sums the shards. Sums commute, so
+//! the merged readout equals sequential recording — asserted by the
+//! histogram proptest in `tests/histogram_prop.rs`.
+//!
+//! Under the `telemetry-off` feature every type keeps its API but loses
+//! its storage and its method bodies: recording compiles to nothing.
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Stripes per metric. Enough that the handful of recording threads
+/// (campaign pool + executors + reactor) rarely collide; small enough
+/// that a scrape's shard sum stays trivial.
+pub const STRIPES: usize = 8;
+
+/// Histogram bucket count: bucket 0 holds the value 0, bucket `b >= 1`
+/// holds values in `[2^(b-1), 2^b)` — 64 powers cover all of `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// The log2 bucket a value lands in (see [`N_BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket's value range.
+#[inline]
+pub fn bucket_lo(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Exclusive upper bound of a bucket's value range (saturating at the
+/// top bucket).
+#[inline]
+pub fn bucket_hi(bucket: usize) -> u64 {
+    if bucket >= 64 {
+        u64::MAX
+    } else {
+        1u64 << bucket
+    }
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+#[cfg(not(feature = "telemetry-off"))]
+thread_local! {
+    /// This thread's stripe index (`usize::MAX` = unassigned).
+    static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// The calling thread's stripe, assigned round-robin on first use.
+#[cfg(not(feature = "telemetry-off"))]
+#[inline]
+fn stripe() -> usize {
+    STRIPE.with(|cell| {
+        let mut s = cell.get();
+        if s == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            s = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            cell.set(s);
+        }
+        s
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter. Hot path: one relaxed `fetch_add` on the calling
+/// thread's stripe.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    #[cfg(not(feature = "telemetry-off"))]
+    stripes: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// Const constructor (for `static` catalog entries — see the
+    /// [`crate::counter!`] macro).
+    pub const fn new(name: &'static str, help: &'static str) -> Counter {
+        Counter {
+            name,
+            help,
+            #[cfg(not(feature = "telemetry-off"))]
+            stripes: [const { PaddedU64(AtomicU64::new(0)) }; STRIPES],
+        }
+    }
+
+    /// Add `n` (relaxed, this thread's stripe only).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.stripes[stripe()].0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Scrape-time readout: the sum over all stripes.
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.stripes
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A point-in-time signed value (queue depths, active-campaign counts,
+/// high-water marks). Not striped: gauges are set, not accumulated, and
+/// their writers are scrape-rate, not hot-path.
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    #[cfg(not(feature = "telemetry-off"))]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str, help: &'static str) -> Gauge {
+        Gauge {
+            name,
+            help,
+            #[cfg(not(feature = "telemetry-off"))]
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Ratchet the gauge up to `v` if it is higher (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.value.fetch_max(v, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    pub fn get(&self) -> i64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "telemetry-off"))]
+#[repr(align(64))]
+struct HistShard {
+    counts: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` samples (microseconds by
+/// convention). Hot path: two relaxed `fetch_add`s on the calling
+/// thread's shard. Readout interpolates p50/p90/p99/p99.9 inside the
+/// containing bucket.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    #[cfg(not(feature = "telemetry-off"))]
+    shards: [HistShard; STRIPES],
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str, help: &'static str) -> Histogram {
+        Histogram {
+            name,
+            help,
+            #[cfg(not(feature = "telemetry-off"))]
+            shards: [const {
+                HistShard {
+                    counts: [const { AtomicU64::new(0) }; N_BUCKETS],
+                    sum: AtomicU64::new(0),
+                }
+            }; STRIPES],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let shard = &self.shards[stripe()];
+            shard.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            shard.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = value;
+    }
+
+    /// Record a wall-clock duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Merge every shard into one consistent snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot {
+            counts: [0; N_BUCKETS],
+            sum: 0,
+            count: 0,
+        };
+        #[cfg(not(feature = "telemetry-off"))]
+        for shard in &self.shards {
+            for (bucket, count) in shard.counts.iter().enumerate() {
+                snap.counts[bucket] += count.load(Ordering::Relaxed);
+            }
+            snap.sum += shard.sum.load(Ordering::Relaxed);
+        }
+        snap.count = snap.counts.iter().sum();
+        snap
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// A merged histogram readout (see [`Histogram::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub counts: [u64; N_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Total samples.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Quantile estimate in `[0, 1]`, linearly interpolated inside the
+    /// containing bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if (next as f64) >= target {
+                let lo = bucket_lo(bucket) as f64;
+                let hi = bucket_hi(bucket) as f64;
+                let within = (target - cumulative as f64) / n as f64;
+                return lo + (hi - lo) * within.clamp(0.0, 1.0);
+            }
+            cumulative = next;
+        }
+        bucket_hi(N_BUCKETS - 1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CounterVec
+// ---------------------------------------------------------------------------
+
+/// A counter family with one label dimension (e.g. per-backend task
+/// counts). Mutex-backed — label cardinality is small and its writers are
+/// coordination-rate (fleet task completions), never per-event.
+pub struct CounterVec {
+    name: &'static str,
+    label: &'static str,
+    help: &'static str,
+    cells: Mutex<Vec<(String, u64)>>,
+}
+
+impl CounterVec {
+    pub const fn new(name: &'static str, label: &'static str, help: &'static str) -> CounterVec {
+        CounterVec {
+            name,
+            label,
+            help,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Add `n` to the cell for `label_value` (created on first use).
+    pub fn add(&self, label_value: &str, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let mut cells = self.cells.lock().expect("counter vec lock");
+            match cells.iter_mut().find(|(l, _)| l == label_value) {
+                Some((_, v)) => *v += n,
+                None => cells.push((label_value.to_string(), n)),
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (label_value, n);
+    }
+
+    /// Every `(label value, count)` cell, in first-use order.
+    pub fn cells(&self) -> Vec<(String, u64)> {
+        self.cells.lock().expect("counter vec lock").clone()
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..N_BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(b)), b, "lower bound of bucket {b}");
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn counter_sums_across_threads() {
+        static C: Counter = Counter::new("test_counter_total", "test");
+        let before = C.get();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get() - before, 4000);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn gauge_set_and_ratchet() {
+        static G: Gauge = Gauge::new("test_gauge", "test");
+        G.set(5);
+        assert_eq!(G.get(), 5);
+        G.set_max(3);
+        assert_eq!(G.get(), 5);
+        G.set_max(9);
+        assert_eq!(G.get(), 9);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        static H: Histogram = Histogram::new("test_hist_us", "test");
+        // 100 samples of 1000us: everything lands in one bucket; every
+        // quantile must land inside that bucket's range.
+        for _ in 0..100 {
+            H.record(1000);
+        }
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 100_000);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let v = snap.quantile(q);
+            assert!(
+                (bucket_lo(bucket_index(1000)) as f64..=bucket_hi(bucket_index(1000)) as f64)
+                    .contains(&v),
+                "q{q} = {v} outside the 1000us bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        static H: Histogram = Histogram::new("test_empty_us", "test");
+        assert_eq!(H.snapshot().quantile(0.5), 0.0);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn counter_vec_accumulates_per_label() {
+        static V: CounterVec = CounterVec::new("test_vec_total", "backend", "test");
+        V.add("a", 2);
+        V.add("b", 1);
+        V.add("a", 3);
+        let cells = V.cells();
+        assert_eq!(cells, vec![("a".to_string(), 5), ("b".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Scrape-format rendering: Prometheus text exposition for `/metrics`
+//! and JSONL snapshots for `--telemetry-out`.
+//!
+//! Histograms render as Prometheus *summaries* (quantile-labeled gauges
+//! plus `_sum`/`_count`) rather than cumulative `_bucket` series — the
+//! log2 buckets are an implementation detail; p50/p90/p99/p99.9 are the
+//! readout the catalog promises. Values recorded in microseconds are
+//! exposed in seconds, per Prometheus base-unit convention.
+
+use crate::catalog;
+use crate::metrics::HistSnapshot;
+use crate::trace;
+use std::fmt::Write as _;
+
+/// The quantiles every histogram exposes.
+pub const QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+const US_PER_SEC: f64 = 1e6;
+
+fn prom_f64(v: f64) -> String {
+    // Prometheus accepts plain decimal; trim the noise of float display
+    // without losing sub-microsecond precision.
+    let s = format!("{v:.9}");
+    let s = s.trim_end_matches('0');
+    let s = s.trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_summary(out: &mut String, name: &str, help: &str, snap: &HistSnapshot) {
+    let _ = writeln!(out, "# HELP {name}_seconds {help}");
+    let _ = writeln!(out, "# TYPE {name}_seconds summary");
+    for (q, label) in QUANTILES {
+        let _ = writeln!(
+            out,
+            "{name}_seconds{{quantile=\"{label}\"}} {}",
+            prom_f64(snap.quantile(q) / US_PER_SEC)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_seconds_sum {}",
+        prom_f64(snap.sum as f64 / US_PER_SEC)
+    );
+    let _ = writeln!(out, "{name}_seconds_count {}", snap.count);
+}
+
+/// Render the full catalog in Prometheus text exposition format
+/// (`text/plain; version=0.0.4`).
+pub fn render_prometheus() -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    for c in catalog::counters() {
+        let _ = writeln!(out, "# HELP {} {}", c.name(), c.help());
+        let _ = writeln!(out, "# TYPE {} counter", c.name());
+        let _ = writeln!(out, "{} {}", c.name(), c.get());
+    }
+    for g in catalog::gauges() {
+        let _ = writeln!(out, "# HELP {} {}", g.name(), g.help());
+        let _ = writeln!(out, "# TYPE {} gauge", g.name());
+        let _ = writeln!(out, "{} {}", g.name(), g.get());
+    }
+    for h in catalog::histograms() {
+        render_summary(&mut out, h.name(), h.help(), &h.snapshot());
+    }
+    for v in catalog::counter_vecs() {
+        let _ = writeln!(out, "# HELP {} {}", v.name(), v.help());
+        let _ = writeln!(out, "# TYPE {} counter", v.name());
+        for (label_value, count) in v.cells() {
+            let _ = writeln!(
+                out,
+                "{}{{{}=\"{}\"}} {}",
+                v.name(),
+                v.label(),
+                escape_label(&label_value),
+                count
+            );
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (the crate is zero-dependency by design
+/// and trace details may carry quotes or backslashes).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the catalog plus the trace ring as JSON Lines — one
+/// self-describing object per line, suitable for `--telemetry-out`
+/// snapshots and offline diffing:
+///
+/// ```text
+/// {"kind":"counter","name":"joss_sweep_specs_total","value":400}
+/// {"kind":"histogram","name":"joss_sweep_spec_duration","count":400,"sum_us":...,"p50_us":...,...}
+/// {"kind":"trace","t_us":12,"trace_id":"6e2a...","name":"spec","event":"end","detail":"","dur_us":731}
+/// ```
+pub fn snapshot_jsonl() -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    for c in catalog::counters() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":{},\"value\":{}}}",
+            json_quote(c.name()),
+            c.get()
+        );
+    }
+    for g in catalog::gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"gauge\",\"name\":{},\"value\":{}}}",
+            json_quote(g.name()),
+            g.get()
+        );
+    }
+    for h in catalog::histograms() {
+        let snap = h.snapshot();
+        let _ = write!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum_us\":{}",
+            json_quote(h.name()),
+            snap.count,
+            snap.sum
+        );
+        for (q, label) in QUANTILES {
+            let _ = write!(
+                out,
+                ",\"p{}_us\":{}",
+                label.trim_start_matches("0."),
+                prom_f64(snap.quantile(q))
+            );
+        }
+        out.push_str("}\n");
+    }
+    for v in catalog::counter_vecs() {
+        for (label_value, count) in v.cells() {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":{},\"label\":{},\"label_value\":{},\"value\":{}}}",
+                json_quote(v.name()),
+                json_quote(v.label()),
+                json_quote(&label_value),
+                count
+            );
+        }
+    }
+    for ev in trace::snapshot() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"trace\",\"t_us\":{},\"trace_id\":{},\"name\":{},\"event\":{},\"detail\":{},\"dur_us\":{}}}",
+            ev.t_us,
+            json_quote(&trace::format_id(ev.trace_id)),
+            json_quote(ev.name),
+            json_quote(ev.kind.as_str()),
+            json_quote(&ev.detail),
+            ev.dur_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_renders_full_catalog() {
+        let text = render_prometheus();
+        // The acceptance bar: >= 20 distinct series across layers.
+        let series = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        assert!(series >= 20, "only {series} series rendered:\n{text}");
+        for needle in [
+            "joss_serve_requests_total",
+            "joss_engine_events_total",
+            "joss_fleet_steals_committed_total",
+            "joss_sweep_spec_duration_seconds{quantile=\"0.99\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+        // HELP/TYPE precede each family exactly once.
+        assert_eq!(
+            text.matches("# TYPE joss_serve_requests_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects() {
+        let snap = snapshot_jsonl();
+        assert!(!snap.is_empty());
+        for line in snap.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+            assert!(line.contains("\"kind\":"), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn prom_f64_trims() {
+        assert_eq!(prom_f64(0.0), "0");
+        assert_eq!(prom_f64(1.5), "1.5");
+        assert_eq!(prom_f64(0.000001), "0.000001");
+        assert_eq!(prom_f64(3.0), "3");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_quote("x\ny"), "\"x\\ny\"");
+    }
+}

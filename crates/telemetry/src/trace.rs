@@ -1,0 +1,318 @@
+//! Span/event tracing with bounded in-memory ring capture.
+//!
+//! A trace is identified by a random 64-bit id, rendered as 16 hex
+//! digits. The id travels with the work: the fleet coordinator mints one
+//! per campaign and sends it to every backend in the `X-Joss-Trace`
+//! request header; the serve executor installs it as the thread-local
+//! *current* trace before running the job, so spans recorded anywhere
+//! down the call stack (campaign workers, the engine) tag themselves
+//! without threading an id argument through every layer.
+//!
+//! Capture is a global mutex-guarded ring of the most recent
+//! [`RING_CAP`] records — tracing is a flight recorder, not a durable
+//! log. The mutex is fine because span granularity is per *spec* /
+//! per *request* (milliseconds), never per engine event. Everything is a
+//! no-op when [`crate::enabled`] is false and compiles out entirely
+//! under `telemetry-off`.
+
+use std::cell::Cell;
+#[cfg(not(feature = "telemetry-off"))]
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::Mutex;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Ring capacity: enough for the tail of a large campaign (two records
+/// per spec span) without unbounded growth.
+pub const RING_CAP: usize = 4096;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Start,
+    /// A span closed; `dur_us` holds its wall-clock duration.
+    End,
+    /// A point-in-time event.
+    Instant,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Start => "start",
+            EventKind::End => "end",
+            EventKind::Instant => "event",
+        }
+    }
+}
+
+/// One captured record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Microseconds since this process's trace epoch (first capture).
+    pub t_us: u64,
+    /// Owning trace id (0 = untraced work).
+    pub trace_id: u64,
+    /// Static span/event name (e.g. `"spec"`, `"request"`, `"steal"`).
+    pub name: &'static str,
+    pub kind: EventKind,
+    /// Free-form detail (spec index, backend addr, request id...).
+    pub detail: String,
+    /// Span duration for [`EventKind::End`] records, else 0.
+    pub dur_us: u64,
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+static RING: Mutex<VecDeque<TraceEvent>> = Mutex::new(VecDeque::new());
+
+#[cfg(not(feature = "telemetry-off"))]
+fn push(ev: TraceEvent) {
+    let mut ring = RING.lock().expect("trace ring lock");
+    if ring.len() >= RING_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(ev);
+}
+
+/// Mint a fresh trace id: SplitMix64 over a global counter seeded from
+/// wall clock + pid, so concurrent processes (fleet backends) don't
+/// collide. Never returns 0 (the "untraced" sentinel).
+pub fn new_trace_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        t ^ ((std::process::id() as u64) << 32)
+    });
+    loop {
+        let mut z = seed.wrapping_add(
+            SEQ.fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        if z != 0 {
+            return z;
+        }
+    }
+}
+
+/// A trace id as it appears on the wire: 16 lowercase hex digits.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a wire-format trace id (any-case hex, 1-16 digits). `None` for
+/// anything else — a malformed header means "start a fresh trace", never
+/// an error.
+pub fn parse_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().filter(|&id| id != 0)
+}
+
+thread_local! {
+    /// The trace id spans on this thread inherit (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Install `id` as this thread's current trace (0 clears it). Returns
+/// the previous id so callers can restore it.
+pub fn set_current(id: u64) -> u64 {
+    CURRENT.with(|c| c.replace(id))
+}
+
+/// This thread's current trace id (0 = none).
+pub fn current() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Record a point-in-time event under this thread's current trace.
+pub fn event(name: &'static str, detail: impl Into<String>) {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        if !crate::enabled() {
+            return;
+        }
+        push(TraceEvent {
+            t_us: now_us(),
+            trace_id: current(),
+            name,
+            kind: EventKind::Instant,
+            detail: detail.into(),
+            dur_us: 0,
+        });
+    }
+    #[cfg(feature = "telemetry-off")]
+    let _ = (name, detail.into());
+}
+
+/// An RAII span: records a `Start` event on construction and an `End`
+/// (with duration) on drop. `#[must_use]` — binding it to `_` drops it
+/// immediately and times nothing.
+#[must_use = "a span measures its own lifetime; bind it to a named local"]
+pub struct Span {
+    name: &'static str,
+    trace_id: u64,
+    started: Instant,
+    live: bool,
+}
+
+impl Span {
+    /// Open a span under this thread's current trace.
+    pub fn enter(name: &'static str, detail: impl Into<String>) -> Span {
+        Span::with_trace(current(), name, detail)
+    }
+
+    /// Open a span under an explicit trace id (campaign workers capture
+    /// the id once, outside the worker closure).
+    pub fn with_trace(trace_id: u64, name: &'static str, detail: impl Into<String>) -> Span {
+        let live = crate::enabled();
+        #[cfg(not(feature = "telemetry-off"))]
+        if live {
+            push(TraceEvent {
+                t_us: now_us(),
+                trace_id,
+                name,
+                kind: EventKind::Start,
+                detail: detail.into(),
+                dur_us: 0,
+            });
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = detail.into();
+        Span {
+            name,
+            trace_id,
+            started: Instant::now(),
+            live,
+        }
+    }
+
+    /// The span's wall-clock age (what `End` will record as `dur_us`).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if self.live {
+            push(TraceEvent {
+                t_us: now_us(),
+                trace_id: self.trace_id,
+                name: self.name,
+                kind: EventKind::End,
+                detail: String::new(),
+                dur_us: self.started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            });
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (self.name, self.trace_id, self.live);
+    }
+}
+
+/// Copy out the ring's current contents, oldest first.
+pub fn snapshot() -> Vec<TraceEvent> {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        RING.lock()
+            .expect("trace ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+    #[cfg(feature = "telemetry-off")]
+    Vec::new()
+}
+
+/// Drop everything captured so far (test isolation).
+pub fn clear() {
+    #[cfg(not(feature = "telemetry-off"))]
+    RING.lock().expect("trace ring lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_rejects() {
+        let id = new_trace_id();
+        assert_ne!(id, 0);
+        assert_eq!(parse_id(&format_id(id)), Some(id));
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("0"), None, "0 is the untraced sentinel");
+        assert_eq!(parse_id("zznotahexid"), None);
+        assert_eq!(parse_id("00112233445566778899"), None, "too long");
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn current_trace_nests_and_restores() {
+        let prev = set_current(42);
+        assert_eq!(current(), 42);
+        let inner = set_current(7);
+        assert_eq!(inner, 42);
+        set_current(inner);
+        assert_eq!(current(), 42);
+        set_current(prev);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn span_records_start_and_end() {
+        let id = new_trace_id();
+        {
+            let _span = Span::with_trace(id, "test_span", "detail");
+            event("test_event", "mid");
+        }
+        let events = snapshot();
+        let mine: Vec<_> = events.iter().filter(|e| e.trace_id == id).collect();
+        assert!(
+            mine.iter()
+                .any(|e| e.name == "test_span" && e.kind == EventKind::Start),
+            "missing start record"
+        );
+        assert!(
+            mine.iter()
+                .any(|e| e.name == "test_span" && e.kind == EventKind::End),
+            "missing end record"
+        );
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn ring_is_bounded() {
+        for _ in 0..RING_CAP + 64 {
+            event("flood", "");
+        }
+        assert!(snapshot().len() <= RING_CAP);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the log2 histogram: every recorded value lands in
+//! the bucket whose range contains it, and — because shard merging is a
+//! commutative sum — recording a sample set across many threads yields
+//! exactly the snapshot sequential recording would.
+//!
+//! The recording properties are vacuous under `telemetry-off` (storage
+//! is compiled out), so the whole suite is gated on the default build.
+#![cfg(not(feature = "telemetry-off"))]
+
+use joss_telemetry::metrics::{bucket_hi, bucket_index, bucket_lo, Histogram, N_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bucket placement: `bucket_index(v)` names the unique bucket whose
+    /// `[lo, hi)` range contains `v`.
+    #[test]
+    fn values_land_in_their_bucket(v in proptest::any::<u64>()) {
+        let b = bucket_index(v);
+        prop_assert!(b < N_BUCKETS);
+        prop_assert!(bucket_lo(b) <= v, "{v} below bucket {b} lo {}", bucket_lo(b));
+        if b < 64 {
+            prop_assert!(v < bucket_hi(b), "{v} at/above bucket {b} hi {}", bucket_hi(b));
+        }
+        // Neighbors don't claim it.
+        if b > 0 {
+            prop_assert!(v >= bucket_hi(b - 1));
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the recorded range's
+    /// bucket envelope.
+    #[test]
+    fn quantiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new("prop_monotone_us", "prop");
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        let qs: Vec<f64> = [0.5, 0.9, 0.99, 0.999].iter().map(|&q| snap.quantile(q)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        prop_assert!(qs[0] >= bucket_lo(bucket_index(min)) as f64);
+        prop_assert!(qs[3] <= bucket_hi(bucket_index(max)) as f64);
+    }
+
+    /// Shard-merge identity: splitting a sample set across 4 recording
+    /// threads produces byte-identical bucket counts and sum to recording
+    /// the same samples sequentially on one thread.
+    #[test]
+    fn threaded_merge_equals_sequential(samples in proptest::collection::vec(proptest::any::<u32>(), 0..400)) {
+        let samples: Vec<u64> = samples.into_iter().map(u64::from).collect();
+
+        let sequential = Histogram::new("prop_seq_us", "prop");
+        for &s in &samples {
+            sequential.record(s);
+        }
+
+        let threaded = Histogram::new("prop_thr_us", "prop");
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(samples.len().div_ceil(4).max(1)) {
+                let threaded = &threaded;
+                scope.spawn(move || {
+                    for &s in chunk {
+                        threaded.record(s);
+                    }
+                });
+            }
+        });
+
+        let a = sequential.snapshot();
+        let b = threaded.snapshot();
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.sum, b.sum);
+        prop_assert_eq!(a.count, b.count);
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`fleet`] — the distribution layer: shard one grid across many
 //!   serve backends and merge the streams byte-identically, with
 //!   health-checked failover;
+//! * [`telemetry`] — zero-dependency metrics, tracing, and profiling
+//!   shared by every layer: striped counters/gauges/histograms, a
+//!   trace-event ring, Prometheus-text and JSONL rendering (see
+//!   `docs/OBSERVABILITY.md`);
 //! * [`experiments`] — harnesses regenerating every paper figure/table.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -27,4 +31,5 @@ pub use joss_models as models;
 pub use joss_platform as platform;
 pub use joss_serve as serve;
 pub use joss_sweep as sweep;
+pub use joss_telemetry as telemetry;
 pub use joss_workloads as workloads;
