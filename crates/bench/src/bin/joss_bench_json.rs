@@ -4,7 +4,7 @@
 //! ```text
 //! joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]
 //!                 [--serve-out FILE.json] [--serve-clients N] [--serve-requests M]
-//!                 [--fleet-out FILE.json]
+//!                 [--fleet-out FILE.json] [--check] [--check-tolerance F]
 //! ```
 //!
 //! Measures the two benchmarks the engine optimizations are judged by —
@@ -26,6 +26,15 @@
 //! trajectory: every PR that touches the hot path re-runs this tool and
 //! commits the diff, so regressions show up in review. Timings are
 //! host-dependent; compare only numbers recorded on the same machine.
+//!
+//! With `--check` the tool becomes a perf-regression *gate*: the `--out`/
+//! `--serve-out`/`--fleet-out` paths are read as committed baselines
+//! instead of overwritten, the fresh run is compared entry-by-entry with
+//! per-family tolerances (see `joss_bench::check`), a delta table is
+//! printed, and the process exits non-zero if any bench regressed.
+//! `--check-tolerance F` (a fraction, e.g. `0.5`) overrides every
+//! per-family default — the knob CI's advisory job loosens on shared
+//! runners.
 
 use joss_bench::shared_context;
 use joss_core::engine::{EngineConfig, SimEngine};
@@ -77,6 +86,8 @@ fn main() {
     let mut serve_clients = 8usize;
     let mut serve_requests = 4usize;
     let mut fleet_out: Option<String> = None;
+    let mut check = false;
+    let mut check_tolerance: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -117,12 +128,26 @@ fn main() {
                 i += 1;
                 fleet_out = Some(args.get(i).expect("--fleet-out needs a path").clone());
             }
+            "--check" => check = true,
+            "--check-tolerance" => {
+                i += 1;
+                let f: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--check-tolerance F");
+                assert!(
+                    (0.0..1.0).contains(&f),
+                    "--check-tolerance is a fraction in [0, 1)"
+                );
+                check_tolerance = Some(f);
+            }
             other => {
                 eprintln!(
                     "usage: joss_bench_json [--out FILE.json] [--runs N] [--search-iters N]\n\
                      \u{20}                      [--serve-out FILE.json] [--serve-clients N] \
                      [--serve-requests M]\n\
-                     \u{20}                      [--fleet-out FILE.json]"
+                     \u{20}                      [--fleet-out FILE.json] [--check] \
+                     [--check-tolerance F]"
                 );
                 panic!("unknown argument {other:?}");
             }
@@ -130,6 +155,13 @@ fn main() {
         i += 1;
     }
     assert!(runs >= 1 && search_iters >= 1 && serve_clients >= 1 && serve_requests >= 1);
+    let mode = if check {
+        Mode::Check {
+            tolerance: check_tolerance,
+        }
+    } else {
+        Mode::Write
+    };
 
     eprintln!("[joss_bench_json] building shared context...");
     let ctx = shared_context();
@@ -244,14 +276,100 @@ fn main() {
         steepest_descent_search(&est, true)
     });
 
-    write_snapshot(&out_path, "joss-bench-engine/v2", &[], runs, &entries);
+    let mut all_ok = emit_snapshot(
+        &mode,
+        &out_path,
+        "joss-bench-engine/v2",
+        &[],
+        runs,
+        &entries,
+    );
 
     if let Some(serve_path) = serve_out {
-        serve_benches(&serve_path, runs, serve_clients, serve_requests);
+        all_ok &= serve_benches(&mode, &serve_path, runs, serve_clients, serve_requests);
     }
     if let Some(fleet_path) = fleet_out {
-        fleet_benches(&fleet_path, runs);
+        all_ok &= fleet_benches(&mode, &fleet_path, runs);
     }
+    if check {
+        if !all_ok {
+            eprintln!("[joss_bench_json] PERF CHECK FAILED — see the delta tables above");
+            std::process::exit(1);
+        }
+        eprintln!("[joss_bench_json] perf check passed");
+    }
+}
+
+/// Whether snapshots are written (the default) or treated as committed
+/// baselines to gate against (`--check`).
+enum Mode {
+    Write,
+    Check { tolerance: Option<f64> },
+}
+
+/// Write the snapshot, or in check mode compare the fresh `entries`
+/// against the committed snapshot at `out_path` without touching it.
+/// Returns `false` only when a check found a regression (or could not
+/// read a comparable baseline, which must fail the gate too — a missing
+/// baseline checked against nothing would pass vacuously).
+fn emit_snapshot(
+    mode: &Mode,
+    out_path: &str,
+    schema: &str,
+    extras: &[(&str, String)],
+    runs: usize,
+    entries: &[Entry],
+) -> bool {
+    match mode {
+        Mode::Write => {
+            write_snapshot(out_path, schema, extras, runs, entries);
+            true
+        }
+        Mode::Check { tolerance } => check_snapshot(out_path, schema, *tolerance, entries),
+    }
+}
+
+fn check_snapshot(
+    baseline_path: &str,
+    schema: &str,
+    tolerance: Option<f64>,
+    entries: &[Entry],
+) -> bool {
+    use joss_bench::check;
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[joss_bench_json] cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let (base_schema, baseline) = match check::parse_snapshot(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("[joss_bench_json] bad baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    if base_schema != schema {
+        eprintln!(
+            "[joss_bench_json] baseline {baseline_path} speaks {base_schema:?} but this \
+             build writes {schema:?} — regenerate the snapshot before gating on it"
+        );
+        return false;
+    }
+    let fresh: Vec<check::BenchEntry> = entries
+        .iter()
+        .map(|e| check::BenchEntry {
+            name: e.name.to_string(),
+            unit: e.unit.to_string(),
+            rate: e.rate,
+            median_ns: e.stats.median_ns,
+        })
+        .collect();
+    let deltas = check::compare(&baseline, &fresh, tolerance);
+    println!("[joss_bench_json] check against {baseline_path}:");
+    print!("{}", check::render_table(&deltas));
+    !check::has_regression(&deltas)
 }
 
 /// Hand-rolled JSON (the vendored serde is a no-op): stable key order, one
@@ -300,7 +418,13 @@ fn write_snapshot(
 /// disciplines (pipelined keep-alive steady state, serial keep-alive,
 /// legacy close-per-request), and closed-loop throughput under concurrent
 /// verified clients reusing their connections.
-fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
+fn serve_benches(
+    mode: &Mode,
+    out_path: &str,
+    runs: usize,
+    clients: usize,
+    requests: usize,
+) -> bool {
     use joss_serve::{client, loadgen, LoadgenConfig, ServeConfig, Server};
     use joss_sweep::{GridDesc, SchedulerKind};
     use joss_workloads::Scale;
@@ -497,7 +621,8 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
     );
     handle.stop().expect("stop serve daemon");
 
-    write_snapshot(
+    emit_snapshot(
+        mode,
         out_path,
         "joss-bench-serve/v2",
         &[
@@ -508,7 +633,7 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
         ],
         runs,
         &entries,
-    );
+    )
 }
 
 /// The fleet-layer snapshot: the same campaign run through one local
@@ -520,7 +645,7 @@ fn serve_benches(out_path: &str, runs: usize, clients: usize, requests: usize) {
 /// with fresh seeds, so the numbers measure sharded simulation, not
 /// replay — and the merges are asserted byte-identical while the clock
 /// runs.
-fn fleet_benches(out_path: &str, runs: usize) {
+fn fleet_benches(mode: &Mode, out_path: &str, runs: usize) -> bool {
     use joss_fleet::{
         run_fleet, spawn_local_backends_with, FleetConfig, FleetSession, ThrottleProxy,
     };
@@ -740,7 +865,8 @@ fn fleet_benches(out_path: &str, runs: usize) {
     for handle in handles {
         handle.stop().expect("stop local backend");
     }
-    write_snapshot(
+    emit_snapshot(
+        mode,
         out_path,
         "joss-bench-fleet/v3",
         &[
@@ -758,5 +884,5 @@ fn fleet_benches(out_path: &str, runs: usize) {
         ],
         runs,
         &entries,
-    );
+    )
 }

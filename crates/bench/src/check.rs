@@ -1,0 +1,243 @@
+//! Perf-regression gating: compare a fresh `joss_bench_json` run against
+//! the committed `BENCH_*.json` snapshots and fail on regression — the
+//! bench trajectory as a guardrail instead of a passive log.
+//!
+//! The comparison is rate-based (every snapshot entry's `rate` is a
+//! higher-is-better throughput) with a per-metric relative tolerance:
+//! a fresh rate below `baseline * (1 - tolerance)` is a regression, and a
+//! baseline bench missing from the fresh run is one too (deleting a bench
+//! must be a deliberate snapshot update, not a silent gap). Tolerances
+//! default per family — engine microbenches are steady; serve and fleet
+//! numbers ride on sockets, schedulers, and (in CI) noisy shared hosts —
+//! and `--check-tolerance` overrides all of them for advisory container
+//! runs.
+
+use joss_sweep::json::{self, Value};
+
+/// One bench entry read from a snapshot (the fields `--check` compares).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    pub name: String,
+    pub unit: String,
+    /// Higher-is-better throughput (tasks/s, evals/s, req/s, ...).
+    pub rate: f64,
+    /// Median wall time per iteration, nanoseconds (shown in the table).
+    pub median_ns: f64,
+}
+
+/// Parse a `BENCH_*.json` snapshot into `(schema, entries)`.
+pub fn parse_snapshot(text: &str) -> Result<(String, Vec<BenchEntry>), String> {
+    let parsed = json::parse(text).map_err(|e| format!("unparseable snapshot: {e}"))?;
+    let schema = parsed
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("snapshot has no \"schema\" field")?
+        .to_string();
+    let benches = parsed
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or("snapshot has no \"benches\" array")?;
+    let mut entries = Vec::with_capacity(benches.len());
+    for bench in benches {
+        let field = |key: &str| -> Result<&Value, String> {
+            bench
+                .get(key)
+                .ok_or_else(|| format!("bench entry is missing {key:?}"))
+        };
+        entries.push(BenchEntry {
+            name: field("name")?
+                .as_str()
+                .ok_or("bench \"name\" is not a string")?
+                .to_string(),
+            unit: field("unit")?
+                .as_str()
+                .ok_or("bench \"unit\" is not a string")?
+                .to_string(),
+            rate: field("rate")?
+                .as_f64()
+                .ok_or("bench \"rate\" is not a number")?,
+            median_ns: field("median_ns")?
+                .as_f64()
+                .ok_or("bench \"median_ns\" is not a number")?,
+        });
+    }
+    Ok((schema, entries))
+}
+
+/// The default relative tolerance for a bench, by family. Engine
+/// microbenches run in-process and repeat tightly; anything touching
+/// sockets or multi-process fleets swings much wider run to run.
+pub fn default_tolerance(name: &str) -> f64 {
+    if name.starts_with("serve/") || name.starts_with("fleet/") {
+        0.60
+    } else {
+        0.40
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    pub name: String,
+    pub unit: String,
+    pub baseline_rate: f64,
+    /// `None` — the bench exists in the baseline but not the fresh run.
+    pub fresh_rate: Option<f64>,
+    /// `fresh / baseline` (1.0 = unchanged, above = faster).
+    pub ratio: f64,
+    pub tolerance: f64,
+    pub regressed: bool,
+}
+
+/// Compare a fresh run against the baseline snapshot. Every baseline
+/// bench produces one [`Delta`]; fresh-only benches are ignored (they
+/// gate nothing until committed). `tolerance_override` replaces the
+/// per-family defaults when given.
+pub fn compare(
+    baseline: &[BenchEntry],
+    fresh: &[BenchEntry],
+    tolerance_override: Option<f64>,
+) -> Vec<Delta> {
+    baseline
+        .iter()
+        .map(|base| {
+            let tolerance = tolerance_override.unwrap_or_else(|| default_tolerance(&base.name));
+            let fresh_entry = fresh.iter().find(|f| f.name == base.name);
+            let fresh_rate = fresh_entry.map(|f| f.rate);
+            let ratio =
+                fresh_rate.map_or(0.0, |r| if base.rate > 0.0 { r / base.rate } else { 1.0 });
+            let regressed = match fresh_rate {
+                None => true,
+                Some(r) => r < base.rate * (1.0 - tolerance),
+            };
+            Delta {
+                name: base.name.clone(),
+                unit: base.unit.clone(),
+                baseline_rate: base.rate,
+                fresh_rate,
+                ratio,
+                tolerance,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// Any row below its tolerance?
+pub fn has_regression(deltas: &[Delta]) -> bool {
+    deltas.iter().any(|d| d.regressed)
+}
+
+/// The human-readable delta table `--check` prints.
+pub fn render_table(deltas: &[Delta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>14} {:>14} {:>7} {:>6}  VERDICT",
+        "BENCH", "BASELINE", "FRESH", "RATIO", "TOL"
+    );
+    for d in deltas {
+        let verdict = if d.fresh_rate.is_none() {
+            "MISSING"
+        } else if d.regressed {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14.0} {:>14} {:>7} {:>5.0}%  {}",
+            d.name,
+            d.baseline_rate,
+            d.fresh_rate.map_or("-".to_string(), |r| format!("{r:.0}")),
+            if d.fresh_rate.is_some() {
+                format!("{:.2}x", d.ratio)
+            } else {
+                "-".to_string()
+            },
+            d.tolerance * 100.0,
+            verdict,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, rate: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            unit: "x_per_sec".into(),
+            rate,
+            median_ns: 1e9 / rate,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = [entry("engine_throughput/a", 1e6), entry("serve/hit", 5e4)];
+        let deltas = compare(&base, &base, None);
+        assert_eq!(deltas.len(), 2);
+        assert!(!has_regression(&deltas));
+        assert!(deltas.iter().all(|d| (d.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn a_slump_beyond_tolerance_regresses() {
+        let base = [entry("engine_throughput/a", 1e6)];
+        let ok = [entry("engine_throughput/a", 0.7e6)]; // -30% < 40% tol
+        assert!(!has_regression(&compare(&base, &ok, None)));
+        let slump = [entry("engine_throughput/a", 0.5e6)]; // -50% > 40% tol
+        let deltas = compare(&base, &slump, None);
+        assert!(has_regression(&deltas));
+        assert!(render_table(&deltas).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn tolerances_are_per_family_and_overridable() {
+        assert_eq!(default_tolerance("engine_throughput/grws_1000_tasks"), 0.40);
+        assert_eq!(default_tolerance("serve/campaign_hit"), 0.60);
+        assert_eq!(default_tolerance("fleet/campaign_2_backends"), 0.60);
+        let base = [entry("serve/hit", 1e5)];
+        let half = [entry("serve/hit", 0.5e5)];
+        assert!(!has_regression(&compare(&base, &half, None))); // within 60%
+        assert!(has_regression(&compare(&base, &half, Some(0.25))));
+    }
+
+    #[test]
+    fn missing_benches_regress_and_new_ones_do_not_gate() {
+        let base = [entry("a", 1.0), entry("b", 1.0)];
+        let fresh = [entry("a", 1.0), entry("c", 1.0)];
+        let deltas = compare(&base, &fresh, None);
+        assert_eq!(deltas.len(), 2, "only baseline benches gate");
+        assert!(deltas.iter().any(|d| d.name == "b" && d.regressed));
+        assert!(render_table(&deltas).contains("MISSING"));
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let text = r#"{
+  "schema": "joss-bench-engine/v2",
+  "host_cores": 4,
+  "runs_per_bench": 5,
+  "benches": [
+    {"name": "a", "unit": "tasks_per_sec", "rate": 100, "min_ns": 1, "median_ns": 2, "max_ns": 3}
+  ]
+}"#;
+        let (schema, entries) = parse_snapshot(text).expect("parse");
+        assert_eq!(schema, "joss-bench-engine/v2");
+        assert_eq!(entries, vec![entry_with("a", 100.0, 2.0)]);
+    }
+
+    fn entry_with(name: &str, rate: f64, median_ns: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            unit: "tasks_per_sec".into(),
+            rate,
+            median_ns,
+        }
+    }
+}

@@ -15,6 +15,8 @@
 use joss_experiments::ExperimentContext;
 use std::sync::OnceLock;
 
+pub mod check;
+
 /// A shared, lazily built experiment context so every bench reuses one
 /// platform characterization (training is the expensive one-time step).
 pub fn shared_context() -> &'static ExperimentContext {

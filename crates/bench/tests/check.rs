@@ -1,0 +1,69 @@
+//! The perf-regression gate against the *committed* snapshots: the
+//! repo-root `BENCH_*.json` artifacts must parse, a run identical to the
+//! baseline must pass `--check`, and a doctored baseline (rates inflated
+//! far beyond any tolerance) must fail — the property CI's advisory
+//! bench-check job relies on.
+
+use joss_bench::check::{self, BenchEntry};
+use std::path::PathBuf;
+
+fn committed(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_snapshots_parse_and_self_compare() {
+    for (file, schema) in [
+        ("BENCH_engine.json", "joss-bench-engine/v2"),
+        ("BENCH_serve.json", "joss-bench-serve/v2"),
+        ("BENCH_fleet.json", "joss-bench-fleet/v3"),
+    ] {
+        let (parsed_schema, entries) = check::parse_snapshot(&committed(file))
+            .unwrap_or_else(|e| panic!("{file} did not parse: {e}"));
+        assert_eq!(parsed_schema, schema, "{file} schema drifted");
+        assert!(!entries.is_empty(), "{file} has no benches");
+        assert!(
+            entries.iter().all(|e| e.rate > 0.0 && e.median_ns > 0.0),
+            "{file} has a non-positive rate or median"
+        );
+        // A fresh run that exactly reproduces the baseline must pass.
+        let deltas = check::compare(&entries, &entries, None);
+        assert_eq!(deltas.len(), entries.len());
+        assert!(
+            !check::has_regression(&deltas),
+            "{file} fails against itself:\n{}",
+            check::render_table(&deltas)
+        );
+    }
+}
+
+#[test]
+fn doctored_baseline_fails_the_check() {
+    let (_, entries) =
+        check::parse_snapshot(&committed("BENCH_engine.json")).expect("committed engine snapshot");
+    // Inflate the committed rates 10x: a genuine fresh run (entries) now
+    // sits at 0.10x of "baseline", far past every tolerance.
+    let doctored: Vec<BenchEntry> = entries
+        .iter()
+        .map(|e| BenchEntry {
+            rate: e.rate * 10.0,
+            ..e.clone()
+        })
+        .collect();
+    let deltas = check::compare(&doctored, &entries, None);
+    assert!(
+        deltas.iter().all(|d| d.regressed),
+        "every doctored entry must regress:\n{}",
+        check::render_table(&deltas)
+    );
+    assert!(check::has_regression(&deltas));
+    // ...and an override tolerance loose enough (91%) forgives it.
+    assert!(!check::has_regression(&check::compare(
+        &doctored,
+        &entries,
+        Some(0.95)
+    )));
+}

@@ -90,8 +90,11 @@ pub struct CampaignProgress {
     pub queue_depth: u64,
 }
 
-/// Poll a backend's `/stats` for the progress of the campaign whose
-/// formatted spec hash is `hash` (the `X-Joss-Spec-Hash` spelling).
+/// Poll a backend for the progress of the campaign whose formatted spec
+/// hash is `hash` (the `X-Joss-Spec-Hash` spelling). Prefers the
+/// dedicated `GET /v1/progress` endpoint (which carries richer
+/// per-campaign state) and falls back to scanning `GET /stats` — mixed
+/// fleets with backends predating the progress plane keep working.
 ///
 /// `Ok(Some(_))` — the campaign is actively executing there;
 /// `Ok(None)` — the backend answered but is not currently executing that
@@ -106,6 +109,16 @@ pub fn fetch_progress(
     hash: &str,
     timeout: Duration,
 ) -> Result<Option<CampaignProgress>, String> {
+    if let Ok(response) = client::get(addr, "/v1/progress", timeout) {
+        if response.status == 200 {
+            let text = String::from_utf8_lossy(&response.body).into_owned();
+            if let Ok(parsed) = json::parse(&text) {
+                if parsed.get("active").and_then(Value::as_array).is_some() {
+                    return Ok(scan_progress(&parsed, "active", hash));
+                }
+            }
+        }
+    }
     let response = client::get(addr, "/stats", timeout)
         .map_err(|e| format!("backend {addr} failed its stats probe: {e}"))?;
     if response.status != 200 {
@@ -117,32 +130,44 @@ pub fn fetch_progress(
     let text = String::from_utf8_lossy(&response.body).into_owned();
     let parsed =
         json::parse(&text).map_err(|e| format!("backend {addr} sent unparseable stats: {e}"))?;
+    if parsed
+        .get("active_campaigns")
+        .and_then(Value::as_array)
+        .is_none()
+    {
+        // A pre-elastic backend: no progress feed. Treat as "not running".
+        return Ok(None);
+    }
+    Ok(scan_progress(&parsed, "active_campaigns", hash))
+}
+
+/// Find `hash` in a progress document's campaign array (`active` in
+/// `/v1/progress`, `active_campaigns` in `/stats` — same entry shape).
+fn scan_progress(parsed: &Value, array_key: &str, hash: &str) -> Option<CampaignProgress> {
     let queue_depth = parsed
         .get("executor_queue_depth")
         .and_then(Value::as_u64)
         .unwrap_or(0);
-    let Some(active) = parsed.get("active_campaigns").and_then(Value::as_array) else {
-        // A pre-elastic backend: no progress feed. Treat as "not running".
-        return Ok(None);
-    };
-    for entry in active {
+    for entry in parsed.get(array_key).and_then(Value::as_array)? {
         if entry.get("hash").and_then(Value::as_str) == Some(hash) {
             let completed = entry.get("completed").and_then(Value::as_u64).unwrap_or(0);
             let total = entry.get("total").and_then(Value::as_u64).unwrap_or(0);
-            return Ok(Some(CampaignProgress {
+            return Some(CampaignProgress {
                 completed,
                 total,
                 queue_depth,
-            }));
+            });
         }
     }
-    Ok(None)
+    None
 }
 
 /// Refuse a fleet whose backends would produce unmergeable records:
 /// every backend must agree on train seed, reps, and record schema (with
 /// each other, and with the caller's expectation when given). Build
-/// versions may differ — the schema tag is the compatibility contract.
+/// versions may differ — the schema tag is the compatibility contract —
+/// but skew is *logged*, because a version spread is the first thing to
+/// check when one backend misbehaves during a rolling upgrade.
 pub fn verify_compatible(
     infos: &[BackendInfo],
     expect_train_seed: Option<u64>,
@@ -175,6 +200,15 @@ pub fn verify_compatible(
                 want_reps,
                 first.schema
             ));
+        }
+    }
+    for info in infos {
+        if info.version != first.version {
+            eprintln!(
+                "[joss_fleet] version skew: backend {} runs {} while {} runs {} \
+                 (schemas match, proceeding)",
+                info.addr, info.version, first.addr, first.version
+            );
         }
     }
     Ok(())

@@ -813,6 +813,24 @@ fn fetch_worker(
                         &plan.sub_hash,
                         Duration::from_secs(2),
                     );
+                    // The steal decision's input, in the trace ring: what
+                    // the victim reported (or that it didn't), next to the
+                    // dispatch/commit events it explains.
+                    trace::event(
+                        "fleet_steal_poll",
+                        match &poll {
+                            Ok(Some(p)) => format!(
+                                "victim={} hash={} completed={}/{} queue={}",
+                                plan.victim, plan.sub_hash, p.completed, p.total, p.queue_depth
+                            ),
+                            Ok(None) => {
+                                format!("victim={} hash={} not-running", plan.victim, plan.sub_hash)
+                            }
+                            Err(e) => {
+                                format!("victim={} hash={} error={e}", plan.victim, plan.sub_hash)
+                            }
+                        },
+                    );
                     st = shared.state.lock().expect("fleet queue lock");
                     if steal_justified(&poll, &plan, config) {
                         if try_commit_steal(&mut st, &plan, config) {

@@ -5,7 +5,7 @@
 //!            [--cache-entries N] [--campaign-threads N] [--max-specs N]
 //!            [--store-specs N] [--reps R] [--train-seed S] [--train-eager]
 //!            [--read-timeout-secs S] [--write-timeout-secs S]
-//!            [--idle-timeout-secs S]
+//!            [--idle-timeout-secs S] [--flight-dir DIR]
 //! ```
 //!
 //! Serves the wire protocol documented in `docs/SERVE.md`:
@@ -24,7 +24,7 @@ fn usage() -> ! {
          \u{20}                 [--cache-entries N] [--campaign-threads N] [--max-specs N]\n\
          \u{20}                 [--store-specs N] [--reps R] [--train-seed S] [--train-eager]\n\
          \u{20}                 [--read-timeout-secs S] [--write-timeout-secs S]\n\
-         \u{20}                 [--idle-timeout-secs S]"
+         \u{20}                 [--idle-timeout-secs S] [--flight-dir DIR]"
     );
     exit(2);
 }
@@ -66,6 +66,7 @@ fn main() {
                 config.idle_timeout =
                     std::time::Duration::from_secs(next(&mut i).parse().expect("idle timeout"))
             }
+            "--flight-dir" => config.flight_dir = Some(next(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");

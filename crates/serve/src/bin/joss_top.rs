@@ -1,0 +1,199 @@
+//! `joss_top` — the fleet operator console.
+//!
+//! ```text
+//! joss_top --backend HOST:PORT [--backend HOST:PORT ...]
+//!          [--interval-ms N] [--iterations N] [--json]
+//! ```
+//!
+//! Polls every backend's `GET /v1/progress` and `GET /healthz` on an
+//! interval and renders one live table — per-backend uptime, telemetry
+//! state, executor queue depth, active campaign progress with ETA, and a
+//! client-side records/s derived from successive polls (the delta of the
+//! daemon's cumulative `records_streamed` over the poll gap, so it works
+//! against any backend without server-side rate state).
+//!
+//! Plain text, redraw-in-place (ANSI home+clear); `--json` emits one JSON
+//! line per backend per poll instead — the machine-readable mode CI and
+//! scripts consume. The default `--iterations 0` polls forever; pass a
+//! count to stop after N polls (what the smoke tests do).
+
+use joss_serve::client;
+use joss_sweep::json::{self, Value};
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: joss_top --backend HOST:PORT [--backend HOST:PORT ...]\n\
+         \u{20}              [--interval-ms N] [--iterations N] [--json]"
+    );
+    exit(2);
+}
+
+/// What one poll of one backend observed.
+struct Poll {
+    /// `/v1/progress` body, parsed (`None` = unreachable).
+    progress: Option<Value>,
+    /// `/healthz` body, parsed.
+    health: Option<Value>,
+    /// Raw progress body (echoed in `--json` mode).
+    progress_raw: Option<String>,
+    health_raw: Option<String>,
+    at: Instant,
+}
+
+fn fetch(addr: &str, path: &str, timeout: Duration) -> Option<String> {
+    let response = client::get(addr, path, timeout).ok()?;
+    (response.status == 200).then(|| String::from_utf8_lossy(&response.body).into_owned())
+}
+
+fn poll(addr: &str, timeout: Duration) -> Poll {
+    let progress_raw = fetch(addr, "/v1/progress", timeout);
+    let health_raw = fetch(addr, "/healthz", timeout);
+    Poll {
+        progress: progress_raw.as_deref().and_then(|b| json::parse(b).ok()),
+        health: health_raw.as_deref().and_then(|b| json::parse(b).ok()),
+        progress_raw,
+        health_raw,
+        at: Instant::now(),
+    }
+}
+
+fn u64_at(v: &Value, path: &[&str]) -> Option<u64> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_u64()
+}
+
+/// One backend's table row.
+fn render_row(addr: &str, poll: &Poll, prev: Option<&Poll>) -> String {
+    let Some(progress) = poll.progress.as_ref() else {
+        return format!("{addr:<22} unreachable");
+    };
+    let uptime = u64_at(progress, &["uptime_secs"]).unwrap_or(0);
+    let queue = u64_at(progress, &["executor_queue_depth"]).unwrap_or(0);
+    let telemetry = poll
+        .health
+        .as_ref()
+        .and_then(|h| {
+            h.get("telemetry")
+                .and_then(|t| t.as_str().map(String::from))
+        })
+        .unwrap_or_else(|| "?".into());
+    let campaigns = u64_at(progress, &["totals", "campaigns_executed"]).unwrap_or(0);
+    let panics = u64_at(progress, &["totals", "handler_panics"]).unwrap_or(0);
+    let streamed = u64_at(progress, &["totals", "records_streamed"]).unwrap_or(0);
+
+    // Active campaign progress: sum done/total across the in-flight set;
+    // the worst (largest) ETA is the fleet-visible one.
+    let (mut done, mut total, mut eta_ms, mut active_n) = (0u64, 0u64, None::<u64>, 0usize);
+    if let Some(active) = progress.get("active").and_then(|a| a.as_array()) {
+        active_n = active.len();
+        for entry in active {
+            done += u64_at(entry, &["completed"]).unwrap_or(0);
+            total += u64_at(entry, &["total"]).unwrap_or(0);
+            if let Some(eta) = u64_at(entry, &["eta_ms"]) {
+                eta_ms = Some(eta_ms.map_or(eta, |worst: u64| worst.max(eta)));
+            }
+        }
+    }
+    // Records/s from this client's own poll cadence: delta of the
+    // cumulative counter over observed wall time.
+    let rate = prev
+        .and_then(|p| {
+            let prev_streamed = u64_at(p.progress.as_ref()?, &["totals", "records_streamed"])?;
+            let secs = poll.at.duration_since(p.at).as_secs_f64();
+            (secs > 0.0).then(|| streamed.saturating_sub(prev_streamed) as f64 / secs)
+        })
+        .unwrap_or(0.0);
+    format!(
+        "{addr:<22} {uptime:>6} {telemetry:<12} {queue:>5} {active_n:>6} {:>13} {:>8} {rate:>8.1} {campaigns:>9} {panics:>6}",
+        format!("{done}/{total}"),
+        eta_ms.map_or("-".to_string(), |e| e.to_string()),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut backends: Vec<String> = Vec::new();
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations = 0u64; // 0 = forever
+    let mut json_mode = false;
+    let mut i = 1;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => backends.push(next(&mut i)),
+            "--interval-ms" => {
+                interval = Duration::from_millis(next(&mut i).parse().expect("interval ms"))
+            }
+            "--iterations" => iterations = next(&mut i).parse().expect("iteration count"),
+            "--json" => json_mode = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if backends.is_empty() {
+        eprintln!("error: at least one --backend is required");
+        usage();
+    }
+
+    let timeout = Duration::from_secs(5).max(interval);
+    let mut prev: Vec<Option<Poll>> = backends.iter().map(|_| None).collect();
+    let mut iteration = 0u64;
+    loop {
+        iteration += 1;
+        let polls: Vec<Poll> = backends.iter().map(|b| poll(b, timeout)).collect();
+        if json_mode {
+            for (addr, p) in backends.iter().zip(&polls) {
+                println!(
+                    "{{\"backend\":{},\"iteration\":{iteration},\"ok\":{},\"progress\":{},\"health\":{}}}",
+                    json::quote(addr),
+                    p.progress_raw.is_some(),
+                    p.progress_raw.as_deref().unwrap_or("null"),
+                    p.health_raw.as_deref().unwrap_or("null"),
+                );
+            }
+        } else {
+            // Redraw in place: cursor home + clear to end of screen.
+            print!("\x1b[H\x1b[J");
+            println!(
+                "joss_top — {} backend(s), poll {} ms, iteration {iteration}",
+                backends.len(),
+                interval.as_millis()
+            );
+            println!(
+                "{:<22} {:>6} {:<12} {:>5} {:>6} {:>13} {:>8} {:>8} {:>9} {:>6}",
+                "BACKEND",
+                "UP(s)",
+                "TELEMETRY",
+                "QUEUE",
+                "ACTIVE",
+                "DONE/TOTAL",
+                "ETA(ms)",
+                "REC/S",
+                "CAMPAIGNS",
+                "PANICS"
+            );
+            for ((addr, p), prev_poll) in backends.iter().zip(&polls).zip(&prev) {
+                println!("{}", render_row(addr, p, prev_poll.as_ref()));
+            }
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = polls.into_iter().map(Some).collect();
+        if iterations > 0 && iteration >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}

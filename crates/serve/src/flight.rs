@@ -1,0 +1,139 @@
+//! Flight recorder: one self-contained JSON artifact capturing what the
+//! daemon was doing when something went wrong, dumped while the evidence
+//! is still in the in-memory rings.
+//!
+//! An artifact bundles the last trace-ring events (the seconds *before*
+//! the incident), a full metrics snapshot, the capped windows of recent
+//! request ids and panic request ids, the daemon's `/stats` view, and —
+//! when the trigger was a specific campaign — the offending grid's
+//! canonical JSON. Post-mortems read the artifact instead of trying to
+//! reproduce the crash.
+//!
+//! Two triggers share [`record`]: the executor pool's panic containment
+//! (automatic, attributed to the panicking request id) and
+//! `GET /debug/flight` (on demand — "snapshot everything now"). When the
+//! daemon was started with `--flight-dir` the artifact is also persisted
+//! as `flight-NNNN-<reason>-<request id>.json`; without it the artifact
+//! only travels inline in the `/debug/flight` response.
+
+use crate::server::State;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Trace events retained per artifact (the tail of the ring — the run-up
+/// to the incident, not the whole history).
+const TRACE_TAIL: usize = 256;
+
+/// Build the artifact JSON. `grid` is the offending campaign's canonical
+/// JSON when the trigger was a specific job, `None` for on-demand dumps.
+pub(crate) fn flight_json(
+    state: &State,
+    reason: &str,
+    request_id: &str,
+    grid: Option<&str>,
+) -> String {
+    // The JSONL snapshot's lines are each a self-describing JSON object;
+    // splitting catalog lines from trace lines and re-joining with commas
+    // embeds them as two well-formed arrays. Only the trace tail is kept
+    // — the incident's run-up, not RING_CAP events of history.
+    let snapshot = joss_telemetry::snapshot_jsonl();
+    let (mut metrics, mut traces) = (Vec::new(), Vec::new());
+    for line in snapshot.lines() {
+        if line.contains("\"kind\":\"trace\"") {
+            traces.push(line);
+        } else {
+            metrics.push(line);
+        }
+    }
+    let trace_tail = &traces[traces.len().saturating_sub(TRACE_TAIL)..];
+
+    let mut out = String::with_capacity(32 * 1024);
+    let _ = write!(
+        out,
+        "{{\"flight_schema\":1,\"reason\":{},\"request_id\":{},\"uptime_secs\":{},\
+         \"version\":{},\"grid\":{},",
+        joss_sweep::json::quote(reason),
+        joss_sweep::json::quote(request_id),
+        state.uptime_secs(),
+        joss_sweep::json::quote(env!("CARGO_PKG_VERSION")),
+        grid.map_or("null".to_string(), |g| g.to_string()),
+    );
+    out.push_str("\"recent_request_ids\":[");
+    for (i, rid) in state
+        .recent_requests
+        .lock()
+        .expect("recent requests")
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&joss_sweep::json::quote(rid));
+    }
+    out.push_str("],\"recent_panic_request_ids\":[");
+    for (i, rid) in state
+        .recent_panics
+        .lock()
+        .expect("recent panics")
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&joss_sweep::json::quote(rid));
+    }
+    let _ = write!(
+        out,
+        "],\"stats\":{},\"metrics\":[{}],\"trace_tail\":[{}]}}",
+        state.stats_json(),
+        metrics.join(","),
+        trace_tail.join(","),
+    );
+    out
+}
+
+/// Record one flight artifact: always built, persisted to the configured
+/// `--flight-dir` when there is one. Returns the written path (for logs
+/// and tests) or `None` when persistence is disabled or failed — a
+/// failing disk must not take down panic containment, so write errors are
+/// logged and swallowed.
+pub(crate) fn record(
+    state: &State,
+    reason: &str,
+    request_id: &str,
+    grid: Option<&str>,
+) -> Option<PathBuf> {
+    let body = flight_json(state, reason, request_id, grid);
+    persist(state, reason, request_id, &body)
+}
+
+/// Persist an already-built artifact (the `/debug/flight` handler builds
+/// the body once and both returns and persists it).
+pub(crate) fn persist(
+    state: &State,
+    reason: &str,
+    request_id: &str,
+    body: &str,
+) -> Option<PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = state.config.flight_dir.as_deref()?;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = PathBuf::from(dir).join(format!("flight-{seq:04}-{reason}-{request_id}.json"));
+    let write = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body));
+    match write {
+        Ok(()) => {
+            eprintln!("[joss_serve] flight artifact written: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "[joss_serve] flight artifact write failed ({}): {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}

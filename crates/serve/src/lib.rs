@@ -44,6 +44,7 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+mod flight;
 pub mod http;
 pub mod loadgen;
 mod reactor;

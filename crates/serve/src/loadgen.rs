@@ -111,7 +111,14 @@ pub struct LoadReport {
     pub first_body: Option<Vec<u8>>,
     /// First verification failure, if any (diagnostics).
     pub first_malformation: Option<String>,
+    /// The `X-Joss-Request-Id`s of the [`WORST_K`] worst-latency
+    /// successful requests, worst first — the join key between a
+    /// client-observed tail latency and the server's trace ring.
+    pub worst: Vec<(Duration, String)>,
 }
+
+/// How many worst-latency request ids the report keeps.
+pub const WORST_K: usize = 5;
 
 impl LoadReport {
     /// Latency at percentile `p` (0–100) over successful requests.
@@ -133,7 +140,7 @@ impl LoadReport {
 
     /// Human summary (the `joss_loadgen` output).
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "ok {} | shed(503) {} | malformed {} | errors {} | records {} | \
              cache hits {} | conns {} ({:.1} req/conn) | {:.1} req/s | \
              p50 {:.1} ms | p90 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
@@ -159,7 +166,17 @@ impl LoadReport {
                 .unwrap_or_default()
                 .as_secs_f64()
                 * 1e3,
-        )
+        );
+        if !self.worst.is_empty() {
+            out.push_str("\nworst request ids:");
+            for (latency, rid) in &self.worst {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(" {rid}={:.1}ms", latency.as_secs_f64() * 1e3),
+                );
+            }
+        }
+        out
     }
 }
 
@@ -171,6 +188,21 @@ struct Tally {
     records: usize,
     cache_hits: usize,
     latencies: Vec<Duration>,
+    /// This client's worst-latency (latency, request id) pairs, worst
+    /// first, capped at [`WORST_K`]; merged across clients in the report.
+    worst: Vec<(Duration, String)>,
+}
+
+impl Tally {
+    fn note_worst(&mut self, latency: Duration, request_id: Option<&str>) {
+        let Some(rid) = request_id else {
+            return;
+        };
+        self.worst.push((latency, rid.to_string()));
+        self.worst
+            .sort_by_key(|(latency, _)| std::cmp::Reverse(*latency));
+        self.worst.truncate(WORST_K);
+    }
 }
 
 /// One client's connection slot: holds the kept-alive connection between
@@ -295,6 +327,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         elapsed,
         first_body: first_body.into_inner().expect("first body lock"),
         first_malformation: first_malformation.into_inner().expect("malformation lock"),
+        worst: Vec::new(),
     };
     for (tally, dials) in tallies {
         report.ok += tally.ok;
@@ -304,8 +337,13 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         report.cache_hits += tally.cache_hits;
         report.connections += dials;
         report.latencies.extend(tally.latencies);
+        report.worst.extend(tally.worst);
     }
     report.latencies.sort();
+    report
+        .worst
+        .sort_by_key(|(latency, _)| std::cmp::Reverse(*latency));
+    report.worst.truncate(WORST_K);
     report
 }
 
@@ -364,7 +402,9 @@ fn drive_one(
                     tally.cache_hits += 1;
                 }
                 tally.ok += 1;
-                tally.latencies.push(t0.elapsed());
+                let latency = t0.elapsed();
+                tally.latencies.push(latency);
+                tally.note_worst(latency, response.header("x-joss-request-id"));
                 if !config.vary_seeds {
                     let mut slot = first_body.lock().expect("first body lock");
                     if slot.is_none() {

@@ -50,6 +50,14 @@ const OUT_PARSE_PAUSE: usize = 1024 * 1024;
 const IN_MAX_BUFFER: usize = 2 * 1024 * 1024;
 /// Poll tick used for deadline sweeps.
 const SWEEP_TICK: Duration = Duration::from_millis(50);
+/// Outbound bytes above which a due `/v1/watch` snapshot is dropped
+/// instead of queued — a watcher that stops reading gets gaps, not an
+/// unbounded queue (and eventually the write-stall reaper).
+const WATCH_DROP_WATER: usize = 64 * 1024;
+/// How often the reactor refreshes the scrape-sampled gauges outside of
+/// `/metrics` scrapes, so the background time-series sampler sees live
+/// queue-depth and active-campaign values.
+const GAUGE_REFRESH: Duration = Duration::from_secs(1);
 
 // ---------------------------------------------------------------------------
 // Outbound queue
@@ -306,13 +314,25 @@ fn cap_send_buffer(stream: &TcpStream) {
 #[cfg(not(target_os = "linux"))]
 fn cap_send_buffer(_stream: &TcpStream) {}
 
+/// One `/v1/watch` subscription: the reactor pushes a chunk-framed
+/// progress snapshot into the connection's queue every `interval` until
+/// the client disconnects (or `remaining` runs out).
+struct Watch {
+    interval: Duration,
+    due: Instant,
+    /// Snapshots left to send (`?n=`); `None` streams until disconnect.
+    remaining: Option<u64>,
+}
+
 pub(crate) fn run(listener: TcpListener, state: Arc<State>) -> io::Result<()> {
     Reactor {
         listener,
         state,
         conns: HashMap::new(),
+        watches: HashMap::new(),
         next_key: LISTENER_KEY + 1,
         events: Vec::new(),
+        last_gauge_refresh: Instant::now(),
     }
     .run()
 }
@@ -321,8 +341,11 @@ struct Reactor {
     listener: TcpListener,
     state: Arc<State>,
     conns: HashMap<usize, Conn>,
+    /// Connections subscribed to `/v1/watch`, by connection key.
+    watches: HashMap<usize, Watch>,
     next_key: usize,
     events: Vec<Event>,
+    last_gauge_refresh: Instant,
 }
 
 impl Reactor {
@@ -360,12 +383,30 @@ impl Reactor {
                 self.service(key);
             }
 
+            self.push_watch_frames();
             self.sweep_deadlines();
+
+            // Keep the scrape-sampled gauges fresh for the background
+            // time-series sampler even when nothing scrapes `/metrics`.
+            if self.last_gauge_refresh.elapsed() >= GAUGE_REFRESH {
+                self.last_gauge_refresh = Instant::now();
+                tm::SERVE_EXECUTOR_QUEUE_DEPTH.set(self.state.jobs.len() as i64);
+                tm::SERVE_ACTIVE_CAMPAIGNS.set(
+                    self.state
+                        .active_campaigns
+                        .lock()
+                        .expect("active campaigns")
+                        .len() as i64,
+                );
+            }
 
             if self.state.shutdown.load(Ordering::Acquire) {
                 if !shutting_down {
                     shutting_down = true;
                     let _ = self.state.poller.delete(&self.listener);
+                    // Watch streams are open-ended: terminate them cleanly
+                    // so their connections can flush and close.
+                    self.finish_watches();
                     // Existing connections finish what is in flight, then
                     // close; idle ones close now.
                     let keys: Vec<usize> = self.conns.keys().copied().collect();
@@ -435,6 +476,7 @@ impl Reactor {
     }
 
     fn remove(&mut self, key: usize, io_error: bool) {
+        self.watches.remove(&key);
         if let Some(conn) = self.conns.remove(&key) {
             if io_error {
                 Stats::bump(&self.state.stats.io_errors, &tm::SERVE_IO_ERRORS);
@@ -457,8 +499,11 @@ impl Reactor {
                 Ok(0) => {
                     // Peer closed. Mid-request or mid-stream that is an
                     // abnormal drop; between requests it is a clean end of
-                    // a keep-alive session.
-                    let abnormal = conn.has_partial_request() || conn.streaming;
+                    // a keep-alive session — and so is a watcher hanging
+                    // up on its open-ended `/v1/watch` stream, which is
+                    // that endpoint's documented way to unsubscribe.
+                    let abnormal = (conn.has_partial_request() || conn.streaming)
+                        && !self.watches.contains_key(&key);
                     self.remove(key, abnormal);
                     return;
                 }
@@ -620,7 +665,10 @@ impl Reactor {
             "request",
             format!("{} {} {rid}", request.method, request.path),
         );
-        match (request.method.as_str(), request.path.as_str()) {
+        state.note_request(&rid);
+        let (path, query) = split_query(&request.path);
+        let debug_panic = request.header("x-joss-debug-panic").is_some();
+        match (request.method.as_str(), path) {
             // Besides liveness, /healthz carries everything a fleet
             // coordinator needs to decide whether this backend's records
             // can be merged with another's: the training parameters
@@ -676,8 +724,108 @@ impl Reactor {
                 bytes.extend_from_slice(body.as_bytes());
                 self.respond(key, bytes);
             }
-            ("POST", "/v1/campaign") => self.campaign(key, request.body, keep, rid, tid),
-            (_, "/v1/campaign") | (_, "/healthz") | (_, "/stats") | (_, "/metrics") => {
+            // Live campaign progress: one point-in-time JSON snapshot.
+            ("GET", "/v1/progress") => {
+                self.respond(
+                    key,
+                    http::json_response_with(
+                        200,
+                        &state.progress_json(),
+                        !keep,
+                        &[("X-Joss-Request-Id", &rid)],
+                    ),
+                );
+            }
+            // Streaming progress: chunk-framed NDJSON snapshots pushed
+            // every `interval_ms` (default 1 s) until the client hangs up
+            // (or `n` snapshots have been sent). The first snapshot goes
+            // out immediately.
+            ("GET", "/v1/watch") => {
+                let interval_ms = query_param(query, "interval_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(1000)
+                    .clamp(20, 60_000);
+                let remaining = query_param(query, "n")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0);
+                let mut head = Vec::with_capacity(256);
+                http::head_bytes(
+                    &mut head,
+                    200,
+                    &[
+                        ("Content-Type", "application/x-ndjson"),
+                        ("X-Joss-Request-Id", &rid),
+                        ("Transfer-Encoding", "chunked"),
+                    ],
+                    !keep,
+                );
+                let mut line = state.progress_json().into_bytes();
+                line.push(b'\n');
+                let mut frame = Vec::with_capacity(line.len() + 16);
+                http::encode_chunk(&line, &mut frame);
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.out.push(Seg::Owned(head));
+                    conn.out.push(Seg::Owned(frame));
+                    let remaining = remaining.map(|n| n - 1);
+                    if remaining == Some(0) {
+                        conn.out.push(Seg::Owned(http::CHUNK_TERMINATOR.to_vec()));
+                        conn.out.finish_stream();
+                    } else {
+                        // Parsing pauses while the open-ended stream is in
+                        // flight; the periodic frames come from
+                        // `push_watch_frames`.
+                        conn.streaming = true;
+                        let interval = Duration::from_millis(interval_ms);
+                        self.watches.insert(
+                            key,
+                            Watch {
+                                interval,
+                                due: Instant::now() + interval,
+                                remaining,
+                            },
+                        );
+                    }
+                }
+            }
+            // Derived rates over the sampler's ring. `?window_secs=N`
+            // bounds the lookback; `?sample=1` forces a sample first
+            // (deterministic tests; impatient operators).
+            ("GET", "/v1/timeseries") => {
+                if query_param(query, "sample").is_some_and(|v| v != "0") {
+                    joss_telemetry::timeseries::sample_now();
+                }
+                let window = query_param(query, "window_secs")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(60)
+                    .clamp(1, 3600);
+                let body = joss_telemetry::timeseries::render_json(Duration::from_secs(window));
+                self.respond(
+                    key,
+                    http::json_response_with(200, &body, !keep, &[("X-Joss-Request-Id", &rid)]),
+                );
+            }
+            // On-demand flight dump: build the artifact, persist it when
+            // a `--flight-dir` is configured, and return it inline either
+            // way.
+            ("GET", "/debug/flight") => {
+                let body = crate::flight::flight_json(&state, "on-demand", &rid, None);
+                crate::flight::persist(&state, "on-demand", &rid, &body);
+                self.respond(
+                    key,
+                    http::json_response_with(200, &body, !keep, &[("X-Joss-Request-Id", &rid)]),
+                );
+            }
+            ("POST", "/v1/campaign") => {
+                self.campaign(key, request.body, keep, rid, tid, debug_panic)
+            }
+            (_, "/v1/campaign")
+            | (_, "/healthz")
+            | (_, "/stats")
+            | (_, "/metrics")
+            | (_, "/v1/progress")
+            | (_, "/v1/watch")
+            | (_, "/v1/timeseries")
+            | (_, "/debug/flight") => {
                 Stats::bump(&state.stats.bad_requests, &tm::SERVE_BAD_REQUESTS);
                 self.respond(
                     key,
@@ -711,7 +859,15 @@ impl Reactor {
 
     /// The campaign endpoint: memoized raw-body hit → parse → cache →
     /// shard-of-cached-parent slice → admission → executor job.
-    fn campaign(&mut self, key: usize, raw: Vec<u8>, keep: bool, rid: String, tid: u64) {
+    fn campaign(
+        &mut self,
+        key: usize,
+        raw: Vec<u8>,
+        keep: bool,
+        rid: String,
+        tid: u64,
+        debug_panic: bool,
+    ) {
         let state = Arc::clone(&self.state);
         // The scrape-consistency identity (asserted by tests and the CI
         // gate): every request counted here leaves through exactly one of
@@ -865,8 +1021,67 @@ impl Reactor {
             close_after: !keep,
             request_id: rid,
             trace: tid,
+            debug_panic,
             permit,
         });
+    }
+
+    /// Push a chunk-framed progress snapshot into every `/v1/watch`
+    /// subscription whose interval elapsed. A subscription whose queue is
+    /// already deep ([`WATCH_DROP_WATER`]) skips this snapshot — watchers
+    /// get gaps, never an unbounded queue.
+    fn push_watch_frames(&mut self) {
+        if self.watches.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<usize> = self
+            .watches
+            .iter()
+            .filter(|(_, w)| now >= w.due)
+            .map(|(&k, _)| k)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        // One snapshot per tick serves every due watcher.
+        let mut line = self.state.progress_json().into_bytes();
+        line.push(b'\n');
+        for key in due {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                self.watches.remove(&key);
+                continue;
+            };
+            let watch = self.watches.get_mut(&key).expect("due watch");
+            watch.due = now + watch.interval;
+            if conn.out.queued() < WATCH_DROP_WATER {
+                let mut frame = Vec::with_capacity(line.len() + 16);
+                http::encode_chunk(&line, &mut frame);
+                conn.out.push(Seg::Owned(frame));
+                if let Some(rem) = watch.remaining.as_mut() {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        conn.out.push(Seg::Owned(http::CHUNK_TERMINATOR.to_vec()));
+                        conn.out.finish_stream();
+                        self.watches.remove(&key);
+                    }
+                }
+            }
+            self.service(key);
+        }
+    }
+
+    /// Terminate every open watch stream (shutdown): the chunked body
+    /// ends cleanly and the connection becomes flushable/closable.
+    fn finish_watches(&mut self) {
+        let keys: Vec<usize> = self.watches.keys().copied().collect();
+        for key in keys {
+            self.watches.remove(&key);
+            if let Some(conn) = self.conns.get_mut(&key) {
+                conn.out.push(Seg::Owned(http::CHUNK_TERMINATOR.to_vec()));
+                conn.out.finish_stream();
+            }
+        }
     }
 
     /// Serve a cached body: one owned head segment plus one shared body
@@ -940,4 +1155,21 @@ impl Reactor {
 
 pub(crate) fn error_json(msg: &str) -> String {
     format!("{{\"error\":{}}}", joss_sweep::json::quote(msg))
+}
+
+/// Split a request target into path and query: `/a/b?x=1` → (`/a/b`, `x=1`).
+fn split_query(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// Value of `name` in an `x=1&y=2` query string (no percent-decoding —
+/// every parameter this daemon accepts is numeric).
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == name).then_some(v)
+    })
 }

@@ -43,7 +43,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration; [`ServeConfig::default`] matches the CLI defaults.
 #[derive(Debug, Clone)]
@@ -86,6 +86,10 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// How long an idle keep-alive connection is kept before being reaped.
     pub idle_timeout: Duration,
+    /// Directory flight-recorder artifacts are written to (`--flight-dir`).
+    /// `None` disables persistence; `GET /debug/flight` still answers with
+    /// the artifact inline.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +108,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(60),
+            flight_dir: None,
         }
     }
 }
@@ -174,6 +179,10 @@ pub(crate) struct Job {
     /// Trace id adopted from `X-Joss-Trace` (0 = client sent none);
     /// installed as the executor thread's current trace for the job.
     pub(crate) trace: u64,
+    /// Request carried `X-Joss-Debug-Panic`: panic at the top of the
+    /// handler. The deterministic trigger the flight-recorder smoke tests
+    /// (and CI's forced-dump step) use — never set by real traffic.
+    pub(crate) debug_panic: bool,
     /// Admission slot, held from reactor-side admission until the job is
     /// done (dropped here even on panic, via the permit's RAII release).
     pub(crate) permit: Permit,
@@ -227,8 +236,16 @@ pub(crate) struct ActiveCampaign {
     pub(crate) hash: String,
     /// Specs this campaign will emit.
     pub(crate) total: usize,
-    /// Specs emitted so far (monotonic, ends at `total`).
+    /// Specs emitted so far (monotonic, ends at `total`). Every completed
+    /// spec is exactly one streamed record line, so this doubles as the
+    /// campaign's records-streamed count.
     pub(crate) completed: AtomicUsize,
+    /// Specs of this range spliced in from the per-spec store instead of
+    /// simulated (set once the store has been consulted).
+    pub(crate) store_spliced: AtomicUsize,
+    /// When the executor picked the campaign up — the base of the
+    /// `/v1/progress` rate and ETA derivation.
+    pub(crate) started: Instant,
 }
 
 /// Shared per-process serving state.
@@ -253,10 +270,19 @@ pub(crate) struct State {
     /// Request ids of the most recent contained handler panics (capped),
     /// surfaced in `/stats` so a panic is attributable to its request.
     pub(crate) recent_panics: Mutex<VecDeque<String>>,
+    /// Request ids of the most recent routed requests (capped), dumped by
+    /// the flight recorder so a post-mortem sees what the daemon was
+    /// serving in the moments before an incident.
+    pub(crate) recent_requests: Mutex<VecDeque<String>>,
+    /// When the daemon bound its listener (`uptime_secs` everywhere).
+    pub(crate) started: Instant,
 }
 
 /// How many panic request ids `/stats` retains.
 const RECENT_PANICS_CAP: usize = 8;
+
+/// How many routed request ids the flight recorder retains.
+const RECENT_REQUESTS_CAP: usize = 32;
 
 /// RAII registration of an [`ActiveCampaign`]: deregisters on drop, so a
 /// panicking handler cannot leave a ghost entry in `/stats`.
@@ -289,6 +315,83 @@ impl State {
     pub(crate) fn wake(&self, key: usize) {
         self.wakes.lock().expect("wake list").push(key);
         let _ = self.poller.notify();
+    }
+
+    /// Remember a routed request id in the flight recorder's capped window.
+    pub(crate) fn note_request(&self, request_id: &str) {
+        let mut recent = self.recent_requests.lock().expect("recent requests");
+        if recent.len() >= RECENT_REQUESTS_CAP {
+            recent.pop_front();
+        }
+        recent.push_back(request_id.to_string());
+    }
+
+    /// Whole seconds since the listener bound.
+    pub(crate) fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The `GET /v1/progress` body: per-campaign live state with a rate
+    /// and ETA derived from elapsed wall time, plus the cumulative totals
+    /// an operator reads next to them. `eta_ms` is `null` until the first
+    /// spec completes (no observed rate to extrapolate from).
+    pub(crate) fn progress_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut active = String::from("[");
+        for (i, entry) in self
+            .active_campaigns
+            .lock()
+            .expect("active campaigns")
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                active.push(',');
+            }
+            let completed = entry.completed.load(Ordering::Relaxed);
+            let elapsed = entry.started.elapsed();
+            let elapsed_ms = elapsed.as_millis().min(u64::MAX as u128) as u64;
+            let secs = elapsed.as_secs_f64();
+            let per_sec = if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            };
+            let eta_ms = if completed > 0 && per_sec > 0.0 {
+                let remaining = entry.total.saturating_sub(completed);
+                format!("{}", (remaining as f64 / per_sec * 1e3) as u64)
+            } else {
+                "null".into()
+            };
+            let _ = write!(
+                active,
+                "{{\"hash\":{},\"completed\":{},\"total\":{},\"records_streamed\":{},\
+                 \"store_spliced\":{},\"elapsed_ms\":{},\"specs_per_sec\":{:.3},\"eta_ms\":{}}}",
+                joss_sweep::json::quote(&entry.hash),
+                completed,
+                entry.total,
+                completed,
+                entry.store_spliced.load(Ordering::Relaxed),
+                elapsed_ms,
+                per_sec,
+                eta_ms,
+            );
+        }
+        active.push(']');
+        format!(
+            "{{\"progress_schema\":1,\"uptime_secs\":{},\"executor_queue_depth\":{},\
+             \"active\":{active},\
+             \"totals\":{{\"campaigns_executed\":{},\"cache_hits\":{},\"store_hits\":{},\
+             \"store_spec_hits\":{},\"records_streamed\":{},\"handler_panics\":{}}}}}",
+            self.uptime_secs(),
+            self.jobs.len(),
+            Stats::get(&self.stats.campaigns_executed),
+            Stats::get(&self.stats.cache_hits),
+            Stats::get(&self.stats.store_hits),
+            Stats::get(&self.stats.store_spec_hits),
+            Stats::get(&self.stats.records_streamed),
+            Stats::get(&self.stats.handler_panics),
+        )
     }
 
     pub(crate) fn stats_json(&self) -> String {
@@ -369,7 +472,7 @@ impl State {
             )
         };
         format!(
-            "{{\"stats_schema\":2,\
+            "{{\"stats_schema\":3,\"uptime_secs\":{},\
              \"requests\":{},\"connections\":{},\"campaigns_executed\":{},\"cache_hits\":{},\
              \"rejected_503\":{},\"bad_requests\":{},\"records_streamed\":{},\
              \"io_errors\":{},\"handler_panics\":{},\"store_hits\":{},\"store_spec_hits\":{},\
@@ -378,6 +481,7 @@ impl State {
              \"max_inflight\":{},\"available_permits\":{},\"train_seed\":{},\"reps\":{},\
              \"recent_panic_request_ids\":{panics},\"fleet\":{fleet},\
              \"schema\":{}}}",
+            self.uptime_secs(),
             Stats::get(&self.stats.requests),
             Stats::get(&self.stats.connections),
             Stats::get(&self.stats.campaigns_executed),
@@ -403,14 +507,25 @@ impl State {
     }
 
     pub(crate) fn health_json(&self) -> String {
+        // `telemetry` distinguishes a quiet backend ("on", nothing
+        // happening) from a blind one ("compiled-out" build or runtime
+        // "disabled") — `joss_top` shows it per backend.
+        let telemetry = if joss_telemetry::COMPILED_OUT {
+            "compiled-out"
+        } else if joss_telemetry::enabled() {
+            "on"
+        } else {
+            "disabled"
+        };
         format!(
             "{{\"status\":\"ok\",\"trained\":{},\"train_seed\":{},\"reps\":{},\
-             \"schema\":{},\"version\":{}}}",
+             \"schema\":{},\"version\":{},\"uptime_secs\":{},\"telemetry\":\"{telemetry}\"}}",
             self.ctx.get().is_some(),
             self.config.train_seed,
             self.config.reps,
             joss_sweep::json::quote(joss_sweep::RECORD_SCHEMA),
             joss_sweep::json::quote(env!("CARGO_PKG_VERSION")),
+            self.uptime_secs(),
         )
     }
 }
@@ -438,8 +553,13 @@ impl Server {
             active_campaigns: Mutex::new(Vec::new()),
             wakes: Mutex::new(Vec::new()),
             recent_panics: Mutex::new(VecDeque::new()),
+            recent_requests: Mutex::new(VecDeque::new()),
+            started: Instant::now(),
             config,
         });
+        // Feed the time-series ring for `/v1/timeseries` (idempotent; a
+        // no-op thread under `telemetry-off`).
+        joss_telemetry::timeseries::start_sampler(joss_telemetry::timeseries::DEFAULT_INTERVAL);
         Ok(Server { listener, state })
     }
 
@@ -521,6 +641,10 @@ fn executor_loop(state: &Arc<State>) {
         let key = job.key;
         let out = Arc::clone(&job.out);
         let request_id = job.request_id.clone();
+        // Kept out of the job so the flight recorder can dump the
+        // offending grid even after the handler consumed (and panicked
+        // over) the job itself.
+        let canonical = job.canonical.clone();
         // The job's trace becomes this thread's current trace for the
         // duration of the run, so campaign/spec spans recorded anywhere
         // below tag themselves with it; restored even on panic.
@@ -545,8 +669,12 @@ fn executor_loop(state: &Arc<State>) {
             if recent.len() >= RECENT_PANICS_CAP {
                 recent.pop_front();
             }
-            recent.push_back(request_id);
+            recent.push_back(request_id.clone());
             drop(recent);
+            // The post-mortem artifact: trace tail, metrics, recent
+            // request ids, and the grid that blew up, dumped while the
+            // evidence is still in the rings.
+            crate::flight::record(state, "panic", &request_id, Some(&canonical));
             out.close();
         }
         state.active_jobs.fetch_sub(1, Ordering::AcqRel);
@@ -568,8 +696,12 @@ fn run_job(state: &Arc<State>, job: Job) {
         close_after,
         request_id,
         trace,
+        debug_panic,
         permit: _permit,
     } = job;
+    if debug_panic {
+        panic!("debug panic requested by {request_id}");
+    }
     let span = joss_telemetry::Span::with_trace(trace, "campaign_miss", request_id.clone());
 
     // Train-once (first admitted campaign pays it), then validate against
@@ -644,6 +776,8 @@ fn run_job(state: &Arc<State>, job: Job) {
         hash: hash.clone(),
         total: run_count,
         completed: AtomicUsize::new(0),
+        store_spliced: AtomicUsize::new(0),
+        started: Instant::now(),
     });
     state
         .active_campaigns
@@ -666,6 +800,9 @@ fn run_job(state: &Arc<State>, job: Job) {
         .snapshot_range(&base_canonical, index_base, index_base + run_count)
         .unwrap_or_else(|| vec![None; run_count]);
     let stored_hits = stored.iter().filter(|line| line.is_some()).count() as u64;
+    progress
+        .store_spliced
+        .store(stored_hits as usize, Ordering::Relaxed);
     if stored_hits > 0 {
         state
             .stats

@@ -1,0 +1,275 @@
+//! Observability-plane tests over real sockets: the progress and watch
+//! endpoints, the time-series layer, the flight recorder (on demand and
+//! from panic containment), and the loadgen's worst-request attribution.
+//!
+//! The load-bearing assertion is the panic one: killing a worker
+//! mid-campaign must leave a flight artifact on disk that names the
+//! panicking request id — the post-mortem trail the recorder exists for.
+
+use joss_serve::{client, loadgen, LoadgenConfig, ServeConfig, Server, ServerHandle};
+use joss_sweep::json::{self, Value};
+use joss_sweep::{GridDesc, SchedulerKind};
+use joss_workloads::Scale;
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn tiny_desc() -> GridDesc {
+    GridDesc {
+        workloads: vec!["DP".into()],
+        schedulers: vec![SchedulerKind::Grws, SchedulerKind::Joss],
+        seeds: vec![42],
+        scale: Scale::Divided(400),
+        record_trace: false,
+        shard: None,
+    }
+}
+
+fn boot(configure: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        reps: 1,
+        workers: 4,
+        campaign_threads: 2,
+        ..ServeConfig::default()
+    };
+    configure(&mut config);
+    Server::bind(config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// A fresh per-test scratch directory (no tempfile dependency).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("joss-flight-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn get_json(addr: &str, path: &str) -> Value {
+    let response = client::get(addr, path, TIMEOUT).expect("GET");
+    assert_eq!(response.status, 200, "{path}: {}", response.body_text());
+    json::parse(&response.body_text()).unwrap_or_else(|e| panic!("{path} sent bad JSON: {e}"))
+}
+
+fn u64_at(v: &Value, path: &[&str]) -> Option<u64> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_u64()
+}
+
+#[test]
+fn progress_reports_campaign_totals_and_uptime() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let response = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("campaign");
+    assert_eq!(response.status, 200);
+
+    let progress = get_json(&addr, "/v1/progress");
+    assert_eq!(u64_at(&progress, &["progress_schema"]), Some(1));
+    assert!(u64_at(&progress, &["uptime_secs"]).is_some());
+    assert!(u64_at(&progress, &["executor_queue_depth"]).is_some());
+    assert!(
+        progress.get("active").and_then(Value::as_array).is_some(),
+        "progress must always carry the active array"
+    );
+    assert!(u64_at(&progress, &["totals", "campaigns_executed"]) >= Some(1));
+    assert!(u64_at(&progress, &["totals", "records_streamed"]) >= Some(2));
+    assert_eq!(u64_at(&progress, &["totals", "handler_panics"]), Some(0));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn healthz_carries_uptime_and_telemetry_state() {
+    let handle = boot(|_| {});
+    let health = get_json(&handle.addr().to_string(), "/healthz");
+    assert!(u64_at(&health, &["uptime_secs"]).is_some());
+    let telemetry = health
+        .get("telemetry")
+        .and_then(Value::as_str)
+        .expect("telemetry field");
+    assert!(
+        ["on", "disabled", "compiled-out"].contains(&telemetry),
+        "unexpected telemetry state {telemetry:?}"
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn watch_streams_n_snapshots_then_ends_the_stream() {
+    let handle = boot(|_| {});
+    let addr = handle.addr().to_string();
+    let response =
+        client::get(&addr, "/v1/watch?interval_ms=20&n=3", TIMEOUT).expect("watch stream");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("application/x-ndjson")
+    );
+    let body = response.body_text();
+    let frames: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(
+        frames.len() >= 3,
+        "asked for 3 snapshots, got {}: {body:?}",
+        frames.len()
+    );
+    for frame in frames {
+        let parsed = json::parse(frame).expect("each frame is one JSON object");
+        assert_eq!(u64_at(&parsed, &["progress_schema"]), Some(1));
+    }
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn timeseries_endpoint_serves_sampled_history() {
+    let handle = boot(|_| {});
+    let series = get_json(&handle.addr().to_string(), "/v1/timeseries?sample=1");
+    assert_eq!(u64_at(&series, &["timeseries_schema"]), Some(1));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn flight_endpoint_dumps_inline_and_persists_an_artifact() {
+    let dir = scratch_dir("ondemand");
+    let handle = boot(|c| c.flight_dir = Some(dir.to_string_lossy().into_owned()));
+    let addr = handle.addr().to_string();
+    let response = client::run_campaign(&addr, &tiny_desc(), TIMEOUT).expect("campaign");
+    let rid = response
+        .header("x-joss-request-id")
+        .expect("request id header")
+        .to_string();
+
+    let flight = get_json(&addr, "/debug/flight");
+    assert_eq!(u64_at(&flight, &["flight_schema"]), Some(1));
+    assert_eq!(
+        flight.get("reason").and_then(Value::as_str),
+        Some("on-demand")
+    );
+    assert!(flight.get("stats").is_some());
+    assert!(flight.get("metrics").and_then(Value::as_array).is_some());
+    assert!(flight.get("trace_tail").and_then(Value::as_array).is_some());
+    // The campaign that just ran is in the recent-request window.
+    let recent = flight
+        .get("recent_request_ids")
+        .and_then(Value::as_array)
+        .expect("recent request ids");
+    assert!(
+        recent.iter().any(|r| r.as_str() == Some(rid.as_str())),
+        "recent ids {recent:?} should contain {rid}"
+    );
+
+    let artifacts: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("flight dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(artifacts.len(), 1, "one on-demand dump: {artifacts:?}");
+    let text = std::fs::read_to_string(&artifacts[0]).expect("artifact readable");
+    assert!(text.contains("\"flight_schema\":1"));
+    json::parse(&text).expect("persisted artifact is valid JSON");
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_panic_leaves_a_flight_artifact_naming_the_request() {
+    let dir = scratch_dir("panic");
+    let handle = boot(|c| c.flight_dir = Some(dir.to_string_lossy().into_owned()));
+    let addr = handle.addr().to_string();
+
+    // A known 16-hex trace id: the daemon adopts it as the request id, so
+    // the artifact's attribution is checkable end to end.
+    let rid = "deadbeefcafef00d";
+    let mut desc = tiny_desc();
+    desc.seeds = vec![0xdead]; // unique grid: defeat the cache, force a job
+    let canonical = desc.to_canonical_json();
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "POST /v1/campaign HTTP/1.1\r\nHost: {addr}\r\nX-Joss-Trace: {rid}\r\n\
+         X-Joss-Debug-Panic: 1\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{canonical}",
+        canonical.len()
+    )
+    .expect("send doomed campaign");
+    // The worker panics instead of responding; the reactor drops the
+    // connection. Whatever bytes (if any) arrive are irrelevant.
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+
+    // Panic containment runs on the worker thread; give it a moment.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let artifact = loop {
+        let found = std::fs::read_dir(&dir)
+            .expect("flight dir")
+            .map(|e| e.expect("dir entry").path())
+            .find(|p| p.to_string_lossy().contains(rid));
+        match found {
+            Some(path) => break path,
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            None => panic!("no flight artifact for {rid} appeared in {}", dir.display()),
+        }
+    };
+    let text = std::fs::read_to_string(&artifact).expect("artifact readable");
+    let flight = json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(flight.get("reason").and_then(Value::as_str), Some("panic"));
+    assert_eq!(
+        flight.get("request_id").and_then(Value::as_str),
+        Some(rid),
+        "artifact must attribute the panic to the doomed request"
+    );
+    assert_eq!(
+        flight
+            .get("grid")
+            .and_then(|g| g.get("seeds"))
+            .and_then(Value::as_array)
+            .and_then(|s| s.first())
+            .and_then(Value::as_u64),
+        Some(0xdead),
+        "artifact must embed the offending grid"
+    );
+    // The trace ring's run-up made it into the artifact, and the daemon
+    // itself counted the panic and kept serving.
+    assert!(
+        flight
+            .get("trace_tail")
+            .and_then(Value::as_array)
+            .is_some_and(|t| !t.is_empty()),
+        "trace tail must not be empty"
+    );
+    let progress = get_json(&addr, "/v1/progress");
+    assert!(u64_at(&progress, &["totals", "handler_panics"]) >= Some(1));
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loadgen_attributes_its_worst_requests() {
+    let handle = boot(|_| {});
+    let mut config = LoadgenConfig::new(handle.addr().to_string(), tiny_desc());
+    config.clients = 2;
+    config.requests_per_client = 4;
+    let report = loadgen::run(&config);
+    assert_eq!(report.ok, 8, "all requests must succeed");
+    assert!(!report.worst.is_empty(), "worst-request window is empty");
+    assert!(report.worst.len() <= loadgen::WORST_K);
+    for (latency, rid) in &report.worst {
+        assert!(*latency > Duration::ZERO);
+        assert_eq!(rid.len(), 16, "request id {rid:?} is not 16-hex");
+        assert!(rid.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+    // Sorted worst-first, and surfaced in the human summary.
+    for pair in report.worst.windows(2) {
+        assert!(pair[0].0 >= pair[1].0);
+    }
+    assert!(report.summary().contains("worst request ids"));
+    handle.stop().expect("clean shutdown");
+}

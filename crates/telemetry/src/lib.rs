@@ -39,11 +39,17 @@
 pub mod catalog;
 pub mod metrics;
 pub mod render;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{Counter, CounterVec, Gauge, Histogram};
 pub use render::{render_prometheus, snapshot_jsonl};
 pub use trace::Span;
+
+/// Whether this build compiled telemetry out (`--features telemetry-off`).
+/// Surfaced by `joss-serve`'s `/healthz` so an operator (or `joss_top`)
+/// can tell a quiet backend from a blind one.
+pub const COMPILED_OUT: bool = cfg!(feature = "telemetry-off");
 
 #[cfg(not(feature = "telemetry-off"))]
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,296 @@
+//! Time-series sampling of the metric catalog: a background sampler
+//! snapshots every counter, gauge, and histogram into a fixed-size ring,
+//! and rates are derived at *query* time by differencing two samples —
+//! the catalog stays a set of monotonic sums (one relaxed add on the hot
+//! path, per the crate's design rules) and still answers "how fast is
+//! this moving right now".
+//!
+//! One ring per process, like the catalog it samples: [`RING_CAP`]
+//! samples at the sampler's cadence (1 s by default — a five-minute
+//! window) in catalog order, so a sample is four flat arrays and no
+//! per-sample name storage. `joss-serve` starts the sampler at bind time
+//! and exposes the derived rates at `GET /v1/timeseries`; `joss_top`
+//! polls that endpoint for its per-backend gauges.
+//!
+//! A sample is *consistent per series*, not across series: each counter
+//! is a sum of monotonic relaxed stripes, so a sample taken mid-burst
+//! may miss the newest increments but can never read a torn or
+//! decreasing value — consecutive samples are non-decreasing per
+//! counter, which is all rate derivation needs. Everything here is a
+//! no-op under `telemetry-off`.
+
+#[cfg(not(feature = "telemetry-off"))]
+use crate::catalog;
+use std::fmt::Write as _;
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::Mutex;
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::OnceLock;
+use std::time::Duration;
+#[cfg(not(feature = "telemetry-off"))]
+use std::time::Instant;
+
+/// Ring capacity: at the default 1 s cadence, five minutes of history.
+pub const RING_CAP: usize = 300;
+
+/// The sampler's default cadence.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// One snapshot of the whole catalog. The arrays are indexed in catalog
+/// order ([`crate::catalog::counters`] / `gauges` / `histograms`), so a
+/// sample carries no names — readers resolve indices against the static
+/// catalog.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Microseconds since the time-series epoch (first sample).
+    pub t_us: u64,
+    /// Counter totals, in [`crate::catalog::counters`] order.
+    pub counters: Box<[u64]>,
+    /// Gauge values, in [`crate::catalog::gauges`] order.
+    pub gauges: Box<[i64]>,
+    /// Histogram observation counts, in catalog order (a histogram's
+    /// count is itself a monotonic counter, so it rates like one).
+    pub hist_counts: Box<[u64]>,
+    /// Histogram value sums (microseconds), in catalog order.
+    pub hist_sums: Box<[u64]>,
+}
+
+/// A counter's movement over the queried window.
+#[derive(Debug, Clone)]
+pub struct Rate {
+    /// Catalog series name.
+    pub name: &'static str,
+    /// Total at the newest sample.
+    pub value: u64,
+    /// Increase across the window (newest minus oldest-in-window).
+    pub delta: u64,
+    /// `delta` per second of sampled wall time.
+    pub per_sec: f64,
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+static RING: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+/// Take one sample of the catalog now and append it to the ring (oldest
+/// dropped at capacity). The sampler thread calls this on its cadence;
+/// tests and the `/v1/timeseries?sample=1` escape hatch call it
+/// directly for deterministic sample counts.
+pub fn sample_now() {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        if !crate::enabled() {
+            return;
+        }
+        let t_us = epoch().elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let counters: Box<[u64]> = catalog::counters().iter().map(|c| c.get()).collect();
+        let gauges: Box<[i64]> = catalog::gauges().iter().map(|g| g.get()).collect();
+        let mut hist_counts = Vec::with_capacity(catalog::histograms().len());
+        let mut hist_sums = Vec::with_capacity(catalog::histograms().len());
+        for h in catalog::histograms() {
+            let snap = h.snapshot();
+            hist_counts.push(snap.count);
+            hist_sums.push(snap.sum);
+        }
+        let sample = Sample {
+            t_us,
+            counters,
+            gauges,
+            hist_counts: hist_counts.into_boxed_slice(),
+            hist_sums: hist_sums.into_boxed_slice(),
+        };
+        let mut ring = RING.lock().expect("timeseries ring lock");
+        if ring.len() >= RING_CAP {
+            ring.remove(0);
+        }
+        ring.push(sample);
+    }
+}
+
+/// Start the background sampler at `interval` (idempotent: the first
+/// call spawns one detached thread for the life of the process; later
+/// calls — a second in-process daemon, tests — are no-ops). The thread
+/// is cheap: one catalog scan per tick, asleep otherwise.
+pub fn start_sampler(interval: Duration) {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        static STARTED: OnceLock<()> = OnceLock::new();
+        STARTED.get_or_init(|| {
+            let interval = interval.max(Duration::from_millis(10));
+            std::thread::Builder::new()
+                .name("joss-ts-sampler".into())
+                .spawn(move || loop {
+                    sample_now();
+                    std::thread::sleep(interval);
+                })
+                .expect("spawn timeseries sampler");
+        });
+    }
+    #[cfg(feature = "telemetry-off")]
+    let _ = interval;
+}
+
+/// Samples currently held, oldest first.
+pub fn samples() -> Vec<Sample> {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        RING.lock().expect("timeseries ring lock").clone()
+    }
+    #[cfg(feature = "telemetry-off")]
+    Vec::new()
+}
+
+/// Number of samples currently held.
+pub fn len() -> usize {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        RING.lock().expect("timeseries ring lock").len()
+    }
+    #[cfg(feature = "telemetry-off")]
+    0
+}
+
+/// Drop all samples (test isolation).
+pub fn clear() {
+    #[cfg(not(feature = "telemetry-off"))]
+    RING.lock().expect("timeseries ring lock").clear();
+}
+
+/// Per-counter rates over (at most) the trailing `window`: each counter's
+/// delta between the newest sample and the oldest sample still inside the
+/// window, divided by the wall time those samples span. Histogram
+/// observation counts are included under their series name with a
+/// `_count` suffix. Empty when fewer than two samples overlap the window.
+pub fn rates(window: Duration) -> Vec<Rate> {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        let ring = RING.lock().expect("timeseries ring lock");
+        let Some(newest) = ring.last() else {
+            return Vec::new();
+        };
+        let window_us = window.as_micros().min(u64::MAX as u128) as u64;
+        let horizon = newest.t_us.saturating_sub(window_us);
+        let Some(oldest) = ring.iter().find(|s| s.t_us >= horizon) else {
+            return Vec::new();
+        };
+        let span_us = newest.t_us.saturating_sub(oldest.t_us);
+        if span_us == 0 {
+            return Vec::new();
+        }
+        let secs = span_us as f64 / 1e6;
+        let mut out = Vec::with_capacity(newest.counters.len() + newest.hist_counts.len());
+        for (i, c) in catalog::counters().iter().enumerate() {
+            let value = newest.counters[i];
+            let delta = value.saturating_sub(oldest.counters[i]);
+            out.push(Rate {
+                name: c.name(),
+                value,
+                delta,
+                per_sec: delta as f64 / secs,
+            });
+        }
+        for (i, h) in catalog::histograms().iter().enumerate() {
+            let value = newest.hist_counts[i];
+            let delta = value.saturating_sub(oldest.hist_counts[i]);
+            out.push(Rate {
+                name: h.name(),
+                value,
+                delta,
+                per_sec: delta as f64 / secs,
+            });
+        }
+        out
+    }
+    #[cfg(feature = "telemetry-off")]
+    {
+        let _ = window;
+        Vec::new()
+    }
+}
+
+/// The `GET /v1/timeseries` response body: sample bookkeeping, the
+/// per-counter rates over `window` (histograms appear by their series
+/// name; their `delta` is observations), and current gauge values.
+/// Renders a well-formed (near-empty) document when telemetry is
+/// compiled out or fewer than two samples exist.
+pub fn render_json(window: Duration) -> String {
+    let mut out = String::with_capacity(4 * 1024);
+    let (n_samples, span_us) = span_info();
+    let _ = write!(
+        out,
+        "{{\"timeseries_schema\":1,\"samples\":{},\"ring_cap\":{},\
+         \"window_secs\":{},\"span_us\":{},\"rates\":[",
+        n_samples,
+        RING_CAP,
+        window.as_secs(),
+        span_us,
+    );
+    for (i, r) in rates(window).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"value\":{},\"delta\":{},\"per_sec\":{:.3}}}",
+            r.name, r.value, r.delta, r.per_sec
+        );
+    }
+    out.push_str("],\"gauges\":[");
+    #[cfg(not(feature = "telemetry-off"))]
+    for (i, g) in catalog::gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",\"value\":{}}}", g.name(), g.get());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// (samples held, wall microseconds between oldest and newest).
+fn span_info() -> (usize, u64) {
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        let ring = RING.lock().expect("timeseries ring lock");
+        let span = match (ring.first(), ring.last()) {
+            (Some(first), Some(last)) => last.t_us.saturating_sub(first.t_us),
+            _ => 0,
+        };
+        (ring.len(), span)
+    }
+    #[cfg(feature = "telemetry-off")]
+    (0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn render_is_well_formed_json_even_when_empty() {
+        // Cannot clear under other tests' feet reliably, but the render
+        // must always be parseable-shaped regardless of sample count.
+        let body = render_json(Duration::from_secs(60));
+        assert!(body.starts_with("{\"timeseries_schema\":1,"));
+        assert!(body.ends_with("]}"));
+        assert!(body.contains("\"rates\":["));
+    }
+
+    #[cfg(feature = "telemetry-off")]
+    #[test]
+    fn compiled_out_is_inert() {
+        sample_now();
+        start_sampler(Duration::from_millis(10));
+        assert_eq!(len(), 0);
+        assert!(samples().is_empty());
+        assert!(rates(Duration::from_secs(60)).is_empty());
+        let body = render_json(Duration::from_secs(60));
+        assert!(body.contains("\"samples\":0"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Concurrency properties of the two bounded rings: the trace ring under
+//! concurrent writers at wraparound, and the time-series sampler reading
+//! the striped counters mid-burst. Both suites live in one integration
+//! binary on purpose — the catalog and the rings are process-global, so
+//! keeping every test that touches them in one process makes the
+//! delta-based assertions sound.
+//!
+//! All of it is vacuous under `telemetry-off` (storage compiles out).
+#![cfg(not(feature = "telemetry-off"))]
+
+use joss_telemetry::trace::{self, EventKind, RING_CAP};
+use joss_telemetry::{catalog, timeseries};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The process-global rings force the tests to run one at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Index of a catalog counter in sample order, resolved by name.
+fn counter_index(name: &str) -> usize {
+    catalog::counters()
+        .iter()
+        .position(|c| c.name() == name)
+        .unwrap_or_else(|| panic!("{name} not in catalog"))
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring: wraparound under concurrent writers
+// ---------------------------------------------------------------------------
+
+/// Four writers push 2x the ring's capacity in events between them. The
+/// ring must stay exactly bounded, hold only well-formed events, keep its
+/// global order by capture time, and preserve each writer's own program
+/// order in whatever suffix of its events survived eviction.
+#[test]
+fn trace_ring_wraparound_under_concurrent_writers() {
+    let _guard = lock();
+    trace::clear();
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = RING_CAP / 2; // 2x capacity in total
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                let id = trace::new_trace_id();
+                for seq in 0..PER_WRITER {
+                    let _ = trace::set_current(id);
+                    trace::event("ring_prop", format!("{w}:{seq}"));
+                }
+            });
+        }
+    });
+    let events = trace::snapshot();
+    assert_eq!(events.len(), RING_CAP, "ring must sit exactly at capacity");
+    let mut last_seq = [None::<usize>; WRITERS];
+    for ev in &events {
+        assert_eq!(ev.name, "ring_prop");
+        assert_eq!(ev.kind, EventKind::Instant);
+        assert_ne!(ev.trace_id, 0, "writer events must carry their trace");
+        let (w, seq) = ev.detail.split_once(':').expect("writer:seq detail");
+        let (w, seq): (usize, usize) = (w.parse().unwrap(), seq.parse().unwrap());
+        // Each writer pushes its events in program order from one thread,
+        // so whatever suffix of them survives eviction stays ordered.
+        if let Some(prev) = last_seq[w] {
+            assert!(seq > prev, "writer {w} order broken: {seq} after {prev}");
+        }
+        last_seq[w] = Some(seq);
+    }
+    // Eviction is oldest-first, so the globally last event pushed — some
+    // writer's final event — always survives. (Which writer depends on
+    // scheduling; on a single core whole writers may be evicted.)
+    assert!(
+        last_seq.contains(&Some(PER_WRITER - 1)),
+        "no writer's final event survived: {last_seq:?}"
+    );
+    trace::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Time-series sampler: consistency while counters are hammered
+// ---------------------------------------------------------------------------
+
+/// The sampler's ring stays bounded however often it is sampled.
+#[test]
+fn timeseries_ring_is_bounded() {
+    let _guard = lock();
+    timeseries::clear();
+    for _ in 0..timeseries::RING_CAP + 32 {
+        timeseries::sample_now();
+    }
+    assert_eq!(timeseries::len(), timeseries::RING_CAP);
+    timeseries::clear();
+}
+
+/// Rates derive from sample deltas: two samples with a known counter
+/// movement between them report exactly that delta (and a positive rate
+/// when any wall time elapsed).
+#[test]
+fn rates_report_exact_deltas() {
+    let _guard = lock();
+    timeseries::clear();
+    timeseries::sample_now();
+    catalog::FLEET_FAILOVERS.add(7);
+    // Ensure a nonzero sample-time span even on a coarse clock.
+    std::thread::sleep(Duration::from_millis(2));
+    timeseries::sample_now();
+    let rate = timeseries::rates(Duration::from_secs(3600))
+        .into_iter()
+        .find(|r| r.name == "joss_fleet_failovers_total")
+        .expect("failovers series in rates");
+    assert_eq!(rate.delta, 7, "delta must be exactly what was recorded");
+    assert!(rate.per_sec > 0.0);
+    let body = timeseries::render_json(Duration::from_secs(3600));
+    assert!(body.contains("\"timeseries_schema\":1"));
+    assert!(body.contains("\"name\":\"joss_fleet_failovers_total\""));
+    timeseries::clear();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot-under-load consistency (the threaded-merge property, in
+    /// sampler form): four writer threads split a batch of increments to
+    /// one striped counter while a sampler thread snapshots concurrently.
+    /// No sample may ever read a torn or decreasing total, and once the
+    /// writers join, one final sample accounts for every increment.
+    #[test]
+    fn sampler_never_tears_counters(
+        increments in proptest::collection::vec(1u64..64, 0..200),
+    ) {
+        let _guard = lock();
+        timeseries::clear();
+        timeseries::sample_now();
+        let idx = counter_index("joss_fleet_sheds_total");
+        let before = timeseries::samples().last().expect("baseline sample").counters[idx];
+        let expected: u64 = increments.iter().sum();
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = increments
+                .chunks(increments.len().div_ceil(4).max(1))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            catalog::FLEET_SHEDS.add(v);
+                        }
+                    })
+                })
+                .collect();
+            let sampler = scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    timeseries::sample_now();
+                }
+            });
+            for w in writers {
+                w.join().expect("writer thread");
+            }
+            done.store(true, Ordering::Release);
+            sampler.join().expect("sampler thread");
+        });
+        timeseries::sample_now();
+
+        let samples = timeseries::samples();
+        let mut prev = 0u64;
+        for s in &samples {
+            let v = s.counters[idx];
+            prop_assert!(v >= prev, "counter went backwards: {v} after {prev}");
+            prop_assert!(
+                v <= before + expected,
+                "torn read: {v} above final total {}",
+                before + expected
+            );
+            prev = v;
+        }
+        let last = samples.last().expect("final sample");
+        prop_assert_eq!(
+            last.counters[idx],
+            before + expected,
+            "post-join sample must account for every increment"
+        );
+        timeseries::clear();
+    }
+}
